@@ -1,0 +1,86 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md:
+//! clause-implication strength, consistency checking, and the
+//! connection-tree variant budget.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eve_core::{cvs_delete_relation, CvsOptions, ImplicationMode};
+use eve_misd::evolve;
+use eve_workload::{SynthConfig, SynthWorkload, Topology};
+
+fn workload() -> (SynthWorkload, eve_misd::MetaKnowledgeBase) {
+    let cfg = SynthConfig {
+        n_relations: 64,
+        topology: Topology::Random { extra: 32 },
+        cover_count: 4,
+        view_relations: 4,
+        ..SynthConfig::default()
+    };
+    let w = SynthWorkload::random(&cfg, 11);
+    let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+    (w, mkb2)
+}
+
+fn bench_implication_mode(c: &mut Criterion) {
+    let (w, mkb2) = workload();
+    let mut group = c.benchmark_group("ablation/implication");
+    for (label, mode) in [
+        ("syntactic", ImplicationMode::Syntactic),
+        ("interval", ImplicationMode::Interval),
+    ] {
+        let opts = CvsOptions {
+            implication: mode,
+            ..CvsOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_consistency_check(c: &mut Criterion) {
+    let (w, mkb2) = workload();
+    let mut group = c.benchmark_group("ablation/consistency");
+    for (label, check) in [("on", true), ("off", false)] {
+        let opts = CvsOptions {
+            check_consistency: check,
+            ..CvsOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
+            b.iter(|| cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tree_budget(c: &mut Criterion) {
+    let (w, mkb2) = workload();
+    let mut group = c.benchmark_group("ablation/tree_budget");
+    for &budget in &[1usize, 4, 16] {
+        let opts = CvsOptions {
+            max_trees_per_combination: budget,
+            ..CvsOptions::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(budget), &opts, |b, opts| {
+            b.iter(|| cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, opts))
+        });
+    }
+    group.finish();
+}
+
+
+/// Shared criterion config: short but stable runs so the full workspace
+/// bench suite completes in minutes.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_implication_mode, bench_consistency_check, bench_tree_budget
+}
+criterion_main!(benches);

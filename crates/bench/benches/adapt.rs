@@ -1,0 +1,107 @@
+//! Adaptation vs recomputation: the payoff of reusing the old
+//! materialization (the Gupta et al. [3] baseline implemented in
+//! `eve-core::adapt`) after a definition change.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eve_core::{adapt_materialization, evaluate_view, MaterializedView};
+use eve_esql::parse_view;
+use eve_relational::FuncRegistry;
+use eve_workload::TravelFixture;
+
+fn bench_adapt_vs_recompute(c: &mut Criterion) {
+    let fixture = TravelFixture::new();
+    let funcs = FuncRegistry::new();
+    let old_def = parse_view(
+        "CREATE VIEW V AS SELECT C.Name, C.Addr, C.Phone, C.Age FROM Customer C",
+    )
+    .expect("parses");
+    // Column narrowing: adaptation is a pure projection of the old extent.
+    let new_def =
+        parse_view("CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C").expect("parses");
+
+    let mut group = c.benchmark_group("adapt/narrow_columns");
+    for &n in &[100usize, 500, 2000] {
+        let db = fixture.database(3, n);
+        let mv = MaterializedView::new(old_def.clone(), &db, &funcs).expect("materialises");
+        group.bench_with_input(BenchmarkId::new("adapt", n), &(mv, db), |b, (mv, db)| {
+            b.iter(|| adapt_materialization(mv, &new_def, db, &funcs).expect("adapts"))
+        });
+        let db = fixture.database(3, n);
+        group.bench_with_input(BenchmarkId::new("recompute", n), &db, |b, db| {
+            b.iter(|| evaluate_view(&new_def, db, &funcs).expect("recomputes"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_maintenance(c: &mut Criterion) {
+    use eve_core::{CountedView, Delta};
+    use eve_relational::{RelName, Tuple, Value};
+
+    let fixture = TravelFixture::new();
+    let funcs = FuncRegistry::new();
+    let view = parse_view(
+        "CREATE VIEW V AS SELECT C.Name, F.Dest FROM Customer C, FlightRes F
+         WHERE (C.Name = F.PName) AND (F.Dest = 'Asia')",
+    )
+    .expect("parses");
+    let fr = RelName::new("FlightRes");
+    let today = eve_relational::func::DEFAULT_TODAY;
+
+    let mut group = c.benchmark_group("maintain/insert_5_reservations");
+    for &n in &[100usize, 500] {
+        let mut db = fixture.database(3, n);
+        let cv = CountedView::new(view.clone(), &db, &funcs).expect("materialises");
+        // Five fresh reservations for existing customers.
+        let new_rows: Vec<Tuple> = (0..5)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::str(format!("cust{i:04}")),
+                    Value::str("NW"),
+                    Value::Int(9000 + i),
+                    Value::str("Detroit"),
+                    Value::str("Asia"),
+                    Value::Date(today + 400 + i),
+                ])
+            })
+            .collect();
+        let mut fr_rel = db.get(&fr).expect("FlightRes").clone();
+        for t in &new_rows {
+            fr_rel.insert(t.clone()).expect("arity");
+        }
+        db.put(fr.clone(), fr_rel);
+        let delta = Delta::inserts(new_rows);
+
+        group.bench_with_input(
+            BenchmarkId::new("incremental", n),
+            &(cv, db.clone(), delta),
+            |b, (cv, db, delta)| {
+                b.iter(|| {
+                    let mut cv = cv.clone();
+                    cv.apply_delta(db, &fr, delta, &funcs).expect("maintains");
+                    cv
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("recompute", n), &db, |b, db| {
+            b.iter(|| evaluate_view(&view, db, &funcs).expect("recomputes"))
+        });
+    }
+    group.finish();
+}
+
+/// Shared criterion config: short but stable runs so the full workspace
+/// bench suite completes in minutes.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_adapt_vs_recompute, bench_incremental_maintenance
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! `sweep-scale` as a rigorous criterion benchmark: end-to-end CVS
+//! synchronization latency versus MKB size and join-constraint density.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eve_core::{cvs_delete_relation, CvsOptions};
+use eve_misd::evolve;
+use eve_workload::{SynthConfig, SynthWorkload, Topology};
+
+fn bench_cvs_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cvs_delete_relation");
+    for &n in &[16usize, 64, 256] {
+        for (density, extra) in [("sparse", n / 8), ("dense", n / 2)] {
+            let cfg = SynthConfig {
+                n_relations: n,
+                topology: Topology::Random { extra },
+                cover_count: 3,
+                view_relations: 3,
+                ..SynthConfig::default()
+            };
+            let w = SynthWorkload::random(&cfg, 7);
+            let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+            let opts = CvsOptions::default();
+            group.bench_with_input(
+                BenchmarkId::new(density, n),
+                &(w, mkb2),
+                |b, (w, mkb2)| {
+                    b.iter(|| {
+                        cvs_delete_relation(&w.view, &w.target, &w.mkb, mkb2, &opts)
+                            .expect("workload is synchronizable")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_mkb_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mkb_evolve_delete_relation");
+    for &n in &[16usize, 64, 256, 1024] {
+        let cfg = SynthConfig {
+            n_relations: n,
+            topology: Topology::Random { extra: n / 4 },
+            ..SynthConfig::default()
+        };
+        let w = SynthWorkload::random(&cfg, 7);
+        let change = w.delete_change();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(w, change), |b, (w, ch)| {
+            b.iter(|| evolve(&w.mkb, ch).expect("target described"))
+        });
+    }
+    group.finish();
+}
+
+
+/// Shared criterion config: short but stable runs so the full workspace
+/// bench suite completes in minutes.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cvs_scale, bench_mkb_evolution
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks of the CVS phases: R-mapping (Def. 2) and
+//! R-replacement enumeration (Def. 3), isolated from each other.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eve_core::{compute_r_mapping, r_mapping_from_mkb, CvsOptions};
+use eve_hypergraph::Hypergraph;
+use eve_misd::evolve;
+use eve_relational::RelName;
+use eve_workload::{SynthConfig, SynthWorkload, Topology, TravelFixture};
+
+fn bench_r_mapping_travel(c: &mut Criterion) {
+    let fixture = TravelFixture::new();
+    let mkb = fixture.mkb().clone();
+    let view = TravelFixture::customer_passengers_asia_eq5();
+    let customer = RelName::new("Customer");
+    let h = Hypergraph::build(&mkb);
+    let h_r = h.component_of(&customer).expect("Customer described");
+    let opts = CvsOptions::default();
+    c.bench_function("r_mapping/travel_eq5", |b| {
+        b.iter(|| compute_r_mapping(&view, &customer, &h_r, &opts))
+    });
+}
+
+fn bench_r_mapping_synthetic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_mapping/synthetic");
+    for &n in &[16usize, 64, 256] {
+        let cfg = SynthConfig {
+            n_relations: n,
+            topology: Topology::Random { extra: n / 4 },
+            view_relations: 4,
+            ..SynthConfig::default()
+        };
+        let w = SynthWorkload::random(&cfg, 3);
+        let opts = CvsOptions::default();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+            b.iter(|| r_mapping_from_mkb(&w.view, &w.target, &w.mkb, &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replacement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("r_replacement");
+    for &covers in &[1usize, 4, 8] {
+        let cfg = SynthConfig {
+            n_relations: 32,
+            topology: Topology::Random { extra: 16 },
+            cover_count: covers,
+            ..SynthConfig::default()
+        };
+        let w = SynthWorkload::random(&cfg, 3);
+        let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+        let opts = CvsOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("covers", covers),
+            &(w, mkb2),
+            |b, (w, mkb2)| {
+                b.iter(|| {
+                    eve_core::cvs_delete_relation(&w.view, &w.target, &w.mkb, mkb2, &opts)
+                        .expect("synchronizable")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+
+/// Shared criterion config: short but stable runs so the full workspace
+/// bench suite completes in minutes.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_r_mapping_travel, bench_r_mapping_synthetic, bench_replacement
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Language-layer microbenchmarks: E-SQL parsing/printing and MISD
+//! parsing/rendering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eve_esql::parse_view;
+use eve_misd::{parse_misd, render_misd};
+use eve_workload::travel::{FIG2_MISD, PERSON_EXTENSION};
+use eve_workload::TravelFixture;
+
+const EQ5: &str = "CREATE VIEW Customer-Passengers-Asia AS
+SELECT C.Name (false, true), C.Age (true, true),
+       P.Participant (true, true), P.TourID (true, true)
+FROM Customer C (true, true), FlightRes F (true, true), Participant P (true, true)
+WHERE (C.Name = F.PName) (false, true) AND (F.Dest = 'Asia')
+  AND (P.StartDate = F.Date) AND (P.Loc = 'Asia')";
+
+fn bench_esql(c: &mut Criterion) {
+    c.bench_function("esql/parse_eq5", |b| {
+        b.iter(|| parse_view(EQ5).expect("Eq. 5 parses"))
+    });
+    let view = parse_view(EQ5).expect("Eq. 5 parses");
+    c.bench_function("esql/print_eq5", |b| b.iter(|| view.to_string()));
+    let printed = view.to_string();
+    c.bench_function("esql/roundtrip_eq5", |b| {
+        b.iter(|| parse_view(&printed).expect("canonical form parses"))
+    });
+}
+
+fn bench_misd(c: &mut Criterion) {
+    let full = format!("{FIG2_MISD}{PERSON_EXTENSION}");
+    c.bench_function("misd/parse_fig2", |b| {
+        b.iter(|| parse_misd(&full).expect("Fig. 2 parses"))
+    });
+    let mkb = TravelFixture::with_person().mkb().clone();
+    c.bench_function("misd/render_fig2", |b| b.iter(|| render_misd(&mkb)));
+}
+
+
+/// Shared criterion config: short but stable runs so the full workspace
+/// bench suite completes in minutes.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_esql, bench_misd
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Relational-engine microbenchmarks: view evaluation and empirical
+//! extent comparison over generated IS states.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eve_core::{cvs_delete_relation, empirical_extent, evaluate_view, CvsOptions};
+use eve_misd::{evolve, CapabilityChange};
+use eve_relational::{FuncRegistry, RelName};
+use eve_workload::TravelFixture;
+
+fn bench_evaluate_view(c: &mut Criterion) {
+    let fixture = TravelFixture::new();
+    let view = TravelFixture::customer_passengers_asia_eq5();
+    let funcs = FuncRegistry::new();
+    let mut group = c.benchmark_group("relational/evaluate_eq5");
+    for &n in &[50usize, 200, 500] {
+        let db = fixture.database(1, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| evaluate_view(&view, db, &funcs).expect("evaluates"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_empirical_extent(c: &mut Criterion) {
+    let fixture = TravelFixture::new();
+    let mkb = fixture.mkb();
+    let customer = RelName::new("Customer");
+    let mkb2 = evolve(mkb, &CapabilityChange::DeleteRelation(customer.clone()))
+        .expect("Customer described");
+    let view = TravelFixture::customer_passengers_asia_eq5();
+    let rewritten = cvs_delete_relation(&view, &customer, mkb, &mkb2, &CvsOptions::default())
+        .expect("curable")
+        .remove(0)
+        .view;
+    let funcs = FuncRegistry::new();
+    let db = fixture.database(1, 200);
+    c.bench_function("relational/empirical_extent_200", |b| {
+        b.iter(|| empirical_extent(&rewritten, &view, &db, &funcs).expect("evaluates"))
+    });
+}
+
+
+/// Shared criterion config: short but stable runs so the full workspace
+/// bench suite completes in minutes.
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(900))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_evaluate_view, bench_empirical_extent
+}
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! Reproductions of the paper's figures and tables (Figs. 1–4).
+
+use crate::table::Table;
+use eve_esql::{EvolutionParams, ViewExtent};
+use eve_hypergraph::{dot, Hypergraph};
+use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase};
+use eve_relational::RelName;
+use eve_workload::TravelFixture;
+use std::collections::BTreeSet;
+
+/// Fig. 1 — the MISD semantic-constraint taxonomy, with one live
+/// instance of each kind drawn from the fixtures.
+pub fn fig1() -> String {
+    let travel = TravelFixture::with_person();
+    let mkb = travel.mkb();
+    let mut t = Table::new(&["constraint", "paper syntax", "instance (from fixture)"]);
+    let customer = mkb
+        .relation(&RelName::new("Customer"))
+        .expect("fixture has Customer");
+    t.push(&[
+        "Type Integrity".to_string(),
+        "TC_{R,Ai} = (R(Ai) ⊆ Type_i(Ai))".to_string(),
+        format!(
+            "Customer(Age) ⊆ {}",
+            customer
+                .type_of(&"Age".into())
+                .expect("Age typed")
+        ),
+    ]);
+    t.push(&[
+        "Order Integrity".to_string(),
+        "OC_R = (R(A1..An) ⊆ C(Ai1..Aik))".to_string(),
+        "(supported; none declared in Fig. 2)".to_string(),
+    ]);
+    let jc2 = mkb.join_by_id("JC2").expect("fixture has JC2");
+    t.push(&[
+        "Join Constraint".to_string(),
+        "JC_{R1,R2} = (C1 AND .. AND Cl)".to_string(),
+        format!("JC2: {}", jc2.predicate),
+    ]);
+    let f3 = mkb.funcof_by_id("F3").expect("fixture has F3");
+    t.push(&[
+        "Function-of".to_string(),
+        "F_{R1.A,R2.B} = (R1.A = f(R2.B))".to_string(),
+        format!("F3: {} = {}", f3.target, f3.expr),
+    ]);
+    let pc = &mkb.pcs()[0];
+    t.push(&[
+        "Partial/Complete".to_string(),
+        "PC_{R1,R2} = (π(σ R1) θ π(σ R2))".to_string(),
+        format!("{}: {} {} {}", pc.id, pc.left, pc.op, pc.right),
+    ]);
+    format!("Fig. 1 — Semantic constraints for IS descriptions\n\n{}", t.render())
+}
+
+/// Fig. 2 — content descriptions, join and function-of constraints of
+/// the travel-agency example, regenerated from the machine-readable MKB.
+pub fn fig2() -> String {
+    let travel = TravelFixture::new();
+    let mkb = travel.mkb();
+    let mut out = String::from("Fig. 2 — Travel-agency MKB\n\n");
+
+    let mut t = Table::new(&["IS", "description"]);
+    for r in mkb.relations() {
+        let attrs: Vec<String> = r.attrs.iter().map(|a| a.name.to_string()).collect();
+        t.push(&[r.source.clone(), format!("{}({})", r.name, attrs.join(", "))]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    let mut t = Table::new(&["JC", "join constraint"]);
+    for j in mkb.joins() {
+        t.push(&[j.id.clone(), j.predicate.to_string()]);
+    }
+    out.push_str(&t.render());
+    out.push('\n');
+
+    let mut t = Table::new(&["F", "function-of constraint"]);
+    for f in mkb.function_ofs() {
+        t.push(&[f.id.clone(), format!("{} = {}", f.target, f.expr)]);
+    }
+    out.push_str(&t.render());
+    out
+}
+
+/// Fig. 3 — the E-SQL evolution-parameter table with the implemented
+/// defaults.
+pub fn fig3() -> String {
+    let d = EvolutionParams::default();
+    let mut t = Table::new(&["evolution parameter", "values", "default"]);
+    for (name, short) in [
+        ("Attribute-dispensable", "AD"),
+        ("Attribute-replaceable", "AR"),
+        ("Condition-dispensable", "CD"),
+        ("Condition-replaceable", "CR"),
+        ("Relation-dispensable", "RD"),
+        ("Relation-replaceable", "RR"),
+    ] {
+        let default = if short.ends_with('D') {
+            d.dispensable
+        } else {
+            d.replaceable
+        };
+        t.push(&[
+            format!("{name} ({short})"),
+            "true | false".to_string(),
+            default.to_string(),
+        ]);
+    }
+    t.push(&[
+        "View-extent (VE)".to_string(),
+        "≡ | ⊇ | ⊆ | ≈".to_string(),
+        ViewExtent::default().symbol().to_string(),
+    ]);
+    format!("Fig. 3 — View evolution parameters of E-SQL\n\n{}", t.render())
+}
+
+/// Fig. 4 — the hypergraphs `H(MKB)` and `H'(MKB')` for the travel
+/// example under `delete-relation Customer`. Returns the textual
+/// component summary plus the two DOT documents.
+pub fn fig4() -> Fig4 {
+    let travel = TravelFixture::new();
+    let mkb = travel.mkb();
+    let h = Hypergraph::build(mkb);
+
+    let customer = RelName::new("Customer");
+    let mkb_prime = evolve(mkb, &CapabilityChange::DeleteRelation(customer.clone()))
+        .expect("Customer is described");
+    let h_prime = Hypergraph::build(&mkb_prime);
+
+    // The Min(H_Customer) highlight of Fig. 4 (bold edge JC1) for the
+    // Eq. (5) view.
+    let bold: BTreeSet<String> = ["JC1".to_string()].into_iter().collect();
+
+    let mut summary = String::from("Fig. 4 — H(MKB) and H'(MKB')\n\nH(MKB):\n");
+    summary.push_str(&dot::component_summary(&h));
+    summary.push_str("\nH'(MKB') after delete-relation Customer:\n");
+    summary.push_str(&dot::component_summary(&h_prime));
+
+    Fig4 {
+        summary,
+        dot_h: dot::to_dot(mkb, &h, &bold),
+        dot_h_prime: dot::to_dot(&mkb_prime, &h_prime, &BTreeSet::new()),
+        components_before: h.components().len(),
+        components_after: h_prime.components().len(),
+        customer_component: h
+            .component_relations(&customer)
+            .expect("Customer in H(MKB)"),
+    }
+}
+
+/// The Fig. 4 reproduction artifacts.
+#[derive(Debug, Clone)]
+pub struct Fig4 {
+    /// Text summary of the components before/after.
+    pub summary: String,
+    /// DOT for `H(MKB)` (with `Min(H_Customer)` bold).
+    pub dot_h: String,
+    /// DOT for `H'(MKB')`.
+    pub dot_h_prime: String,
+    /// Number of connected components of `H(MKB)`.
+    pub components_before: usize,
+    /// Number of connected components of `H'(MKB')`.
+    pub components_after: usize,
+    /// The relation set of `H_Customer(MKB)`.
+    pub customer_component: BTreeSet<RelName>,
+}
+
+/// Convenience for tests: the full travel MKB.
+pub fn travel_mkb() -> MetaKnowledgeBase {
+    TravelFixture::new().mkb().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_lists_everything() {
+        let s = fig2();
+        for rel in [
+            "Customer", "Tour", "Participant", "FlightRes", "Accident-Ins", "Hotels", "RentACar",
+        ] {
+            assert!(s.contains(rel), "missing {rel} in:\n{s}");
+        }
+        for id in ["JC1", "JC6", "F1", "F7"] {
+            assert!(s.contains(id), "missing {id}");
+        }
+    }
+
+    #[test]
+    fn fig4_matches_paper() {
+        let f = fig4();
+        // Paper: two connected components in H(MKB)…
+        assert_eq!(f.components_before, 2);
+        // …whose Customer component is {Customer, Tour, Participant,
+        // FlightRes, Accident-Ins}.
+        let expected: BTreeSet<RelName> = [
+            "Customer",
+            "Tour",
+            "Participant",
+            "FlightRes",
+            "Accident-Ins",
+        ]
+        .into_iter()
+        .map(RelName::new)
+        .collect();
+        assert_eq!(f.customer_component, expected);
+        // Erasing Customer splits its component: {Participant, Tour} and
+        // {FlightRes, Accident-Ins} (plus {Hotels, RentACar}).
+        assert_eq!(f.components_after, 3);
+        assert!(f.dot_h.contains("penwidth=3"));
+        assert!(f.dot_h_prime.contains("graph H"));
+    }
+
+    #[test]
+    fn fig1_and_fig3_render() {
+        assert!(fig1().contains("Function-of"));
+        let f3 = fig3();
+        assert!(f3.contains("AD"));
+        assert!(f3.contains("≡"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Answering queries using (materialized) views — the classical problem
+//! the paper builds Step 6 on (§5: "This problem is similar to the
+//! problem of answering queries using views which was extensively
+//! studied in the database community \[6, 13\]") and contrasts itself
+//! against in §6: Levy et al. rewrite a query into an *equivalent* one
+//! over view definitions, while EVE deliberately relaxes equivalence.
+//!
+//! This module implements the classical, equivalence-preserving case for
+//! conjunctive SELECT-FROM-WHERE queries — the \[6, 13\] baseline:
+//! [`answer_using_view`] rewrites a query to scan a single view when the
+//! view *subsumes* the query:
+//!
+//! * the view joins exactly the query's relations (same FROM set);
+//! * every view condition appears among the query's conditions (the view
+//!   filters no more than the query);
+//! * every attribute the query projects — and every attribute of the
+//!   query's *residual* conditions — is preserved in the view's output.
+//!
+//! The residual conditions (query conditions absent from the view) are
+//! lifted onto the view's output columns. The result is an equivalent
+//! query over the view, which [`crate::eval::evaluate_view`] can run
+//! against a database containing the materialized view instead of the
+//! base relations.
+
+use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
+use eve_relational::{AttrRef, Clause, RelName, ScalarExpr};
+use std::collections::BTreeSet;
+
+/// Try to rewrite `query` as an equivalent scan over `view`.
+///
+/// Returns the rewritten query (FROM clause = the view, treated as a
+/// relation named `view.name`; SELECT/WHERE lifted onto the view's
+/// output columns), or `None` when the view does not subsume the query.
+pub fn answer_using_view(
+    query: &ViewDefinition,
+    view: &ViewDefinition,
+) -> Option<ViewDefinition> {
+    // Same relation set.
+    let q_rels: BTreeSet<RelName> = query.relations().into_iter().collect();
+    let v_rels: BTreeSet<RelName> = view.relations().into_iter().collect();
+    if q_rels != v_rels {
+        return None;
+    }
+
+    // View conditions ⊆ query conditions (normalised clause sets).
+    let q_conds: BTreeSet<Clause> = query
+        .conditions
+        .iter()
+        .map(|c| c.clause.normalized())
+        .collect();
+    let v_conds: BTreeSet<Clause> = view
+        .conditions
+        .iter()
+        .map(|c| c.clause.normalized())
+        .collect();
+    if !v_conds.is_subset(&q_conds) {
+        return None;
+    }
+    let residual: Vec<Clause> = q_conds.difference(&v_conds).cloned().collect();
+
+    // Lift an expression onto the view's output columns: every base
+    // attribute it references must be preserved (appear as a bare
+    // SELECT item of the view).
+    let view_rel = RelName::new(view.name.clone());
+    let names = view.interface_names();
+    let lift = |expr: &ScalarExpr| -> Option<ScalarExpr> {
+        let mut lifted = expr.clone();
+        for attr in expr.attrs() {
+            let pos = view
+                .select
+                .iter()
+                .position(|item| item.expr == ScalarExpr::Attr(attr.clone()))?;
+            let out = AttrRef::new(view_rel.clone(), names[pos].clone());
+            lifted = lifted.substitute(&attr, &ScalarExpr::Attr(out));
+        }
+        Some(lifted)
+    };
+
+    // SELECT list.
+    let mut select = Vec::new();
+    for item in &query.select {
+        let expr = lift(&item.expr)?;
+        // Preserve the query's exported column names.
+        let alias = item.alias.clone().or_else(|| item.output_name());
+        select.push(SelectItem {
+            expr,
+            alias,
+            params: item.params,
+        });
+    }
+
+    // Residual WHERE.
+    let mut conditions = Vec::new();
+    for clause in residual {
+        let lifted = Clause {
+            lhs: lift(&clause.lhs)?,
+            op: clause.op,
+            rhs: lift(&clause.rhs)?,
+        };
+        conditions.push(CondItem {
+            clause: lifted,
+            params: EvolutionParams::DEFAULT,
+        });
+    }
+
+    Some(ViewDefinition {
+        name: format!("{}_over_{}", query.name, view.name),
+        interface: query.interface.clone(),
+        extent: query.extent,
+        select,
+        from: vec![FromItem {
+            relation: view_rel,
+            alias: None,
+            params: EvolutionParams::DEFAULT,
+        }],
+        conditions,
+    })
+}
+
+/// Rewrite `query` over the first subsuming view of `views` (in order).
+pub fn answer_using_views<'a>(
+    query: &ViewDefinition,
+    views: impl IntoIterator<Item = &'a ViewDefinition>,
+) -> Option<ViewDefinition> {
+    views
+        .into_iter()
+        .find_map(|v| answer_using_view(query, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_view;
+    use eve_esql::parse_view;
+    use eve_relational::{
+        AttributeDef, Database, DataType, FuncRegistry, Relation, Schema, Tuple, Value,
+    };
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let name = RelName::new("Customer");
+        let schema = Schema::of_relation(
+            &name,
+            &[
+                AttributeDef::new("Name", DataType::Str),
+                AttributeDef::new("Age", DataType::Int),
+                AttributeDef::new("City", DataType::Str),
+            ],
+        );
+        db.put(
+            name,
+            Relation::from_rows(
+                schema,
+                [
+                    ("ann", 30, "Detroit"),
+                    ("bob", 10, "Detroit"),
+                    ("cat", 44, "Boston"),
+                ]
+                .map(|(n, a, c)| {
+                    Tuple::new(vec![Value::str(n), Value::Int(a), Value::str(c)])
+                }),
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    /// Materialize `view` into the database under its own name, then
+    /// evaluate the rewritten query against it and compare with direct
+    /// evaluation.
+    fn check_equivalent(query_src: &str, view_src: &str) {
+        let funcs = FuncRegistry::new();
+        let query = parse_view(query_src).unwrap();
+        let view = parse_view(view_src).unwrap();
+        let rewritten = answer_using_view(&query, &view)
+            .unwrap_or_else(|| panic!("view should subsume query"));
+
+        let mut database = db();
+        // Materialize the view as a base relation named after it.
+        let extent = evaluate_view(&view, &database, &funcs).unwrap();
+        // Re-key the columns as a plain relation (evaluate_view already
+        // names them view.<iface>).
+        database.put(RelName::new(view.name.clone()), extent);
+
+        let via_view = evaluate_view(&rewritten, &database, &funcs).unwrap();
+        let direct = evaluate_view(&query, &database, &funcs).unwrap();
+        assert_eq!(via_view.row_set(), direct.row_set(), "{rewritten}");
+    }
+
+    #[test]
+    fn exact_match_rewrites() {
+        check_equivalent(
+            "CREATE VIEW Q AS SELECT C.Name FROM Customer C WHERE C.Age > 18",
+            "CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C WHERE C.Age > 18",
+        );
+    }
+
+    #[test]
+    fn residual_condition_lifts() {
+        check_equivalent(
+            "CREATE VIEW Q AS SELECT C.Name FROM Customer C WHERE (C.Age > 18) AND (C.City = 'Detroit')",
+            "CREATE VIEW V AS SELECT C.Name, C.Age, C.City FROM Customer C WHERE C.Age > 18",
+        );
+    }
+
+    #[test]
+    fn unfiltered_view_answers_filtered_query() {
+        check_equivalent(
+            "CREATE VIEW Q AS SELECT C.Name, C.Age FROM Customer C WHERE C.Age >= 30",
+            "CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C",
+        );
+    }
+
+    #[test]
+    fn view_with_extra_filter_rejected() {
+        // The view filters more than the query — not equivalent.
+        let query = parse_view("CREATE VIEW Q AS SELECT C.Name FROM Customer C").unwrap();
+        let view = parse_view(
+            "CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE C.Age > 18",
+        )
+        .unwrap();
+        assert!(answer_using_view(&query, &view).is_none());
+    }
+
+    #[test]
+    fn missing_projection_rejected() {
+        // The query needs Age, the view only exports Name.
+        let query =
+            parse_view("CREATE VIEW Q AS SELECT C.Age FROM Customer C").unwrap();
+        let view = parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C").unwrap();
+        assert!(answer_using_view(&query, &view).is_none());
+    }
+
+    #[test]
+    fn residual_over_unpreserved_attr_rejected() {
+        let query = parse_view(
+            "CREATE VIEW Q AS SELECT C.Name FROM Customer C WHERE C.City = 'Boston'",
+        )
+        .unwrap();
+        let view = parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C").unwrap();
+        assert!(answer_using_view(&query, &view).is_none());
+    }
+
+    #[test]
+    fn different_from_set_rejected() {
+        let query = parse_view("CREATE VIEW Q AS SELECT T.x FROM T").unwrap();
+        let view = parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C").unwrap();
+        assert!(answer_using_view(&query, &view).is_none());
+    }
+
+    #[test]
+    fn first_subsuming_view_wins() {
+        let query =
+            parse_view("CREATE VIEW Q AS SELECT C.Name FROM Customer C").unwrap();
+        let narrow = parse_view(
+            "CREATE VIEW V1 AS SELECT C.Name FROM Customer C WHERE C.Age > 18",
+        )
+        .unwrap();
+        let wide = parse_view("CREATE VIEW V2 AS SELECT C.Name FROM Customer C").unwrap();
+        let rewritten = answer_using_views(&query, [&narrow, &wide]).unwrap();
+        assert!(rewritten.uses_relation(&RelName::new("V2")));
+    }
+}

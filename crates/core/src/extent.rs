@@ -1,0 +1,519 @@
+//! Step 6 of CVS — the view-extent property **P3** of Def. 1:
+//!
+//! ```text
+//! π_{B_V ∩ B_V'}(V')   VE_V   π_{B_V ∩ B_V'}(V)   for all IS states.
+//! ```
+//!
+//! The paper notes this is a variant of *answering queries using views*
+//! without the equivalence requirement and defers the full development to
+//! future work; it names the mechanism, though: "We use the
+//! partial/complete information constraints defined in MKB' to compare
+//! the extents of the initial view V and the evolved view V'."
+//!
+//! We implement two complementary checkers (see DESIGN.md —
+//! substitutions):
+//!
+//! * [`infer_extent`] — a **sound, conservative symbolic** checker. It
+//!   composes per-effect verdicts:
+//!   * dropping a dispensable condition *widens* the extent (`⊇`);
+//!   * dropping `R` from the join without replacement widens (`⊇`) —
+//!     every original combination still qualifies without the extra join
+//!     partner;
+//!   * joining in a cover relation `S` is certified by a PC constraint
+//!     `π_{Ā_S}(S) θ π_{Ā_R}(R)` whose `R`-side attributes include every
+//!     attribute of `R` the affected view fragment used (join attributes
+//!     of `Min(H_R)` plus covered attributes) and whose sides correspond
+//!     position-wise through function-of constraints;
+//!   * a relation joined in without such a certificate yields `Unknown`.
+//!
+//!   The overall verdict is the meet of the effect verdicts. `Unknown`
+//!   never asserts anything false — experiments `sweep_extent` validate
+//!   the checker against the empirical one.
+//!
+//! * [`empirical_extent`] — evaluates both views on a concrete database
+//!   and compares the projections onto the shared interface.
+
+use crate::eval::evaluate_view;
+use crate::mapping::RMapping;
+use crate::replacement::Replacement;
+use eve_esql::{ViewDefinition, ViewExtent};
+use eve_misd::{ExtentOp, MetaKnowledgeBase, PartialComplete};
+use eve_relational::{
+    compare_extents, project, AttrName, AttrRef, Database, ExtentRelation, FuncRegistry,
+    RelationalError, ScalarExpr,
+};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Symbolic verdict on `V' vs V` (read left to right: `V' <verdict> V`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtentVerdict {
+    /// Certified `V' ≡ V`.
+    Equivalent,
+    /// Certified `V' ⊇ V`.
+    Superset,
+    /// Certified `V' ⊆ V`.
+    Subset,
+    /// No certificate found.
+    Unknown,
+}
+
+impl ExtentVerdict {
+    /// Meet (greatest lower bound) of two effect verdicts: the composition
+    /// of two transformations certifies only what both agree on.
+    pub fn meet(self, other: ExtentVerdict) -> ExtentVerdict {
+        use ExtentVerdict::*;
+        match (self, other) {
+            (Equivalent, x) | (x, Equivalent) => x,
+            (Superset, Superset) => Superset,
+            (Subset, Subset) => Subset,
+            _ => Unknown,
+        }
+    }
+
+    /// Symbol for reports.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ExtentVerdict::Equivalent => "≡",
+            ExtentVerdict::Superset => "⊇",
+            ExtentVerdict::Subset => "⊆",
+            ExtentVerdict::Unknown => "?",
+        }
+    }
+}
+
+impl fmt::Display for ExtentVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Does a symbolic verdict satisfy the view's extent parameter
+/// (property P3)? `Unknown` satisfies only `VE = ≈`.
+pub fn satisfies_extent_param(param: ViewExtent, verdict: ExtentVerdict) -> bool {
+    match param {
+        ViewExtent::Any => true,
+        ViewExtent::Superset => matches!(
+            verdict,
+            ExtentVerdict::Superset | ExtentVerdict::Equivalent
+        ),
+        ViewExtent::Subset => matches!(verdict, ExtentVerdict::Subset | ExtentVerdict::Equivalent),
+        ViewExtent::Equivalent => verdict == ExtentVerdict::Equivalent,
+    }
+}
+
+fn verdict_of_op(op: ExtentOp) -> ExtentVerdict {
+    match op {
+        ExtentOp::Equivalent => ExtentVerdict::Equivalent,
+        ExtentOp::Superset | ExtentOp::ProperSuperset => ExtentVerdict::Superset,
+        ExtentOp::Subset | ExtentOp::ProperSubset => ExtentVerdict::Subset,
+    }
+}
+
+/// Equality-congruence classes over attributes, built from the equality
+/// clauses of the join constraints involved in the swap. Two attributes
+/// equated (transitively) by the join chain correspond: `T.k = W.k` and
+/// `W.k = C1.k` make `C1.k` a faithful stand-in for `T.k`.
+struct EqClasses {
+    classes: Vec<BTreeSet<AttrRef>>,
+}
+
+impl EqClasses {
+    fn build(joins: &[eve_misd::JoinConstraint]) -> Self {
+        let mut classes: Vec<BTreeSet<AttrRef>> = Vec::new();
+        for jc in joins {
+            for clause in jc.predicate.clauses() {
+                if clause.op != eve_relational::CompareOp::Eq {
+                    continue;
+                }
+                if let (ScalarExpr::Attr(a), ScalarExpr::Attr(b)) = (&clause.lhs, &clause.rhs) {
+                    let ia = classes.iter().position(|c| c.contains(a));
+                    let ib = classes.iter().position(|c| c.contains(b));
+                    match (ia, ib) {
+                        (Some(i), Some(j)) if i != j => {
+                            let moved = classes.swap_remove(j.max(i));
+                            classes[j.min(i)].extend(moved);
+                        }
+                        (Some(i), None) => {
+                            classes[i].insert(b.clone());
+                        }
+                        (None, Some(j)) => {
+                            classes[j].insert(a.clone());
+                        }
+                        (None, None) => {
+                            classes.push([a.clone(), b.clone()].into_iter().collect());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        EqClasses { classes }
+    }
+
+    fn equated(&self, a: &AttrRef, b: &AttrRef) -> bool {
+        self.classes
+            .iter()
+            .any(|c| c.contains(a) && c.contains(b))
+    }
+}
+
+/// Do attributes `s` (of the cover relation) and `r` (of the dropped
+/// relation) correspond — through a function-of constraint, or through
+/// the equality-congruence of the join chains involved in the swap?
+fn corresponds(mkb: &MetaKnowledgeBase, eq: &EqClasses, s: &AttrRef, r: &AttrRef) -> bool {
+    if eq.equated(s, r) {
+        return true;
+    }
+    mkb.function_ofs().iter().any(|f| {
+        (&f.target == r && f.expr.attrs() == [s.clone()].into_iter().collect())
+            || (&f.target == s && f.expr == ScalarExpr::Attr(r.clone()))
+    })
+}
+
+/// Try to certify the swap "drop `R`, join `added`" with a PC constraint
+/// between `added` and `R`. `used_r_attrs` are the attributes of `R`
+/// that `added` must account for: the attributes it covers plus the join
+/// attributes its chain transports.
+fn certify_added_relation(
+    mkb: &MetaKnowledgeBase,
+    eq: &EqClasses,
+    added: &eve_relational::RelName,
+    target: &eve_relational::RelName,
+    used_r_attrs: &BTreeSet<AttrName>,
+) -> ExtentVerdict {
+    let mut best = ExtentVerdict::Unknown;
+    for pc in mkb.pcs() {
+        let (s_side, op, r_side) = if &pc.left.relation == added && &pc.right.relation == target {
+            (&pc.left, pc.op, &pc.right)
+        } else if &pc.right.relation == added && &pc.left.relation == target {
+            (&pc.right, pc.op.flipped(), &pc.left)
+        } else {
+            continue;
+        };
+        if !pc_certifies(pc, mkb, eq, s_side, r_side, used_r_attrs) {
+            continue;
+        }
+        let v = verdict_of_op(op);
+        best = combine_certificates(best, v);
+    }
+    best
+}
+
+fn pc_certifies(
+    pc: &PartialComplete,
+    mkb: &MetaKnowledgeBase,
+    eq: &EqClasses,
+    s_side: &eve_misd::ProjSel,
+    r_side: &eve_misd::ProjSel,
+    used_r_attrs: &BTreeSet<AttrName>,
+) -> bool {
+    // Selections on either side would change the compared sets in ways we
+    // do not model — require plain projections.
+    if !pc.left.cond.is_empty() || !pc.right.cond.is_empty() {
+        return false;
+    }
+    let s_attrs = s_side.attr_refs();
+    let r_attrs = r_side.attr_refs();
+    if s_attrs.len() != r_attrs.len() {
+        return false;
+    }
+    // The R side must mention every attribute this relation accounts for.
+    let r_names: BTreeSet<AttrName> = r_side.attrs.iter().cloned().collect();
+    if !used_r_attrs.iter().all(|a| r_names.contains(a)) {
+        return false;
+    }
+    // Position-wise correspondence through function-of constraints or
+    // join-chain equality congruence.
+    s_attrs
+        .iter()
+        .zip(&r_attrs)
+        .all(|(s, r)| corresponds(mkb, eq, s, r))
+}
+
+/// Two certificates between the same pair compose: `⊇` and `⊆` together
+/// certify `≡`.
+fn combine_certificates(a: ExtentVerdict, b: ExtentVerdict) -> ExtentVerdict {
+    use ExtentVerdict::*;
+    match (a, b) {
+        (Unknown, x) | (x, Unknown) => x,
+        (Equivalent, _) | (_, Equivalent) => Equivalent,
+        (Superset, Subset) | (Subset, Superset) => Equivalent,
+        (x, _) => x,
+    }
+}
+
+/// Symbolically infer the relationship `V' vs V` for a rewriting built
+/// from `rep`, where `dropped_conditions` counts *every* condition dropped
+/// during assembly (from `C_Max/Min` and `C_Rest` alike).
+///
+/// `mkb` is the old MKB (PC and function-of constraints referencing the
+/// deleted relation live only there).
+pub fn infer_extent(
+    rm: &RMapping,
+    rep: &Replacement,
+    dropped_conditions: usize,
+    mkb: &MetaKnowledgeBase,
+) -> ExtentVerdict {
+    let survivors = rm.surviving_relations();
+    let added: Vec<_> = rep
+        .relations
+        .iter()
+        .filter(|r| !survivors.contains(*r))
+        .collect();
+
+    // Join attributes of R in Min(H_R): every relation of the replacement
+    // chain must transport them faithfully.
+    let mut join_attrs: BTreeSet<AttrName> = BTreeSet::new();
+    for jc in &rm.min_joins {
+        for a in jc.attrs() {
+            if a.relation == rm.target {
+                join_attrs.insert(a.attr);
+            }
+        }
+    }
+
+    // Equality congruence over the join chains involved in the swap
+    // (both the original Min(H_R) joins and the candidate's).
+    let mut all_joins = rm.min_joins.clone();
+    all_joins.extend(rep.joins.iter().cloned());
+    let eq = EqClasses::build(&all_joins);
+
+    let mut verdict = if added.is_empty() {
+        // Pure drop: R leaves the join, nothing is added — widening.
+        ExtentVerdict::Superset
+    } else {
+        let mut v = ExtentVerdict::Equivalent;
+        for s in added {
+            // What must S account for: the attributes it covers, plus the
+            // join attributes (its presence in the chain must not lose
+            // key combinations of R).
+            let mut used: BTreeSet<AttrName> = join_attrs.clone();
+            for (covered, cover) in &rep.covers {
+                if &cover.source == s {
+                    used.insert(covered.attr.clone());
+                }
+            }
+            v = v.meet(certify_added_relation(mkb, &eq, s, &rm.target, &used));
+        }
+        v
+    };
+
+    if dropped_conditions > 0 {
+        verdict = verdict.meet(ExtentVerdict::Superset);
+    }
+    verdict
+}
+
+/// Empirically compare `V'` against `V` on a concrete database: evaluate
+/// both and compare the projections onto the interface columns they
+/// share (by interface *name*). Reads as `V' <relation> V`.
+pub fn empirical_extent(
+    rewritten: &ViewDefinition,
+    original: &ViewDefinition,
+    db: &Database,
+    funcs: &FuncRegistry,
+) -> Result<ExtentRelation, RelationalError> {
+    let v_new = evaluate_view(rewritten, db, funcs)?;
+    let v_old = evaluate_view(original, db, funcs)?;
+
+    let names_new: BTreeSet<AttrName> = rewritten.interface_names().into_iter().collect();
+    let names_old: BTreeSet<AttrName> = original.interface_names().into_iter().collect();
+    let common: Vec<AttrName> = names_new.intersection(&names_old).cloned().collect();
+
+    let cols_new: Vec<(AttrRef, ScalarExpr)> = common
+        .iter()
+        .map(|n| {
+            let src = AttrRef::new(rewritten.name.as_str(), n.clone());
+            (AttrRef::new("common", n.clone()), ScalarExpr::Attr(src))
+        })
+        .collect();
+    let cols_old: Vec<(AttrRef, ScalarExpr)> = common
+        .iter()
+        .map(|n| {
+            let src = AttrRef::new(original.name.as_str(), n.clone());
+            (AttrRef::new("common", n.clone()), ScalarExpr::Attr(src))
+        })
+        .collect();
+
+    let p_new = project(&v_new, &cols_new, funcs)?;
+    let p_old = project(&v_old, &cols_old, funcs)?;
+    Ok(compare_extents(&p_new, &p_old))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meet_table() {
+        use ExtentVerdict::*;
+        assert_eq!(Equivalent.meet(Superset), Superset);
+        assert_eq!(Superset.meet(Superset), Superset);
+        assert_eq!(Subset.meet(Subset), Subset);
+        assert_eq!(Superset.meet(Subset), Unknown);
+        assert_eq!(Unknown.meet(Equivalent), Unknown);
+    }
+
+    #[test]
+    fn certificates_compose_to_equivalence() {
+        use ExtentVerdict::*;
+        assert_eq!(combine_certificates(Superset, Subset), Equivalent);
+        assert_eq!(combine_certificates(Unknown, Superset), Superset);
+        assert_eq!(combine_certificates(Equivalent, Subset), Equivalent);
+    }
+
+    #[test]
+    fn p3_satisfaction() {
+        use ExtentVerdict::*;
+        assert!(satisfies_extent_param(ViewExtent::Any, Unknown));
+        assert!(satisfies_extent_param(ViewExtent::Superset, Superset));
+        assert!(satisfies_extent_param(ViewExtent::Superset, Equivalent));
+        assert!(!satisfies_extent_param(ViewExtent::Superset, Subset));
+        assert!(!satisfies_extent_param(ViewExtent::Equivalent, Superset));
+        assert!(satisfies_extent_param(ViewExtent::Subset, Subset));
+        assert!(!satisfies_extent_param(ViewExtent::Subset, Unknown));
+    }
+}
+
+#[cfg(test)]
+mod infer_tests {
+    use super::*;
+    use crate::mapping::RMapping;
+    use crate::replacement::{CoverChoice, Replacement};
+    use eve_misd::{parse_misd, JoinConstraint, MetaKnowledgeBase};
+    use eve_relational::RelName;
+    use std::collections::BTreeMap;
+
+    /// T (target) joined with W; cover relation Cov; optional PCs.
+    fn mkb(pcs: &str) -> MetaKnowledgeBase {
+        parse_misd(&format!(
+            "RELATION IS1 T(k int, v int)
+             RELATION IS2 W(k int, w int)
+             RELATION IS3 Cov(k int, v int)
+             JOIN JT: T, W ON T.k = W.k
+             JOIN JC: W, Cov ON W.k = Cov.k
+             FUNCOF Fk: T.k = Cov.k
+             FUNCOF Fv: T.v = Cov.v
+             {pcs}"
+        ))
+        .expect("test MKB parses")
+    }
+
+    fn rm(mkb: &MetaKnowledgeBase) -> RMapping {
+        RMapping {
+            target: RelName::new("T"),
+            max_relations: ["T", "W"].into_iter().map(RelName::new).collect(),
+            min_joins: vec![mkb.join_by_id("JT").expect("JT").clone()],
+            c_max_min: Vec::new(),
+            rest_relations: Default::default(),
+            c_rest: Vec::new(),
+        }
+    }
+
+    fn rep(mkb: &MetaKnowledgeBase, with_cover: bool) -> Replacement {
+        let mut covers = BTreeMap::new();
+        let mut relations: std::collections::BTreeSet<RelName> =
+            [RelName::new("W")].into_iter().collect();
+        let mut joins: Vec<JoinConstraint> = Vec::new();
+        if with_cover {
+            covers.insert(
+                AttrRef::new("T", "v"),
+                CoverChoice {
+                    funcof_id: "Fv".into(),
+                    source: RelName::new("Cov"),
+                    replacement: ScalarExpr::attr("Cov", "v"),
+                },
+            );
+            relations.insert(RelName::new("Cov"));
+            joins.push(mkb.join_by_id("JC").expect("JC").clone());
+        }
+        Replacement {
+            covers,
+            relations,
+            joins,
+            c_max_min: Vec::new(),
+            dropped_conditions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pure_drop_is_superset() {
+        let m = mkb("");
+        let verdict = infer_extent(&rm(&m), &rep(&m, false), 0, &m);
+        assert_eq!(verdict, ExtentVerdict::Superset);
+    }
+
+    #[test]
+    fn uncertified_cover_is_unknown() {
+        let m = mkb("");
+        let verdict = infer_extent(&rm(&m), &rep(&m, true), 0, &m);
+        assert_eq!(verdict, ExtentVerdict::Unknown);
+    }
+
+    #[test]
+    fn pc_superset_certifies() {
+        let m = mkb("PC P1: Cov(k, v) superset T(k, v)");
+        let verdict = infer_extent(&rm(&m), &rep(&m, true), 0, &m);
+        assert_eq!(verdict, ExtentVerdict::Superset);
+    }
+
+    #[test]
+    fn both_directions_certify_equivalence() {
+        let m = mkb(
+            "PC P1: Cov(k, v) superset T(k, v)
+             PC P2: Cov(k, v) subset T(k, v)",
+        );
+        let verdict = infer_extent(&rm(&m), &rep(&m, true), 0, &m);
+        assert_eq!(verdict, ExtentVerdict::Equivalent);
+    }
+
+    #[test]
+    fn equivalence_pc_certifies_directly() {
+        let m = mkb("PC P1: Cov(k, v) equivalent T(k, v)");
+        let verdict = infer_extent(&rm(&m), &rep(&m, true), 0, &m);
+        assert_eq!(verdict, ExtentVerdict::Equivalent);
+    }
+
+    #[test]
+    fn drops_degrade_equivalence_to_superset() {
+        let m = mkb("PC P1: Cov(k, v) equivalent T(k, v)");
+        let verdict = infer_extent(&rm(&m), &rep(&m, true), 2, &m);
+        assert_eq!(verdict, ExtentVerdict::Superset);
+    }
+
+    #[test]
+    fn subset_pc_with_drops_is_unknown() {
+        let m = mkb("PC P1: Cov(k, v) subset T(k, v)");
+        assert_eq!(
+            infer_extent(&rm(&m), &rep(&m, true), 0, &m),
+            ExtentVerdict::Subset
+        );
+        // Dropping conditions widens; combined with a subset swap the
+        // direction is indeterminate.
+        assert_eq!(
+            infer_extent(&rm(&m), &rep(&m, true), 1, &m),
+            ExtentVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn narrow_pc_does_not_certify() {
+        // PC misses the covered attribute v: not a valid certificate.
+        let m = mkb("PC P1: Cov(k) superset T(k)");
+        assert_eq!(
+            infer_extent(&rm(&m), &rep(&m, true), 0, &m),
+            ExtentVerdict::Unknown
+        );
+    }
+
+    #[test]
+    fn conditional_pc_does_not_certify() {
+        // Selections on PC sides are outside the rule's model.
+        let m = mkb("PC P1: Cov(k, v) WHERE Cov.v > 0 superset T(k, v)");
+        assert_eq!(
+            infer_extent(&rm(&m), &rep(&m, true), 0, &m),
+            ExtentVerdict::Unknown
+        );
+    }
+}

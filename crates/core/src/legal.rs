@@ -1,0 +1,208 @@
+//! Legal rewritings (Def. 1 of the paper) and their property checks.
+//!
+//! A rewriting `V'` of `V` under change `ch` is **legal** when:
+//!
+//! * **P1** — `V'` is no longer affected by `ch`;
+//! * **P2** — `V'` can be evaluated in the new information space (it
+//!   references only elements of `MKB'`);
+//! * **P3** — the view-extent parameter `VE_V` is satisfied;
+//! * **P4** — the component evolution parameters are satisfied
+//!   (indispensable components survive, non-replaceable components are
+//!   unchanged).
+//!
+//! P1/P2/P4 hold by construction of the CVS assembly; the methods here
+//! re-verify them independently (and are exercised by the test suite and
+//! the `sweep` experiments). P3 is the subject of [`crate::extent`].
+
+use crate::affected::is_affected;
+use crate::extent::ExtentVerdict;
+use crate::replacement::Replacement;
+use eve_esql::{CondItem, ViewDefinition};
+use eve_misd::{CapabilityChange, MetaKnowledgeBase};
+
+/// One synchronized view definition together with the evidence of how it
+/// was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegalRewriting {
+    /// The evolved view definition `V'`.
+    pub view: ViewDefinition,
+    /// The R-replacement it was assembled from.
+    pub replacement: Replacement,
+    /// Symbolic verdict `V' vs V` (Step 6).
+    pub verdict: ExtentVerdict,
+    /// Does the verdict satisfy the view's extent parameter (P3)?
+    /// `false` means *unverified*, not violated — the symbolic checker is
+    /// conservative.
+    pub satisfies_p3: bool,
+    /// For each kept SELECT item of `V'`: the index of the original item
+    /// it descends from.
+    pub kept_select: Vec<usize>,
+    /// Conditions dropped during assembly (all must be dispensable).
+    pub dropped_conditions: Vec<CondItem>,
+}
+
+impl LegalRewriting {
+    /// P1: the rewriting is no longer affected by the change.
+    pub fn check_p1(&self, change: &CapabilityChange) -> bool {
+        !is_affected(&self.view, change)
+    }
+
+    /// P2: every referenced relation and attribute exists in `MKB'`.
+    pub fn check_p2(&self, mkb_prime: &MetaKnowledgeBase) -> bool {
+        self.view
+            .from
+            .iter()
+            .all(|f| mkb_prime.contains_relation(&f.relation))
+            && self
+                .view
+                .referenced_attrs()
+                .iter()
+                .all(|a| mkb_prime.has_attr(a))
+    }
+
+    /// P4: the evolution parameters of the original view are respected:
+    ///
+    /// * every dropped SELECT item / condition was dispensable;
+    /// * every kept non-replaceable SELECT item is syntactically
+    ///   unchanged;
+    /// * every indispensable SELECT item of the original survives.
+    pub fn check_p4(&self, original: &ViewDefinition) -> bool {
+        // Dropped selects dispensable + indispensable items survive.
+        for (i, item) in original.select.iter().enumerate() {
+            let kept = self.kept_select.contains(&i);
+            if !kept && !item.params.dispensable {
+                return false;
+            }
+        }
+        // Non-replaceable kept items unchanged.
+        for (new_idx, &orig_idx) in self.kept_select.iter().enumerate() {
+            let orig = &original.select[orig_idx];
+            if !orig.params.replaceable && self.view.select[new_idx].expr != orig.expr {
+                return false;
+            }
+        }
+        // Dropped conditions dispensable.
+        self.dropped_conditions.iter().all(|c| c.params.dispensable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::ExtentVerdict;
+    use crate::replacement::Replacement;
+    use eve_esql::parse_view;
+    use eve_misd::parse_misd;
+    use eve_relational::RelName;
+    use std::collections::BTreeMap;
+
+    fn wrap(view: eve_esql::ViewDefinition, kept: Vec<usize>) -> LegalRewriting {
+        let relations = view.from.iter().map(|f| f.relation.clone()).collect();
+        LegalRewriting {
+            view,
+            replacement: Replacement {
+                covers: BTreeMap::new(),
+                relations,
+                joins: Vec::new(),
+                c_max_min: Vec::new(),
+                dropped_conditions: Vec::new(),
+            },
+            verdict: ExtentVerdict::Unknown,
+            satisfies_p3: false,
+            kept_select: kept,
+            dropped_conditions: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn p1_detects_residual_references() {
+        let bad = wrap(
+            parse_view("CREATE VIEW V AS SELECT R.a FROM R").unwrap(),
+            vec![0],
+        );
+        let change = CapabilityChange::DeleteRelation(RelName::new("R"));
+        assert!(!bad.check_p1(&change));
+        let good = wrap(
+            parse_view("CREATE VIEW V AS SELECT S.a FROM S").unwrap(),
+            vec![0],
+        );
+        assert!(good.check_p1(&change));
+    }
+
+    #[test]
+    fn p2_requires_all_elements_described() {
+        let mkb = parse_misd("RELATION IS1 S(a int)").unwrap();
+        let good = wrap(
+            parse_view("CREATE VIEW V AS SELECT S.a FROM S").unwrap(),
+            vec![0],
+        );
+        assert!(good.check_p2(&mkb));
+        // Unknown attribute.
+        let bad_attr = wrap(
+            parse_view("CREATE VIEW V AS SELECT S.ghost FROM S").unwrap(),
+            vec![0],
+        );
+        assert!(!bad_attr.check_p2(&mkb));
+        // Unknown relation.
+        let bad_rel = wrap(
+            parse_view("CREATE VIEW V AS SELECT T.a FROM T").unwrap(),
+            vec![0],
+        );
+        assert!(!bad_rel.check_p2(&mkb));
+    }
+
+    #[test]
+    fn p4_flags_dropped_indispensables() {
+        let original = parse_view(
+            "CREATE VIEW V AS SELECT R.a (AD = false), R.b (AD = true) FROM R",
+        )
+        .unwrap();
+        // Dropping the dispensable b: fine.
+        let keeps_a = wrap(
+            parse_view("CREATE VIEW V AS SELECT R.a FROM R").unwrap(),
+            vec![0],
+        );
+        assert!(keeps_a.check_p4(&original));
+        // Dropping the indispensable a: violation.
+        let drops_a = wrap(
+            parse_view("CREATE VIEW V AS SELECT R.b FROM R").unwrap(),
+            vec![1],
+        );
+        assert!(!drops_a.check_p4(&original));
+    }
+
+    #[test]
+    fn p4_flags_modified_nonreplaceables() {
+        let original = parse_view(
+            "CREATE VIEW V AS SELECT R.a (AD = false, AR = false) FROM R",
+        )
+        .unwrap();
+        let modified = wrap(
+            parse_view("CREATE VIEW V AS SELECT S.x AS a FROM S").unwrap(),
+            vec![0],
+        );
+        assert!(!modified.check_p4(&original));
+        let unchanged = wrap(
+            parse_view("CREATE VIEW V AS SELECT R.a FROM R").unwrap(),
+            vec![0],
+        );
+        assert!(unchanged.check_p4(&original));
+    }
+
+    #[test]
+    fn p4_flags_dropped_indispensable_conditions() {
+        use eve_esql::{CondItem, EvolutionParams};
+        use eve_relational::{Clause, CompareOp, ScalarExpr};
+        let original = parse_view("CREATE VIEW V AS SELECT R.a FROM R").unwrap();
+        let mut rw = wrap(original.clone(), vec![0]);
+        rw.dropped_conditions.push(CondItem {
+            clause: Clause::new(
+                ScalarExpr::attr("R", "a"),
+                CompareOp::Gt,
+                ScalarExpr::lit(1i64),
+            ),
+            params: EvolutionParams::new(false, true), // indispensable!
+        });
+        assert!(!rw.check_p4(&original));
+    }
+}

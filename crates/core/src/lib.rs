@@ -1,0 +1,96 @@
+//! # eve-core — the CVS algorithm
+//!
+//! The paper's primary contribution: **view synchronization** — evolving
+//! E-SQL view definitions so that they survive capability changes of the
+//! underlying information sources — via the **Complex View
+//! Synchronization (CVS)** algorithm (§5 of the paper).
+//!
+//! The three-step strategy of §4:
+//!
+//! 1. **MKB evolution** — `eve_misd::evolve` produces `MKB'`;
+//! 2. **affected-view detection** — [`affected`] decides which views a
+//!    change touches, directly or through MKB evolution;
+//! 3. **view rewriting** — for curable views, find *legal rewritings*
+//!    (Def. 1) guided by the E-SQL evolution preferences.
+//!
+//! Step 3 for the hardest operator, `delete-relation R`, is CVS proper:
+//!
+//! * [`mapping`] computes the **R-mapping** (Def. 2): the maximal
+//!   sub-join `Max(V_R)` of the view that is "covered" by MKB join
+//!   constraints, and the minimal MKB join expression `Min(H_R)`
+//!   containing it;
+//! * [`replacement`] computes the **R-replacement** set (Def. 3):
+//!   candidate join expressions over `H'_R(MKB')` containing every
+//!   surviving piece of `Min(H_R)` plus a **cover** (via function-of
+//!   constraints) for each replaceable attribute of `R`;
+//! * [`rewrite`] assembles a synchronized view `V'` from each candidate
+//!   (Steps 4–5: substitution, WHERE-consistency check, evolution
+//!   parameters for new components);
+//! * [`extent`] addresses Step 6 / property P3: certifying the
+//!   relationship between the old and new extents using the MKB's
+//!   partial/complete constraints (symbolically) and the relational
+//!   engine (empirically);
+//! * [`legal`] packages the Def. 1 legality checks (P1, P2, P4).
+//!
+//! [`delete_attribute`] implements the simplified algorithm for
+//! `delete-attribute` the paper describes as "a simplified version" of
+//! CVS, [`svs`] implements the *one-step-away* baseline of the authors'
+//! prior work (what CVS is shown to improve upon), and [`synchronizer`]
+//! drives the whole pipeline for all six change operators over a set of
+//! registered views — with what-if previews, evolution history, rollback
+//! and disabled-view revival.
+//!
+//! Beyond the paper (see DESIGN.md, extensions): [`cost`] ranks legal
+//! rewritings for *maximal view preservation* (§7 future work),
+//! [`materialize`]/[`maintain`]/[`adapt`] close the data loop
+//! (materialization, counting-based incremental maintenance, and the
+//! Gupta-style adaptation of §6's related work), [`answering`]
+//! implements the classical answering-queries-using-views baseline,
+//! [`explain`] narrates rewritings, and [`service`] is a thread-safe
+//! handle for service deployments.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adapt;
+pub mod answering;
+pub mod affected;
+pub mod cost;
+pub mod delete_attribute;
+pub mod error;
+pub mod eval;
+pub mod explain;
+pub mod extent;
+pub mod legal;
+pub mod maintain;
+pub mod mapping;
+pub mod materialize;
+pub mod options;
+pub mod replacement;
+pub mod rewrite;
+pub mod service;
+pub mod svs;
+pub mod synchronizer;
+
+#[cfg(test)]
+pub(crate) mod testutil;
+
+pub use adapt::{adapt_materialization, AdaptationReport, AdaptationStrategy};
+pub use answering::{answer_using_view, answer_using_views};
+pub use affected::{affected_views, is_affected};
+pub use cost::{rank_rewritings as rank_by_cost, CostBreakdown, CostModel};
+pub use delete_attribute::synchronize_delete_attribute;
+pub use error::CvsError;
+pub use eval::evaluate_view;
+pub use explain::explain_rewriting;
+pub use extent::{empirical_extent, infer_extent, satisfies_extent_param, ExtentVerdict};
+pub use legal::LegalRewriting;
+pub use maintain::{CountedView, Delta};
+pub use materialize::{MaterializedView, RefreshDelta};
+pub use mapping::{compute_r_mapping, r_mapping_from_mkb, RMapping};
+pub use options::{CvsOptions, ImplicationMode};
+pub use replacement::{CoverChoice, Replacement};
+pub use rewrite::cvs_delete_relation;
+pub use service::SharedSynchronizer;
+pub use svs::svs_delete_relation;
+pub use synchronizer::{ChangeOutcome, SyncReport, Synchronizer, SynchronizerBuilder, ViewOutcome};

@@ -1,0 +1,429 @@
+//! Incremental view maintenance with counting — the warehouse substrate
+//! the paper's setting assumes (§1: views are materialized at the user
+//! site; §6: refs \[3, 7\] study maintenance after redefinition; classic
+//! maintenance *between* redefinitions is what keeps the warehouse fresh
+//! as ISs update their **content**, the other half of "updating not only
+//! their content but also their capabilities").
+//!
+//! For SELECT-FROM-WHERE views, joins distribute over union, so a delta
+//! on one base relation `R` yields the view delta by evaluating the view
+//! with `R` replaced by `ΔR` (all other relations at their unchanged
+//! state). Projection may collapse distinct base rows onto one output
+//! tuple; the standard *counting* algorithm keeps per-tuple
+//! multiplicities so deletions know when an output tuple really
+//! disappears.
+//!
+//! [`CountedView`] holds the definition plus the counted extent;
+//! [`CountedView::apply_delta`] maintains it in time proportional to the
+//! delta (times the joined partners), not the base relations.
+
+use eve_esql::ViewDefinition;
+use eve_relational::{
+    theta_join, AttrRef, Conjunction, Database, FuncRegistry, Relation, RelName, RelationalError,
+    ScalarExpr, Schema, Tuple,
+};
+use std::collections::BTreeMap;
+
+/// A content update of one base relation.
+#[derive(Debug, Clone, Default)]
+pub struct Delta {
+    /// Tuples inserted (must be new — not present before the update).
+    pub inserted: Vec<Tuple>,
+    /// Tuples deleted (must have been present before the update).
+    pub deleted: Vec<Tuple>,
+}
+
+impl Delta {
+    /// An insert-only delta.
+    pub fn inserts(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Delta {
+            inserted: tuples.into_iter().collect(),
+            deleted: Vec::new(),
+        }
+    }
+
+    /// A delete-only delta.
+    pub fn deletes(tuples: impl IntoIterator<Item = Tuple>) -> Self {
+        Delta {
+            inserted: Vec::new(),
+            deleted: tuples.into_iter().collect(),
+        }
+    }
+}
+
+/// A materialized view with per-tuple multiplicities (the counting
+/// algorithm's bookkeeping).
+#[derive(Debug, Clone)]
+pub struct CountedView {
+    /// The view definition.
+    pub definition: ViewDefinition,
+    counts: BTreeMap<Tuple, usize>,
+    output: Schema,
+}
+
+impl CountedView {
+    /// Materialise with counts from the current database state.
+    pub fn new(
+        definition: ViewDefinition,
+        db: &Database,
+        funcs: &FuncRegistry,
+    ) -> Result<Self, RelationalError> {
+        let (counts, output) = eval_counted(&definition, db, funcs, None)?;
+        Ok(CountedView {
+            definition,
+            counts,
+            output,
+        })
+    }
+
+    /// The set-semantics extent (tuples with positive count).
+    pub fn extent(&self) -> Result<Relation, RelationalError> {
+        Relation::from_rows(self.output.clone(), self.counts.keys().cloned())
+    }
+
+    /// Number of distinct tuples.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when the extent is empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Multiplicity of one output tuple.
+    pub fn count_of(&self, t: &Tuple) -> usize {
+        self.counts.get(t).copied().unwrap_or(0)
+    }
+
+    /// Maintain the view under a content update of `rel`.
+    ///
+    /// `db_after` must be the database state *after* the delta was
+    /// applied to `rel` (other relations unchanged). Errors from the
+    /// evaluation are propagated; a count underflow (a deletion of a
+    /// tuple the view never derived) is reported as
+    /// [`RelationalError::TypeMismatch`] with a descriptive message —
+    /// it means the caller's delta contract was violated.
+    pub fn apply_delta(
+        &mut self,
+        db_after: &Database,
+        rel: &RelName,
+        delta: &Delta,
+        funcs: &FuncRegistry,
+    ) -> Result<(), RelationalError> {
+        if !self.definition.uses_relation(rel) {
+            return Ok(()); // the view doesn't read this relation
+        }
+        // ΔV+ : view over (R ← inserted), others at their after-state —
+        // valid because the inserted tuples join with partner states that
+        // did not change in this delta.
+        if !delta.inserted.is_empty() {
+            let d = substitute_relation(db_after, rel, &delta.inserted)?;
+            let (plus, _) = eval_counted(&self.definition, &d, funcs, Some(rel))?;
+            for (t, c) in plus {
+                *self.counts.entry(t).or_insert(0) += c;
+            }
+        }
+        // ΔV− : view over (R ← deleted).
+        if !delta.deleted.is_empty() {
+            let d = substitute_relation(db_after, rel, &delta.deleted)?;
+            let (minus, _) = eval_counted(&self.definition, &d, funcs, Some(rel))?;
+            for (t, c) in minus {
+                let existing = self.counts.get(&t).copied().unwrap_or(0);
+                match existing.cmp(&c) {
+                    std::cmp::Ordering::Greater => {
+                        self.counts.insert(t, existing - c);
+                    }
+                    std::cmp::Ordering::Equal => {
+                        self.counts.remove(&t);
+                    }
+                    std::cmp::Ordering::Less => {
+                        return Err(RelationalError::TypeMismatch(format!(
+                            "maintenance underflow for {t}: delta deletes more derivations \
+                             than the view holds (delta contract violated)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Clone `db` with `rel` replaced by the given tuples.
+fn substitute_relation(
+    db: &Database,
+    rel: &RelName,
+    tuples: &[Tuple],
+) -> Result<Database, RelationalError> {
+    let original = db.require(rel)?;
+    let replacement = Relation::from_rows(original.schema().clone(), tuples.iter().cloned())?;
+    let mut out = db.clone();
+    out.put(rel.clone(), replacement);
+    Ok(out)
+}
+
+/// Evaluate a view keeping per-output-tuple derivation counts.
+///
+/// `focus` is only used for error context; the evaluation itself is the
+/// same join-select-project pipeline as `evaluate_view`, minus the final
+/// deduplication.
+fn eval_counted(
+    view: &ViewDefinition,
+    db: &Database,
+    funcs: &FuncRegistry,
+    focus: Option<&RelName>,
+) -> Result<(BTreeMap<Tuple, usize>, Schema), RelationalError> {
+    let _ = focus;
+    // Join everything (conditions applied at the end — correctness over
+    // speed; the deltas are small).
+    let mut acc: Option<Relation> = None;
+    for item in &view.from {
+        let rel = db.require(&item.relation)?.clone();
+        acc = Some(match acc {
+            None => rel,
+            Some(a) => theta_join(&a, &rel, &Conjunction::empty(), funcs)?,
+        });
+    }
+    let acc = match acc {
+        Some(a) => a,
+        None => Relation::new(Schema::new()),
+    };
+    let cond = view.where_conjunction();
+    let schema = acc.schema().clone();
+
+    let names = view.interface_names();
+    let columns: Vec<(AttrRef, ScalarExpr)> = view
+        .select
+        .iter()
+        .zip(&names)
+        .map(|(item, name)| {
+            (
+                AttrRef::new(view.name.as_str(), name.clone()),
+                item.expr.clone(),
+            )
+        })
+        .collect();
+
+    let mut counts: BTreeMap<Tuple, usize> = BTreeMap::new();
+    let mut out_types: Vec<Option<eve_relational::DataType>> = columns
+        .iter()
+        .map(|(_, e)| match e {
+            ScalarExpr::Attr(a) => schema.type_of(a),
+            ScalarExpr::Const(v) => v.data_type(),
+            _ => None,
+        })
+        .collect();
+    for t in acc.rows() {
+        if !cond.eval(&schema, t, funcs)? {
+            continue;
+        }
+        let mut vals = Vec::with_capacity(columns.len());
+        for (i, (_, e)) in columns.iter().enumerate() {
+            let v = e.eval(&schema, t, funcs)?;
+            if out_types[i].is_none() {
+                out_types[i] = v.data_type();
+            }
+            vals.push(v);
+        }
+        *counts.entry(Tuple::new(vals)).or_insert(0) += 1;
+    }
+    let output = Schema::from_columns(
+        columns
+            .iter()
+            .zip(&out_types)
+            .map(|((name, _), ty)| (name.clone(), ty.unwrap_or(eve_relational::DataType::Str)))
+            .collect(),
+    )?;
+    Ok((counts, output))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_view;
+    use eve_esql::parse_view;
+    use eve_relational::{AttributeDef, DataType, Value};
+
+    fn base_db() -> Database {
+        let mut db = Database::new();
+        let orders = RelName::new("Orders");
+        let schema = Schema::of_relation(
+            &orders,
+            &[
+                AttributeDef::new("id", DataType::Int),
+                AttributeDef::new("cust", DataType::Str),
+                AttributeDef::new("total", DataType::Int),
+            ],
+        );
+        db.put(
+            orders,
+            Relation::from_rows(
+                schema,
+                [
+                    (1, "ann", 50),
+                    (2, "ann", 200),
+                    (3, "bob", 120),
+                ]
+                .map(|(i, c, t)| {
+                    Tuple::new(vec![Value::Int(i), Value::str(c), Value::Int(t)])
+                }),
+            )
+            .unwrap(),
+        );
+        let cust = RelName::new("Customers");
+        let schema = Schema::of_relation(
+            &cust,
+            &[
+                AttributeDef::new("name", DataType::Str),
+                AttributeDef::new("city", DataType::Str),
+            ],
+        );
+        db.put(
+            cust,
+            Relation::from_rows(
+                schema,
+                [("ann", "Detroit"), ("bob", "Boston")]
+                    .map(|(n, c)| Tuple::new(vec![Value::str(n), Value::str(c)])),
+            )
+            .unwrap(),
+        );
+        db
+    }
+
+    fn big_spenders() -> ViewDefinition {
+        parse_view(
+            "CREATE VIEW BigCities AS
+             SELECT C.city FROM Orders O, Customers C
+             WHERE (O.cust = C.name) AND (O.total >= 100)",
+        )
+        .unwrap()
+    }
+
+    fn orders_tuple(i: i64, c: &str, t: i64) -> Tuple {
+        Tuple::new(vec![Value::Int(i), Value::str(c), Value::Int(t)])
+    }
+
+    fn apply_to_db(db: &mut Database, rel: &RelName, delta: &Delta) {
+        let mut r = db.get(rel).unwrap().clone();
+        for t in &delta.deleted {
+            let rows: Vec<Tuple> = r.rows().filter(|x| *x != t).cloned().collect();
+            r = Relation::from_rows(r.schema().clone(), rows).unwrap();
+        }
+        for t in &delta.inserted {
+            r.insert(t.clone()).unwrap();
+        }
+        db.put(rel.clone(), r);
+    }
+
+    #[test]
+    fn counting_tracks_duplicate_derivations() {
+        let funcs = FuncRegistry::new();
+        let db = base_db();
+        let cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+        // ann(200) → Detroit, bob(120) → Boston: counts 1 each.
+        assert_eq!(cv.len(), 2);
+        let detroit = Tuple::new(vec![Value::str("Detroit")]);
+        assert_eq!(cv.count_of(&detroit), 1);
+    }
+
+    #[test]
+    fn insert_then_delete_preserves_extent() {
+        let funcs = FuncRegistry::new();
+        let mut db = base_db();
+        let orders = RelName::new("Orders");
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+
+        // Insert another big ann order: Detroit count 1 → 2, extent same.
+        let ins = Delta::inserts([orders_tuple(4, "ann", 500)]);
+        apply_to_db(&mut db, &orders, &ins);
+        cv.apply_delta(&db, &orders, &ins, &funcs).unwrap();
+        let detroit = Tuple::new(vec![Value::str("Detroit")]);
+        assert_eq!(cv.count_of(&detroit), 2);
+        assert_eq!(cv.len(), 2);
+
+        // Delete one of them: Detroit survives (the other derivation).
+        let del = Delta::deletes([orders_tuple(2, "ann", 200)]);
+        apply_to_db(&mut db, &orders, &del);
+        cv.apply_delta(&db, &orders, &del, &funcs).unwrap();
+        assert_eq!(cv.count_of(&detroit), 1);
+        assert_eq!(cv.len(), 2);
+
+        // Delete the last one: Detroit disappears.
+        let del = Delta::deletes([orders_tuple(4, "ann", 500)]);
+        apply_to_db(&mut db, &orders, &del);
+        cv.apply_delta(&db, &orders, &del, &funcs).unwrap();
+        assert_eq!(cv.count_of(&detroit), 0);
+        assert_eq!(cv.len(), 1);
+
+        // Final extent agrees with recomputation.
+        let direct = evaluate_view(&big_spenders(), &db, &funcs).unwrap();
+        assert_eq!(cv.extent().unwrap().row_set(), direct.row_set());
+    }
+
+    #[test]
+    fn deltas_on_either_join_side() {
+        let funcs = FuncRegistry::new();
+        let mut db = base_db();
+        let customers = RelName::new("Customers");
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+
+        // A new customer with an existing order? No: orders reference
+        // cust by name; add customer cat + order for cat.
+        let ins_c = Delta::inserts([Tuple::new(vec![
+            Value::str("cat"),
+            Value::str("Chicago"),
+        ])]);
+        apply_to_db(&mut db, &customers, &ins_c);
+        cv.apply_delta(&db, &customers, &ins_c, &funcs).unwrap();
+        assert_eq!(cv.len(), 2); // no cat orders yet
+
+        let orders = RelName::new("Orders");
+        let ins_o = Delta::inserts([orders_tuple(9, "cat", 300)]);
+        apply_to_db(&mut db, &orders, &ins_o);
+        cv.apply_delta(&db, &orders, &ins_o, &funcs).unwrap();
+        assert_eq!(cv.len(), 3);
+        let direct = evaluate_view(&big_spenders(), &db, &funcs).unwrap();
+        assert_eq!(cv.extent().unwrap().row_set(), direct.row_set());
+    }
+
+    #[test]
+    fn irrelevant_relation_is_ignored() {
+        let funcs = FuncRegistry::new();
+        let mut db = base_db();
+        let other = RelName::new("Other");
+        let schema = Schema::of_relation(&other, &[AttributeDef::new("x", DataType::Int)]);
+        db.put(other.clone(), Relation::new(schema));
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+        let before = cv.len();
+        // The delta's tuple does not even match Other's schema — but the
+        // view never reads Other, so the delta must be skipped entirely.
+        cv.apply_delta(
+            &db,
+            &other,
+            &Delta::inserts([Tuple::new(vec![Value::Int(1), Value::Int(2)])]),
+            &funcs,
+        )
+        .unwrap();
+        assert_eq!(cv.len(), before);
+    }
+
+    #[test]
+    fn underflow_reports_contract_violation() {
+        let funcs = FuncRegistry::new();
+        let mut db = base_db();
+        let orders = RelName::new("Orders");
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+        // "Delete" two tuples that were never there (each would derive
+        // Detroit, which has only one real derivation): counts underflow.
+        let phantom = Delta::deletes([
+            orders_tuple(98, "ann", 998),
+            orders_tuple(99, "ann", 999),
+        ]);
+        apply_to_db(&mut db, &orders, &phantom); // no-op removals
+        let err = cv
+            .apply_delta(&db, &orders, &phantom, &funcs)
+            .unwrap_err();
+        assert!(err.to_string().contains("underflow"), "{err}");
+    }
+}

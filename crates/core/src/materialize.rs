@@ -1,0 +1,179 @@
+//! Materialized views and refresh.
+//!
+//! In the paper's setting (§1) a view is "materialized at the user site
+//! as what's called a view (or data warehouse)". View synchronization
+//! changes the *definition*; this module closes the loop on the *data*:
+//! a [`MaterializedView`] stores the definition together with its
+//! materialised extent and can be refreshed against a database state —
+//! including after its definition was evolved by the synchronizer, which
+//! is when the paper's VE parameter becomes observable as a concrete
+//! delta (`V' ⊇ V` shows up as `removed == 0`).
+
+use crate::eval::evaluate_view;
+use eve_esql::ViewDefinition;
+use eve_relational::{Database, FuncRegistry, Relation, RelationalError};
+use std::fmt;
+
+/// A view definition together with its materialised extent.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    /// The current (possibly evolved) definition.
+    pub definition: ViewDefinition,
+    /// The materialised extent as of the last refresh.
+    pub data: Relation,
+}
+
+/// The change observed by a refresh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefreshDelta {
+    /// Tuples present after the refresh but not before.
+    pub added: usize,
+    /// Tuples present before the refresh but not after.
+    pub removed: usize,
+}
+
+impl RefreshDelta {
+    /// Did the extent change at all?
+    pub fn is_empty(self) -> bool {
+        self.added == 0 && self.removed == 0
+    }
+}
+
+impl fmt::Display for RefreshDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "+{} / -{}", self.added, self.removed)
+    }
+}
+
+impl MaterializedView {
+    /// Materialise a view against a database state.
+    pub fn new(
+        definition: ViewDefinition,
+        db: &Database,
+        funcs: &FuncRegistry,
+    ) -> Result<Self, RelationalError> {
+        let data = evaluate_view(&definition, db, funcs)?;
+        Ok(MaterializedView { definition, data })
+    }
+
+    /// Re-evaluate the current definition and swap in the new extent,
+    /// reporting the delta.
+    ///
+    /// Note: the delta is computed positionally over the *current*
+    /// schema; after a definition change that renames columns the whole
+    /// extent naturally counts as replaced.
+    pub fn refresh(
+        &mut self,
+        db: &Database,
+        funcs: &FuncRegistry,
+    ) -> Result<RefreshDelta, RelationalError> {
+        let new = evaluate_view(&self.definition, db, funcs)?;
+        let delta = if new.schema().arity() == self.data.schema().arity() {
+            RefreshDelta {
+                added: new.rows().filter(|t| !self.data.contains(t)).count(),
+                removed: self.data.rows().filter(|t| !new.contains(t)).count(),
+            }
+        } else {
+            RefreshDelta {
+                added: new.len(),
+                removed: self.data.len(),
+            }
+        };
+        self.data = new;
+        Ok(delta)
+    }
+
+    /// Replace the definition (e.g. with a legal rewriting adopted by
+    /// the synchronizer) and refresh in one step.
+    pub fn evolve_to(
+        &mut self,
+        definition: ViewDefinition,
+        db: &Database,
+        funcs: &FuncRegistry,
+    ) -> Result<RefreshDelta, RelationalError> {
+        self.definition = definition;
+        self.refresh(db, funcs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_esql::parse_view;
+    use eve_relational::{
+        AttributeDef, DataType, RelName, Schema, Tuple, Value,
+    };
+
+    fn db(ages: &[(&str, i64)]) -> Database {
+        let mut db = Database::new();
+        let name = RelName::new("Customer");
+        let schema = Schema::of_relation(
+            &name,
+            &[
+                AttributeDef::new("Name", DataType::Str),
+                AttributeDef::new("Age", DataType::Int),
+            ],
+        );
+        let rel = Relation::from_rows(
+            schema,
+            ages.iter()
+                .map(|(n, a)| Tuple::new(vec![Value::str(*n), Value::Int(*a)])),
+        )
+        .unwrap();
+        db.put(name, rel);
+        db
+    }
+
+    fn adult_view() -> ViewDefinition {
+        parse_view("CREATE VIEW Adults AS SELECT C.Name, C.Age FROM Customer C WHERE C.Age >= 18")
+            .unwrap()
+    }
+
+    #[test]
+    fn materialize_and_refresh_delta() {
+        let funcs = FuncRegistry::new();
+        let state1 = db(&[("ann", 30), ("bob", 10)]);
+        let mut mv = MaterializedView::new(adult_view(), &state1, &funcs).unwrap();
+        assert_eq!(mv.data.len(), 1);
+
+        // bob turns 18, cat arrives, ann leaves.
+        let state2 = db(&[("bob", 18), ("cat", 44)]);
+        let delta = mv.refresh(&state2, &funcs).unwrap();
+        assert_eq!(delta, RefreshDelta { added: 2, removed: 1 });
+        assert_eq!(mv.data.len(), 2);
+
+        // No change → empty delta.
+        let delta = mv.refresh(&state2, &funcs).unwrap();
+        assert!(delta.is_empty());
+    }
+
+    #[test]
+    fn evolve_to_swaps_definition() {
+        let funcs = FuncRegistry::new();
+        let state = db(&[("ann", 30), ("bob", 10)]);
+        let mut mv = MaterializedView::new(adult_view(), &state, &funcs).unwrap();
+        let wider =
+            parse_view("CREATE VIEW Adults AS SELECT C.Name, C.Age FROM Customer C").unwrap();
+        let delta = mv.evolve_to(wider, &state, &funcs).unwrap();
+        assert_eq!(delta.added, 1); // bob now qualifies
+        assert_eq!(delta.removed, 0); // V' ⊇ V observable in the delta
+        assert_eq!(mv.data.len(), 2);
+    }
+
+    #[test]
+    fn schema_change_counts_full_replacement() {
+        let funcs = FuncRegistry::new();
+        let state = db(&[("ann", 30)]);
+        let mut mv = MaterializedView::new(adult_view(), &state, &funcs).unwrap();
+        let narrower =
+            parse_view("CREATE VIEW Adults AS SELECT C.Name FROM Customer C").unwrap();
+        let delta = mv.evolve_to(narrower, &state, &funcs).unwrap();
+        assert_eq!(delta.added, 1);
+        assert_eq!(delta.removed, 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RefreshDelta { added: 2, removed: 1 }.to_string(), "+2 / -1");
+    }
+}

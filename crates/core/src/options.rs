@@ -1,0 +1,85 @@
+//! Tuning knobs for the CVS search, including the ablation switches
+//! called out in `DESIGN.md`.
+
+/// How clause implication is tested when computing the R-mapping
+/// (Def. 2 III: each MKB join constraint must be implied by the view's
+/// join condition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImplicationMode {
+    /// Syntactic equality modulo operand orientation only.
+    Syntactic,
+    /// Syntactic equality plus interval subsumption over constant
+    /// comparisons (`Age > 21 ⇒ Age > 1`) — required to recognise JC2 of
+    /// the running example. The default.
+    #[default]
+    Interval,
+}
+
+/// Options controlling the CVS search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CvsOptions {
+    /// Maximum number of join-constraint hops allowed when attaching a
+    /// cover or a surviving `Min` relation to the candidate join tree.
+    /// `usize::MAX` (the default) is full CVS; `1` degrades the search to
+    /// the *one-step-away* SVS baseline of [4, 12].
+    pub max_path_edges: usize,
+    /// Maximum number of connection-tree variants considered per cover
+    /// combination (alternative parallel join constraints).
+    pub max_trees_per_combination: usize,
+    /// Maximum number of cover combinations explored (the cartesian
+    /// product over per-attribute cover choices is truncated, breadth
+    /// first, at this bound).
+    pub max_cover_combinations: usize,
+    /// Clause-implication strength for the R-mapping.
+    pub implication: ImplicationMode,
+    /// Run the Step 4 WHERE-consistency check and discard inconsistent
+    /// candidates.
+    pub check_consistency: bool,
+    /// Exclude relations whose IS does not advertise the *join*
+    /// capability from replacement search: a cover that cannot be joined
+    /// is unusable (§2's capability descriptions, enforced).
+    pub respect_capabilities: bool,
+}
+
+impl Default for CvsOptions {
+    fn default() -> Self {
+        CvsOptions {
+            max_path_edges: usize::MAX,
+            max_trees_per_combination: 4,
+            max_cover_combinations: 32,
+            implication: ImplicationMode::Interval,
+            check_consistency: true,
+            respect_capabilities: true,
+        }
+    }
+}
+
+impl CvsOptions {
+    /// The configuration reproducing the *simple* one-step-away view
+    /// synchronization (SVS) of the authors' prior work [4, 12]: covers
+    /// must attach by a single direct join constraint.
+    pub fn svs_baseline() -> Self {
+        CvsOptions {
+            max_path_edges: 1,
+            ..CvsOptions::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let o = CvsOptions::default();
+        assert_eq!(o.max_path_edges, usize::MAX);
+        assert_eq!(o.implication, ImplicationMode::Interval);
+        assert!(o.check_consistency);
+    }
+
+    #[test]
+    fn svs_baseline_is_one_step() {
+        assert_eq!(CvsOptions::svs_baseline().max_path_edges, 1);
+    }
+}

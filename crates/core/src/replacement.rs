@@ -1,0 +1,481 @@
+//! The **R-replacement** set (Def. 3 of the paper): candidate join
+//! expressions `Max(V_{j,R})` built from `H'_R(MKB')` that can stand in
+//! for the affected part `Max(V_R)` of the view.
+//!
+//! Each candidate must (Def. 3):
+//!
+//! * (I) be a selection over a join of `H'` relations along `H'` join
+//!   constraints;
+//! * (II) not contain `R`;
+//! * (III) contain every relation and join constraint of `Min(H_R)` that
+//!   survives dropping `R`;
+//! * (IV) contain a **cover** — a relation `S` with a function-of
+//!   constraint `F_{R.A, S.B}` *in the old MKB* — for every indispensable,
+//!   replaceable attribute `A` of `R` used by the view;
+//! * (V) carry `C'_Max/Min`, obtained from `C_Max/Min` by substituting
+//!   `R`'s attributes with their replacements, or dropping dispensable
+//!   clauses whose attributes could not be replaced.
+//!
+//! The full candidate set is exponential; following the minimality spirit
+//! of Def. 2 we enumerate minimal connection trees (per cover
+//! combination, with parallel-join-constraint variants), bounded by
+//! [`CvsOptions`]. Dispensable attributes are covered *opportunistically*
+//! when a cover exists — exactly what Example 10 does for `Customer.Age`
+//! (dispensable, yet replaced through `F3` because `Accident-Ins` happens
+//! to cover it).
+
+use crate::error::CvsError;
+use crate::mapping::RMapping;
+use crate::options::CvsOptions;
+use eve_esql::{CondItem, ViewDefinition};
+use eve_hypergraph::{ConnectionTree, Hypergraph};
+use eve_misd::{JoinConstraint, MetaKnowledgeBase};
+use eve_relational::{AttrRef, RelName, ScalarExpr};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A chosen cover for one attribute of the dropped relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverChoice {
+    /// The function-of constraint used (e.g. `F2`).
+    pub funcof_id: String,
+    /// The cover relation `S`.
+    pub source: RelName,
+    /// The replacement expression `f(S.B)`.
+    pub replacement: ScalarExpr,
+}
+
+/// One element of the R-replacement set: everything needed to rebuild the
+/// view around `Max(V_{j,R})`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Replacement {
+    /// Chosen covers: dropped attribute → cover. Attributes absent from
+    /// the map had no cover; components using them were dropped (they
+    /// were dispensable, or the candidate would have been rejected).
+    pub covers: BTreeMap<AttrRef, CoverChoice>,
+    /// The relations `R_1, …, R_k` of `Max(V_{j,R})`.
+    pub relations: BTreeSet<RelName>,
+    /// The join constraints of `Max(V_{j,R})` (surviving `Min` joins plus
+    /// the connection tree).
+    pub joins: Vec<JoinConstraint>,
+    /// `C'_Max/Min` (Def. 3 V), with substitutions applied.
+    pub c_max_min: Vec<CondItem>,
+    /// Conditions of `C_Max/Min` dropped because they referenced an
+    /// uncovered (dispensable) attribute of `R`.
+    pub dropped_conditions: Vec<CondItem>,
+}
+
+/// How an attribute of `R` is used across the view, aggregated over all
+/// components referencing it.
+#[derive(Debug, Clone, Copy, Default)]
+struct AttrUsage {
+    /// Some indispensable component references it.
+    required: bool,
+    /// Some indispensable component referencing it is non-replaceable.
+    frozen: bool,
+    /// Some *replaceable* component references it — only then is a cover
+    /// worth pulling in (non-replaceable components are never
+    /// substituted; Fig. 3 semantics).
+    replace_worthy: bool,
+}
+
+fn classify_attrs(view: &ViewDefinition, target: &RelName) -> BTreeMap<AttrRef, AttrUsage> {
+    let mut usage: BTreeMap<AttrRef, AttrUsage> = BTreeMap::new();
+    let mut note = |attr: AttrRef, dispensable: bool, replaceable: bool| {
+        let u = usage.entry(attr).or_default();
+        if replaceable {
+            u.replace_worthy = true;
+        }
+        if !dispensable {
+            u.required = true;
+            if !replaceable {
+                u.frozen = true;
+            }
+        }
+    };
+    for item in &view.select {
+        for attr in item.expr.attrs() {
+            if &attr.relation == target {
+                note(attr, item.params.dispensable, item.params.replaceable);
+            }
+        }
+    }
+    for cond in &view.conditions {
+        for attr in cond.clause.attrs() {
+            if &attr.relation == target {
+                note(attr, cond.params.dispensable, cond.params.replaceable);
+            }
+        }
+    }
+    usage
+}
+
+/// Compute the R-replacement set for `view` under `delete-relation R`
+/// (where `R = rm.target`).
+///
+/// * `mkb` is the **old** MKB — Def. 3 (IV) looks covers up there;
+/// * `h_prime` is the hypergraph of the **evolved** MKB' (equivalently,
+///   `H(MKB)` with the relation edge `R` erased — the two coincide by the
+///   evolution rules).
+pub fn compute_replacements(
+    view: &ViewDefinition,
+    rm: &RMapping,
+    mkb: &MetaKnowledgeBase,
+    h_prime: &Hypergraph,
+    opts: &CvsOptions,
+) -> Result<Vec<Replacement>, CvsError> {
+    let target = &rm.target;
+
+    // --- attribute classification & cover lookup (Def. 3 IV) -----------
+    let usage = classify_attrs(view, target);
+    // Frozen attributes make the view incurable (P4).
+    for (attr, u) in &usage {
+        if u.frozen {
+            return Err(CvsError::IndispensableNotReplaceable {
+                component: attr.to_string(),
+            });
+        }
+    }
+
+    // Per attribute: the list of viable covers (source relation alive in
+    // H' and distinct from R). Attributes used only by non-replaceable
+    // components never take a cover — those components can only be kept
+    // (impossible once R is gone) or dropped.
+    let mut cover_options: Vec<(AttrRef, Vec<CoverChoice>, bool)> = Vec::new();
+    for (attr, u) in &usage {
+        let covers: Vec<CoverChoice> = if u.replace_worthy {
+            mkb.covers_of(attr)
+                .filter_map(|f| {
+                    let source = f.source_relation()?;
+                    if &source == target || !h_prime.contains(&source) {
+                        return None;
+                    }
+                    Some(CoverChoice {
+                        funcof_id: f.id.clone(),
+                        source,
+                        replacement: f.expr.clone(),
+                    })
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if u.required && covers.is_empty() {
+            return Err(CvsError::NoCover(attr.clone()));
+        }
+        if !covers.is_empty() {
+            cover_options.push((attr.clone(), covers, u.required));
+        }
+    }
+
+    // --- enumerate cover combinations -----------------------------------
+    // For required attributes every option is a cover; for dispensable
+    // ones we also allow "no cover" (drop the components), tried last so
+    // opportunistic covering is preferred.
+    let mut combinations: Vec<BTreeMap<AttrRef, CoverChoice>> = vec![BTreeMap::new()];
+    for (attr, covers, required) in &cover_options {
+        let mut next = Vec::new();
+        for combo in &combinations {
+            for c in covers {
+                let mut combo = combo.clone();
+                combo.insert(attr.clone(), c.clone());
+                next.push(combo);
+                if next.len() >= opts.max_cover_combinations {
+                    break;
+                }
+            }
+            if !required && next.len() < opts.max_cover_combinations {
+                next.push(combo.clone()); // the "leave uncovered" branch
+            }
+            if next.len() >= opts.max_cover_combinations {
+                break;
+            }
+        }
+        combinations = next;
+    }
+
+    // --- build candidates per combination (Def. 3 I–III, V) -------------
+    let survivors = rm.surviving_relations();
+    let surviving_joins = rm.surviving_joins();
+    let mut out: Vec<Replacement> = Vec::new();
+    let mut any_disconnected = false;
+
+    for combo in combinations {
+        let mut terminals: BTreeSet<RelName> = survivors.clone();
+        terminals.extend(combo.values().map(|c| c.source.clone()));
+
+        let trees: Vec<ConnectionTree> = if terminals.is_empty() {
+            // Nothing to keep and nothing to cover: Max(V_R) disappears
+            // entirely (all its work was dispensable).
+            vec![ConnectionTree {
+                relations: BTreeSet::new(),
+                joins: Vec::new(),
+            }]
+        } else {
+            let trees = ConnectionTree::enumerate_with_limit(
+                h_prime,
+                &terminals,
+                opts.max_trees_per_combination,
+                opts.max_path_edges,
+            );
+            if trees.is_empty() {
+                any_disconnected = true;
+                continue;
+            }
+            trees
+        };
+
+        for tree in trees {
+            // Def. 3 (III): include the surviving Min(H_R) joins.
+            let mut joins = surviving_joins.clone();
+            for jc in &tree.joins {
+                if !joins.iter().any(|j| j.id == jc.id) {
+                    joins.push(jc.clone());
+                }
+            }
+            let mut relations = tree.relations.clone();
+            relations.extend(survivors.iter().cloned());
+
+            // Def. 3 (V): rewrite C_Max/Min.
+            let mut c_max_min = Vec::new();
+            let mut dropped_conditions = Vec::new();
+            let mut viable = true;
+            for cond in &rm.c_max_min {
+                let mut clause = cond.clause.clone();
+                // Non-replaceable conditions are never substituted
+                // (Fig. 3: `CR = false` means "left unchanged").
+                if cond.params.replaceable {
+                    for (attr, cover) in &combo {
+                        clause = clause.substitute(attr, &cover.replacement);
+                    }
+                }
+                if clause.relations().contains(target) {
+                    if cond.params.dispensable {
+                        dropped_conditions.push(cond.clone());
+                        continue;
+                    }
+                    // A required condition survived uncovered: this
+                    // combination cannot produce a legal rewriting.
+                    viable = false;
+                    break;
+                }
+                c_max_min.push(CondItem {
+                    clause,
+                    params: cond.params,
+                });
+            }
+            if !viable {
+                continue;
+            }
+
+            let candidate = Replacement {
+                covers: combo.clone(),
+                relations,
+                joins,
+                c_max_min,
+                dropped_conditions,
+            };
+            if !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        }
+    }
+
+    if out.is_empty() {
+        return Err(if any_disconnected {
+            CvsError::Disconnected
+        } else {
+            CvsError::NoLegalRewriting
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::compute_r_mapping;
+    use eve_esql::parse_view;
+    use eve_misd::{evolve, CapabilityChange};
+
+    use crate::testutil::travel_mkb;
+
+    fn eq5_view() -> ViewDefinition {
+        parse_view(
+            "CREATE VIEW Customer-Passengers-Asia AS
+             SELECT C.Name (false, true), C.Age (true, true),
+                    P.Participant (true, true), P.TourID (true, true)
+             FROM Customer C (true, true), FlightRes F (true, true), Participant P (true, true)
+             WHERE (C.Name = F.PName) (false, true) AND (F.Dest = 'Asia')
+               AND (P.StartDate = F.Date) AND (P.Loc = 'Asia')",
+        )
+        .unwrap()
+    }
+
+    fn setup() -> (MetaKnowledgeBase, Hypergraph, RMapping, ViewDefinition) {
+        let mkb = travel_mkb();
+        let customer = RelName::new("Customer");
+        let h = Hypergraph::build(&mkb);
+        let h_r = h.component_of(&customer).unwrap();
+        let view = eq5_view();
+        let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
+        let mkb2 = evolve(&mkb, &CapabilityChange::DeleteRelation(customer)).unwrap();
+        let h_prime = Hypergraph::build(&mkb2);
+        (mkb, h_prime, rm, view)
+    }
+
+    #[test]
+    fn example_9_covers_found() {
+        // Paper Ex. 9 Step 1: Cover(Customer.Name) =
+        // {Accident-Ins (F2), Participant (F4), FlightRes (F1)}.
+        let (mkb, h_prime, rm, view) = setup();
+        let _ = &rm;
+        let usage_attr = AttrRef::new("Customer", "Name");
+        let covers: BTreeSet<RelName> = mkb
+            .covers_of(&usage_attr)
+            .filter_map(|f| f.source_relation())
+            .collect();
+        assert_eq!(
+            covers,
+            ["Accident-Ins", "Participant", "FlightRes"]
+                .into_iter()
+                .map(RelName::new)
+                .collect()
+        );
+        let _ = (h_prime, view);
+    }
+
+    #[test]
+    fn example_9_replacements() {
+        // The candidates must include FlightRes ⋈ Accident-Ins (cover F2)
+        // and the trivial FlightRes cover (F1). All candidates contain
+        // FlightRes (= Min(H'_Customer), Def. 3 III) and never Customer.
+        let (mkb, h_prime, rm, view) = setup();
+        let reps =
+            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap();
+        assert!(!reps.is_empty());
+        let customer = RelName::new("Customer");
+        for r in &reps {
+            assert!(!r.relations.contains(&customer), "Def. 3 (II) violated");
+            assert!(
+                r.relations.contains(&RelName::new("FlightRes")),
+                "Def. 3 (III) violated"
+            );
+            // C'_Max/Min must be Customer-free.
+            for c in &r.c_max_min {
+                assert!(!c.clause.relations().contains(&customer));
+            }
+        }
+        // The Accident-Ins solution of Ex. 10 (using JC6).
+        let via_ins = reps.iter().find(|r| {
+            r.covers
+                .get(&AttrRef::new("Customer", "Name"))
+                .map(|c| c.funcof_id == "F2")
+                .unwrap_or(false)
+        });
+        let via_ins = via_ins.expect("Accident-Ins candidate of Ex. 10 missing");
+        assert!(via_ins.joins.iter().any(|j| j.id == "JC6"));
+        // Opportunistic Age cover (F3) — Ex. 10's refinement Eq. (13).
+        assert_eq!(
+            via_ins
+                .covers
+                .get(&AttrRef::new("Customer", "Age"))
+                .map(|c| c.funcof_id.as_str()),
+            Some("F3")
+        );
+
+        // The FlightRes solution (cover F1): with Age left uncovered it
+        // needs no relation beyond FlightRes itself.
+        let via_flight = reps.iter().find(|r| {
+            r.covers
+                .get(&AttrRef::new("Customer", "Name"))
+                .map(|c| c.funcof_id == "F1")
+                .unwrap_or(false)
+                && !r.covers.contains_key(&AttrRef::new("Customer", "Age"))
+        });
+        let via_flight = via_flight.expect("FlightRes candidate missing");
+        assert_eq!(via_flight.relations.len(), 1);
+    }
+
+    #[test]
+    fn example_9_participant_cover_unusable_without_path() {
+        // Paper Ex. 9 (2): "the cover (Participant, …) cannot be used as
+        // replacement as there is no connected path in H'(MKB') that
+        // contains both the cover and the relation FlightRes" — once
+        // Customer is erased, every Participant—FlightRes path is gone
+        // (Fig. 4, right).
+        let mkb = travel_mkb();
+        let customer = RelName::new("Customer");
+        let view = eq5_view();
+        let h = Hypergraph::build(&mkb);
+        let h_r = h.component_of(&customer).unwrap();
+        let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
+        let mkb2 = evolve(&mkb, &CapabilityChange::DeleteRelation(customer)).unwrap();
+        let h_prime = Hypergraph::build(&mkb2);
+        let reps =
+            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap();
+        // No candidate may use the Participant cover: in H'(MKB'),
+        // Participant and FlightRes are disconnected (Fig. 4 right).
+        for r in &reps {
+            if let Some(c) = r.covers.get(&AttrRef::new("Customer", "Name")) {
+                assert_ne!(c.funcof_id, "F4", "disconnected cover used: {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_attribute_fails() {
+        let (mkb, h_prime, _, _) = setup();
+        let view = parse_view(
+            "CREATE VIEW V AS SELECT C.Name (AD = false, AR = false), F.Dest
+             FROM Customer C, FlightRes F WHERE C.Name = F.PName",
+        )
+        .unwrap();
+        let customer = RelName::new("Customer");
+        let h = Hypergraph::build(&mkb);
+        let h_r = h.component_of(&customer).unwrap();
+        let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
+        let err =
+            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap_err();
+        assert!(matches!(err, CvsError::IndispensableNotReplaceable { .. }));
+    }
+
+    #[test]
+    fn no_cover_fails() {
+        // Customer.Phone has no function-of constraint: an indispensable
+        // Phone cannot be replaced.
+        let (mkb, h_prime, _, _) = setup();
+        let view = parse_view(
+            "CREATE VIEW V AS SELECT C.Phone (AD = false, AR = true), F.Dest
+             FROM Customer C, FlightRes F WHERE C.Name = F.PName",
+        )
+        .unwrap();
+        let customer = RelName::new("Customer");
+        let h = Hypergraph::build(&mkb);
+        let h_r = h.component_of(&customer).unwrap();
+        let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
+        let err =
+            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap_err();
+        assert_eq!(err, CvsError::NoCover(AttrRef::new("Customer", "Phone")));
+    }
+
+    #[test]
+    fn one_step_limit_prunes_long_chains() {
+        // With max_path_edges = 1 (the SVS baseline) the Accident-Ins
+        // candidate remains reachable (JC6 is a direct edge from
+        // FlightRes), so it should still be found; candidates needing
+        // longer chains would be pruned (exercised further in the
+        // workload/experiment tests).
+        let (mkb, h_prime, rm, view) = setup();
+        let reps = compute_replacements(
+            &view,
+            &rm,
+            &mkb,
+            &h_prime,
+            &CvsOptions::svs_baseline(),
+        )
+        .unwrap();
+        assert!(reps
+            .iter()
+            .any(|r| r.relations.contains(&RelName::new("Accident-Ins"))));
+    }
+}

@@ -1,0 +1,437 @@
+//! CVS Steps 4–5: assembling a synchronized view definition `V'` from an
+//! R-replacement candidate, and the top-level
+//! [`cvs_delete_relation`] driver implementing the whole
+//! `CVS(V, ch = delete-relation R, MKB, MKB')` algorithm of §5.
+//!
+//! Step 4: "A synchronized view definition V' is found by replacing
+//! `Max(V_R)` with `Max(V_{j,R})` in Eq. (10); and then by substituting
+//! the attributes of R in V with the corresponding replacements found in
+//! `Max(V_{j,R})`. Because some more conditions are added in the WHERE
+//! clause […] we have to check if there are no inconsistencies in the
+//! WHERE clause."
+//!
+//! Step 5 (evolution parameters for new components — the rule of tech
+//! report \[8\], reconstructed in DESIGN.md): a replaced component inherits
+//! the dispensability of the component it replaces and becomes
+//! replaceable; relations and join conditions added to connect covers are
+//! `(dispensable = false, replaceable = true)`.
+
+use crate::error::CvsError;
+use crate::extent::{infer_extent, satisfies_extent_param};
+use crate::legal::LegalRewriting;
+use crate::mapping::{compute_r_mapping, RMapping};
+use crate::options::CvsOptions;
+use crate::replacement::{compute_replacements, Replacement};
+use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
+use eve_hypergraph::Hypergraph;
+use eve_misd::MetaKnowledgeBase;
+use eve_relational::{AttrName, Clause, RelName};
+use std::collections::BTreeSet;
+
+/// The result of assembling one candidate: the new view plus the
+/// bookkeeping needed for P4 verification and extent inference.
+#[derive(Debug, Clone)]
+pub(crate) struct Assembled {
+    pub view: ViewDefinition,
+    pub kept_select: Vec<usize>,
+    pub dropped_conditions: Vec<CondItem>,
+}
+
+/// Assemble `V'` for one replacement candidate (Steps 4–5).
+pub(crate) fn assemble(
+    view: &ViewDefinition,
+    rm: &RMapping,
+    rep: &Replacement,
+    opts: &CvsOptions,
+) -> Result<Assembled, CvsError> {
+    let target = &rm.target;
+
+    // ---- SELECT ---------------------------------------------------------
+    let mut select = Vec::new();
+    let mut kept_select = Vec::new();
+    for (i, item) in view.select.iter().enumerate() {
+        let mut expr = item.expr.clone();
+        if item.params.replaceable {
+            for (attr, cover) in &rep.covers {
+                expr = expr.substitute(attr, &cover.replacement);
+            }
+        }
+        if expr.relations().contains(target) {
+            if item.params.dispensable {
+                continue; // dropped
+            }
+            return Err(CvsError::IndispensableNotReplaceable {
+                component: item.expr.to_string(),
+            });
+        }
+        let changed = expr != item.expr;
+        // Preserve the interface name of a replaced bare attribute so
+        // that P3's common-interface comparison keeps the column.
+        let alias = item
+            .alias
+            .clone()
+            .or_else(|| if changed { item.output_name() } else { None });
+        let params = if changed {
+            EvolutionParams::new(item.params.dispensable, true)
+        } else {
+            item.params
+        };
+        kept_select.push(i);
+        select.push(SelectItem {
+            expr,
+            alias,
+            params,
+        });
+    }
+    if select.is_empty() {
+        return Err(CvsError::NoLegalRewriting);
+    }
+
+    // Interface list: keep the names of surviving items.
+    let interface = view.interface.as_ref().map(|names| {
+        kept_select
+            .iter()
+            .filter_map(|&i| names.get(i).cloned())
+            .collect::<Vec<AttrName>>()
+    });
+
+    // ---- FROM -----------------------------------------------------------
+    let mut from: Vec<FromItem> = view
+        .from
+        .iter()
+        .filter(|f| &f.relation != target)
+        .cloned()
+        .collect();
+    let existing: BTreeSet<RelName> = from.iter().map(|f| f.relation.clone()).collect();
+    for rel in &rep.relations {
+        if !existing.contains(rel) {
+            from.push(FromItem {
+                relation: rel.clone(),
+                alias: None,
+                params: EvolutionParams::new(false, true),
+            });
+        }
+    }
+
+    // ---- WHERE ----------------------------------------------------------
+    let mut conditions: Vec<CondItem> = Vec::new();
+    let mut dropped_conditions: Vec<CondItem> = rep.dropped_conditions.clone();
+
+    // C'_Max/Min (already substituted by the replacement computation).
+    conditions.extend(rep.c_max_min.iter().cloned());
+
+    // C_Rest, substituted under the same replaceability rules.
+    for cond in &rm.c_rest {
+        let mut clause = cond.clause.clone();
+        if cond.params.replaceable {
+            for (attr, cover) in &rep.covers {
+                clause = clause.substitute(attr, &cover.replacement);
+            }
+        }
+        if clause.relations().contains(target) {
+            if cond.params.dispensable {
+                dropped_conditions.push(cond.clone());
+                continue;
+            }
+            return Err(CvsError::IndispensableNotReplaceable {
+                component: cond.clause.to_string(),
+            });
+        }
+        let changed = clause != cond.clause;
+        let params = if changed {
+            EvolutionParams::new(cond.params.dispensable, true)
+        } else {
+            cond.params
+        };
+        conditions.push(CondItem { clause, params });
+    }
+
+    // Join conditions of Max(V_{j,R}) (Step 5 parameters: required,
+    // replaceable), deduplicated against what is already present.
+    let mut seen: BTreeSet<Clause> = conditions
+        .iter()
+        .map(|c| c.clause.normalized())
+        .collect();
+    for jc in &rep.joins {
+        for clause in jc.predicate.clauses() {
+            if seen.insert(clause.normalized()) {
+                conditions.push(CondItem {
+                    clause: clause.clone(),
+                    params: EvolutionParams::new(false, true),
+                });
+            }
+        }
+    }
+
+    let assembled = ViewDefinition {
+        name: view.name.clone(),
+        interface,
+        extent: view.extent,
+        select,
+        from,
+        conditions,
+    };
+
+    // Step 4 consistency check.
+    if opts.check_consistency && !assembled.where_conjunction().is_consistent() {
+        return Err(CvsError::Inconsistent);
+    }
+
+    Ok(Assembled {
+        view: assembled,
+        kept_select,
+        dropped_conditions,
+    })
+}
+
+/// The CVS algorithm for `ch = delete-relation R` (§5):
+///
+/// 1. construct `H_R(MKB)`;
+/// 2. compute the R-mapping (Def. 2);
+/// 3. compute the R-replacement set over `H'_R(MKB')` (Def. 3);
+/// 4. assemble a synchronized definition per candidate, checking WHERE
+///    consistency;
+/// 5. set evolution parameters for the new components;
+/// 6. evaluate the extent parameter against the PC constraints.
+///
+/// Returns every assembled rewriting, ordered best-first: P3-certified
+/// rewritings before unverified ones, smaller ones before larger ones.
+/// Errors only when *no* candidate could be assembled.
+pub fn cvs_delete_relation(
+    view: &ViewDefinition,
+    target: &RelName,
+    mkb: &MetaKnowledgeBase,
+    mkb_prime: &MetaKnowledgeBase,
+    opts: &CvsOptions,
+) -> Result<Vec<LegalRewriting>, CvsError> {
+    if !view.uses_relation(target) {
+        return Err(CvsError::ViewNotAffected(target.clone()));
+    }
+    if !mkb.contains_relation(target) {
+        return Err(CvsError::UnknownRelation(target.clone()));
+    }
+
+    // Step 1: H_R(MKB).
+    let h = Hypergraph::build(mkb);
+    let h_r = h
+        .component_of(target)
+        .expect("target is described, hence a vertex of H(MKB)");
+
+    // Step 2: R-mapping.
+    let rm = compute_r_mapping(view, target, &h_r, opts);
+
+    // Step 3: R-replacement over H'(MKB'), restricted to joinable
+    // relations when capabilities are respected.
+    let mut h_prime = Hypergraph::build(mkb_prime);
+    if opts.respect_capabilities {
+        for desc in mkb_prime.relations() {
+            if !desc.capabilities.join && h_prime.contains(&desc.name) {
+                h_prime = h_prime.without_relation(&desc.name);
+            }
+        }
+    }
+    let reps = compute_replacements(view, &rm, mkb, &h_prime, opts)?;
+
+    // Steps 4–6 per candidate.
+    let mut out: Vec<LegalRewriting> = Vec::new();
+    let mut last_err = CvsError::NoLegalRewriting;
+    for rep in reps {
+        match assemble(view, &rm, &rep, opts) {
+            Ok(asm) => {
+                let verdict = infer_extent(&rm, &rep, asm.dropped_conditions.len(), mkb);
+                let satisfies_p3 = satisfies_extent_param(view.extent, verdict);
+                out.push(LegalRewriting {
+                    view: asm.view,
+                    replacement: rep,
+                    verdict,
+                    satisfies_p3,
+                    kept_select: asm.kept_select,
+                    dropped_conditions: asm.dropped_conditions,
+                });
+            }
+            Err(e) => last_err = e,
+        }
+    }
+    if out.is_empty() {
+        return Err(last_err);
+    }
+    out.sort_by_key(|r| {
+        (
+            !r.satisfies_p3,
+            r.replacement.relations.len(),
+            r.replacement.joins.len(),
+            r.view.to_string(),
+        )
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extent::ExtentVerdict;
+    use crate::testutil::travel_mkb;
+    use eve_esql::{parse_view, validate_view};
+    use eve_misd::{evolve, CapabilityChange};
+    use eve_relational::AttrRef;
+
+    fn eq5_view() -> ViewDefinition {
+        parse_view(
+            "CREATE VIEW Customer-Passengers-Asia AS
+             SELECT C.Name (false, true), C.Age (true, true),
+                    P.Participant (true, true), P.TourID (true, true)
+             FROM Customer C (true, true), FlightRes F (true, true), Participant P (true, true)
+             WHERE (C.Name = F.PName) (false, true) AND (F.Dest = 'Asia')
+               AND (P.StartDate = F.Date) AND (P.Loc = 'Asia')",
+        )
+        .unwrap()
+    }
+
+    fn run_eq5() -> (ViewDefinition, Vec<LegalRewriting>, CapabilityChange, MetaKnowledgeBase) {
+        let mkb = travel_mkb();
+        let view = eq5_view();
+        let customer = RelName::new("Customer");
+        let change = CapabilityChange::DeleteRelation(customer.clone());
+        let mkb2 = evolve(&mkb, &change).unwrap();
+        let rewritings =
+            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+        (view, rewritings, change, mkb2)
+    }
+
+    #[test]
+    fn example_10_rewriting_via_accident_ins() {
+        // The paper's Eq. (13): Customer replaced by Accident-Ins; Name →
+        // A.Holder, Age → f(A.Birthday); join F.PName = A.Holder (JC6).
+        let (view, rewritings, change, mkb2) = run_eq5();
+        let via_ins = rewritings
+            .iter()
+            .find(|r| {
+                r.replacement
+                    .covers
+                    .get(&AttrRef::new("Customer", "Name"))
+                    .map(|c| c.funcof_id == "F2")
+                    .unwrap_or(false)
+                    && r.replacement.covers.len() == 2
+            })
+            .expect("Eq. (13) rewriting missing");
+        let text = via_ins.view.to_string();
+        assert!(text.contains("Accident-Ins.Holder"), "{text}");
+        assert!(text.contains("Accident-Ins.Birthday"), "{text}");
+        assert!(!text.contains("Customer."), "{text}");
+        assert!(
+            text.contains("FlightRes.PName = Accident-Ins.Holder")
+                || text.contains("Accident-Ins.Holder = FlightRes.PName"),
+            "JC6 join condition missing: {text}"
+        );
+        // The Rest conditions survive untouched.
+        assert!(text.contains("Participant.StartDate = FlightRes.Date"), "{text}");
+        assert!(text.contains("Participant.Loc = 'Asia'"), "{text}");
+
+        // Legality: P1, P2, P4 all hold.
+        assert!(via_ins.check_p1(&change));
+        assert!(via_ins.check_p2(&mkb2));
+        assert!(via_ins.check_p4(&view));
+        // The rewriting is structurally valid (relations known, WHERE
+        // consistent).
+        let errs: Vec<_> = validate_view(&via_ins.view)
+            .into_iter()
+            // evolved views may use join attributes that are not
+            // preserved (Eq. (4) does exactly this) — ignore that class
+            .filter(|e| !matches!(e, eve_esql::ValidationError::DistinguishedNotPreserved(_)))
+            .collect();
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn interface_names_preserved_for_replaced_attrs() {
+        // C.Name is replaced by A.Holder but must still export as "Name"
+        // so that P3's common-interface comparison sees the column.
+        let (_, rewritings, _, _) = run_eq5();
+        for r in &rewritings {
+            let names = r.view.interface_names();
+            assert!(
+                names.iter().any(|n| n.as_str() == "Name"),
+                "interface lost Name: {names:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dispensable_uncovered_attr_dropped() {
+        // Remove F3 from the MKB: Age has no cover, but it is dispensable
+        // — rewritings must simply drop it.
+        let mkb = travel_mkb();
+        let customer = RelName::new("Customer");
+        let change = CapabilityChange::DeleteRelation(customer.clone());
+        let mkb2 = evolve(&mkb, &change).unwrap();
+        let view = eq5_view();
+        let rewritings =
+            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+        let no_age = rewritings
+            .iter()
+            .find(|r| !r.replacement.covers.contains_key(&AttrRef::new("Customer", "Age")))
+            .expect("some candidate leaves Age uncovered");
+        // Age dropped from SELECT (it has no cover in this candidate).
+        assert_eq!(no_age.view.select.len(), 3);
+        assert!(no_age.check_p4(&view));
+    }
+
+    #[test]
+    fn nonreplaceable_dispensable_item_is_dropped_not_substituted() {
+        // Eq. (1) semantics: Phone (AD = true, AR = false) must be
+        // dropped, never replaced — even if a cover existed.
+        let mkb = travel_mkb();
+        let customer = RelName::new("Customer");
+        let change = CapabilityChange::DeleteRelation(customer.clone());
+        let mkb2 = evolve(&mkb, &change).unwrap();
+        let view = parse_view(
+            "CREATE VIEW Asia-Customer (VE = superset) AS
+             SELECT C.Name (AR = true), C.Phone (AD = true, AR = false)
+             FROM Customer C (RR = true), FlightRes F
+             WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD = true)",
+        )
+        .unwrap();
+        let rewritings =
+            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+        for r in &rewritings {
+            assert!(
+                !r.view.to_string().contains("Phone")
+                    || r.view.interface_names().iter().all(|n| n.as_str() != "Phone"),
+            );
+            assert!(r.check_p4(&view), "{:#?}", r.view);
+        }
+    }
+
+    #[test]
+    fn results_ordered_p3_first() {
+        let (_, rewritings, _, _) = run_eq5();
+        let first_unsat = rewritings.iter().position(|r| !r.satisfies_p3);
+        let last_sat = rewritings.iter().rposition(|r| r.satisfies_p3);
+        if let (Some(u), Some(s)) = (first_unsat, last_sat) {
+            assert!(s < u, "satisfied-P3 rewritings must sort first");
+        }
+    }
+
+    #[test]
+    fn unaffected_view_errors() {
+        let mkb = travel_mkb();
+        let customer = RelName::new("Customer");
+        let mkb2 = evolve(&mkb, &CapabilityChange::DeleteRelation(customer.clone())).unwrap();
+        let view = parse_view("CREATE VIEW V AS SELECT T.TourName FROM Tour T").unwrap();
+        assert!(matches!(
+            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()),
+            Err(CvsError::ViewNotAffected(_))
+        ));
+    }
+
+    #[test]
+    fn verdicts_populated() {
+        let (_, rewritings, _, _) = run_eq5();
+        // Without PC constraints in the MKB the cover swaps cannot be
+        // certified — all verdicts are Unknown (or Superset for pure
+        // drops); none may claim equivalence.
+        for r in &rewritings {
+            assert_ne!(r.verdict, ExtentVerdict::Equivalent);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! A thread-safe synchronizer handle for service deployments.
+//!
+//! The paper's setting is a *large-scale* information system: many
+//! clients read view definitions (and route queries through them) while
+//! capability changes arrive asynchronously from autonomous ISs.
+//! [`SharedSynchronizer`] wraps the single-writer [`Synchronizer`] in a
+//! reader/writer lock so that
+//!
+//! * any number of threads can resolve view definitions concurrently,
+//! * one change at a time is applied atomically — readers never observe
+//!   a half-synchronized state (the MKB and every view definition switch
+//!   together).
+//!
+//! `parking_lot::RwLock` is used for its compactness and lack of lock
+//! poisoning (a panicking reader must not wedge the warehouse; see
+//! DESIGN.md, external crates).
+
+use crate::synchronizer::{ChangeOutcome, Synchronizer};
+use eve_esql::ViewDefinition;
+use eve_misd::{CapabilityChange, MetaKnowledgeBase, MisdError};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A cloneable, thread-safe handle to a synchronizer.
+#[derive(Clone)]
+pub struct SharedSynchronizer {
+    inner: Arc<RwLock<Synchronizer>>,
+}
+
+impl SharedSynchronizer {
+    /// Wrap a synchronizer.
+    pub fn new(sync: Synchronizer) -> Self {
+        SharedSynchronizer {
+            inner: Arc::new(RwLock::new(sync)),
+        }
+    }
+
+    /// Snapshot one view definition (None when unknown or disabled).
+    pub fn view(&self, name: &str) -> Option<ViewDefinition> {
+        self.inner.read().view(name).cloned()
+    }
+
+    /// Snapshot all active view definitions.
+    pub fn views(&self) -> Vec<ViewDefinition> {
+        self.inner.read().views().cloned().collect()
+    }
+
+    /// Snapshot the current MKB.
+    pub fn mkb(&self) -> MetaKnowledgeBase {
+        self.inner.read().mkb().clone()
+    }
+
+    /// Apply a capability change atomically.
+    pub fn apply(&self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
+        self.inner.write().apply(change)
+    }
+
+    /// Dry-run a change without mutating shared state (takes only a read
+    /// lock — previews can run concurrently with other readers).
+    pub fn preview(&self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
+        self.inner.read().preview(change)
+    }
+
+    /// Run a closure against a read-locked synchronizer (for compound
+    /// reads that must see one consistent state).
+    pub fn read<T>(&self, f: impl FnOnce(&Synchronizer) -> T) -> T {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synchronizer::SynchronizerBuilder;
+    use crate::testutil::travel_mkb;
+    use eve_esql::parse_view;
+    use eve_relational::RelName;
+    use std::thread;
+
+    fn shared() -> SharedSynchronizer {
+        let sync = SynchronizerBuilder::new(travel_mkb())
+            .with_view(
+                parse_view(
+                    "CREATE VIEW CPA AS
+                     SELECT C.Name (false, true), F.PName (true, true), F.Dest (true, true)
+                     FROM Customer C (true, true), FlightRes F (true, true)
+                     WHERE (C.Name = F.PName) (false, true)",
+                )
+                .unwrap(),
+            )
+            .unwrap()
+            .build();
+        SharedSynchronizer::new(sync)
+    }
+
+    #[test]
+    fn concurrent_readers_during_writes_see_consistent_states() {
+        let s = shared();
+        let mut handles = Vec::new();
+        // Readers: the view must always be either the original (uses
+        // Customer, MKB has Customer) or the rewriting (no Customer, MKB
+        // without Customer) — never a mix.
+        for _ in 0..4 {
+            let s = s.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..200 {
+                    let consistent = s.read(|sync| {
+                        let has_customer = sync.mkb().contains_relation(&RelName::new("Customer"));
+                        match sync.view("CPA") {
+                            Some(v) => v.uses_relation(&RelName::new("Customer")) == has_customer,
+                            None => true,
+                        }
+                    });
+                    assert!(consistent, "reader observed a half-applied change");
+                }
+            }));
+        }
+        // Writer: apply the change midway.
+        let writer = {
+            let s = s.clone();
+            thread::spawn(move || {
+                s.apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+                    .expect("applies")
+            })
+        };
+        for h in handles {
+            h.join().expect("reader");
+        }
+        let outcome = writer.join().expect("writer");
+        assert_eq!(outcome.rewritten(), 1);
+        // Final state visible through the handle.
+        assert!(!s.mkb().contains_relation(&RelName::new("Customer")));
+        assert!(!s
+            .view("CPA")
+            .expect("alive")
+            .uses_relation(&RelName::new("Customer")));
+    }
+
+    #[test]
+    fn preview_concurrent_with_reads() {
+        let s = shared();
+        let p = {
+            let s = s.clone();
+            thread::spawn(move || {
+                s.preview(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+                    .expect("previews")
+            })
+        };
+        let views = s.views();
+        assert_eq!(views.len(), 1);
+        let outcome = p.join().expect("preview thread");
+        assert_eq!(outcome.rewritten(), 1);
+        // Preview did not mutate.
+        assert!(s.mkb().contains_relation(&RelName::new("Customer")));
+    }
+}

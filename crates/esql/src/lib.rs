@@ -1,0 +1,52 @@
+//! # eve-esql
+//!
+//! The **E-SQL** language of the EVE framework (§3 of the CVS paper):
+//! SELECT-FROM-WHERE SQL extended with *view evolution preferences*.
+//!
+//! Every component of a view definition carries two evolution parameters
+//! (Fig. 3 of the paper):
+//!
+//! * **dispensable** (`AD`/`CD`/`RD`): may the component be *dropped* from
+//!   an evolved view definition?
+//! * **replaceable** (`AR`/`CR`/`RR`): may the component be *replaced*
+//!   during view evolution?
+//!
+//! and the view as a whole carries a **view-extent parameter**
+//! `VE ∈ {≡, ⊇, ⊆, ≈}` constraining how the evolved extent may relate to
+//! the original one.
+//!
+//! This crate provides a hand-written lexer and recursive-descent parser
+//! for E-SQL (the annotation syntax is not standard SQL, so no existing
+//! SQL parser applies), the AST, a canonical pretty-printer whose output
+//! re-parses to the same AST, and a validator enforcing the paper's §4
+//! well-formedness assumptions.
+//!
+//! ## Syntax accepted
+//!
+//! ```text
+//! CREATE VIEW Asia-Customer (AName, AAddr, APh) (VE = superset) AS
+//! SELECT C.Name (AD = false, AR = true), C.Addr, C.Phone (true, false)
+//! FROM   Customer C (RR = true), FlightRes F
+//! WHERE  (C.Name = F.PName) (false, true) AND (F.Dest = 'Asia') (CD = true)
+//! ```
+//!
+//! Annotations may be keyed (`AD = true`) or positional
+//! (`(dispensable, replaceable)`), exactly as the paper alternates between
+//! the two forms (Eq. (1) vs Eq. (5)). Identifiers may contain internal
+//! hyphens (`Accident-Ins`, `Asia-Customer`); consequently binary minus in
+//! arithmetic must be surrounded by whitespace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod display;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod validate;
+
+pub use ast::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition, ViewExtent};
+pub use error::ParseError;
+pub use parser::{parse_view, parse_views};
+pub use validate::{validate_view, ValidationError};

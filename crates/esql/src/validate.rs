@@ -1,0 +1,222 @@
+//! Structural validation of view definitions.
+//!
+//! §4 of the paper makes two standing assumptions about E-SQL views, which
+//! CVS relies on:
+//!
+//! 1. all **distinguished** attributes (attributes used in an
+//!    *indispensable* WHERE condition) are among the **preserved**
+//!    attributes (the SELECT clause);
+//! 2. a relation appears **at most once** in the FROM clause.
+//!
+//! [`validate_view`] enforces these plus basic well-formedness: every
+//! referenced relation is in the FROM clause, the explicit interface (if
+//! any) matches the SELECT arity without duplicate names, and the WHERE
+//! clause is not trivially inconsistent.
+
+use crate::ast::ViewDefinition;
+use eve_relational::{AttrRef, RelName};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A violation of view well-formedness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The same relation occurs twice in FROM (violates §4 assumption 2).
+    DuplicateRelation(RelName),
+    /// A referenced relation does not occur in FROM.
+    UnknownRelation(RelName),
+    /// A distinguished attribute is not preserved (violates §4
+    /// assumption 1).
+    DistinguishedNotPreserved(AttrRef),
+    /// Explicit interface arity differs from the SELECT arity.
+    InterfaceArity {
+        /// Number of interface names given.
+        interface: usize,
+        /// Number of SELECT items.
+        select: usize,
+    },
+    /// Two interface columns share a name.
+    DuplicateInterfaceName(String),
+    /// The WHERE clause is detectably inconsistent (always-empty view).
+    InconsistentWhere,
+    /// The SELECT clause is empty.
+    EmptySelect,
+    /// The FROM clause is empty.
+    EmptyFrom,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::DuplicateRelation(r) => {
+                write!(f, "relation {r} appears more than once in FROM")
+            }
+            ValidationError::UnknownRelation(r) => {
+                write!(f, "relation {r} referenced but not in FROM")
+            }
+            ValidationError::DistinguishedNotPreserved(a) => write!(
+                f,
+                "attribute {a} is used in an indispensable condition but not preserved in SELECT"
+            ),
+            ValidationError::InterfaceArity { interface, select } => write!(
+                f,
+                "interface has {interface} names but SELECT has {select} items"
+            ),
+            ValidationError::DuplicateInterfaceName(n) => {
+                write!(f, "duplicate interface column name {n}")
+            }
+            ValidationError::InconsistentWhere => {
+                write!(f, "WHERE clause is inconsistent (view extent always empty)")
+            }
+            ValidationError::EmptySelect => write!(f, "SELECT clause is empty"),
+            ValidationError::EmptyFrom => write!(f, "FROM clause is empty"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a view definition, returning *all* violations found.
+pub fn validate_view(view: &ViewDefinition) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    if view.select.is_empty() {
+        errors.push(ValidationError::EmptySelect);
+    }
+    if view.from.is_empty() {
+        errors.push(ValidationError::EmptyFrom);
+    }
+
+    // §4 assumption 2: relation at most once in FROM.
+    let mut seen = BTreeSet::new();
+    for f in &view.from {
+        if !seen.insert(f.relation.clone()) {
+            errors.push(ValidationError::DuplicateRelation(f.relation.clone()));
+        }
+    }
+
+    // Every referenced relation must be in FROM.
+    for attr in view.referenced_attrs() {
+        if !seen.contains(&attr.relation) {
+            let e = ValidationError::UnknownRelation(attr.relation.clone());
+            if !errors.contains(&e) {
+                errors.push(e);
+            }
+        }
+    }
+
+    // §4 assumption 1: distinguished ⊆ preserved.
+    let preserved = view.preserved_attrs();
+    for attr in view.distinguished_attrs() {
+        if !preserved.contains(&attr) {
+            errors.push(ValidationError::DistinguishedNotPreserved(attr));
+        }
+    }
+
+    // Interface list checks.
+    if let Some(iface) = &view.interface {
+        if iface.len() != view.select.len() {
+            errors.push(ValidationError::InterfaceArity {
+                interface: iface.len(),
+                select: view.select.len(),
+            });
+        }
+        let mut names = BTreeSet::new();
+        for n in iface {
+            if !names.insert(n.as_str()) {
+                errors.push(ValidationError::DuplicateInterfaceName(
+                    n.as_str().to_string(),
+                ));
+            }
+        }
+    }
+
+    // Consistency of the WHERE clause.
+    if !view.where_conjunction().is_consistent() {
+        errors.push(ValidationError::InconsistentWhere);
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_view;
+
+    fn errors_of(src: &str) -> Vec<ValidationError> {
+        validate_view(&parse_view(src).unwrap())
+    }
+
+    #[test]
+    fn valid_paper_view_passes() {
+        // Eq. (5)-style view: all distinguished attrs preserved.
+        let errs = errors_of(
+            "CREATE VIEW V AS
+             SELECT C.Name, C.Age, P.Participant, P.TourID, P.StartDate, F.PName, F.Date
+             FROM Customer C, FlightRes F, Participant P
+             WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD = true)
+               AND (P.StartDate = F.Date) (CD = true)",
+        );
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn duplicate_relation_flagged() {
+        let errs = errors_of("CREATE VIEW V AS SELECT R.a FROM R, R");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateRelation(_))));
+    }
+
+    #[test]
+    fn unknown_relation_flagged() {
+        let errs = errors_of("CREATE VIEW V AS SELECT S.a FROM R");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownRelation(_))));
+    }
+
+    #[test]
+    fn distinguished_not_preserved_flagged() {
+        // R.b used in an indispensable condition but not selected.
+        let errs = errors_of("CREATE VIEW V AS SELECT R.a FROM R WHERE R.b = 1");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DistinguishedNotPreserved(_))));
+        // Dispensable condition: fine.
+        let errs =
+            errors_of("CREATE VIEW V AS SELECT R.a FROM R WHERE (R.b = 1) (CD = true)");
+        assert!(errs.is_empty(), "{errs:?}");
+    }
+
+    #[test]
+    fn interface_arity_flagged() {
+        let errs = errors_of("CREATE VIEW V (X, Y) AS SELECT R.a FROM R");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::InterfaceArity { .. })));
+    }
+
+    #[test]
+    fn duplicate_interface_name_flagged() {
+        let errs = errors_of("CREATE VIEW V (X, X) AS SELECT R.a, R.b FROM R");
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateInterfaceName(_))));
+    }
+
+    #[test]
+    fn inconsistent_where_flagged() {
+        let errs = errors_of(
+            "CREATE VIEW V AS SELECT R.a FROM R WHERE (R.a = 1) AND (R.a = 2)",
+        );
+        assert!(errs.contains(&ValidationError::InconsistentWhere));
+    }
+
+    #[test]
+    fn multiple_errors_all_reported() {
+        let errs = errors_of("CREATE VIEW V (X, Y) AS SELECT S.a FROM R, R");
+        assert!(errs.len() >= 3, "{errs:?}");
+    }
+}

@@ -1,0 +1,394 @@
+//! The hypergraph structure and its connectivity operations.
+
+use eve_misd::{JoinConstraint, MetaKnowledgeBase};
+use eve_relational::RelName;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The hypergraph `H(MKB)` (or a sub-hypergraph of it), materialised as a
+/// relation-level multigraph: vertices are relations, edges are join
+/// constraints.
+///
+/// The structure owns its data (names and constraints are cloned from the
+/// MKB), so sub-hypergraphs and evolved variants can be derived freely
+/// without borrowing the MKB.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypergraph {
+    /// All relation vertices (including isolated ones).
+    relations: BTreeSet<RelName>,
+    /// Join-constraint edges.
+    joins: Vec<JoinConstraint>,
+    /// Adjacency: relation → (neighbour, edge index into `joins`).
+    adj: BTreeMap<RelName, Vec<(RelName, usize)>>,
+}
+
+impl Hypergraph {
+    /// Build `H(MKB)` from a meta knowledge base.
+    pub fn build(mkb: &MetaKnowledgeBase) -> Self {
+        let relations: BTreeSet<RelName> = mkb.relation_names().cloned().collect();
+        let joins: Vec<JoinConstraint> = mkb.joins().to_vec();
+        Self::from_parts(relations, joins)
+    }
+
+    /// Build from explicit parts (used for sub-hypergraphs and tests).
+    /// Join constraints whose endpoints are not both present are dropped.
+    pub fn from_parts(relations: BTreeSet<RelName>, joins: Vec<JoinConstraint>) -> Self {
+        let joins: Vec<JoinConstraint> = joins
+            .into_iter()
+            .filter(|j| relations.contains(&j.left) && relations.contains(&j.right))
+            .collect();
+        let mut adj: BTreeMap<RelName, Vec<(RelName, usize)>> = BTreeMap::new();
+        for r in &relations {
+            adj.entry(r.clone()).or_default();
+        }
+        for (i, j) in joins.iter().enumerate() {
+            adj.entry(j.left.clone())
+                .or_default()
+                .push((j.right.clone(), i));
+            adj.entry(j.right.clone())
+                .or_default()
+                .push((j.left.clone(), i));
+        }
+        Hypergraph {
+            relations,
+            joins,
+            adj,
+        }
+    }
+
+    /// The relation vertices.
+    pub fn relations(&self) -> &BTreeSet<RelName> {
+        &self.relations
+    }
+
+    /// The join-constraint edges.
+    pub fn joins(&self) -> &[JoinConstraint] {
+        &self.joins
+    }
+
+    /// Does the hypergraph contain this relation?
+    pub fn contains(&self, rel: &RelName) -> bool {
+        self.relations.contains(rel)
+    }
+
+    /// Join constraints incident to `rel`.
+    pub fn joins_of<'a>(&'a self, rel: &'a RelName) -> impl Iterator<Item = &'a JoinConstraint> {
+        self.adj
+            .get(rel)
+            .into_iter()
+            .flatten()
+            .map(move |(_, i)| &self.joins[*i])
+    }
+
+    /// All join constraints between the unordered pair `{r1, r2}`.
+    pub fn joins_between<'a>(
+        &'a self,
+        r1: &'a RelName,
+        r2: &'a RelName,
+    ) -> impl Iterator<Item = &'a JoinConstraint> {
+        self.joins.iter().filter(move |j| j.connects(r1, r2))
+    }
+
+    /// The set of relations reachable from `start` (its connected
+    /// component's vertex set `S_R(MKB)`), or `None` when `start` is not a
+    /// vertex.
+    pub fn component_relations(&self, start: &RelName) -> Option<BTreeSet<RelName>> {
+        if !self.relations.contains(start) {
+            return None;
+        }
+        let mut seen = BTreeSet::new();
+        let mut queue = VecDeque::new();
+        seen.insert(start.clone());
+        queue.push_back(start.clone());
+        while let Some(r) = queue.pop_front() {
+            for (next, _) in self.adj.get(&r).into_iter().flatten() {
+                if seen.insert(next.clone()) {
+                    queue.push_back(next.clone());
+                }
+            }
+        }
+        Some(seen)
+    }
+
+    /// The connected sub-hypergraph `H_R(MKB)` containing `start`
+    /// (Step 1 of the CVS algorithm), or `None` when `start` is absent.
+    pub fn component_of(&self, start: &RelName) -> Option<Hypergraph> {
+        let rels = self.component_relations(start)?;
+        let joins = self
+            .joins
+            .iter()
+            .filter(|j| rels.contains(&j.left))
+            .cloned()
+            .collect();
+        Some(Hypergraph::from_parts(rels, joins))
+    }
+
+    /// All maximal connected components, each as a sub-hypergraph, ordered
+    /// by their smallest relation name.
+    pub fn components(&self) -> Vec<Hypergraph> {
+        let mut remaining: BTreeSet<RelName> = self.relations.clone();
+        let mut out = Vec::new();
+        while let Some(seed) = remaining.iter().next().cloned() {
+            let comp = self
+                .component_of(&seed)
+                .expect("seed taken from vertex set");
+            for r in comp.relations() {
+                remaining.remove(r);
+            }
+            out.push(comp);
+        }
+        out
+    }
+
+    /// Is the given set of relations mutually connected *within this
+    /// hypergraph* (all in one component)? The empty set and singletons
+    /// are trivially connected.
+    pub fn is_connected_set(&self, rels: &BTreeSet<RelName>) -> bool {
+        let mut iter = rels.iter();
+        let first = match iter.next() {
+            Some(f) => f,
+            None => return true,
+        };
+        match self.component_relations(first) {
+            Some(comp) => rels.iter().all(|r| comp.contains(r)),
+            None => false,
+        }
+    }
+
+    /// The hypergraph `H'` obtained by erasing the relation hyperedge
+    /// `rel` (and with it every incident join constraint) — Def. 3's
+    /// `H'_R(MKB')`. Erasing a vertex may disconnect the graph.
+    pub fn without_relation(&self, rel: &RelName) -> Hypergraph {
+        let mut relations = self.relations.clone();
+        relations.remove(rel);
+        let joins = self
+            .joins
+            .iter()
+            .filter(|j| !j.touches(rel))
+            .cloned()
+            .collect();
+        Hypergraph::from_parts(relations, joins)
+    }
+
+    /// Breadth-first shortest join path from `from` to `to`: the sequence
+    /// of join constraints realising
+    /// `from ⋈_{JC_1} R_1 ⋈ … ⋈_{JC_n} to`. Returns `None` when
+    /// unreachable; the empty path when `from == to`.
+    pub fn join_path(&self, from: &RelName, to: &RelName) -> Option<Vec<&JoinConstraint>> {
+        if !self.relations.contains(from) || !self.relations.contains(to) {
+            return None;
+        }
+        if from == to {
+            return Some(Vec::new());
+        }
+        let mut prev: BTreeMap<RelName, (RelName, usize)> = BTreeMap::new();
+        let mut queue = VecDeque::new();
+        let mut seen = BTreeSet::new();
+        seen.insert(from.clone());
+        queue.push_back(from.clone());
+        while let Some(r) = queue.pop_front() {
+            for (next, edge) in self.adj.get(&r).into_iter().flatten() {
+                if seen.insert(next.clone()) {
+                    prev.insert(next.clone(), (r.clone(), *edge));
+                    if next == to {
+                        // reconstruct
+                        let mut path = Vec::new();
+                        let mut cur = to.clone();
+                        while let Some((p, e)) = prev.get(&cur) {
+                            path.push(&self.joins[*e]);
+                            cur = p.clone();
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next.clone());
+                }
+            }
+        }
+        None
+    }
+
+    /// Enumerate all simple paths (as join-constraint sequences) from
+    /// `from` to `to` with at most `max_edges` edges, in deterministic
+    /// order. Parallel join constraints yield distinct paths.
+    ///
+    /// Unbounded in the number of paths — prefer
+    /// [`Hypergraph::simple_paths_bounded`] on large graphs, where the
+    /// number of simple paths grows combinatorially.
+    pub fn all_simple_paths(
+        &self,
+        from: &RelName,
+        to: &RelName,
+        max_edges: usize,
+    ) -> Vec<Vec<&JoinConstraint>> {
+        self.simple_paths_bounded(from, to, max_edges, usize::MAX)
+    }
+
+    /// Like [`Hypergraph::all_simple_paths`], but stops after collecting
+    /// `max_paths` paths (depth-first order). The DFS visits neighbours
+    /// in adjacency order, so the result is deterministic; it is *not*
+    /// guaranteed to contain the shortest path when truncated — callers
+    /// that need it should union with [`Hypergraph::join_path`].
+    pub fn simple_paths_bounded(
+        &self,
+        from: &RelName,
+        to: &RelName,
+        max_edges: usize,
+        max_paths: usize,
+    ) -> Vec<Vec<&JoinConstraint>> {
+        let mut out = Vec::new();
+        if !self.relations.contains(from) || !self.relations.contains(to) || max_paths == 0 {
+            return out;
+        }
+        let mut visited: BTreeSet<RelName> = BTreeSet::new();
+        visited.insert(from.clone());
+        let mut path: Vec<usize> = Vec::new();
+        self.dfs_paths(from, to, max_edges, max_paths, &mut visited, &mut path, &mut out);
+        out
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn dfs_paths<'a>(
+        &'a self,
+        cur: &RelName,
+        to: &RelName,
+        budget: usize,
+        max_paths: usize,
+        visited: &mut BTreeSet<RelName>,
+        path: &mut Vec<usize>,
+        out: &mut Vec<Vec<&'a JoinConstraint>>,
+    ) {
+        if out.len() >= max_paths {
+            return;
+        }
+        if cur == to {
+            out.push(path.iter().map(|i| &self.joins[*i]).collect());
+            return;
+        }
+        if budget == 0 {
+            return;
+        }
+        for (next, edge) in self.adj.get(cur).into_iter().flatten() {
+            if out.len() >= max_paths {
+                return;
+            }
+            if visited.contains(next) {
+                continue;
+            }
+            visited.insert(next.clone());
+            path.push(*edge);
+            self.dfs_paths(next, to, budget - 1, max_paths, visited, path, out);
+            path.pop();
+            visited.remove(next);
+        }
+    }
+
+    /// Degree of a relation (number of incident join constraints).
+    pub fn degree(&self, rel: &RelName) -> usize {
+        self.adj.get(rel).map(|v| v.len()).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::{AttrRef, Clause, Conjunction};
+
+    fn rel(n: &str) -> RelName {
+        RelName::new(n)
+    }
+
+    fn jc(id: &str, l: &str, r: &str) -> JoinConstraint {
+        JoinConstraint::new(
+            id,
+            l,
+            r,
+            Conjunction::new(vec![Clause::eq_attrs(
+                AttrRef::new(l, "k"),
+                AttrRef::new(r, "k"),
+            )]),
+        )
+    }
+
+    /// Two components: A—B—C (and a parallel A—B edge) plus D—E; F isolated.
+    fn sample() -> Hypergraph {
+        let rels: BTreeSet<RelName> =
+            ["A", "B", "C", "D", "E", "F"].iter().map(|s| rel(s)).collect();
+        let joins = vec![
+            jc("J1", "A", "B"),
+            jc("J1b", "A", "B"),
+            jc("J2", "B", "C"),
+            jc("J3", "D", "E"),
+        ];
+        Hypergraph::from_parts(rels, joins)
+    }
+
+    #[test]
+    fn components_counted() {
+        let h = sample();
+        let comps = h.components();
+        assert_eq!(comps.len(), 3); // {A,B,C}, {D,E}, {F}
+        let sizes: Vec<usize> = comps.iter().map(|c| c.relations().len()).collect();
+        assert_eq!(sizes, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn component_of_and_connected_set() {
+        let h = sample();
+        let comp = h.component_relations(&rel("A")).unwrap();
+        assert!(comp.contains(&rel("C")));
+        assert!(!comp.contains(&rel("D")));
+        assert!(h.is_connected_set(&[rel("A"), rel("C")].into_iter().collect()));
+        assert!(!h.is_connected_set(&[rel("A"), rel("D")].into_iter().collect()));
+        assert!(h.is_connected_set(&BTreeSet::new()));
+        assert!(h.component_relations(&rel("Z")).is_none());
+    }
+
+    #[test]
+    fn without_relation_disconnects() {
+        let h = sample();
+        let h2 = h.without_relation(&rel("B"));
+        assert!(!h2.contains(&rel("B")));
+        // A and C are now separated.
+        assert!(!h2.is_connected_set(&[rel("A"), rel("C")].into_iter().collect()));
+        // No dangling join constraints.
+        assert!(h2.joins().iter().all(|j| !j.touches(&rel("B"))));
+    }
+
+    #[test]
+    fn join_path_shortest() {
+        let h = sample();
+        let p = h.join_path(&rel("A"), &rel("C")).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[1].id, "J2");
+        assert!(h.join_path(&rel("A"), &rel("D")).is_none());
+        assert_eq!(h.join_path(&rel("A"), &rel("A")).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn all_simple_paths_includes_parallel_edges() {
+        let h = sample();
+        let ps = h.all_simple_paths(&rel("A"), &rel("C"), 4);
+        // two parallel A—B edges → two paths A-B-C
+        assert_eq!(ps.len(), 2);
+        let ids: BTreeSet<&str> = ps.iter().map(|p| p[0].id.as_str()).collect();
+        assert_eq!(ids, ["J1", "J1b"].into_iter().collect());
+        // Budget too small → no paths.
+        assert!(h.all_simple_paths(&rel("A"), &rel("C"), 1).is_empty());
+    }
+
+    #[test]
+    fn degree_and_joins_between() {
+        let h = sample();
+        assert_eq!(h.degree(&rel("A")), 2);
+        assert_eq!(h.degree(&rel("F")), 0);
+        assert_eq!(h.joins_between(&rel("A"), &rel("B")).count(), 2);
+        assert_eq!(h.joins_of(&rel("B")).count(), 3);
+    }
+
+    #[test]
+    fn from_parts_drops_dangling_joins() {
+        let rels: BTreeSet<RelName> = [rel("A")].into_iter().collect();
+        let h = Hypergraph::from_parts(rels, vec![jc("J1", "A", "B")]);
+        assert!(h.joins().is_empty());
+    }
+}

@@ -1,0 +1,386 @@
+//! Connection trees: joining a *set* of relations through join
+//! constraints.
+//!
+//! Def. 3 of the paper requires a candidate replacement `Max(V_{j,R})` to
+//! contain (III) all relations of `Min(H_R)` that survive dropping `R`,
+//! and (IV) one cover relation per replaceable attribute of `R` — all
+//! woven into a single join expression built from join constraints of
+//! `H'_R(MKB')`. Finding the smallest such expression is a Steiner-tree
+//! problem; we use the classic greedy approximation (repeatedly attach the
+//! nearest unconnected terminal by a shortest path), which is
+//! deterministic and within 2× of optimal — more than adequate, since any
+//! connected superset is a *valid* candidate under Def. 3 and smaller
+//! candidates are simply better.
+//!
+//! [`ConnectionTree::enumerate`] additionally enumerates alternative
+//! trees obtained by swapping parallel join constraints (distinct `JC`s
+//! between the same relation pair give semantically different joins), so
+//! CVS can propose more than one rewriting per cover combination.
+
+use crate::graph::Hypergraph;
+use eve_misd::JoinConstraint;
+use eve_relational::RelName;
+use std::collections::BTreeSet;
+
+/// A tree of join constraints spanning a set of relations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConnectionTree {
+    /// The relations joined by the tree (terminals plus any Steiner
+    /// relations picked up along connecting paths).
+    pub relations: BTreeSet<RelName>,
+    /// The join constraints forming the tree, in attachment order.
+    pub joins: Vec<JoinConstraint>,
+}
+
+impl ConnectionTree {
+    /// A tree containing a single relation and no joins.
+    pub fn singleton(rel: RelName) -> Self {
+        ConnectionTree {
+            relations: [rel].into_iter().collect(),
+            joins: Vec::new(),
+        }
+    }
+
+    /// Greedily build a connection tree covering all `terminals` inside
+    /// `graph`. Returns `None` when the terminals are not all in one
+    /// component (Def. 3: "if relations left in `Min(H'_R)` are in
+    /// disconnected components then the set R-replacement is empty") or
+    /// when `terminals` is empty.
+    pub fn connect(graph: &Hypergraph, terminals: &BTreeSet<RelName>) -> Option<ConnectionTree> {
+        Self::connect_with_limit(graph, terminals, usize::MAX)
+    }
+
+    /// Like [`ConnectionTree::connect`], but each terminal must be
+    /// attachable to the growing tree by a path of at most
+    /// `max_path_edges` join constraints. With `max_path_edges = 1` this
+    /// reproduces the *one-step-away* rewritings of the authors' earlier
+    /// simple view synchronization (the SVS baseline of [4, 12]).
+    pub fn connect_with_limit(
+        graph: &Hypergraph,
+        terminals: &BTreeSet<RelName>,
+        max_path_edges: usize,
+    ) -> Option<ConnectionTree> {
+        let mut iter = terminals.iter();
+        let first = iter.next()?;
+        if !graph.contains(first) {
+            return None;
+        }
+        let mut tree = ConnectionTree::singleton(first.clone());
+        // Attach each remaining terminal by the shortest path from the
+        // current tree. (Iterating in name order keeps this deterministic;
+        // the greedy nearest-terminal refinement would need all-pairs
+        // distances for marginal benefit.)
+        for t in iter {
+            if tree.relations.contains(t) {
+                continue;
+            }
+            let path = shortest_path_from_set(graph, &tree.relations, t)?;
+            if path.len() > max_path_edges {
+                return None;
+            }
+            for jc in path {
+                tree.relations.insert(jc.left.clone());
+                tree.relations.insert(jc.right.clone());
+                tree.joins.push(jc.clone());
+            }
+        }
+        Some(tree)
+    }
+
+    /// Enumerate up to `limit` alternative connection trees for the same
+    /// terminal set, produced by substituting parallel join constraints
+    /// (other `JC`s connecting the same relation pair) into the base tree.
+    /// The base tree is always first.
+    pub fn enumerate(
+        graph: &Hypergraph,
+        terminals: &BTreeSet<RelName>,
+        limit: usize,
+    ) -> Vec<ConnectionTree> {
+        Self::enumerate_with_limit(graph, terminals, limit, usize::MAX)
+    }
+
+    /// [`ConnectionTree::enumerate`] with the hop bound of
+    /// [`ConnectionTree::connect_with_limit`].
+    ///
+    /// For exactly two terminals, *all* simple paths (up to a small
+    /// length cap) are enumerated — a diamond-shaped MKB yields one
+    /// candidate per route, not just the shortest. For three or more
+    /// terminals the greedy tree plus parallel-constraint swaps are
+    /// used (full Steiner-tree enumeration is exponential).
+    pub fn enumerate_with_limit(
+        graph: &Hypergraph,
+        terminals: &BTreeSet<RelName>,
+        limit: usize,
+        max_path_edges: usize,
+    ) -> Vec<ConnectionTree> {
+        if terminals.len() == 2 {
+            let mut it = terminals.iter();
+            let (a, b) = (it.next().expect("two"), it.next().expect("two"));
+            // Cap the exhaustive search in both path length and count;
+            // fall back to the greedy (unbounded-length) tree when
+            // nothing fits the caps.
+            const PATH_CAP: usize = 8;
+            let mut paths =
+                graph.simple_paths_bounded(a, b, max_path_edges.min(PATH_CAP), limit * 4);
+            // A truncated DFS may have missed the shortest path —
+            // guarantee it is present.
+            if let Some(shortest) = graph.join_path(a, b) {
+                if shortest.len() <= max_path_edges {
+                    let ids: Vec<&str> = shortest.iter().map(|j| j.id.as_str()).collect();
+                    if !paths
+                        .iter()
+                        .any(|p| p.iter().map(|j| j.id.as_str()).eq(ids.iter().copied()))
+                    {
+                        paths.push(shortest);
+                    }
+                }
+            }
+            paths.sort_by_key(|p| {
+                (
+                    p.len(),
+                    p.iter().map(|j| j.id.clone()).collect::<Vec<_>>(),
+                )
+            });
+            let trees: Vec<ConnectionTree> = paths
+                .into_iter()
+                .take(limit)
+                .map(|path| {
+                    let mut tree = ConnectionTree::singleton(a.clone());
+                    for jc in path {
+                        tree.relations.insert(jc.left.clone());
+                        tree.relations.insert(jc.right.clone());
+                        tree.joins.push(jc.clone());
+                    }
+                    tree
+                })
+                .collect();
+            if !trees.is_empty() {
+                return trees;
+            }
+            // fall through to the greedy construction
+        }
+        let base = match Self::connect_with_limit(graph, terminals, max_path_edges) {
+            Some(t) => t,
+            None => return Vec::new(),
+        };
+        let mut out = vec![base.clone()];
+        // For each edge slot, collect the parallel alternatives.
+        let alternatives: Vec<Vec<JoinConstraint>> = base
+            .joins
+            .iter()
+            .map(|jc| {
+                graph
+                    .joins_between(&jc.left, &jc.right)
+                    .filter(|other| other.id != jc.id)
+                    .cloned()
+                    .collect()
+            })
+            .collect();
+        // Single-swap variants (cartesian products explode; one swap at a
+        // time already surfaces every alternative constraint).
+        'outer: for (slot, alts) in alternatives.iter().enumerate() {
+            for alt in alts {
+                if out.len() >= limit {
+                    break 'outer;
+                }
+                let mut variant = base.clone();
+                variant.joins[slot] = alt.clone();
+                out.push(variant);
+            }
+        }
+        out.truncate(limit);
+        out
+    }
+
+    /// Is `rel` part of the tree?
+    pub fn contains(&self, rel: &RelName) -> bool {
+        self.relations.contains(rel)
+    }
+}
+
+/// Shortest path (in edges) from any relation in `sources` to `target`.
+fn shortest_path_from_set<'a>(
+    graph: &'a Hypergraph,
+    sources: &BTreeSet<RelName>,
+    target: &RelName,
+) -> Option<Vec<&'a JoinConstraint>> {
+    // BFS from the whole source set at once.
+    use std::collections::{BTreeMap, VecDeque};
+    if !graph.contains(target) {
+        return None;
+    }
+    let mut prev: BTreeMap<RelName, (RelName, usize)> = BTreeMap::new();
+    let mut seen: BTreeSet<RelName> = sources.clone();
+    let mut queue: VecDeque<RelName> = sources.iter().cloned().collect();
+    while let Some(r) = queue.pop_front() {
+        for (i, jc) in graph.joins().iter().enumerate() {
+            let next = match jc.other(&r) {
+                Some(n) => n,
+                None => continue,
+            };
+            if seen.insert(next.clone()) {
+                prev.insert(next.clone(), (r.clone(), i));
+                if next == target {
+                    let mut path = Vec::new();
+                    let mut cur = target.clone();
+                    while let Some((p, e)) = prev.get(&cur) {
+                        path.push(&graph.joins()[*e]);
+                        cur = p.clone();
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next.clone());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::{AttrRef, Clause, Conjunction};
+
+    fn rel(n: &str) -> RelName {
+        RelName::new(n)
+    }
+
+    fn jc(id: &str, l: &str, r: &str) -> JoinConstraint {
+        JoinConstraint::new(
+            id,
+            l,
+            r,
+            Conjunction::new(vec![Clause::eq_attrs(
+                AttrRef::new(l, "k"),
+                AttrRef::new(r, "k"),
+            )]),
+        )
+    }
+
+    /// Star: HUB connected to A, B, C; D isolated; parallel edge HUB—A.
+    fn star() -> Hypergraph {
+        let rels: BTreeSet<RelName> = ["HUB", "A", "B", "C", "D"]
+            .iter()
+            .map(|s| rel(s))
+            .collect();
+        Hypergraph::from_parts(
+            rels,
+            vec![
+                jc("J1", "HUB", "A"),
+                jc("J1b", "HUB", "A"),
+                jc("J2", "HUB", "B"),
+                jc("J3", "HUB", "C"),
+            ],
+        )
+    }
+
+    #[test]
+    fn connect_terminals_through_hub() {
+        let g = star();
+        let t = ConnectionTree::connect(&g, &[rel("A"), rel("B"), rel("C")].into_iter().collect())
+            .unwrap();
+        assert!(t.contains(&rel("HUB"))); // Steiner vertex picked up
+        assert_eq!(t.relations.len(), 4);
+        assert_eq!(t.joins.len(), 3);
+    }
+
+    #[test]
+    fn connect_single_terminal_is_trivial() {
+        let g = star();
+        let t = ConnectionTree::connect(&g, &[rel("B")].into_iter().collect()).unwrap();
+        assert_eq!(t.relations.len(), 1);
+        assert!(t.joins.is_empty());
+    }
+
+    #[test]
+    fn disconnected_terminals_yield_none() {
+        let g = star();
+        assert!(ConnectionTree::connect(&g, &[rel("A"), rel("D")].into_iter().collect()).is_none());
+        assert!(ConnectionTree::connect(&g, &BTreeSet::new()).is_none());
+    }
+
+    #[test]
+    fn enumerate_surfaces_parallel_constraints() {
+        let g = star();
+        let trees =
+            ConnectionTree::enumerate(&g, &[rel("A"), rel("B")].into_iter().collect(), 10);
+        assert_eq!(trees.len(), 2); // J1 vs J1b for the HUB—A hop
+        let ids: BTreeSet<String> = trees
+            .iter()
+            .flat_map(|t| t.joins.iter().map(|j| j.id.clone()))
+            .collect();
+        assert!(ids.contains("J1") && ids.contains("J1b"));
+    }
+
+    #[test]
+    fn enumerate_respects_limit() {
+        let g = star();
+        let trees =
+            ConnectionTree::enumerate(&g, &[rel("A"), rel("B")].into_iter().collect(), 1);
+        assert_eq!(trees.len(), 1);
+    }
+
+    #[test]
+    fn diamond_enumerates_both_routes() {
+        // A—X—B and A—Y—B: two distinct two-hop routes.
+        let rels: BTreeSet<RelName> = ["A", "X", "Y", "B"].iter().map(|s| rel(s)).collect();
+        let g = Hypergraph::from_parts(
+            rels,
+            vec![
+                jc("J1", "A", "X"),
+                jc("J2", "X", "B"),
+                jc("J3", "A", "Y"),
+                jc("J4", "Y", "B"),
+            ],
+        );
+        let trees = ConnectionTree::enumerate(&g, &[rel("A"), rel("B")].into_iter().collect(), 10);
+        assert_eq!(trees.len(), 2, "{trees:?}");
+        let routes: BTreeSet<BTreeSet<RelName>> =
+            trees.iter().map(|t| t.relations.clone()).collect();
+        assert!(routes.contains(&["A", "X", "B"].iter().map(|s| rel(s)).collect()));
+        assert!(routes.contains(&["A", "Y", "B"].iter().map(|s| rel(s)).collect()));
+        // Hop bound 1 prunes both.
+        assert!(ConnectionTree::enumerate_with_limit(
+            &g,
+            &[rel("A"), rel("B")].into_iter().collect(),
+            10,
+            1
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn long_chain_beyond_path_cap_falls_back_to_greedy() {
+        // 10-hop chain: beyond the exhaustive PATH_CAP, but the greedy
+        // fallback must still connect the endpoints.
+        let names: Vec<String> = (0..11).map(|i| format!("N{i}")).collect();
+        let rels: BTreeSet<RelName> = names.iter().map(|n| RelName::new(n.clone())).collect();
+        let joins = names
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| jc(&format!("J{i}"), &w[0], &w[1]))
+            .collect();
+        let g = Hypergraph::from_parts(rels, joins);
+        let trees = ConnectionTree::enumerate(
+            &g,
+            &[rel("N0"), rel("N10")].into_iter().collect(),
+            4,
+        );
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].joins.len(), 10);
+    }
+
+    #[test]
+    fn chain_connection() {
+        // A—B—C—D chain; connect {A, D} should pull in B and C.
+        let rels: BTreeSet<RelName> = ["A", "B", "C", "D"].iter().map(|s| rel(s)).collect();
+        let g = Hypergraph::from_parts(
+            rels,
+            vec![jc("J1", "A", "B"), jc("J2", "B", "C"), jc("J3", "C", "D")],
+        );
+        let t = ConnectionTree::connect(&g, &[rel("A"), rel("D")].into_iter().collect()).unwrap();
+        assert_eq!(t.joins.len(), 3);
+        assert_eq!(t.relations.len(), 4);
+    }
+}

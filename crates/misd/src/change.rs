@@ -1,0 +1,315 @@
+//! The six capability-change operators (§5 of the paper).
+//!
+//! "Four of the six capability change operations we consider can be
+//! handled in a straightforward manner. Namely, add-relation,
+//! add-attribute, rename-relation and rename-attribute capability changes
+//! do not cause any changes to existing (and hence valid) views. However,
+//! the two remaining capability change operators, i.e., delete-attribute
+//! and delete-relation, cause existing views to become invalid."
+
+use crate::description::RelationDescription;
+use crate::error::MisdError;
+use eve_esql::lexer::Tok;
+use eve_esql::parser::Cursor;
+use eve_relational::{AttrName, AttrRef, AttributeDef, DataType, RelName};
+use std::fmt;
+
+/// A capability change announced by an information source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapabilityChange {
+    /// The IS starts exporting a new relation.
+    AddRelation(RelationDescription),
+    /// The IS stops exporting a relation — the hardest operator, handled
+    /// by the CVS algorithm.
+    DeleteRelation(RelName),
+    /// The IS renames an exported relation.
+    RenameRelation {
+        /// Old name.
+        from: RelName,
+        /// New name.
+        to: RelName,
+    },
+    /// The IS adds an attribute to an exported relation.
+    AddAttribute {
+        /// The relation gaining the attribute.
+        relation: RelName,
+        /// The new attribute.
+        attr: AttributeDef,
+    },
+    /// The IS stops exporting an attribute.
+    DeleteAttribute(AttrRef),
+    /// The IS renames an attribute.
+    RenameAttribute {
+        /// Old (qualified) attribute.
+        from: AttrRef,
+        /// New attribute name.
+        to: AttrName,
+    },
+}
+
+impl CapabilityChange {
+    /// Is this one of the two *destructive* operators
+    /// (delete-relation / delete-attribute) that can invalidate views?
+    pub fn is_destructive(&self) -> bool {
+        matches!(
+            self,
+            CapabilityChange::DeleteRelation(_) | CapabilityChange::DeleteAttribute(_)
+        )
+    }
+
+    /// Short operator name as used in the paper.
+    pub fn operator_name(&self) -> &'static str {
+        match self {
+            CapabilityChange::AddRelation(_) => "add-relation",
+            CapabilityChange::DeleteRelation(_) => "delete-relation",
+            CapabilityChange::RenameRelation { .. } => "rename-relation",
+            CapabilityChange::AddAttribute { .. } => "add-attribute",
+            CapabilityChange::DeleteAttribute(_) => "delete-attribute",
+            CapabilityChange::RenameAttribute { .. } => "rename-attribute",
+        }
+    }
+}
+
+impl CapabilityChange {
+    /// Parse a change from its textual form — the same notation
+    /// [`CapabilityChange`]'s `Display` produces and the paper uses:
+    ///
+    /// ```text
+    /// delete-relation Customer
+    /// delete-attribute Customer.Addr
+    /// rename-relation Tour -> Excursion
+    /// rename-attribute Tour.TourName -> Title
+    /// add-attribute Customer.Fax str
+    /// add-relation IS8 Person(Name str, SSN int, PAddr str)
+    /// ```
+    ///
+    /// `->` and the keyword `to` are interchangeable in renames; the
+    /// attribute/type colon of the MISD format is optional.
+    pub fn parse(input: &str) -> Result<CapabilityChange, MisdError> {
+        let mut cur = Cursor::new(input)?;
+        let change = Self::parse_at(&mut cur)?;
+        if !cur.at_end() {
+            return Err(cur.err("trailing input after change").into());
+        }
+        Ok(change)
+    }
+
+    fn parse_at(cur: &mut Cursor) -> Result<CapabilityChange, MisdError> {
+        let eat_arrow = |cur: &mut Cursor| {
+            // accept `->`, `to`, or nothing
+            if cur.eat(&Tok::Minus) {
+                let _ = cur.eat(&Tok::Gt);
+            } else {
+                let _ = cur.eat_kw("to");
+            }
+        };
+        if cur.eat_kw("delete-relation") {
+            Ok(CapabilityChange::DeleteRelation(RelName::new(
+                cur.expect_ident()?,
+            )))
+        } else if cur.eat_kw("delete-attribute") {
+            let rel = cur.expect_ident()?;
+            cur.expect(&Tok::Dot)?;
+            let attr = cur.expect_ident()?;
+            Ok(CapabilityChange::DeleteAttribute(AttrRef::new(rel, attr)))
+        } else if cur.eat_kw("rename-relation") {
+            let from = cur.expect_ident()?;
+            eat_arrow(cur);
+            let to = cur.expect_ident()?;
+            Ok(CapabilityChange::RenameRelation {
+                from: from.into(),
+                to: to.into(),
+            })
+        } else if cur.eat_kw("rename-attribute") {
+            let rel = cur.expect_ident()?;
+            cur.expect(&Tok::Dot)?;
+            let attr = cur.expect_ident()?;
+            eat_arrow(cur);
+            let to = cur.expect_ident()?;
+            Ok(CapabilityChange::RenameAttribute {
+                from: AttrRef::new(rel, attr),
+                to: AttrName::new(to),
+            })
+        } else if cur.eat_kw("add-attribute") {
+            let rel = cur.expect_ident()?;
+            cur.expect(&Tok::Dot)?;
+            let attr = cur.expect_ident()?;
+            cur.eat(&Tok::Colon);
+            let ty_word = cur.expect_ident()?;
+            let ty = DataType::parse(&ty_word)
+                .ok_or_else(|| cur.err(format!("unknown type `{ty_word}`")))?;
+            Ok(CapabilityChange::AddAttribute {
+                relation: rel.into(),
+                attr: AttributeDef::new(attr, ty),
+            })
+        } else if cur.eat_kw("add-relation") {
+            let source = cur.expect_ident()?;
+            let name = cur.expect_ident()?;
+            cur.expect(&Tok::LParen)?;
+            let mut attrs = Vec::new();
+            loop {
+                let attr = cur.expect_ident()?;
+                cur.eat(&Tok::Colon);
+                let ty_word = cur.expect_ident()?;
+                let ty = DataType::parse(&ty_word)
+                    .ok_or_else(|| cur.err(format!("unknown type `{ty_word}`")))?;
+                attrs.push(AttributeDef::new(attr, ty));
+                if !cur.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            cur.expect(&Tok::RParen)?;
+            Ok(CapabilityChange::AddRelation(RelationDescription::new(
+                source, name, attrs,
+            )))
+        } else {
+            Err(cur
+                .err(
+                    "expected one of delete-relation, delete-attribute, rename-relation, \
+                     rename-attribute, add-attribute, add-relation",
+                )
+                .into())
+        }
+    }
+}
+
+impl fmt::Display for CapabilityChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapabilityChange::AddRelation(d) => write!(f, "add-relation {}", d.name),
+            CapabilityChange::DeleteRelation(r) => write!(f, "delete-relation {r}"),
+            CapabilityChange::RenameRelation { from, to } => {
+                write!(f, "rename-relation {from} -> {to}")
+            }
+            CapabilityChange::AddAttribute { relation, attr } => {
+                write!(f, "add-attribute {relation}.{} : {}", attr.name, attr.ty)
+            }
+            CapabilityChange::DeleteAttribute(a) => write!(f, "delete-attribute {a}"),
+            CapabilityChange::RenameAttribute { from, to } => {
+                write!(f, "rename-attribute {from} -> {to}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::DataType;
+
+    #[test]
+    fn destructive_classification() {
+        assert!(CapabilityChange::DeleteRelation(RelName::new("R")).is_destructive());
+        assert!(
+            CapabilityChange::DeleteAttribute(AttrRef::new("R", "a")).is_destructive()
+        );
+        assert!(!CapabilityChange::AddAttribute {
+            relation: RelName::new("R"),
+            attr: AttributeDef::new("a", DataType::Int),
+        }
+        .is_destructive());
+        assert!(!CapabilityChange::RenameRelation {
+            from: RelName::new("R"),
+            to: RelName::new("S"),
+        }
+        .is_destructive());
+    }
+
+    #[test]
+    fn operator_names_match_paper() {
+        assert_eq!(
+            CapabilityChange::DeleteRelation(RelName::new("R")).operator_name(),
+            "delete-relation"
+        );
+        assert_eq!(
+            CapabilityChange::DeleteAttribute(AttrRef::new("R", "a")).operator_name(),
+            "delete-attribute"
+        );
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            CapabilityChange::DeleteRelation(RelName::new("Customer")).to_string(),
+            "delete-relation Customer"
+        );
+    }
+
+    #[test]
+    fn parse_all_operators() {
+        assert_eq!(
+            CapabilityChange::parse("delete-relation Customer").unwrap(),
+            CapabilityChange::DeleteRelation(RelName::new("Customer"))
+        );
+        assert_eq!(
+            CapabilityChange::parse("delete-attribute Customer.Addr").unwrap(),
+            CapabilityChange::DeleteAttribute(AttrRef::new("Customer", "Addr"))
+        );
+        assert_eq!(
+            CapabilityChange::parse("rename-relation Tour -> Excursion").unwrap(),
+            CapabilityChange::RenameRelation {
+                from: RelName::new("Tour"),
+                to: RelName::new("Excursion"),
+            }
+        );
+        assert_eq!(
+            CapabilityChange::parse("rename-attribute Tour.TourName to Title").unwrap(),
+            CapabilityChange::RenameAttribute {
+                from: AttrRef::new("Tour", "TourName"),
+                to: "Title".into(),
+            }
+        );
+        assert_eq!(
+            CapabilityChange::parse("add-attribute Customer.Fax str").unwrap(),
+            CapabilityChange::AddAttribute {
+                relation: RelName::new("Customer"),
+                attr: AttributeDef::new("Fax", DataType::Str),
+            }
+        );
+        let add = CapabilityChange::parse(
+            "add-relation IS8 Person(Name str, SSN int, PAddr str)",
+        )
+        .unwrap();
+        match add {
+            CapabilityChange::AddRelation(d) => {
+                assert_eq!(d.source, "IS8");
+                assert_eq!(d.attrs.len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for ch in [
+            CapabilityChange::DeleteRelation(RelName::new("Accident-Ins")),
+            CapabilityChange::DeleteAttribute(AttrRef::new("Customer", "Age")),
+            CapabilityChange::RenameRelation {
+                from: RelName::new("A"),
+                to: RelName::new("B"),
+            },
+            CapabilityChange::RenameAttribute {
+                from: AttrRef::new("A", "x"),
+                to: "y".into(),
+            },
+            CapabilityChange::AddAttribute {
+                relation: RelName::new("A"),
+                attr: AttributeDef::new("z", DataType::Date),
+            },
+        ] {
+            let text = ch.to_string();
+            assert_eq!(
+                CapabilityChange::parse(&text).unwrap(),
+                ch,
+                "failed on {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(CapabilityChange::parse("explode-everything X").is_err());
+        assert!(CapabilityChange::parse("delete-relation A B").is_err());
+        assert!(CapabilityChange::parse("add-attribute A.b blob").is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Relation descriptions exported by information sources.
+
+use eve_relational::{AttrName, AttrRef, AttributeDef, DataType, RelName, Schema};
+use std::fmt;
+
+/// Query capabilities an IS advertises for a relation (§2 mentions
+/// capability descriptions; the paper's algorithms only require knowing
+/// the relation is queryable, so these default to fully capable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Can the IS apply selection predicates?
+    pub selection: bool,
+    /// Can the IS project a subset of attributes?
+    pub projection: bool,
+    /// Can the IS join this relation with others it exports?
+    pub join: bool,
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities {
+            selection: true,
+            projection: true,
+            join: true,
+        }
+    }
+}
+
+/// The description of one exported relation `IS.R(A_1, …, A_n)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationDescription {
+    /// The exporting information source (e.g. `IS1`).
+    pub source: String,
+    /// Relation name (globally unique across the information space).
+    pub name: RelName,
+    /// Attributes with their types (the `TC` constraints of Fig. 1).
+    pub attrs: Vec<AttributeDef>,
+    /// Advertised query capabilities.
+    pub capabilities: Capabilities,
+}
+
+impl RelationDescription {
+    /// Create a description.
+    pub fn new(
+        source: impl Into<String>,
+        name: impl Into<RelName>,
+        attrs: Vec<AttributeDef>,
+    ) -> Self {
+        RelationDescription {
+            source: source.into(),
+            name: name.into(),
+            attrs,
+            capabilities: Capabilities::default(),
+        }
+    }
+
+    /// Does the relation export attribute `attr`?
+    pub fn has_attr(&self, attr: &AttrName) -> bool {
+        self.attrs.iter().any(|a| &a.name == attr)
+    }
+
+    /// Declared type of an attribute.
+    pub fn type_of(&self, attr: &AttrName) -> Option<DataType> {
+        self.attrs.iter().find(|a| &a.name == attr).map(|a| a.ty)
+    }
+
+    /// Qualified references to all attributes.
+    pub fn attr_refs(&self) -> Vec<AttrRef> {
+        self.attrs
+            .iter()
+            .map(|a| AttrRef::new(self.name.clone(), a.name.clone()))
+            .collect()
+    }
+
+    /// The relation's schema (qualified, typed columns).
+    pub fn schema(&self) -> Schema {
+        Schema::of_relation(&self.name, &self.attrs)
+    }
+
+    /// Remove an attribute; returns whether it existed.
+    pub fn remove_attr(&mut self, attr: &AttrName) -> bool {
+        let before = self.attrs.len();
+        self.attrs.retain(|a| &a.name != attr);
+        self.attrs.len() != before
+    }
+
+    /// Rename an attribute; returns whether it existed.
+    pub fn rename_attr(&mut self, from: &AttrName, to: AttrName) -> bool {
+        for a in &mut self.attrs {
+            if &a.name == from {
+                a.name = to;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+impl fmt::Display for RelationDescription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RELATION {} {}(", self.source, self.name)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc() -> RelationDescription {
+        RelationDescription::new(
+            "IS1",
+            "Customer",
+            vec![
+                AttributeDef::new("Name", DataType::Str),
+                AttributeDef::new("Age", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn lookups() {
+        let d = desc();
+        assert!(d.has_attr(&AttrName::new("Name")));
+        assert_eq!(d.type_of(&AttrName::new("Age")), Some(DataType::Int));
+        assert_eq!(d.type_of(&AttrName::new("Nope")), None);
+        assert_eq!(d.attr_refs().len(), 2);
+        assert_eq!(d.schema().arity(), 2);
+    }
+
+    #[test]
+    fn remove_and_rename() {
+        let mut d = desc();
+        assert!(d.rename_attr(&AttrName::new("Name"), AttrName::new("FullName")));
+        assert!(d.has_attr(&AttrName::new("FullName")));
+        assert!(!d.rename_attr(&AttrName::new("Gone"), AttrName::new("X")));
+        assert!(d.remove_attr(&AttrName::new("Age")));
+        assert!(!d.remove_attr(&AttrName::new("Age")));
+        assert_eq!(d.attrs.len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            desc().to_string(),
+            "RELATION IS1 Customer(Name: str, Age: int)"
+        );
+    }
+}

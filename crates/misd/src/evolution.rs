@@ -1,0 +1,438 @@
+//! MKB evolution — Step 1 of the three-step view-synchronization strategy
+//! (§4 of the paper):
+//!
+//! > "Given a capability change ch, EVE system will first evolve the meta
+//! > knowledge base MKB into MKB' by detecting and modifying the affected
+//! > MISD descriptions found in the MKB."
+//!
+//! [`evolve`] is pure: it consumes the current MKB state by reference and
+//! returns the evolved `MKB'`. CVS deliberately keeps *both* states: the
+//! replacement search (Def. 3) looks up function-of constraints in the old
+//! MKB (they encode semantic knowledge that outlives the deleted
+//! relation) while candidate expressions must be built from `MKB'` only.
+//!
+//! Evolution rules per operator:
+//!
+//! * **add-relation / add-attribute** — insert, checking for collisions;
+//! * **delete-relation R** — drop R's description and every constraint
+//!   touching R (join constraints with endpoint R, function-of constraints
+//!   whose target or source mentions R, PC and order constraints over R);
+//! * **delete-attribute R.A** — drop A from R's description; drop every
+//!   join/function-of/PC constraint referencing R.A; truncate order
+//!   constraints at R.A (the prefix ordering remains valid);
+//! * **rename-relation / rename-attribute** — rewrite the description and
+//!   every constraint in place; views are *not* rewritten here (the paper
+//!   treats renames as non-invalidating; the synchronizer in `eve-core`
+//!   transparently rewrites view references).
+
+use crate::change::CapabilityChange;
+use crate::error::MisdError;
+use crate::mkb::MetaKnowledgeBase;
+use eve_relational::{AttrName, AttrRef, RelName, ScalarExpr};
+
+/// Apply a capability change, producing the evolved `MKB'`.
+pub fn evolve(
+    mkb: &MetaKnowledgeBase,
+    change: &CapabilityChange,
+) -> Result<MetaKnowledgeBase, MisdError> {
+    let mut out = mkb.clone();
+    match change {
+        CapabilityChange::AddRelation(desc) => {
+            out.add_relation(desc.clone())?;
+        }
+        CapabilityChange::DeleteRelation(rel) => {
+            if out.remove_relation_entry(rel).is_none() {
+                return Err(MisdError::UnknownRelation(rel.clone()));
+            }
+            out.retain_joins(|j| !j.touches(rel));
+            out.retain_funcofs(|f| !f.touches(rel));
+            out.retain_pcs(|p| !p.touches(rel));
+            out.retain_orders(|o| &o.relation != rel);
+        }
+        CapabilityChange::RenameRelation { from, to } => {
+            rename_relation(&mut out, from, to)?;
+        }
+        CapabilityChange::AddAttribute { relation, attr } => {
+            let desc = out
+                .relation_mut(relation)
+                .ok_or_else(|| MisdError::UnknownRelation(relation.clone()))?;
+            if desc.has_attr(&attr.name) {
+                return Err(MisdError::NameCollision(format!(
+                    "{relation}.{}",
+                    attr.name
+                )));
+            }
+            desc.attrs.push(attr.clone());
+        }
+        CapabilityChange::DeleteAttribute(attr) => {
+            delete_attribute(&mut out, attr)?;
+        }
+        CapabilityChange::RenameAttribute { from, to } => {
+            rename_attribute(&mut out, from, to)?;
+        }
+    }
+    Ok(out)
+}
+
+fn rename_relation(
+    out: &mut MetaKnowledgeBase,
+    from: &RelName,
+    to: &RelName,
+) -> Result<(), MisdError> {
+    if out.contains_relation(to) {
+        return Err(MisdError::NameCollision(to.to_string()));
+    }
+    let mut desc = out
+        .remove_relation_entry(from)
+        .ok_or_else(|| MisdError::UnknownRelation(from.clone()))?;
+    desc.name = to.clone();
+    out.reinsert_relation(desc);
+
+    for j in out.joins_mut() {
+        if &j.left == from {
+            j.left = to.clone();
+        }
+        if &j.right == from {
+            j.right = to.clone();
+        }
+        j.predicate = j.predicate.rename_relation(from, to);
+    }
+    for f in out.funcofs_mut() {
+        if &f.target.relation == from {
+            f.target = AttrRef::new(to.clone(), f.target.attr.clone());
+        }
+        f.expr = f.expr.rename_relation(from, to);
+    }
+    for p in out.pcs_mut() {
+        for side in [&mut p.left, &mut p.right] {
+            if &side.relation == from {
+                side.relation = to.clone();
+            }
+            side.cond = side.cond.rename_relation(from, to);
+        }
+    }
+    for o in out.orders_mut() {
+        if &o.relation == from {
+            o.relation = to.clone();
+        }
+    }
+    Ok(())
+}
+
+fn delete_attribute(out: &mut MetaKnowledgeBase, attr: &AttrRef) -> Result<(), MisdError> {
+    let desc = out
+        .relation_mut(&attr.relation)
+        .ok_or_else(|| MisdError::UnknownRelation(attr.relation.clone()))?;
+    if !desc.remove_attr(&attr.attr) {
+        return Err(MisdError::UnknownAttribute(attr.clone()));
+    }
+    out.retain_joins(|j| !j.attrs().contains(attr));
+    out.retain_funcofs(|f| &f.target != attr && !f.source_attrs().contains(attr));
+    out.retain_pcs(|p| {
+        let mentions = |side: &crate::constraint::ProjSel| {
+            side.attr_refs().contains(attr) || side.cond.attrs().contains(attr)
+        };
+        !mentions(&p.left) && !mentions(&p.right)
+    });
+    // Order constraints: ordering by a prefix of the original attribute
+    // list still holds, so truncate at the deleted attribute.
+    for o in out.orders_mut() {
+        if o.relation == attr.relation {
+            if let Some(pos) = o.attrs.iter().position(|a| a == &attr.attr) {
+                o.attrs.truncate(pos);
+            }
+        }
+    }
+    out.retain_orders(|o| !o.attrs.is_empty());
+    Ok(())
+}
+
+fn rename_attribute(
+    out: &mut MetaKnowledgeBase,
+    from: &AttrRef,
+    to: &AttrName,
+) -> Result<(), MisdError> {
+    let desc = out
+        .relation_mut(&from.relation)
+        .ok_or_else(|| MisdError::UnknownRelation(from.relation.clone()))?;
+    if desc.has_attr(to) {
+        return Err(MisdError::NameCollision(format!("{}.{to}", from.relation)));
+    }
+    if !desc.rename_attr(&from.attr, to.clone()) {
+        return Err(MisdError::UnknownAttribute(from.clone()));
+    }
+    let new_ref = ScalarExpr::Attr(AttrRef::new(from.relation.clone(), to.clone()));
+    for j in out.joins_mut() {
+        j.predicate = j.predicate.substitute(from, &new_ref);
+    }
+    for f in out.funcofs_mut() {
+        if &f.target == from {
+            f.target = AttrRef::new(from.relation.clone(), to.clone());
+        }
+        f.expr = f.expr.substitute(from, &new_ref);
+    }
+    for p in out.pcs_mut() {
+        for side in [&mut p.left, &mut p.right] {
+            if side.relation == from.relation {
+                for a in &mut side.attrs {
+                    if a == &from.attr {
+                        *a = to.clone();
+                    }
+                }
+            }
+            side.cond = side.cond.substitute(from, &new_ref);
+        }
+    }
+    for o in out.orders_mut() {
+        if o.relation == from.relation {
+            for a in &mut o.attrs {
+                if a == &from.attr {
+                    *a = to.clone();
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::{
+        ExtentOp, FunctionOf, JoinConstraint, OrderIntegrity, PartialComplete, ProjSel,
+    };
+    use crate::description::RelationDescription;
+    use eve_relational::{AttributeDef, Clause, Conjunction, DataType};
+
+    /// A three-relation MKB with one constraint of every kind.
+    fn mkb() -> MetaKnowledgeBase {
+        let mut m = MetaKnowledgeBase::new();
+        m.add_relation(RelationDescription::new(
+            "IS1",
+            "Customer",
+            vec![
+                AttributeDef::new("Name", DataType::Str),
+                AttributeDef::new("Age", DataType::Int),
+            ],
+        ))
+        .unwrap();
+        m.add_relation(RelationDescription::new(
+            "IS4",
+            "FlightRes",
+            vec![
+                AttributeDef::new("PName", DataType::Str),
+                AttributeDef::new("Dest", DataType::Str),
+            ],
+        ))
+        .unwrap();
+        m.add_relation(RelationDescription::new(
+            "IS5",
+            "Accident-Ins",
+            vec![
+                AttributeDef::new("Holder", DataType::Str),
+                AttributeDef::new("Birthday", DataType::Date),
+            ],
+        ))
+        .unwrap();
+        m.add_join(JoinConstraint::new(
+            "JC1",
+            "Customer",
+            "FlightRes",
+            Conjunction::new(vec![Clause::eq_attrs(
+                AttrRef::new("Customer", "Name"),
+                AttrRef::new("FlightRes", "PName"),
+            )]),
+        ))
+        .unwrap();
+        m.add_join(JoinConstraint::new(
+            "JC6",
+            "FlightRes",
+            "Accident-Ins",
+            Conjunction::new(vec![Clause::eq_attrs(
+                AttrRef::new("FlightRes", "PName"),
+                AttrRef::new("Accident-Ins", "Holder"),
+            )]),
+        ))
+        .unwrap();
+        m.add_function_of(FunctionOf::new(
+            "F2",
+            AttrRef::new("Customer", "Name"),
+            ScalarExpr::attr("Accident-Ins", "Holder"),
+        ))
+        .unwrap();
+        m.add_pc(PartialComplete::new(
+            "PC1",
+            ProjSel::new("Accident-Ins", vec![AttrName::new("Holder")]),
+            ExtentOp::Superset,
+            ProjSel::new("Customer", vec![AttrName::new("Name")]),
+        ))
+        .unwrap();
+        m.add_order(OrderIntegrity {
+            relation: RelName::new("Customer"),
+            attrs: vec![AttrName::new("Name"), AttrName::new("Age")],
+        })
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn delete_relation_cascades() {
+        let m = mkb();
+        let m2 = evolve(
+            &m,
+            &CapabilityChange::DeleteRelation(RelName::new("Customer")),
+        )
+        .unwrap();
+        assert!(!m2.contains_relation(&RelName::new("Customer")));
+        // JC1 (endpoint Customer), F2 (target Customer.Name), PC1 and the
+        // order constraint all vanish; JC6 survives.
+        assert_eq!(m2.joins().len(), 1);
+        assert_eq!(m2.joins()[0].id, "JC6");
+        assert!(m2.function_ofs().is_empty());
+        assert!(m2.pcs().is_empty());
+        assert!(m2.orders().is_empty());
+        // Original untouched.
+        assert_eq!(m.joins().len(), 2);
+    }
+
+    #[test]
+    fn delete_unknown_relation_errors() {
+        assert!(matches!(
+            evolve(&mkb(), &CapabilityChange::DeleteRelation(RelName::new("X"))),
+            Err(MisdError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn delete_attribute_cascades() {
+        let m = mkb();
+        let m2 = evolve(
+            &m,
+            &CapabilityChange::DeleteAttribute(AttrRef::new("Customer", "Name")),
+        )
+        .unwrap();
+        let c = m2.relation(&RelName::new("Customer")).unwrap();
+        assert!(!c.has_attr(&AttrName::new("Name")));
+        // JC1 references Customer.Name → dropped; JC6 survives.
+        assert_eq!(m2.joins().len(), 1);
+        // F2 targets Customer.Name → dropped.
+        assert!(m2.function_ofs().is_empty());
+        // PC1 projects Customer.Name → dropped.
+        assert!(m2.pcs().is_empty());
+        // Order (Name, Age) truncated at Name → empty → dropped.
+        assert!(m2.orders().is_empty());
+    }
+
+    #[test]
+    fn delete_attribute_truncates_order_suffix() {
+        let m = mkb();
+        let m2 = evolve(
+            &m,
+            &CapabilityChange::DeleteAttribute(AttrRef::new("Customer", "Age")),
+        )
+        .unwrap();
+        assert_eq!(m2.orders().len(), 1);
+        assert_eq!(m2.orders()[0].attrs.len(), 1); // (Name) prefix kept
+    }
+
+    #[test]
+    fn rename_relation_rewrites_constraints() {
+        let m = mkb();
+        let m2 = evolve(
+            &m,
+            &CapabilityChange::RenameRelation {
+                from: RelName::new("Customer"),
+                to: RelName::new("Client"),
+            },
+        )
+        .unwrap();
+        assert!(m2.contains_relation(&RelName::new("Client")));
+        assert!(!m2.contains_relation(&RelName::new("Customer")));
+        let jc1 = m2.join_by_id("JC1").unwrap();
+        assert_eq!(jc1.left, RelName::new("Client"));
+        assert!(jc1.attrs().contains(&AttrRef::new("Client", "Name")));
+        assert_eq!(
+            m2.funcof_by_id("F2").unwrap().target,
+            AttrRef::new("Client", "Name")
+        );
+        assert_eq!(m2.pcs()[0].right.relation, RelName::new("Client"));
+        assert_eq!(m2.orders()[0].relation, RelName::new("Client"));
+    }
+
+    #[test]
+    fn rename_relation_collision_errors() {
+        assert!(matches!(
+            evolve(
+                &mkb(),
+                &CapabilityChange::RenameRelation {
+                    from: RelName::new("Customer"),
+                    to: RelName::new("FlightRes"),
+                }
+            ),
+            Err(MisdError::NameCollision(_))
+        ));
+    }
+
+    #[test]
+    fn rename_attribute_rewrites_constraints() {
+        let m = mkb();
+        let m2 = evolve(
+            &m,
+            &CapabilityChange::RenameAttribute {
+                from: AttrRef::new("Customer", "Name"),
+                to: AttrName::new("FullName"),
+            },
+        )
+        .unwrap();
+        let jc1 = m2.join_by_id("JC1").unwrap();
+        assert!(jc1.attrs().contains(&AttrRef::new("Customer", "FullName")));
+        assert_eq!(
+            m2.funcof_by_id("F2").unwrap().target,
+            AttrRef::new("Customer", "FullName")
+        );
+        assert_eq!(m2.pcs()[0].right.attrs[0], AttrName::new("FullName"));
+        assert_eq!(m2.orders()[0].attrs[0], AttrName::new("FullName"));
+    }
+
+    #[test]
+    fn add_attribute_and_collision() {
+        let m = mkb();
+        let m2 = evolve(
+            &m,
+            &CapabilityChange::AddAttribute {
+                relation: RelName::new("Customer"),
+                attr: AttributeDef::new("Phone", DataType::Str),
+            },
+        )
+        .unwrap();
+        assert!(m2
+            .relation(&RelName::new("Customer"))
+            .unwrap()
+            .has_attr(&AttrName::new("Phone")));
+        assert!(matches!(
+            evolve(
+                &m2,
+                &CapabilityChange::AddAttribute {
+                    relation: RelName::new("Customer"),
+                    attr: AttributeDef::new("Phone", DataType::Str),
+                }
+            ),
+            Err(MisdError::NameCollision(_))
+        ));
+    }
+
+    #[test]
+    fn add_relation() {
+        let m = mkb();
+        let m2 = evolve(
+            &m,
+            &CapabilityChange::AddRelation(RelationDescription::new(
+                "IS9",
+                "Person",
+                vec![AttributeDef::new("Name", DataType::Str)],
+            )),
+        )
+        .unwrap();
+        assert_eq!(m2.relation_count(), 4);
+    }
+}

@@ -1,0 +1,330 @@
+//! A textual MISD format, so meta knowledge bases can be written as
+//! fixtures and printed for inspection (the paper's Fig. 2 is exactly such
+//! a listing).
+//!
+//! ```text
+//! RELATION IS1 Customer(Name str, Addr str, Phone str, Age int)
+//! RELATION IS4 FlightRes(PName str, Airline str, Dest str)
+//! JOIN JC1: Customer, FlightRes ON Customer.Name = FlightRes.PName
+//! JOIN JC2: Customer, Accident-Ins ON
+//!      Customer.Name = Accident-Ins.Holder AND Customer.Age > 1
+//! FUNCOF F3: Customer.Age = (today() - Accident-Ins.Birthday) / 365
+//! PC PC1: Person(Name, PAddr) superset Customer(Name, Addr)
+//! ORDER Customer BY Name, Age
+//! ```
+//!
+//! A relation declaration may carry capability flags (`NOJOIN`,
+//! `NOSELECT`, `NOPROJECT`) restricting the advertised query
+//! capabilities (§2 of the paper mentions capability descriptions):
+//!
+//! ```text
+//! RELATION IS9 Snapshot(k int, v int) NOJOIN
+//! ```
+//!
+//! Keywords are case-insensitive; `--` starts a line comment; statements
+//! may optionally be terminated with `;`. [`render_misd`] produces
+//! canonical text that [`parse_misd`] reads back to an equal MKB.
+
+use crate::constraint::{
+    ExtentOp, FunctionOf, JoinConstraint, OrderIntegrity, PartialComplete, ProjSel,
+};
+use crate::description::RelationDescription;
+use crate::error::MisdError;
+use crate::mkb::MetaKnowledgeBase;
+use eve_esql::lexer::Tok;
+use eve_esql::parser::{parse_conjunction_at, parse_expr_at, Cursor};
+use eve_relational::{AttrName, AttrRef, AttributeDef, Conjunction, DataType};
+
+/// Parse a textual MISD document into a validated MKB.
+pub fn parse_misd(input: &str) -> Result<MetaKnowledgeBase, MisdError> {
+    let mut cur = Cursor::new(input)?;
+    let mut mkb = MetaKnowledgeBase::new();
+    while !cur.at_end() {
+        if cur.eat(&Tok::Semi) {
+            continue;
+        }
+        if cur.eat_kw("relation") {
+            mkb.add_relation(parse_relation(&mut cur)?)?;
+        } else if cur.eat_kw("join") {
+            mkb.add_join(parse_join(&mut cur)?)?;
+        } else if cur.eat_kw("funcof") {
+            mkb.add_function_of(parse_funcof(&mut cur)?)?;
+        } else if cur.eat_kw("pc") {
+            mkb.add_pc(parse_pc(&mut cur)?)?;
+        } else if cur.eat_kw("order") {
+            mkb.add_order(parse_order(&mut cur)?)?;
+        } else {
+            return Err(cur
+                .err("expected RELATION, JOIN, FUNCOF, PC or ORDER statement")
+                .into());
+        }
+    }
+    Ok(mkb)
+}
+
+fn parse_relation(cur: &mut Cursor) -> Result<RelationDescription, MisdError> {
+    let source = cur.expect_ident()?;
+    let name = cur.expect_ident()?;
+    cur.expect(&Tok::LParen)?;
+    let mut attrs = Vec::new();
+    loop {
+        let attr = cur.expect_ident()?;
+        cur.eat(&Tok::Colon);
+        let ty_word = cur.expect_ident()?;
+        let ty = DataType::parse(&ty_word)
+            .ok_or_else(|| cur.err(format!("unknown type `{ty_word}`")))?;
+        attrs.push(AttributeDef::new(attr, ty));
+        if !cur.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    cur.expect(&Tok::RParen)?;
+    let mut desc = RelationDescription::new(source, name, attrs);
+    loop {
+        if cur.eat_kw("nojoin") {
+            desc.capabilities.join = false;
+        } else if cur.eat_kw("noselect") {
+            desc.capabilities.selection = false;
+        } else if cur.eat_kw("noproject") {
+            desc.capabilities.projection = false;
+        } else {
+            break;
+        }
+    }
+    Ok(desc)
+}
+
+fn parse_join(cur: &mut Cursor) -> Result<JoinConstraint, MisdError> {
+    let id = cur.expect_ident()?;
+    cur.eat(&Tok::Colon);
+    let left = cur.expect_ident()?;
+    cur.expect(&Tok::Comma)?;
+    let right = cur.expect_ident()?;
+    cur.expect_kw("on")?;
+    let predicate = parse_conjunction_at(cur)?;
+    Ok(JoinConstraint::new(id, left, right, predicate))
+}
+
+fn parse_funcof(cur: &mut Cursor) -> Result<FunctionOf, MisdError> {
+    let id = cur.expect_ident()?;
+    cur.eat(&Tok::Colon);
+    let rel = cur.expect_ident()?;
+    cur.expect(&Tok::Dot)?;
+    let attr = cur.expect_ident()?;
+    cur.expect(&Tok::Eq)?;
+    let expr = parse_expr_at(cur)?;
+    Ok(FunctionOf::new(id, AttrRef::new(rel, attr), expr))
+}
+
+fn parse_projsel(cur: &mut Cursor) -> Result<ProjSel, MisdError> {
+    let rel = cur.expect_ident()?;
+    cur.expect(&Tok::LParen)?;
+    let mut attrs = Vec::new();
+    loop {
+        attrs.push(AttrName::new(cur.expect_ident()?));
+        if !cur.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    cur.expect(&Tok::RParen)?;
+    let cond = if cur.eat_kw("where") {
+        parse_conjunction_at(cur)?
+    } else {
+        Conjunction::empty()
+    };
+    Ok(ProjSel {
+        relation: rel.into(),
+        attrs,
+        cond,
+    })
+}
+
+fn parse_pc(cur: &mut Cursor) -> Result<PartialComplete, MisdError> {
+    let id = cur.expect_ident()?;
+    cur.eat(&Tok::Colon);
+    let left = parse_projsel(cur)?;
+    let op_word = cur.expect_ident()?;
+    let op = ExtentOp::parse(&op_word)
+        .ok_or_else(|| cur.err(format!("unknown containment operator `{op_word}`")))?;
+    let right = parse_projsel(cur)?;
+    Ok(PartialComplete::new(id, left, op, right))
+}
+
+fn parse_order(cur: &mut Cursor) -> Result<OrderIntegrity, MisdError> {
+    let rel = cur.expect_ident()?;
+    cur.expect_kw("by")?;
+    let mut attrs = Vec::new();
+    loop {
+        attrs.push(AttrName::new(cur.expect_ident()?));
+        if !cur.eat(&Tok::Comma) {
+            break;
+        }
+    }
+    Ok(OrderIntegrity {
+        relation: rel.into(),
+        attrs,
+    })
+}
+
+/// Render an MKB in the canonical textual format (inverse of
+/// [`parse_misd`]).
+pub fn render_misd(mkb: &MetaKnowledgeBase) -> String {
+    let mut out = String::new();
+    for r in mkb.relations() {
+        out.push_str("RELATION ");
+        out.push_str(&r.source);
+        out.push(' ');
+        out.push_str(r.name.as_str());
+        out.push('(');
+        for (i, a) in r.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{} {}", a.name, a.ty));
+        }
+        out.push(')');
+        if !r.capabilities.join {
+            out.push_str(" NOJOIN");
+        }
+        if !r.capabilities.selection {
+            out.push_str(" NOSELECT");
+        }
+        if !r.capabilities.projection {
+            out.push_str(" NOPROJECT");
+        }
+        out.push('\n');
+    }
+    for j in mkb.joins() {
+        out.push_str(&format!(
+            "JOIN {}: {}, {} ON {}\n",
+            j.id, j.left, j.right, j.predicate
+        ));
+    }
+    for f in mkb.function_ofs() {
+        out.push_str(&format!("FUNCOF {}: {} = {}\n", f.id, f.target, f.expr));
+    }
+    for p in mkb.pcs() {
+        out.push_str(&format!(
+            "PC {}: {} {} {}\n",
+            p.id,
+            p.left,
+            p.op.keyword(),
+            p.right
+        ));
+    }
+    for o in mkb.orders() {
+        out.push_str(&format!("ORDER {} BY ", o.relation));
+        for (i, a) in o.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(a.as_str());
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::RelName;
+
+    const SAMPLE: &str = "
+        -- a small slice of the travel-agency MKB
+        RELATION IS1 Customer(Name str, Addr str, Phone str, Age int)
+        RELATION IS4 FlightRes(PName str, Airline str, Dest str)
+        RELATION IS5 Accident-Ins(Holder str, Type str, Amount int, Birthday date)
+        JOIN JC1: Customer, FlightRes ON Customer.Name = FlightRes.PName
+        JOIN JC2: Customer, Accident-Ins ON
+            Customer.Name = Accident-Ins.Holder AND Customer.Age > 1
+        FUNCOF F2: Customer.Name = Accident-Ins.Holder
+        FUNCOF F3: Customer.Age = (today() - Accident-Ins.Birthday) / 365
+        PC PC1: Accident-Ins(Holder) superset Customer(Name)
+        ORDER Customer BY Name, Age
+    ";
+
+    #[test]
+    fn parses_sample() {
+        let mkb = parse_misd(SAMPLE).unwrap();
+        assert_eq!(mkb.relation_count(), 3);
+        assert_eq!(mkb.joins().len(), 2);
+        assert_eq!(mkb.function_ofs().len(), 2);
+        assert_eq!(mkb.pcs().len(), 1);
+        assert_eq!(mkb.orders().len(), 1);
+        let jc2 = mkb.join_by_id("JC2").unwrap();
+        assert_eq!(jc2.predicate.len(), 2);
+        assert_eq!(
+            mkb.funcof_by_id("F3").unwrap().source_relation(),
+            Some(RelName::new("Accident-Ins"))
+        );
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mkb = parse_misd(SAMPLE).unwrap();
+        let rendered = render_misd(&mkb);
+        let back = parse_misd(&rendered)
+            .unwrap_or_else(|e| panic!("rendered MISD failed to parse: {e}\n{rendered}"));
+        assert_eq!(mkb, back, "\nrendered:\n{rendered}");
+    }
+
+    #[test]
+    fn pc_with_where_clause() {
+        let mkb = parse_misd(
+            "RELATION IS1 A(x int)
+             RELATION IS2 B(y int)
+             PC P1: A(x) WHERE A.x > 0 subset B(y) WHERE B.y > 0",
+        )
+        .unwrap();
+        assert_eq!(mkb.pcs()[0].left.cond.len(), 1);
+        assert_eq!(mkb.pcs()[0].right.cond.len(), 1);
+    }
+
+    #[test]
+    fn unknown_statement_rejected() {
+        assert!(parse_misd("BOGUS stuff").is_err());
+    }
+
+    #[test]
+    fn constraint_validation_applies() {
+        // Join over an undescribed relation is rejected by the MKB.
+        let err = parse_misd(
+            "RELATION IS1 A(x int)
+             JOIN J1: A, B ON A.x = B.y",
+        )
+        .unwrap_err();
+        assert!(matches!(err, MisdError::UnknownRelation(_)));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(parse_misd("RELATION IS1 A(x blob)").is_err());
+    }
+
+    #[test]
+    fn capability_flags_roundtrip() {
+        let mkb = parse_misd(
+            "RELATION IS1 A(x int) NOJOIN NOSELECT
+             RELATION IS2 B(y int)",
+        )
+        .unwrap();
+        let a = mkb.relation(&RelName::new("A")).unwrap();
+        assert!(!a.capabilities.join);
+        assert!(!a.capabilities.selection);
+        assert!(a.capabilities.projection);
+        let rendered = render_misd(&mkb);
+        assert!(rendered.contains("NOJOIN"));
+        assert_eq!(parse_misd(&rendered).unwrap(), mkb);
+    }
+
+    #[test]
+    fn semicolons_and_comments_tolerated() {
+        let mkb = parse_misd(
+            "RELATION IS1 A(x int); -- trailing comment
+             RELATION IS2 B(y int);",
+        )
+        .unwrap();
+        assert_eq!(mkb.relation_count(), 2);
+    }
+}

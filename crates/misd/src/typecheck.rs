@@ -1,0 +1,190 @@
+//! Semantic (type-level) checking of MKB constraints and of views
+//! against an MKB.
+//!
+//! Structural validity (referenced relations/attributes exist, arities
+//! match) is enforced at insertion by [`crate::mkb::MetaKnowledgeBase`];
+//! this module adds the *type* dimension of the `TC` constraints:
+//!
+//! * join-constraint predicates compare compatible types;
+//! * function-of constraints define an attribute by an expression of a
+//!   compatible type (the paper's "if two attributes are exported with
+//!   the same name, they are assumed to have the same type" generalises
+//!   to explicit compatibility here);
+//! * partial/complete constraints project position-wise compatible
+//!   attribute lists;
+//! * an E-SQL view's expressions and conditions type-check against the
+//!   MKB's declared domains.
+
+use crate::mkb::MetaKnowledgeBase;
+use eve_esql::ViewDefinition;
+use eve_relational::typecheck::{check_clause, comparable, infer_type, TypeError};
+use eve_relational::{AttrRef, DataType};
+
+fn resolver(mkb: &MetaKnowledgeBase) -> impl Fn(&AttrRef) -> Option<DataType> + '_ {
+    move |attr: &AttrRef| {
+        mkb.relation(&attr.relation)
+            .and_then(|r| r.type_of(&attr.attr))
+    }
+}
+
+/// Type-check every constraint of the MKB, returning all violations.
+pub fn check_mkb(mkb: &MetaKnowledgeBase) -> Vec<TypeError> {
+    let resolve = resolver(mkb);
+    let mut errors = Vec::new();
+
+    for jc in mkb.joins() {
+        for clause in jc.predicate.clauses() {
+            if let Err(e) = check_clause(clause, &resolve) {
+                errors.push(e);
+            }
+        }
+    }
+
+    for f in mkb.function_ofs() {
+        let target_ty = resolve(&f.target);
+        match infer_type(&f.expr, &resolve) {
+            Err(e) => errors.push(e),
+            Ok(Some(expr_ty)) => {
+                if let Some(t) = target_ty {
+                    if !comparable(t, expr_ty) {
+                        errors.push(TypeError::Incomparable {
+                            clause: format!("{} = {}", f.target, f.expr),
+                            lhs: t,
+                            rhs: expr_ty,
+                        });
+                    }
+                }
+            }
+            Ok(None) => {}
+        }
+    }
+
+    for pc in mkb.pcs() {
+        for (l, r) in pc.left.attr_refs().iter().zip(pc.right.attr_refs()) {
+            if let (Some(a), Some(b)) = (resolve(l), resolve(&r)) {
+                if !comparable(a, b) {
+                    errors.push(TypeError::Incomparable {
+                        clause: format!("{}: {l} vs {r}", pc.id),
+                        lhs: a,
+                        rhs: b,
+                    });
+                }
+            }
+        }
+        for side in [&pc.left, &pc.right] {
+            for clause in side.cond.clauses() {
+                if let Err(e) = check_clause(clause, &resolve) {
+                    errors.push(e);
+                }
+            }
+        }
+    }
+
+    errors
+}
+
+/// Type-check a view against the MKB: every referenced attribute must
+/// resolve, every SELECT expression must type, every condition must
+/// compare compatible types.
+pub fn check_view(view: &ViewDefinition, mkb: &MetaKnowledgeBase) -> Vec<TypeError> {
+    let resolve = resolver(mkb);
+    let mut errors = Vec::new();
+    for item in &view.select {
+        if let Err(e) = infer_type(&item.expr, &resolve) {
+            errors.push(e);
+        }
+    }
+    for cond in &view.conditions {
+        if let Err(e) = check_clause(&cond.clause, &resolve) {
+            errors.push(e);
+        }
+    }
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::text::parse_misd;
+    use eve_esql::parse_view;
+
+    fn mkb() -> MetaKnowledgeBase {
+        parse_misd(
+            "RELATION IS1 Customer(Name str, Age int)
+             RELATION IS5 Accident-Ins(Holder str, Birthday date)
+             JOIN JC2: Customer, Accident-Ins ON
+                Customer.Name = Accident-Ins.Holder AND Customer.Age > 1
+             FUNCOF F3: Customer.Age = (today() - Accident-Ins.Birthday) / 365",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig2_constraints_typecheck() {
+        assert!(check_mkb(&mkb()).is_empty());
+    }
+
+    #[test]
+    fn ill_typed_join_detected() {
+        let bad = parse_misd(
+            "RELATION IS1 A(name str)
+             RELATION IS2 B(num int)
+             JOIN J1: A, B ON A.name = B.num",
+        )
+        .unwrap();
+        let errs = check_mkb(&bad);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], TypeError::Incomparable { .. }));
+    }
+
+    #[test]
+    fn ill_typed_funcof_detected() {
+        let bad = parse_misd(
+            "RELATION IS1 A(name str)
+             RELATION IS2 B(num int)
+             FUNCOF F1: A.name = B.num + 1",
+        )
+        .unwrap();
+        let errs = check_mkb(&bad);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, TypeError::Incomparable { .. })));
+    }
+
+    #[test]
+    fn ill_typed_pc_detected() {
+        let bad = parse_misd(
+            "RELATION IS1 A(name str)
+             RELATION IS2 B(num int)
+             PC P1: A(name) subset B(num)",
+        )
+        .unwrap();
+        assert_eq!(check_mkb(&bad).len(), 1);
+    }
+
+    #[test]
+    fn view_against_mkb() {
+        let m = mkb();
+        let ok = parse_view(
+            "CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C
+             WHERE (C.Age > 18) AND (C.Name = 'ann')",
+        )
+        .unwrap();
+        assert!(check_view(&ok, &m).is_empty());
+
+        let bad = parse_view(
+            "CREATE VIEW V AS SELECT C.Name + 1 FROM Customer C WHERE C.Age = 'old'",
+        )
+        .unwrap();
+        let errs = check_view(&bad, &m);
+        assert_eq!(errs.len(), 2, "{errs:?}");
+    }
+
+    #[test]
+    fn unknown_attr_in_view_detected() {
+        let m = mkb();
+        let v = parse_view("CREATE VIEW V AS SELECT C.Ghost FROM Customer C").unwrap();
+        let errs = check_view(&v, &m);
+        assert!(matches!(errs[0], TypeError::UnknownAttribute(_)));
+    }
+}

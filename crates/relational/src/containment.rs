@@ -1,0 +1,166 @@
+//! Extent comparison under set semantics.
+//!
+//! Implements the relation `θ ∈ {⊂, ⊆, ≡, ⊇, ⊃}` between two extents, as
+//! used by
+//!
+//! * partial/complete MISD constraints (Fig. 1):
+//!   `PC_{R1,R2} = (π_{A1}(σ_{C(B1)} R1) θ π_{A2}(σ_{C(B2)} R2))`, and
+//! * the view-extent parameter check P3 (Def. 1): comparing
+//!   `π_{B_V ∩ B_V'}(V')` against `π_{B_V ∩ B_V'}(V)`.
+//!
+//! Comparison ignores column *names* — only positional tuple values matter
+//! (the projections being compared are arranged to align columns) — but
+//! requires equal arity.
+
+use crate::relation::Relation;
+use std::fmt;
+
+/// The exact set relationship between two extents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtentRelation {
+    /// Extents are equal.
+    Equivalent,
+    /// Left is a proper subset of right.
+    ProperSubset,
+    /// Left is a proper superset of right.
+    ProperSuperset,
+    /// Neither contains the other.
+    Incomparable,
+}
+
+impl ExtentRelation {
+    /// `left ⊆ right`?
+    pub fn is_subset(self) -> bool {
+        matches!(
+            self,
+            ExtentRelation::Equivalent | ExtentRelation::ProperSubset
+        )
+    }
+
+    /// `left ⊇ right`?
+    pub fn is_superset(self) -> bool {
+        matches!(
+            self,
+            ExtentRelation::Equivalent | ExtentRelation::ProperSuperset
+        )
+    }
+
+    /// `left ≡ right`?
+    pub fn is_equivalent(self) -> bool {
+        self == ExtentRelation::Equivalent
+    }
+
+    /// Mathematical symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ExtentRelation::Equivalent => "≡",
+            ExtentRelation::ProperSubset => "⊂",
+            ExtentRelation::ProperSuperset => "⊃",
+            ExtentRelation::Incomparable => "≬",
+        }
+    }
+}
+
+impl fmt::Display for ExtentRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Compare the extents of two relations positionally.
+///
+/// # Panics
+///
+/// Panics when arities differ — callers must align projections first; a
+/// mismatch is a logic error, not a data condition.
+pub fn compare_extents(left: &Relation, right: &Relation) -> ExtentRelation {
+    assert_eq!(
+        left.schema().arity(),
+        right.schema().arity(),
+        "extent comparison requires equal arity"
+    );
+    let l = left.row_set();
+    let r = right.row_set();
+    let l_in_r = l.is_subset(r);
+    let r_in_l = r.is_subset(l);
+    match (l_in_r, r_in_l) {
+        (true, true) => ExtentRelation::Equivalent,
+        (true, false) => ExtentRelation::ProperSubset,
+        (false, true) => ExtentRelation::ProperSuperset,
+        (false, false) => ExtentRelation::Incomparable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrRef, Schema};
+    use crate::tuple::Tuple;
+    use crate::types::{DataType, Value};
+
+    fn rel(vals: &[i64]) -> Relation {
+        let schema =
+            Schema::from_columns(vec![(AttrRef::new("R", "x"), DataType::Int)]).unwrap();
+        Relation::from_rows(
+            schema,
+            vals.iter().map(|v| Tuple::new(vec![Value::Int(*v)])),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_four_relations() {
+        assert_eq!(
+            compare_extents(&rel(&[1, 2]), &rel(&[1, 2])),
+            ExtentRelation::Equivalent
+        );
+        assert_eq!(
+            compare_extents(&rel(&[1]), &rel(&[1, 2])),
+            ExtentRelation::ProperSubset
+        );
+        assert_eq!(
+            compare_extents(&rel(&[1, 2, 3]), &rel(&[1, 2])),
+            ExtentRelation::ProperSuperset
+        );
+        assert_eq!(
+            compare_extents(&rel(&[1, 3]), &rel(&[1, 2])),
+            ExtentRelation::Incomparable
+        );
+    }
+
+    #[test]
+    fn empty_edge_cases() {
+        assert_eq!(
+            compare_extents(&rel(&[]), &rel(&[])),
+            ExtentRelation::Equivalent
+        );
+        assert_eq!(
+            compare_extents(&rel(&[]), &rel(&[1])),
+            ExtentRelation::ProperSubset
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(ExtentRelation::Equivalent.is_subset());
+        assert!(ExtentRelation::Equivalent.is_superset());
+        assert!(ExtentRelation::ProperSubset.is_subset());
+        assert!(!ExtentRelation::ProperSubset.is_superset());
+        assert!(!ExtentRelation::Incomparable.is_subset());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal arity")]
+    fn arity_mismatch_panics() {
+        let wide = Relation::from_rows(
+            Schema::from_columns(vec![
+                (AttrRef::new("R", "x"), DataType::Int),
+                (AttrRef::new("R", "y"), DataType::Int),
+            ])
+            .unwrap(),
+            vec![],
+        )
+        .unwrap();
+        compare_extents(&rel(&[1]), &wide);
+    }
+}

@@ -1,0 +1,98 @@
+//! A named collection of relation instances — one concrete *state of the
+//! information space* (the union of the states of all ISs).
+
+use crate::error::RelationalError;
+use crate::relation::Relation;
+use crate::schema::RelName;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A database: relation name → instance.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: BTreeMap<RelName, Relation>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Insert or replace a relation instance.
+    pub fn put(&mut self, name: impl Into<RelName>, rel: Relation) {
+        self.relations.insert(name.into(), rel);
+    }
+
+    /// Look up a relation.
+    pub fn get(&self, name: &RelName) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// Look up a relation, erroring when absent.
+    pub fn require(&self, name: &RelName) -> Result<&Relation, RelationalError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation(name.clone()))
+    }
+
+    /// Remove a relation (models the IS dropping it); returns the removed
+    /// instance, if any.
+    pub fn remove(&mut self, name: &RelName) -> Option<Relation> {
+        self.relations.remove(name)
+    }
+
+    /// True iff the relation exists.
+    pub fn contains(&self, name: &RelName) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Relation names, sorted.
+    pub fn names(&self) -> impl Iterator<Item = &RelName> {
+        self.relations.keys()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True when the database holds no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, rel) in &self.relations {
+            writeln!(f, "{name} [{} tuples] {}", rel.len(), rel.schema())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttributeDef, Schema};
+    use crate::types::DataType;
+
+    #[test]
+    fn put_get_remove() {
+        let mut db = Database::new();
+        let name = RelName::new("R");
+        let rel = Relation::new(Schema::of_relation(
+            &name,
+            &[AttributeDef::new("x", DataType::Int)],
+        ));
+        db.put(name.clone(), rel);
+        assert!(db.contains(&name));
+        assert!(db.require(&name).is_ok());
+        assert!(db.remove(&name).is_some());
+        assert!(matches!(
+            db.require(&name),
+            Err(RelationalError::UnknownRelation(_))
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Error type for the relational engine.
+
+use crate::schema::{AttrRef, RelName};
+use std::fmt;
+
+/// Errors raised while building schemas or evaluating algebra expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A schema would contain the same qualified column twice.
+    DuplicateColumn(AttrRef),
+    /// An expression referenced an attribute absent from the input schema.
+    UnknownAttribute(AttrRef),
+    /// A named relation was not found in the database.
+    UnknownRelation(RelName),
+    /// A named function was not found in the registry.
+    UnknownFunction(String),
+    /// A function was applied to the wrong number of arguments.
+    Arity {
+        /// Function name.
+        func: String,
+        /// Expected argument count.
+        expected: usize,
+        /// Provided argument count.
+        got: usize,
+    },
+    /// A tuple's width did not match its relation's schema.
+    TupleWidth {
+        /// Expected width (schema arity).
+        expected: usize,
+        /// Actual width.
+        got: usize,
+    },
+    /// An arithmetic operator was applied to non-numeric operands.
+    TypeMismatch(String),
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::DuplicateColumn(c) => write!(f, "duplicate column {c}"),
+            RelationalError::UnknownAttribute(a) => write!(f, "unknown attribute {a}"),
+            RelationalError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            RelationalError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            RelationalError::Arity {
+                func,
+                expected,
+                got,
+            } => write!(f, "function {func} expects {expected} args, got {got}"),
+            RelationalError::TupleWidth { expected, got } => {
+                write!(f, "tuple width {got} does not match schema arity {expected}")
+            }
+            RelationalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}

@@ -1,0 +1,196 @@
+//! Named scalar functions.
+//!
+//! MISD *function-of* constraints (§2 of the paper) have the form
+//! `F_{R1.A, R2.B} = (R1.A = f(R2.B))` where `f` is an arbitrary function.
+//! The running example uses `F3 = (Customer.Age = (today −
+//! Accident-Ins.Birthday)/365)` — arithmetic over a nullary function
+//! `today`. Arithmetic is part of [`crate::expr::ScalarExpr`]; everything
+//! else is a *named function* resolved through a [`FuncRegistry`].
+//!
+//! The default registry is fully deterministic: `today` returns a fixed
+//! simulation date (configurable via [`FuncRegistry::set_today`]) so that
+//! experiments and property tests are reproducible.
+
+use crate::error::RelationalError;
+use crate::types::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// The implementation type of a named function.
+pub type FuncImpl = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// A named scalar function: fixed arity plus an implementation.
+#[derive(Clone)]
+pub struct NamedFunc {
+    /// Function name (as written in constraints/queries).
+    pub name: String,
+    /// Number of arguments the function takes.
+    pub arity: usize,
+    imp: FuncImpl,
+}
+
+impl NamedFunc {
+    /// Create a named function.
+    pub fn new(
+        name: impl Into<String>,
+        arity: usize,
+        imp: impl Fn(&[Value]) -> Value + Send + Sync + 'static,
+    ) -> Self {
+        NamedFunc {
+            name: name.into(),
+            arity,
+            imp: Arc::new(imp),
+        }
+    }
+
+    /// Apply the function. Arity is checked by the caller
+    /// ([`FuncRegistry::call`]).
+    pub fn apply(&self, args: &[Value]) -> Value {
+        (self.imp)(args)
+    }
+}
+
+impl fmt::Debug for NamedFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NamedFunc({}/{})", self.name, self.arity)
+    }
+}
+
+/// Registry of named functions, keyed case-sensitively.
+#[derive(Debug, Clone)]
+pub struct FuncRegistry {
+    funcs: BTreeMap<String, NamedFunc>,
+}
+
+/// The fixed simulation date used by the default `today` implementation:
+/// days since 1970-01-01 for 1998-03-23 (EDBT'98 week), keeping the
+/// reproduction deterministic.
+pub const DEFAULT_TODAY: i64 = 10_308;
+
+impl Default for FuncRegistry {
+    fn default() -> Self {
+        let mut r = FuncRegistry {
+            funcs: BTreeMap::new(),
+        };
+        r.register(NamedFunc::new("today", 0, |_| Value::Date(DEFAULT_TODAY)));
+        r.register(NamedFunc::new("identity", 1, |a| a[0].clone()));
+        r.register(NamedFunc::new("abs", 1, |a| match &a[0] {
+            Value::Int(i) => Value::Int(i.abs()),
+            Value::Float(f) => Value::float(f.get().abs()),
+            _ => Value::Null,
+        }));
+        r.register(NamedFunc::new("lower", 1, |a| match &a[0] {
+            Value::Str(s) => Value::Str(s.to_lowercase()),
+            _ => Value::Null,
+        }));
+        r.register(NamedFunc::new("upper", 1, |a| match &a[0] {
+            Value::Str(s) => Value::Str(s.to_uppercase()),
+            _ => Value::Null,
+        }));
+        r.register(NamedFunc::new("floor", 1, |a| match a[0].as_f64() {
+            Some(x) => Value::Int(x.floor() as i64),
+            None => Value::Null,
+        }));
+        r
+    }
+}
+
+impl FuncRegistry {
+    /// Registry with the built-ins (`today`, `identity`, `abs`, `lower`,
+    /// `upper`, `floor`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a function.
+    pub fn register(&mut self, f: NamedFunc) {
+        self.funcs.insert(f.name.clone(), f);
+    }
+
+    /// Override the simulation date returned by `today`.
+    pub fn set_today(&mut self, days_since_epoch: i64) {
+        self.register(NamedFunc::new("today", 0, move |_| {
+            Value::Date(days_since_epoch)
+        }));
+    }
+
+    /// Look up a function by name.
+    pub fn get(&self, name: &str) -> Option<&NamedFunc> {
+        self.funcs.get(name)
+    }
+
+    /// Call a function, checking existence and arity.
+    pub fn call(&self, name: &str, args: &[Value]) -> Result<Value, RelationalError> {
+        let f = self
+            .funcs
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownFunction(name.to_string()))?;
+        if f.arity != args.len() {
+            return Err(RelationalError::Arity {
+                func: name.to_string(),
+                expected: f.arity,
+                got: args.len(),
+            });
+        }
+        Ok(f.apply(args))
+    }
+
+    /// Names of all registered functions.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.funcs.keys().map(String::as_str)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins() {
+        let r = FuncRegistry::new();
+        assert_eq!(r.call("today", &[]).unwrap(), Value::Date(DEFAULT_TODAY));
+        assert_eq!(
+            r.call("abs", &[Value::Int(-3)]).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            r.call("lower", &[Value::str("ABC")]).unwrap(),
+            Value::str("abc")
+        );
+        assert_eq!(r.call("floor", &[Value::float(2.9)]).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn arity_and_unknown_errors() {
+        let r = FuncRegistry::new();
+        assert!(matches!(
+            r.call("abs", &[]),
+            Err(RelationalError::Arity { .. })
+        ));
+        assert!(matches!(
+            r.call("nope", &[]),
+            Err(RelationalError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn set_today_overrides() {
+        let mut r = FuncRegistry::new();
+        r.set_today(42);
+        assert_eq!(r.call("today", &[]).unwrap(), Value::Date(42));
+    }
+
+    #[test]
+    fn custom_function() {
+        let mut r = FuncRegistry::new();
+        r.register(NamedFunc::new("double", 1, |a| match a[0].as_f64() {
+            Some(x) => Value::float(2.0 * x),
+            None => Value::Null,
+        }));
+        assert_eq!(
+            r.call("double", &[Value::Int(4)]).unwrap(),
+            Value::float(8.0)
+        );
+    }
+}

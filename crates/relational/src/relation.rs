@@ -1,0 +1,133 @@
+//! Relation instances: a schema plus a set of tuples.
+//!
+//! Extents are compared under **set semantics** (the paper's containment
+//! statements `⊂ ⊆ ≡ ⊇ ⊃` are set relations), so duplicate tuples are
+//! eliminated on insertion.
+
+use crate::error::RelationalError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A relation instance.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    schema: Schema,
+    rows: BTreeSet<Tuple>,
+}
+
+impl Relation {
+    /// Empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Relation {
+            schema,
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// Build from rows, checking widths.
+    pub fn from_rows(
+        schema: Schema,
+        rows: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self, RelationalError> {
+        let mut r = Relation::new(schema);
+        for t in rows {
+            r.insert(t)?;
+        }
+        Ok(r)
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Insert a tuple (deduplicated). Errors when widths disagree.
+    pub fn insert(&mut self, t: Tuple) -> Result<bool, RelationalError> {
+        if t.arity() != self.schema.arity() {
+            return Err(RelationalError::TupleWidth {
+                expected: self.schema.arity(),
+                got: t.arity(),
+            });
+        }
+        Ok(self.rows.insert(t))
+    }
+
+    /// Number of (distinct) tuples.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterate over tuples in canonical order.
+    pub fn rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter()
+    }
+
+    /// The tuple set itself (for containment checks).
+    pub fn row_set(&self) -> &BTreeSet<Tuple> {
+        &self.rows
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.rows.contains(t)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.rows {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrRef, AttributeDef, RelName};
+    use crate::types::{DataType, Value};
+
+    fn schema() -> Schema {
+        Schema::of_relation(
+            &RelName::new("R"),
+            &[
+                AttributeDef::new("x", DataType::Int),
+                AttributeDef::new("y", DataType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_dedup_and_width_check() {
+        let mut r = Relation::new(schema());
+        let t = Tuple::new(vec![Value::Int(1), Value::str("a")]);
+        assert!(r.insert(t.clone()).unwrap());
+        assert!(!r.insert(t).unwrap());
+        assert_eq!(r.len(), 1);
+        assert!(r.insert(Tuple::new(vec![Value::Int(1)])).is_err());
+    }
+
+    #[test]
+    fn from_rows() {
+        let r = Relation::from_rows(
+            schema(),
+            vec![
+                Tuple::new(vec![Value::Int(1), Value::str("a")]),
+                Tuple::new(vec![Value::Int(2), Value::str("b")]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&Tuple::new(vec![Value::Int(2), Value::str("b")])));
+        assert!(r.schema().contains(&AttrRef::new("R", "x")));
+    }
+}

@@ -1,0 +1,296 @@
+//! Static type inference for scalar expressions and primitive clauses.
+//!
+//! MISD type-integrity constraints (`TC`, Fig. 1 of the paper) give every
+//! exported attribute a declared domain; this module propagates those
+//! domains through expressions so that views and constraints can be
+//! checked *before* any data flows:
+//!
+//! * arithmetic requires numeric operands (`int`, `float`, `date`);
+//! * comparisons require compatible operand types (equal, or both
+//!   numeric);
+//! * named functions are typed by a small signature table consistent
+//!   with the default [`crate::func::FuncRegistry`].
+//!
+//! Inference is *conservative*: `Ok(None)` means "cannot determine" (an
+//! unknown function), which checkers treat as compatible-with-anything.
+
+use crate::expr::{ArithOp, ScalarExpr};
+use crate::pred::Clause;
+use crate::schema::AttrRef;
+use crate::types::DataType;
+use std::fmt;
+
+/// A type error found during static checking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// An attribute is not declared anywhere the resolver knows about.
+    UnknownAttribute(AttrRef),
+    /// Arithmetic applied to a non-numeric operand.
+    NonNumeric {
+        /// Rendered operand expression.
+        expr: String,
+        /// Its inferred type.
+        ty: DataType,
+    },
+    /// Comparison between incompatible types.
+    Incomparable {
+        /// Rendered clause.
+        clause: String,
+        /// Left type.
+        lhs: DataType,
+        /// Right type.
+        rhs: DataType,
+    },
+    /// A known function applied with the wrong argument type.
+    BadArgument {
+        /// Function name.
+        func: String,
+        /// Rendered argument.
+        arg: String,
+        /// The argument's inferred type.
+        ty: DataType,
+    },
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::UnknownAttribute(a) => write!(f, "unknown attribute {a}"),
+            TypeError::NonNumeric { expr, ty } => {
+                write!(f, "arithmetic on non-numeric expression {expr} ({ty})")
+            }
+            TypeError::Incomparable { clause, lhs, rhs } => {
+                write!(f, "comparison `{clause}` between {lhs} and {rhs}")
+            }
+            TypeError::BadArgument { func, arg, ty } => {
+                write!(f, "function {func} applied to {arg} of type {ty}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Are two declared types comparable with `= <> < <= > >=`?
+pub fn comparable(a: DataType, b: DataType) -> bool {
+    a == b || (a.is_numeric() && b.is_numeric())
+}
+
+/// Infer the type of an expression using `resolve` for attribute
+/// domains. Returns `Ok(None)` when the type cannot be determined (an
+/// unknown named function).
+pub fn infer_type(
+    expr: &ScalarExpr,
+    resolve: &dyn Fn(&AttrRef) -> Option<DataType>,
+) -> Result<Option<DataType>, TypeError> {
+    match expr {
+        ScalarExpr::Attr(a) => resolve(a)
+            .map(Some)
+            .ok_or_else(|| TypeError::UnknownAttribute(a.clone())),
+        ScalarExpr::Const(v) => Ok(v.data_type()), // Null ⇒ None (wildcard)
+        ScalarExpr::Binary { op, lhs, rhs } => {
+            let lt = infer_type(lhs, resolve)?;
+            let rt = infer_type(rhs, resolve)?;
+            for (side, ty) in [(lhs, lt), (rhs, rt)] {
+                if let Some(t) = ty {
+                    if !t.is_numeric() {
+                        return Err(TypeError::NonNumeric {
+                            expr: side.to_string(),
+                            ty: t,
+                        });
+                    }
+                }
+            }
+            // Date − Date = Int (day count); any float ⇒ float; else int.
+            Ok(Some(match (lt, rt) {
+                (Some(DataType::Date), Some(DataType::Date)) if *op == ArithOp::Sub => {
+                    DataType::Int
+                }
+                (Some(DataType::Float), _) | (_, Some(DataType::Float)) => DataType::Float,
+                (Some(DataType::Date), _) | (_, Some(DataType::Date)) => DataType::Date,
+                _ => DataType::Int,
+            }))
+        }
+        ScalarExpr::Call { func, args } => {
+            let arg_types: Vec<Option<DataType>> = args
+                .iter()
+                .map(|a| infer_type(a, resolve))
+                .collect::<Result<_, _>>()?;
+            match func.as_str() {
+                "today" => Ok(Some(DataType::Date)),
+                "identity" => Ok(arg_types.first().copied().flatten()),
+                "abs" | "floor" => {
+                    if let Some(Some(t)) = arg_types.first() {
+                        if !t.is_numeric() {
+                            return Err(TypeError::BadArgument {
+                                func: func.clone(),
+                                arg: args[0].to_string(),
+                                ty: *t,
+                            });
+                        }
+                    }
+                    Ok(Some(if func == "floor" {
+                        DataType::Int
+                    } else {
+                        arg_types
+                            .first()
+                            .copied()
+                            .flatten()
+                            .unwrap_or(DataType::Float)
+                    }))
+                }
+                "lower" | "upper" => {
+                    if let Some(Some(t)) = arg_types.first() {
+                        if *t != DataType::Str {
+                            return Err(TypeError::BadArgument {
+                                func: func.clone(),
+                                arg: args[0].to_string(),
+                                ty: *t,
+                            });
+                        }
+                    }
+                    Ok(Some(DataType::Str))
+                }
+                _ => Ok(None), // user-registered function: unknown type
+            }
+        }
+    }
+}
+
+/// Type-check a primitive clause: both sides must infer and be
+/// comparable.
+pub fn check_clause(
+    clause: &Clause,
+    resolve: &dyn Fn(&AttrRef) -> Option<DataType>,
+) -> Result<(), TypeError> {
+    let lt = infer_type(&clause.lhs, resolve)?;
+    let rt = infer_type(&clause.rhs, resolve)?;
+    if let (Some(a), Some(b)) = (lt, rt) {
+        if !comparable(a, b) {
+            return Err(TypeError::Incomparable {
+                clause: clause.to_string(),
+                lhs: a,
+                rhs: b,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CompareOp;
+    use crate::types::Value;
+
+    fn resolver(attr: &AttrRef) -> Option<DataType> {
+        match (attr.relation.as_str(), attr.attr.as_str()) {
+            ("Customer", "Name") => Some(DataType::Str),
+            ("Customer", "Age") => Some(DataType::Int),
+            ("Accident-Ins", "Birthday") => Some(DataType::Date),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn infers_f3_as_int() {
+        // (today() - Birthday) / 365 : Date - Date = Int, / Int = Int.
+        let e = ScalarExpr::binary(
+            ArithOp::Div,
+            ScalarExpr::binary(
+                ArithOp::Sub,
+                ScalarExpr::call("today", vec![]),
+                ScalarExpr::attr("Accident-Ins", "Birthday"),
+            ),
+            ScalarExpr::lit(365i64),
+        );
+        assert_eq!(infer_type(&e, &resolver).unwrap(), Some(DataType::Int));
+    }
+
+    #[test]
+    fn arithmetic_on_string_rejected() {
+        let e = ScalarExpr::binary(
+            ArithOp::Add,
+            ScalarExpr::attr("Customer", "Name"),
+            ScalarExpr::lit(1i64),
+        );
+        assert!(matches!(
+            infer_type(&e, &resolver),
+            Err(TypeError::NonNumeric { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_rejected() {
+        let e = ScalarExpr::attr("Customer", "Ghost");
+        assert!(matches!(
+            infer_type(&e, &resolver),
+            Err(TypeError::UnknownAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn clause_compatibility() {
+        // Str vs Str ok.
+        let ok = Clause::new(
+            ScalarExpr::attr("Customer", "Name"),
+            CompareOp::Eq,
+            ScalarExpr::lit("ann"),
+        );
+        assert!(check_clause(&ok, &resolver).is_ok());
+        // Int vs Date ok (numeric family).
+        let ok2 = Clause::new(
+            ScalarExpr::attr("Customer", "Age"),
+            CompareOp::Lt,
+            ScalarExpr::attr("Accident-Ins", "Birthday"),
+        );
+        assert!(check_clause(&ok2, &resolver).is_ok());
+        // Str vs Int rejected.
+        let bad = Clause::new(
+            ScalarExpr::attr("Customer", "Name"),
+            CompareOp::Eq,
+            ScalarExpr::attr("Customer", "Age"),
+        );
+        assert!(matches!(
+            check_clause(&bad, &resolver),
+            Err(TypeError::Incomparable { .. })
+        ));
+    }
+
+    #[test]
+    fn null_is_wildcard() {
+        let c = Clause::new(
+            ScalarExpr::attr("Customer", "Name"),
+            CompareOp::Eq,
+            ScalarExpr::Const(Value::Null),
+        );
+        assert!(check_clause(&c, &resolver).is_ok());
+    }
+
+    #[test]
+    fn string_functions_typed() {
+        let e = ScalarExpr::call("lower", vec![ScalarExpr::attr("Customer", "Name")]);
+        assert_eq!(infer_type(&e, &resolver).unwrap(), Some(DataType::Str));
+        let bad = ScalarExpr::call("lower", vec![ScalarExpr::attr("Customer", "Age")]);
+        assert!(matches!(
+            infer_type(&bad, &resolver),
+            Err(TypeError::BadArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_function_is_untyped_not_error() {
+        let e = ScalarExpr::call("mystery", vec![ScalarExpr::lit(1i64)]);
+        assert_eq!(infer_type(&e, &resolver).unwrap(), None);
+    }
+
+    #[test]
+    fn float_promotes() {
+        let e = ScalarExpr::binary(
+            ArithOp::Mul,
+            ScalarExpr::attr("Customer", "Age"),
+            ScalarExpr::lit(1.5f64),
+        );
+        assert_eq!(infer_type(&e, &resolver).unwrap(), Some(DataType::Float));
+    }
+}

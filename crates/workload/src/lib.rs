@@ -1,0 +1,31 @@
+//! # eve-workload
+//!
+//! Workloads for the EVE / CVS reproduction:
+//!
+//! * [`travel`] — the paper's running example: the travel-agency MKB of
+//!   Fig. 2 (seven relations over seven ISs, join constraints JC1–JC6,
+//!   function-of constraints F1–F7), the views of Eq. (1), Eq. (3) and
+//!   Eq. (5), the `Person` extension of Example 4, and a deterministic
+//!   data generator producing constraint-respecting IS states;
+//! * [`synth`] — parameterised synthetic workloads: MKB topologies
+//!   (chain, star, grid, random), constraint densities, view and change
+//!   generators, and IS-state generators. These drive the quantitative
+//!   sweeps (`sweep-chain`, `sweep-scale`, `sweep-covers`,
+//!   `sweep-extent`) that the paper's claims imply but its (qualitative)
+//!   evaluation does not measure;
+//! * [`scenario`] — end-to-end change sequences replayed against a
+//!   [`eve_core::Synchronizer`];
+//! * [`library`] — a second domain fixture: the digital-library
+//!   information space (shared with the CLI fixtures).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod library;
+pub mod scenario;
+pub mod synth;
+pub mod travel;
+
+pub use synth::{random_views, SynthConfig, SynthWorkload, Topology};
+pub use library::LibraryFixture;
+pub use travel::TravelFixture;

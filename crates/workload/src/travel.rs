@@ -1,0 +1,482 @@
+//! The paper's running example: a large travel agency headquartered in
+//! Detroit (Example 1), its seven information sources (Fig. 2), the
+//! E-SQL views of Eq. (1), Eq. (3) and Eq. (5), the `Person` extension of
+//! Example 4, and a deterministic, constraint-respecting data generator.
+
+use eve_esql::{parse_view, ViewDefinition};
+use eve_misd::{parse_misd, MetaKnowledgeBase};
+use eve_relational::{
+    AttributeDef, Database, DataType, RelName, Relation, Schema, Tuple, Value,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The canonical MISD text of Fig. 2 (content descriptions, join
+/// constraints JC1–JC6 and function-of constraints F1–F7).
+pub const FIG2_MISD: &str = "\
+RELATION IS1 Customer(Name str, Addr str, Phone str, Age int)
+RELATION IS2 Tour(TourID str, TourName str, Type str, NoDays int)
+RELATION IS3 Participant(Participant str, TourID str, StartDate date, Loc str)
+RELATION IS4 FlightRes(PName str, Airline str, FlightNo int, Source str, Dest str, Date date)
+RELATION IS5 Accident-Ins(Holder str, Type str, Amount int, Birthday date)
+RELATION IS6 Hotels(City str, Address str, PhoneNumber str)
+RELATION IS7 RentACar(Company str, City str, PhoneNumber str, Location str)
+JOIN JC1: Customer, FlightRes ON Customer.Name = FlightRes.PName
+JOIN JC2: Customer, Accident-Ins ON Customer.Name = Accident-Ins.Holder AND Customer.Age > 1
+JOIN JC3: Customer, Participant ON Customer.Name = Participant.Participant
+JOIN JC4: Participant, Tour ON Participant.TourID = Tour.TourID
+JOIN JC5: Hotels, RentACar ON Hotels.Address = RentACar.Location
+JOIN JC6: FlightRes, Accident-Ins ON FlightRes.PName = Accident-Ins.Holder
+FUNCOF F1: Customer.Name = FlightRes.PName
+FUNCOF F2: Customer.Name = Accident-Ins.Holder
+FUNCOF F3: Customer.Age = (today() - Accident-Ins.Birthday) / 365
+FUNCOF F4: Customer.Name = Participant.Participant
+FUNCOF F5: Participant.TourID = Tour.TourID
+FUNCOF F6: Hotels.Address = RentACar.Location
+FUNCOF F7: Hotels.City = RentACar.City
+";
+
+/// The Example 4 extension: relation `Person` with the constraints
+/// (i)–(iv) of the paper, appended to [`FIG2_MISD`].
+pub const PERSON_EXTENSION: &str = "\
+RELATION IS8 Person(Name str, SSN int, PAddr str)
+JOIN JCP: Customer, Person ON Customer.Name = Person.Name
+FUNCOF FP: Customer.Addr = Person.PAddr
+PC PCP: Person(Name, PAddr) superset Customer(Name, Addr)
+";
+
+/// The travel-agency fixture.
+#[derive(Debug, Clone)]
+pub struct TravelFixture {
+    mkb: MetaKnowledgeBase,
+}
+
+impl TravelFixture {
+    /// The Fig. 2 meta knowledge base.
+    pub fn new() -> Self {
+        TravelFixture {
+            mkb: parse_misd(FIG2_MISD).expect("Fig. 2 MISD text is well-formed"),
+        }
+    }
+
+    /// Fig. 2 plus the Example 4 `Person` extension (constraints
+    /// (i)–(iv)).
+    pub fn with_person() -> Self {
+        let text = format!("{FIG2_MISD}{PERSON_EXTENSION}");
+        TravelFixture {
+            mkb: parse_misd(&text).expect("extended MISD text is well-formed"),
+        }
+    }
+
+    /// The meta knowledge base.
+    pub fn mkb(&self) -> &MetaKnowledgeBase {
+        &self.mkb
+    }
+
+    /// Eq. (1): `Asia-Customer` with mixed keyed annotations.
+    pub fn asia_customer_eq1() -> ViewDefinition {
+        parse_view(
+            "CREATE VIEW Asia-Customer (VE = superset) AS
+             SELECT C.Name (AR = true), C.Addr (AR = true),
+                    C.Phone (AD = true, AR = false)
+             FROM Customer C (RR = true), FlightRes F
+             WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD = true)",
+        )
+        .expect("Eq. (1) parses")
+    }
+
+    /// Eq. (3): `Asia-Customer` with an explicit interface and an
+    /// indispensable, replaceable `Addr`.
+    pub fn asia_customer_eq3() -> ViewDefinition {
+        parse_view(
+            "CREATE VIEW Asia-Customer (AName, AAddr, APh) (VE = superset) AS
+             SELECT C.Name, C.Addr (AD = false, AR = true), C.Phone
+             FROM Customer C, FlightRes F
+             WHERE (C.Name = F.PName) AND (F.Dest = 'Asia')",
+        )
+        .expect("Eq. (3) parses")
+    }
+
+    /// Eq. (5): `Customer-Passengers-Asia` with positional annotations.
+    pub fn customer_passengers_asia_eq5() -> ViewDefinition {
+        parse_view(
+            "CREATE VIEW Customer-Passengers-Asia AS
+             SELECT C.Name (false, true), C.Age (true, true),
+                    P.Participant (true, true), P.TourID (true, true)
+             FROM Customer C (true, true), FlightRes F (true, true), Participant P (true, true)
+             WHERE (C.Name = F.PName) (false, true) AND (F.Dest = 'Asia')
+               AND (P.StartDate = F.Date) AND (P.Loc = 'Asia')",
+        )
+        .expect("Eq. (5) parses")
+    }
+
+    /// Generate a constraint-respecting database state:
+    ///
+    /// * `Customer` holds `n` customers with deterministic names;
+    /// * `FlightRes` holds one reservation per customer (F1/JC1 hold)
+    ///   plus some non-customer passengers — so
+    ///   `π_Name(Customer) ⊆ π_PName(FlightRes)`;
+    /// * `Accident-Ins` holds a policy per customer whose `Birthday` is
+    ///   consistent with `Age` through F3, plus extra holders;
+    /// * `Participant`/`Tour` link a subset of customers to tours (F4,
+    ///   F5, JC3, JC4 hold);
+    /// * `Person` (when present in the MKB) is a superset of `Customer`
+    ///   on `(Name, Addr)` — the PC constraint of Example 4;
+    /// * `Hotels`/`RentACar` share addresses (F6/F7/JC5 hold).
+    pub fn database(&self, seed: u64, n: usize) -> Database {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut db = Database::new();
+        let today = eve_relational::func::DEFAULT_TODAY;
+        let dests = ["Asia", "Europe", "America", "Africa"];
+
+        let customer_name = |i: usize| format!("cust{i:04}");
+        let addr = |i: usize| format!("{} Main St", 100 + i);
+
+        // Customer
+        let mut customer = relation(
+            "Customer",
+            &[
+                ("Name", DataType::Str),
+                ("Addr", DataType::Str),
+                ("Phone", DataType::Str),
+                ("Age", DataType::Int),
+            ],
+        );
+        let ages: Vec<i64> = (0..n).map(|_| rng.gen_range(18..80)).collect();
+        for (i, age) in ages.iter().enumerate() {
+            customer
+                .insert(Tuple::new(vec![
+                    Value::str(customer_name(i)),
+                    Value::str(addr(i)),
+                    Value::str(format!("734-555-{i:04}")),
+                    Value::Int(*age),
+                ]))
+                .expect("arity");
+        }
+        db.put("Customer", customer);
+
+        // FlightRes: every customer flies somewhere; a few strangers too.
+        let mut flightres = relation(
+            "FlightRes",
+            &[
+                ("PName", DataType::Str),
+                ("Airline", DataType::Str),
+                ("FlightNo", DataType::Int),
+                ("Source", DataType::Str),
+                ("Dest", DataType::Str),
+                ("Date", DataType::Date),
+            ],
+        );
+        let flight = |name: String, rng: &mut StdRng, rel: &mut Relation| {
+            let dest = dests[rng.gen_range(0..dests.len())];
+            rel.insert(Tuple::new(vec![
+                Value::str(name),
+                Value::str("NW"),
+                Value::Int(rng.gen_range(1..999)),
+                Value::str("Detroit"),
+                Value::str(dest),
+                Value::Date(today + rng.gen_range(1..60)),
+            ]))
+            .expect("arity");
+        };
+        for i in 0..n {
+            flight(customer_name(i), &mut rng, &mut flightres);
+        }
+        for i in 0..n / 3 {
+            flight(format!("stranger{i:04}"), &mut rng, &mut flightres);
+        }
+        db.put("FlightRes", flightres);
+
+        // Accident-Ins: a policy per customer, Birthday consistent with
+        // F3 (Age = (today - Birthday) / 365), plus extra holders.
+        let mut ins = relation(
+            "Accident-Ins",
+            &[
+                ("Holder", DataType::Str),
+                ("Type", DataType::Str),
+                ("Amount", DataType::Int),
+                ("Birthday", DataType::Date),
+            ],
+        );
+        for (i, age) in ages.iter().enumerate() {
+            let slack = rng.gen_range(0..365);
+            ins.insert(Tuple::new(vec![
+                Value::str(customer_name(i)),
+                Value::str("accident"),
+                Value::Int(rng.gen_range(10..500) * 100),
+                Value::Date(today - age * 365 - slack),
+            ]))
+            .expect("arity");
+        }
+        for i in 0..n / 4 {
+            ins.insert(Tuple::new(vec![
+                Value::str(format!("other{i:04}")),
+                Value::str("life"),
+                Value::Int(50_000),
+                Value::Date(today - 40 * 365),
+            ]))
+            .expect("arity");
+        }
+        db.put("Accident-Ins", ins);
+
+        // Tour + Participant.
+        let mut tour = relation(
+            "Tour",
+            &[
+                ("TourID", DataType::Str),
+                ("TourName", DataType::Str),
+                ("Type", DataType::Str),
+                ("NoDays", DataType::Int),
+            ],
+        );
+        let tours = ["T01", "T02", "T03", "T04"];
+        for (i, id) in tours.iter().enumerate() {
+            tour.insert(Tuple::new(vec![
+                Value::str(*id),
+                Value::str(format!("Grand Tour {i}")),
+                Value::str(if i % 2 == 0 { "adventure" } else { "culture" }),
+                Value::Int(7 + i as i64),
+            ]))
+            .expect("arity");
+        }
+        db.put("Tour", tour);
+
+        let mut participant = relation(
+            "Participant",
+            &[
+                ("Participant", DataType::Str),
+                ("TourID", DataType::Str),
+                ("StartDate", DataType::Date),
+                ("Loc", DataType::Str),
+            ],
+        );
+        for i in 0..n {
+            if rng.gen_bool(0.6) {
+                participant
+                    .insert(Tuple::new(vec![
+                        Value::str(customer_name(i)),
+                        Value::str(tours[rng.gen_range(0..tours.len())]),
+                        Value::Date(today + rng.gen_range(1..60)),
+                        Value::str(dests[rng.gen_range(0..dests.len())]),
+                    ]))
+                    .expect("arity");
+            }
+        }
+        db.put("Participant", participant);
+
+        // Hotels / RentACar share locations (F6, F7, JC5).
+        let mut hotels = relation(
+            "Hotels",
+            &[
+                ("City", DataType::Str),
+                ("Address", DataType::Str),
+                ("PhoneNumber", DataType::Str),
+            ],
+        );
+        let mut rentacar = relation(
+            "RentACar",
+            &[
+                ("Company", DataType::Str),
+                ("City", DataType::Str),
+                ("PhoneNumber", DataType::Str),
+                ("Location", DataType::Str),
+            ],
+        );
+        for i in 0..4 {
+            let city = format!("City{i}");
+            let address = format!("{i} Plaza");
+            hotels
+                .insert(Tuple::new(vec![
+                    Value::str(city.clone()),
+                    Value::str(address.clone()),
+                    Value::str(format!("800-{i:03}")),
+                ]))
+                .expect("arity");
+            rentacar
+                .insert(Tuple::new(vec![
+                    Value::str("Avis"),
+                    Value::str(city),
+                    Value::str(format!("877-{i:03}")),
+                    Value::str(address),
+                ]))
+                .expect("arity");
+        }
+        db.put("Hotels", hotels);
+        db.put("RentACar", rentacar);
+
+        // Person ⊇ Customer on (Name, Addr) — Example 4's PC constraint.
+        if self.mkb.contains_relation(&RelName::new("Person")) {
+            let mut person = relation(
+                "Person",
+                &[
+                    ("Name", DataType::Str),
+                    ("SSN", DataType::Int),
+                    ("PAddr", DataType::Str),
+                ],
+            );
+            for i in 0..n {
+                person
+                    .insert(Tuple::new(vec![
+                        Value::str(customer_name(i)),
+                        Value::Int(1000 + i as i64),
+                        Value::str(addr(i)),
+                    ]))
+                    .expect("arity");
+            }
+            for i in 0..n / 2 {
+                person
+                    .insert(Tuple::new(vec![
+                        Value::str(format!("noncust{i:04}")),
+                        Value::Int(9000 + i as i64),
+                        Value::str(format!("{i} Side St")),
+                    ]))
+                    .expect("arity");
+            }
+            db.put("Person", person);
+        }
+
+        db
+    }
+}
+
+impl Default for TravelFixture {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn relation(name: &str, attrs: &[(&str, DataType)]) -> Relation {
+    let rel = RelName::new(name);
+    let schema = Schema::of_relation(
+        &rel,
+        &attrs
+            .iter()
+            .map(|(n, t)| AttributeDef::new(*n, *t))
+            .collect::<Vec<_>>(),
+    );
+    Relation::new(schema)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::AttrRef;
+
+    #[test]
+    fn fig2_inventory() {
+        let f = TravelFixture::new();
+        assert_eq!(f.mkb().relation_count(), 7);
+        assert_eq!(f.mkb().joins().len(), 6);
+        assert_eq!(f.mkb().function_ofs().len(), 7);
+        assert!(f.mkb().join_by_id("JC6").is_some());
+        assert!(f.mkb().funcof_by_id("F7").is_some());
+    }
+
+    #[test]
+    fn person_extension() {
+        let f = TravelFixture::with_person();
+        assert_eq!(f.mkb().relation_count(), 8);
+        assert_eq!(f.mkb().pcs().len(), 1);
+    }
+
+    #[test]
+    fn views_parse_and_validate() {
+        for v in [
+            TravelFixture::asia_customer_eq1(),
+            TravelFixture::asia_customer_eq3(),
+        ] {
+            // Eq. (1)/(3) satisfy the §4 assumptions except that the
+            // paper's own SELECT lists omit F.PName; the validator
+            // flags exactly that and nothing else.
+            let errs = eve_esql::validate_view(&v);
+            assert!(
+                errs.iter().all(|e| matches!(
+                    e,
+                    eve_esql::ValidationError::DistinguishedNotPreserved(_)
+                )),
+                "{errs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn database_respects_constraints() {
+        let f = TravelFixture::with_person();
+        let db = f.database(7, 40);
+        let funcs = eve_relational::FuncRegistry::new();
+
+        // F3: joining Customer with Accident-Ins on Name = Holder must
+        // satisfy Age = (today() - Birthday)/365 for every joined tuple.
+        let cust = db.get(&RelName::new("Customer")).unwrap();
+        let ins = db.get(&RelName::new("Accident-Ins")).unwrap();
+        let joined = eve_relational::theta_join(
+            cust,
+            ins,
+            &eve_relational::Conjunction::new(vec![eve_relational::Clause::eq_attrs(
+                AttrRef::new("Customer", "Name"),
+                AttrRef::new("Accident-Ins", "Holder"),
+            )]),
+            &funcs,
+        )
+        .unwrap();
+        assert!(!joined.is_empty());
+        let age_idx = joined
+            .schema()
+            .index_of(&AttrRef::new("Customer", "Age"))
+            .unwrap();
+        let bday_idx = joined
+            .schema()
+            .index_of(&AttrRef::new("Accident-Ins", "Birthday"))
+            .unwrap();
+        let today = eve_relational::func::DEFAULT_TODAY;
+        for t in joined.rows() {
+            let age = match t.get(age_idx).unwrap() {
+                Value::Int(a) => *a,
+                other => panic!("age not int: {other}"),
+            };
+            let bday = match t.get(bday_idx).unwrap() {
+                Value::Date(d) => *d,
+                other => panic!("birthday not date: {other}"),
+            };
+            assert_eq!(age, (today - bday) / 365, "F3 violated");
+        }
+
+        // PC: π(Name,Addr)(Customer) ⊆ π(Name,PAddr)(Person).
+        let person = db.get(&RelName::new("Person")).unwrap();
+        assert!(person.len() > cust.len());
+        let proj = |rel: &Relation, a: &str, b: &str, r: &str| {
+            eve_relational::project(
+                rel,
+                &[
+                    (
+                        AttrRef::new("p", "1"),
+                        eve_relational::ScalarExpr::attr(r, a),
+                    ),
+                    (
+                        AttrRef::new("p", "2"),
+                        eve_relational::ScalarExpr::attr(r, b),
+                    ),
+                ],
+                &funcs,
+            )
+            .unwrap()
+        };
+        let c_proj = proj(cust, "Name", "Addr", "Customer");
+        let p_proj = proj(person, "Name", "PAddr", "Person");
+        assert!(
+            eve_relational::compare_extents(&c_proj, &p_proj).is_subset(),
+            "PC constraint violated by generated data"
+        );
+    }
+
+    #[test]
+    fn database_deterministic_per_seed() {
+        let f = TravelFixture::new();
+        let a = f.database(3, 20);
+        let b = f.database(3, 20);
+        let c = f.database(4, 20);
+        let name = RelName::new("FlightRes");
+        assert_eq!(a.get(&name), b.get(&name));
+        assert_ne!(a.get(&name), c.get(&name));
+    }
+}

@@ -1,0 +1,58 @@
+//! Quickstart: keep a view alive across a capability change.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Describes two information sources in the MISD textual format, defines
+//! an E-SQL view with evolution preferences over them, then lets one IS
+//! drop a relation — and shows EVE rewriting the view instead of
+//! disabling it.
+
+use eve::prelude::*;
+use eve::misd::parse_misd;
+use eve::relational::RelName;
+
+fn main() {
+    // 1. Describe the information space (the meta knowledge base).
+    //    `orders` can be joined with `shipments`; if `orders` ever goes
+    //    away, `customer` of an order can be recomputed from
+    //    `shipments.recipient` (a function-of constraint).
+    let mkb = parse_misd(
+        "RELATION StoreIS orders(id int, customer str, total int)
+         RELATION LogisticsIS shipments(order_id int, recipient str, city str)
+         JOIN J1: orders, shipments ON orders.id = shipments.order_id
+         FUNCOF F1: orders.customer = shipments.recipient
+         FUNCOF F2: orders.id = shipments.order_id
+         PC P1: shipments(order_id, recipient) superset orders(id, customer)",
+    )
+    .expect("MISD text is well-formed");
+
+    // 2. Define a view in E-SQL. `(false, true)` = indispensable but
+    //    replaceable; `VE = superset` allows the evolved extent to grow.
+    let view = parse_view(
+        "CREATE VIEW BigSpenders (VE = superset) AS
+         SELECT O.customer (false, true), O.id (true, true),
+                S.order_id (true, true), S.city (true, true)
+         FROM orders O (true, true), shipments S (true, true)
+         WHERE (O.id = S.order_id) (false, true) AND (O.total > 1000) (CD = true)",
+    )
+    .expect("E-SQL view parses");
+
+    // 3. Register everything with the synchronizer.
+    let mut sync = SynchronizerBuilder::new(mkb)
+        .with_view(view)
+        .expect("view is well-formed")
+        .build();
+
+    // 4. The store IS stops exporting `orders` — the change that kills
+    //    classical views.
+    let change = CapabilityChange::DeleteRelation(RelName::new("orders"));
+    let outcome = sync.apply(&change).expect("MKB evolves");
+    println!("{outcome}");
+
+    // 5. The view survived, rewritten over `shipments` alone.
+    let evolved = sync.view("BigSpenders").expect("view survived");
+    println!("evolved definition:\n{evolved}");
+    assert!(!evolved.uses_relation(&RelName::new("orders")));
+}

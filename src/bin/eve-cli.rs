@@ -1,0 +1,259 @@
+//! `eve-cli` — command-line front end to the EVE view synchronizer.
+//!
+//! ```text
+//! eve-cli mkb <mkb.misd>                          # parse + validate + summarise an MKB
+//! eve-cli dot <mkb.misd>                          # hypergraph H(MKB) as Graphviz DOT
+//! eve-cli views <views.esql> [--mkb <mkb.misd>]   # parse/validate/typecheck E-SQL views
+//! eve-cli sync --mkb <mkb.misd> --views <views.esql> \
+//!          (--change "delete-relation Customer" [--change ...] | --snapshot <new.misd>)
+//!          [--cost] [--require-p3] [--explain]
+//! ```
+//!
+//! File formats: the MISD textual format (`RELATION`/`JOIN`/`FUNCOF`/
+//! `PC`/`ORDER` statements) and E-SQL (`CREATE VIEW …` statements,
+//! semicolon-separated). Changes use the paper's operator notation, e.g.
+//! `delete-attribute Customer.Addr` or `rename-relation Tour -> Trip`.
+
+use eve::cvs::{explain_rewriting, CostModel, CvsOptions, SynchronizerBuilder, ViewOutcome};
+use eve::esql::{parse_views, validate_view};
+use eve::hypergraph::{dot, Hypergraph};
+use eve::misd::{check_mkb, check_view, parse_misd, CapabilityChange, MetaKnowledgeBase};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("mkb") => cmd_mkb(&args[1..]),
+        Some("dot") => cmd_dot(&args[1..]),
+        Some("views") => cmd_views(&args[1..]),
+        Some("sync") => cmd_sync(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  eve-cli mkb <mkb.misd>\n  eve-cli dot <mkb.misd>\n  \
+                 eve-cli views <views.esql> [--mkb <mkb.misd>]\n  \
+                 eve-cli sync --mkb <mkb.misd> --views <views.esql> \
+                 (--change \"<op> ...\" [--change ...] | --snapshot <new.misd>) \
+                 [--cost] [--require-p3] [--explain]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn read(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn load_mkb(path: &str) -> Result<MetaKnowledgeBase, String> {
+    let text = read(path)?;
+    parse_misd(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("error: {msg}");
+    ExitCode::FAILURE
+}
+
+fn cmd_mkb(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("mkb: missing file argument".into());
+    };
+    let mkb = match load_mkb(path) {
+        Ok(m) => m,
+        Err(e) => return fail(e),
+    };
+    let type_errors = check_mkb(&mkb);
+    println!(
+        "{path}: {} relations, {} join constraints, {} function-of, {} PC, {} order",
+        mkb.relation_count(),
+        mkb.joins().len(),
+        mkb.function_ofs().len(),
+        mkb.pcs().len(),
+        mkb.orders().len()
+    );
+    let h = Hypergraph::build(&mkb);
+    print!("{}", dot::component_summary(&h));
+    if type_errors.is_empty() {
+        println!("type check: ok");
+        ExitCode::SUCCESS
+    } else {
+        for e in &type_errors {
+            eprintln!("type error: {e}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_dot(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("dot: missing file argument".into());
+    };
+    match load_mkb(path) {
+        Ok(mkb) => {
+            print!("{}", dot::mkb_to_dot(&mkb));
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(e),
+    }
+}
+
+fn cmd_views(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return fail("views: missing file argument".into());
+    };
+    let mkb = match flag_value(args, "--mkb") {
+        Some(p) => match load_mkb(&p) {
+            Ok(m) => Some(m),
+            Err(e) => return fail(e),
+        },
+        None => None,
+    };
+    let text = match read(path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let views = match parse_views(&text) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("{path}: {e}")),
+    };
+    let mut bad = false;
+    for v in &views {
+        let mut problems: Vec<String> = validate_view(v).iter().map(|e| e.to_string()).collect();
+        if let Some(m) = &mkb {
+            problems.extend(check_view(v, m).iter().map(|e| e.to_string()));
+        }
+        if problems.is_empty() {
+            println!("{}: ok ({} columns, {} relations)", v.name, v.select.len(), v.from.len());
+        } else {
+            bad = true;
+            for p in problems {
+                eprintln!("{}: {p}", v.name);
+            }
+        }
+    }
+    if bad {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn cmd_sync(args: &[String]) -> ExitCode {
+    let Some(mkb_path) = flag_value(args, "--mkb") else {
+        return fail("sync: missing --mkb <file>".into());
+    };
+    let Some(views_path) = flag_value(args, "--views") else {
+        return fail("sync: missing --views <file>".into());
+    };
+    let change_texts = flag_values(args, "--change");
+    let snapshot_path = flag_value(args, "--snapshot");
+    if change_texts.is_empty() && snapshot_path.is_none() {
+        return fail(
+            "sync: at least one --change \"<op> ...\" or a --snapshot <mkb.misd> required"
+                .into(),
+        );
+    }
+    let use_cost = args.iter().any(|a| a == "--cost");
+    let require_p3 = args.iter().any(|a| a == "--require-p3");
+    let explain = args.iter().any(|a| a == "--explain");
+
+    let mkb = match load_mkb(&mkb_path) {
+        Ok(m) => m,
+        Err(e) => return fail(e),
+    };
+    let views_text = match read(&views_path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let views = match parse_views(&views_text) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("{views_path}: {e}")),
+    };
+    let changes: Vec<CapabilityChange> = match change_texts
+        .iter()
+        .map(|t| CapabilityChange::parse(t).map_err(|e| format!("--change {t:?}: {e}")))
+        .collect()
+    {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+
+    let mut builder = SynchronizerBuilder::new(mkb)
+        .with_options(CvsOptions::default())
+        .require_p3(require_p3);
+    if use_cost {
+        builder = builder.with_cost_model(CostModel::default());
+    }
+    for v in views {
+        builder = match builder.with_view(v.clone()) {
+            Ok(b) => b,
+            Err(e) => return fail(format!("view {}: {e}", v.name)),
+        };
+    }
+    let mut sync = builder.build();
+    // Snapshot originals so explanations can diff against them.
+    let originals: Vec<(String, eve::esql::ViewDefinition)> = sync
+        .views()
+        .map(|v| (v.name.clone(), v.clone()))
+        .collect();
+    let applied = if let Some(snap_path) = snapshot_path {
+        match load_mkb(&snap_path) {
+            Ok(snapshot) => sync.sync_to(&snapshot),
+            Err(e) => return fail(e),
+        }
+    } else {
+        sync.apply_all(&changes)
+    };
+    match applied {
+        Ok(report) => {
+            for outcome in &report.outcomes {
+                println!("{outcome}");
+                if explain {
+                    for (name, view_outcome) in &outcome.views {
+                        if let ViewOutcome::Rewritten { chosen, .. } = view_outcome {
+                            if let Some((_, orig)) =
+                                originals.iter().find(|(n, _)| n == name)
+                            {
+                                println!("explanation for {name}:");
+                                print!("{}", explain_rewriting(orig, chosen));
+                            }
+                        }
+                    }
+                    println!();
+                }
+            }
+            println!("surviving views:");
+            for v in sync.views() {
+                println!("\n{v}");
+            }
+            if report.disabled() > 0 {
+                eprintln!("\n{} view(s) disabled", report.disabled());
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => fail(format!("MKB evolution failed: {e}")),
+    }
+}

@@ -1,0 +1,73 @@
+//! # EVE — Evolvable View Environment
+//!
+//! Umbrella crate for the reproduction of *"The CVS Algorithm for View
+//! Synchronization in Evolvable Large-Scale Information Systems"* (Nica,
+//! Lee, Rundensteiner, EDBT 1998).
+//!
+//! Re-exports the component crates under stable module names:
+//!
+//! * [`relational`] — in-memory relational engine (values, algebra, extent
+//!   comparison);
+//! * [`esql`] — the E-SQL language (SQL + view-evolution preferences);
+//! * [`misd`] — the MISD information-source description model and the meta
+//!   knowledge base (MKB);
+//! * [`hypergraph`] — the hypergraph `H(MKB)` over which CVS searches;
+//! * [`cvs`] — the CVS view-synchronization algorithm, the SVS baseline,
+//!   and the end-to-end synchronizer;
+//! * [`workload`] — the paper's travel-agency fixture and synthetic
+//!   generators.
+//!
+//! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ## Example
+//!
+//! ```
+//! use eve::prelude::*;
+//! use eve::misd::parse_misd;
+//! use eve::relational::RelName;
+//!
+//! let mkb = parse_misd(
+//!     "RELATION StoreIS orders(id int, customer str)
+//!      RELATION LogisticsIS shipments(order_id int, recipient str)
+//!      JOIN J1: orders, shipments ON orders.id = shipments.order_id
+//!      FUNCOF F1: orders.customer = shipments.recipient
+//!      FUNCOF F2: orders.id = shipments.order_id",
+//! ).expect("well-formed MISD");
+//!
+//! let view = parse_view(
+//!     "CREATE VIEW Buyers (VE = superset) AS
+//!      SELECT O.customer (false, true), O.id (true, true), S.order_id (true, true)
+//!      FROM orders O (true, true), shipments S (true, true)
+//!      WHERE (O.id = S.order_id) (false, true)",
+//! ).expect("well-formed E-SQL");
+//!
+//! let mut sync = SynchronizerBuilder::new(mkb)
+//!     .with_view(view).expect("valid view")
+//!     .build();
+//! let outcome = sync
+//!     .apply(&CapabilityChange::DeleteRelation(RelName::new("orders")))
+//!     .expect("MKB evolves");
+//! assert_eq!(outcome.rewritten(), 1);
+//! assert!(!sync.view("Buyers").unwrap().uses_relation(&RelName::new("orders")));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use eve_core as cvs;
+pub use eve_esql as esql;
+pub use eve_hypergraph as hypergraph;
+pub use eve_misd as misd;
+pub use eve_relational as relational;
+pub use eve_workload as workload;
+
+/// Commonly used items, for `use eve::prelude::*`.
+pub mod prelude {
+    pub use eve_core::{
+        ChangeOutcome, CostModel, CvsOptions, LegalRewriting, SyncReport, Synchronizer,
+        SynchronizerBuilder,
+    };
+    pub use eve_esql::{parse_view, ViewDefinition};
+    pub use eve_misd::{CapabilityChange, MetaKnowledgeBase};
+    pub use eve_relational::{Database, ExtentRelation, FuncRegistry, Value};
+}

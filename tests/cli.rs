@@ -1,0 +1,176 @@
+//! Integration tests for the `eve-cli` binary, exercising the fixture
+//! files under `fixtures/`.
+
+use std::process::Command;
+
+fn cli(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_eve-cli"))
+        .args(args)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn mkb_summary() {
+    let (ok, stdout, stderr) = cli(&["mkb", "fixtures/travel.misd"]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("8 relations"), "{stdout}");
+    assert!(stdout.contains("7 join constraints"), "{stdout}");
+    assert!(stdout.contains("type check: ok"), "{stdout}");
+    assert!(stdout.contains("component 2"), "{stdout}");
+}
+
+#[test]
+fn dot_output() {
+    let (ok, stdout, _) = cli(&["dot", "fixtures/travel.misd"]);
+    assert!(ok);
+    assert!(stdout.starts_with("graph H {"));
+    assert!(stdout.contains("cluster_Customer"));
+}
+
+#[test]
+fn views_validate() {
+    let (ok, stdout, stderr) = cli(&[
+        "views",
+        "fixtures/travel_views.esql",
+        "--mkb",
+        "fixtures/travel.misd",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("Asia-Customer: ok"), "{stdout}");
+    assert!(stdout.contains("Tour-Catalog: ok"), "{stdout}");
+}
+
+#[test]
+fn sync_delete_relation() {
+    let (ok, stdout, _) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "delete-relation Customer",
+        "--cost",
+    ]);
+    // Customer-Passengers-Asia is rewritten onto Accident-Ins/FlightRes.
+    assert!(stdout.contains("Customer-Passengers-Asia: rewritten"), "{stdout}");
+    assert!(stdout.contains("Accident-Ins.Holder"), "{stdout}");
+    // Asia-Customer is genuinely incurable here: its indispensable Addr
+    // is covered only by Person, which is unreachable from FlightRes in
+    // H'(MKB') — so the run reports a disabled view (non-zero exit).
+    assert!(stdout.contains("Asia-Customer: DISABLED"), "{stdout}");
+    assert!(!ok);
+}
+
+#[test]
+fn sync_rename_is_transparent() {
+    let (ok, stdout, _) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "rename-relation Tour -> Excursion",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("Excursion.TourName"), "{stdout}");
+}
+
+#[test]
+fn sync_reports_disabled_views_with_nonzero_exit() {
+    // Deleting Addr first reroutes Asia-Customer through Person; deleting
+    // Customer afterwards strands Person from FlightRes — incurable.
+    let (ok, stdout, stderr) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "delete-attribute Customer.Addr",
+        "--change",
+        "delete-relation Customer",
+    ]);
+    assert!(!ok);
+    assert!(stdout.contains("DISABLED"), "{stdout}");
+    assert!(stderr.contains("disabled"), "{stderr}");
+}
+
+#[test]
+fn library_fixture_certified_rewrite() {
+    let (ok, stdout, stderr) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/library.misd",
+        "--views",
+        "fixtures/library_views.esql",
+        "--change",
+        "delete-relation Book",
+        "--explain",
+    ]);
+    assert!(ok, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    // Cited-Books rerouted through Publication with the PC certificate.
+    assert!(stdout.contains("Cited-Books: rewritten (V' ⊇ V"), "{stdout}");
+    assert!(stdout.contains("Publication.PubTitle"), "{stdout}");
+    assert!(
+        stdout.contains("satisfies the view-extent parameter"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("explanation for Cited-Books"), "{stdout}");
+}
+
+#[test]
+fn snapshot_sync_infers_changes() {
+    let (_, stdout, _) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--snapshot",
+        "fixtures/travel_v2.misd",
+    ]);
+    assert!(stdout.contains("change: delete-relation Customer"), "{stdout}");
+    assert!(stdout.contains("change: add-relation CruiseLine"), "{stdout}");
+    assert!(
+        stdout.contains("Customer-Passengers-Asia: rewritten"),
+        "{stdout}"
+    );
+}
+
+#[test]
+fn bad_change_rejected() {
+    let (ok, _, stderr) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "obliterate-everything Now",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--change"), "{stderr}");
+}
+
+#[test]
+fn missing_file_rejected() {
+    let (ok, _, stderr) = cli(&["mkb", "no-such-file.misd"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn usage_on_no_args() {
+    let (ok, _, stderr) = cli(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

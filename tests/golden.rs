@@ -1,0 +1,105 @@
+//! Snapshot tests: the deterministic experiment reports are pinned as
+//! golden files under `tests/golden/`. Any behavioural drift in the
+//! paper reproductions shows up as a diff here.
+//!
+//! Regenerate intentionally with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p eve --test golden
+//! ```
+
+use eve_bench::{cost_rank, examples, figures};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test -p eve --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name}; \
+         if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_fig1() {
+    check("fig1", &figures::fig1());
+}
+
+#[test]
+fn golden_fig2() {
+    check("fig2", &figures::fig2());
+}
+
+#[test]
+fn golden_fig3() {
+    check("fig3", &figures::fig3());
+}
+
+#[test]
+fn golden_fig4_summary() {
+    check("fig4_summary", &figures::fig4().summary);
+}
+
+#[test]
+fn golden_fig4_dot() {
+    check("fig4_h", &figures::fig4().dot_h);
+}
+
+#[test]
+fn golden_ex3() {
+    check("ex3", &examples::ex3());
+}
+
+#[test]
+fn golden_ex4() {
+    check("ex4", &examples::ex4());
+}
+
+#[test]
+fn golden_ex5_10() {
+    check("ex5_10", &examples::ex5_10());
+}
+
+#[test]
+fn golden_cost_rank() {
+    check("cost_rank", &cost_rank::cost_rank());
+}
+
+#[test]
+fn golden_sweep_chain() {
+    check(
+        "sweep_chain_d6",
+        &eve_bench::sweeps::render_chain(&eve_bench::sweeps::sweep_chain(6)),
+    );
+}
+
+#[test]
+fn golden_sweep_extent() {
+    check(
+        "sweep_extent_s5",
+        &eve_bench::sweeps::render_extent(&eve_bench::sweeps::sweep_extent(5)),
+    );
+}
+
+#[test]
+fn golden_sweep_covers() {
+    check(
+        "sweep_covers_c4",
+        &eve_bench::sweeps::render_covers(&eve_bench::sweeps::sweep_covers(4, 5)),
+    );
+}

@@ -1,0 +1,101 @@
+//! Property: materialization adaptation always agrees with full
+//! recomputation, whatever strategy it picks.
+
+use eve::cvs::{adapt_materialization, evaluate_view, AdaptationStrategy, MaterializedView};
+use eve::esql::{parse_view, ViewDefinition};
+use eve::relational::{
+    AttributeDef, Database, DataType, FuncRegistry, Relation, RelName, Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn db(rows: &[(i64, i64, i64)]) -> Database {
+    let mut db = Database::new();
+    let name = RelName::new("R");
+    let schema = Schema::of_relation(
+        &name,
+        &[
+            AttributeDef::new("a", DataType::Int),
+            AttributeDef::new("b", DataType::Int),
+            AttributeDef::new("c", DataType::Int),
+        ],
+    );
+    let rel = Relation::from_rows(
+        schema,
+        rows.iter()
+            .map(|(a, b, c)| Tuple::new(vec![Value::Int(*a), Value::Int(*b), Value::Int(*c)])),
+    )
+    .expect("arity");
+    db.put(name, rel);
+    db
+}
+
+/// Views over R with a configurable column subset and bound conditions.
+fn view(cols: &[&str], lo: Option<i64>, hi: Option<i64>) -> ViewDefinition {
+    let select: Vec<String> = cols.iter().map(|c| format!("R.{c}")).collect();
+    let mut conds = Vec::new();
+    if let Some(l) = lo {
+        conds.push(format!("(R.a >= {l})"));
+    }
+    if let Some(h) = hi {
+        conds.push(format!("(R.a < {h}) (CD = true)"));
+    }
+    let where_clause = if conds.is_empty() {
+        String::new()
+    } else {
+        format!("WHERE {}", conds.join(" AND "))
+    };
+    parse_view(&format!(
+        "CREATE VIEW V AS SELECT {} FROM R {}",
+        select.join(", "),
+        where_clause
+    ))
+    .expect("constructed view parses")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any old/new definition pair from this family adapts to exactly
+    /// the recomputed extent.
+    #[test]
+    fn adaptation_agrees_with_recompute(
+        rows in proptest::collection::vec((-5i64..5, -5i64..5, -5i64..5), 0..25),
+        old_cols in proptest::sample::subsequence(vec!["a", "b", "c"], 1..=3),
+        new_cols in proptest::sample::subsequence(vec!["a", "b", "c"], 1..=3),
+        old_lo in proptest::option::of(-4i64..4),
+        new_lo in proptest::option::of(-4i64..4),
+        old_hi in proptest::option::of(-4i64..4),
+        new_hi in proptest::option::of(-4i64..4),
+    ) {
+        let database = db(&rows);
+        let funcs = FuncRegistry::new();
+        let old_def = view(&old_cols, old_lo, old_hi);
+        let new_def = view(&new_cols, new_lo, new_hi);
+        let mv = MaterializedView::new(old_def, &database, &funcs).expect("materialises");
+        let (adapted, report) =
+            adapt_materialization(&mv, &new_def, &database, &funcs).expect("adapts");
+        let full = evaluate_view(&new_def, &database, &funcs).expect("recomputes");
+        prop_assert_eq!(
+            adapted.row_set(),
+            full.row_set(),
+            "strategy {} diverged", report.strategy
+        );
+    }
+
+    /// Pure column narrowing never touches base relations.
+    #[test]
+    fn narrowing_is_base_free(
+        rows in proptest::collection::vec((-5i64..5, -5i64..5, -5i64..5), 1..20),
+        keep in proptest::sample::subsequence(vec!["a", "b", "c"], 1..=2),
+    ) {
+        let database = db(&rows);
+        let funcs = FuncRegistry::new();
+        let mv = MaterializedView::new(view(&["a", "b", "c"], None, None), &database, &funcs)
+            .expect("materialises");
+        let new_def = view(&keep, None, None);
+        let (_, report) =
+            adapt_materialization(&mv, &new_def, &database, &funcs).expect("adapts");
+        prop_assert_eq!(report.strategy, AdaptationStrategy::ProjectOld);
+        prop_assert_eq!(report.tuples_computed, 0);
+    }
+}

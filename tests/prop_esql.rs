@@ -1,0 +1,195 @@
+//! Property-based round-trip tests for the E-SQL surface syntax:
+//! `parse(print(view)) == view` for randomly generated view ASTs.
+
+use eve::esql::{parse_view, CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition, ViewExtent};
+use eve::relational::expr::ArithOp;
+use eve::relational::{AttrName, AttrRef, Clause, CompareOp, ScalarExpr, Value};
+use proptest::prelude::*;
+
+/// Words that must not be generated as identifiers (keywords of E-SQL or
+/// the MISD format, parameter keys, and literal-like function names) —
+/// all matched case-insensitively by the parser.
+const FORBIDDEN: &[&str] = &[
+    "select", "from", "where", "and", "as", "create", "view", "true", "false", "null", "ve",
+    "ad", "ar", "cd", "cr", "rd", "rr", "on", "join", "relation", "funcof", "pc", "order", "by",
+    "date", "today", "abs", "lower", "upper", "identity", "floor",
+];
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-z]{1,6}(-[A-Z][a-z]{1,4})?"
+        .prop_filter("not a keyword", |s| {
+            !FORBIDDEN.iter().any(|k| s.eq_ignore_ascii_case(k))
+        })
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        (-999i64..999).prop_map(Value::Int),
+        "[a-z ]{0,6}".prop_map(Value::from),
+        any::<bool>().prop_map(Value::Bool),
+        (0i64..40000).prop_map(Value::Date),
+        Just(Value::Null),
+    ]
+}
+
+fn attr_ref() -> impl Strategy<Value = AttrRef> {
+    (ident(), ident()).prop_map(|(r, a)| AttrRef::new(r, a))
+}
+
+fn leaf_expr() -> impl Strategy<Value = ScalarExpr> {
+    prop_oneof![
+        attr_ref().prop_map(ScalarExpr::Attr),
+        value().prop_map(ScalarExpr::Const),
+        Just(ScalarExpr::call("today", vec![])),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = ScalarExpr> {
+    let arith = prop_oneof![
+        Just(ArithOp::Add),
+        Just(ArithOp::Sub),
+        Just(ArithOp::Mul),
+        Just(ArithOp::Div),
+    ];
+    leaf_expr().prop_recursive(2, 8, 2, move |inner| {
+        prop_oneof![
+            (arith.clone(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| ScalarExpr::binary(op, l, r)),
+            inner
+                .clone()
+                .prop_map(|e| ScalarExpr::call("abs", vec![e])),
+        ]
+    })
+}
+
+fn compare_op() -> impl Strategy<Value = CompareOp> {
+    prop_oneof![
+        Just(CompareOp::Eq),
+        Just(CompareOp::Ne),
+        Just(CompareOp::Lt),
+        Just(CompareOp::Le),
+        Just(CompareOp::Gt),
+        Just(CompareOp::Ge),
+    ]
+}
+
+fn params() -> impl Strategy<Value = EvolutionParams> {
+    (any::<bool>(), any::<bool>()).prop_map(|(d, r)| EvolutionParams::new(d, r))
+}
+
+fn extent() -> impl Strategy<Value = ViewExtent> {
+    prop_oneof![
+        Just(ViewExtent::Equivalent),
+        Just(ViewExtent::Superset),
+        Just(ViewExtent::Subset),
+        Just(ViewExtent::Any),
+    ]
+}
+
+fn view() -> impl Strategy<Value = ViewDefinition> {
+    let select_item = (expr(), proptest::option::of(ident()), params()).prop_map(
+        |(expr, alias, params)| SelectItem {
+            expr,
+            alias: alias.map(AttrName::new),
+            params,
+        },
+    );
+    let from_item = (ident(), params()).prop_map(|(rel, params)| FromItem {
+        relation: rel.into(),
+        alias: None,
+        params,
+    });
+    let cond_item = (expr(), compare_op(), expr(), params()).prop_map(
+        |(lhs, op, rhs, params)| CondItem {
+            clause: Clause::new(lhs, op, rhs),
+            params,
+        },
+    );
+    (
+        ident(),
+        extent(),
+        proptest::collection::vec(select_item, 1..5),
+        proptest::collection::vec(from_item, 1..4),
+        proptest::collection::vec(cond_item, 0..4),
+    )
+        .prop_map(|(name, extent, select, from, conditions)| {
+            let interface = None; // exercised separately below
+            ViewDefinition {
+                name,
+                interface,
+                extent,
+                select,
+                from,
+                conditions,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The canonical printer's output re-parses to the identical AST.
+    #[test]
+    fn print_parse_roundtrip(v in view()) {
+        let printed = v.to_string();
+        let reparsed = parse_view(&printed)
+            .unwrap_or_else(|e| panic!("printed view failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &v, "\nprinted:\n{}", printed);
+    }
+
+    /// Round trip with an explicit interface list.
+    #[test]
+    fn roundtrip_with_interface(v in view(), names in proptest::collection::vec(ident(), 1..5)) {
+        let mut v = v;
+        // interface arity must match SELECT arity for semantic use; the
+        // syntax allows any arity — test the syntax.
+        v.interface = Some(names.into_iter().map(AttrName::new).collect());
+        let printed = v.to_string();
+        let reparsed = parse_view(&printed)
+            .unwrap_or_else(|e| panic!("printed view failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(&reparsed, &v, "\nprinted:\n{}", printed);
+    }
+
+    /// Printing is deterministic and stable under re-printing.
+    #[test]
+    fn print_is_idempotent(v in view()) {
+        let once = v.to_string();
+        let again = parse_view(&once).expect("parses").to_string();
+        prop_assert_eq!(once, again);
+    }
+
+    /// The parser and lexer never panic on arbitrary input — they
+    /// return errors.
+    #[test]
+    fn parser_never_panics(s in ".{0,200}") {
+        let _ = parse_view(&s);
+        let _ = eve::esql::parse_views(&s);
+        let _ = eve::esql::lexer::tokenize(&s);
+        let _ = eve::misd::parse_misd(&s);
+        let _ = eve::misd::CapabilityChange::parse(&s);
+    }
+
+    /// Near-miss inputs around valid E-SQL also never panic.
+    #[test]
+    fn mutated_esql_never_panics(v in view(), cut in 0usize..400) {
+        let printed = v.to_string();
+        let truncated: String = printed.chars().take(cut % (printed.chars().count() + 1)).collect();
+        let _ = parse_view(&truncated);
+    }
+
+    /// Substituting an attribute then printing still yields parseable
+    /// E-SQL (the shape CVS outputs).
+    #[test]
+    fn substituted_views_stay_parseable(v in view(), target in attr_ref(), repl in leaf_expr()) {
+        let mut v = v;
+        for s in &mut v.select {
+            s.expr = s.expr.substitute(&target, &repl);
+        }
+        for c in &mut v.conditions {
+            c.clause = c.clause.substitute(&target, &repl);
+        }
+        let printed = v.to_string();
+        parse_view(&printed)
+            .unwrap_or_else(|e| panic!("substituted view failed to parse: {e}\n{printed}"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the MISD layer: textual round-trips and
+//! algebraic properties of MKB evolution.
+
+use eve::misd::{evolve, infer_changes, parse_misd, render_misd, CapabilityChange};
+use eve::relational::{AttrName, AttrRef, RelName};
+use eve::workload::{SynthConfig, SynthWorkload, Topology};
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = SynthConfig> {
+    (3usize..20, 0usize..10, 1usize..4, 0.0f64..=1.0).prop_map(
+        |(n_relations, extra, cover_count, pc_fraction)| SynthConfig {
+            n_relations,
+            topology: Topology::Random { extra },
+            cover_count,
+            pc_fraction,
+            ..SynthConfig::default()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `parse(render(mkb)) == mkb` for arbitrary synthetic MKBs.
+    #[test]
+    fn misd_roundtrip(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let text = render_misd(&w.mkb);
+        let back = parse_misd(&text)
+            .unwrap_or_else(|e| panic!("rendered MISD failed to parse: {e}\n{text}"));
+        prop_assert_eq!(back, w.mkb);
+    }
+
+    /// Deleting a relation removes every trace of it from MKB'.
+    #[test]
+    fn delete_relation_leaves_no_trace(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let target = w.target.clone();
+        let mkb2 = evolve(&w.mkb, &CapabilityChange::DeleteRelation(target.clone()))
+            .expect("target described");
+        prop_assert!(!mkb2.contains_relation(&target));
+        prop_assert!(mkb2.joins().iter().all(|j| !j.touches(&target)));
+        prop_assert!(mkb2.function_ofs().iter().all(|f| !f.touches(&target)));
+        prop_assert!(mkb2.pcs().iter().all(|p| !p.touches(&target)));
+        // And the result still round-trips through the textual format.
+        let text = render_misd(&mkb2);
+        prop_assert_eq!(parse_misd(&text).expect("MKB' renders validly"), mkb2);
+    }
+
+    /// Rename is invertible: renaming A→B then B→A restores the MKB.
+    #[test]
+    fn rename_relation_invertible(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let from = w.target.clone();
+        let to = RelName::new("Zz-Renamed");
+        let fwd = evolve(&w.mkb, &CapabilityChange::RenameRelation {
+            from: from.clone(),
+            to: to.clone(),
+        }).expect("rename ok");
+        let back = evolve(&fwd, &CapabilityChange::RenameRelation {
+            from: to,
+            to: from,
+        }).expect("rename back ok");
+        prop_assert_eq!(back, w.mkb);
+    }
+
+    /// Rename-attribute is invertible too.
+    #[test]
+    fn rename_attribute_invertible(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let attr = AttrRef::new(w.target.clone(), "v0");
+        let tmp = AttrName::new("zzTmp");
+        let fwd = evolve(&w.mkb, &CapabilityChange::RenameAttribute {
+            from: attr.clone(),
+            to: tmp.clone(),
+        }).expect("rename ok");
+        let back = evolve(&fwd, &CapabilityChange::RenameAttribute {
+            from: AttrRef::new(w.target.clone(), tmp),
+            to: attr.attr.clone(),
+        }).expect("rename back ok");
+        prop_assert_eq!(back, w.mkb);
+    }
+
+    /// Delete-attribute only ever shrinks constraint sets, and evolution
+    /// never leaves dangling references.
+    #[test]
+    fn delete_attribute_shrinks(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let attr = AttrRef::new(w.target.clone(), "k");
+        let mkb2 = evolve(&w.mkb, &CapabilityChange::DeleteAttribute(attr.clone()))
+            .expect("attribute exists");
+        prop_assert!(!mkb2.has_attr(&attr));
+        prop_assert!(mkb2.joins().len() <= w.mkb.joins().len());
+        prop_assert!(mkb2.function_ofs().len() <= w.mkb.function_ofs().len());
+        prop_assert!(mkb2.pcs().len() <= w.mkb.pcs().len());
+        // No surviving constraint mentions the deleted attribute.
+        prop_assert!(mkb2.joins().iter().all(|j| !j.attrs().contains(&attr)));
+        prop_assert!(mkb2
+            .function_ofs()
+            .iter()
+            .all(|f| f.target != attr && !f.source_attrs().contains(&attr)));
+    }
+
+    /// Diffing an MKB against an evolved version of itself yields a
+    /// change log that converges the schemas again.
+    #[test]
+    fn diff_roundtrips_evolution(cfg in config(), seed in 0u64..1000, drop_attr in any::<bool>()) {
+        let w = SynthWorkload::random(&cfg, seed);
+        // Evolve by a destructive change.
+        let ch = if drop_attr {
+            CapabilityChange::DeleteAttribute(AttrRef::new(w.target.clone(), "v0"))
+        } else {
+            CapabilityChange::DeleteRelation(w.target.clone())
+        };
+        let evolved = evolve(&w.mkb, &ch).expect("valid change");
+        let diff = infer_changes(&w.mkb, &evolved);
+        // Replaying the inferred changes reaches the same schema.
+        let mut replayed = w.mkb.clone();
+        for c in &diff.changes {
+            replayed = evolve(&replayed, c).expect("inferred change applies");
+        }
+        prop_assert!(infer_changes(&replayed, &evolved).changes.is_empty());
+        // The evolved MKB lost constraints, never gained: no missing ids.
+        prop_assert!(diff.missing_constraints.is_empty());
+    }
+
+    /// Evolution is pure: applying a change never mutates the input MKB.
+    #[test]
+    fn evolve_is_pure(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let snapshot = w.mkb.clone();
+        let _ = evolve(&w.mkb, &CapabilityChange::DeleteRelation(w.target.clone()));
+        prop_assert_eq!(snapshot, w.mkb);
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests for the relational substrate: algebraic laws,
+//! total-order coherence of values, and the soundness of the symbolic
+//! clause machinery (implication, consistency) against evaluation.
+
+use eve::relational::expr::ArithOp;
+use eve::relational::{
+    compare_extents, select, theta_join, AttrRef, AttributeDef, Clause, CompareOp, Conjunction,
+    DataType, ExtentRelation, FuncRegistry, Relation, RelName, ScalarExpr, Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-100i64..100).prop_map(Value::Int),
+        (-100i64..100).prop_map(|i| Value::float(i as f64 / 4.0)),
+        "[a-d]{0,3}".prop_map(Value::from),
+        (-50i64..50).prop_map(Value::Date),
+    ]
+}
+
+fn int_relation(rows: Vec<(i64, i64)>) -> Relation {
+    let schema = Schema::of_relation(
+        &RelName::new("R"),
+        &[
+            AttributeDef::new("x", DataType::Int),
+            AttributeDef::new("y", DataType::Int),
+        ],
+    );
+    Relation::from_rows(
+        schema,
+        rows.into_iter()
+            .map(|(x, y)| Tuple::new(vec![Value::Int(x), Value::Int(y)])),
+    )
+    .expect("arity 2")
+}
+
+fn clause_x(op: CompareOp, c: i64) -> Clause {
+    Clause::new(ScalarExpr::attr("R", "x"), op, ScalarExpr::lit(c))
+}
+
+fn op_strategy() -> impl Strategy<Value = CompareOp> {
+    prop_oneof![
+        Just(CompareOp::Eq),
+        Just(CompareOp::Ne),
+        Just(CompareOp::Lt),
+        Just(CompareOp::Le),
+        Just(CompareOp::Gt),
+        Just(CompareOp::Ge),
+    ]
+}
+
+proptest! {
+    /// Value ordering is a total order consistent with equality.
+    #[test]
+    fn value_total_order(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        // antisymmetry + transitivity through sort stability
+        let mut v = [a.clone(), b.clone(), c.clone()];
+        v.sort();
+        prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        // Eq ↔ Ordering::Equal
+        prop_assert_eq!(a == b, a.cmp(&b) == std::cmp::Ordering::Equal);
+    }
+
+    /// `sql_cmp` agrees with the comparison operators' `test`.
+    #[test]
+    fn sql_cmp_and_ops_agree(a in -20i64..20, b in -20i64..20, op in op_strategy()) {
+        let (va, vb) = (Value::Int(a), Value::Int(b));
+        let ord = va.sql_cmp(&vb).expect("ints comparable");
+        let expected = match op {
+            CompareOp::Eq => a == b,
+            CompareOp::Ne => a != b,
+            CompareOp::Lt => a < b,
+            CompareOp::Le => a <= b,
+            CompareOp::Gt => a > b,
+            CompareOp::Ge => a >= b,
+        };
+        prop_assert_eq!(op.test(ord), expected);
+    }
+
+    /// Selection composes: σ_c2(σ_c1(R)) = σ_{c1 ∧ c2}(R).
+    #[test]
+    fn select_composes(
+        rows in proptest::collection::vec((-10i64..10, -10i64..10), 0..30),
+        op1 in op_strategy(), c1 in -10i64..10,
+        op2 in op_strategy(), c2 in -10i64..10,
+    ) {
+        let funcs = FuncRegistry::new();
+        let r = int_relation(rows);
+        let k1 = Conjunction::new(vec![clause_x(op1, c1)]);
+        let k2 = Conjunction::new(vec![clause_x(op2, c2)]);
+        let both = k1.and(&k2);
+        let seq = select(&select(&r, &k1, &funcs).unwrap(), &k2, &funcs).unwrap();
+        let conj = select(&r, &both, &funcs).unwrap();
+        prop_assert_eq!(seq.row_set(), conj.row_set());
+    }
+
+    /// Selection is monotone: σ(R) ⊆ R.
+    #[test]
+    fn select_shrinks(
+        rows in proptest::collection::vec((-10i64..10, -10i64..10), 0..30),
+        op in op_strategy(), c in -10i64..10,
+    ) {
+        let funcs = FuncRegistry::new();
+        let r = int_relation(rows);
+        let filtered = select(&r, &Conjunction::new(vec![clause_x(op, c)]), &funcs).unwrap();
+        prop_assert!(filtered.row_set().is_subset(r.row_set()));
+    }
+
+    /// Join row multiplicity: |R ⋈_true S| = |R|·|S| (cross product),
+    /// and any condition shrinks it.
+    #[test]
+    fn join_cross_and_filtered(
+        left in proptest::collection::vec((-5i64..5, -5i64..5), 0..12),
+        right in proptest::collection::vec(-5i64..5, 0..12),
+    ) {
+        let funcs = FuncRegistry::new();
+        let l = int_relation(left);
+        let schema = Schema::of_relation(
+            &RelName::new("S"),
+            &[AttributeDef::new("z", DataType::Int)],
+        );
+        let r = Relation::from_rows(
+            schema,
+            right.into_iter().map(|z| Tuple::new(vec![Value::Int(z)])),
+        ).unwrap();
+        let cross = theta_join(&l, &r, &Conjunction::empty(), &funcs).unwrap();
+        prop_assert_eq!(cross.len(), l.len() * r.len());
+        let cond = Conjunction::new(vec![Clause::eq_attrs(
+            AttrRef::new("R", "x"),
+            AttrRef::new("S", "z"),
+        )]);
+        let joined = theta_join(&l, &r, &cond, &funcs).unwrap();
+        prop_assert!(joined.len() <= cross.len());
+    }
+
+    /// Clause implication is sound: if `a` implies `b`, then every tuple
+    /// satisfying `a` satisfies `b`.
+    #[test]
+    fn implication_sound(
+        op1 in op_strategy(), c1 in -10i64..10,
+        op2 in op_strategy(), c2 in -10i64..10,
+        xs in proptest::collection::vec(-15i64..15, 0..40),
+    ) {
+        let a = clause_x(op1, c1);
+        let b = clause_x(op2, c2);
+        if a.implies(&b) {
+            let funcs = FuncRegistry::new();
+            let r = int_relation(xs.into_iter().map(|x| (x, 0)).collect());
+            let schema = r.schema().clone();
+            for t in r.rows() {
+                if a.eval(&schema, t, &funcs).unwrap() {
+                    prop_assert!(b.eval(&schema, t, &funcs).unwrap(),
+                        "{a:?} claimed to imply {b:?} but {t} is a counterexample");
+                }
+            }
+        }
+    }
+
+    /// Consistency is sound: a satisfiable conjunction is never declared
+    /// inconsistent.
+    #[test]
+    fn consistency_sound(
+        ops in proptest::collection::vec((op_strategy(), -8i64..8), 1..5),
+        x in -10i64..10,
+    ) {
+        let conj: Conjunction = ops.iter().map(|(op, c)| clause_x(*op, *c)).collect();
+        let funcs = FuncRegistry::new();
+        let r = int_relation(vec![(x, 0)]);
+        let schema = r.schema().clone();
+        let t = r.rows().next().unwrap();
+        if conj.eval(&schema, t, &funcs).unwrap() {
+            // witness exists → must not be declared inconsistent
+            prop_assert!(conj.is_consistent(),
+                "satisfiable conjunction declared inconsistent: {conj}");
+        }
+    }
+
+    /// Extent comparison matches raw subset computations.
+    #[test]
+    fn extent_comparison_correct(
+        xs in proptest::collection::vec(-6i64..6, 0..15),
+        ys in proptest::collection::vec(-6i64..6, 0..15),
+    ) {
+        let a = int_relation(xs.into_iter().map(|x| (x, 0)).collect());
+        let b = int_relation(ys.into_iter().map(|y| (y, 0)).collect());
+        let rel = compare_extents(&a, &b);
+        let sub = a.row_set().is_subset(b.row_set());
+        let sup = b.row_set().is_subset(a.row_set());
+        let expected = match (sub, sup) {
+            (true, true) => ExtentRelation::Equivalent,
+            (true, false) => ExtentRelation::ProperSubset,
+            (false, true) => ExtentRelation::ProperSuperset,
+            (false, false) => ExtentRelation::Incomparable,
+        };
+        prop_assert_eq!(rel, expected);
+    }
+
+    /// Arithmetic evaluation: substitution commutes with evaluation for
+    /// attribute-for-expression substitution (the CVS Step 4 operation).
+    #[test]
+    fn substitution_commutes_with_eval(x in -20i64..20, y in -20i64..20) {
+        let funcs = FuncRegistry::new();
+        // e = R.x + 3, substitute R.x -> (R.y * 2)
+        let e = ScalarExpr::binary(
+            ArithOp::Add,
+            ScalarExpr::attr("R", "x"),
+            ScalarExpr::lit(3i64),
+        );
+        let replacement = ScalarExpr::binary(
+            ArithOp::Mul,
+            ScalarExpr::attr("R", "y"),
+            ScalarExpr::lit(2i64),
+        );
+        let substituted = e.substitute(&AttrRef::new("R", "x"), &replacement);
+        let r = int_relation(vec![(x, y)]);
+        let schema = r.schema().clone();
+        let t = r.rows().next().unwrap();
+        let direct = substituted.eval(&schema, t, &funcs).unwrap();
+        prop_assert_eq!(direct, Value::Int(y * 2 + 3));
+    }
+}
