@@ -68,7 +68,6 @@ fn bench_tree_budget(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared criterion config: short but stable runs so the full workspace
 /// bench suite completes in minutes.
 fn config() -> Criterion {

@@ -11,10 +11,9 @@ use eve_workload::TravelFixture;
 fn bench_adapt_vs_recompute(c: &mut Criterion) {
     let fixture = TravelFixture::new();
     let funcs = FuncRegistry::new();
-    let old_def = parse_view(
-        "CREATE VIEW V AS SELECT C.Name, C.Addr, C.Phone, C.Age FROM Customer C",
-    )
-    .expect("parses");
+    let old_def =
+        parse_view("CREATE VIEW V AS SELECT C.Name, C.Addr, C.Phone, C.Age FROM Customer C")
+            .expect("parses");
     // Column narrowing: adaptation is a pure projection of the old extent.
     let new_def =
         parse_view("CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C").expect("parses");

@@ -2,7 +2,7 @@
 //! synchronization latency versus MKB size and join-constraint density.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eve_core::{cvs_delete_relation, CvsOptions};
+use eve_core::{cvs_delete_relation, cvs_delete_relation_indexed, CvsOptions, MkbIndex};
 use eve_misd::evolve;
 use eve_workload::{SynthConfig, SynthWorkload, Topology};
 
@@ -20,17 +20,61 @@ fn bench_cvs_scale(c: &mut Criterion) {
             let w = SynthWorkload::random(&cfg, 7);
             let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
             let opts = CvsOptions::default();
-            group.bench_with_input(
-                BenchmarkId::new(density, n),
-                &(w, mkb2),
-                |b, (w, mkb2)| {
-                    b.iter(|| {
-                        cvs_delete_relation(&w.view, &w.target, &w.mkb, mkb2, &opts)
-                            .expect("workload is synchronizable")
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(density, n), &(w, mkb2), |b, (w, mkb2)| {
+                b.iter(|| {
+                    cvs_delete_relation(&w.view, &w.target, &w.mkb, mkb2, &opts)
+                        .expect("workload is synchronizable")
+                })
+            });
         }
+    }
+    group.finish();
+}
+
+/// One capability change, many affected views: the scenario the
+/// per-change [`MkbIndex`] targets. The legacy path rebuilds the
+/// hypergraph/components/cover tables once per view; the indexed path
+/// builds the index once (inside the timing loop — it is part of the
+/// per-change cost) and synchronizes all views against it.
+fn bench_index_reuse(c: &mut Criterion) {
+    const VIEWS: usize = 8;
+    let mut group = c.benchmark_group("cvs_index_reuse_8_views");
+    for &n in &[64usize, 256] {
+        let cfg = SynthConfig {
+            n_relations: n,
+            topology: Topology::Random { extra: n / 4 },
+            cover_count: 3,
+            view_relations: 3,
+            ..SynthConfig::default()
+        };
+        let w = SynthWorkload::random(&cfg, 7);
+        let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+        let opts = CvsOptions::default();
+        group.bench_with_input(
+            BenchmarkId::new("legacy", n),
+            &(w.clone(), mkb2.clone()),
+            |b, (w, mkb2)| {
+                b.iter(|| {
+                    for _ in 0..VIEWS {
+                        cvs_delete_relation(&w.view, &w.target, &w.mkb, mkb2, &opts)
+                            .expect("workload is synchronizable");
+                    }
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("indexed", n),
+            &(w, mkb2),
+            |b, (w, mkb2)| {
+                b.iter(|| {
+                    let index = MkbIndex::new(&w.mkb, mkb2, &opts);
+                    for _ in 0..VIEWS {
+                        cvs_delete_relation_indexed(&w.view, &w.target, &index, &opts)
+                            .expect("workload is synchronizable");
+                    }
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -45,13 +89,14 @@ fn bench_mkb_evolution(c: &mut Criterion) {
         };
         let w = SynthWorkload::random(&cfg, 7);
         let change = w.delete_change();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(w, change), |b, (w, ch)| {
-            b.iter(|| evolve(&w.mkb, ch).expect("target described"))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(w, change),
+            |b, (w, ch)| b.iter(|| evolve(&w.mkb, ch).expect("target described")),
+        );
     }
     group.finish();
 }
-
 
 /// Shared criterion config: short but stable runs so the full workspace
 /// bench suite completes in minutes.
@@ -65,6 +110,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_cvs_scale, bench_mkb_evolution
+    targets = bench_cvs_scale, bench_index_reuse, bench_mkb_evolution
 }
 criterion_main!(benches);

@@ -60,7 +60,6 @@ fn bench_connection_tree(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Shared criterion config: short but stable runs so the full workspace
 /// bench suite completes in minutes.
 fn config() -> Criterion {

@@ -2,7 +2,7 @@
 //! R-replacement enumeration (Def. 3), isolated from each other.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eve_core::{compute_r_mapping, r_mapping_from_mkb, CvsOptions};
+use eve_core::{compute_r_mapping, r_mapping_from_mkb, r_mapping_with_index, CvsOptions, MkbIndex};
 use eve_hypergraph::Hypergraph;
 use eve_misd::evolve;
 use eve_relational::RelName;
@@ -32,8 +32,17 @@ fn bench_r_mapping_synthetic(c: &mut Criterion) {
         };
         let w = SynthWorkload::random(&cfg, 3);
         let opts = CvsOptions::default();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &w, |b, w| {
+        // Legacy path: the hypergraph and components are rebuilt from
+        // the MKB on every call.
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &w, |b, w| {
             b.iter(|| r_mapping_from_mkb(&w.view, &w.target, &w.mkb, &opts))
+        });
+        // Indexed path: the per-change MkbIndex is built once (outside
+        // the timing loop, as the Synchronizer does per change) and the
+        // mapping query itself is measured.
+        let index = MkbIndex::new(&w.mkb, &w.mkb, &opts);
+        group.bench_with_input(BenchmarkId::new("indexed", n), &w, |b, w| {
+            b.iter(|| r_mapping_with_index(&w.view, &w.target, &index, &opts))
         });
     }
     group.finish();
@@ -64,7 +73,6 @@ fn bench_replacement(c: &mut Criterion) {
     }
     group.finish();
 }
-
 
 /// Shared criterion config: short but stable runs so the full workspace
 /// bench suite completes in minutes.

@@ -35,7 +35,6 @@ fn bench_misd(c: &mut Criterion) {
     c.bench_function("misd/render_fig2", |b| b.iter(|| render_misd(&mkb)));
 }
 
-
 /// Shared criterion config: short but stable runs so the full workspace
 /// bench suite completes in minutes.
 fn config() -> Criterion {

@@ -39,7 +39,6 @@ fn bench_empirical_extent(c: &mut Criterion) {
     });
 }
 
-
 /// Shared criterion config: short but stable runs so the full workspace
 /// bench suite completes in minutes.
 fn config() -> Criterion {

@@ -100,13 +100,10 @@ fn run(id: &str, quick: bool, out_dir: &Path) -> String {
             if quick { 4 } else { 8 },
             if quick { 5 } else { 25 },
         )),
-        "sweep-extent" => {
-            sweeps::render_extent(&sweeps::sweep_extent(if quick { 5 } else { 50 }))
+        "sweep-extent" => sweeps::render_extent(&sweeps::sweep_extent(if quick { 5 } else { 50 })),
+        "sweep-lifecycle" => {
+            sweeps::render_lifecycle(&sweeps::sweep_lifecycle(if quick { 5 } else { 30 }, 6))
         }
-        "sweep-lifecycle" => sweeps::render_lifecycle(&sweeps::sweep_lifecycle(
-            if quick { 5 } else { 30 },
-            6,
-        )),
         "cost-rank" => cost_rank::cost_rank(),
         other => unreachable!("id {other} validated in main"),
     }

@@ -47,8 +47,7 @@ pub fn ex4() -> String {
     // Empirical validation on a generated IS state.
     let db = fixture.database(11, 60);
     let funcs = FuncRegistry::new();
-    let observed =
-        empirical_extent(&best.view, &view, &db, &funcs).expect("views evaluate");
+    let observed = empirical_extent(&best.view, &view, &db, &funcs).expect("views evaluate");
 
     format!(
         "Example 4 (Eqs. 3–4) — delete-attribute Customer.Addr\n\n\
@@ -58,7 +57,11 @@ pub fn ex4() -> String {
          empirical (seed 11, 60 customers): V' {observed} V\n",
         evolved = best.view,
         verdict = best.verdict,
-        sat = if best.satisfies_p3 { "satisfied" } else { "unverified" },
+        sat = if best.satisfies_p3 {
+            "satisfied"
+        } else {
+            "unverified"
+        },
         observed = observed.symbol(),
     )
 }
@@ -183,7 +186,10 @@ mod tests {
         assert!(s.contains("Min(H_R) joins: JC1"), "{s}");
         assert!(s.contains("FlightRes.Dest = 'Asia'"), "{s}");
         // Ex. 9: three covers; Participant disconnected.
-        assert!(s.contains("Participant") && s.contains("no (disconnected)"), "{s}");
+        assert!(
+            s.contains("Participant") && s.contains("no (disconnected)"),
+            "{s}"
+        );
         // Eq. 13: the Accident-Ins rewriting with the Age replacement.
         assert!(s.contains("Accident-Ins.Birthday"), "{s}");
         assert!(s.contains("F2"), "{s}");

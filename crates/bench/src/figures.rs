@@ -22,9 +22,7 @@ pub fn fig1() -> String {
         "TC_{R,Ai} = (R(Ai) ⊆ Type_i(Ai))".to_string(),
         format!(
             "Customer(Age) ⊆ {}",
-            customer
-                .type_of(&"Age".into())
-                .expect("Age typed")
+            customer.type_of(&"Age".into()).expect("Age typed")
         ),
     ]);
     t.push(&[
@@ -50,7 +48,10 @@ pub fn fig1() -> String {
         "PC_{R1,R2} = (π(σ R1) θ π(σ R2))".to_string(),
         format!("{}: {} {} {}", pc.id, pc.left, pc.op, pc.right),
     ]);
-    format!("Fig. 1 — Semantic constraints for IS descriptions\n\n{}", t.render())
+    format!(
+        "Fig. 1 — Semantic constraints for IS descriptions\n\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 2 — content descriptions, join and function-of constraints of
@@ -63,7 +64,10 @@ pub fn fig2() -> String {
     let mut t = Table::new(&["IS", "description"]);
     for r in mkb.relations() {
         let attrs: Vec<String> = r.attrs.iter().map(|a| a.name.to_string()).collect();
-        t.push(&[r.source.clone(), format!("{}({})", r.name, attrs.join(", "))]);
+        t.push(&[
+            r.source.clone(),
+            format!("{}({})", r.name, attrs.join(", ")),
+        ]);
     }
     out.push_str(&t.render());
     out.push('\n');
@@ -112,7 +116,10 @@ pub fn fig3() -> String {
         "≡ | ⊇ | ⊆ | ≈".to_string(),
         ViewExtent::default().symbol().to_string(),
     ]);
-    format!("Fig. 3 — View evolution parameters of E-SQL\n\n{}", t.render())
+    format!(
+        "Fig. 3 — View evolution parameters of E-SQL\n\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 4 — the hypergraphs `H(MKB)` and `H'(MKB')` for the travel
@@ -179,7 +186,13 @@ mod tests {
     fn fig2_lists_everything() {
         let s = fig2();
         for rel in [
-            "Customer", "Tour", "Participant", "FlightRes", "Accident-Ins", "Hotels", "RentACar",
+            "Customer",
+            "Tour",
+            "Participant",
+            "FlightRes",
+            "Accident-Ins",
+            "Hotels",
+            "RentACar",
         ] {
             assert!(s.contains(rel), "missing {rel} in:\n{s}");
         }

@@ -162,7 +162,13 @@ pub fn sweep_scale(sizes: &[usize], seeds: u64) -> Vec<ScaleRow> {
 
 /// Render the scale sweep.
 pub fn render_scale(rows: &[ScaleRow]) -> String {
-    let mut t = Table::new(&["relations", "joins", "density", "median latency (µs)", "success"]);
+    let mut t = Table::new(&[
+        "relations",
+        "joins",
+        "density",
+        "median latency (µs)",
+        "success",
+    ]);
     for r in rows {
         t.push(&[
             r.n_relations.to_string(),
@@ -454,7 +460,9 @@ mod tests {
             );
         }
         // Survival is monotonically non-increasing.
-        assert!(rows.windows(2).all(|w| w[1].cvs_alive <= w[0].cvs_alive + 1e-9));
+        assert!(rows
+            .windows(2)
+            .all(|w| w[1].cvs_alive <= w[0].cvs_alive + 1e-9));
         // And CVS strictly beats static views somewhere.
         assert!(rows.iter().any(|r| r.cvs_alive > r.static_alive));
     }

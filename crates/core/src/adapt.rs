@@ -96,10 +96,7 @@ fn same_from(a: &ViewDefinition, b: &ViewDefinition) -> bool {
 }
 
 fn conditions_of(v: &ViewDefinition) -> Vec<Clause> {
-    v.conditions
-        .iter()
-        .map(|c| c.clause.normalized())
-        .collect()
+    v.conditions.iter().map(|c| c.clause.normalized()).collect()
 }
 
 /// Map every attribute in `clause` to the old view's *output column*
@@ -361,10 +358,8 @@ mod tests {
 
     #[test]
     fn project_old_drops_column_without_base_access() {
-        let mv =
-            materialize("CREATE VIEW V AS SELECT C.Name, C.Age, C.City FROM Customer C");
-        let new_def =
-            parse_view("CREATE VIEW V AS SELECT C.City, C.Name FROM Customer C").unwrap();
+        let mv = materialize("CREATE VIEW V AS SELECT C.Name, C.Age, C.City FROM Customer C");
+        let new_def = parse_view("CREATE VIEW V AS SELECT C.City, C.Name FROM Customer C").unwrap();
         let (rel, report) =
             adapt_materialization(&mv, &new_def, &db(), &FuncRegistry::new()).unwrap();
         assert_eq!(report.strategy, AdaptationStrategy::ProjectOld);
@@ -375,10 +370,9 @@ mod tests {
     #[test]
     fn filter_old_applies_added_condition() {
         let mv = materialize("CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C");
-        let new_def = parse_view(
-            "CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C WHERE C.Age >= 18",
-        )
-        .unwrap();
+        let new_def =
+            parse_view("CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C WHERE C.Age >= 18")
+                .unwrap();
         let (rel, report) =
             adapt_materialization(&mv, &new_def, &db(), &FuncRegistry::new()).unwrap();
         assert_eq!(report.strategy, AdaptationStrategy::FilterOld);
@@ -408,11 +402,10 @@ mod tests {
             "CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C WHERE (C.Age >= 18) AND (C.City = 'Detroit') (CD = true)",
         );
         assert_eq!(mv.data.len(), 1); // ann only
-        // Drop the Detroit condition: cat and dan join ann.
-        let new_def = parse_view(
-            "CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C WHERE C.Age >= 18",
-        )
-        .unwrap();
+                                      // Drop the Detroit condition: cat and dan join ann.
+        let new_def =
+            parse_view("CREATE VIEW V AS SELECT C.Name, C.Age FROM Customer C WHERE C.Age >= 18")
+                .unwrap();
         let (rel, report) =
             adapt_materialization(&mv, &new_def, &db(), &FuncRegistry::new()).unwrap();
         assert_eq!(report.strategy, AdaptationStrategy::UnionDelta);
@@ -470,16 +463,10 @@ mod tests {
         for r in &rewritings {
             // Only rewritings over relations present in the test DB are
             // evaluable here (others pull in Accident-Ins etc.).
-            if !r
-                .view
-                .relations()
-                .iter()
-                .all(|rel| fixture.contains(rel))
-            {
+            if !r.view.relations().iter().all(|rel| fixture.contains(rel)) {
                 continue;
             }
-            let (rel, _report) =
-                adapt_materialization(&mv, &r.view, &fixture, &funcs).unwrap();
+            let (rel, _report) = adapt_materialization(&mv, &r.view, &fixture, &funcs).unwrap();
             let full = evaluate_view(&r.view, &fixture, &funcs).unwrap();
             assert_eq!(rel.row_set(), full.row_set());
             checked += 1;

@@ -8,8 +8,9 @@
 //! inspection is exact: a view evaluates in the new information space iff
 //! every relation/attribute it references still exists.
 
+use crate::index::MkbIndex;
 use eve_esql::ViewDefinition;
-use eve_misd::CapabilityChange;
+use eve_misd::{CapabilityChange, MetaKnowledgeBase};
 
 /// Is this view affected by the change?
 ///
@@ -27,6 +28,23 @@ pub fn is_affected(view: &ViewDefinition, change: &CapabilityChange) -> bool {
         CapabilityChange::DeleteAttribute(a) => view.uses_attr(a),
         CapabilityChange::RenameAttribute { from, .. } => view.uses_attr(from),
     }
+}
+
+/// Does the view evaluate in the information space described by `mkb` —
+/// i.e. does every relation and attribute it references exist there?
+/// This is the exact evaluability test for SELECT-FROM-WHERE views over
+/// base relations (see the module docs), used both for registration-time
+/// validation and for reviving disabled views.
+pub fn is_evaluable(view: &ViewDefinition, mkb: &MetaKnowledgeBase) -> bool {
+    view.relations().iter().all(|r| mkb.contains_relation(r))
+        && view.referenced_attrs().iter().all(|a| mkb.has_attr(a))
+}
+
+/// Would this (previously disabled) view evaluate against the evolved
+/// MKB' of `index`? Used by the synchronizer's revival pass after
+/// `add-relation` / `add-attribute` changes restore referenced elements.
+pub fn revivable(view: &ViewDefinition, index: &MkbIndex<'_>) -> bool {
+    is_evaluable(view, index.mkb_prime())
 }
 
 /// Indices of the affected views among `views`.

@@ -31,10 +31,7 @@ use std::collections::BTreeSet;
 /// Returns the rewritten query (FROM clause = the view, treated as a
 /// relation named `view.name`; SELECT/WHERE lifted onto the view's
 /// output columns), or `None` when the view does not subsume the query.
-pub fn answer_using_view(
-    query: &ViewDefinition,
-    view: &ViewDefinition,
-) -> Option<ViewDefinition> {
+pub fn answer_using_view(query: &ViewDefinition, view: &ViewDefinition) -> Option<ViewDefinition> {
     // Same relation set.
     let q_rels: BTreeSet<RelName> = query.relations().into_iter().collect();
     let v_rels: BTreeSet<RelName> = view.relations().into_iter().collect();
@@ -122,9 +119,7 @@ pub fn answer_using_views<'a>(
     query: &ViewDefinition,
     views: impl IntoIterator<Item = &'a ViewDefinition>,
 ) -> Option<ViewDefinition> {
-    views
-        .into_iter()
-        .find_map(|v| answer_using_view(query, v))
+    views.into_iter().find_map(|v| answer_using_view(query, v))
 }
 
 #[cfg(test)]
@@ -133,7 +128,7 @@ mod tests {
     use crate::eval::evaluate_view;
     use eve_esql::parse_view;
     use eve_relational::{
-        AttributeDef, Database, DataType, FuncRegistry, Relation, Schema, Tuple, Value,
+        AttributeDef, DataType, Database, FuncRegistry, Relation, Schema, Tuple, Value,
     };
 
     fn db() -> Database {
@@ -156,9 +151,7 @@ mod tests {
                     ("bob", 10, "Detroit"),
                     ("cat", 44, "Boston"),
                 ]
-                .map(|(n, a, c)| {
-                    Tuple::new(vec![Value::str(n), Value::Int(a), Value::str(c)])
-                }),
+                .map(|(n, a, c)| Tuple::new(vec![Value::str(n), Value::Int(a), Value::str(c)])),
             )
             .unwrap(),
         );
@@ -172,8 +165,8 @@ mod tests {
         let funcs = FuncRegistry::new();
         let query = parse_view(query_src).unwrap();
         let view = parse_view(view_src).unwrap();
-        let rewritten = answer_using_view(&query, &view)
-            .unwrap_or_else(|| panic!("view should subsume query"));
+        let rewritten =
+            answer_using_view(&query, &view).unwrap_or_else(|| panic!("view should subsume query"));
 
         let mut database = db();
         // Materialize the view as a base relation named after it.
@@ -215,28 +208,24 @@ mod tests {
     fn view_with_extra_filter_rejected() {
         // The view filters more than the query — not equivalent.
         let query = parse_view("CREATE VIEW Q AS SELECT C.Name FROM Customer C").unwrap();
-        let view = parse_view(
-            "CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE C.Age > 18",
-        )
-        .unwrap();
+        let view =
+            parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C WHERE C.Age > 18").unwrap();
         assert!(answer_using_view(&query, &view).is_none());
     }
 
     #[test]
     fn missing_projection_rejected() {
         // The query needs Age, the view only exports Name.
-        let query =
-            parse_view("CREATE VIEW Q AS SELECT C.Age FROM Customer C").unwrap();
+        let query = parse_view("CREATE VIEW Q AS SELECT C.Age FROM Customer C").unwrap();
         let view = parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C").unwrap();
         assert!(answer_using_view(&query, &view).is_none());
     }
 
     #[test]
     fn residual_over_unpreserved_attr_rejected() {
-        let query = parse_view(
-            "CREATE VIEW Q AS SELECT C.Name FROM Customer C WHERE C.City = 'Boston'",
-        )
-        .unwrap();
+        let query =
+            parse_view("CREATE VIEW Q AS SELECT C.Name FROM Customer C WHERE C.City = 'Boston'")
+                .unwrap();
         let view = parse_view("CREATE VIEW V AS SELECT C.Name FROM Customer C").unwrap();
         assert!(answer_using_view(&query, &view).is_none());
     }
@@ -250,12 +239,9 @@ mod tests {
 
     #[test]
     fn first_subsuming_view_wins() {
-        let query =
-            parse_view("CREATE VIEW Q AS SELECT C.Name FROM Customer C").unwrap();
-        let narrow = parse_view(
-            "CREATE VIEW V1 AS SELECT C.Name FROM Customer C WHERE C.Age > 18",
-        )
-        .unwrap();
+        let query = parse_view("CREATE VIEW Q AS SELECT C.Name FROM Customer C").unwrap();
+        let narrow =
+            parse_view("CREATE VIEW V1 AS SELECT C.Name FROM Customer C WHERE C.Age > 18").unwrap();
         let wide = parse_view("CREATE VIEW V2 AS SELECT C.Name FROM Customer C").unwrap();
         let rewritten = answer_using_views(&query, [&narrow, &wide]).unwrap();
         assert!(rewritten.uses_relation(&RelName::new("V2")));

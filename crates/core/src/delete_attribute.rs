@@ -21,22 +21,41 @@
 
 use crate::error::CvsError;
 use crate::extent::{satisfies_extent_param, ExtentVerdict};
+use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
 use crate::replacement::{CoverChoice, Replacement};
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
-use eve_hypergraph::{ConnectionTree, Hypergraph};
-use eve_misd::{ExtentOp, MetaKnowledgeBase};
+use eve_hypergraph::ConnectionTree;
+use eve_misd::{ExtentOp, MetaKnowledgeBase, PartialComplete};
 use eve_relational::{AttrRef, Clause, RelName};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Synchronize `view` under `delete-attribute attr`, returning the legal
 /// rewritings ordered best-first.
+///
+/// Builds a throwaway [`MkbIndex`] internally; kept for API
+/// compatibility for one release. Prefer
+/// [`synchronize_delete_attribute_indexed`] when synchronizing several
+/// views against the same change.
 pub fn synchronize_delete_attribute(
     view: &ViewDefinition,
     attr: &AttrRef,
     mkb: &MetaKnowledgeBase,
     mkb_prime: &MetaKnowledgeBase,
+    opts: &CvsOptions,
+) -> Result<Vec<LegalRewriting>, CvsError> {
+    let index = MkbIndex::new(mkb, mkb_prime, opts);
+    synchronize_delete_attribute_indexed(view, attr, &index, opts)
+}
+
+/// [`synchronize_delete_attribute`] against a prebuilt [`MkbIndex`]:
+/// covers, the capability-filtered `H'(MKB')`, and PC buckets all come
+/// from the index.
+pub fn synchronize_delete_attribute_indexed(
+    view: &ViewDefinition,
+    attr: &AttrRef,
+    index: &MkbIndex<'_>,
     opts: &CvsOptions,
 ) -> Result<Vec<LegalRewriting>, CvsError> {
     if !view.uses_attr(attr) {
@@ -74,32 +93,20 @@ pub fn synchronize_delete_attribute(
         });
     }
 
-    // Covers from the old MKB whose source survives in MKB'.
-    let mut h_prime = Hypergraph::build(mkb_prime);
-    if opts.respect_capabilities {
-        for desc in mkb_prime.relations() {
-            if !desc.capabilities.join && h_prime.contains(&desc.name) {
-                h_prime = h_prime.without_relation(&desc.name);
-            }
-        }
-    }
+    // Covers from the old MKB whose source survives in MKB' (the cover's
+    // own attributes must have survived too).
     let covers: Vec<CoverChoice> = if replace_worthy {
-        mkb.covers_of(attr)
-            .filter_map(|f| {
-                let source = f.source_relation()?;
-                if !h_prime.contains(&source) {
-                    return None;
-                }
-                // The cover's own attributes must have survived.
-                if !f.source_attrs().iter().all(|a| mkb_prime.has_attr(a)) {
-                    return None;
-                }
-                Some(CoverChoice {
-                    funcof_id: f.id.clone(),
-                    source,
-                    replacement: f.expr.clone(),
-                })
+        index
+            .covers_of(attr)
+            .iter()
+            .filter(|c| {
+                index.h_prime().contains(&c.source)
+                    && c.replacement
+                        .attrs()
+                        .iter()
+                        .all(|a| index.mkb_prime().has_attr(a))
             })
+            .cloned()
             .collect()
     } else {
         Vec::new()
@@ -115,7 +122,7 @@ pub fn synchronize_delete_attribute(
     // Candidate per cover: join the source relation in (if new) along a
     // join-constraint chain from the view's relations.
     for cover in &covers {
-        match assemble_with_cover(view, attr, cover, mkb, &h_prime, opts) {
+        match assemble_with_cover(view, attr, cover, index, opts) {
             Ok(r) => out.push(r),
             Err(e) => last_err = e,
         }
@@ -132,13 +139,7 @@ pub fn synchronize_delete_attribute(
     if out.is_empty() {
         return Err(last_err);
     }
-    out.sort_by_key(|r: &LegalRewriting| {
-        (
-            !r.satisfies_p3,
-            r.view.from.len(),
-            r.view.to_string(),
-        )
-    });
+    out.sort_by_key(|r: &LegalRewriting| (!r.satisfies_p3, r.view.from.len(), r.view.to_string()));
     Ok(out)
 }
 
@@ -224,8 +225,7 @@ fn assemble_with_cover(
     view: &ViewDefinition,
     attr: &AttrRef,
     cover: &CoverChoice,
-    mkb: &MetaKnowledgeBase,
-    h_prime: &Hypergraph,
+    index: &MkbIndex<'_>,
     opts: &CvsOptions,
 ) -> Result<LegalRewriting, CvsError> {
     let (mut new_view, kept_select, dropped_conditions, _) =
@@ -241,7 +241,7 @@ fn assemble_with_cover(
         let mut terminals: BTreeSet<RelName> = [attr.relation.clone()].into_iter().collect();
         terminals.insert(cover.source.clone());
         let tree =
-            ConnectionTree::connect_with_limit(h_prime, &terminals, opts.max_path_edges)
+            ConnectionTree::connect_with_limit(index.h_prime(), &terminals, opts.max_path_edges)
                 .ok_or(CvsError::Disconnected)?;
         for rel in &tree.relations {
             if !from_rels.contains(rel) {
@@ -277,7 +277,13 @@ fn assemble_with_cover(
     // P3: certify via PC constraints between the cover relation and the
     // attribute's relation (Example 4 uses
     // π_{Name,PAddr}(Person) ⊇ π_{Name,Addr}(Customer)).
-    let verdict = certify_attr_swap(mkb, attr, cover, &added_joins, &dropped_conditions);
+    let verdict = certify_attr_swap(
+        index.pcs_between(&cover.source, &attr.relation),
+        attr,
+        cover,
+        &added_joins,
+        &dropped_conditions,
+    );
     let satisfies_p3 = satisfies_extent_param(view.extent, verdict);
 
     let replacement = Replacement {
@@ -337,9 +343,11 @@ fn assemble_drop_only(
 /// Certify the swap "attribute `R.A` now computed from `S`" using PC
 /// constraints: a PC whose `S` side includes the replacement source
 /// attributes and whose `R` side includes both `A` and the join
-/// attributes of the chain's first hop.
+/// attributes of the chain's first hop. `candidate_pcs` are the PC
+/// constraints relating `S` and `R` in either orientation (a superset is
+/// fine — orientation is re-checked here).
 fn certify_attr_swap(
-    mkb: &MetaKnowledgeBase,
+    candidate_pcs: &[&PartialComplete],
     attr: &AttrRef,
     cover: &CoverChoice,
     added_joins: &[eve_misd::JoinConstraint],
@@ -363,16 +371,15 @@ fn certify_attr_swap(
         ExtentVerdict::Equivalent
     } else {
         let mut best = ExtentVerdict::Unknown;
-        for pc in mkb.pcs() {
-            let (s_side, op, r_side) = if pc.left.relation == cover.source
-                && pc.right.relation == attr.relation
-            {
-                (&pc.left, pc.op, &pc.right)
-            } else if pc.right.relation == cover.source && pc.left.relation == attr.relation {
-                (&pc.right, pc.op.flipped(), &pc.left)
-            } else {
-                continue;
-            };
+        for pc in candidate_pcs.iter().copied() {
+            let (s_side, op, r_side) =
+                if pc.left.relation == cover.source && pc.right.relation == attr.relation {
+                    (&pc.left, pc.op, &pc.right)
+                } else if pc.right.relation == cover.source && pc.left.relation == attr.relation {
+                    (&pc.right, pc.op.flipped(), &pc.left)
+                } else {
+                    continue;
+                };
             if !pc.left.cond.is_empty() || !pc.right.cond.is_empty() {
                 continue;
             }
@@ -495,13 +502,11 @@ mod tests {
         let mkb = ex4_mkb();
         let attr = AttrRef::new("Customer", "Phone");
         let mkb2 = evolve(&mkb, &CapabilityChange::DeleteAttribute(attr.clone())).unwrap();
-        let view = parse_view(
-            "CREATE VIEW V AS SELECT C.Name, C.Phone (AD = false) FROM Customer C",
-        )
-        .unwrap();
-        let err =
-            synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
-                .unwrap_err();
+        let view =
+            parse_view("CREATE VIEW V AS SELECT C.Name, C.Phone (AD = false) FROM Customer C")
+                .unwrap();
+        let err = synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
+            .unwrap_err();
         assert_eq!(err, CvsError::NoCover(attr));
     }
 
@@ -510,13 +515,11 @@ mod tests {
         let mkb = ex4_mkb();
         let attr = AttrRef::new("Customer", "Addr");
         let mkb2 = evolve(&mkb, &CapabilityChange::DeleteAttribute(attr.clone())).unwrap();
-        let view = parse_view(
-            "CREATE VIEW V AS SELECT C.Addr (AD = false, AR = false) FROM Customer C",
-        )
-        .unwrap();
-        let err =
-            synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
-                .unwrap_err();
+        let view =
+            parse_view("CREATE VIEW V AS SELECT C.Addr (AD = false, AR = false) FROM Customer C")
+                .unwrap();
+        let err = synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
+            .unwrap_err();
         assert!(matches!(err, CvsError::IndispensableNotReplaceable { .. }));
     }
 

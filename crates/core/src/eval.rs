@@ -54,7 +54,10 @@ pub fn evaluate_view(
         Some(a) => a,
         None => Relation::new(eve_relational::Schema::new()),
     };
-    debug_assert!(remaining.is_empty(), "conditions referencing unknown relations");
+    debug_assert!(
+        remaining.is_empty(),
+        "conditions referencing unknown relations"
+    );
 
     let names = view.interface_names();
     let columns: Vec<(AttrRef, _)> = view
@@ -70,9 +73,7 @@ pub fn evaluate_view(
 mod tests {
     use super::*;
     use eve_esql::parse_view;
-    use eve_relational::{
-        AttributeDef, DataType, RelName, Schema, Tuple, Value,
-    };
+    use eve_relational::{AttributeDef, DataType, RelName, Schema, Tuple, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -119,9 +120,7 @@ mod tests {
         .unwrap();
         let out = evaluate_view(&v, &db(), &FuncRegistry::new()).unwrap();
         assert_eq!(out.len(), 2); // ann(30), cat(45)
-        assert!(out
-            .schema()
-            .contains(&AttrRef::new("V", "Name")));
+        assert!(out.schema().contains(&AttrRef::new("V", "Name")));
     }
 
     #[test]
@@ -139,10 +138,7 @@ mod tests {
         .unwrap();
         let out = evaluate_view(&v, &db(), &FuncRegistry::new()).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(
-            out.rows().next().unwrap().values()[0],
-            Value::Int(60)
-        );
+        assert_eq!(out.rows().next().unwrap().values()[0], Value::Int(60));
         assert!(out.schema().contains(&AttrRef::new("V", "Doubled")));
     }
 
@@ -154,10 +150,7 @@ mod tests {
 
     #[test]
     fn explicit_interface_names_columns() {
-        let v = parse_view(
-            "CREATE VIEW V (N, A) AS SELECT C.Name, C.Age FROM Customer C",
-        )
-        .unwrap();
+        let v = parse_view("CREATE VIEW V (N, A) AS SELECT C.Name, C.Age FROM Customer C").unwrap();
         let out = evaluate_view(&v, &db(), &FuncRegistry::new()).unwrap();
         assert!(out.schema().contains(&AttrRef::new("V", "N")));
         assert!(out.schema().contains(&AttrRef::new("V", "A")));

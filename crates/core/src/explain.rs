@@ -56,11 +56,7 @@ pub fn explain_rewriting(original: &ViewDefinition, rewriting: &LegalRewriting) 
         let _ = writeln!(out, "- joined in relation {new}");
     }
     for jc in &rewriting.replacement.joins {
-        let _ = writeln!(
-            out,
-            "- used join constraint {}: {}",
-            jc.id, jc.predicate
-        );
+        let _ = writeln!(out, "- used join constraint {}: {}", jc.id, jc.predicate);
     }
 
     // Extent.
@@ -105,7 +101,11 @@ mod tests {
             cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let via_ins = rewritings
             .iter()
-            .find(|r| r.replacement.relations.contains(&RelName::new("Accident-Ins")))
+            .find(|r| {
+                r.replacement
+                    .relations
+                    .contains(&RelName::new("Accident-Ins"))
+            })
             .expect("Accident-Ins candidate");
         let text = explain_rewriting(&view, via_ins);
         assert!(text.contains("replaced Customer.Name"), "{text}");

@@ -93,10 +93,9 @@ impl fmt::Display for ExtentVerdict {
 pub fn satisfies_extent_param(param: ViewExtent, verdict: ExtentVerdict) -> bool {
     match param {
         ViewExtent::Any => true,
-        ViewExtent::Superset => matches!(
-            verdict,
-            ExtentVerdict::Superset | ExtentVerdict::Equivalent
-        ),
+        ViewExtent::Superset => {
+            matches!(verdict, ExtentVerdict::Superset | ExtentVerdict::Equivalent)
+        }
         ViewExtent::Subset => matches!(verdict, ExtentVerdict::Subset | ExtentVerdict::Equivalent),
         ViewExtent::Equivalent => verdict == ExtentVerdict::Equivalent,
     }
@@ -152,9 +151,7 @@ impl EqClasses {
     }
 
     fn equated(&self, a: &AttrRef, b: &AttrRef) -> bool {
-        self.classes
-            .iter()
-            .any(|c| c.contains(a) && c.contains(b))
+        self.classes.iter().any(|c| c.contains(a) && c.contains(b))
     }
 }
 
@@ -178,12 +175,13 @@ fn corresponds(mkb: &MetaKnowledgeBase, eq: &EqClasses, s: &AttrRef, r: &AttrRef
 fn certify_added_relation(
     mkb: &MetaKnowledgeBase,
     eq: &EqClasses,
+    candidate_pcs: &[&PartialComplete],
     added: &eve_relational::RelName,
     target: &eve_relational::RelName,
     used_r_attrs: &BTreeSet<AttrName>,
 ) -> ExtentVerdict {
     let mut best = ExtentVerdict::Unknown;
-    for pc in mkb.pcs() {
+    for pc in candidate_pcs.iter().copied() {
         let (s_side, op, r_side) = if &pc.left.relation == added && &pc.right.relation == target {
             (&pc.left, pc.op, &pc.right)
         } else if &pc.right.relation == added && &pc.left.relation == target {
@@ -255,6 +253,41 @@ pub fn infer_extent(
     dropped_conditions: usize,
     mkb: &MetaKnowledgeBase,
 ) -> ExtentVerdict {
+    let all_pcs: Vec<&PartialComplete> = mkb.pcs().iter().collect();
+    infer_extent_inner(rm, rep, dropped_conditions, mkb, &|_, _| all_pcs.clone())
+}
+
+/// [`infer_extent`] against a prebuilt [`MkbIndex`]: PC certificates are
+/// looked up in the index's per-relation-pair buckets instead of
+/// scanning the full constraint list for every added relation.
+pub fn infer_extent_indexed(
+    rm: &RMapping,
+    rep: &Replacement,
+    dropped_conditions: usize,
+    index: &crate::index::MkbIndex<'_>,
+) -> ExtentVerdict {
+    infer_extent_inner(
+        rm,
+        rep,
+        dropped_conditions,
+        index.mkb(),
+        &|added, target| index.pcs_between(added, target).to_vec(),
+    )
+}
+
+/// Shared inference core. `pcs_for(added, target)` yields the PC
+/// constraints that may relate the pair (in either orientation; a
+/// superset is fine — [`certify_added_relation`] re-checks orientation).
+fn infer_extent_inner<'m>(
+    rm: &RMapping,
+    rep: &Replacement,
+    dropped_conditions: usize,
+    mkb: &'m MetaKnowledgeBase,
+    pcs_for: &dyn Fn(
+        &eve_relational::RelName,
+        &eve_relational::RelName,
+    ) -> Vec<&'m PartialComplete>,
+) -> ExtentVerdict {
     let survivors = rm.surviving_relations();
     let added: Vec<_> = rep
         .relations
@@ -294,7 +327,15 @@ pub fn infer_extent(
                     used.insert(covered.attr.clone());
                 }
             }
-            v = v.meet(certify_added_relation(mkb, &eq, s, &rm.target, &used));
+            let candidates = pcs_for(s, &rm.target);
+            v = v.meet(certify_added_relation(
+                mkb,
+                &eq,
+                &candidates,
+                s,
+                &rm.target,
+                &used,
+            ));
         }
         v
     };
@@ -460,10 +501,8 @@ mod infer_tests {
 
     #[test]
     fn both_directions_certify_equivalence() {
-        let m = mkb(
-            "PC P1: Cov(k, v) superset T(k, v)
-             PC P2: Cov(k, v) subset T(k, v)",
-        );
+        let m = mkb("PC P1: Cov(k, v) superset T(k, v)
+             PC P2: Cov(k, v) subset T(k, v)");
         let verdict = infer_extent(&rm(&m), &rep(&m, true), 0, &m);
         assert_eq!(verdict, ExtentVerdict::Equivalent);
     }

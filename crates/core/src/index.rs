@@ -1,0 +1,237 @@
+//! A per-change index over the meta knowledge base.
+//!
+//! Every step of the CVS algorithm consults the MKB: R-mapping walks the
+//! join-constraint hypergraph `H(MKB)` (Def. 2), R-replacement looks up
+//! function-of covers and the capability-filtered hypergraph `H'(MKB')`
+//! (Def. 3), and extent inference scans partial/complete constraints.
+//! Before this module, each synchronization call rebuilt all of that
+//! from scratch — once **per view** — even though the underlying MKB
+//! only changes once per capability change.
+//!
+//! [`MkbIndex`] hoists those derived structures out of the per-view
+//! loop: it is built **once per capability change** (from the pre-change
+//! MKB and the evolved MKB') and then threaded by reference through
+//! mapping, replacement, rewriting, extent inference, and attribute
+//! deletion. Synchronizing `n` affected views touches the MKB-derived
+//! state `O(1)` times instead of `O(n)`.
+//!
+//! The index *borrows* both MKBs (`MkbIndex<'m>`), so constructing a
+//! throwaway index — which the legacy non-indexed entry points do for
+//! API compatibility — never clones a knowledge base.
+
+use crate::options::CvsOptions;
+use crate::replacement::CoverChoice;
+use eve_hypergraph::Hypergraph;
+use eve_misd::{MetaKnowledgeBase, PartialComplete};
+use eve_relational::{AttrRef, RelName};
+use std::collections::BTreeMap;
+
+/// Precomputed, read-only derived state for one capability change.
+///
+/// Built by [`MkbIndex::new`] from the pre-change MKB and the evolved
+/// MKB'. All accessors are cheap lookups; nothing is recomputed after
+/// construction.
+#[derive(Debug)]
+pub struct MkbIndex<'m> {
+    mkb: &'m MetaKnowledgeBase,
+    mkb_prime: &'m MetaKnowledgeBase,
+    /// The full join-constraint hypergraph `H(MKB)` over the pre-change MKB.
+    h: Hypergraph,
+    /// Connected components of `h`, and which component each relation is in.
+    components: Vec<Hypergraph>,
+    component_ids: BTreeMap<RelName, usize>,
+    /// `H'(MKB')`: the post-change hypergraph, restricted to join-capable
+    /// relations when the options say capabilities must be respected.
+    h_prime: Hypergraph,
+    /// Function-of covers grouped by the attribute they re-derive. Raw
+    /// (unfiltered) covers in MKB declaration order; consumers filter by
+    /// target relation / `h_prime` membership as their definitions require.
+    covers: BTreeMap<AttrRef, Vec<CoverChoice>>,
+    /// Partial/complete constraints keyed by the (unordered) relation pair
+    /// they relate; each bucket preserves MKB declaration order.
+    pcs_by_pair: BTreeMap<(RelName, RelName), Vec<&'m PartialComplete>>,
+}
+
+fn pair_key(a: &RelName, b: &RelName) -> (RelName, RelName) {
+    if a <= b {
+        (a.clone(), b.clone())
+    } else {
+        (b.clone(), a.clone())
+    }
+}
+
+impl<'m> MkbIndex<'m> {
+    /// Build the index for one capability change: `mkb` is the state the
+    /// views were defined against, `mkb_prime` the evolved state they must
+    /// be rewritten against. For read-only uses (e.g. R-mapping outside a
+    /// change), pass the same MKB for both.
+    pub fn new(
+        mkb: &'m MetaKnowledgeBase,
+        mkb_prime: &'m MetaKnowledgeBase,
+        opts: &CvsOptions,
+    ) -> Self {
+        let h = Hypergraph::build(mkb);
+        let components = h.components();
+        let mut component_ids = BTreeMap::new();
+        for (id, comp) in components.iter().enumerate() {
+            for rel in comp.relations() {
+                component_ids.insert(rel.clone(), id);
+            }
+        }
+        let h_prime = Hypergraph::build_filtered(mkb_prime, |desc| {
+            !opts.respect_capabilities || desc.capabilities.join
+        });
+        let mut covers: BTreeMap<AttrRef, Vec<CoverChoice>> = BTreeMap::new();
+        for f in mkb.function_ofs() {
+            let Some(source) = f.source_relation() else {
+                continue;
+            };
+            covers
+                .entry(f.target.clone())
+                .or_default()
+                .push(CoverChoice {
+                    funcof_id: f.id.clone(),
+                    source,
+                    replacement: f.expr.clone(),
+                });
+        }
+        let mut pcs_by_pair: BTreeMap<(RelName, RelName), Vec<&'m PartialComplete>> =
+            BTreeMap::new();
+        for pc in mkb.pcs() {
+            pcs_by_pair
+                .entry(pair_key(&pc.left.relation, &pc.right.relation))
+                .or_default()
+                .push(pc);
+        }
+        MkbIndex {
+            mkb,
+            mkb_prime,
+            h,
+            components,
+            component_ids,
+            h_prime,
+            covers,
+            pcs_by_pair,
+        }
+    }
+
+    /// The pre-change MKB the index was built from.
+    pub fn mkb(&self) -> &'m MetaKnowledgeBase {
+        self.mkb
+    }
+
+    /// The evolved MKB' the rewritings must be legal against.
+    pub fn mkb_prime(&self) -> &'m MetaKnowledgeBase {
+        self.mkb_prime
+    }
+
+    /// The full join-constraint hypergraph `H(MKB)` (pre-change).
+    pub fn hypergraph(&self) -> &Hypergraph {
+        &self.h
+    }
+
+    /// The capability-filtered post-change hypergraph `H'(MKB')` used by
+    /// R-replacement (Def. 3): when `respect_capabilities` is set, only
+    /// join-capable relations are vertices.
+    pub fn h_prime(&self) -> &Hypergraph {
+        &self.h_prime
+    }
+
+    /// The connected component of `H(MKB)` containing `rel`, or `None`
+    /// when the relation is not described in the MKB.
+    pub fn component_of(&self, rel: &RelName) -> Option<&Hypergraph> {
+        self.component_ids.get(rel).map(|id| &self.components[*id])
+    }
+
+    /// Raw function-of covers for `attr` (declaration order), restricted
+    /// to function-ofs with a single well-defined source relation.
+    pub fn covers_of(&self, attr: &AttrRef) -> &[CoverChoice] {
+        self.covers.get(attr).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Partial/complete constraints relating relations `a` and `b`, in
+    /// either orientation, in MKB declaration order.
+    pub fn pcs_between(&self, a: &RelName, b: &RelName) -> &[&'m PartialComplete] {
+        self.pcs_by_pair
+            .get(&pair_key(a, b))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::travel_mkb;
+    use eve_relational::AttrRef;
+
+    #[test]
+    fn index_matches_direct_mkb_lookups() {
+        let mkb = travel_mkb();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb, &opts);
+
+        // Hypergraph matches a direct build.
+        assert_eq!(index.hypergraph(), &Hypergraph::build(&mkb));
+
+        // Every described relation has a component, and the component
+        // contains the relation.
+        for desc in mkb.relations() {
+            let comp = index
+                .component_of(&desc.name)
+                .expect("described => component");
+            assert!(comp.contains(&desc.name));
+        }
+        assert!(index
+            .component_of(&RelName::new("NoSuchRelation"))
+            .is_none());
+
+        // Covers mirror `covers_of` on the MKB.
+        for f in mkb.function_ofs() {
+            if f.source_relation().is_none() {
+                continue;
+            }
+            let covers = index.covers_of(&f.target);
+            assert!(
+                covers.iter().any(|c| c.funcof_id == f.id),
+                "cover {} missing from index",
+                f.id
+            );
+        }
+        assert!(index
+            .covers_of(&AttrRef::new("Nowhere", "Nothing"))
+            .is_empty());
+
+        // PC buckets partition the full constraint list.
+        let mut total = 0;
+        for a in mkb.relations() {
+            for b in mkb.relations().filter(|b| a.name <= b.name) {
+                total += index.pcs_between(&a.name, &b.name).len();
+            }
+        }
+        assert_eq!(total, mkb.pcs().len());
+    }
+
+    #[test]
+    fn h_prime_respects_capabilities() {
+        let mkb = travel_mkb();
+        let respect = MkbIndex::new(&mkb, &mkb, &CvsOptions::default());
+        let ignore = MkbIndex::new(
+            &mkb,
+            &mkb,
+            &CvsOptions {
+                respect_capabilities: false,
+                ..CvsOptions::default()
+            },
+        );
+        // Ignoring capabilities, every described relation is a vertex.
+        assert_eq!(ignore.h_prime().relations().len(), mkb.relation_count());
+        // Respecting them keeps exactly the join-capable subset.
+        for desc in mkb.relations() {
+            assert_eq!(
+                respect.h_prime().contains(&desc.name),
+                desc.capabilities.join
+            );
+        }
+    }
+}

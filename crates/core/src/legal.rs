@@ -153,10 +153,8 @@ mod tests {
 
     #[test]
     fn p4_flags_dropped_indispensables() {
-        let original = parse_view(
-            "CREATE VIEW V AS SELECT R.a (AD = false), R.b (AD = true) FROM R",
-        )
-        .unwrap();
+        let original =
+            parse_view("CREATE VIEW V AS SELECT R.a (AD = false), R.b (AD = true) FROM R").unwrap();
         // Dropping the dispensable b: fine.
         let keeps_a = wrap(
             parse_view("CREATE VIEW V AS SELECT R.a FROM R").unwrap(),
@@ -173,10 +171,8 @@ mod tests {
 
     #[test]
     fn p4_flags_modified_nonreplaceables() {
-        let original = parse_view(
-            "CREATE VIEW V AS SELECT R.a (AD = false, AR = false) FROM R",
-        )
-        .unwrap();
+        let original =
+            parse_view("CREATE VIEW V AS SELECT R.a (AD = false, AR = false) FROM R").unwrap();
         let modified = wrap(
             parse_view("CREATE VIEW V AS SELECT S.x AS a FROM S").unwrap(),
             vec![0],

@@ -34,11 +34,25 @@
 //!
 //! [`delete_attribute`] implements the simplified algorithm for
 //! `delete-attribute` the paper describes as "a simplified version" of
-//! CVS, [`svs`] implements the *one-step-away* baseline of the authors'
-//! prior work (what CVS is shown to improve upon), and [`synchronizer`]
-//! drives the whole pipeline for all six change operators over a set of
-//! registered views — with what-if previews, evolution history, rollback
-//! and disabled-view revival.
+//! CVS, and [`svs`] implements the *one-step-away* baseline of the
+//! authors' prior work (what CVS is shown to improve upon).
+//!
+//! The **synchronization engine** ties the steps together:
+//!
+//! * [`index`] — a per-change [`MkbIndex`]: the hypergraph `H(MKB)`, its
+//!   connected components, the capability-filtered `H'(MKB')`, the
+//!   attribute→cover map and the relation-pair→PC-constraint map, all
+//!   precomputed **once** per capability change and shared by every
+//!   affected view;
+//! * [`engine`] — one [`SynchronizationStrategy`] per change operator
+//!   ([`CvsDeleteRelation`], [`DeleteAttribute`], [`RenameForward`],
+//!   [`SvsBaseline`]) behind a uniform trait, so preference filtering,
+//!   cost ranking and outcome assembly live in exactly one place;
+//! * [`synchronizer`] — drives the pipeline for all six change operators
+//!   over a set of registered views (what-if previews, evolution
+//!   history, rollback, disabled-view revival), holding its state as
+//!   copy-on-write `Arc` snapshots so concurrent readers get cheap
+//!   handles instead of deep clones.
 //!
 //! Beyond the paper (see DESIGN.md, extensions): [`cost`] ranks legal
 //! rewritings for *maximal view preservation* (§7 future work),
@@ -53,14 +67,16 @@
 #![warn(missing_docs)]
 
 pub mod adapt;
-pub mod answering;
 pub mod affected;
+pub mod answering;
 pub mod cost;
 pub mod delete_attribute;
+pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod explain;
 pub mod extent;
+pub mod index;
 pub mod legal;
 pub mod maintain;
 pub mod mapping;
@@ -76,21 +92,28 @@ pub mod synchronizer;
 pub(crate) mod testutil;
 
 pub use adapt::{adapt_materialization, AdaptationReport, AdaptationStrategy};
+pub use affected::{affected_views, is_affected, is_evaluable, revivable};
 pub use answering::{answer_using_view, answer_using_views};
-pub use affected::{affected_views, is_affected};
 pub use cost::{rank_rewritings as rank_by_cost, CostBreakdown, CostModel};
-pub use delete_attribute::synchronize_delete_attribute;
+pub use delete_attribute::{synchronize_delete_attribute, synchronize_delete_attribute_indexed};
+pub use engine::{
+    strategy_for, synchronize_view, CvsDeleteRelation, DeleteAttribute, RenameForward, SvsBaseline,
+    SynchronizationStrategy,
+};
 pub use error::CvsError;
 pub use eval::evaluate_view;
 pub use explain::explain_rewriting;
-pub use extent::{empirical_extent, infer_extent, satisfies_extent_param, ExtentVerdict};
+pub use extent::{
+    empirical_extent, infer_extent, infer_extent_indexed, satisfies_extent_param, ExtentVerdict,
+};
+pub use index::MkbIndex;
 pub use legal::LegalRewriting;
 pub use maintain::{CountedView, Delta};
+pub use mapping::{compute_r_mapping, r_mapping_from_mkb, r_mapping_with_index, RMapping};
 pub use materialize::{MaterializedView, RefreshDelta};
-pub use mapping::{compute_r_mapping, r_mapping_from_mkb, RMapping};
 pub use options::{CvsOptions, ImplicationMode};
-pub use replacement::{CoverChoice, Replacement};
-pub use rewrite::cvs_delete_relation;
+pub use replacement::{compute_replacements_indexed, CoverChoice, Replacement};
+pub use rewrite::{cvs_delete_relation, cvs_delete_relation_indexed};
 pub use service::SharedSynchronizer;
-pub use svs::svs_delete_relation;
+pub use svs::{svs_delete_relation, svs_delete_relation_indexed};
 pub use synchronizer::{ChangeOutcome, SyncReport, Synchronizer, SynchronizerBuilder, ViewOutcome};

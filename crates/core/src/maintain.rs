@@ -19,7 +19,7 @@
 
 use eve_esql::ViewDefinition;
 use eve_relational::{
-    theta_join, AttrRef, Conjunction, Database, FuncRegistry, Relation, RelName, RelationalError,
+    theta_join, AttrRef, Conjunction, Database, FuncRegistry, RelName, Relation, RelationalError,
     ScalarExpr, Schema, Tuple,
 };
 use std::collections::BTreeMap;
@@ -260,14 +260,8 @@ mod tests {
             orders,
             Relation::from_rows(
                 schema,
-                [
-                    (1, "ann", 50),
-                    (2, "ann", 200),
-                    (3, "bob", 120),
-                ]
-                .map(|(i, c, t)| {
-                    Tuple::new(vec![Value::Int(i), Value::str(c), Value::Int(t)])
-                }),
+                [(1, "ann", 50), (2, "ann", 200), (3, "bob", 120)]
+                    .map(|(i, c, t)| Tuple::new(vec![Value::Int(i), Value::str(c), Value::Int(t)])),
             )
             .unwrap(),
         );
@@ -370,10 +364,7 @@ mod tests {
 
         // A new customer with an existing order? No: orders reference
         // cust by name; add customer cat + order for cat.
-        let ins_c = Delta::inserts([Tuple::new(vec![
-            Value::str("cat"),
-            Value::str("Chicago"),
-        ])]);
+        let ins_c = Delta::inserts([Tuple::new(vec![Value::str("cat"), Value::str("Chicago")])]);
         apply_to_db(&mut db, &customers, &ins_c);
         cv.apply_delta(&db, &customers, &ins_c, &funcs).unwrap();
         assert_eq!(cv.len(), 2); // no cat orders yet
@@ -416,14 +407,9 @@ mod tests {
         let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
         // "Delete" two tuples that were never there (each would derive
         // Detroit, which has only one real derivation): counts underflow.
-        let phantom = Delta::deletes([
-            orders_tuple(98, "ann", 998),
-            orders_tuple(99, "ann", 999),
-        ]);
+        let phantom = Delta::deletes([orders_tuple(98, "ann", 998), orders_tuple(99, "ann", 999)]);
         apply_to_db(&mut db, &orders, &phantom); // no-op removals
-        let err = cv
-            .apply_delta(&db, &orders, &phantom, &funcs)
-            .unwrap_err();
+        let err = cv.apply_delta(&db, &orders, &phantom, &funcs).unwrap_err();
         assert!(err.to_string().contains("underflow"), "{err}");
     }
 }

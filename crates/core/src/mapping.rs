@@ -178,8 +178,31 @@ pub fn compute_r_mapping(
     }
 }
 
-/// Convenience wrapper: compute the R-mapping directly from an MKB
-/// (builds `H(MKB)` and extracts `H_R` internally).
+/// Compute the R-mapping against a prebuilt [`MkbIndex`]: `H_R` is the
+/// cached component of `H(MKB)` containing `target`, so no hypergraph is
+/// rebuilt per view.
+///
+/// # Panics
+///
+/// Panics when `target` is not described in the MKB the index was built
+/// from.
+pub fn r_mapping_with_index(
+    view: &ViewDefinition,
+    target: &RelName,
+    index: &crate::index::MkbIndex<'_>,
+    opts: &CvsOptions,
+) -> RMapping {
+    let h_r = index
+        .component_of(target)
+        .expect("target relation must be described in the MKB");
+    compute_r_mapping(view, target, h_r, opts)
+}
+
+/// Convenience wrapper: compute the R-mapping directly from an MKB.
+///
+/// Builds a throwaway [`MkbIndex`] internally; kept for API
+/// compatibility for one release. Prefer [`r_mapping_with_index`] when
+/// synchronizing several views against the same MKB state.
 ///
 /// # Panics
 ///
@@ -190,11 +213,8 @@ pub fn r_mapping_from_mkb(
     mkb: &eve_misd::MetaKnowledgeBase,
     opts: &CvsOptions,
 ) -> RMapping {
-    let h = Hypergraph::build(mkb);
-    let h_r = h
-        .component_of(target)
-        .expect("target relation must be described in the MKB");
-    compute_r_mapping(view, target, &h_r, opts)
+    let index = crate::index::MkbIndex::new(mkb, mkb, opts);
+    r_mapping_with_index(view, target, &index, opts)
 }
 
 impl RMapping {

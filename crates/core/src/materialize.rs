@@ -100,9 +100,7 @@ impl MaterializedView {
 mod tests {
     use super::*;
     use eve_esql::parse_view;
-    use eve_relational::{
-        AttributeDef, DataType, RelName, Schema, Tuple, Value,
-    };
+    use eve_relational::{AttributeDef, DataType, RelName, Schema, Tuple, Value};
 
     fn db(ages: &[(&str, i64)]) -> Database {
         let mut db = Database::new();
@@ -139,7 +137,13 @@ mod tests {
         // bob turns 18, cat arrives, ann leaves.
         let state2 = db(&[("bob", 18), ("cat", 44)]);
         let delta = mv.refresh(&state2, &funcs).unwrap();
-        assert_eq!(delta, RefreshDelta { added: 2, removed: 1 });
+        assert_eq!(
+            delta,
+            RefreshDelta {
+                added: 2,
+                removed: 1
+            }
+        );
         assert_eq!(mv.data.len(), 2);
 
         // No change → empty delta.
@@ -165,8 +169,7 @@ mod tests {
         let funcs = FuncRegistry::new();
         let state = db(&[("ann", 30)]);
         let mut mv = MaterializedView::new(adult_view(), &state, &funcs).unwrap();
-        let narrower =
-            parse_view("CREATE VIEW Adults AS SELECT C.Name FROM Customer C").unwrap();
+        let narrower = parse_view("CREATE VIEW Adults AS SELECT C.Name FROM Customer C").unwrap();
         let delta = mv.evolve_to(narrower, &state, &funcs).unwrap();
         assert_eq!(delta.added, 1);
         assert_eq!(delta.removed, 1);
@@ -174,6 +177,13 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(RefreshDelta { added: 2, removed: 1 }.to_string(), "+2 / -1");
+        assert_eq!(
+            RefreshDelta {
+                added: 2,
+                removed: 1
+            }
+            .to_string(),
+            "+2 / -1"
+        );
     }
 }

@@ -123,6 +123,46 @@ pub fn compute_replacements(
     h_prime: &Hypergraph,
     opts: &CvsOptions,
 ) -> Result<Vec<Replacement>, CvsError> {
+    compute_replacements_core(view, rm, h_prime, opts, |attr| {
+        mkb.covers_of(attr)
+            .filter_map(|f| {
+                let source = f.source_relation()?;
+                Some(CoverChoice {
+                    funcof_id: f.id.clone(),
+                    source,
+                    replacement: f.expr.clone(),
+                })
+            })
+            .collect()
+    })
+}
+
+/// [`compute_replacements`] against a prebuilt [`MkbIndex`]: covers come
+/// from the index's precomputed function-of map and `H'(MKB')` is the
+/// index's cached capability-filtered hypergraph — nothing MKB-derived
+/// is recomputed per view.
+pub fn compute_replacements_indexed(
+    view: &ViewDefinition,
+    rm: &RMapping,
+    index: &crate::index::MkbIndex<'_>,
+    opts: &CvsOptions,
+) -> Result<Vec<Replacement>, CvsError> {
+    compute_replacements_core(view, rm, index.h_prime(), opts, |attr| {
+        index.covers_of(attr).to_vec()
+    })
+}
+
+/// Shared Def. 3 enumeration. `raw_covers` yields the *unfiltered*
+/// covers of an attribute (any source relation); viability filtering
+/// (source distinct from `R` and alive in `H'`) happens here so both the
+/// direct-MKB and the indexed paths apply identical rules.
+fn compute_replacements_core(
+    view: &ViewDefinition,
+    rm: &RMapping,
+    h_prime: &Hypergraph,
+    opts: &CvsOptions,
+    raw_covers: impl Fn(&AttrRef) -> Vec<CoverChoice>,
+) -> Result<Vec<Replacement>, CvsError> {
     let target = &rm.target;
 
     // --- attribute classification & cover lookup (Def. 3 IV) -----------
@@ -143,18 +183,9 @@ pub fn compute_replacements(
     let mut cover_options: Vec<(AttrRef, Vec<CoverChoice>, bool)> = Vec::new();
     for (attr, u) in &usage {
         let covers: Vec<CoverChoice> = if u.replace_worthy {
-            mkb.covers_of(attr)
-                .filter_map(|f| {
-                    let source = f.source_relation()?;
-                    if &source == target || !h_prime.contains(&source) {
-                        return None;
-                    }
-                    Some(CoverChoice {
-                        funcof_id: f.id.clone(),
-                        source,
-                        replacement: f.expr.clone(),
-                    })
-                })
+            raw_covers(attr)
+                .into_iter()
+                .filter(|c| &c.source != target && h_prime.contains(&c.source))
                 .collect()
         } else {
             Vec::new()
@@ -466,14 +497,8 @@ mod tests {
         // longer chains would be pruned (exercised further in the
         // workload/experiment tests).
         let (mkb, h_prime, rm, view) = setup();
-        let reps = compute_replacements(
-            &view,
-            &rm,
-            &mkb,
-            &h_prime,
-            &CvsOptions::svs_baseline(),
-        )
-        .unwrap();
+        let reps =
+            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::svs_baseline()).unwrap();
         assert!(reps
             .iter()
             .any(|r| r.relations.contains(&RelName::new("Accident-Ins"))));

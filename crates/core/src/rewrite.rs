@@ -17,13 +17,13 @@
 //! `(dispensable = false, replaceable = true)`.
 
 use crate::error::CvsError;
-use crate::extent::{infer_extent, satisfies_extent_param};
+use crate::extent::{infer_extent_indexed, satisfies_extent_param};
+use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::mapping::{compute_r_mapping, RMapping};
 use crate::options::CvsOptions;
-use crate::replacement::{compute_replacements, Replacement};
+use crate::replacement::{compute_replacements_indexed, Replacement};
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
-use eve_hypergraph::Hypergraph;
 use eve_misd::MetaKnowledgeBase;
 use eve_relational::{AttrName, Clause, RelName};
 use std::collections::BTreeSet;
@@ -148,10 +148,7 @@ pub(crate) fn assemble(
 
     // Join conditions of Max(V_{j,R}) (Step 5 parameters: required,
     // replaceable), deduplicated against what is already present.
-    let mut seen: BTreeSet<Clause> = conditions
-        .iter()
-        .map(|c| c.clause.normalized())
-        .collect();
+    let mut seen: BTreeSet<Clause> = conditions.iter().map(|c| c.clause.normalized()).collect();
     for jc in &rep.joins {
         for clause in jc.predicate.clauses() {
             if seen.insert(clause.normalized()) {
@@ -204,33 +201,37 @@ pub fn cvs_delete_relation(
     mkb_prime: &MetaKnowledgeBase,
     opts: &CvsOptions,
 ) -> Result<Vec<LegalRewriting>, CvsError> {
+    let index = MkbIndex::new(mkb, mkb_prime, opts);
+    cvs_delete_relation_indexed(view, target, &index, opts)
+}
+
+/// [`cvs_delete_relation`] against a prebuilt [`MkbIndex`]: `H_R`,
+/// `H'(MKB')`, covers, and PC buckets all come from the index, so
+/// synchronizing many views against one capability change performs the
+/// MKB-derived work once instead of once per view.
+pub fn cvs_delete_relation_indexed(
+    view: &ViewDefinition,
+    target: &RelName,
+    index: &MkbIndex<'_>,
+    opts: &CvsOptions,
+) -> Result<Vec<LegalRewriting>, CvsError> {
     if !view.uses_relation(target) {
         return Err(CvsError::ViewNotAffected(target.clone()));
     }
-    if !mkb.contains_relation(target) {
+    if !index.mkb().contains_relation(target) {
         return Err(CvsError::UnknownRelation(target.clone()));
     }
 
-    // Step 1: H_R(MKB).
-    let h = Hypergraph::build(mkb);
-    let h_r = h
+    // Step 1: H_R(MKB) — the cached component containing R.
+    let h_r = index
         .component_of(target)
         .expect("target is described, hence a vertex of H(MKB)");
 
     // Step 2: R-mapping.
-    let rm = compute_r_mapping(view, target, &h_r, opts);
+    let rm = compute_r_mapping(view, target, h_r, opts);
 
-    // Step 3: R-replacement over H'(MKB'), restricted to joinable
-    // relations when capabilities are respected.
-    let mut h_prime = Hypergraph::build(mkb_prime);
-    if opts.respect_capabilities {
-        for desc in mkb_prime.relations() {
-            if !desc.capabilities.join && h_prime.contains(&desc.name) {
-                h_prime = h_prime.without_relation(&desc.name);
-            }
-        }
-    }
-    let reps = compute_replacements(view, &rm, mkb, &h_prime, opts)?;
+    // Step 3: R-replacement over the cached capability-filtered H'(MKB').
+    let reps = compute_replacements_indexed(view, &rm, index, opts)?;
 
     // Steps 4–6 per candidate.
     let mut out: Vec<LegalRewriting> = Vec::new();
@@ -238,7 +239,7 @@ pub fn cvs_delete_relation(
     for rep in reps {
         match assemble(view, &rm, &rep, opts) {
             Ok(asm) => {
-                let verdict = infer_extent(&rm, &rep, asm.dropped_conditions.len(), mkb);
+                let verdict = infer_extent_indexed(&rm, &rep, asm.dropped_conditions.len(), index);
                 let satisfies_p3 = satisfies_extent_param(view.extent, verdict);
                 out.push(LegalRewriting {
                     view: asm.view,
@@ -287,7 +288,12 @@ mod tests {
         .unwrap()
     }
 
-    fn run_eq5() -> (ViewDefinition, Vec<LegalRewriting>, CapabilityChange, MetaKnowledgeBase) {
+    fn run_eq5() -> (
+        ViewDefinition,
+        Vec<LegalRewriting>,
+        CapabilityChange,
+        MetaKnowledgeBase,
+    ) {
         let mkb = travel_mkb();
         let view = eq5_view();
         let customer = RelName::new("Customer");
@@ -324,7 +330,10 @@ mod tests {
             "JC6 join condition missing: {text}"
         );
         // The Rest conditions survive untouched.
-        assert!(text.contains("Participant.StartDate = FlightRes.Date"), "{text}");
+        assert!(
+            text.contains("Participant.StartDate = FlightRes.Date"),
+            "{text}"
+        );
         assert!(text.contains("Participant.Loc = 'Asia'"), "{text}");
 
         // Legality: P1, P2, P4 all hold.
@@ -369,7 +378,11 @@ mod tests {
             cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let no_age = rewritings
             .iter()
-            .find(|r| !r.replacement.covers.contains_key(&AttrRef::new("Customer", "Age")))
+            .find(|r| {
+                !r.replacement
+                    .covers
+                    .contains_key(&AttrRef::new("Customer", "Age"))
+            })
             .expect("some candidate leaves Age uncovered");
         // Age dropped from SELECT (it has no cover in this candidate).
         assert_eq!(no_age.view.select.len(), 3);
@@ -396,7 +409,10 @@ mod tests {
         for r in &rewritings {
             assert!(
                 !r.view.to_string().contains("Phone")
-                    || r.view.interface_names().iter().all(|n| n.as_str() != "Phone"),
+                    || r.view
+                        .interface_names()
+                        .iter()
+                        .all(|n| n.as_str() != "Phone"),
             );
             assert!(r.check_p4(&view), "{:#?}", r.view);
         }

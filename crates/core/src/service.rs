@@ -11,15 +11,16 @@
 //!   a half-synchronized state (the MKB and every view definition switch
 //!   together).
 //!
-//! `parking_lot::RwLock` is used for its compactness and lack of lock
-//! poisoning (a panicking reader must not wedge the warehouse; see
-//! DESIGN.md, external crates).
+//! The lock is `std::sync::RwLock`; a poisoned lock (a panic while
+//! holding it) must not wedge the warehouse, so every acquisition
+//! recovers the guard from the poison error — readers then still see
+//! the last consistent snapshot, since [`Synchronizer::apply`] only
+//! commits fully-built state.
 
 use crate::synchronizer::{ChangeOutcome, Synchronizer};
 use eve_esql::ViewDefinition;
 use eve_misd::{CapabilityChange, MetaKnowledgeBase, MisdError};
-use parking_lot::RwLock;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A cloneable, thread-safe handle to a synchronizer.
 #[derive(Clone)]
@@ -35,36 +36,53 @@ impl SharedSynchronizer {
         }
     }
 
+    fn read_lock(&self) -> RwLockReadGuard<'_, Synchronizer> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write_lock(&self) -> RwLockWriteGuard<'_, Synchronizer> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Snapshot one view definition (None when unknown or disabled).
-    pub fn view(&self, name: &str) -> Option<ViewDefinition> {
-        self.inner.read().view(name).cloned()
+    ///
+    /// The snapshot is a cheap `Arc` clone of the synchronizer's
+    /// copy-on-write state — no view definition is deep-copied.
+    pub fn view(&self, name: &str) -> Option<Arc<ViewDefinition>> {
+        self.read_lock().view_snapshot(name)
     }
 
-    /// Snapshot all active view definitions.
-    pub fn views(&self) -> Vec<ViewDefinition> {
-        self.inner.read().views().cloned().collect()
+    /// Snapshot all active view definitions (cheap `Arc` clones).
+    pub fn views(&self) -> Vec<Arc<ViewDefinition>> {
+        self.read_lock()
+            .view_snapshots()
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
     }
 
-    /// Snapshot the current MKB.
-    pub fn mkb(&self) -> MetaKnowledgeBase {
-        self.inner.read().mkb().clone()
+    /// Snapshot the current MKB (a cheap `Arc` clone: `apply` replaces
+    /// the synchronizer's MKB handle wholesale, so an outstanding
+    /// snapshot keeps the pre-change MKB alive without copying it).
+    pub fn mkb(&self) -> Arc<MetaKnowledgeBase> {
+        self.read_lock().mkb_snapshot()
     }
 
     /// Apply a capability change atomically.
     pub fn apply(&self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
-        self.inner.write().apply(change)
+        self.write_lock().apply(change)
     }
 
     /// Dry-run a change without mutating shared state (takes only a read
     /// lock — previews can run concurrently with other readers).
     pub fn preview(&self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
-        self.inner.read().preview(change)
+        self.read_lock().preview(change)
     }
 
     /// Run a closure against a read-locked synchronizer (for compound
     /// reads that must see one consistent state).
     pub fn read<T>(&self, f: impl FnOnce(&Synchronizer) -> T) -> T {
-        f(&self.inner.read())
+        f(&self.read_lock())
     }
 }
 

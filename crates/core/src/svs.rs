@@ -15,9 +15,10 @@
 //! differ in nothing but the search radius.
 
 use crate::error::CvsError;
+use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
-use crate::rewrite::cvs_delete_relation;
+use crate::rewrite::{cvs_delete_relation, cvs_delete_relation_indexed};
 use eve_esql::ViewDefinition;
 use eve_misd::MetaKnowledgeBase;
 use eve_relational::RelName;
@@ -31,6 +32,22 @@ pub fn svs_delete_relation(
     mkb_prime: &MetaKnowledgeBase,
 ) -> Result<Vec<LegalRewriting>, CvsError> {
     cvs_delete_relation(view, target, mkb, mkb_prime, &CvsOptions::svs_baseline())
+}
+
+/// [`svs_delete_relation`] against a prebuilt [`MkbIndex`]: `opts` is
+/// the caller's configuration (it must match what the index was built
+/// with); only the search radius is clamped to one hop.
+pub fn svs_delete_relation_indexed(
+    view: &ViewDefinition,
+    target: &RelName,
+    index: &MkbIndex<'_>,
+    opts: &CvsOptions,
+) -> Result<Vec<LegalRewriting>, CvsError> {
+    let svs_opts = CvsOptions {
+        max_path_edges: 1,
+        ..*opts
+    };
+    cvs_delete_relation_indexed(view, target, index, &svs_opts)
 }
 
 #[cfg(test)]

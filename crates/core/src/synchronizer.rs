@@ -13,23 +13,29 @@
 //! For each affected view the best legal rewriting is adopted (P3-certified
 //! first); if none exists the view is *disabled* — exactly what classical
 //! view technology would have done to every affected view.
+//!
+//! The per-operator algorithms live behind
+//! [`crate::engine::SynchronizationStrategy`]; `apply` builds one
+//! [`MkbIndex`] per change and dispatches through
+//! [`crate::engine::synchronize_view`]. State (the MKB and every view
+//! definition) is held in [`std::sync::Arc`] snapshots, so concurrent
+//! readers ([`crate::service::SharedSynchronizer`]) get copy-on-write
+//! handles instead of deep clones.
 
-use crate::affected::is_affected;
+use crate::affected::{is_affected, is_evaluable};
 use crate::cost::CostModel;
-use crate::delete_attribute::synchronize_delete_attribute;
+use crate::engine;
 use crate::error::CvsError;
-use crate::extent::ExtentVerdict;
+use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
-use crate::rewrite::cvs_delete_relation;
 use eve_esql::{validate_view, ViewDefinition};
 use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase, MisdError};
-use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// What happened to one view under one capability change.
 #[derive(Debug, Clone)]
-#[allow(clippy::large_enum_variant)] // Rewritten carries full rewritings by design
 pub enum ViewOutcome {
     /// A previously disabled view became evaluable again (every element
     /// it references exists in the evolved MKB) and was re-activated
@@ -40,8 +46,9 @@ pub enum ViewOutcome {
     /// The view was rewritten; the adopted definition is stored back into
     /// the synchronizer.
     Rewritten {
-        /// The adopted rewriting.
-        chosen: LegalRewriting,
+        /// The adopted rewriting (boxed: a full rewriting is an order of
+        /// magnitude larger than the other variants).
+        chosen: Box<LegalRewriting>,
         /// The remaining legal rewritings, best-first.
         alternatives: Vec<LegalRewriting>,
     },
@@ -117,9 +124,7 @@ impl fmt::Display for ChangeOutcome {
                     chosen.verdict,
                     alternatives.len()
                 )?,
-                ViewOutcome::Disabled { reason } => {
-                    writeln!(f, "  {name}: DISABLED ({reason})")?
-                }
+                ViewOutcome::Disabled { reason } => writeln!(f, "  {name}: DISABLED ({reason})")?,
                 ViewOutcome::Revived => writeln!(f, "  {name}: revived")?,
             }
         }
@@ -189,15 +194,21 @@ impl SynchronizerBuilder {
 
     /// Finish building.
     pub fn build(self) -> Synchronizer {
+        let mkb = Arc::new(self.mkb);
+        let views: Vec<(String, Arc<ViewDefinition>)> = self
+            .views
+            .into_iter()
+            .map(|(n, v)| (n, Arc::new(v)))
+            .collect();
         let initial = Snapshot {
             change: None,
-            mkb: self.mkb.clone(),
-            views: self.views.clone(),
+            mkb: Arc::clone(&mkb),
+            views: views.clone(),
             disabled: Vec::new(),
         };
         Synchronizer {
-            mkb: self.mkb,
-            views: self.views,
+            mkb,
+            views,
             disabled: Vec::new(),
             opts: self.opts,
             require_p3: self.require_p3,
@@ -208,26 +219,36 @@ impl SynchronizerBuilder {
 }
 
 /// A point-in-time snapshot of the synchronizer's evolving state.
+///
+/// Snapshots share the MKB and view definitions with the live state via
+/// [`Arc`] — taking one is O(number of views), never a deep copy.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     /// The change that produced this state (None for the initial state).
     pub change: Option<CapabilityChange>,
     /// MKB state.
-    pub mkb: MetaKnowledgeBase,
+    pub mkb: Arc<MetaKnowledgeBase>,
     /// Active views.
-    pub views: Vec<(String, ViewDefinition)>,
+    pub views: Vec<(String, Arc<ViewDefinition>)>,
     /// Disabled views (name, last known definition).
-    pub disabled: Vec<(String, ViewDefinition)>,
+    pub disabled: Vec<(String, Arc<ViewDefinition>)>,
 }
 
 /// The EVE view synchronizer: an MKB plus the registered (active) views.
+///
+/// State is held in copy-on-write [`Arc`] snapshots: `apply` builds the
+/// next state and swaps the handles, so readers holding earlier
+/// snapshots (via [`Synchronizer::mkb_snapshot`] /
+/// [`Synchronizer::view_snapshots`], or through
+/// [`crate::service::SharedSynchronizer`]) keep a consistent view
+/// without copying.
 #[derive(Debug, Clone)]
 pub struct Synchronizer {
-    mkb: MetaKnowledgeBase,
-    views: Vec<(String, ViewDefinition)>,
+    mkb: Arc<MetaKnowledgeBase>,
+    views: Vec<(String, Arc<ViewDefinition>)>,
     /// Views disabled by earlier changes, kept with their last known
     /// definition for possible revival (see [`Synchronizer::apply`]).
-    disabled: Vec<(String, ViewDefinition)>,
+    disabled: Vec<(String, Arc<ViewDefinition>)>,
     opts: CvsOptions,
     require_p3: bool,
     cost_model: Option<CostModel>,
@@ -242,9 +263,21 @@ impl Synchronizer {
         &self.mkb
     }
 
+    /// A shared handle to the current MKB state (cheap Arc clone; stays
+    /// consistent even as the synchronizer applies further changes).
+    pub fn mkb_snapshot(&self) -> Arc<MetaKnowledgeBase> {
+        Arc::clone(&self.mkb)
+    }
+
     /// The active views, in registration order.
     pub fn views(&self) -> impl Iterator<Item = &ViewDefinition> {
-        self.views.iter().map(|(_, v)| v)
+        self.views.iter().map(|(_, v)| v.as_ref())
+    }
+
+    /// Shared handles to all active views (cheap Arc clones, in
+    /// registration order).
+    pub fn view_snapshots(&self) -> Vec<(String, Arc<ViewDefinition>)> {
+        self.views.clone()
     }
 
     /// Look up an active view by name.
@@ -252,67 +285,83 @@ impl Synchronizer {
         self.views
             .iter()
             .find(|(n, _)| n == name)
-            .map(|(_, v)| v)
+            .map(|(_, v)| v.as_ref())
+    }
+
+    /// A shared handle to one active view.
+    pub fn view_snapshot(&self, name: &str) -> Option<Arc<ViewDefinition>> {
+        self.views
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| Arc::clone(v))
     }
 
     /// The currently disabled views (name, last known definition).
     pub fn disabled_views(&self) -> impl Iterator<Item = (&str, &ViewDefinition)> {
-        self.disabled.iter().map(|(n, v)| (n.as_str(), v))
-    }
-
-    /// Is every element the view references present in `mkb`?
-    fn evaluable(view: &ViewDefinition, mkb: &MetaKnowledgeBase) -> bool {
-        view.from.iter().all(|f| mkb.contains_relation(&f.relation))
-            && view.referenced_attrs().iter().all(|a| mkb.has_attr(a))
+        self.disabled.iter().map(|(n, v)| (n.as_str(), v.as_ref()))
     }
 
     /// Apply one capability change: evolve the MKB, synchronize every
     /// affected view, and return the outcome. Views with no legal
     /// rewriting are disabled (removed from the active set).
+    ///
+    /// One [`MkbIndex`] is built per change and shared by every affected
+    /// view's synchronization — the MKB-derived search structures are
+    /// computed once, not once per view.
     pub fn apply(&mut self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
         let mkb_prime = evolve(&self.mkb, change)?;
         let mut outcomes = Vec::with_capacity(self.views.len());
         let mut next_views = Vec::with_capacity(self.views.len());
         let mut newly_disabled = Vec::new();
 
-        for (name, view) in &self.views {
-            if !is_affected(view, change) {
-                outcomes.push((name.clone(), ViewOutcome::Unchanged));
-                next_views.push((name.clone(), view.clone()));
-                continue;
+        {
+            let index = MkbIndex::new(&self.mkb, &mkb_prime, &self.opts);
+            for (name, view) in &self.views {
+                if !is_affected(view, change) {
+                    outcomes.push((name.clone(), ViewOutcome::Unchanged));
+                    next_views.push((name.clone(), Arc::clone(view)));
+                    continue;
+                }
+                let outcome = engine::synchronize_view(
+                    view,
+                    change,
+                    &index,
+                    &self.opts,
+                    self.require_p3,
+                    self.cost_model.as_ref(),
+                );
+                if let ViewOutcome::Rewritten { chosen, .. } = &outcome {
+                    next_views.push((name.clone(), Arc::new(chosen.view.clone())));
+                } else if outcome.survived() {
+                    next_views.push((name.clone(), Arc::clone(view)));
+                } else {
+                    // Keep the last known definition around for revival.
+                    newly_disabled.push((name.clone(), Arc::clone(view)));
+                }
+                outcomes.push((name.clone(), outcome));
             }
-            let outcome = self.synchronize_one(view, change, &mkb_prime);
-            if let ViewOutcome::Rewritten { chosen, .. } = &outcome {
-                next_views.push((name.clone(), chosen.view.clone()));
-            } else if outcome.survived() {
-                next_views.push((name.clone(), view.clone()));
-            } else {
-                // Keep the last known definition around for revival.
-                newly_disabled.push((name.clone(), view.clone()));
-            }
-            outcomes.push((name.clone(), outcome));
-        }
 
-        // Revival: a disabled view whose references all exist again in
-        // the evolved MKB (e.g. the deleted relation was re-added)
-        // returns to the active set with its last known definition.
-        let mut still_disabled = Vec::new();
-        for (name, view) in self.disabled.drain(..) {
-            if Self::evaluable(&view, &mkb_prime) {
-                outcomes.push((name.clone(), ViewOutcome::Revived));
-                next_views.push((name, view));
-            } else {
-                still_disabled.push((name, view));
+            // Revival: a disabled view whose references all exist again in
+            // the evolved MKB (e.g. the deleted relation was re-added)
+            // returns to the active set with its last known definition.
+            let mut still_disabled = Vec::new();
+            for (name, view) in self.disabled.drain(..) {
+                if is_evaluable(&view, index.mkb_prime()) {
+                    outcomes.push((name.clone(), ViewOutcome::Revived));
+                    next_views.push((name, view));
+                } else {
+                    still_disabled.push((name, view));
+                }
             }
+            still_disabled.extend(newly_disabled);
+            self.disabled = still_disabled;
         }
-        still_disabled.extend(newly_disabled);
 
         self.views = next_views;
-        self.disabled = still_disabled;
-        self.mkb = mkb_prime;
+        self.mkb = Arc::new(mkb_prime);
         self.history.push(Snapshot {
             change: Some(change.clone()),
-            mkb: self.mkb.clone(),
+            mkb: Arc::clone(&self.mkb),
             views: self.views.clone(),
             disabled: self.disabled.clone(),
         });
@@ -335,9 +384,9 @@ impl Synchronizer {
         let Some(snap) = self.history.get(index).cloned() else {
             return false;
         };
-        self.mkb = snap.mkb.clone();
-        self.views = snap.views.clone();
-        self.disabled = snap.disabled.clone();
+        self.mkb = snap.mkb;
+        self.views = snap.views;
+        self.disabled = snap.disabled;
         self.history.truncate(index + 1);
         true
     }
@@ -359,9 +408,9 @@ impl Synchronizer {
         let report = self.apply_all(&diff.changes)?;
         // Adopt the snapshot wholesale: schemas already converged, and
         // the snapshot's constraint set is authoritative.
-        self.mkb = snapshot.clone();
+        self.mkb = Arc::new(snapshot.clone());
         if let Some(last) = self.history.last_mut() {
-            last.mkb = snapshot.clone();
+            last.mkb = Arc::clone(&self.mkb);
         }
         Ok(report)
     }
@@ -386,130 +435,12 @@ impl Synchronizer {
     }
 
     /// Apply a sequence of changes, accumulating a report.
-    pub fn apply_all(
-        &mut self,
-        changes: &[CapabilityChange],
-    ) -> Result<SyncReport, MisdError> {
+    pub fn apply_all(&mut self, changes: &[CapabilityChange]) -> Result<SyncReport, MisdError> {
         let mut report = SyncReport::default();
         for ch in changes {
             report.outcomes.push(self.apply(ch)?);
         }
         Ok(report)
-    }
-
-    fn synchronize_one(
-        &self,
-        view: &ViewDefinition,
-        change: &CapabilityChange,
-        mkb_prime: &MetaKnowledgeBase,
-    ) -> ViewOutcome {
-        let rewritings = match change {
-            CapabilityChange::DeleteRelation(r) => {
-                cvs_delete_relation(view, r, &self.mkb, mkb_prime, &self.opts)
-            }
-            CapabilityChange::DeleteAttribute(a) => {
-                synchronize_delete_attribute(view, a, &self.mkb, mkb_prime, &self.opts)
-            }
-            CapabilityChange::RenameRelation { from, to } => {
-                return ViewOutcome::Rewritten {
-                    chosen: rename_rewriting(rename_relation_in_view(view, from, to)),
-                    alternatives: Vec::new(),
-                };
-            }
-            CapabilityChange::RenameAttribute { from, to } => {
-                return ViewOutcome::Rewritten {
-                    chosen: rename_rewriting(rename_attr_in_view(view, from, to)),
-                    alternatives: Vec::new(),
-                };
-            }
-            CapabilityChange::AddRelation(_) | CapabilityChange::AddAttribute { .. } => {
-                return ViewOutcome::Unchanged;
-            }
-        };
-        match rewritings {
-            Ok(mut list) => {
-                if self.require_p3 {
-                    list.retain(|r| r.satisfies_p3);
-                }
-                if list.is_empty() {
-                    return ViewOutcome::Disabled {
-                        reason: CvsError::NoLegalRewriting,
-                    };
-                }
-                if let Some(model) = &self.cost_model {
-                    model.rank(view, &mut list);
-                }
-                let chosen = list.remove(0);
-                ViewOutcome::Rewritten {
-                    chosen,
-                    alternatives: list,
-                }
-            }
-            Err(reason) => ViewOutcome::Disabled { reason },
-        }
-    }
-}
-
-fn rename_relation_in_view(
-    view: &ViewDefinition,
-    from: &eve_relational::RelName,
-    to: &eve_relational::RelName,
-) -> ViewDefinition {
-    let mut v = view.clone();
-    for f in &mut v.from {
-        if &f.relation == from {
-            f.relation = to.clone();
-        }
-    }
-    for s in &mut v.select {
-        s.expr = s.expr.rename_relation(from, to);
-    }
-    for c in &mut v.conditions {
-        c.clause = c.clause.rename_relation(from, to);
-    }
-    v
-}
-
-fn rename_attr_in_view(
-    view: &ViewDefinition,
-    from: &eve_relational::AttrRef,
-    to: &eve_relational::AttrName,
-) -> ViewDefinition {
-    let mut v = view.clone();
-    let new_ref = eve_relational::ScalarExpr::Attr(eve_relational::AttrRef::new(
-        from.relation.clone(),
-        to.clone(),
-    ));
-    for s in &mut v.select {
-        // Preserve the exported name of a renamed bare attribute.
-        if s.alias.is_none() && s.expr == eve_relational::ScalarExpr::Attr(from.clone()) {
-            s.alias = Some(from.attr.clone());
-        }
-        s.expr = s.expr.substitute(from, &new_ref);
-    }
-    for c in &mut v.conditions {
-        c.clause = c.clause.substitute(from, &new_ref);
-    }
-    v
-}
-
-/// Wrap a transparently-renamed view as an (extent-preserving) rewriting.
-fn rename_rewriting(view: ViewDefinition) -> LegalRewriting {
-    let kept: Vec<usize> = (0..view.select.len()).collect();
-    let relations = view.from.iter().map(|f| f.relation.clone()).collect();
-    LegalRewriting {
-        view,
-        replacement: crate::replacement::Replacement {
-            covers: BTreeMap::new(),
-            relations,
-            joins: Vec::new(),
-            c_max_min: Vec::new(),
-            dropped_conditions: Vec::new(),
-        },
-        verdict: ExtentVerdict::Equivalent,
-        satisfies_p3: true,
-        kept_select: kept,
-        dropped_conditions: Vec::new(),
     }
 }
 
@@ -605,10 +536,7 @@ mod tests {
         let outcome = s
             .apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
             .unwrap();
-        assert!(matches!(
-            outcome.views[0].1,
-            ViewOutcome::Disabled { .. }
-        ));
+        assert!(matches!(outcome.views[0].1, ViewOutcome::Disabled { .. }));
         assert!(s.view("Frozen").is_none());
         assert_eq!(outcome.survivors(), 0);
     }
@@ -720,7 +648,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(report.outcomes.len(), 2);
-        assert!(s.view("Tours").unwrap().uses_relation(&RelName::new("Excursion")));
+        assert!(s
+            .view("Tours")
+            .unwrap()
+            .uses_relation(&RelName::new("Excursion")));
         assert!(!s.mkb().contains_relation(&RelName::new("Customer")));
         // Bad script surfaces the parse error.
         assert!(s.apply_script("explode Everything").is_err());
@@ -730,8 +661,10 @@ mod tests {
     fn history_and_rollback() {
         let mut s = sync();
         assert_eq!(s.history().len(), 1); // initial
-        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new("Tour", "NoDays")))
-            .unwrap();
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
         s.apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
             .unwrap();
         assert_eq!(s.history().len(), 3);
@@ -809,7 +742,11 @@ mod tests {
             panic!("expected rewriting");
         };
         assert_eq!(chosen.view.select.len(), 5, "{}", chosen.view);
-        assert!(chosen.view.to_string().contains("Birthday"), "{}", chosen.view);
+        assert!(
+            chosen.view.to_string().contains("Birthday"),
+            "{}",
+            chosen.view
+        );
     }
 
     #[test]

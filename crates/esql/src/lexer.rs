@@ -304,10 +304,7 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         s.push(ch);
                         i += 1;
                         col += 1;
-                    } else if ch == '-'
-                        && i + 1 < chars.len()
-                        && chars[i + 1].is_alphabetic()
-                    {
+                    } else if ch == '-' && i + 1 < chars.len() && chars[i + 1].is_alphabetic() {
                         // hyphenated identifier (Accident-Ins)
                         s.push(ch);
                         i += 1;

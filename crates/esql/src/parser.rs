@@ -9,13 +9,13 @@
 //! [`ViewDefinition`] references base relations only (see `ast` module
 //! docs).
 
-use crate::ast::{
-    CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition, ViewExtent,
-};
+use crate::ast::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition, ViewExtent};
 use crate::error::ParseError;
 use crate::lexer::{tokenize, Spanned, Tok};
 use eve_relational::expr::ArithOp;
-use eve_relational::{AttrName, AttrRef, Clause, CompareOp, Conjunction, RelName, ScalarExpr, Value};
+use eve_relational::{
+    AttrName, AttrRef, Clause, CompareOp, Conjunction, RelName, ScalarExpr, Value,
+};
 
 /// A token cursor with save/restore backtracking.
 #[derive(Debug, Clone)]
@@ -70,7 +70,10 @@ impl Cursor {
 
     /// Build an error at the current position.
     pub fn err(&self, msg: impl Into<String>) -> ParseError {
-        match self.toks.get(self.pos.min(self.toks.len().saturating_sub(1))) {
+        match self
+            .toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+        {
             Some(s) if !self.toks.is_empty() => ParseError::new(msg, s.line, s.col),
             _ => ParseError::new(msg, 1, 1),
         }
@@ -136,9 +139,7 @@ impl Cursor {
 
 /// Keywords that terminate item lists and thus may not be consumed as
 /// bare identifiers inside expressions or aliases.
-const RESERVED: &[&str] = &[
-    "select", "from", "where", "and", "as", "create", "view",
-];
+const RESERVED: &[&str] = &["select", "from", "where", "and", "as", "create", "view"];
 
 fn is_reserved(s: &str) -> bool {
     RESERVED.iter().any(|k| s.eq_ignore_ascii_case(k))
@@ -591,10 +592,7 @@ mod tests {
         assert_eq!(v.from.len(), 2);
         assert_eq!(v.conditions.len(), 2);
         // Alias C resolved to Customer.
-        assert_eq!(
-            v.select[0].expr,
-            ScalarExpr::attr("Customer", "Name")
-        );
+        assert_eq!(v.select[0].expr, ScalarExpr::attr("Customer", "Name"));
         // Phone: AD=true, AR=false.
         assert!(v.select[2].params.dispensable);
         assert!(!v.select[2].params.replaceable);
@@ -676,10 +674,7 @@ mod tests {
             ("(VE = <=)", ViewExtent::Subset),
             ("(VE = =)", ViewExtent::Equivalent),
         ] {
-            let v = parse_view(&format!(
-                "CREATE VIEW V {txt} AS SELECT R.a FROM R"
-            ))
-            .unwrap();
+            let v = parse_view(&format!("CREATE VIEW V {txt} AS SELECT R.a FROM R")).unwrap();
             assert_eq!(v.extent, want, "for {txt}");
         }
     }
@@ -708,10 +703,7 @@ mod tests {
 
     #[test]
     fn wrong_param_key_rejected() {
-        let err = parse_view(
-            "CREATE VIEW V AS SELECT R.a (RD = true) FROM R",
-        )
-        .unwrap_err();
+        let err = parse_view("CREATE VIEW V AS SELECT R.a (RD = true) FROM R").unwrap_err();
         assert!(err.message.contains("not valid here"), "{err}");
     }
 
@@ -744,19 +736,14 @@ mod tests {
 
     #[test]
     fn parenthesised_comparison_both_sides() {
-        let v = parse_view(
-            "CREATE VIEW V AS SELECT R.a FROM R WHERE (R.a + 1) > (R.a - 1)",
-        );
+        let v = parse_view("CREATE VIEW V AS SELECT R.a FROM R WHERE (R.a + 1) > (R.a - 1)");
         // `(R.a + 1)` is an expression in parens, not a clause.
         assert!(v.is_ok(), "{v:?}");
     }
 
     #[test]
     fn alias_same_as_relation() {
-        let v = parse_view(
-            "CREATE VIEW V AS SELECT Customer.Name FROM Customer Customer",
-        )
-        .unwrap();
+        let v = parse_view("CREATE VIEW V AS SELECT Customer.Name FROM Customer Customer").unwrap();
         assert_eq!(v.select[0].expr, ScalarExpr::attr("Customer", "Name"));
     }
 }

@@ -185,8 +185,7 @@ mod tests {
             .iter()
             .any(|e| matches!(e, ValidationError::DistinguishedNotPreserved(_))));
         // Dispensable condition: fine.
-        let errs =
-            errors_of("CREATE VIEW V AS SELECT R.a FROM R WHERE (R.b = 1) (CD = true)");
+        let errs = errors_of("CREATE VIEW V AS SELECT R.a FROM R WHERE (R.b = 1) (CD = true)");
         assert!(errs.is_empty(), "{errs:?}");
     }
 
@@ -208,9 +207,7 @@ mod tests {
 
     #[test]
     fn inconsistent_where_flagged() {
-        let errs = errors_of(
-            "CREATE VIEW V AS SELECT R.a FROM R WHERE (R.a = 1) AND (R.a = 2)",
-        );
+        let errs = errors_of("CREATE VIEW V AS SELECT R.a FROM R WHERE (R.a = 1) AND (R.a = 2)");
         assert!(errs.contains(&ValidationError::InconsistentWhere));
     }
 

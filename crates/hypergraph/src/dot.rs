@@ -25,7 +25,11 @@ fn node_id(attr: &AttrRef) -> String {
 /// Render the hypergraph (restricted to the relations present in
 /// `graph`) as DOT, with attribute-level detail taken from the MKB.
 /// `bold_joins` are drawn with heavy pen width (the Fig. 4 highlight).
-pub fn to_dot(mkb: &MetaKnowledgeBase, graph: &Hypergraph, bold_joins: &BTreeSet<String>) -> String {
+pub fn to_dot(
+    mkb: &MetaKnowledgeBase,
+    graph: &Hypergraph,
+    bold_joins: &BTreeSet<String>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "graph H {{");
     let _ = writeln!(out, "  rankdir=LR;");

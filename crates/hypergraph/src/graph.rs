@@ -29,6 +29,23 @@ impl Hypergraph {
         Self::from_parts(relations, joins)
     }
 
+    /// Build `H(MKB)` restricted to the relations accepted by `keep` —
+    /// e.g. the capability-filtered `H'(MKB')` over join-capable
+    /// relations, constructed in one pass instead of repeated
+    /// [`Hypergraph::without_relation`] calls. Join constraints with a
+    /// filtered-out endpoint are dropped.
+    pub fn build_filtered(
+        mkb: &MetaKnowledgeBase,
+        keep: impl Fn(&eve_misd::RelationDescription) -> bool,
+    ) -> Self {
+        let relations: BTreeSet<RelName> = mkb
+            .relations()
+            .filter(|desc| keep(desc))
+            .map(|desc| desc.name.clone())
+            .collect();
+        Self::from_parts(relations, mkb.joins().to_vec())
+    }
+
     /// Build from explicit parts (used for sub-hypergraphs and tests).
     /// Join constraints whose endpoints are not both present are dropped.
     pub fn from_parts(relations: BTreeSet<RelName>, joins: Vec<JoinConstraint>) -> Self {
@@ -242,7 +259,15 @@ impl Hypergraph {
         let mut visited: BTreeSet<RelName> = BTreeSet::new();
         visited.insert(from.clone());
         let mut path: Vec<usize> = Vec::new();
-        self.dfs_paths(from, to, max_edges, max_paths, &mut visited, &mut path, &mut out);
+        self.dfs_paths(
+            from,
+            to,
+            max_edges,
+            max_paths,
+            &mut visited,
+            &mut path,
+            &mut out,
+        );
         out
     }
 
@@ -311,8 +336,10 @@ mod tests {
 
     /// Two components: A—B—C (and a parallel A—B edge) plus D—E; F isolated.
     fn sample() -> Hypergraph {
-        let rels: BTreeSet<RelName> =
-            ["A", "B", "C", "D", "E", "F"].iter().map(|s| rel(s)).collect();
+        let rels: BTreeSet<RelName> = ["A", "B", "C", "D", "E", "F"]
+            .iter()
+            .map(|s| rel(s))
+            .collect();
         let joins = vec![
             jc("J1", "A", "B"),
             jc("J1b", "A", "B"),

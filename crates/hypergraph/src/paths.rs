@@ -135,12 +135,7 @@ impl ConnectionTree {
                     }
                 }
             }
-            paths.sort_by_key(|p| {
-                (
-                    p.len(),
-                    p.iter().map(|j| j.id.clone()).collect::<Vec<_>>(),
-                )
-            });
+            paths.sort_by_key(|p| (p.len(), p.iter().map(|j| j.id.clone()).collect::<Vec<_>>()));
             let trees: Vec<ConnectionTree> = paths
                 .into_iter()
                 .take(limit)
@@ -260,10 +255,7 @@ mod tests {
 
     /// Star: HUB connected to A, B, C; D isolated; parallel edge HUB—A.
     fn star() -> Hypergraph {
-        let rels: BTreeSet<RelName> = ["HUB", "A", "B", "C", "D"]
-            .iter()
-            .map(|s| rel(s))
-            .collect();
+        let rels: BTreeSet<RelName> = ["HUB", "A", "B", "C", "D"].iter().map(|s| rel(s)).collect();
         Hypergraph::from_parts(
             rels,
             vec![
@@ -303,8 +295,7 @@ mod tests {
     #[test]
     fn enumerate_surfaces_parallel_constraints() {
         let g = star();
-        let trees =
-            ConnectionTree::enumerate(&g, &[rel("A"), rel("B")].into_iter().collect(), 10);
+        let trees = ConnectionTree::enumerate(&g, &[rel("A"), rel("B")].into_iter().collect(), 10);
         assert_eq!(trees.len(), 2); // J1 vs J1b for the HUB—A hop
         let ids: BTreeSet<String> = trees
             .iter()
@@ -316,8 +307,7 @@ mod tests {
     #[test]
     fn enumerate_respects_limit() {
         let g = star();
-        let trees =
-            ConnectionTree::enumerate(&g, &[rel("A"), rel("B")].into_iter().collect(), 1);
+        let trees = ConnectionTree::enumerate(&g, &[rel("A"), rel("B")].into_iter().collect(), 1);
         assert_eq!(trees.len(), 1);
     }
 
@@ -362,11 +352,8 @@ mod tests {
             .map(|(i, w)| jc(&format!("J{i}"), &w[0], &w[1]))
             .collect();
         let g = Hypergraph::from_parts(rels, joins);
-        let trees = ConnectionTree::enumerate(
-            &g,
-            &[rel("N0"), rel("N10")].into_iter().collect(),
-            4,
-        );
+        let trees =
+            ConnectionTree::enumerate(&g, &[rel("N0"), rel("N10")].into_iter().collect(), 4);
         assert_eq!(trees.len(), 1);
         assert_eq!(trees[0].joins.len(), 10);
     }

@@ -200,9 +200,7 @@ mod tests {
     #[test]
     fn destructive_classification() {
         assert!(CapabilityChange::DeleteRelation(RelName::new("R")).is_destructive());
-        assert!(
-            CapabilityChange::DeleteAttribute(AttrRef::new("R", "a")).is_destructive()
-        );
+        assert!(CapabilityChange::DeleteAttribute(AttrRef::new("R", "a")).is_destructive());
         assert!(!CapabilityChange::AddAttribute {
             relation: RelName::new("R"),
             attr: AttributeDef::new("a", DataType::Int),
@@ -266,10 +264,8 @@ mod tests {
                 attr: AttributeDef::new("Fax", DataType::Str),
             }
         );
-        let add = CapabilityChange::parse(
-            "add-relation IS8 Person(Name str, SSN int, PAddr str)",
-        )
-        .unwrap();
+        let add = CapabilityChange::parse("add-relation IS8 Person(Name str, SSN int, PAddr str)")
+            .unwrap();
         match add {
             CapabilityChange::AddRelation(d) => {
                 assert_eq!(d.source, "IS8");

@@ -8,9 +8,7 @@
 //! | Function-of | `F_{R1.A, R2.B} = (R1.A = f(R2.B))` — [`FunctionOf`] |
 //! | Partial/complete | `PC_{R1,R2} = (π_{A1}(σ_{C(B̄1)} R1) θ π_{A2}(σ_{C(B̄2)} R2))`, `θ ∈ {⊂,⊆,≡,⊇,⊃}` — [`PartialComplete`] |
 
-use eve_relational::{
-    AttrName, AttrRef, Conjunction, ExtentRelation, RelName, ScalarExpr,
-};
+use eve_relational::{AttrName, AttrRef, Conjunction, ExtentRelation, RelName, ScalarExpr};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -433,7 +431,10 @@ mod tests {
 
     #[test]
     fn projsel_display() {
-        let ps = ProjSel::new("Person", vec![AttrName::new("Name"), AttrName::new("PAddr")]);
+        let ps = ProjSel::new(
+            "Person",
+            vec![AttrName::new("Name"), AttrName::new("PAddr")],
+        );
         assert_eq!(ps.to_string(), "Person(Name, PAddr)");
         let with_cond = ps.with_cond(Conjunction::new(vec![Clause::new(
             ScalarExpr::attr("Person", "Name"),

@@ -140,7 +140,10 @@ mod tests {
         .unwrap();
         let diff = infer_changes(&old_mkb(), &new);
         let rendered: Vec<String> = diff.changes.iter().map(|c| c.to_string()).collect();
-        assert!(rendered.contains(&"delete-relation C".to_string()), "{rendered:?}");
+        assert!(
+            rendered.contains(&"delete-relation C".to_string()),
+            "{rendered:?}"
+        );
         assert!(rendered.contains(&"delete-attribute A.y".to_string()));
         assert!(rendered.iter().any(|s| s.starts_with("add-attribute A.z")));
         assert!(rendered.contains(&"add-relation D".to_string()));
@@ -174,10 +177,7 @@ mod tests {
             let got = evolved.relation(&desc.name).expect("relation exists");
             assert_eq!(got.attrs, desc.attrs, "{}", desc.name);
         }
-        assert_eq!(
-            evolved.relation_count(),
-            new.relation_count()
-        );
+        assert_eq!(evolved.relation_count(), new.relation_count());
         // Re-diffing the schemas is change-free.
         assert!(infer_changes(&evolved, &new).changes.is_empty());
     }
@@ -195,7 +195,10 @@ mod tests {
         .unwrap();
         let diff = infer_changes(&old_mkb(), &new);
         assert!(diff.changes.is_empty());
-        assert_eq!(diff.missing_constraints, vec!["J2".to_string(), "F1".to_string()]);
+        assert_eq!(
+            diff.missing_constraints,
+            vec!["J2".to_string(), "F1".to_string()]
+        );
     }
 
     #[test]

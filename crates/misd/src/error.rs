@@ -51,7 +51,10 @@ impl fmt::Display for MisdError {
                 "function-of constraint {id} draws from more than one source relation"
             ),
             MisdError::PcArityMismatch(id) => {
-                write!(f, "PC constraint {id} projects different arities on its sides")
+                write!(
+                    f,
+                    "PC constraint {id} projects different arities on its sides"
+                )
             }
             MisdError::NameCollision(n) => write!(f, "name {n} already in use"),
             MisdError::Parse(e) => write!(f, "MISD parse error: {e}"),

@@ -309,9 +309,7 @@ impl fmt::Display for MetaKnowledgeBase {
 mod tests {
     use super::*;
     use crate::constraint::{ExtentOp, ProjSel};
-    use eve_relational::{
-        AttrName, AttributeDef, Clause, Conjunction, DataType, ScalarExpr,
-    };
+    use eve_relational::{AttrName, AttributeDef, Clause, Conjunction, DataType, ScalarExpr};
 
     fn base() -> MetaKnowledgeBase {
         let mut mkb = MetaKnowledgeBase::new();

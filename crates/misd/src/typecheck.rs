@@ -172,10 +172,9 @@ mod tests {
         .unwrap();
         assert!(check_view(&ok, &m).is_empty());
 
-        let bad = parse_view(
-            "CREATE VIEW V AS SELECT C.Name + 1 FROM Customer C WHERE C.Age = 'old'",
-        )
-        .unwrap();
+        let bad =
+            parse_view("CREATE VIEW V AS SELECT C.Name + 1 FROM Customer C WHERE C.Age = 'old'")
+                .unwrap();
         let errs = check_view(&bad, &m);
         assert_eq!(errs.len(), 2, "{errs:?}");
     }

@@ -99,8 +99,7 @@ mod tests {
     use crate::types::{DataType, Value};
 
     fn rel(vals: &[i64]) -> Relation {
-        let schema =
-            Schema::from_columns(vec![(AttrRef::new("R", "x"), DataType::Int)]).unwrap();
+        let schema = Schema::from_columns(vec![(AttrRef::new("R", "x"), DataType::Int)]).unwrap();
         Relation::from_rows(
             schema,
             vals.iter().map(|v| Tuple::new(vec![Value::Int(*v)])),

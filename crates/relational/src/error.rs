@@ -47,7 +47,10 @@ impl fmt::Display for RelationalError {
                 got,
             } => write!(f, "function {func} expects {expected} args, got {got}"),
             RelationalError::TupleWidth { expected, got } => {
-                write!(f, "tuple width {got} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "tuple width {got} does not match schema arity {expected}"
+                )
             }
             RelationalError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
         }

@@ -386,7 +386,9 @@ mod tests {
             ScalarExpr::Attr(target.clone()),
         );
         let e2 = e.substitute(&target, &replacement);
-        assert!(e2.attrs().contains(&AttrRef::new("Accident-Ins", "Birthday")));
+        assert!(e2
+            .attrs()
+            .contains(&AttrRef::new("Accident-Ins", "Birthday")));
         assert!(!e2.attrs().contains(&target));
     }
 

@@ -150,15 +150,15 @@ mod tests {
     fn builtins() {
         let r = FuncRegistry::new();
         assert_eq!(r.call("today", &[]).unwrap(), Value::Date(DEFAULT_TODAY));
-        assert_eq!(
-            r.call("abs", &[Value::Int(-3)]).unwrap(),
-            Value::Int(3)
-        );
+        assert_eq!(r.call("abs", &[Value::Int(-3)]).unwrap(), Value::Int(3));
         assert_eq!(
             r.call("lower", &[Value::str("ABC")]).unwrap(),
             Value::str("abc")
         );
-        assert_eq!(r.call("floor", &[Value::float(2.9)]).unwrap(), Value::Int(2));
+        assert_eq!(
+            r.call("floor", &[Value::float(2.9)]).unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]

@@ -446,8 +446,8 @@ impl Conjunction {
         let mut exprs: Vec<ScalarExpr> = Vec::new();
         let mut index = BTreeMap::new();
         let id = |e: &ScalarExpr,
-                      exprs: &mut Vec<ScalarExpr>,
-                      index: &mut BTreeMap<ScalarExpr, usize>| {
+                  exprs: &mut Vec<ScalarExpr>,
+                  index: &mut BTreeMap<ScalarExpr, usize>| {
             *index.entry(e.clone()).or_insert_with(|| {
                 exprs.push(e.clone());
                 exprs.len() - 1
@@ -636,8 +636,16 @@ mod tests {
     #[test]
     fn implication_interval_jc2_example() {
         // View condition Age > 21 must imply MKB constraint Age > 1 (JC2).
-        let strong = Clause::new(attr("Customer", "Age"), CompareOp::Gt, ScalarExpr::lit(21i64));
-        let weak = Clause::new(attr("Customer", "Age"), CompareOp::Gt, ScalarExpr::lit(1i64));
+        let strong = Clause::new(
+            attr("Customer", "Age"),
+            CompareOp::Gt,
+            ScalarExpr::lit(21i64),
+        );
+        let weak = Clause::new(
+            attr("Customer", "Age"),
+            CompareOp::Gt,
+            ScalarExpr::lit(1i64),
+        );
         assert!(strong.implies(&weak));
         assert!(!weak.implies(&strong));
     }
@@ -680,23 +688,11 @@ mod tests {
         assert!(facts.implies_clause(&target));
         assert!(facts.implies(&Conjunction::from(target)));
         // Reflexivity.
-        assert!(facts.implies_clause(&Clause::new(
-            attr("A", "x"),
-            CompareOp::Eq,
-            attr("A", "x")
-        )));
+        assert!(facts.implies_clause(&Clause::new(attr("A", "x"), CompareOp::Eq, attr("A", "x"))));
         // But not unrelated equalities.
-        assert!(!facts.implies_clause(&Clause::new(
-            attr("A", "x"),
-            CompareOp::Eq,
-            attr("D", "w")
-        )));
+        assert!(!facts.implies_clause(&Clause::new(attr("A", "x"), CompareOp::Eq, attr("D", "w"))));
         // And not inequalities through congruence.
-        assert!(!facts.implies_clause(&Clause::new(
-            attr("A", "x"),
-            CompareOp::Lt,
-            attr("C", "z")
-        )));
+        assert!(!facts.implies_clause(&Clause::new(attr("A", "x"), CompareOp::Lt, attr("C", "z"))));
     }
 
     #[test]
@@ -778,9 +774,6 @@ mod tests {
             Clause::new(attr("C", "Name"), CompareOp::Eq, attr("F", "PName")),
             Clause::new(attr("F", "Dest"), CompareOp::Eq, ScalarExpr::lit("Asia")),
         ]);
-        assert_eq!(
-            c.to_string(),
-            "(C.Name = F.PName) AND (F.Dest = 'Asia')"
-        );
+        assert_eq!(c.to_string(), "(C.Name = F.PName) AND (F.Dest = 'Asia')");
     }
 }

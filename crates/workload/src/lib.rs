@@ -26,6 +26,6 @@ pub mod scenario;
 pub mod synth;
 pub mod travel;
 
-pub use synth::{random_views, SynthConfig, SynthWorkload, Topology};
 pub use library::LibraryFixture;
+pub use synth::{random_views, SynthConfig, SynthWorkload, Topology};
 pub use travel::TravelFixture;

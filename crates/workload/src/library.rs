@@ -109,17 +109,12 @@ mod tests {
 
         let ft = RelName::new("FullText");
         let mkb2 = evolve(f.mkb(), &CapabilityChange::DeleteRelation(ft.clone())).unwrap();
-        assert!(
-            cvs_delete_relation(&online, &ft, f.mkb(), &mkb2, &CvsOptions::default()).is_err()
-        );
+        assert!(cvs_delete_relation(&online, &ft, f.mkb(), &mkb2, &CvsOptions::default()).is_err());
 
         let book = RelName::new("Book");
         let mkb2 = evolve(f.mkb(), &CapabilityChange::DeleteRelation(book.clone())).unwrap();
         let rewritings =
             cvs_delete_relation(&online, &book, f.mkb(), &mkb2, &CvsOptions::default()).unwrap();
-        assert!(rewritings[0]
-            .view
-            .to_string()
-            .contains("FullText.Uri"));
+        assert!(rewritings[0].view.to_string().contains("FullText.Uri"));
     }
 }

@@ -22,8 +22,7 @@ impl Scenario {
     /// Replay the scenario, returning the synchronizer's final state and
     /// the accumulated report.
     pub fn replay(&self, opts: CvsOptions) -> Result<(Synchronizer, SyncReport), MisdError> {
-        let mut builder =
-            SynchronizerBuilder::new(self.mkb.clone()).with_options(opts);
+        let mut builder = SynchronizerBuilder::new(self.mkb.clone()).with_options(opts);
         for v in &self.views {
             builder = builder
                 .with_view(v.clone())

@@ -32,8 +32,8 @@ use eve_misd::{
     ProjSel, RelationDescription,
 };
 use eve_relational::{
-    AttrName, AttrRef, AttributeDef, Clause, Conjunction, Database, DataType, RelName, Relation,
-    Schema, ScalarExpr, Tuple, Value,
+    AttrName, AttrRef, AttributeDef, Clause, Conjunction, DataType, Database, RelName, Relation,
+    ScalarExpr, Schema, Tuple, Value,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -393,21 +393,13 @@ impl SynthWorkload {
             .iter()
             .enumerate()
             .map(|(pos, &i)| {
-                let attrs = if pos == 0 {
-                    vec!["k", "v0"]
-                } else {
-                    vec!["k"]
-                };
+                let attrs = if pos == 0 { vec!["k", "v0"] } else { vec!["k"] };
                 (names[i].clone(), attrs)
             })
             .collect();
         let view = build_view("SynthView", cfg.extent, &rels, &clauses);
 
-        SynthWorkload {
-            mkb,
-            view,
-            target,
-        }
+        SynthWorkload { mkb, view, target }
     }
 
     /// The capability change this workload studies.
@@ -508,8 +500,12 @@ pub fn random_views(
     // Adjacency over join constraints.
     let mut adj: BTreeMap<RelName, Vec<RelName>> = BTreeMap::new();
     for jc in mkb.joins() {
-        adj.entry(jc.left.clone()).or_default().push(jc.right.clone());
-        adj.entry(jc.right.clone()).or_default().push(jc.left.clone());
+        adj.entry(jc.left.clone())
+            .or_default()
+            .push(jc.right.clone());
+        adj.entry(jc.right.clone())
+            .or_default()
+            .push(jc.left.clone());
     }
     let mut roots: Vec<RelName> = Vec::new();
     let mut attempts = 0;
@@ -642,8 +638,7 @@ mod tests {
         let w = SynthWorkload::chain(2, true);
         let mkb2 = evolve(&w.mkb, &w.delete_change()).unwrap();
         let rewritings =
-            cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default())
-                .unwrap();
+            cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default()).unwrap();
         assert!(
             rewritings.iter().any(|r| r.satisfies_p3),
             "PC certificate not picked up: {:?}",

@@ -5,9 +5,7 @@
 
 use eve_esql::{parse_view, ViewDefinition};
 use eve_misd::{parse_misd, MetaKnowledgeBase};
-use eve_relational::{
-    AttributeDef, Database, DataType, RelName, Relation, Schema, Tuple, Value,
-};
+use eve_relational::{AttributeDef, DataType, Database, RelName, Relation, Schema, Tuple, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -175,7 +173,7 @@ impl TravelFixture {
                 Value::Int(rng.gen_range(1..999)),
                 Value::str("Detroit"),
                 Value::str(dest),
-                Value::Date(today + rng.gen_range(1..60)),
+                Value::Date(today + rng.gen_range(1i64..60)),
             ]))
             .expect("arity");
         };
@@ -199,11 +197,11 @@ impl TravelFixture {
             ],
         );
         for (i, age) in ages.iter().enumerate() {
-            let slack = rng.gen_range(0..365);
+            let slack = rng.gen_range(0i64..365);
             ins.insert(Tuple::new(vec![
                 Value::str(customer_name(i)),
                 Value::str("accident"),
-                Value::Int(rng.gen_range(10..500) * 100),
+                Value::Int(rng.gen_range(10i64..500) * 100),
                 Value::Date(today - age * 365 - slack),
             ]))
             .expect("arity");
@@ -256,7 +254,7 @@ impl TravelFixture {
                     .insert(Tuple::new(vec![
                         Value::str(customer_name(i)),
                         Value::str(tours[rng.gen_range(0..tours.len())]),
-                        Value::Date(today + rng.gen_range(1..60)),
+                        Value::Date(today + rng.gen_range(1i64..60)),
                         Value::str(dests[rng.gen_range(0..dests.len())]),
                     ]))
                     .expect("arity");
@@ -390,10 +388,8 @@ mod tests {
             // flags exactly that and nothing else.
             let errs = eve_esql::validate_view(&v);
             assert!(
-                errs.iter().all(|e| matches!(
-                    e,
-                    eve_esql::ValidationError::DistinguishedNotPreserved(_)
-                )),
+                errs.iter()
+                    .all(|e| matches!(e, eve_esql::ValidationError::DistinguishedNotPreserved(_))),
                 "{errs:?}"
             );
         }

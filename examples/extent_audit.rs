@@ -30,7 +30,11 @@ fn main() {
     println!(
         "symbolic verdict from the MKB's PC constraint: V' {} V  (P3 for VE = ⊇: {})",
         best.verdict,
-        if best.satisfies_p3 { "certified" } else { "unverified" }
+        if best.satisfies_p3 {
+            "certified"
+        } else {
+            "unverified"
+        }
     );
 
     // Audit: the certificate must hold on EVERY state — sample many.
@@ -38,8 +42,7 @@ fn main() {
     let mut tally = std::collections::BTreeMap::new();
     for seed in 0..25u64 {
         let db = fixture.database(seed, 40 + (seed as usize % 5) * 20);
-        let observed =
-            empirical_extent(&best.view, &view, &db, &funcs).expect("views evaluate");
+        let observed = empirical_extent(&best.view, &view, &db, &funcs).expect("views evaluate");
         *tally.entry(observed.symbol()).or_insert(0usize) += 1;
         assert!(
             observed.is_superset(),

@@ -9,8 +9,8 @@
 //! drop a relation — and shows EVE rewriting the view instead of
 //! disabling it.
 
-use eve::prelude::*;
 use eve::misd::parse_misd;
+use eve::prelude::*;
 use eve::relational::RelName;
 
 fn main() {

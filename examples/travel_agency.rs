@@ -29,7 +29,12 @@ fn main() {
         .expect("the paper shows this view is curable");
     println!("CVS found {} legal rewritings:\n", rewritings.len());
     for (i, r) in rewritings.iter().enumerate() {
-        println!("--- rewriting {} (V' {} V) ---\n{}\n", i + 1, r.verdict, r.view);
+        println!(
+            "--- rewriting {} (V' {} V) ---\n{}\n",
+            i + 1,
+            r.verdict,
+            r.view
+        );
     }
 
     // Validate the first rewriting empirically: generate a consistent IS

@@ -55,8 +55,14 @@ fn main() {
     println!("\nhistory ({} snapshots):", sync.history().len());
     for (i, snap) in sync.history().iter().enumerate() {
         match &snap.change {
-            None => println!("  {i}: initial state ({} relations)", snap.mkb.relation_count()),
-            Some(ch) => println!("  {i}: after {ch} ({} relations)", snap.mkb.relation_count()),
+            None => println!(
+                "  {i}: initial state ({} relations)",
+                snap.mkb.relation_count()
+            ),
+            Some(ch) => println!(
+                "  {i}: after {ch} ({} relations)",
+                snap.mkb.relation_count()
+            ),
         }
     }
 

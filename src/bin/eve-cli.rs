@@ -123,7 +123,12 @@ fn cmd_views(args: &[String]) -> ExitCode {
             problems.extend(check_view(v, m).iter().map(|e| e.to_string()));
         }
         if problems.is_empty() {
-            println!("{}: ok ({} columns, {} relations)", v.name, v.select.len(), v.from.len());
+            println!(
+                "{}: ok ({} columns, {} relations)",
+                v.name,
+                v.select.len(),
+                v.from.len()
+            );
         } else {
             bad = true;
             for p in problems {
@@ -170,8 +175,7 @@ fn cmd_sync(args: &[String]) -> ExitCode {
     let snapshot_path = flag_value(args, "--snapshot");
     if change_texts.is_empty() && snapshot_path.is_none() {
         return fail(
-            "sync: at least one --change \"<op> ...\" or a --snapshot <mkb.misd> required"
-                .into(),
+            "sync: at least one --change \"<op> ...\" or a --snapshot <mkb.misd> required".into(),
         );
     }
     let use_cost = args.iter().any(|a| a == "--cost");
@@ -212,11 +216,9 @@ fn cmd_sync(args: &[String]) -> ExitCode {
         };
     }
     let mut sync = builder.build();
-    // Snapshot originals so explanations can diff against them.
-    let originals: Vec<(String, eve::esql::ViewDefinition)> = sync
-        .views()
-        .map(|v| (v.name.clone(), v.clone()))
-        .collect();
+    // Snapshot originals so explanations can diff against them — cheap
+    // Arc handles into the synchronizer's copy-on-write state.
+    let originals = sync.view_snapshots();
     let applied = if let Some(snap_path) = snapshot_path {
         match load_mkb(&snap_path) {
             Ok(snapshot) => sync.sync_to(&snapshot),
@@ -232,9 +234,7 @@ fn cmd_sync(args: &[String]) -> ExitCode {
                 if explain {
                     for (name, view_outcome) in &outcome.views {
                         if let ViewOutcome::Rewritten { chosen, .. } = view_outcome {
-                            if let Some((_, orig)) =
-                                originals.iter().find(|(n, _)| n == name)
-                            {
+                            if let Some((_, orig)) = originals.iter().find(|(n, _)| n == name) {
                                 println!("explanation for {name}:");
                                 print!("{}", explain_rewriting(orig, chosen));
                             }

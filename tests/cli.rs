@@ -60,7 +60,10 @@ fn sync_delete_relation() {
         "--cost",
     ]);
     // Customer-Passengers-Asia is rewritten onto Accident-Ins/FlightRes.
-    assert!(stdout.contains("Customer-Passengers-Asia: rewritten"), "{stdout}");
+    assert!(
+        stdout.contains("Customer-Passengers-Asia: rewritten"),
+        "{stdout}"
+    );
     assert!(stdout.contains("Accident-Ins.Holder"), "{stdout}");
     // Asia-Customer is genuinely incurable here: its indispensable Addr
     // is covered only by Person, which is unreachable from FlightRes in
@@ -118,7 +121,10 @@ fn library_fixture_certified_rewrite() {
     ]);
     assert!(ok, "stdout:\n{stdout}\nstderr:\n{stderr}");
     // Cited-Books rerouted through Publication with the PC certificate.
-    assert!(stdout.contains("Cited-Books: rewritten (V' ⊇ V"), "{stdout}");
+    assert!(
+        stdout.contains("Cited-Books: rewritten (V' ⊇ V"),
+        "{stdout}"
+    );
     assert!(stdout.contains("Publication.PubTitle"), "{stdout}");
     assert!(
         stdout.contains("satisfies the view-extent parameter"),
@@ -138,8 +144,14 @@ fn snapshot_sync_infers_changes() {
         "--snapshot",
         "fixtures/travel_v2.misd",
     ]);
-    assert!(stdout.contains("change: delete-relation Customer"), "{stdout}");
-    assert!(stdout.contains("change: add-relation CruiseLine"), "{stdout}");
+    assert!(
+        stdout.contains("change: delete-relation Customer"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("change: add-relation CruiseLine"),
+        "{stdout}"
+    );
     assert!(
         stdout.contains("Customer-Passengers-Asia: rewritten"),
         "{stdout}"

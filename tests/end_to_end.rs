@@ -2,9 +2,7 @@
 //! MKB → hypergraph → CVS → rewritten E-SQL → evaluation over generated
 //! IS states.
 
-use eve::cvs::{
-    empirical_extent, evaluate_view, CvsOptions, SynchronizerBuilder, ViewOutcome,
-};
+use eve::cvs::{empirical_extent, evaluate_view, CvsOptions, SynchronizerBuilder, ViewOutcome};
 use eve::esql::parse_view;
 use eve::misd::CapabilityChange;
 use eve::relational::{AttrRef, FuncRegistry, RelName};
@@ -96,8 +94,7 @@ fn travel_scenario_preserves_all_views() {
     // output is valid E-SQL).
     for v in sync.views() {
         let printed = v.to_string();
-        parse_view(&printed)
-            .unwrap_or_else(|e| panic!("unparseable evolved view: {e}\n{printed}"));
+        parse_view(&printed).unwrap_or_else(|e| panic!("unparseable evolved view: {e}\n{printed}"));
     }
 }
 
@@ -155,6 +152,87 @@ fn dispensable_attribute_shrinks_interface() {
     let funcs = FuncRegistry::new();
     let rel = evaluate_view(v, &db, &funcs).expect("evaluates");
     assert_eq!(rel.len(), 10);
+}
+
+/// Full disable/revive lifecycle: a view with no legal rewriting is
+/// disabled by `delete-relation`, survives unrelated changes while
+/// disabled, and returns — definition intact — once a later
+/// `add-relation` restores every element it references.
+#[test]
+fn disabled_view_revived_by_add_relation() {
+    use eve::misd::RelationDescription;
+    use eve::relational::{AttributeDef, DataType};
+
+    let fixture = TravelFixture::new();
+    // Every component indispensable and non-replaceable through covers
+    // of Phone — deleting Customer cannot be cured.
+    let frozen_src = "CREATE VIEW Frozen AS
+         SELECT C.Name (AD = false, AR = false), C.Phone (AD = false, AR = false)
+         FROM Customer C";
+    let mut sync = SynchronizerBuilder::new(fixture.mkb().clone())
+        .with_view(parse_view(frozen_src).unwrap())
+        .unwrap_or_else(|e| panic!("{e}"))
+        .build();
+    let original = sync.view("Frozen").expect("registered").to_string();
+
+    let o1 = sync
+        .apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+        .expect("evolves");
+    assert!(
+        matches!(o1.views[0].1, ViewOutcome::Disabled { .. }),
+        "{o1}"
+    );
+    assert!(sync.view("Frozen").is_none());
+
+    // An unrelated add: the view must stay disabled (Name and Phone are
+    // still gone).
+    let o2 = sync
+        .apply(&CapabilityChange::AddRelation(RelationDescription::new(
+            "IS9",
+            "Unrelated",
+            vec![AttributeDef::new("X", DataType::Str)],
+        )))
+        .expect("evolves");
+    assert!(o2.views.iter().all(|(n, _)| n != "Frozen"));
+    assert_eq!(sync.disabled_views().count(), 1);
+
+    // Re-adding Customer with every referenced attribute revives the
+    // view with its last known definition.
+    let o3 = sync
+        .apply(&CapabilityChange::AddRelation(RelationDescription::new(
+            "IS1",
+            "Customer",
+            vec![
+                AttributeDef::new("Name", DataType::Str),
+                AttributeDef::new("Phone", DataType::Str),
+            ],
+        )))
+        .expect("evolves");
+    assert!(
+        o3.views
+            .iter()
+            .any(|(n, o)| n == "Frozen" && matches!(o, ViewOutcome::Revived)),
+        "{o3}"
+    );
+    assert_eq!(sync.disabled_views().count(), 0);
+    let revived = sync.view("Frozen").expect("revived");
+    assert_eq!(revived.to_string(), original);
+
+    // And it evaluates against a state of the restored schema.
+    use eve::relational::{Database, Relation, Schema, Tuple, Value};
+    let customer = RelName::new("Customer");
+    let attrs = vec![
+        AttributeDef::new("Name", DataType::Str),
+        AttributeDef::new("Phone", DataType::Str),
+    ];
+    let mut rel = Relation::new(Schema::of_relation(&customer, &attrs));
+    rel.insert(Tuple::new(vec![Value::str("Ann"), Value::str("555")]))
+        .expect("arity");
+    let mut db = Database::new();
+    db.put(customer, rel);
+    let funcs = FuncRegistry::new();
+    let out = evaluate_view(revived, &db, &funcs).expect("revived view evaluates");
+    assert_eq!(out.len(), 1);
 }
 
 /// Synthetic end-to-end: random workloads synchronize and their

@@ -103,12 +103,7 @@ fn eq13_rewriting_has_paper_shape() {
         .expect("Eq. (13) candidate exists");
 
     // FROM: Accident-Ins, FlightRes, Participant (paper Eq. 13).
-    let mut rels: Vec<&str> = eq13
-        .view
-        .from
-        .iter()
-        .map(|f| f.relation.as_str())
-        .collect();
+    let mut rels: Vec<&str> = eq13.view.from.iter().map(|f| f.relation.as_str()).collect();
     rels.sort_unstable();
     assert_eq!(rels, ["Accident-Ins", "FlightRes", "Participant"]);
 

@@ -4,7 +4,7 @@
 use eve::cvs::{adapt_materialization, evaluate_view, AdaptationStrategy, MaterializedView};
 use eve::esql::{parse_view, ViewDefinition};
 use eve::relational::{
-    AttributeDef, Database, DataType, FuncRegistry, Relation, RelName, Schema, Tuple, Value,
+    AttributeDef, DataType, Database, FuncRegistry, RelName, Relation, Schema, Tuple, Value,
 };
 use proptest::prelude::*;
 

@@ -160,7 +160,12 @@ mod oracle {
         // Classify target attributes per component annotations.
         let mut required: BTreeSet<AttrRef> = BTreeSet::new();
         for item in &view.select {
-            for a in item.expr.attrs().into_iter().filter(|a| &a.relation == target) {
+            for a in item
+                .expr
+                .attrs()
+                .into_iter()
+                .filter(|a| &a.relation == target)
+            {
                 if !item.params.dispensable && !item.params.replaceable {
                     return false; // frozen
                 }
@@ -170,7 +175,12 @@ mod oracle {
             }
         }
         for cond in &view.conditions {
-            for a in cond.clause.attrs().into_iter().filter(|a| &a.relation == target) {
+            for a in cond
+                .clause
+                .attrs()
+                .into_iter()
+                .filter(|a| &a.relation == target)
+            {
                 if !cond.params.dispensable && !cond.params.replaceable {
                     return false;
                 }

@@ -1,7 +1,9 @@
 //! Property-based round-trip tests for the E-SQL surface syntax:
 //! `parse(print(view)) == view` for randomly generated view ASTs.
 
-use eve::esql::{parse_view, CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition, ViewExtent};
+use eve::esql::{
+    parse_view, CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition, ViewExtent,
+};
 use eve::relational::expr::ArithOp;
 use eve::relational::{AttrName, AttrRef, Clause, CompareOp, ScalarExpr, Value};
 use proptest::prelude::*;
@@ -10,16 +12,15 @@ use proptest::prelude::*;
 /// the MISD format, parameter keys, and literal-like function names) —
 /// all matched case-insensitively by the parser.
 const FORBIDDEN: &[&str] = &[
-    "select", "from", "where", "and", "as", "create", "view", "true", "false", "null", "ve",
-    "ad", "ar", "cd", "cr", "rd", "rr", "on", "join", "relation", "funcof", "pc", "order", "by",
-    "date", "today", "abs", "lower", "upper", "identity", "floor",
+    "select", "from", "where", "and", "as", "create", "view", "true", "false", "null", "ve", "ad",
+    "ar", "cd", "cr", "rd", "rr", "on", "join", "relation", "funcof", "pc", "order", "by", "date",
+    "today", "abs", "lower", "upper", "identity", "floor",
 ];
 
 fn ident() -> impl Strategy<Value = String> {
-    "[A-Z][a-z]{1,6}(-[A-Z][a-z]{1,4})?"
-        .prop_filter("not a keyword", |s| {
-            !FORBIDDEN.iter().any(|k| s.eq_ignore_ascii_case(k))
-        })
+    "[A-Z][a-z]{1,6}(-[A-Z][a-z]{1,4})?".prop_filter("not a keyword", |s| {
+        !FORBIDDEN.iter().any(|k| s.eq_ignore_ascii_case(k))
+    })
 }
 
 fn value() -> impl Strategy<Value = Value> {
@@ -55,9 +56,7 @@ fn expr() -> impl Strategy<Value = ScalarExpr> {
         prop_oneof![
             (arith.clone(), inner.clone(), inner.clone())
                 .prop_map(|(op, l, r)| ScalarExpr::binary(op, l, r)),
-            inner
-                .clone()
-                .prop_map(|e| ScalarExpr::call("abs", vec![e])),
+            inner.clone().prop_map(|e| ScalarExpr::call("abs", vec![e])),
         ]
     })
 }
@@ -87,24 +86,24 @@ fn extent() -> impl Strategy<Value = ViewExtent> {
 }
 
 fn view() -> impl Strategy<Value = ViewDefinition> {
-    let select_item = (expr(), proptest::option::of(ident()), params()).prop_map(
-        |(expr, alias, params)| SelectItem {
-            expr,
-            alias: alias.map(AttrName::new),
-            params,
-        },
-    );
+    let select_item =
+        (expr(), proptest::option::of(ident()), params()).prop_map(|(expr, alias, params)| {
+            SelectItem {
+                expr,
+                alias: alias.map(AttrName::new),
+                params,
+            }
+        });
     let from_item = (ident(), params()).prop_map(|(rel, params)| FromItem {
         relation: rel.into(),
         alias: None,
         params,
     });
-    let cond_item = (expr(), compare_op(), expr(), params()).prop_map(
-        |(lhs, op, rhs, params)| CondItem {
+    let cond_item =
+        (expr(), compare_op(), expr(), params()).prop_map(|(lhs, op, rhs, params)| CondItem {
             clause: Clause::new(lhs, op, rhs),
             params,
-        },
-    );
+        });
     (
         ident(),
         extent(),

@@ -1,0 +1,129 @@
+//! Property-based equivalence of the indexed CVS paths and their legacy
+//! unindexed wrappers: a [`MkbIndex`](eve::cvs::MkbIndex) built once per
+//! change must produce *identical* results to the per-call
+//! reconstruction it replaced, across random synthetic workloads.
+
+use eve::cvs::{
+    cvs_delete_relation, cvs_delete_relation_indexed, r_mapping_from_mkb, r_mapping_with_index,
+    svs_delete_relation, svs_delete_relation_indexed, CvsOptions, MkbIndex,
+};
+use eve::hypergraph::Hypergraph;
+use eve::misd::evolve;
+use eve::workload::{SynthConfig, SynthWorkload, Topology};
+use proptest::prelude::*;
+
+fn config() -> impl Strategy<Value = SynthConfig> {
+    (
+        4usize..24,
+        prop_oneof![
+            Just(Topology::Chain),
+            Just(Topology::Star),
+            Just(Topology::Ring),
+            (0usize..12).prop_map(|extra| Topology::Random { extra }),
+        ],
+        1usize..4,
+        0.0f64..=1.0,
+        2usize..4,
+    )
+        .prop_map(
+            |(n_relations, topology, cover_count, pc_fraction, view_relations)| SynthConfig {
+                n_relations,
+                topology,
+                cover_count,
+                pc_fraction,
+                view_relations,
+                ..SynthConfig::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The R-mapping computed against a shared index equals the one the
+    /// legacy wrapper computes by rebuilding the hypergraph per call.
+    #[test]
+    fn r_mapping_indexed_matches_legacy(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let opts = CvsOptions::default();
+        let legacy = r_mapping_from_mkb(&w.view, &w.target, &w.mkb, &opts);
+        let index = MkbIndex::new(&w.mkb, &w.mkb, &opts);
+        let indexed = r_mapping_with_index(&w.view, &w.target, &index, &opts);
+        prop_assert_eq!(legacy, indexed);
+    }
+
+    /// Full CVS synchronization through one shared index agrees with the
+    /// legacy per-call path — same rewritings in the same order on
+    /// success, same error on failure.
+    #[test]
+    fn cvs_indexed_matches_legacy(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+        let opts = CvsOptions::default();
+        let legacy = cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &opts);
+        let index = MkbIndex::new(&w.mkb, &mkb2, &opts);
+        let indexed = cvs_delete_relation_indexed(&w.view, &w.target, &index, &opts);
+        match (legacy, indexed) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "paths diverge: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The SVS baseline behaves identically whether it clamps the radius
+    /// itself (legacy) or reuses a full-radius index (indexed).
+    #[test]
+    fn svs_indexed_matches_legacy(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+        let opts = CvsOptions::default();
+        let legacy = svs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2);
+        let index = MkbIndex::new(&w.mkb, &mkb2, &opts);
+        let indexed = svs_delete_relation_indexed(&w.view, &w.target, &index, &opts);
+        match (legacy, indexed) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
+            (a, b) => prop_assert!(false, "paths diverge: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// `Hypergraph::build_filtered` (the index's one-pass construction
+    /// of H'(MKB')) equals the legacy build-then-erase loop.
+    #[test]
+    fn build_filtered_matches_erase_loop(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let filtered = Hypergraph::build_filtered(&w.mkb, |desc| desc.capabilities.join);
+        let mut erased = Hypergraph::build(&w.mkb);
+        for desc in w.mkb.relations() {
+            if !desc.capabilities.join {
+                erased = erased.without_relation(&desc.name);
+            }
+        }
+        prop_assert_eq!(filtered, erased);
+    }
+
+    /// The index's cover and PC lookups agree with direct MKB scans for
+    /// every attribute and relation pair the workload mentions.
+    #[test]
+    fn index_lookups_match_mkb_scans(cfg in config(), seed in 0u64..1000) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&w.mkb, &w.mkb, &opts);
+        for f in w.mkb.function_ofs() {
+            if f.source_relation().is_none() {
+                continue;
+            }
+            prop_assert!(
+                index.covers_of(&f.target).iter().any(|c| c.funcof_id == f.id),
+                "cover {} missing from index", f.id
+            );
+        }
+        let mut bucketed = 0usize;
+        for a in w.mkb.relations() {
+            for b in w.mkb.relations().filter(|b| a.name <= b.name) {
+                bucketed += index.pcs_between(&a.name, &b.name).len();
+            }
+        }
+        prop_assert_eq!(bucketed, w.mkb.pcs().len());
+    }
+}

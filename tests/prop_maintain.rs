@@ -5,7 +5,7 @@
 use eve::cvs::{evaluate_view, CountedView, Delta};
 use eve::esql::parse_view;
 use eve::relational::{
-    AttributeDef, Database, DataType, FuncRegistry, Relation, RelName, Schema, Tuple, Value,
+    AttributeDef, DataType, Database, FuncRegistry, RelName, Relation, Schema, Tuple, Value,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -40,10 +40,7 @@ fn tup(a: i64, b: i64) -> Tuple {
 type Step = (bool, bool, i64, i64);
 
 fn steps() -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        (any::<bool>(), any::<bool>(), -3i64..3, -3i64..3),
-        1..25,
-    )
+    proptest::collection::vec((any::<bool>(), any::<bool>(), -3i64..3, -3i64..3), 1..25)
 }
 
 proptest! {

@@ -5,7 +5,7 @@
 use eve::relational::expr::ArithOp;
 use eve::relational::{
     compare_extents, select, theta_join, AttrRef, AttributeDef, Clause, CompareOp, Conjunction,
-    DataType, ExtentRelation, FuncRegistry, Relation, RelName, ScalarExpr, Schema, Tuple, Value,
+    DataType, ExtentRelation, FuncRegistry, RelName, Relation, ScalarExpr, Schema, Tuple, Value,
 };
 use proptest::prelude::*;
 

@@ -12,7 +12,7 @@ use eve::cvs::{evaluate_view, SynchronizerBuilder};
 use eve::esql::parse_view;
 use eve::misd::{check_mkb, parse_misd, render_misd, CapabilityChange, MetaKnowledgeBase};
 use eve::relational::{
-    AttrName, AttrRef, AttributeDef, Database, DataType, FuncRegistry, Relation, RelName, Schema,
+    AttrName, AttrRef, AttributeDef, DataType, Database, FuncRegistry, RelName, Relation, Schema,
     Tuple, Value,
 };
 use eve::workload::{random_views, SynthConfig, SynthWorkload, Topology};
@@ -33,10 +33,7 @@ fn random_change(mkb: &MetaKnowledgeBase, rng: &mut StdRng, fresh: &mut usize) -
                 let desc = mkb.relation(&rel).expect("picked from names");
                 if desc.attrs.len() > 1 {
                     let a = &desc.attrs[rng.gen_range(0..desc.attrs.len())];
-                    return CapabilityChange::DeleteAttribute(AttrRef::new(
-                        rel,
-                        a.name.clone(),
-                    ));
+                    return CapabilityChange::DeleteAttribute(AttrRef::new(rel, a.name.clone()));
                 }
             }
             2 => {
