@@ -3,7 +3,8 @@
 //! connection-tree variant budget.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eve_core::{cvs_delete_relation, CvsOptions, ImplicationMode};
+use eve_bench::support::cvs_dr;
+use eve_core::{CvsOptions, ImplicationMode};
 use eve_misd::evolve;
 use eve_workload::{SynthConfig, SynthWorkload, Topology};
 
@@ -32,7 +33,7 @@ fn bench_implication_mode(c: &mut Criterion) {
             ..CvsOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
-            b.iter(|| cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, opts))
+            b.iter(|| cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, opts))
         });
     }
     group.finish();
@@ -47,7 +48,7 @@ fn bench_consistency_check(c: &mut Criterion) {
             ..CvsOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(label), &opts, |b, opts| {
-            b.iter(|| cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, opts))
+            b.iter(|| cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, opts))
         });
     }
     group.finish();
@@ -62,7 +63,7 @@ fn bench_tree_budget(c: &mut Criterion) {
             ..CvsOptions::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(budget), &opts, |b, opts| {
-            b.iter(|| cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, opts))
+            b.iter(|| cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, opts))
         });
     }
     group.finish();

@@ -1,10 +1,15 @@
 //! `sweep-scale` as a rigorous criterion benchmark: end-to-end CVS
-//! synchronization latency versus MKB size and join-constraint density.
+//! synchronization latency versus MKB size and join-constraint density,
+//! plus the two levers this crate adds on top of the per-change index —
+//! the enumeration cache inside [`MkbIndex`] and the parallel per-view
+//! fan-out of [`Synchronizer::apply`].
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eve_core::{cvs_delete_relation, cvs_delete_relation_indexed, CvsOptions, MkbIndex};
+use eve_core::{
+    cvs_delete_relation_indexed, CvsOptions, MkbIndex, Synchronizer, SynchronizerBuilder,
+};
 use eve_misd::evolve;
-use eve_workload::{SynthConfig, SynthWorkload, Topology};
+use eve_workload::{views_touching, SynthConfig, SynthWorkload, Topology};
 
 fn bench_cvs_scale(c: &mut Criterion) {
     let mut group = c.benchmark_group("cvs_delete_relation");
@@ -22,7 +27,7 @@ fn bench_cvs_scale(c: &mut Criterion) {
             let opts = CvsOptions::default();
             group.bench_with_input(BenchmarkId::new(density, n), &(w, mkb2), |b, (w, mkb2)| {
                 b.iter(|| {
-                    cvs_delete_relation(&w.view, &w.target, &w.mkb, mkb2, &opts)
+                    eve_bench::support::cvs_dr(&w.view, &w.target, &w.mkb, mkb2, &opts)
                         .expect("workload is synchronizable")
                 })
             });
@@ -31,11 +36,12 @@ fn bench_cvs_scale(c: &mut Criterion) {
     group.finish();
 }
 
-/// One capability change, many affected views: the scenario the
-/// per-change [`MkbIndex`] targets. The legacy path rebuilds the
-/// hypergraph/components/cover tables once per view; the indexed path
-/// builds the index once (inside the timing loop — it is part of the
-/// per-change cost) and synchronizes all views against it.
+/// One capability change, many affected views sharing terminals: the
+/// scenario the per-index enumeration cache targets. Both variants build
+/// the index once (inside the timing loop — it is part of the per-change
+/// cost) and synchronize all views against it; they differ only in
+/// whether the connection-tree / cover / survival-set memo tables are
+/// live.
 fn bench_index_reuse(c: &mut Criterion) {
     const VIEWS: usize = 8;
     let mut group = c.benchmark_group("cvs_index_reuse_8_views");
@@ -51,23 +57,11 @@ fn bench_index_reuse(c: &mut Criterion) {
         let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
         let opts = CvsOptions::default();
         group.bench_with_input(
-            BenchmarkId::new("legacy", n),
+            BenchmarkId::new("uncached", n),
             &(w.clone(), mkb2.clone()),
             |b, (w, mkb2)| {
                 b.iter(|| {
-                    for _ in 0..VIEWS {
-                        cvs_delete_relation(&w.view, &w.target, &w.mkb, mkb2, &opts)
-                            .expect("workload is synchronizable");
-                    }
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("indexed", n),
-            &(w, mkb2),
-            |b, (w, mkb2)| {
-                b.iter(|| {
-                    let index = MkbIndex::new(&w.mkb, mkb2, &opts);
+                    let index = MkbIndex::new(&w.mkb, mkb2, &opts).without_cache();
                     for _ in 0..VIEWS {
                         cvs_delete_relation_indexed(&w.view, &w.target, &index, &opts)
                             .expect("workload is synchronizable");
@@ -75,6 +69,56 @@ fn bench_index_reuse(c: &mut Criterion) {
                 })
             },
         );
+        group.bench_with_input(BenchmarkId::new("cached", n), &(w, mkb2), |b, (w, mkb2)| {
+            b.iter(|| {
+                let index = MkbIndex::new(&w.mkb, mkb2, &opts);
+                for _ in 0..VIEWS {
+                    cvs_delete_relation_indexed(&w.view, &w.target, &index, &opts)
+                        .expect("workload is synchronizable");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Build a synchronizer holding 64 distinct views that all reference
+/// the delete target (all affected by the change), with an explicit
+/// worker count.
+fn synchronizer_with_views(w: &SynthWorkload, views: usize, threads: usize) -> Synchronizer {
+    let mut builder = SynchronizerBuilder::new(w.mkb.clone()).with_options(CvsOptions {
+        parallelism: Some(threads),
+        ..CvsOptions::default()
+    });
+    for v in views_touching(&w.mkb, &w.target, views, 3, 11) {
+        builder = builder.with_view(v).expect("synthetic view is valid");
+    }
+    builder.build()
+}
+
+/// The tentpole scenario: one change fanning 64 affected views out
+/// across the worker pool, sweeping the thread count. `preview` clones
+/// the synchronizer (cheap `Arc` copies) so every iteration applies the
+/// change to identical state. Thread counts above the host's available
+/// cores cannot speed anything up, so read this sweep on a multicore
+/// machine.
+fn bench_parallel_sync(c: &mut Criterion) {
+    const VIEWS: usize = 64;
+    let cfg = SynthConfig {
+        n_relations: 64,
+        topology: Topology::Random { extra: 16 },
+        cover_count: 3,
+        view_relations: 3,
+        ..SynthConfig::default()
+    };
+    let w = SynthWorkload::random(&cfg, 7);
+    let change = w.delete_change();
+    let mut group = c.benchmark_group("cvs_parallel_sync_64_views");
+    for &threads in &[1usize, 2, 4, 8] {
+        let sync = synchronizer_with_views(&w, VIEWS, threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &sync, |b, sync| {
+            b.iter(|| sync.preview(&change).expect("change applies"))
+        });
     }
     group.finish();
 }
@@ -110,6 +154,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_cvs_scale, bench_index_reuse, bench_mkb_evolution
+    targets = bench_cvs_scale, bench_index_reuse, bench_parallel_sync, bench_mkb_evolution
 }
 criterion_main!(benches);

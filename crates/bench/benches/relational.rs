@@ -2,7 +2,8 @@
 //! extent comparison over generated IS states.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eve_core::{cvs_delete_relation, empirical_extent, evaluate_view, CvsOptions};
+use eve_bench::support::cvs_dr;
+use eve_core::{empirical_extent, evaluate_view, CvsOptions};
 use eve_misd::{evolve, CapabilityChange};
 use eve_relational::{FuncRegistry, RelName};
 use eve_workload::TravelFixture;
@@ -28,7 +29,7 @@ fn bench_empirical_extent(c: &mut Criterion) {
     let mkb2 = evolve(mkb, &CapabilityChange::DeleteRelation(customer.clone()))
         .expect("Customer described");
     let view = TravelFixture::customer_passengers_asia_eq5();
-    let rewritten = cvs_delete_relation(&view, &customer, mkb, &mkb2, &CvsOptions::default())
+    let rewritten = cvs_dr(&view, &customer, mkb, &mkb2, &CvsOptions::default())
         .expect("curable")
         .remove(0)
         .view;

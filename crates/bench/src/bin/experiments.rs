@@ -6,13 +6,13 @@
 //!
 //! ids: fig1 fig2 fig3 fig4 ex3 ex4 ex5_10
 //!      sweep-chain sweep-scale sweep-covers sweep-extent
-//!      all
+//!      bench-cvs all
 //! ```
 //!
 //! With `--out DIR` (default `results/`), reports are also written to
 //! `<DIR>/<id>.txt` and the Fig. 4 DOT files to `<DIR>/fig4*.dot`.
 
-use eve_bench::{cost_rank, examples, figures, sweeps};
+use eve_bench::{cost_rank, examples, figures, perf, sweeps};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
@@ -30,6 +30,7 @@ const IDS: &[&str] = &[
     "sweep-extent",
     "sweep-lifecycle",
     "cost-rank",
+    "bench-cvs",
 ];
 
 fn main() {
@@ -105,6 +106,16 @@ fn run(id: &str, quick: bool, out_dir: &Path) -> String {
             sweeps::render_lifecycle(&sweeps::sweep_lifecycle(if quick { 5 } else { 30 }, 6))
         }
         "cost-rank" => cost_rank::cost_rank(),
+        "bench-cvs" => {
+            let rows = perf::bench_cvs(quick);
+            let json = perf::to_json(&rows);
+            write_out(out_dir, "BENCH_cvs.json", &json);
+            format!(
+                "{}\n(JSON written to {}/BENCH_cvs.json)\n",
+                perf::render(&rows),
+                out_dir.display()
+            )
+        }
         other => unreachable!("id {other} validated in main"),
     }
 }

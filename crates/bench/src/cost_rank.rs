@@ -2,8 +2,9 @@
 //! §7 future work, implemented in `eve-core::cost`) applied to the
 //! Eq. (5) rewriting candidates.
 
+use crate::support::cvs_dr;
 use crate::table::Table;
-use eve_core::{cvs_delete_relation, CostModel, CvsOptions};
+use eve_core::{CostModel, CvsOptions};
 use eve_misd::{evolve, CapabilityChange};
 use eve_relational::RelName;
 use eve_workload::TravelFixture;
@@ -19,8 +20,7 @@ pub fn cost_rank() -> String {
     let view = TravelFixture::customer_passengers_asia_eq5();
 
     let default_order =
-        cvs_delete_relation(&view, &customer, mkb, &mkb_prime, &CvsOptions::default())
-            .expect("curable");
+        cvs_dr(&view, &customer, mkb, &mkb_prime, &CvsOptions::default()).expect("curable");
     let model = CostModel::default();
     let mut cost_order = default_order.clone();
     model.rank(&view, &mut cost_order);

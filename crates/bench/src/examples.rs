@@ -1,11 +1,9 @@
 //! Reproductions of the paper's worked examples (Examples 3–10,
 //! Eqs. (1)–(13)).
 
+use crate::support::{cvs_dr, r_mapping, sync_da};
 use crate::table::Table;
-use eve_core::{
-    cvs_delete_relation, empirical_extent, r_mapping_from_mkb, synchronize_delete_attribute,
-    CvsOptions,
-};
+use eve_core::{empirical_extent, CvsOptions};
 use eve_esql::parse_view;
 use eve_misd::{evolve, CapabilityChange};
 use eve_relational::{AttrRef, FuncRegistry, RelName};
@@ -39,9 +37,8 @@ pub fn ex4() -> String {
     let mkb_prime = evolve(mkb, &change).expect("Customer.Addr exists");
     let view = TravelFixture::asia_customer_eq3();
 
-    let rewritings =
-        synchronize_delete_attribute(&view, &attr, mkb, &mkb_prime, &CvsOptions::default())
-            .expect("Example 4 is curable");
+    let rewritings = sync_da(&view, &attr, mkb, &mkb_prime, &CvsOptions::default())
+        .expect("Example 4 is curable");
     let best = &rewritings[0];
 
     // Empirical validation on a generated IS state.
@@ -82,7 +79,7 @@ pub fn ex5_10() -> String {
     );
 
     // Ex. 8: the R-mapping.
-    let rm = r_mapping_from_mkb(&view, &customer, mkb, &CvsOptions::default());
+    let rm = r_mapping(&view, &customer, mkb, &CvsOptions::default());
     out.push_str(&format!(
         "R-mapping (Def. 2 / Ex. 8):\n  Max(V_R) relations: {}\n  Min(H_R) joins: {}\n  \
          C_Max/Min: {}\n  Rest: {}\n\n",
@@ -121,7 +118,7 @@ pub fn ex5_10() -> String {
     out.push_str(&format!("Cover(Customer.Name) (Ex. 9):\n{}\n", t.render()));
 
     // Ex. 10 / Eq. 13: the legal rewritings.
-    let rewritings = cvs_delete_relation(&view, &customer, mkb, &mkb_prime, &CvsOptions::default())
+    let rewritings = cvs_dr(&view, &customer, mkb, &mkb_prime, &CvsOptions::default())
         .expect("Examples 5-10 are curable");
     out.push_str(&format!("legal rewritings found: {}\n\n", rewritings.len()));
     for (i, r) in rewritings.iter().enumerate() {

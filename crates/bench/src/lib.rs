@@ -20,5 +20,7 @@
 pub mod cost_rank;
 pub mod examples;
 pub mod figures;
+pub mod perf;
+pub mod support;
 pub mod sweeps;
 pub mod table;

@@ -1,0 +1,197 @@
+//! Timed micro-experiments behind `experiments bench-cvs`: medians of
+//! the end-to-end synchronization latency across view count × thread
+//! count, plus the enumeration-cache ablation, emitted both as a table
+//! and as machine-readable `BENCH_cvs.json`.
+//!
+//! These are coarse wall-clock medians for trend lines and CI smoke —
+//! the criterion benches under `benches/` remain the rigorous
+//! measurements.
+
+use crate::table::Table;
+use eve_core::{cvs_delete_relation_indexed, CvsOptions, MkbIndex, SynchronizerBuilder};
+use eve_misd::evolve;
+use eve_workload::{views_touching, SynthConfig, SynthWorkload, Topology};
+use std::time::Instant;
+
+/// One measured scenario.
+#[derive(Debug, Clone)]
+pub struct PerfRow {
+    /// Scenario label (stable across runs, used as the JSON key).
+    pub scenario: String,
+    /// Number of affected views synchronized per run.
+    pub views: usize,
+    /// Worker threads used (1 = sequential).
+    pub threads: usize,
+    /// Median wall-clock nanoseconds per run.
+    pub median_ns: u128,
+}
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..iters.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn workload() -> SynthWorkload {
+    let cfg = SynthConfig {
+        n_relations: 64,
+        topology: Topology::Random { extra: 16 },
+        cover_count: 3,
+        view_relations: 3,
+        ..SynthConfig::default()
+    };
+    SynthWorkload::random(&cfg, 7)
+}
+
+/// Run the scenarios: the parallel fan-out at 64 affected views across
+/// 1/2/4/8 worker threads, and the sequential cache ablation (8 views
+/// against one shared index, memo tables on vs off).
+///
+/// Thread-count rows only show speedups when the host actually has
+/// spare cores — on a single-CPU container the sweep degenerates to
+/// measuring pool overhead (a few percent).
+pub fn bench_cvs(quick: bool) -> Vec<PerfRow> {
+    let iters = if quick { 5 } else { 15 };
+    let w = workload();
+    let change = w.delete_change();
+    let mut rows = Vec::new();
+
+    const VIEWS: usize = 64;
+    let views = views_touching(&w.mkb, &w.target, VIEWS, 3, 11);
+    for threads in [1usize, 2, 4, 8] {
+        let mut builder = SynchronizerBuilder::new(w.mkb.clone()).with_options(CvsOptions {
+            parallelism: Some(threads),
+            ..CvsOptions::default()
+        });
+        for v in &views {
+            builder = builder
+                .with_view(v.clone())
+                .expect("synthetic view is valid");
+        }
+        let sync = builder.build();
+        let ns = median_ns(iters, || {
+            sync.preview(&change).expect("change applies");
+        });
+        rows.push(PerfRow {
+            scenario: format!("parallel_sync/t{threads}"),
+            views: VIEWS,
+            threads,
+            median_ns: ns,
+        });
+    }
+
+    let mkb2 = evolve(&w.mkb, &change).expect("target described");
+    let opts = CvsOptions::default();
+    for (label, cached) in [("cache_off", false), ("cache_on", true)] {
+        let ns = median_ns(iters, || {
+            let index = MkbIndex::new(&w.mkb, &mkb2, &opts);
+            let index = if cached { index } else { index.without_cache() };
+            for _ in 0..8 {
+                cvs_delete_relation_indexed(&w.view, &w.target, &index, &opts)
+                    .expect("workload is synchronizable");
+            }
+        });
+        rows.push(PerfRow {
+            scenario: format!("sequential_8_views/{label}"),
+            views: 8,
+            threads: 1,
+            median_ns: ns,
+        });
+    }
+    rows
+}
+
+/// Render the rows as a table, with the t1→tN speedups called out.
+pub fn render(rows: &[PerfRow]) -> String {
+    let mut t = Table::new(&["scenario", "views", "threads", "median ns", "vs baseline"]);
+    let base_parallel = rows
+        .iter()
+        .find(|r| r.scenario == "parallel_sync/t1")
+        .map(|r| r.median_ns);
+    let base_cache = rows
+        .iter()
+        .find(|r| r.scenario == "sequential_8_views/cache_off")
+        .map(|r| r.median_ns);
+    for r in rows {
+        let base = if r.scenario.starts_with("parallel_sync") {
+            base_parallel
+        } else {
+            base_cache
+        };
+        let speedup = match base {
+            Some(b) if r.median_ns > 0 => format!("{:.2}x", b as f64 / r.median_ns as f64),
+            _ => "-".to_string(),
+        };
+        t.push(&[
+            r.scenario.clone(),
+            r.views.to_string(),
+            r.threads.to_string(),
+            r.median_ns.to_string(),
+            speedup,
+        ]);
+    }
+    format!(
+        "bench-cvs — parallel per-view synchronization & enumeration cache\n\n{}",
+        t.render()
+    )
+}
+
+/// Hand-rolled JSON (the environment has no serde): one object per row.
+/// Scenario labels contain no characters needing escapes.
+pub fn to_json(rows: &[PerfRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"cvs\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"views\": {}, \"threads\": {}, \"median_ns\": {}}}{}\n",
+            r.scenario,
+            r.views,
+            r.threads,
+            r.median_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_well_formed() {
+        let rows = vec![
+            PerfRow {
+                scenario: "parallel_sync/t1".into(),
+                views: 64,
+                threads: 1,
+                median_ns: 1000,
+            },
+            PerfRow {
+                scenario: "parallel_sync/t4".into(),
+                views: 64,
+                threads: 4,
+                median_ns: 400,
+            },
+        ];
+        let j = to_json(&rows);
+        assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
+        assert_eq!(j.matches("\"scenario\"").count(), 2);
+        assert_eq!(j.matches(',').count(), 8, "{j}");
+        let rendered = render(&rows);
+        assert!(rendered.contains("2.50x"), "{rendered}");
+    }
+
+    #[test]
+    fn quick_bench_produces_all_scenarios() {
+        let rows = bench_cvs(true);
+        assert_eq!(rows.len(), 6);
+        assert!(rows.iter().all(|r| r.median_ns > 0));
+    }
+}

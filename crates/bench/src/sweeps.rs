@@ -7,11 +7,9 @@
 //! | [`sweep_covers`] | more function-of knowledge in the MKB yields more rewriting alternatives |
 //! | [`sweep_extent`] | the Step-6 symbolic P3 checker is *sound* w.r.t. actual extents |
 
+use crate::support::{cvs_dr, svs_dr};
 use crate::table::Table;
-use eve_core::{
-    cvs_delete_relation, empirical_extent, svs_delete_relation, CvsOptions, ExtentVerdict,
-    ImplicationMode,
-};
+use eve_core::{empirical_extent, CvsOptions, ExtentVerdict, ImplicationMode};
 use eve_misd::evolve;
 use eve_relational::{ExtentRelation, FuncRegistry};
 use eve_workload::{SynthConfig, SynthWorkload, Topology};
@@ -41,10 +39,9 @@ pub fn sweep_chain(max_distance: usize) -> Vec<ChainRow> {
         .map(|d| {
             let w = SynthWorkload::chain(d, true);
             let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
-            let cvs =
-                cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
-            let svs = svs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2);
-            let syn = cvs_delete_relation(
+            let cvs = cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
+            let svs = svs_dr(&w.view, &w.target, &w.mkb, &mkb2);
+            let syn = cvs_dr(
                 &w.view,
                 &w.target,
                 &w.mkb,
@@ -132,8 +129,7 @@ pub fn sweep_scale(sizes: &[usize], seeds: u64) -> Vec<ScaleRow> {
                 let w = SynthWorkload::random(&cfg, seed);
                 let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
                 let start = Instant::now();
-                let res =
-                    cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
+                let res = cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
                 times.push(start.elapsed().as_micros());
                 if res.is_ok() {
                     ok += 1;
@@ -210,9 +206,7 @@ pub fn sweep_covers(max_covers: usize, seeds: u64) -> Vec<CoverRow> {
                 };
                 let w = SynthWorkload::random(&cfg, seed);
                 let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
-                if let Ok(rw) =
-                    cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default())
-                {
+                if let Ok(rw) = cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default()) {
                     ok += 1;
                     total += rw.len();
                 }
@@ -273,13 +267,8 @@ pub fn sweep_extent(seeds: u64) -> ExtentReport {
             // certifiability.
             let w = SynthWorkload::chain(distance, pc_fraction > 0.5);
             let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
-            let rewritings = match cvs_delete_relation(
-                &w.view,
-                &w.target,
-                &w.mkb,
-                &mkb2,
-                &CvsOptions::default(),
-            ) {
+            let rewritings = match cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default())
+            {
                 Ok(r) => r,
                 Err(_) => continue,
             };

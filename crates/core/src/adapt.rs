@@ -435,7 +435,6 @@ mod tests {
     fn cvs_drop_only_rewriting_adapts_without_base_access() {
         // The end-to-end story: a CVS rewriting that only drops
         // dispensable SELECT items adapts by projection.
-        use crate::rewrite::cvs_delete_relation;
         use crate::testutil::travel_mkb;
         use crate::CvsOptions;
         use eve_misd::{evolve, CapabilityChange};
@@ -451,7 +450,7 @@ mod tests {
         )
         .unwrap();
         let rewritings =
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         // Find the drop-only rewriting (same FROM minus Customer is a
         // structural change, so this will be Recompute or UnionDelta
         // depending on shape — the point is: adaptation always agrees

@@ -164,7 +164,6 @@ pub fn rank_rewritings(
 mod tests {
     use super::*;
     use crate::options::CvsOptions;
-    use crate::rewrite::cvs_delete_relation;
     use crate::testutil::travel_mkb;
     use eve_esql::parse_view;
     use eve_misd::{evolve, CapabilityChange};
@@ -184,7 +183,7 @@ mod tests {
         )
         .unwrap();
         let rws =
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         (view, rws)
     }
 

@@ -26,32 +26,16 @@ use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
 use crate::replacement::{CoverChoice, Replacement};
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
-use eve_hypergraph::ConnectionTree;
-use eve_misd::{ExtentOp, MetaKnowledgeBase, PartialComplete};
+use eve_misd::{ExtentOp, PartialComplete};
 use eve_relational::{AttrRef, Clause, RelName};
 use std::collections::{BTreeMap, BTreeSet};
 
-/// Synchronize `view` under `delete-attribute attr`, returning the legal
-/// rewritings ordered best-first.
+/// Synchronize `view` under `delete-attribute attr` against a prebuilt
+/// [`MkbIndex`], returning the legal rewritings ordered best-first.
 ///
-/// Builds a throwaway [`MkbIndex`] internally; kept for API
-/// compatibility for one release. Prefer
-/// [`synchronize_delete_attribute_indexed`] when synchronizing several
-/// views against the same change.
-pub fn synchronize_delete_attribute(
-    view: &ViewDefinition,
-    attr: &AttrRef,
-    mkb: &MetaKnowledgeBase,
-    mkb_prime: &MetaKnowledgeBase,
-    opts: &CvsOptions,
-) -> Result<Vec<LegalRewriting>, CvsError> {
-    let index = MkbIndex::new(mkb, mkb_prime, opts);
-    synchronize_delete_attribute_indexed(view, attr, &index, opts)
-}
-
-/// [`synchronize_delete_attribute`] against a prebuilt [`MkbIndex`]:
-/// covers, the capability-filtered `H'(MKB')`, and PC buckets all come
-/// from the index.
+/// Covers, the capability-filtered `H'(MKB')`, and PC buckets all come
+/// from the index; the cover-to-view connection chain goes through the
+/// index's memoized [`MkbIndex::connect_tree`].
 pub fn synchronize_delete_attribute_indexed(
     view: &ViewDefinition,
     attr: &AttrRef,
@@ -240,9 +224,9 @@ fn assemble_with_cover(
         // — only the attribute disappeared).
         let mut terminals: BTreeSet<RelName> = [attr.relation.clone()].into_iter().collect();
         terminals.insert(cover.source.clone());
-        let tree =
-            ConnectionTree::connect_with_limit(index.h_prime(), &terminals, opts.max_path_edges)
-                .ok_or(CvsError::Disconnected)?;
+        let tree = index
+            .connect_tree(&terminals, opts.max_path_edges)
+            .ok_or(CvsError::Disconnected)?;
         for rel in &tree.relations {
             if !from_rels.contains(rel) {
                 new_view.from.push(FromItem {
@@ -252,7 +236,7 @@ fn assemble_with_cover(
                 });
             }
         }
-        added_joins = tree.joins;
+        added_joins = tree.joins.clone();
         let mut seen: BTreeSet<Clause> = new_view
             .conditions
             .iter()
@@ -412,7 +396,19 @@ fn certify_attr_swap(
 mod tests {
     use super::*;
     use eve_esql::parse_view;
-    use eve_misd::{evolve, parse_misd, CapabilityChange};
+    use eve_misd::{evolve, parse_misd, CapabilityChange, MetaKnowledgeBase};
+
+    /// Test shorthand: build the per-change index and synchronize.
+    fn sync_da(
+        view: &ViewDefinition,
+        attr: &AttrRef,
+        mkb: &MetaKnowledgeBase,
+        mkb_prime: &MetaKnowledgeBase,
+        opts: &CvsOptions,
+    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        let index = MkbIndex::new(mkb, mkb_prime, opts);
+        synchronize_delete_attribute_indexed(view, attr, &index, opts)
+    }
 
     /// The Example 4 universe: Customer, FlightRes, Person with the
     /// constraints (i)–(iv) of the paper.
@@ -450,9 +446,7 @@ mod tests {
         let change = CapabilityChange::DeleteAttribute(attr.clone());
         let mkb2 = evolve(&mkb, &change).unwrap();
         let view = eq3_view();
-        let rewritings =
-            synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
-                .unwrap();
+        let rewritings = sync_da(&view, &attr, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         assert!(!rewritings.is_empty());
         let best = &rewritings[0];
         let text = best.view.to_string();
@@ -488,9 +482,7 @@ mod tests {
              WHERE (C.Name = F.PName)",
         )
         .unwrap();
-        let rewritings =
-            synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
-                .unwrap();
+        let rewritings = sync_da(&view, &attr, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let best = &rewritings[0];
         assert_eq!(best.view.select.len(), 1);
         assert_eq!(best.verdict, ExtentVerdict::Equivalent);
@@ -505,8 +497,7 @@ mod tests {
         let view =
             parse_view("CREATE VIEW V AS SELECT C.Name, C.Phone (AD = false) FROM Customer C")
                 .unwrap();
-        let err = synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
-            .unwrap_err();
+        let err = sync_da(&view, &attr, &mkb, &mkb2, &CvsOptions::default()).unwrap_err();
         assert_eq!(err, CvsError::NoCover(attr));
     }
 
@@ -518,8 +509,7 @@ mod tests {
         let view =
             parse_view("CREATE VIEW V AS SELECT C.Addr (AD = false, AR = false) FROM Customer C")
                 .unwrap();
-        let err = synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
-            .unwrap_err();
+        let err = sync_da(&view, &attr, &mkb, &mkb2, &CvsOptions::default()).unwrap_err();
         assert!(matches!(err, CvsError::IndispensableNotReplaceable { .. }));
     }
 
@@ -530,7 +520,7 @@ mod tests {
         let mkb2 = evolve(&mkb, &CapabilityChange::DeleteAttribute(attr.clone())).unwrap();
         let view = parse_view("CREATE VIEW V AS SELECT F.Dest FROM FlightRes F").unwrap();
         assert!(matches!(
-            synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default()),
+            sync_da(&view, &attr, &mkb, &mkb2, &CvsOptions::default()),
             Err(CvsError::ViewNotAffected(_))
         ));
     }
@@ -549,9 +539,7 @@ mod tests {
              WHERE (C.Addr = 'Ann Arbor')",
         )
         .unwrap();
-        let rewritings =
-            synchronize_delete_attribute(&view, &attr, &mkb, &mkb2, &CvsOptions::default())
-                .unwrap();
+        let rewritings = sync_da(&view, &attr, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let best = &rewritings[0];
         let text = best.view.to_string();
         assert!(text.contains("Person.PAddr = 'Ann Arbor'"), "{text}");

@@ -81,7 +81,6 @@ pub fn explain_rewriting(original: &ViewDefinition, rewriting: &LegalRewriting) 
 mod tests {
     use super::*;
     use crate::options::CvsOptions;
-    use crate::rewrite::cvs_delete_relation;
     use crate::testutil::travel_mkb;
     use eve_esql::parse_view;
     use eve_misd::{evolve, CapabilityChange};
@@ -98,7 +97,7 @@ mod tests {
         )
         .unwrap();
         let rewritings =
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let via_ins = rewritings
             .iter()
             .find(|r| {
@@ -127,7 +126,7 @@ mod tests {
         )
         .unwrap();
         let rewritings =
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let text = explain_rewriting(&view, &rewritings[0]);
         assert!(text.contains("dropped output column Phone"), "{text}");
     }

@@ -245,49 +245,18 @@ fn combine_certificates(a: ExtentVerdict, b: ExtentVerdict) -> ExtentVerdict {
 /// from `rep`, where `dropped_conditions` counts *every* condition dropped
 /// during assembly (from `C_Max/Min` and `C_Rest` alike).
 ///
-/// `mkb` is the old MKB (PC and function-of constraints referencing the
-/// deleted relation live only there).
-pub fn infer_extent(
-    rm: &RMapping,
-    rep: &Replacement,
-    dropped_conditions: usize,
-    mkb: &MetaKnowledgeBase,
-) -> ExtentVerdict {
-    let all_pcs: Vec<&PartialComplete> = mkb.pcs().iter().collect();
-    infer_extent_inner(rm, rep, dropped_conditions, mkb, &|_, _| all_pcs.clone())
-}
-
-/// [`infer_extent`] against a prebuilt [`MkbIndex`]: PC certificates are
-/// looked up in the index's per-relation-pair buckets instead of
-/// scanning the full constraint list for every added relation.
+/// Runs against a prebuilt [`crate::index::MkbIndex`]: the old MKB (PC
+/// and function-of constraints referencing the deleted relation live
+/// only there) comes from the index, and PC certificates are looked up
+/// in its per-relation-pair buckets instead of scanning the full
+/// constraint list for every added relation.
 pub fn infer_extent_indexed(
     rm: &RMapping,
     rep: &Replacement,
     dropped_conditions: usize,
     index: &crate::index::MkbIndex<'_>,
 ) -> ExtentVerdict {
-    infer_extent_inner(
-        rm,
-        rep,
-        dropped_conditions,
-        index.mkb(),
-        &|added, target| index.pcs_between(added, target).to_vec(),
-    )
-}
-
-/// Shared inference core. `pcs_for(added, target)` yields the PC
-/// constraints that may relate the pair (in either orientation; a
-/// superset is fine — [`certify_added_relation`] re-checks orientation).
-fn infer_extent_inner<'m>(
-    rm: &RMapping,
-    rep: &Replacement,
-    dropped_conditions: usize,
-    mkb: &'m MetaKnowledgeBase,
-    pcs_for: &dyn Fn(
-        &eve_relational::RelName,
-        &eve_relational::RelName,
-    ) -> Vec<&'m PartialComplete>,
-) -> ExtentVerdict {
+    let mkb = index.mkb();
     let survivors = rm.surviving_relations();
     let added: Vec<_> = rep
         .relations
@@ -327,7 +296,7 @@ fn infer_extent_inner<'m>(
                     used.insert(covered.attr.clone());
                 }
             }
-            let candidates = pcs_for(s, &rm.target);
+            let candidates: Vec<&PartialComplete> = index.pcs_between(s, &rm.target).to_vec();
             v = v.meet(certify_added_relation(
                 mkb,
                 &eq,
@@ -439,6 +408,19 @@ mod infer_tests {
              {pcs}"
         ))
         .expect("test MKB parses")
+    }
+
+    /// Test shorthand: build a read-only index (same MKB on both sides —
+    /// extent inference only consults the old MKB) and infer.
+    fn infer_extent(
+        rm: &RMapping,
+        rep: &Replacement,
+        dropped_conditions: usize,
+        mkb: &MetaKnowledgeBase,
+    ) -> ExtentVerdict {
+        let opts = crate::options::CvsOptions::default();
+        let index = crate::index::MkbIndex::new(mkb, mkb, &opts);
+        infer_extent_indexed(rm, rep, dropped_conditions, &index)
     }
 
     fn rm(mkb: &MetaKnowledgeBase) -> RMapping {

@@ -16,15 +16,116 @@
 //! state `O(1)` times instead of `O(n)`.
 //!
 //! The index *borrows* both MKBs (`MkbIndex<'m>`), so constructing a
-//! throwaway index — which the legacy non-indexed entry points do for
-//! API compatibility — never clones a knowledge base.
+//! throwaway index never clones a knowledge base.
+//!
+//! ## Per-change enumeration cache
+//!
+//! Beyond the precomputed maps, the index carries a **memoization layer**
+//! for the expensive graph searches that R-replacement repeats across
+//! views: connection-tree enumeration over `H'(MKB')`
+//! ([`MkbIndex::enumerate_trees`]), greedy single-tree connection
+//! ([`MkbIndex::connect_tree`]), viable-cover filtering
+//! ([`MkbIndex::viable_covers`]) and `Min(H_R)` survival sets
+//! ([`MkbIndex::survival_set`]). Views registered against the same
+//! information space overwhelmingly share terminal sets (they draw on the
+//! same relations), so under one `delete-relation R` the second view
+//! asking for the trees spanning `{S, T, U}` hits the memo instead of
+//! re-walking `H'`.
+//!
+//! The memo tables are sharded `RwLock<HashMap>`s: the hot path is a
+//! short shared-read lock per lookup, writers only contend on their own
+//! shard, and a compute race between two workers is benign because every
+//! memoized function is a pure, deterministic function of its key — both
+//! racers produce the identical value and first-write-wins. Cached or
+//! not, callers observe byte-identical results, which is what lets the
+//! parallel synchronizer share one index across workers.
 
 use crate::options::CvsOptions;
 use crate::replacement::CoverChoice;
-use eve_hypergraph::Hypergraph;
+use eve_hypergraph::{ConnectionTree, Hypergraph};
 use eve_misd::{MetaKnowledgeBase, PartialComplete};
 use eve_relational::{AttrRef, RelName};
-use std::collections::BTreeMap;
+use std::collections::hash_map::RandomState;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{BuildHasher, Hash};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shard count for the memo tables. Small and fixed: the tables are
+/// per-change (short-lived) and the worker pool is small, so a handful of
+/// shards already makes write contention negligible.
+const MEMO_SHARDS: usize = 8;
+
+/// A sharded, read-mostly memo table.
+///
+/// `get_or_insert_with` takes a shared-read lock on one shard for the
+/// lookup and only upgrades to a write lock on a miss. Two threads may
+/// race to compute the same key; the memoized functions are
+/// deterministic, so both compute the identical value and the first
+/// write wins — the loser's copy is dropped, never observed.
+struct Memo<K, V> {
+    shards: [RwLock<HashMap<K, V>>; MEMO_SHARDS],
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V: Clone> Memo<K, V> {
+    fn new() -> Self {
+        Memo {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<HashMap<K, V>> {
+        let h = self.hasher.hash_one(key) as usize;
+        &self.shards[h % MEMO_SHARDS]
+    }
+
+    fn get_or_insert_with(&self, key: K, compute: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        // A poisoned lock means a sibling worker panicked mid-insert; the
+        // map holds only fully-inserted deterministic values, so
+        // recovering the guard is safe.
+        if let Some(v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return v.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let v = compute();
+        shard
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert(v)
+            .clone()
+    }
+}
+
+impl<K, V> std::fmt::Debug for Memo<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memo")
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+/// Hit/miss counters aggregated over all of an index's memo tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a memo table.
+    pub hits: u64,
+    /// Lookups that had to compute (and then populated the memo).
+    pub misses: u64,
+}
+
+/// Memo key for tree searches: terminals in sorted order (the `BTreeSet`
+/// iteration order), plus the bounds that shape the search.
+type TreeKey = (Vec<RelName>, usize, usize);
 
 /// Precomputed, read-only derived state for one capability change.
 ///
@@ -50,6 +151,22 @@ pub struct MkbIndex<'m> {
     /// Partial/complete constraints keyed by the (unordered) relation pair
     /// they relate; each bucket preserves MKB declaration order.
     pcs_by_pair: BTreeMap<(RelName, RelName), Vec<&'m PartialComplete>>,
+    /// Memoized [`Hypergraph::enumerate_trees`] over `h_prime`, keyed by
+    /// `(terminal set, tree limit, hop bound)`.
+    trees: Memo<TreeKey, Arc<Vec<ConnectionTree>>>,
+    /// Memoized [`Hypergraph::connect_tree`] over `h_prime`, keyed by
+    /// `(terminal set, hop bound)`. Negative results (`None`:
+    /// disconnected terminals) are cached too.
+    connects: Memo<(Vec<RelName>, usize), Option<Arc<ConnectionTree>>>,
+    /// Memoized viable-cover lists, keyed by `(attribute, deleted
+    /// relation)` — the Def. 3 (IV) filter of `covers` against `h_prime`.
+    viable: Memo<(AttrRef, RelName), Arc<Vec<CoverChoice>>>,
+    /// Memoized `Min(H_R)` survival sets, keyed by `(Min(H_R) relations,
+    /// deleted relation)`.
+    survivors: Memo<(Vec<RelName>, RelName), Arc<BTreeSet<RelName>>>,
+    /// When false, every memoized accessor computes directly (used by the
+    /// benches to A/B the cache against PR 1's plain indexed path).
+    cache_enabled: bool,
 }
 
 fn pair_key(a: &RelName, b: &RelName) -> (RelName, RelName) {
@@ -112,7 +229,134 @@ impl<'m> MkbIndex<'m> {
             h_prime,
             covers,
             pcs_by_pair,
+            trees: Memo::new(),
+            connects: Memo::new(),
+            viable: Memo::new(),
+            survivors: Memo::new(),
+            cache_enabled: true,
         }
+    }
+
+    /// Disable the enumeration cache: every memoized accessor computes
+    /// directly, reproducing PR 1's plain indexed behaviour. For
+    /// benchmarking the cache's contribution; results are identical
+    /// either way (the cache memoizes deterministic functions).
+    pub fn without_cache(mut self) -> Self {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Aggregate hit/miss counters across all memo tables.
+    pub fn cache_stats(&self) -> CacheStats {
+        let mut s = CacheStats::default();
+        for (h, m) in [
+            (&self.trees.hits, &self.trees.misses),
+            (&self.connects.hits, &self.connects.misses),
+            (&self.viable.hits, &self.viable.misses),
+            (&self.survivors.hits, &self.survivors.misses),
+        ] {
+            s.hits += h.load(Ordering::Relaxed);
+            s.misses += m.load(Ordering::Relaxed);
+        }
+        s
+    }
+
+    /// Connection trees spanning `terminals` in `H'(MKB')`, memoized per
+    /// `(terminal set, limit, max_path_edges)`.
+    pub fn enumerate_trees(
+        &self,
+        terminals: &BTreeSet<RelName>,
+        limit: usize,
+        max_path_edges: usize,
+    ) -> Arc<Vec<ConnectionTree>> {
+        if !self.cache_enabled {
+            return Arc::new(
+                self.h_prime
+                    .enumerate_trees(terminals, limit, max_path_edges),
+            );
+        }
+        let key = (
+            terminals.iter().cloned().collect::<Vec<_>>(),
+            limit,
+            max_path_edges,
+        );
+        self.trees.get_or_insert_with(key, || {
+            Arc::new(
+                self.h_prime
+                    .enumerate_trees(terminals, limit, max_path_edges),
+            )
+        })
+    }
+
+    /// The greedy connection tree spanning `terminals` in `H'(MKB')`
+    /// (`None` when disconnected), memoized per `(terminal set,
+    /// max_path_edges)` — negative answers included.
+    pub fn connect_tree(
+        &self,
+        terminals: &BTreeSet<RelName>,
+        max_path_edges: usize,
+    ) -> Option<Arc<ConnectionTree>> {
+        if !self.cache_enabled {
+            return self
+                .h_prime
+                .connect_tree(terminals, max_path_edges)
+                .map(Arc::new);
+        }
+        let key = (
+            terminals.iter().cloned().collect::<Vec<_>>(),
+            max_path_edges,
+        );
+        self.connects.get_or_insert_with(key, || {
+            self.h_prime
+                .connect_tree(terminals, max_path_edges)
+                .map(Arc::new)
+        })
+    }
+
+    /// The viable covers for `attr` under `delete-relation target`:
+    /// [`MkbIndex::covers_of`] filtered to sources distinct from `target`
+    /// and alive in `H'(MKB')` (Def. 3 IV). Memoized per `(attr, target)`.
+    pub fn viable_covers(&self, attr: &AttrRef, target: &RelName) -> Arc<Vec<CoverChoice>> {
+        let filter = || {
+            Arc::new(
+                self.covers_of(attr)
+                    .iter()
+                    .filter(|c| &c.source != target && self.h_prime.contains(&c.source))
+                    .cloned()
+                    .collect::<Vec<_>>(),
+            )
+        };
+        if !self.cache_enabled {
+            return filter();
+        }
+        self.viable
+            .get_or_insert_with((attr.clone(), target.clone()), filter)
+    }
+
+    /// The relations of `Min(H_R)` that survive `delete-relation target`
+    /// (Def. 3 III). Memoized per `(Min(H_R) relation set, target)` —
+    /// views sharing an affected region share the survival set.
+    pub fn survival_set(
+        &self,
+        min_relations: &BTreeSet<RelName>,
+        target: &RelName,
+    ) -> Arc<BTreeSet<RelName>> {
+        let filter = || {
+            Arc::new(
+                min_relations
+                    .iter()
+                    .filter(|r| *r != target)
+                    .cloned()
+                    .collect::<BTreeSet<_>>(),
+            )
+        };
+        if !self.cache_enabled {
+            return filter();
+        }
+        self.survivors.get_or_insert_with(
+            (min_relations.iter().cloned().collect(), target.clone()),
+            filter,
+        )
     }
 
     /// The pre-change MKB the index was built from.
@@ -210,6 +454,86 @@ mod tests {
             }
         }
         assert_eq!(total, mkb.pcs().len());
+    }
+
+    #[test]
+    fn memo_hits_on_repeat_and_matches_uncached() {
+        let mkb = travel_mkb();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb, &opts);
+        let raw = MkbIndex::new(&mkb, &mkb, &opts).without_cache();
+
+        let terminals: BTreeSet<RelName> = index
+            .hypergraph()
+            .relations()
+            .iter()
+            .take(2)
+            .cloned()
+            .collect();
+        assert_eq!(terminals.len(), 2, "travel MKB has at least 2 relations");
+
+        let cold = index.enumerate_trees(&terminals, 4, usize::MAX);
+        let warm = index.enumerate_trees(&terminals, 4, usize::MAX);
+        assert_eq!(cold, warm);
+        assert_eq!(*cold, *raw.enumerate_trees(&terminals, 4, usize::MAX));
+        // Second lookup was a hit; Arc is shared, not recomputed.
+        assert!(Arc::ptr_eq(&cold, &warm));
+        let stats = index.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // The uncached index never counts anything.
+        assert_eq!(raw.cache_stats(), CacheStats::default());
+
+        // Different bounds are different keys.
+        let narrower = index.enumerate_trees(&terminals, 1, usize::MAX);
+        assert!(narrower.len() <= cold.len());
+
+        // connect_tree caches negative answers too.
+        let mut disconnected = terminals.clone();
+        disconnected.insert(RelName::new("NoSuchRelation"));
+        assert!(index.connect_tree(&disconnected, usize::MAX).is_none());
+        assert!(index.connect_tree(&disconnected, usize::MAX).is_none());
+        assert_eq!(
+            index
+                .connect_tree(&terminals, usize::MAX)
+                .map(|t| (*t).clone()),
+            raw.connect_tree(&terminals, usize::MAX)
+                .map(|t| (*t).clone())
+        );
+    }
+
+    #[test]
+    fn viable_covers_and_survival_sets_match_uncached() {
+        let mkb = travel_mkb();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb, &opts);
+        let raw = MkbIndex::new(&mkb, &mkb, &opts).without_cache();
+
+        for f in mkb.function_ofs() {
+            for desc in mkb.relations() {
+                let cached = index.viable_covers(&f.target, &desc.name);
+                assert_eq!(*cached, *raw.viable_covers(&f.target, &desc.name));
+                for c in cached.iter() {
+                    assert_ne!(c.source, desc.name);
+                    assert!(index.h_prime().contains(&c.source));
+                }
+            }
+        }
+
+        let all: BTreeSet<RelName> = mkb.relations().map(|d| d.name.clone()).collect();
+        for desc in mkb.relations() {
+            let s = index.survival_set(&all, &desc.name);
+            assert!(!s.contains(&desc.name));
+            assert_eq!(s.len(), all.len() - 1);
+            assert_eq!(*s, *raw.survival_set(&all, &desc.name));
+        }
+        // Warm pass over the same keys is all hits.
+        let before = index.cache_stats();
+        for desc in mkb.relations() {
+            index.survival_set(&all, &desc.name);
+        }
+        let after = index.cache_stats();
+        assert_eq!(after.misses, before.misses);
+        assert!(after.hits > before.hits);
     }
 
     #[test]

@@ -198,25 +198,6 @@ pub fn r_mapping_with_index(
     compute_r_mapping(view, target, h_r, opts)
 }
 
-/// Convenience wrapper: compute the R-mapping directly from an MKB.
-///
-/// Builds a throwaway [`MkbIndex`] internally; kept for API
-/// compatibility for one release. Prefer [`r_mapping_with_index`] when
-/// synchronizing several views against the same MKB state.
-///
-/// # Panics
-///
-/// Panics when `target` is not described in the MKB.
-pub fn r_mapping_from_mkb(
-    view: &ViewDefinition,
-    target: &RelName,
-    mkb: &eve_misd::MetaKnowledgeBase,
-    opts: &CvsOptions,
-) -> RMapping {
-    let index = crate::index::MkbIndex::new(mkb, mkb, opts);
-    r_mapping_with_index(view, target, &index, opts)
-}
-
 impl RMapping {
     /// The relations of `Min(H'_R)`: what survives dropping `R`
     /// (Def. 3 III).

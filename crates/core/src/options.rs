@@ -22,6 +22,11 @@ pub struct CvsOptions {
     /// cover or a surviving `Min` relation to the candidate join tree.
     /// `usize::MAX` (the default) is full CVS; `1` degrades the search to
     /// the *one-step-away* SVS baseline of [4, 12].
+    ///
+    /// `0` is nonsensical — a zero-hop bound can never attach anything,
+    /// so every multi-relation search would come back empty by
+    /// construction. [`CvsOptions::validated`] (applied by the
+    /// synchronizer when it builds) clamps it to ≥ 1.
     pub max_path_edges: usize,
     /// Maximum number of connection-tree variants considered per cover
     /// combination (alternative parallel join constraints).
@@ -39,6 +44,18 @@ pub struct CvsOptions {
     /// capability from replacement search: a cover that cannot be joined
     /// is unusable (§2's capability descriptions, enforced).
     pub respect_capabilities: bool,
+    /// Worker threads for fanning affected views out during
+    /// [`crate::Synchronizer::apply`].
+    ///
+    /// * `Some(n)` — use up to `n` workers (`n ≤ 1` means sequential);
+    /// * `None` (the default) — consult the `EVE_PARALLELISM` environment
+    ///   variable, falling back to sequential when it is unset or
+    ///   unparseable.
+    ///
+    /// Parallel and sequential runs produce byte-identical outcomes
+    /// (results are merged back in view-registration order), so this is
+    /// purely a throughput knob.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for CvsOptions {
@@ -50,6 +67,7 @@ impl Default for CvsOptions {
             implication: ImplicationMode::Interval,
             check_consistency: true,
             respect_capabilities: true,
+            parallelism: None,
         }
     }
 }
@@ -62,6 +80,32 @@ impl CvsOptions {
         CvsOptions {
             max_path_edges: 1,
             ..CvsOptions::default()
+        }
+    }
+
+    /// Clamp out-of-domain values: `max_path_edges = 0` (which could
+    /// never attach anything — see the field docs) becomes `1`, the
+    /// tightest meaningful bound. The synchronizer applies this when it
+    /// is built, so a zero smuggled in through a config file degrades to
+    /// the SVS radius instead of silently disabling the search.
+    pub fn validated(self) -> Self {
+        CvsOptions {
+            max_path_edges: self.max_path_edges.max(1),
+            ..self
+        }
+    }
+
+    /// Resolve [`CvsOptions::parallelism`] to a concrete worker count:
+    /// the explicit setting wins, then the `EVE_PARALLELISM` environment
+    /// variable, then sequential (1).
+    pub fn effective_parallelism(&self) -> usize {
+        match self.parallelism {
+            Some(n) => n.max(1),
+            None => std::env::var("EVE_PARALLELISM")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .map(|n| n.max(1))
+                .unwrap_or(1),
         }
     }
 }
@@ -81,5 +125,32 @@ mod tests {
     #[test]
     fn svs_baseline_is_one_step() {
         assert_eq!(CvsOptions::svs_baseline().max_path_edges, 1);
+    }
+
+    #[test]
+    fn validated_clamps_zero_hop_bound() {
+        let o = CvsOptions {
+            max_path_edges: 0,
+            ..CvsOptions::default()
+        };
+        assert_eq!(o.validated().max_path_edges, 1);
+        // In-domain values pass through untouched.
+        assert_eq!(CvsOptions::default().validated(), CvsOptions::default());
+        assert_eq!(CvsOptions::svs_baseline().validated().max_path_edges, 1);
+    }
+
+    #[test]
+    fn explicit_parallelism_wins() {
+        let o = CvsOptions {
+            parallelism: Some(4),
+            ..CvsOptions::default()
+        };
+        assert_eq!(o.effective_parallelism(), 4);
+        // Zero is nonsensical; clamp to sequential.
+        let o = CvsOptions {
+            parallelism: Some(0),
+            ..CvsOptions::default()
+        };
+        assert_eq!(o.effective_parallelism(), 1);
     }
 }

@@ -25,11 +25,12 @@
 //! to cover it).
 
 use crate::error::CvsError;
+use crate::index::MkbIndex;
 use crate::mapping::RMapping;
 use crate::options::CvsOptions;
 use eve_esql::{CondItem, ViewDefinition};
-use eve_hypergraph::{ConnectionTree, Hypergraph};
-use eve_misd::{JoinConstraint, MetaKnowledgeBase};
+use eve_hypergraph::ConnectionTree;
+use eve_misd::JoinConstraint;
 use eve_relational::{AttrRef, RelName, ScalarExpr};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -110,58 +111,20 @@ fn classify_attrs(view: &ViewDefinition, target: &RelName) -> BTreeMap<AttrRef, 
 }
 
 /// Compute the R-replacement set for `view` under `delete-relation R`
-/// (where `R = rm.target`).
+/// (where `R = rm.target`), against a prebuilt [`MkbIndex`].
 ///
-/// * `mkb` is the **old** MKB — Def. 3 (IV) looks covers up there;
-/// * `h_prime` is the hypergraph of the **evolved** MKB' (equivalently,
-///   `H(MKB)` with the relation edge `R` erased — the two coincide by the
-///   evolution rules).
-pub fn compute_replacements(
-    view: &ViewDefinition,
-    rm: &RMapping,
-    mkb: &MetaKnowledgeBase,
-    h_prime: &Hypergraph,
-    opts: &CvsOptions,
-) -> Result<Vec<Replacement>, CvsError> {
-    compute_replacements_core(view, rm, h_prime, opts, |attr| {
-        mkb.covers_of(attr)
-            .filter_map(|f| {
-                let source = f.source_relation()?;
-                Some(CoverChoice {
-                    funcof_id: f.id.clone(),
-                    source,
-                    replacement: f.expr.clone(),
-                })
-            })
-            .collect()
-    })
-}
-
-/// [`compute_replacements`] against a prebuilt [`MkbIndex`]: covers come
-/// from the index's precomputed function-of map and `H'(MKB')` is the
-/// index's cached capability-filtered hypergraph — nothing MKB-derived
-/// is recomputed per view.
+/// Covers come from the index's precomputed function-of map (looked up
+/// in the **old** MKB, per Def. 3 IV) and `H'(MKB')` is the index's
+/// cached capability-filtered hypergraph — nothing MKB-derived is
+/// recomputed per view. Connection-tree enumeration, viable-cover
+/// filtering and survival sets all go through the index's per-change
+/// memo tables, so views sharing terminal sets reuse each other's
+/// graph searches.
 pub fn compute_replacements_indexed(
     view: &ViewDefinition,
     rm: &RMapping,
-    index: &crate::index::MkbIndex<'_>,
+    index: &MkbIndex<'_>,
     opts: &CvsOptions,
-) -> Result<Vec<Replacement>, CvsError> {
-    compute_replacements_core(view, rm, index.h_prime(), opts, |attr| {
-        index.covers_of(attr).to_vec()
-    })
-}
-
-/// Shared Def. 3 enumeration. `raw_covers` yields the *unfiltered*
-/// covers of an attribute (any source relation); viability filtering
-/// (source distinct from `R` and alive in `H'`) happens here so both the
-/// direct-MKB and the indexed paths apply identical rules.
-fn compute_replacements_core(
-    view: &ViewDefinition,
-    rm: &RMapping,
-    h_prime: &Hypergraph,
-    opts: &CvsOptions,
-    raw_covers: impl Fn(&AttrRef) -> Vec<CoverChoice>,
 ) -> Result<Vec<Replacement>, CvsError> {
     let target = &rm.target;
 
@@ -183,10 +146,9 @@ fn compute_replacements_core(
     let mut cover_options: Vec<(AttrRef, Vec<CoverChoice>, bool)> = Vec::new();
     for (attr, u) in &usage {
         let covers: Vec<CoverChoice> = if u.replace_worthy {
-            raw_covers(attr)
-                .into_iter()
-                .filter(|c| &c.source != target && h_prime.contains(&c.source))
-                .collect()
+            // Memoized Def. 3 (IV) filter: source distinct from `R` and
+            // alive in `H'`.
+            index.viable_covers(attr, target).to_vec()
         } else {
             Vec::new()
         };
@@ -225,25 +187,26 @@ fn compute_replacements_core(
     }
 
     // --- build candidates per combination (Def. 3 I–III, V) -------------
-    let survivors = rm.surviving_relations();
+    let survivors = index.survival_set(&rm.max_relations, target);
     let surviving_joins = rm.surviving_joins();
     let mut out: Vec<Replacement> = Vec::new();
     let mut any_disconnected = false;
 
     for combo in combinations {
-        let mut terminals: BTreeSet<RelName> = survivors.clone();
+        let mut terminals: BTreeSet<RelName> = (*survivors).clone();
         terminals.extend(combo.values().map(|c| c.source.clone()));
 
-        let trees: Vec<ConnectionTree> = if terminals.is_empty() {
+        let trees: std::sync::Arc<Vec<ConnectionTree>> = if terminals.is_empty() {
             // Nothing to keep and nothing to cover: Max(V_R) disappears
             // entirely (all its work was dispensable).
-            vec![ConnectionTree {
+            std::sync::Arc::new(vec![ConnectionTree {
                 relations: BTreeSet::new(),
                 joins: Vec::new(),
-            }]
+            }])
         } else {
-            let trees = ConnectionTree::enumerate_with_limit(
-                h_prime,
+            // Memoized per (terminal set, limit, hop bound): a second
+            // view sharing this combination's terminals reuses the walk.
+            let trees = index.enumerate_trees(
                 &terminals,
                 opts.max_trees_per_combination,
                 opts.max_path_edges,
@@ -255,7 +218,7 @@ fn compute_replacements_core(
             trees
         };
 
-        for tree in trees {
+        for tree in trees.iter() {
             // Def. 3 (III): include the surviving Min(H_R) joins.
             let mut joins = surviving_joins.clone();
             for jc in &tree.joins {
@@ -326,7 +289,8 @@ mod tests {
     use super::*;
     use crate::mapping::compute_r_mapping;
     use eve_esql::parse_view;
-    use eve_misd::{evolve, CapabilityChange};
+    use eve_hypergraph::Hypergraph;
+    use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase};
 
     use crate::testutil::travel_mkb;
 
@@ -342,7 +306,12 @@ mod tests {
         .unwrap()
     }
 
-    fn setup() -> (MetaKnowledgeBase, Hypergraph, RMapping, ViewDefinition) {
+    fn setup() -> (
+        MetaKnowledgeBase,
+        MetaKnowledgeBase,
+        RMapping,
+        ViewDefinition,
+    ) {
         let mkb = travel_mkb();
         let customer = RelName::new("Customer");
         let h = Hypergraph::build(&mkb);
@@ -350,15 +319,14 @@ mod tests {
         let view = eq5_view();
         let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
         let mkb2 = evolve(&mkb, &CapabilityChange::DeleteRelation(customer)).unwrap();
-        let h_prime = Hypergraph::build(&mkb2);
-        (mkb, h_prime, rm, view)
+        (mkb, mkb2, rm, view)
     }
 
     #[test]
     fn example_9_covers_found() {
         // Paper Ex. 9 Step 1: Cover(Customer.Name) =
         // {Accident-Ins (F2), Participant (F4), FlightRes (F1)}.
-        let (mkb, h_prime, rm, view) = setup();
+        let (mkb, mkb2, rm, view) = setup();
         let _ = &rm;
         let usage_attr = AttrRef::new("Customer", "Name");
         let covers: BTreeSet<RelName> = mkb
@@ -372,7 +340,7 @@ mod tests {
                 .map(RelName::new)
                 .collect()
         );
-        let _ = (h_prime, view);
+        let _ = (mkb2, view);
     }
 
     #[test]
@@ -380,9 +348,10 @@ mod tests {
         // The candidates must include FlightRes ⋈ Accident-Ins (cover F2)
         // and the trivial FlightRes cover (F1). All candidates contain
         // FlightRes (= Min(H'_Customer), Def. 3 III) and never Customer.
-        let (mkb, h_prime, rm, view) = setup();
-        let reps =
-            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap();
+        let (mkb, mkb2, rm, view) = setup();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb2, &opts);
+        let reps = compute_replacements_indexed(&view, &rm, &index, &opts).unwrap();
         assert!(!reps.is_empty());
         let customer = RelName::new("Customer");
         for r in &reps {
@@ -441,9 +410,9 @@ mod tests {
         let h_r = h.component_of(&customer).unwrap();
         let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
         let mkb2 = evolve(&mkb, &CapabilityChange::DeleteRelation(customer)).unwrap();
-        let h_prime = Hypergraph::build(&mkb2);
-        let reps =
-            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb2, &opts);
+        let reps = compute_replacements_indexed(&view, &rm, &index, &opts).unwrap();
         // No candidate may use the Participant cover: in H'(MKB'),
         // Participant and FlightRes are disconnected (Fig. 4 right).
         for r in &reps {
@@ -455,7 +424,7 @@ mod tests {
 
     #[test]
     fn frozen_attribute_fails() {
-        let (mkb, h_prime, _, _) = setup();
+        let (mkb, mkb2, _, _) = setup();
         let view = parse_view(
             "CREATE VIEW V AS SELECT C.Name (AD = false, AR = false), F.Dest
              FROM Customer C, FlightRes F WHERE C.Name = F.PName",
@@ -465,8 +434,9 @@ mod tests {
         let h = Hypergraph::build(&mkb);
         let h_r = h.component_of(&customer).unwrap();
         let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
-        let err =
-            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap_err();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb2, &opts);
+        let err = compute_replacements_indexed(&view, &rm, &index, &opts).unwrap_err();
         assert!(matches!(err, CvsError::IndispensableNotReplaceable { .. }));
     }
 
@@ -474,7 +444,7 @@ mod tests {
     fn no_cover_fails() {
         // Customer.Phone has no function-of constraint: an indispensable
         // Phone cannot be replaced.
-        let (mkb, h_prime, _, _) = setup();
+        let (mkb, mkb2, _, _) = setup();
         let view = parse_view(
             "CREATE VIEW V AS SELECT C.Phone (AD = false, AR = true), F.Dest
              FROM Customer C, FlightRes F WHERE C.Name = F.PName",
@@ -484,8 +454,9 @@ mod tests {
         let h = Hypergraph::build(&mkb);
         let h_r = h.component_of(&customer).unwrap();
         let rm = compute_r_mapping(&view, &customer, &h_r, &CvsOptions::default());
-        let err =
-            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::default()).unwrap_err();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb2, &opts);
+        let err = compute_replacements_indexed(&view, &rm, &index, &opts).unwrap_err();
         assert_eq!(err, CvsError::NoCover(AttrRef::new("Customer", "Phone")));
     }
 
@@ -496,9 +467,10 @@ mod tests {
         // FlightRes), so it should still be found; candidates needing
         // longer chains would be pruned (exercised further in the
         // workload/experiment tests).
-        let (mkb, h_prime, rm, view) = setup();
-        let reps =
-            compute_replacements(&view, &rm, &mkb, &h_prime, &CvsOptions::svs_baseline()).unwrap();
+        let (mkb, mkb2, rm, view) = setup();
+        let opts = CvsOptions::svs_baseline();
+        let index = MkbIndex::new(&mkb, &mkb2, &opts);
+        let reps = compute_replacements_indexed(&view, &rm, &index, &opts).unwrap();
         assert!(reps
             .iter()
             .any(|r| r.relations.contains(&RelName::new("Accident-Ins"))));

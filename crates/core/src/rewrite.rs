@@ -1,6 +1,6 @@
 //! CVS Steps 4–5: assembling a synchronized view definition `V'` from an
 //! R-replacement candidate, and the top-level
-//! [`cvs_delete_relation`] driver implementing the whole
+//! [`cvs_delete_relation_indexed`] driver implementing the whole
 //! `CVS(V, ch = delete-relation R, MKB, MKB')` algorithm of §5.
 //!
 //! Step 4: "A synchronized view definition V' is found by replacing
@@ -24,7 +24,6 @@ use crate::mapping::{compute_r_mapping, RMapping};
 use crate::options::CvsOptions;
 use crate::replacement::{compute_replacements_indexed, Replacement};
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
-use eve_misd::MetaKnowledgeBase;
 use eve_relational::{AttrName, Clause, RelName};
 use std::collections::BTreeSet;
 
@@ -194,21 +193,12 @@ pub(crate) fn assemble(
 /// Returns every assembled rewriting, ordered best-first: P3-certified
 /// rewritings before unverified ones, smaller ones before larger ones.
 /// Errors only when *no* candidate could be assembled.
-pub fn cvs_delete_relation(
-    view: &ViewDefinition,
-    target: &RelName,
-    mkb: &MetaKnowledgeBase,
-    mkb_prime: &MetaKnowledgeBase,
-    opts: &CvsOptions,
-) -> Result<Vec<LegalRewriting>, CvsError> {
-    let index = MkbIndex::new(mkb, mkb_prime, opts);
-    cvs_delete_relation_indexed(view, target, &index, opts)
-}
-
-/// [`cvs_delete_relation`] against a prebuilt [`MkbIndex`]: `H_R`,
-/// `H'(MKB')`, covers, and PC buckets all come from the index, so
-/// synchronizing many views against one capability change performs the
-/// MKB-derived work once instead of once per view.
+///
+/// Runs against a prebuilt [`MkbIndex`]: `H_R`, `H'(MKB')`, covers, and
+/// PC buckets all come from the index, so synchronizing many views
+/// against one capability change performs the MKB-derived work once
+/// instead of once per view (and tree searches hit the index's
+/// per-change memo tables).
 pub fn cvs_delete_relation_indexed(
     view: &ViewDefinition,
     target: &RelName,
@@ -273,7 +263,7 @@ mod tests {
     use crate::extent::ExtentVerdict;
     use crate::testutil::travel_mkb;
     use eve_esql::{parse_view, validate_view};
-    use eve_misd::{evolve, CapabilityChange};
+    use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase};
     use eve_relational::AttrRef;
 
     fn eq5_view() -> ViewDefinition {
@@ -300,7 +290,7 @@ mod tests {
         let change = CapabilityChange::DeleteRelation(customer.clone());
         let mkb2 = evolve(&mkb, &change).unwrap();
         let rewritings =
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         (view, rewritings, change, mkb2)
     }
 
@@ -375,7 +365,7 @@ mod tests {
         let mkb2 = evolve(&mkb, &change).unwrap();
         let view = eq5_view();
         let rewritings =
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let no_age = rewritings
             .iter()
             .find(|r| {
@@ -405,7 +395,7 @@ mod tests {
         )
         .unwrap();
         let rewritings =
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         for r in &rewritings {
             assert!(
                 !r.view.to_string().contains("Phone")
@@ -435,7 +425,7 @@ mod tests {
         let mkb2 = evolve(&mkb, &CapabilityChange::DeleteRelation(customer.clone())).unwrap();
         let view = parse_view("CREATE VIEW V AS SELECT T.TourName FROM Tour T").unwrap();
         assert!(matches!(
-            cvs_delete_relation(&view, &customer, &mkb, &mkb2, &CvsOptions::default()),
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()),
             Err(CvsError::ViewNotAffected(_))
         ));
     }

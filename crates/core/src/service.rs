@@ -69,6 +69,12 @@ impl SharedSynchronizer {
     }
 
     /// Apply a capability change atomically.
+    ///
+    /// The write lock is held for the whole change; inside it the
+    /// synchronizer may still fan affected views out across worker
+    /// threads ([`crate::CvsOptions::parallelism`]) — that inner
+    /// parallelism never escapes the lock, so readers keep their
+    /// all-or-nothing view of the state.
     pub fn apply(&self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
         self.write_lock().apply(change)
     }

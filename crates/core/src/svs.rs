@@ -18,23 +18,12 @@ use crate::error::CvsError;
 use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
-use crate::rewrite::{cvs_delete_relation, cvs_delete_relation_indexed};
+use crate::rewrite::cvs_delete_relation_indexed;
 use eve_esql::ViewDefinition;
-use eve_misd::MetaKnowledgeBase;
 use eve_relational::RelName;
 
 /// Synchronize `view` under `delete-relation target` using only
-/// one-step-away rewritings.
-pub fn svs_delete_relation(
-    view: &ViewDefinition,
-    target: &RelName,
-    mkb: &MetaKnowledgeBase,
-    mkb_prime: &MetaKnowledgeBase,
-) -> Result<Vec<LegalRewriting>, CvsError> {
-    cvs_delete_relation(view, target, mkb, mkb_prime, &CvsOptions::svs_baseline())
-}
-
-/// [`svs_delete_relation`] against a prebuilt [`MkbIndex`]: `opts` is
+/// one-step-away rewritings, against a prebuilt [`MkbIndex`]: `opts` is
 /// the caller's configuration (it must match what the index was built
 /// with); only the search radius is clamped to one hop.
 pub fn svs_delete_relation_indexed(
@@ -69,7 +58,7 @@ mod tests {
              FROM Customer C, FlightRes F WHERE (C.Name = F.PName)",
         )
         .unwrap();
-        assert!(svs_delete_relation(&view, &customer, &mkb, &mkb2).is_ok());
+        assert!(crate::testutil::svs_dr(&view, &customer, &mkb, &mkb2).is_ok());
     }
 
     #[test]
@@ -99,7 +88,7 @@ mod tests {
         )
         .unwrap();
         let rewritings =
-            cvs_delete_relation(&view, &a, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+            crate::testutil::cvs_dr(&view, &a, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let via_x = rewritings
             .iter()
             .any(|r| r.view.uses_relation(&RelName::new("X")));
@@ -130,9 +119,9 @@ mod tests {
             "CREATE VIEW V AS SELECT A.x (false, true), A.k (true, true), B.y FROM A, B WHERE (A.k = B.k)",
         )
         .unwrap();
-        let strict = cvs_delete_relation(&view, &a, &mkb, &mkb2, &CvsOptions::default());
+        let strict = crate::testutil::cvs_dr(&view, &a, &mkb, &mkb2, &CvsOptions::default());
         assert!(strict.is_err(), "{strict:?}");
-        let lax = cvs_delete_relation(
+        let lax = crate::testutil::cvs_dr(
             &view,
             &a,
             &mkb,
@@ -168,13 +157,13 @@ mod tests {
         )
         .unwrap();
 
-        let cvs = cvs_delete_relation(&view, &a, &mkb, &mkb2, &CvsOptions::default());
+        let cvs = crate::testutil::cvs_dr(&view, &a, &mkb, &mkb2, &CvsOptions::default());
         assert!(cvs.is_ok(), "{cvs:?}");
         let cvs = cvs.unwrap();
         // CVS routes B—C—D and substitutes A.x → D.x.
         assert!(cvs[0].view.to_string().contains("D.x"));
 
-        let svs = svs_delete_relation(&view, &a, &mkb, &mkb2);
+        let svs = crate::testutil::svs_dr(&view, &a, &mkb, &mkb2);
         assert!(matches!(svs, Err(CvsError::Disconnected)), "{svs:?}");
     }
 }

@@ -21,6 +21,13 @@
 //! definition) is held in [`std::sync::Arc`] snapshots, so concurrent
 //! readers ([`crate::service::SharedSynchronizer`]) get copy-on-write
 //! handles instead of deep clones.
+//!
+//! When [`CvsOptions::parallelism`] (or the `EVE_PARALLELISM`
+//! environment variable) asks for more than one worker, the affected
+//! views fan out across a [`parpool`] work-stealing pool, all borrowing
+//! the same read-only [`MkbIndex`]; results merge back in registration
+//! order, so parallel and sequential runs produce byte-identical
+//! outcomes.
 
 use crate::affected::{is_affected, is_evaluable};
 use crate::cost::CostModel;
@@ -35,7 +42,7 @@ use std::fmt;
 use std::sync::Arc;
 
 /// What happened to one view under one capability change.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ViewOutcome {
     /// A previously disabled view became evaluable again (every element
     /// it references exists in the evolved MKB) and was re-activated
@@ -68,7 +75,7 @@ impl ViewOutcome {
 }
 
 /// The outcome of applying one capability change.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChangeOutcome {
     /// The change that was applied.
     pub change: CapabilityChange,
@@ -192,9 +199,11 @@ impl SynchronizerBuilder {
         self
     }
 
-    /// Finish building.
+    /// Finish building. Out-of-domain option values are clamped via
+    /// [`CvsOptions::validated`].
     pub fn build(self) -> Synchronizer {
         let mkb = Arc::new(self.mkb);
+        let opts = self.opts.validated();
         let views: Vec<(String, Arc<ViewDefinition>)> = self
             .views
             .into_iter()
@@ -210,7 +219,7 @@ impl SynchronizerBuilder {
             mkb,
             views,
             disabled: Vec::new(),
-            opts: self.opts,
+            opts,
             require_p3: self.require_p3,
             cost_model: self.cost_model,
             history: vec![initial],
@@ -306,8 +315,15 @@ impl Synchronizer {
     /// rewriting are disabled (removed from the active set).
     ///
     /// One [`MkbIndex`] is built per change and shared by every affected
-    /// view's synchronization — the MKB-derived search structures are
-    /// computed once, not once per view.
+    /// view's synchronization — the MKB-derived search structures (and
+    /// the enumeration cache inside the index) are computed once, not
+    /// once per view.
+    ///
+    /// With [`CvsOptions::effective_parallelism`] `> 1` the affected
+    /// views are synchronized concurrently on a [`parpool`] pool, all
+    /// borrowing the shared read-only index. Results are merged back in
+    /// registration order, so the outcome is byte-identical to a
+    /// sequential run.
     pub fn apply(&mut self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
         let mkb_prime = evolve(&self.mkb, change)?;
         let mut outcomes = Vec::with_capacity(self.views.len());
@@ -316,20 +332,35 @@ impl Synchronizer {
 
         {
             let index = MkbIndex::new(&self.mkb, &mkb_prime, &self.opts);
+
+            // Fan the affected views out across the pool; unaffected
+            // views never enter the queue. `map_in_order` hands results
+            // back in submission (= registration) order.
+            let affected: Vec<Arc<ViewDefinition>> = self
+                .views
+                .iter()
+                .filter(|(_, v)| is_affected(v, change))
+                .map(|(_, v)| Arc::clone(v))
+                .collect();
+            let index_ref = &index;
+            let opts_ref = &self.opts;
+            let require_p3 = self.require_p3;
+            let cost_model = self.cost_model.as_ref();
+            let mut results =
+                parpool::map_in_order(self.opts.effective_parallelism(), affected, |_, view| {
+                    engine::synchronize_view(
+                        &view, change, index_ref, opts_ref, require_p3, cost_model,
+                    )
+                })
+                .into_iter();
+
             for (name, view) in &self.views {
                 if !is_affected(view, change) {
                     outcomes.push((name.clone(), ViewOutcome::Unchanged));
                     next_views.push((name.clone(), Arc::clone(view)));
                     continue;
                 }
-                let outcome = engine::synchronize_view(
-                    view,
-                    change,
-                    &index,
-                    &self.opts,
-                    self.require_p3,
-                    self.cost_model.as_ref(),
-                );
+                let outcome = results.next().expect("one pool result per affected view");
                 if let ViewOutcome::Rewritten { chosen, .. } = &outcome {
                     next_views.push((name.clone(), Arc::new(chosen.view.clone())));
                 } else if outcome.survived() {

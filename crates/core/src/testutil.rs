@@ -30,3 +30,35 @@ pub(crate) fn travel_mkb() -> MetaKnowledgeBase {
     )
     .unwrap()
 }
+
+use crate::error::CvsError;
+use crate::index::MkbIndex;
+use crate::legal::LegalRewriting;
+use crate::options::CvsOptions;
+use eve_esql::ViewDefinition;
+use eve_relational::RelName;
+
+/// Test shorthand: build a throwaway per-change index and run CVS
+/// delete-relation (what the removed non-indexed wrapper used to do).
+pub(crate) fn cvs_dr(
+    view: &ViewDefinition,
+    target: &RelName,
+    mkb: &eve_misd::MetaKnowledgeBase,
+    mkb_prime: &eve_misd::MetaKnowledgeBase,
+    opts: &CvsOptions,
+) -> Result<Vec<LegalRewriting>, CvsError> {
+    let index = MkbIndex::new(mkb, mkb_prime, opts);
+    crate::rewrite::cvs_delete_relation_indexed(view, target, &index, opts)
+}
+
+/// Test shorthand for the SVS baseline (one-hop search radius).
+pub(crate) fn svs_dr(
+    view: &ViewDefinition,
+    target: &RelName,
+    mkb: &eve_misd::MetaKnowledgeBase,
+    mkb_prime: &eve_misd::MetaKnowledgeBase,
+) -> Result<Vec<LegalRewriting>, CvsError> {
+    let opts = CvsOptions::svs_baseline();
+    let index = MkbIndex::new(mkb, mkb_prime, &opts);
+    crate::svs::svs_delete_relation_indexed(view, target, &index, &opts)
+}

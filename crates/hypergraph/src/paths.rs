@@ -193,6 +193,39 @@ impl ConnectionTree {
     }
 }
 
+/// Cache-friendly enumeration entry points.
+///
+/// Both methods are pure, deterministic functions of
+/// `(self, terminals, limit, max_path_edges)` — same inputs, same output,
+/// every time — which is the contract that lets `MkbIndex` memoize their
+/// results per change under a `(terminal set, hop bound, tree limit)` key
+/// without risking any behavioural difference between a cache hit and a
+/// recomputation.
+impl Hypergraph {
+    /// Enumerate up to `limit` connection trees spanning `terminals`,
+    /// each hop bounded by `max_path_edges`. Method form of
+    /// [`ConnectionTree::enumerate_with_limit`].
+    pub fn enumerate_trees(
+        &self,
+        terminals: &BTreeSet<RelName>,
+        limit: usize,
+        max_path_edges: usize,
+    ) -> Vec<ConnectionTree> {
+        ConnectionTree::enumerate_with_limit(self, terminals, limit, max_path_edges)
+    }
+
+    /// The single greedy connection tree spanning `terminals` (hop bound
+    /// `max_path_edges`), or `None` when they cannot be connected. Method
+    /// form of [`ConnectionTree::connect_with_limit`].
+    pub fn connect_tree(
+        &self,
+        terminals: &BTreeSet<RelName>,
+        max_path_edges: usize,
+    ) -> Option<ConnectionTree> {
+        ConnectionTree::connect_with_limit(self, terminals, max_path_edges)
+    }
+}
+
 /// Shortest path (in edges) from any relation in `sources` to `target`.
 fn shortest_path_from_set<'a>(
     graph: &'a Hypergraph,
@@ -356,6 +389,20 @@ mod tests {
             ConnectionTree::enumerate(&g, &[rel("N0"), rel("N10")].into_iter().collect(), 4);
         assert_eq!(trees.len(), 1);
         assert_eq!(trees[0].joins.len(), 10);
+    }
+
+    #[test]
+    fn method_entry_points_match_free_functions() {
+        let g = star();
+        let t: BTreeSet<RelName> = [rel("A"), rel("B")].into_iter().collect();
+        assert_eq!(
+            g.enumerate_trees(&t, 10, usize::MAX),
+            ConnectionTree::enumerate(&g, &t, 10)
+        );
+        assert_eq!(
+            g.connect_tree(&t, usize::MAX),
+            ConnectionTree::connect(&g, &t)
+        );
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! A minimal scoped **work-stealing thread pool**, vendored for the EVE
+//! workspace (the build environment has no route to crates.io, so this
+//! plays the role `rayon` would otherwise play — same offline-shim
+//! pattern as the workspace's `rand`/`proptest`/`criterion` crates).
+//!
+//! The one entry point, [`map_in_order`], runs a closure over a batch of
+//! work items on `threads` scoped OS threads and returns the results **in
+//! input order**, so callers that must produce deterministic,
+//! order-sensitive output (like the view synchronizer merging per-view
+//! outcomes back in registration order) can parallelize without changing
+//! observable behaviour.
+//!
+//! Design:
+//!
+//! * **Scoped** — workers are spawned with [`std::thread::scope`], so the
+//!   closure may borrow from the caller's stack (the synchronizer shares
+//!   one `&MkbIndex` across all workers without `Arc`ing its world).
+//!   Threads live for one batch; for the intended workload (tens to
+//!   hundreds of view rewrites, each microseconds to milliseconds) the
+//!   ~10 µs spawn cost per worker is noise.
+//! * **Work-stealing** — items are dealt round-robin into one deque per
+//!   worker; a worker pops from the *front* of its own deque and, when
+//!   empty, steals from the *back* of a victim's. Skewed batches (one
+//!   expensive view among many trivial ones) therefore still keep every
+//!   worker busy.
+//! * **Panic-transparent** — a panicking work item panics the scope, and
+//!   [`std::thread::scope`] re-raises it on the caller; no result is
+//!   silently dropped.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// One worker's deque of `(input index, item)` pairs, lock-protected so
+/// that other workers can steal from it.
+struct Deque<T> {
+    items: Mutex<VecDeque<(usize, T)>>,
+}
+
+impl<T> Deque<T> {
+    fn new() -> Self {
+        Deque {
+            items: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<(usize, T)>> {
+        // A poisoned deque means a sibling worker panicked; the scope is
+        // about to re-raise that panic, so recovering the guard (rather
+        // than double-panicking) keeps the unwind clean.
+        self.items.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pop from the owner's end.
+    fn pop_front(&self) -> Option<(usize, T)> {
+        self.lock().pop_front()
+    }
+
+    /// Steal from the victim's end.
+    fn steal_back(&self) -> Option<(usize, T)> {
+        self.lock().pop_back()
+    }
+}
+
+/// Map `f` over `items` on up to `threads` scoped worker threads,
+/// returning the results in **input order**.
+///
+/// `f` receives `(index, item)` — the index of the item in `items` — and
+/// must be callable from any worker (`Sync`, called by shared reference).
+/// With `threads <= 1`, a single item, or an empty batch, everything runs
+/// inline on the caller's thread: no worker is spawned and the call is
+/// exactly a sequential `map`. The worker count is additionally capped at
+/// the batch size — spawning more threads than items buys nothing.
+///
+/// # Panics
+///
+/// Panics if `f` panics (the panic is re-raised on the calling thread
+/// once the scope unwinds).
+pub fn map_in_order<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+
+    // Deal items round-robin so each worker starts with an even share
+    // (and with *interleaved* indices — consecutive expensive items land
+    // on different workers).
+    let deques: Vec<Deque<T>> = (0..workers).map(|_| Deque::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        deques[i % workers].lock().push_back((i, item));
+    }
+
+    let f = &f;
+    let deques = &deques;
+    let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+
+    let chunks = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                scope.spawn(move || {
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        // Own work first, then sweep the victims once.
+                        let next = deques[me].pop_front().or_else(|| {
+                            (1..workers)
+                                .map(|k| (me + k) % workers)
+                                .find_map(|victim| deques[victim].steal_back())
+                        });
+                        match next {
+                            Some((i, item)) => done.push((i, f(i, item))),
+                            // Every deque was empty on a full sweep: the
+                            // batch is exhausted (no worker ever re-queues
+                            // work, so emptiness is stable).
+                            None => break,
+                        }
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(chunk) => chunk,
+                // Re-raise the worker's own panic payload on the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect::<Vec<_>>()
+    });
+
+    for (i, r) in chunks.into_iter().flatten() {
+        debug_assert!(results[i].is_none(), "item {i} processed twice");
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every index processed exactly once"))
+        .collect()
+}
+
+/// The parallelism the host offers: [`std::thread::available_parallelism`]
+/// with a serial fallback when the platform cannot say.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_input_order() {
+        for threads in [1, 2, 3, 8, 33] {
+            let items: Vec<usize> = (0..100).collect();
+            let out = map_in_order(threads, items, |i, x| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_run_inline() {
+        let out: Vec<u32> = map_in_order(8, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+        let out = map_in_order(8, vec![41], |_, x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn skewed_batch_is_stolen() {
+        // One item is ~1000x the others; with 4 workers the small items
+        // must not wait behind it. We can't assert timing robustly, but we
+        // can assert that more than one thread participated.
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i == 0 { 5_000_000 } else { 5_000 })
+            .collect();
+        let out = map_in_order(4, items, |_, spins| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            let mut acc = 0u64;
+            for k in 0..spins {
+                acc = acc.wrapping_add(std::hint::black_box(k));
+            }
+            acc
+        });
+        assert_eq!(out.len(), 64);
+        assert!(seen.lock().unwrap().len() > 1, "work never spread");
+    }
+
+    #[test]
+    fn borrows_from_callers_stack() {
+        let base = 10usize;
+        let counter = AtomicUsize::new(0);
+        let out = map_in_order(4, vec![1, 2, 3, 4], |_, x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            base + x
+        });
+        assert_eq!(out, vec![11, 12, 13, 14]);
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let _ = map_in_order(4, (0..16).collect::<Vec<_>>(), |_, x: i32| {
+            if x == 7 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn available_parallelism_positive() {
+        assert!(available_parallelism() >= 1);
+    }
+}

@@ -52,7 +52,22 @@ impl Default for LibraryFixture {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eve_core::{cvs_delete_relation, CvsOptions, ExtentVerdict};
+    use eve_core::{
+        cvs_delete_relation_indexed, CvsError, CvsOptions, ExtentVerdict, LegalRewriting, MkbIndex,
+    };
+    use eve_esql::ViewDefinition;
+    use eve_misd::MetaKnowledgeBase;
+
+    fn cvs_delete_relation(
+        view: &ViewDefinition,
+        target: &RelName,
+        mkb: &MetaKnowledgeBase,
+        mkb_prime: &MetaKnowledgeBase,
+        opts: &CvsOptions,
+    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        let index = MkbIndex::new(mkb, mkb_prime, opts);
+        cvs_delete_relation_indexed(view, target, &index, opts)
+    }
     use eve_misd::{check_mkb, evolve, CapabilityChange};
     use eve_relational::RelName;
 

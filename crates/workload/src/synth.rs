@@ -554,6 +554,69 @@ pub fn random_views(
         .collect()
 }
 
+/// Generate `count` views that all reference `target` — the fan-out
+/// workload for the parallel synchronizer benches (every view is
+/// *affected* by `delete-relation target`). Each view starts at `target`
+/// and grows by `view_relations - 1` randomized steps along the MKB's
+/// join constraints, so the relation sets (and with them the terminal
+/// sets the CVS search enumerates) differ from view to view. Views are
+/// named `Fan0, Fan1, …` and are well-formed by construction.
+pub fn views_touching(
+    mkb: &MetaKnowledgeBase,
+    target: &RelName,
+    count: usize,
+    view_relations: usize,
+    seed: u64,
+) -> Vec<ViewDefinition> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfa11_u64);
+    let mut adj: BTreeMap<RelName, Vec<RelName>> = BTreeMap::new();
+    for jc in mkb.joins() {
+        adj.entry(jc.left.clone())
+            .or_default()
+            .push(jc.right.clone());
+        adj.entry(jc.right.clone())
+            .or_default()
+            .push(jc.left.clone());
+    }
+    (0..count)
+        .map(|i| {
+            let mut rels: Vec<RelName> = vec![target.clone()];
+            let mut clauses: Vec<Clause> = Vec::new();
+            while rels.len() < view_relations {
+                // Frontier: (attached relation, unvisited neighbour).
+                let frontier: Vec<(RelName, RelName)> = rels
+                    .iter()
+                    .flat_map(|r| {
+                        adj.get(r)
+                            .into_iter()
+                            .flatten()
+                            .filter(|n| !rels.contains(n))
+                            .map(|n| (r.clone(), n.clone()))
+                    })
+                    .collect();
+                if frontier.is_empty() {
+                    break;
+                }
+                let (cur, next) = frontier[rng.gen_range(0..frontier.len())].clone();
+                clauses.push(Clause::eq_attrs(
+                    AttrRef::new(cur, "k"),
+                    AttrRef::new(next.clone(), "k"),
+                ));
+                rels.push(next);
+            }
+            let spec: Vec<(RelName, Vec<&str>)> = rels
+                .iter()
+                .enumerate()
+                .map(|(pos, r)| {
+                    let attrs = if pos == 0 { vec!["k", "v0"] } else { vec!["k"] };
+                    (r.clone(), attrs)
+                })
+                .collect();
+            build_view(&format!("Fan{i}"), ViewExtent::Any, &spec, &clauses)
+        })
+        .collect()
+}
+
 /// Build a view over `rels` (relation, selected attrs) joined by
 /// `clauses`. The first relation's items are `(false, true)`
 /// (indispensable, replaceable); the others' are `(true, true)`.
@@ -601,8 +664,35 @@ fn build_view(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use eve_core::{cvs_delete_relation, svs_delete_relation, CvsOptions};
+    use eve_core::{
+        cvs_delete_relation_indexed, svs_delete_relation_indexed, CvsError, CvsOptions,
+        LegalRewriting, MkbIndex,
+    };
     use eve_misd::evolve;
+
+    // Test-local shims: build one per-change MkbIndex, then synchronize
+    // (the shape `Synchronizer::apply` uses).
+    fn cvs_delete_relation(
+        view: &ViewDefinition,
+        target: &RelName,
+        mkb: &MetaKnowledgeBase,
+        mkb_prime: &MetaKnowledgeBase,
+        opts: &CvsOptions,
+    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        let index = MkbIndex::new(mkb, mkb_prime, opts);
+        cvs_delete_relation_indexed(view, target, &index, opts)
+    }
+
+    fn svs_delete_relation(
+        view: &ViewDefinition,
+        target: &RelName,
+        mkb: &MetaKnowledgeBase,
+        mkb_prime: &MetaKnowledgeBase,
+    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(mkb, mkb_prime, &opts);
+        svs_delete_relation_indexed(view, target, &index, &opts)
+    }
 
     #[test]
     fn chain_structure() {
@@ -705,6 +795,35 @@ mod tests {
         // Deterministic per seed.
         let again = random_views(&w.mkb, 5, 3, 9);
         assert_eq!(views, again);
+    }
+
+    #[test]
+    fn views_touching_all_reference_target() {
+        let cfg = SynthConfig {
+            n_relations: 16,
+            topology: Topology::Random { extra: 6 },
+            ..SynthConfig::default()
+        };
+        let w = SynthWorkload::random(&cfg, 7);
+        let views = views_touching(&w.mkb, &w.target, 8, 3, 11);
+        assert_eq!(views.len(), 8);
+        for v in &views {
+            let errs = eve_esql::validate_view(v);
+            assert!(errs.is_empty(), "{}: {errs:?}", v.name);
+            assert_eq!(
+                v.from[0].relation, w.target,
+                "{} must root at target",
+                v.name
+            );
+        }
+        // Relation sets must actually diverge across views.
+        let shapes: BTreeSet<Vec<RelName>> = views
+            .iter()
+            .map(|v| v.from.iter().map(|f| f.relation.clone()).collect())
+            .collect();
+        assert!(shapes.len() > 1, "fan-out views must not all be identical");
+        // Deterministic per seed.
+        assert_eq!(views, views_touching(&w.mkb, &w.target, 8, 3, 11));
     }
 
     #[test]

@@ -7,10 +7,11 @@
 //! cargo run --example extent_audit
 //! ```
 
-use eve::cvs::{empirical_extent, synchronize_delete_attribute, CvsOptions};
+use eve::cvs::{empirical_extent, CvsOptions};
 use eve::misd::{evolve, CapabilityChange};
 use eve::relational::{AttrRef, FuncRegistry};
 use eve::workload::TravelFixture;
+use eve_bench::support::sync_da;
 
 fn main() {
     let fixture = TravelFixture::with_person();
@@ -22,9 +23,8 @@ fn main() {
     let view = TravelFixture::asia_customer_eq3();
     println!("original view (paper Eq. 3):\n{view}\n");
 
-    let rewritings =
-        synchronize_delete_attribute(&view, &attr, mkb, &mkb_prime, &CvsOptions::default())
-            .expect("Example 4 is curable");
+    let rewritings = sync_da(&view, &attr, mkb, &mkb_prime, &CvsOptions::default())
+        .expect("Example 4 is curable");
     let best = &rewritings[0];
     println!("evolved view (paper Eq. 4):\n{}\n", best.view);
     println!(

@@ -8,10 +8,11 @@
 //! cargo run --example travel_agency
 //! ```
 
-use eve::cvs::{cvs_delete_relation, empirical_extent, CvsOptions};
+use eve::cvs::{empirical_extent, CvsOptions};
 use eve::misd::{evolve, CapabilityChange};
 use eve::relational::{FuncRegistry, RelName};
 use eve::workload::TravelFixture;
+use eve_bench::support::cvs_dr;
 
 fn main() {
     let fixture = TravelFixture::new();
@@ -25,7 +26,7 @@ fn main() {
     let mkb_prime = evolve(mkb, &change).expect("Customer is described");
 
     // Run CVS: R-mapping, R-replacement, assembly, extent verdicts.
-    let rewritings = cvs_delete_relation(&view, &customer, mkb, &mkb_prime, &CvsOptions::default())
+    let rewritings = cvs_dr(&view, &customer, mkb, &mkb_prime, &CvsOptions::default())
         .expect("the paper shows this view is curable");
     println!("CVS found {} legal rewritings:\n", rewritings.len());
     for (i, r) in rewritings.iter().enumerate() {

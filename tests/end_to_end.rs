@@ -59,7 +59,7 @@ fn adopted_rewriting_extent_holds_across_states() {
         &CapabilityChange::DeleteRelation(customer.clone()),
     )
     .expect("evolves");
-    let rewritings = eve::cvs::cvs_delete_relation(
+    let rewritings = eve_bench::support::cvs_dr(
         &view,
         &customer,
         fixture.mkb(),

@@ -1,10 +1,11 @@
 //! Golden tests pinning the reproduction of every figure and worked
 //! example of the paper (see EXPERIMENTS.md for the full record).
 
-use eve::cvs::{cvs_delete_relation, CvsOptions};
+use eve::cvs::CvsOptions;
 use eve::misd::{evolve, CapabilityChange};
 use eve::relational::{AttrRef, RelName};
 use eve::workload::TravelFixture;
+use eve_bench::support::cvs_dr;
 use eve_bench::{examples, figures};
 
 #[test]
@@ -87,8 +88,7 @@ fn eq13_rewriting_has_paper_shape() {
     let customer = RelName::new("Customer");
     let mkb2 = evolve(mkb, &CapabilityChange::DeleteRelation(customer.clone())).unwrap();
     let view = TravelFixture::customer_passengers_asia_eq5();
-    let rewritings =
-        cvs_delete_relation(&view, &customer, mkb, &mkb2, &CvsOptions::default()).unwrap();
+    let rewritings = cvs_dr(&view, &customer, mkb, &mkb2, &CvsOptions::default()).unwrap();
 
     let eq13 = rewritings
         .iter()

@@ -4,13 +4,39 @@
 //! empirically observed extent.
 
 use eve::cvs::{
-    cvs_delete_relation, empirical_extent, svs_delete_relation, CvsOptions, ExtentVerdict,
+    cvs_delete_relation_indexed, empirical_extent, svs_delete_relation_indexed, CvsError,
+    CvsOptions, ExtentVerdict, LegalRewriting, MkbIndex,
 };
-use eve::esql::parse_view;
-use eve::misd::evolve;
-use eve::relational::FuncRegistry;
+use eve::esql::{parse_view, ViewDefinition};
+use eve::misd::{evolve, MetaKnowledgeBase};
+use eve::relational::{FuncRegistry, RelName};
 use eve::workload::{SynthConfig, SynthWorkload, Topology};
 use proptest::prelude::*;
+
+/// Run CVS delete-relation the way [`eve::cvs::Synchronizer::apply`]
+/// does: build one [`MkbIndex`] for the change, then synchronize.
+fn cvs_dr(
+    view: &ViewDefinition,
+    target: &RelName,
+    mkb: &MetaKnowledgeBase,
+    mkb_prime: &MetaKnowledgeBase,
+    opts: &CvsOptions,
+) -> Result<Vec<LegalRewriting>, CvsError> {
+    let index = MkbIndex::new(mkb, mkb_prime, opts);
+    cvs_delete_relation_indexed(view, target, &index, opts)
+}
+
+/// The SVS baseline over a fresh per-change index.
+fn svs_dr(
+    view: &ViewDefinition,
+    target: &RelName,
+    mkb: &MetaKnowledgeBase,
+    mkb_prime: &MetaKnowledgeBase,
+) -> Result<Vec<LegalRewriting>, CvsError> {
+    let opts = CvsOptions::default();
+    let index = MkbIndex::new(mkb, mkb_prime, &opts);
+    svs_delete_relation_indexed(view, target, &index, &opts)
+}
 
 fn config() -> impl Strategy<Value = SynthConfig> {
     (
@@ -48,7 +74,7 @@ proptest! {
         let change = w.delete_change();
         let mkb2 = evolve(&w.mkb, &change).expect("target described");
         let Ok(rewritings) =
-            cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default())
+            cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default())
         else {
             return Ok(()); // some random MKBs are genuinely incurable
         };
@@ -75,8 +101,8 @@ proptest! {
     fn cvs_dominates_svs(cfg in config(), seed in 0u64..1000) {
         let w = SynthWorkload::random(&cfg, seed);
         let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
-        let cvs = cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
-        let svs = svs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2);
+        let cvs = cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
+        let svs = svs_dr(&w.view, &w.target, &w.mkb, &mkb2);
         if let Ok(svs_rw) = &svs {
             let cvs_rw = cvs.as_ref().unwrap_or_else(|e| {
                 panic!("SVS succeeded but CVS failed ({e})")
@@ -92,7 +118,7 @@ proptest! {
         let w = SynthWorkload::chain(distance, with_pc);
         let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
         let Ok(rewritings) =
-            cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default())
+            cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default())
         else {
             return Ok(());
         };
@@ -121,8 +147,8 @@ proptest! {
     fn cvs_is_deterministic(cfg in config(), seed in 0u64..1000) {
         let w = SynthWorkload::random(&cfg, seed);
         let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
-        let a = cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
-        let b = cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
+        let a = cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
+        let b = cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
         match (a, b) {
             (Ok(x), Ok(y)) => {
                 let xs: Vec<String> = x.iter().map(|r| r.view.to_string()).collect();
@@ -206,7 +232,9 @@ mod oracle {
         }
 
         // Survivors of Min(H_R): recompute via the public R-mapping.
-        let rm = eve::cvs::r_mapping_from_mkb(view, target, mkb, &eve::cvs::CvsOptions::default());
+        let opts = eve::cvs::CvsOptions::default();
+        let index = eve::cvs::MkbIndex::new(mkb, mkb, &opts);
+        let rm = eve::cvs::r_mapping_with_index(view, target, &index, &opts);
         let survivors = rm.surviving_relations();
 
         // Some combination of covers must connect with the survivors.
@@ -245,7 +273,7 @@ proptest! {
         let w = SynthWorkload::random(&cfg, seed);
         let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
         let expected = oracle::curable(&w.view, &w.target, &w.mkb, &mkb2);
-        let got = cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
+        let got = cvs_dr(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
         prop_assert_eq!(
             got.is_ok(),
             expected,

@@ -1,11 +1,14 @@
-//! Property-based equivalence of the indexed CVS paths and their legacy
-//! unindexed wrappers: a [`MkbIndex`](eve::cvs::MkbIndex) built once per
-//! change must produce *identical* results to the per-call
-//! reconstruction it replaced, across random synthetic workloads.
+//! Property-based equivalence of the cached and uncached index paths: a
+//! [`MkbIndex`](eve::cvs::MkbIndex) memoizing connection-tree
+//! enumerations, cover lookups and survival sets must produce results
+//! *identical* to one with the cache disabled
+//! ([`MkbIndex::without_cache`](eve::cvs::MkbIndex::without_cache)),
+//! across random synthetic workloads — the memo tables are a pure
+//! throughput optimisation.
 
 use eve::cvs::{
-    cvs_delete_relation, cvs_delete_relation_indexed, r_mapping_from_mkb, r_mapping_with_index,
-    svs_delete_relation, svs_delete_relation_indexed, CvsOptions, MkbIndex,
+    cvs_delete_relation_indexed, r_mapping_with_index, svs_delete_relation_indexed, CvsOptions,
+    MkbIndex,
 };
 use eve::hypergraph::Hypergraph;
 use eve::misd::evolve;
@@ -40,47 +43,50 @@ fn config() -> impl Strategy<Value = SynthConfig> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The R-mapping computed against a shared index equals the one the
-    /// legacy wrapper computes by rebuilding the hypergraph per call.
+    /// The R-mapping computed through the enumeration cache equals the
+    /// one computed with the cache disabled.
     #[test]
-    fn r_mapping_indexed_matches_legacy(cfg in config(), seed in 0u64..1000) {
+    fn r_mapping_cached_matches_uncached(cfg in config(), seed in 0u64..1000) {
         let w = SynthWorkload::random(&cfg, seed);
         let opts = CvsOptions::default();
-        let legacy = r_mapping_from_mkb(&w.view, &w.target, &w.mkb, &opts);
-        let index = MkbIndex::new(&w.mkb, &w.mkb, &opts);
-        let indexed = r_mapping_with_index(&w.view, &w.target, &index, &opts);
-        prop_assert_eq!(legacy, indexed);
+        let cached = MkbIndex::new(&w.mkb, &w.mkb, &opts);
+        let uncached = MkbIndex::new(&w.mkb, &w.mkb, &opts).without_cache();
+        prop_assert_eq!(
+            r_mapping_with_index(&w.view, &w.target, &cached, &opts),
+            r_mapping_with_index(&w.view, &w.target, &uncached, &opts)
+        );
     }
 
-    /// Full CVS synchronization through one shared index agrees with the
-    /// legacy per-call path — same rewritings in the same order on
-    /// success, same error on failure.
+    /// Full CVS synchronization through a caching index agrees with the
+    /// cache-disabled path, and a second (warm-cache) run through the
+    /// same index returns the same thing again.
     #[test]
-    fn cvs_indexed_matches_legacy(cfg in config(), seed in 0u64..1000) {
+    fn cvs_cached_matches_uncached(cfg in config(), seed in 0u64..1000) {
         let w = SynthWorkload::random(&cfg, seed);
         let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
         let opts = CvsOptions::default();
-        let legacy = cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &opts);
-        let index = MkbIndex::new(&w.mkb, &mkb2, &opts);
-        let indexed = cvs_delete_relation_indexed(&w.view, &w.target, &index, &opts);
-        match (legacy, indexed) {
-            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
-            (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
-            (a, b) => prop_assert!(false, "paths diverge: {a:?} vs {b:?}"),
-        }
+        let cached = MkbIndex::new(&w.mkb, &mkb2, &opts);
+        let uncached = MkbIndex::new(&w.mkb, &mkb2, &opts).without_cache();
+        let cold = cvs_delete_relation_indexed(&w.view, &w.target, &cached, &opts);
+        let warm = cvs_delete_relation_indexed(&w.view, &w.target, &cached, &opts);
+        let plain = cvs_delete_relation_indexed(&w.view, &w.target, &uncached, &opts);
+        prop_assert_eq!(&cold, &warm, "cold vs warm cache");
+        prop_assert_eq!(&cold, &plain, "cached vs uncached");
     }
 
-    /// The SVS baseline behaves identically whether it clamps the radius
-    /// itself (legacy) or reuses a full-radius index (indexed).
+    /// The SVS baseline behaves identically whether it reuses a shared
+    /// full-radius index or a fresh index built at the clamped radius.
     #[test]
-    fn svs_indexed_matches_legacy(cfg in config(), seed in 0u64..1000) {
+    fn svs_shared_index_matches_fresh(cfg in config(), seed in 0u64..1000) {
         let w = SynthWorkload::random(&cfg, seed);
         let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
         let opts = CvsOptions::default();
-        let legacy = svs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2);
-        let index = MkbIndex::new(&w.mkb, &mkb2, &opts);
-        let indexed = svs_delete_relation_indexed(&w.view, &w.target, &index, &opts);
-        match (legacy, indexed) {
+        let shared = MkbIndex::new(&w.mkb, &mkb2, &opts);
+        let via_shared = svs_delete_relation_indexed(&w.view, &w.target, &shared, &opts);
+        let svs_opts = CvsOptions::svs_baseline();
+        let fresh = MkbIndex::new(&w.mkb, &mkb2, &svs_opts);
+        let via_fresh = cvs_delete_relation_indexed(&w.view, &w.target, &fresh, &svs_opts);
+        match (via_shared, via_fresh) {
             (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
             (Err(a), Err(b)) => prop_assert_eq!(a.to_string(), b.to_string()),
             (a, b) => prop_assert!(false, "paths diverge: {a:?} vs {b:?}"),
