@@ -1,12 +1,14 @@
 //! `sweep-scale` as a rigorous criterion benchmark: end-to-end CVS
 //! synchronization latency versus MKB size and join-constraint density,
-//! plus the two levers this crate adds on top of the per-change index —
-//! the enumeration cache inside [`MkbIndex`] and the parallel per-view
-//! fan-out of [`Synchronizer::apply`].
+//! plus the levers this crate adds on top of the per-change index —
+//! the enumeration cache inside [`MkbIndex`], the parallel per-view
+//! fan-out of [`Synchronizer::apply`], and the budgeted top-k rewriting
+//! search on a wide-MKB/high-fanout workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eve_core::{
-    cvs_delete_relation_indexed, CvsOptions, MkbIndex, Synchronizer, SynchronizerBuilder,
+    cvs_delete_relation_indexed, cvs_delete_relation_searched, CvsOptions, MkbIndex, SearchBudget,
+    Synchronizer, SynchronizerBuilder,
 };
 use eve_misd::evolve;
 use eve_workload::{views_touching, SynthConfig, SynthWorkload, Topology};
@@ -123,6 +125,42 @@ fn bench_parallel_sync(c: &mut Criterion) {
     group.finish();
 }
 
+/// The budgeted-search ablation: a wide MKB whose deleted relation has
+/// one shallow cover combination and `fanout` deep ones behind
+/// `depth`-long join-constraint chains. Exhaustive search enumerates
+/// connection trees for every combination; `top_k = 1` prunes every
+/// deep combination on its admissible lower bound before any of its
+/// trees are enumerated, so latency tracks the shallow combination
+/// alone as the fanout grows.
+fn bench_budgeted_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cvs_wide_mkb_search");
+    for &fanout in &[2usize, 4, 8] {
+        let w = SynthWorkload::wide_mkb(fanout, 3);
+        let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+        for (label, budget) in [
+            ("exhaustive", SearchBudget::unlimited()),
+            ("budgeted_top1", SearchBudget::top_k(1)),
+        ] {
+            let opts = CvsOptions {
+                budget,
+                ..CvsOptions::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, fanout),
+                &(w.clone(), mkb2.clone()),
+                |b, (w, mkb2)| {
+                    b.iter(|| {
+                        let index = MkbIndex::new(&w.mkb, mkb2, &opts);
+                        cvs_delete_relation_searched(&w.view, &w.target, &index, &opts, false, None)
+                            .expect("wide workload is synchronizable")
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn bench_mkb_evolution(c: &mut Criterion) {
     let mut group = c.benchmark_group("mkb_evolve_delete_relation");
     for &n in &[16usize, 64, 256, 1024] {
@@ -154,6 +192,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_cvs_scale, bench_index_reuse, bench_parallel_sync, bench_mkb_evolution
+    targets = bench_cvs_scale, bench_index_reuse, bench_parallel_sync, bench_budgeted_search, bench_mkb_evolution
 }
 criterion_main!(benches);

@@ -8,7 +8,10 @@
 //! measurements.
 
 use crate::table::Table;
-use eve_core::{cvs_delete_relation_indexed, CvsOptions, MkbIndex, SynchronizerBuilder};
+use eve_core::{
+    cvs_delete_relation_indexed, cvs_delete_relation_searched, CvsOptions, MkbIndex, SearchBudget,
+    SearchStats, SynchronizerBuilder,
+};
 use eve_misd::evolve;
 use eve_workload::{views_touching, SynthConfig, SynthWorkload, Topology};
 use std::time::Instant;
@@ -24,6 +27,9 @@ pub struct PerfRow {
     pub threads: usize,
     /// Median wall-clock nanoseconds per run.
     pub median_ns: u128,
+    /// Search counters from one representative run, for scenarios that
+    /// exercise the budgeted rewriting search (`None` otherwise).
+    pub search: Option<SearchStats>,
 }
 
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
@@ -83,6 +89,7 @@ pub fn bench_cvs(quick: bool) -> Vec<PerfRow> {
             views: VIEWS,
             threads,
             median_ns: ns,
+            search: None,
         });
     }
 
@@ -102,6 +109,41 @@ pub fn bench_cvs(quick: bool) -> Vec<PerfRow> {
             views: 8,
             threads: 1,
             median_ns: ns,
+            search: None,
+        });
+    }
+
+    // Budgeted-search ablation on the wide-MKB/high-fanout workload: many
+    // deep cover combinations, of which the shallow one is structurally
+    // dominant. Exhaustive search enumerates every combination's trees;
+    // `top_k = 1` lets the admissible bound cut the deep combinations
+    // before their trees are ever enumerated.
+    let wide = SynthWorkload::wide_mkb(4, 3);
+    let wide_change = wide.delete_change();
+    let wide_mkb2 = evolve(&wide.mkb, &wide_change).expect("target described");
+    for (label, budget) in [
+        ("exhaustive", SearchBudget::unlimited()),
+        ("budgeted_top1", SearchBudget::top_k(1)),
+    ] {
+        let wopts = CvsOptions {
+            budget,
+            ..CvsOptions::default()
+        };
+        let run = || {
+            let index = MkbIndex::new(&wide.mkb, &wide_mkb2, &wopts);
+            cvs_delete_relation_searched(&wide.view, &wide.target, &index, &wopts, false, None)
+                .expect("wide workload is synchronizable")
+        };
+        let stats = run().stats;
+        let ns = median_ns(iters, || {
+            run();
+        });
+        rows.push(PerfRow {
+            scenario: format!("wide_mkb/{label}"),
+            views: 1,
+            threads: 1,
+            median_ns: ns,
+            search: Some(stats),
         });
     }
     rows
@@ -118,9 +160,15 @@ pub fn render(rows: &[PerfRow]) -> String {
         .iter()
         .find(|r| r.scenario == "sequential_8_views/cache_off")
         .map(|r| r.median_ns);
+    let base_wide = rows
+        .iter()
+        .find(|r| r.scenario == "wide_mkb/exhaustive")
+        .map(|r| r.median_ns);
     for r in rows {
         let base = if r.scenario.starts_with("parallel_sync") {
             base_parallel
+        } else if r.scenario.starts_with("wide_mkb") {
+            base_wide
         } else {
             base_cache
         };
@@ -147,12 +195,20 @@ pub fn render(rows: &[PerfRow]) -> String {
 pub fn to_json(rows: &[PerfRow]) -> String {
     let mut out = String::from("{\n  \"bench\": \"cvs\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let search = match &r.search {
+            Some(s) => format!(
+                ", \"search\": {{\"generated\": {}, \"pruned\": {}, \"kept\": {}, \"trees_enumerated\": {}, \"budget_exhausted\": {}}}",
+                s.generated, s.pruned, s.kept, s.trees_enumerated, s.budget_exhausted
+            ),
+            None => String::new(),
+        };
         out.push_str(&format!(
-            "    {{\"scenario\": \"{}\", \"views\": {}, \"threads\": {}, \"median_ns\": {}}}{}\n",
+            "    {{\"scenario\": \"{}\", \"views\": {}, \"threads\": {}, \"median_ns\": {}{}}}{}\n",
             r.scenario,
             r.views,
             r.threads,
             r.median_ns,
+            search,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
@@ -172,12 +228,14 @@ mod tests {
                 views: 64,
                 threads: 1,
                 median_ns: 1000,
+                search: None,
             },
             PerfRow {
                 scenario: "parallel_sync/t4".into(),
                 views: 64,
                 threads: 4,
                 median_ns: 400,
+                search: None,
             },
         ];
         let j = to_json(&rows);
@@ -189,9 +247,70 @@ mod tests {
     }
 
     #[test]
+    fn json_embeds_search_stats_when_present() {
+        let rows = vec![PerfRow {
+            scenario: "wide_mkb/budgeted_top1".into(),
+            views: 1,
+            threads: 1,
+            median_ns: 500,
+            search: Some(SearchStats {
+                generated: 3,
+                pruned: 4,
+                kept: 1,
+                trees_enumerated: 2,
+                budget_exhausted: false,
+            }),
+        }];
+        let j = to_json(&rows);
+        assert!(
+            j.contains(
+                "\"search\": {\"generated\": 3, \"pruned\": 4, \"kept\": 1, \
+                 \"trees_enumerated\": 2, \"budget_exhausted\": false}"
+            ),
+            "{j}"
+        );
+    }
+
+    #[test]
     fn quick_bench_produces_all_scenarios() {
         let rows = bench_cvs(true);
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 8);
         assert!(rows.iter().all(|r| r.median_ns > 0));
+        let wide: Vec<_> = rows
+            .iter()
+            .filter(|r| r.scenario.starts_with("wide_mkb/"))
+            .collect();
+        assert_eq!(wide.len(), 2);
+        assert!(wide.iter().all(|r| r.search.is_some()));
+    }
+
+    /// The acceptance criterion for the budgeted search on the wide-MKB
+    /// workload: `top_k = 1` visits at least 5x fewer candidates than the
+    /// exhaustive run while still returning the same best rewriting.
+    #[test]
+    fn budgeted_search_prunes_wide_mkb_at_least_5x() {
+        let wide = SynthWorkload::wide_mkb(4, 3);
+        let mkb2 = evolve(&wide.mkb, &wide.delete_change()).expect("target described");
+        let run = |budget: SearchBudget| {
+            let opts = CvsOptions {
+                budget,
+                ..CvsOptions::default()
+            };
+            let index = MkbIndex::new(&wide.mkb, &mkb2, &opts);
+            cvs_delete_relation_searched(&wide.view, &wide.target, &index, &opts, false, None)
+                .expect("wide workload is synchronizable")
+        };
+        let exhaustive = run(SearchBudget::unlimited());
+        let budgeted = run(SearchBudget::top_k(1));
+        assert!(!exhaustive.stats.budget_exhausted);
+        assert_eq!(budgeted.rewritings.len(), 1);
+        assert_eq!(budgeted.rewritings[0], exhaustive.rewritings[0]);
+        assert!(
+            budgeted.stats.generated * 5 <= exhaustive.stats.generated,
+            "budgeted generated {} vs exhaustive {}",
+            budgeted.stats.generated,
+            exhaustive.stats.generated
+        );
+        assert!(budgeted.stats.pruned > 0);
     }
 }

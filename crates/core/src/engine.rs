@@ -23,20 +23,40 @@ use crate::extent::ExtentVerdict;
 use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
-use crate::rewrite::cvs_delete_relation_indexed;
-use crate::svs::svs_delete_relation_indexed;
+use crate::rewrite::{cvs_delete_relation_searched, SearchResult};
+use crate::svs::svs_delete_relation_searched;
 use crate::synchronizer::ViewOutcome;
 use eve_esql::ViewDefinition;
 use eve_misd::CapabilityChange;
 use std::collections::BTreeMap;
 
+/// Per-call search policy handed from the synchronizer to a strategy:
+/// what to filter (`require_p3`) and how to rank (`cost_model`).
+///
+/// Streaming strategies push both *into* the search, so a budgeted
+/// top-k is spent on rewritings the caller will actually keep;
+/// list-based strategies may ignore it (the engine re-applies the
+/// retain/rank policy uniformly afterwards — a no-op for streams).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SearchContext<'a> {
+    /// Keep only rewritings whose extent verdict certifies the view's
+    /// extent parameter (P3).
+    pub require_p3: bool,
+    /// Rank candidates by assessed cost instead of the structural
+    /// best-first order.
+    pub cost_model: Option<&'a CostModel>,
+}
+
 /// One per-operator view-synchronization algorithm.
 ///
 /// Implementations return the legal rewritings for `view` under
-/// `change`, ordered best-first, or an error when the view cannot be
+/// `change`, ordered best-first together with the [`SearchStats`]
+/// describing how they were found, or an error when the view cannot be
 /// synchronized (which the engine turns into
 /// [`ViewOutcome::Disabled`]). The [`MkbIndex`] carries every
 /// MKB-derived structure the algorithms need, built once per change.
+///
+/// [`SearchStats`]: crate::rewrite::SearchStats
 pub trait SynchronizationStrategy {
     /// Synchronize one view under one change.
     fn synchronize(
@@ -45,7 +65,8 @@ pub trait SynchronizationStrategy {
         change: &CapabilityChange,
         index: &MkbIndex<'_>,
         opts: &CvsOptions,
-    ) -> Result<Vec<LegalRewriting>, CvsError>;
+        ctx: SearchContext<'_>,
+    ) -> Result<SearchResult, CvsError>;
 }
 
 fn unsupported(change: &CapabilityChange) -> CvsError {
@@ -65,10 +86,11 @@ impl SynchronizationStrategy for CvsDeleteRelation {
         change: &CapabilityChange,
         index: &MkbIndex<'_>,
         opts: &CvsOptions,
-    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        ctx: SearchContext<'_>,
+    ) -> Result<SearchResult, CvsError> {
         match change {
             CapabilityChange::DeleteRelation(r) => {
-                cvs_delete_relation_indexed(view, r, index, opts)
+                cvs_delete_relation_searched(view, r, index, opts, ctx.require_p3, ctx.cost_model)
             }
             other => Err(unsupported(other)),
         }
@@ -86,10 +108,12 @@ impl SynchronizationStrategy for DeleteAttribute {
         change: &CapabilityChange,
         index: &MkbIndex<'_>,
         opts: &CvsOptions,
-    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        _ctx: SearchContext<'_>,
+    ) -> Result<SearchResult, CvsError> {
         match change {
             CapabilityChange::DeleteAttribute(a) => {
                 synchronize_delete_attribute_indexed(view, a, index, opts)
+                    .map(SearchResult::exhaustive)
             }
             other => Err(unsupported(other)),
         }
@@ -109,13 +133,18 @@ impl SynchronizationStrategy for RenameForward {
         change: &CapabilityChange,
         _index: &MkbIndex<'_>,
         _opts: &CvsOptions,
-    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        _ctx: SearchContext<'_>,
+    ) -> Result<SearchResult, CvsError> {
         match change {
-            CapabilityChange::RenameRelation { from, to } => Ok(vec![rename_rewriting(
-                rename_relation_in_view(view, from, to),
-            )]),
+            CapabilityChange::RenameRelation { from, to } => {
+                Ok(SearchResult::exhaustive(vec![rename_rewriting(
+                    rename_relation_in_view(view, from, to),
+                )]))
+            }
             CapabilityChange::RenameAttribute { from, to } => {
-                Ok(vec![rename_rewriting(rename_attr_in_view(view, from, to))])
+                Ok(SearchResult::exhaustive(vec![rename_rewriting(
+                    rename_attr_in_view(view, from, to),
+                )]))
             }
             other => Err(unsupported(other)),
         }
@@ -135,10 +164,11 @@ impl SynchronizationStrategy for SvsBaseline {
         change: &CapabilityChange,
         index: &MkbIndex<'_>,
         opts: &CvsOptions,
-    ) -> Result<Vec<LegalRewriting>, CvsError> {
+        ctx: SearchContext<'_>,
+    ) -> Result<SearchResult, CvsError> {
         match change {
             CapabilityChange::DeleteRelation(r) => {
-                svs_delete_relation_indexed(view, r, index, opts)
+                svs_delete_relation_searched(view, r, index, opts, ctx.require_p3, ctx.cost_model)
             }
             other => Err(unsupported(other)),
         }
@@ -177,23 +207,36 @@ pub fn synchronize_view(
     let Some(strategy) = strategy_for(change) else {
         return ViewOutcome::Unchanged;
     };
-    match strategy.synchronize(view, change, index, opts) {
-        Ok(mut list) => {
+    let ctx = SearchContext {
+        require_p3,
+        cost_model,
+    };
+    match strategy.synchronize(view, change, index, opts, ctx) {
+        Ok(SearchResult {
+            mut rewritings,
+            mut stats,
+        }) => {
+            // Streaming strategies already applied the policy inside
+            // the search (their list is P3-filtered and cost-ranked);
+            // for list-based strategies this is where it happens. Both
+            // are stable no-ops when already done.
             if require_p3 {
-                list.retain(|r| r.satisfies_p3);
+                rewritings.retain(|r| r.satisfies_p3);
             }
-            if list.is_empty() {
+            if rewritings.is_empty() {
                 return ViewOutcome::Disabled {
                     reason: CvsError::NoLegalRewriting,
                 };
             }
             if let Some(model) = cost_model {
-                model.rank(view, &mut list);
+                model.rank(view, &mut rewritings);
             }
-            let chosen = Box::new(list.remove(0));
+            stats.kept = rewritings.len();
+            let chosen = Box::new(rewritings.remove(0));
             ViewOutcome::Rewritten {
                 chosen,
-                alternatives: list,
+                alternatives: rewritings,
+                stats,
             }
         }
         Err(reason) => ViewOutcome::Disabled { reason },
@@ -303,7 +346,7 @@ mod tests {
         let view = cpa_view();
         let wrong = CapabilityChange::DeleteAttribute(AttrRef::new("Customer", "Name"));
         let err = CvsDeleteRelation
-            .synchronize(&view, &wrong, &index, &opts)
+            .synchronize(&view, &wrong, &index, &opts, SearchContext::default())
             .unwrap_err();
         assert!(matches!(err, CvsError::UnsupportedChange { .. }));
     }
@@ -320,14 +363,23 @@ mod tests {
         let ViewOutcome::Rewritten {
             chosen,
             alternatives,
+            stats,
         } = outcome
         else {
             panic!("expected rewriting");
         };
-        let direct =
-            cvs_delete_relation_indexed(&view, &RelName::new("Customer"), &index, &opts).unwrap();
+        let direct = crate::rewrite::cvs_delete_relation_indexed(
+            &view,
+            &RelName::new("Customer"),
+            &index,
+            &opts,
+        )
+        .unwrap();
         assert_eq!(*chosen, direct[0]);
         assert_eq!(alternatives.len(), direct.len() - 1);
+        assert_eq!(stats.kept, direct.len());
+        assert!(stats.generated >= direct.len());
+        assert!(!stats.budget_exhausted);
     }
 
     #[test]
@@ -355,10 +407,10 @@ mod tests {
         )
         .unwrap();
         assert!(CvsDeleteRelation
-            .synchronize(&view, &change, &index, &opts)
+            .synchronize(&view, &change, &index, &opts, SearchContext::default())
             .is_ok());
         assert!(SvsBaseline
-            .synchronize(&view, &change, &index, &opts)
+            .synchronize(&view, &change, &index, &opts, SearchContext::default())
             .is_err());
     }
 
@@ -377,6 +429,7 @@ mod tests {
         let ViewOutcome::Rewritten {
             chosen,
             alternatives,
+            ..
         } = outcome
         else {
             panic!("expected rewriting");

@@ -4,10 +4,39 @@
 //! synchronized definition.
 
 use crate::legal::LegalRewriting;
+use crate::rewrite::SearchStats;
 use eve_esql::ViewDefinition;
 use eve_relational::RelName;
 use std::collections::BTreeSet;
 use std::fmt::Write as _;
+
+/// [`explain_rewriting`], followed by a summary of the rewriting search
+/// that produced the candidate (see [`SearchStats`]) when one is given:
+/// how many candidates were generated, pruned by the admissible bound,
+/// and kept — plus an explicit truncation note when a
+/// [`crate::options::SearchBudget`] cut the search short, so an
+/// administrator reading the explanation knows whether alternatives may
+/// have been missed.
+pub fn explain_rewriting_with_stats(
+    original: &ViewDefinition,
+    rewriting: &LegalRewriting,
+    stats: Option<&SearchStats>,
+) -> String {
+    let mut out = explain_rewriting(original, rewriting);
+    if let Some(s) = stats {
+        let _ = writeln!(
+            out,
+            "- search: {} candidate(s) generated, {} pruned, {} kept ({} connection tree(s) enumerated)",
+            s.generated, s.pruned, s.kept, s.trees_enumerated
+        );
+        if s.budget_exhausted {
+            out.push_str(
+                "- search truncated by budget: better alternatives may exist beyond the explored prefix\n",
+            );
+        }
+    }
+    out
+}
 
 /// Render a step-by-step explanation of how `rewriting` evolves
 /// `original`.
@@ -129,5 +158,45 @@ mod tests {
             crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
         let text = explain_rewriting(&view, &rewritings[0]);
         assert!(text.contains("dropped output column Phone"), "{text}");
+    }
+
+    #[test]
+    fn explains_search_stats_and_truncation() {
+        let mkb = travel_mkb();
+        let customer = RelName::new("Customer");
+        let mkb2 = evolve(&mkb, &CapabilityChange::DeleteRelation(customer.clone())).unwrap();
+        let view = parse_view(
+            "CREATE VIEW V AS
+             SELECT C.Name (false, true), F.Dest (true, true)
+             FROM Customer C, FlightRes F WHERE (C.Name = F.PName) (false, true)",
+        )
+        .unwrap();
+        let rewritings =
+            crate::testutil::cvs_dr(&view, &customer, &mkb, &mkb2, &CvsOptions::default()).unwrap();
+        let stats = SearchStats {
+            generated: 4,
+            pruned: 2,
+            kept: 1,
+            trees_enumerated: 3,
+            budget_exhausted: false,
+        };
+        let text = explain_rewriting_with_stats(&view, &rewritings[0], Some(&stats));
+        assert!(
+            text.contains("search: 4 candidate(s) generated, 2 pruned, 1 kept"),
+            "{text}"
+        );
+        assert!(!text.contains("truncated"), "{text}");
+        // Without stats the output is byte-identical to the plain form.
+        assert_eq!(
+            explain_rewriting_with_stats(&view, &rewritings[0], None),
+            explain_rewriting(&view, &rewritings[0])
+        );
+        // A budget-truncated search is called out explicitly.
+        let truncated = SearchStats {
+            budget_exhausted: true,
+            ..stats
+        };
+        let text = explain_rewriting_with_stats(&view, &rewritings[0], Some(&truncated));
+        assert!(text.contains("search truncated by budget"), "{text}");
     }
 }

@@ -103,6 +103,32 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
             .or_insert(v)
             .clone()
     }
+
+    /// Fetch the entry for `key` without touching the hit/miss
+    /// counters, inserting `default()` on first sight. Used by the
+    /// prefix-serving tree cache, which accounts hits at the prefix
+    /// level (a present-but-too-short prefix is a miss, not a hit).
+    fn entry_uncounted(&self, key: K, default: impl FnOnce() -> V) -> V {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+            return v.clone();
+        }
+        let v = default();
+        shard
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_insert(v)
+            .clone()
+    }
+
+    fn count_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 impl<K, V> std::fmt::Debug for Memo<K, V> {
@@ -124,8 +150,44 @@ pub struct CacheStats {
 }
 
 /// Memo key for tree searches: terminals in sorted order (the `BTreeSet`
-/// iteration order), plus the bounds that shape the search.
-type TreeKey = (Vec<RelName>, usize, usize);
+/// iteration order), plus the hop bound that shapes the search. The
+/// *tree limit* is deliberately not part of the key: tree enumeration
+/// is a deterministic stream, so one cached prefix serves every
+/// requested limit (see [`TreePrefix`]).
+type TreeKey = (Vec<RelName>, usize);
+
+/// A growable cached prefix of the deterministic connection-tree stream
+/// for one `(terminal set, hop bound)` key.
+///
+/// [`eve_hypergraph::ConnectionTreeIter`] yields trees in a fixed
+/// order, so the first `n` trees requested by one view are a prefix of
+/// the first `m ≥ n` trees requested by another — the cache stores the
+/// longest prefix seen so far and serves any shorter request by
+/// truncation, extending (by re-running the iterator, which is pure)
+/// only when a longer prefix is demanded. `exhausted` records that the
+/// stream ended, making the prefix the complete answer for every limit.
+#[derive(Debug, Default)]
+struct TreePrefix {
+    trees: Arc<Vec<ConnectionTree>>,
+    exhausted: bool,
+}
+
+impl TreePrefix {
+    /// Can this prefix answer a request for `limit` trees exactly?
+    fn serves(&self, limit: usize) -> bool {
+        self.exhausted || self.trees.len() >= limit
+    }
+
+    /// The answer for `limit` trees. Shares the stored allocation
+    /// whenever the stored prefix *is* the answer.
+    fn serve(&self, limit: usize) -> Arc<Vec<ConnectionTree>> {
+        if self.trees.len() <= limit {
+            Arc::clone(&self.trees)
+        } else {
+            Arc::new(self.trees[..limit].to_vec())
+        }
+    }
+}
 
 /// Precomputed, read-only derived state for one capability change.
 ///
@@ -151,9 +213,15 @@ pub struct MkbIndex<'m> {
     /// Partial/complete constraints keyed by the (unordered) relation pair
     /// they relate; each bucket preserves MKB declaration order.
     pcs_by_pair: BTreeMap<(RelName, RelName), Vec<&'m PartialComplete>>,
-    /// Memoized [`Hypergraph::enumerate_trees`] over `h_prime`, keyed by
-    /// `(terminal set, tree limit, hop bound)`.
-    trees: Memo<TreeKey, Arc<Vec<ConnectionTree>>>,
+    /// Memoized prefixes of the connection-tree stream over `h_prime`,
+    /// keyed by `(terminal set, hop bound)`; any requested tree limit
+    /// is served from (or extends) the cached prefix.
+    trees: Memo<TreeKey, Arc<RwLock<TreePrefix>>>,
+    /// Memoized pairwise shortest-path distances (in join-constraint
+    /// hops) over `h_prime`, keyed by the unordered relation pair.
+    /// `None` (disconnected) is cached too. Feeds the admissible lower
+    /// bounds of the budgeted replacement search.
+    distances: Memo<(RelName, RelName), Option<usize>>,
     /// Memoized [`Hypergraph::connect_tree`] over `h_prime`, keyed by
     /// `(terminal set, hop bound)`. Negative results (`None`:
     /// disconnected terminals) are cached too.
@@ -230,6 +298,7 @@ impl<'m> MkbIndex<'m> {
             covers,
             pcs_by_pair,
             trees: Memo::new(),
+            distances: Memo::new(),
             connects: Memo::new(),
             viable: Memo::new(),
             survivors: Memo::new(),
@@ -251,6 +320,7 @@ impl<'m> MkbIndex<'m> {
         let mut s = CacheStats::default();
         for (h, m) in [
             (&self.trees.hits, &self.trees.misses),
+            (&self.distances.hits, &self.distances.misses),
             (&self.connects.hits, &self.connects.misses),
             (&self.viable.hits, &self.viable.misses),
             (&self.survivors.hits, &self.survivors.misses),
@@ -261,8 +331,13 @@ impl<'m> MkbIndex<'m> {
         s
     }
 
-    /// Connection trees spanning `terminals` in `H'(MKB')`, memoized per
-    /// `(terminal set, limit, max_path_edges)`.
+    /// The first `limit` connection trees spanning `terminals` in
+    /// `H'(MKB')`, memoized per `(terminal set, max_path_edges)` with
+    /// prefix sharing: the cache stores the longest prefix of the
+    /// deterministic tree stream computed so far, serving shorter
+    /// requests by truncation and extending only when a longer prefix
+    /// is demanded. A request answerable from the stored prefix counts
+    /// as a hit; first sight or an extension counts as a miss.
     pub fn enumerate_trees(
         &self,
         terminals: &BTreeSet<RelName>,
@@ -277,15 +352,54 @@ impl<'m> MkbIndex<'m> {
         }
         let key = (
             terminals.iter().cloned().collect::<Vec<_>>(),
-            limit,
             max_path_edges,
         );
-        self.trees.get_or_insert_with(key, || {
-            Arc::new(
-                self.h_prime
-                    .enumerate_trees(terminals, limit, max_path_edges),
-            )
-        })
+        let cell = self
+            .trees
+            .entry_uncounted(key, || Arc::new(RwLock::new(TreePrefix::default())));
+        {
+            let prefix = cell.read().unwrap_or_else(|e| e.into_inner());
+            if prefix.serves(limit) {
+                self.trees.count_hit();
+                return prefix.serve(limit);
+            }
+        }
+        self.trees.count_miss();
+        let mut prefix = cell.write().unwrap_or_else(|e| e.into_inner());
+        if !prefix.serves(limit) {
+            // Extend by re-running the pure stream from the start — the
+            // iterator is deterministic, so the new prefix agrees with
+            // the old one on every position it already covered.
+            let mut iter = self.h_prime.tree_iter(terminals, max_path_edges);
+            let mut trees = Vec::new();
+            let mut exhausted = false;
+            while trees.len() < limit {
+                match iter.next() {
+                    Some(t) => trees.push(t),
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
+            }
+            prefix.trees = Arc::new(trees);
+            prefix.exhausted = exhausted;
+        }
+        prefix.serve(limit)
+    }
+
+    /// Shortest-path distance (in join-constraint hops) between `a` and
+    /// `b` in `H'(MKB')`, `None` when they are disconnected (or either
+    /// is not a vertex). Memoized per unordered pair. This is the
+    /// admissible lower bound used by the budgeted replacement search:
+    /// any connection tree containing both relations has at least this
+    /// many joins.
+    pub fn pair_distance(&self, a: &RelName, b: &RelName) -> Option<usize> {
+        let compute = || self.h_prime.join_path(a, b).map(|p| p.len());
+        if !self.cache_enabled {
+            return compute();
+        }
+        self.distances.get_or_insert_with(pair_key(a, b), compute)
     }
 
     /// The greedy connection tree spanning `terminals` in `H'(MKB')`
@@ -499,6 +613,51 @@ mod tests {
             raw.connect_tree(&terminals, usize::MAX)
                 .map(|t| (*t).clone())
         );
+    }
+
+    #[test]
+    fn tree_cache_serves_any_limit_from_one_prefix() {
+        let mkb = travel_mkb();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb, &opts);
+        let raw = MkbIndex::new(&mkb, &mkb, &opts).without_cache();
+
+        let terminals: BTreeSet<RelName> = index
+            .hypergraph()
+            .relations()
+            .iter()
+            .take(2)
+            .cloned()
+            .collect();
+        // Narrow, widen, narrow again: every answer must match a
+        // cache-free enumeration at the same limit, whatever prefix the
+        // cache happens to hold.
+        for limit in [1usize, 3, 2, 8, 4, usize::MAX] {
+            assert_eq!(
+                *index.enumerate_trees(&terminals, limit, usize::MAX),
+                *raw.enumerate_trees(&terminals, limit, usize::MAX),
+                "limit={limit}"
+            );
+        }
+    }
+
+    #[test]
+    fn pair_distances_match_uncached_and_cache_negatives() {
+        let mkb = travel_mkb();
+        let opts = CvsOptions::default();
+        let index = MkbIndex::new(&mkb, &mkb, &opts);
+        let raw = MkbIndex::new(&mkb, &mkb, &opts).without_cache();
+        let rels: Vec<RelName> = mkb.relations().map(|d| d.name.clone()).collect();
+        for a in &rels {
+            for b in &rels {
+                assert_eq!(index.pair_distance(a, b), raw.pair_distance(a, b));
+                // Symmetric by construction.
+                assert_eq!(index.pair_distance(a, b), index.pair_distance(b, a));
+            }
+        }
+        let ghost = RelName::new("NoSuchRelation");
+        assert_eq!(index.pair_distance(&rels[0], &ghost), None);
+        assert_eq!(index.pair_distance(&rels[0], &ghost), None);
     }
 
     #[test]

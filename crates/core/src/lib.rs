@@ -97,21 +97,23 @@ pub use answering::{answer_using_view, answer_using_views};
 pub use cost::{rank_rewritings as rank_by_cost, CostBreakdown, CostModel};
 pub use delete_attribute::synchronize_delete_attribute_indexed;
 pub use engine::{
-    strategy_for, synchronize_view, CvsDeleteRelation, DeleteAttribute, RenameForward, SvsBaseline,
-    SynchronizationStrategy,
+    strategy_for, synchronize_view, CvsDeleteRelation, DeleteAttribute, RenameForward,
+    SearchContext, SvsBaseline, SynchronizationStrategy,
 };
 pub use error::CvsError;
 pub use eval::evaluate_view;
-pub use explain::explain_rewriting;
+pub use explain::{explain_rewriting, explain_rewriting_with_stats};
 pub use extent::{empirical_extent, infer_extent_indexed, satisfies_extent_param, ExtentVerdict};
 pub use index::{CacheStats, MkbIndex};
 pub use legal::LegalRewriting;
 pub use maintain::{CountedView, Delta};
 pub use mapping::{compute_r_mapping, r_mapping_with_index, RMapping};
 pub use materialize::{MaterializedView, RefreshDelta};
-pub use options::{CvsOptions, ImplicationMode};
+pub use options::{CvsOptions, ImplicationMode, SearchBudget};
 pub use replacement::{compute_replacements_indexed, CoverChoice, Replacement};
-pub use rewrite::cvs_delete_relation_indexed;
+pub use rewrite::{
+    cvs_delete_relation_indexed, cvs_delete_relation_searched, SearchResult, SearchStats,
+};
 pub use service::SharedSynchronizer;
-pub use svs::svs_delete_relation_indexed;
+pub use svs::{svs_delete_relation_indexed, svs_delete_relation_searched};
 pub use synchronizer::{ChangeOutcome, SyncReport, Synchronizer, SynchronizerBuilder, ViewOutcome};

@@ -1,6 +1,90 @@
 //! Tuning knobs for the CVS search, including the ablation switches
 //! called out in `DESIGN.md`.
 
+use std::time::Duration;
+
+/// Resource bounds for the streaming rewriting search.
+///
+/// The lazy candidate pipeline (see DESIGN.md, "Budgeted rewriting
+/// search") generates candidates best-first; these knobs bound how far
+/// it runs. The default is fully unlimited, which makes the search
+/// byte-identical to the legacy materialize-then-rank pipeline. Any
+/// truncation is reported through `SearchStats::budget_exhausted` —
+/// never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Cap on candidate rewritings generated (assembled and costed)
+    /// for one view. `0` is clamped to unlimited by
+    /// [`CvsOptions::validated`]; use `top_k` to bound the *kept* set.
+    pub max_candidates: usize,
+    /// Global cap on connection trees enumerated across all cover
+    /// combinations of one view's search. `0` is clamped to unlimited.
+    pub max_trees: usize,
+    /// Wall-clock deadline for one view's search, measured from the
+    /// start of the candidate generation. `None` (the default) means no
+    /// deadline. The SVS baseline strips any deadline so the
+    /// CVS-vs-SVS comparison stays exhaustive.
+    pub deadline: Option<Duration>,
+    /// Number of best rewritings retained (and returned) by the
+    /// search. Dominated candidates — provably worse than the current
+    /// top-k — are pruned before expansion. `usize::MAX` (the default)
+    /// keeps everything; `0` is clamped to `1`.
+    pub top_k: usize,
+}
+
+impl Default for SearchBudget {
+    fn default() -> Self {
+        SearchBudget {
+            max_candidates: usize::MAX,
+            max_trees: usize::MAX,
+            deadline: None,
+            top_k: usize::MAX,
+        }
+    }
+}
+
+impl SearchBudget {
+    /// The default, fully unbounded budget (exhaustive search).
+    pub fn unlimited() -> Self {
+        SearchBudget::default()
+    }
+
+    /// A budget that keeps only the best `k` rewritings but bounds
+    /// nothing else.
+    pub fn top_k(k: usize) -> Self {
+        SearchBudget {
+            top_k: k,
+            ..SearchBudget::default()
+        }
+    }
+
+    /// Is every bound at its unlimited setting?
+    pub fn is_unlimited(&self) -> bool {
+        *self == SearchBudget::default()
+    }
+
+    /// Clamp out-of-domain values: `top_k = 0` (which would keep
+    /// nothing and make every search come back empty) becomes `1`, and
+    /// zero candidate/tree caps (same degenerate emptiness) become
+    /// unlimited.
+    pub fn validated(self) -> Self {
+        SearchBudget {
+            max_candidates: if self.max_candidates == 0 {
+                usize::MAX
+            } else {
+                self.max_candidates
+            },
+            max_trees: if self.max_trees == 0 {
+                usize::MAX
+            } else {
+                self.max_trees
+            },
+            deadline: self.deadline,
+            top_k: self.top_k.max(1),
+        }
+    }
+}
+
 /// How clause implication is tested when computing the R-mapping
 /// (Def. 2 III: each MKB join constraint must be implied by the view's
 /// join condition).
@@ -56,6 +140,10 @@ pub struct CvsOptions {
     /// (results are merged back in view-registration order), so this is
     /// purely a throughput knob.
     pub parallelism: Option<usize>,
+    /// Resource bounds for the streaming rewriting search. The default
+    /// ([`SearchBudget::unlimited`]) reproduces the exhaustive legacy
+    /// pipeline exactly.
+    pub budget: SearchBudget,
 }
 
 impl Default for CvsOptions {
@@ -68,6 +156,7 @@ impl Default for CvsOptions {
             check_consistency: true,
             respect_capabilities: true,
             parallelism: None,
+            budget: SearchBudget::default(),
         }
     }
 }
@@ -75,22 +164,32 @@ impl Default for CvsOptions {
 impl CvsOptions {
     /// The configuration reproducing the *simple* one-step-away view
     /// synchronization (SVS) of the authors' prior work [4, 12]: covers
-    /// must attach by a single direct join constraint.
+    /// must attach by a single direct join constraint. SVS is defined
+    /// as an *exhaustive* one-step search, so any deadline is rejected
+    /// (stripped) — a time-truncated baseline would make the CVS-vs-SVS
+    /// comparison meaningless.
     pub fn svs_baseline() -> Self {
         CvsOptions {
             max_path_edges: 1,
+            budget: SearchBudget {
+                deadline: None,
+                ..SearchBudget::default()
+            },
             ..CvsOptions::default()
         }
     }
 
     /// Clamp out-of-domain values: `max_path_edges = 0` (which could
     /// never attach anything — see the field docs) becomes `1`, the
-    /// tightest meaningful bound. The synchronizer applies this when it
-    /// is built, so a zero smuggled in through a config file degrades to
-    /// the SVS radius instead of silently disabling the search.
+    /// tightest meaningful bound, and the budget fields are clamped by
+    /// [`SearchBudget::validated`] (`top_k ≥ 1`, zero caps →
+    /// unlimited). The synchronizer applies this when it is built, so a
+    /// zero smuggled in through a config file degrades gracefully
+    /// instead of silently disabling the search.
     pub fn validated(self) -> Self {
         CvsOptions {
             max_path_edges: self.max_path_edges.max(1),
+            budget: self.budget.validated(),
             ..self
         }
     }
@@ -137,6 +236,49 @@ mod tests {
         // In-domain values pass through untouched.
         assert_eq!(CvsOptions::default().validated(), CvsOptions::default());
         assert_eq!(CvsOptions::svs_baseline().validated().max_path_edges, 1);
+    }
+
+    #[test]
+    fn default_budget_is_unlimited() {
+        let b = CvsOptions::default().budget;
+        assert!(b.is_unlimited());
+        assert_eq!(b.top_k, usize::MAX);
+        assert_eq!(b.max_candidates, usize::MAX);
+        assert_eq!(b.max_trees, usize::MAX);
+        assert_eq!(b.deadline, None);
+        assert_eq!(SearchBudget::top_k(1).top_k, 1);
+        assert!(!SearchBudget::top_k(1).is_unlimited());
+    }
+
+    #[test]
+    fn validated_clamps_budget_fields() {
+        let o = CvsOptions {
+            budget: SearchBudget {
+                max_candidates: 0,
+                max_trees: 0,
+                deadline: None,
+                top_k: 0,
+            },
+            ..CvsOptions::default()
+        };
+        let v = o.validated().budget;
+        assert_eq!(v.top_k, 1);
+        assert_eq!(v.max_candidates, usize::MAX);
+        assert_eq!(v.max_trees, usize::MAX);
+        // In-domain budgets pass through untouched.
+        let tight = SearchBudget {
+            max_candidates: 5,
+            max_trees: 7,
+            deadline: Some(std::time::Duration::from_millis(10)),
+            top_k: 2,
+        };
+        assert_eq!(tight.validated(), tight);
+    }
+
+    #[test]
+    fn svs_baseline_rejects_deadline() {
+        assert_eq!(CvsOptions::svs_baseline().budget.deadline, None);
+        assert!(CvsOptions::svs_baseline().budget.is_unlimited());
     }
 
     #[test]

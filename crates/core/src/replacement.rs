@@ -33,6 +33,7 @@ use eve_hypergraph::ConnectionTree;
 use eve_misd::JoinConstraint;
 use eve_relational::{AttrRef, RelName, ScalarExpr};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A chosen cover for one attribute of the dropped relation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -126,162 +127,424 @@ pub fn compute_replacements_indexed(
     index: &MkbIndex<'_>,
     opts: &CvsOptions,
 ) -> Result<Vec<Replacement>, CvsError> {
-    let target = &rm.target;
-
-    // --- attribute classification & cover lookup (Def. 3 IV) -----------
-    let usage = classify_attrs(view, target);
-    // Frozen attributes make the view incurable (P4).
-    for (attr, u) in &usage {
-        if u.frozen {
-            return Err(CvsError::IndispensableNotReplaceable {
-                component: attr.to_string(),
-            });
-        }
+    let mut stream = ReplacementStream::new(view, rm, index, opts, usize::MAX)?;
+    let mut out = Vec::new();
+    while let Some(rep) = stream.next_candidate(&mut |_| false) {
+        out.push(rep);
     }
-
-    // Per attribute: the list of viable covers (source relation alive in
-    // H' and distinct from R). Attributes used only by non-replaceable
-    // components never take a cover — those components can only be kept
-    // (impossible once R is gone) or dropped.
-    let mut cover_options: Vec<(AttrRef, Vec<CoverChoice>, bool)> = Vec::new();
-    for (attr, u) in &usage {
-        let covers: Vec<CoverChoice> = if u.replace_worthy {
-            // Memoized Def. 3 (IV) filter: source distinct from `R` and
-            // alive in `H'`.
-            index.viable_covers(attr, target).to_vec()
-        } else {
-            Vec::new()
-        };
-        if u.required && covers.is_empty() {
-            return Err(CvsError::NoCover(attr.clone()));
-        }
-        if !covers.is_empty() {
-            cover_options.push((attr.clone(), covers, u.required));
-        }
-    }
-
-    // --- enumerate cover combinations -----------------------------------
-    // For required attributes every option is a cover; for dispensable
-    // ones we also allow "no cover" (drop the components), tried last so
-    // opportunistic covering is preferred.
-    let mut combinations: Vec<BTreeMap<AttrRef, CoverChoice>> = vec![BTreeMap::new()];
-    for (attr, covers, required) in &cover_options {
-        let mut next = Vec::new();
-        for combo in &combinations {
-            for c in covers {
-                let mut combo = combo.clone();
-                combo.insert(attr.clone(), c.clone());
-                next.push(combo);
-                if next.len() >= opts.max_cover_combinations {
-                    break;
-                }
-            }
-            if !required && next.len() < opts.max_cover_combinations {
-                next.push(combo.clone()); // the "leave uncovered" branch
-            }
-            if next.len() >= opts.max_cover_combinations {
-                break;
-            }
-        }
-        combinations = next;
-    }
-
-    // --- build candidates per combination (Def. 3 I–III, V) -------------
-    let survivors = index.survival_set(&rm.max_relations, target);
-    let surviving_joins = rm.surviving_joins();
-    let mut out: Vec<Replacement> = Vec::new();
-    let mut any_disconnected = false;
-
-    for combo in combinations {
-        let mut terminals: BTreeSet<RelName> = (*survivors).clone();
-        terminals.extend(combo.values().map(|c| c.source.clone()));
-
-        let trees: std::sync::Arc<Vec<ConnectionTree>> = if terminals.is_empty() {
-            // Nothing to keep and nothing to cover: Max(V_R) disappears
-            // entirely (all its work was dispensable).
-            std::sync::Arc::new(vec![ConnectionTree {
-                relations: BTreeSet::new(),
-                joins: Vec::new(),
-            }])
-        } else {
-            // Memoized per (terminal set, limit, hop bound): a second
-            // view sharing this combination's terminals reuses the walk.
-            let trees = index.enumerate_trees(
-                &terminals,
-                opts.max_trees_per_combination,
-                opts.max_path_edges,
-            );
-            if trees.is_empty() {
-                any_disconnected = true;
-                continue;
-            }
-            trees
-        };
-
-        for tree in trees.iter() {
-            // Def. 3 (III): include the surviving Min(H_R) joins.
-            let mut joins = surviving_joins.clone();
-            for jc in &tree.joins {
-                if !joins.iter().any(|j| j.id == jc.id) {
-                    joins.push(jc.clone());
-                }
-            }
-            let mut relations = tree.relations.clone();
-            relations.extend(survivors.iter().cloned());
-
-            // Def. 3 (V): rewrite C_Max/Min.
-            let mut c_max_min = Vec::new();
-            let mut dropped_conditions = Vec::new();
-            let mut viable = true;
-            for cond in &rm.c_max_min {
-                let mut clause = cond.clause.clone();
-                // Non-replaceable conditions are never substituted
-                // (Fig. 3: `CR = false` means "left unchanged").
-                if cond.params.replaceable {
-                    for (attr, cover) in &combo {
-                        clause = clause.substitute(attr, &cover.replacement);
-                    }
-                }
-                if clause.relations().contains(target) {
-                    if cond.params.dispensable {
-                        dropped_conditions.push(cond.clone());
-                        continue;
-                    }
-                    // A required condition survived uncovered: this
-                    // combination cannot produce a legal rewriting.
-                    viable = false;
-                    break;
-                }
-                c_max_min.push(CondItem {
-                    clause,
-                    params: cond.params,
-                });
-            }
-            if !viable {
-                continue;
-            }
-
-            let candidate = Replacement {
-                covers: combo.clone(),
-                relations,
-                joins,
-                c_max_min,
-                dropped_conditions,
-            };
-            if !out.contains(&candidate) {
-                out.push(candidate);
-            }
-        }
-    }
-
     if out.is_empty() {
-        return Err(if any_disconnected {
+        return Err(if stream.any_disconnected() {
             CvsError::Disconnected
         } else {
             CvsError::NoLegalRewriting
         });
     }
     Ok(out)
+}
+
+/// Admissible lower bounds on every candidate a cover combination can
+/// still produce, computed *before* its connection trees are enumerated.
+///
+/// Each field is component-wise ≤ the corresponding quantity of any real
+/// candidate from the combination, so a search that compares these
+/// bounds against its current worst kept candidate can discard the whole
+/// combination — trees, assembly, costing and all — without ever missing
+/// a better rewriting (see DESIGN.md, "Budgeted rewriting search").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CandidateBound {
+    /// ≤ `replacement.relations.len()` of any candidate. Every candidate
+    /// contains all terminals, and a tree spanning two relations at
+    /// shortest-path distance `d` touches ≥ `d + 1` relations.
+    pub min_relations: usize,
+    /// ≤ `replacement.joins.len()`: the surviving `Min` joins are always
+    /// included, a tree over `t` terminals has ≥ `t − 1` edges, and ≥
+    /// the largest pairwise shortest-path distance.
+    pub min_joins: usize,
+    /// ≤ the number of candidate relations outside the view's current
+    /// FROM clause (terminals not already in FROM must be joined in).
+    pub min_extra_relations: usize,
+    /// ≤ the number of dropped conditions: Def. 3 (V) drops are decided
+    /// per combination, before any tree is chosen, and assembly can only
+    /// drop more.
+    pub min_dropped_conditions: usize,
+}
+
+/// A cover combination, prepared for lazy expansion.
+#[derive(Debug)]
+struct PreparedCombo {
+    covers: BTreeMap<AttrRef, CoverChoice>,
+    terminals: BTreeSet<RelName>,
+    /// Some terminal pair is provably unreachable in `H'` (memoized
+    /// pairwise shortest paths): tree enumeration would come back empty,
+    /// so skip it and record the disconnection directly.
+    provably_disconnected: bool,
+    /// Hoisted Def. 3 (V) rewrite of `C_Max/Min` — it only depends on the
+    /// cover combination, not on the tree. `None` means a required
+    /// condition survives uncovered: no tree of this combination can
+    /// yield a candidate.
+    cmm: Option<(Vec<CondItem>, Vec<CondItem>)>,
+    bound: CandidateBound,
+}
+
+/// The combination currently being expanded tree-by-tree.
+#[derive(Debug)]
+struct ActiveCombo {
+    covers: BTreeMap<AttrRef, CoverChoice>,
+    trees: Arc<Vec<ConnectionTree>>,
+    tree_pos: usize,
+    c_max_min: Vec<CondItem>,
+    dropped_conditions: Vec<CondItem>,
+}
+
+/// Lazy generator over the (cover combination × connection tree) choice
+/// space of Def. 3.
+///
+/// Candidates come out in exactly the order the eager implementation
+/// materialised them (combination order, then tree order within a
+/// combination), so draining the stream reproduces the legacy
+/// R-replacement list verbatim. The caller may additionally:
+///
+/// * skip a whole combination via the `prune_combo` callback of
+///   [`ReplacementStream::next_candidate`], consulted with the
+///   combination's [`CandidateBound`] before its trees are enumerated;
+/// * bound the total number of trees enumerated (`max_trees`), after
+///   which the stream ends and reports
+///   [`ReplacementStream::tree_budget_exhausted`].
+pub(crate) struct ReplacementStream<'a, 'm> {
+    index: &'a MkbIndex<'m>,
+    opts: &'a CvsOptions,
+    survivors: Arc<BTreeSet<RelName>>,
+    surviving_joins: Vec<JoinConstraint>,
+    combos: Vec<PreparedCombo>,
+    combo_idx: usize,
+    current: Option<ActiveCombo>,
+    /// Everything yielded so far, for the legacy duplicate filter.
+    emitted: Vec<Replacement>,
+    max_trees: usize,
+    trees_enumerated: usize,
+    combos_pruned: usize,
+    any_disconnected: bool,
+    tree_budget_exhausted: bool,
+}
+
+impl<'a, 'm> ReplacementStream<'a, 'm> {
+    /// Classify the view's use of `R`, resolve covers and prepare the
+    /// cover combinations. Fails eagerly with the same classification
+    /// errors the eager implementation raised
+    /// ([`CvsError::IndispensableNotReplaceable`], [`CvsError::NoCover`]).
+    pub(crate) fn new(
+        view: &ViewDefinition,
+        rm: &'a RMapping,
+        index: &'a MkbIndex<'m>,
+        opts: &'a CvsOptions,
+        max_trees: usize,
+    ) -> Result<Self, CvsError> {
+        let target = &rm.target;
+
+        // --- attribute classification & cover lookup (Def. 3 IV) -------
+        let usage = classify_attrs(view, target);
+        // Frozen attributes make the view incurable (P4).
+        for (attr, u) in &usage {
+            if u.frozen {
+                return Err(CvsError::IndispensableNotReplaceable {
+                    component: attr.to_string(),
+                });
+            }
+        }
+
+        // Per attribute: the list of viable covers (source relation alive
+        // in H' and distinct from R). Attributes used only by
+        // non-replaceable components never take a cover — those
+        // components can only be kept (impossible once R is gone) or
+        // dropped.
+        let mut cover_options: Vec<(AttrRef, Vec<CoverChoice>, bool)> = Vec::new();
+        for (attr, u) in &usage {
+            let covers: Vec<CoverChoice> = if u.replace_worthy {
+                // Memoized Def. 3 (IV) filter: source distinct from `R`
+                // and alive in `H'`.
+                index.viable_covers(attr, target).to_vec()
+            } else {
+                Vec::new()
+            };
+            if u.required && covers.is_empty() {
+                return Err(CvsError::NoCover(attr.clone()));
+            }
+            if !covers.is_empty() {
+                cover_options.push((attr.clone(), covers, u.required));
+            }
+        }
+
+        // --- enumerate cover combinations -------------------------------
+        // For required attributes every option is a cover; for dispensable
+        // ones we also allow "no cover" (drop the components), tried last
+        // so opportunistic covering is preferred.
+        let mut combinations: Vec<BTreeMap<AttrRef, CoverChoice>> = vec![BTreeMap::new()];
+        for (attr, covers, required) in &cover_options {
+            let mut next = Vec::new();
+            for combo in &combinations {
+                for c in covers {
+                    let mut combo = combo.clone();
+                    combo.insert(attr.clone(), c.clone());
+                    next.push(combo);
+                    if next.len() >= opts.max_cover_combinations {
+                        break;
+                    }
+                }
+                if !required && next.len() < opts.max_cover_combinations {
+                    next.push(combo.clone()); // the "leave uncovered" branch
+                }
+                if next.len() >= opts.max_cover_combinations {
+                    break;
+                }
+            }
+            combinations = next;
+        }
+
+        let survivors = index.survival_set(&rm.max_relations, target);
+        let surviving_joins = rm.surviving_joins();
+        // FROM minus the dropped relation, for the extra-relations bound.
+        let from_rels: BTreeSet<RelName> = view
+            .from
+            .iter()
+            .map(|f| f.relation.clone())
+            .filter(|r| r != target)
+            .collect();
+
+        let combos = combinations
+            .into_iter()
+            .map(|covers| {
+                let mut terminals: BTreeSet<RelName> = (*survivors).clone();
+                terminals.extend(covers.values().map(|c| c.source.clone()));
+
+                // Pairwise reachability and diameter over the terminals,
+                // through the index's memoized shortest paths.
+                let mut provably_disconnected = false;
+                let mut max_dist = 0usize;
+                let ts: Vec<&RelName> = terminals.iter().collect();
+                'pairs: for i in 0..ts.len() {
+                    for b in ts.iter().skip(i + 1) {
+                        match index.pair_distance(ts[i], b) {
+                            None => {
+                                provably_disconnected = true;
+                                break 'pairs;
+                            }
+                            Some(d) => max_dist = max_dist.max(d),
+                        }
+                    }
+                }
+
+                let cmm = rewrite_c_max_min(rm, &covers, target);
+                let t = terminals.len();
+                let bound = CandidateBound {
+                    min_relations: if t == 0 { 0 } else { t.max(max_dist + 1) },
+                    min_joins: surviving_joins.len().max(t.saturating_sub(1)).max(max_dist),
+                    min_extra_relations: terminals
+                        .iter()
+                        .filter(|r| !from_rels.contains(*r))
+                        .count(),
+                    min_dropped_conditions: cmm.as_ref().map(|(_, d)| d.len()).unwrap_or(0),
+                };
+                PreparedCombo {
+                    covers,
+                    terminals,
+                    provably_disconnected,
+                    cmm,
+                    bound,
+                }
+            })
+            .collect();
+
+        Ok(ReplacementStream {
+            index,
+            opts,
+            survivors,
+            surviving_joins,
+            combos,
+            combo_idx: 0,
+            current: None,
+            emitted: Vec::new(),
+            max_trees,
+            trees_enumerated: 0,
+            combos_pruned: 0,
+            any_disconnected: false,
+            tree_budget_exhausted: false,
+        })
+    }
+
+    /// Advance to the next candidate replacement, or `None` when the
+    /// choice space (or the tree budget) is exhausted.
+    ///
+    /// `prune_combo` is consulted once per viable cover combination,
+    /// with its admissible [`CandidateBound`], *before* its connection
+    /// trees are enumerated; returning `true` skips the combination
+    /// (counted in [`ReplacementStream::combos_pruned`]). Pass
+    /// `&mut |_| false` for the exhaustive legacy behaviour.
+    pub(crate) fn next_candidate(
+        &mut self,
+        prune_combo: &mut dyn FnMut(&CandidateBound) -> bool,
+    ) -> Option<Replacement> {
+        loop {
+            if let Some(cur) = &mut self.current {
+                while cur.tree_pos < cur.trees.len() {
+                    let tree = &cur.trees[cur.tree_pos];
+                    cur.tree_pos += 1;
+                    // Def. 3 (III): include the surviving Min(H_R) joins.
+                    let mut joins = self.surviving_joins.clone();
+                    for jc in &tree.joins {
+                        if !joins.iter().any(|j| j.id == jc.id) {
+                            joins.push(jc.clone());
+                        }
+                    }
+                    let mut relations = tree.relations.clone();
+                    relations.extend(self.survivors.iter().cloned());
+                    let candidate = Replacement {
+                        covers: cur.covers.clone(),
+                        relations,
+                        joins,
+                        c_max_min: cur.c_max_min.clone(),
+                        dropped_conditions: cur.dropped_conditions.clone(),
+                    };
+                    if self.emitted.contains(&candidate) {
+                        continue;
+                    }
+                    self.emitted.push(candidate.clone());
+                    return Some(candidate);
+                }
+                self.current = None;
+            }
+
+            // Advance to the next cover combination.
+            if self.combo_idx >= self.combos.len() {
+                return None;
+            }
+            let combo = &self.combos[self.combo_idx];
+            self.combo_idx += 1;
+
+            if combo.provably_disconnected {
+                // Enumeration over these terminals is provably empty.
+                self.any_disconnected = true;
+                continue;
+            }
+            let Some((c_max_min, dropped_conditions)) = combo.cmm.clone() else {
+                // Def. 3 (V) fails for *every* tree of this combination;
+                // only its connectivity signal matters for the final
+                // error verdict, so probe with a single tree.
+                if !combo.terminals.is_empty()
+                    && self
+                        .index
+                        .enumerate_trees(&combo.terminals, 1, self.opts.max_path_edges)
+                        .is_empty()
+                {
+                    self.any_disconnected = true;
+                }
+                continue;
+            };
+            if prune_combo(&combo.bound) {
+                self.combos_pruned += 1;
+                continue;
+            }
+
+            let trees: Arc<Vec<ConnectionTree>> = if combo.terminals.is_empty() {
+                // Nothing to keep and nothing to cover: Max(V_R)
+                // disappears entirely (all its work was dispensable).
+                Arc::new(vec![ConnectionTree {
+                    relations: BTreeSet::new(),
+                    joins: Vec::new(),
+                }])
+            } else {
+                let remaining = self.max_trees.saturating_sub(self.trees_enumerated);
+                if remaining == 0 {
+                    // Combinations remain but the tree budget is spent.
+                    self.tree_budget_exhausted = true;
+                    return None;
+                }
+                let chunk = self.opts.max_trees_per_combination.min(remaining);
+                // Memoized per (terminal set, hop bound): a second view
+                // sharing this combination's terminals reuses the walk,
+                // and smaller limits are served from the cached prefix.
+                let trees =
+                    self.index
+                        .enumerate_trees(&combo.terminals, chunk, self.opts.max_path_edges);
+                if trees.is_empty() {
+                    self.any_disconnected = true;
+                    continue;
+                }
+                self.trees_enumerated += trees.len();
+                if chunk < self.opts.max_trees_per_combination && trees.len() == chunk {
+                    // The per-combination limit was clipped by the global
+                    // budget and the clipped enumeration filled up.
+                    self.tree_budget_exhausted = true;
+                }
+                trees
+            };
+
+            self.current = Some(ActiveCombo {
+                covers: combo.covers.clone(),
+                trees,
+                tree_pos: 0,
+                c_max_min,
+                dropped_conditions,
+            });
+        }
+    }
+
+    /// Did any combination's tree enumeration come back (provably)
+    /// empty? Distinguishes [`CvsError::Disconnected`] from
+    /// [`CvsError::NoLegalRewriting`] when no candidate survives.
+    pub(crate) fn any_disconnected(&self) -> bool {
+        self.any_disconnected
+    }
+
+    /// Connection trees enumerated so far (across all combinations).
+    pub(crate) fn trees_enumerated(&self) -> usize {
+        self.trees_enumerated
+    }
+
+    /// Combinations skipped by the caller's prune callback.
+    pub(crate) fn combos_pruned(&self) -> usize {
+        self.combos_pruned
+    }
+
+    /// Did the global tree budget cut the enumeration short?
+    pub(crate) fn tree_budget_exhausted(&self) -> bool {
+        self.tree_budget_exhausted
+    }
+}
+
+/// Def. 3 (V): rewrite `C_Max/Min` under a cover combination. Returns
+/// `(c_max_min, dropped_conditions)`, or `None` when a required
+/// condition survives uncovered (the combination cannot produce a legal
+/// rewriting). Tree-independent, so hoisted to once per combination.
+fn rewrite_c_max_min(
+    rm: &RMapping,
+    combo: &BTreeMap<AttrRef, CoverChoice>,
+    target: &RelName,
+) -> Option<(Vec<CondItem>, Vec<CondItem>)> {
+    let mut c_max_min = Vec::new();
+    let mut dropped_conditions = Vec::new();
+    for cond in &rm.c_max_min {
+        let mut clause = cond.clause.clone();
+        // Non-replaceable conditions are never substituted (Fig. 3:
+        // `CR = false` means "left unchanged").
+        if cond.params.replaceable {
+            for (attr, cover) in combo {
+                clause = clause.substitute(attr, &cover.replacement);
+            }
+        }
+        if clause.relations().contains(target) {
+            if cond.params.dispensable {
+                dropped_conditions.push(cond.clone());
+                continue;
+            }
+            // A required condition survived uncovered.
+            return None;
+        }
+        c_max_min.push(CondItem {
+            clause,
+            params: cond.params,
+        });
+    }
+    Some((c_max_min, dropped_conditions))
 }
 
 #[cfg(test)]

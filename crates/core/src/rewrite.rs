@@ -16,16 +16,19 @@
 //! replaceable; relations and join conditions added to connect covers are
 //! `(dispensable = false, replaceable = true)`.
 
+use crate::cost::CostModel;
 use crate::error::CvsError;
 use crate::extent::{infer_extent_indexed, satisfies_extent_param};
 use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::mapping::{compute_r_mapping, RMapping};
 use crate::options::CvsOptions;
-use crate::replacement::{compute_replacements_indexed, Replacement};
+use crate::replacement::{CandidateBound, Replacement, ReplacementStream};
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
 use eve_relational::{AttrName, Clause, RelName};
+use std::cmp::Ordering;
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 /// The result of assembling one candidate: the new view plus the
 /// bookkeeping needed for P4 verification and extent inference.
@@ -205,6 +208,169 @@ pub fn cvs_delete_relation_indexed(
     index: &MkbIndex<'_>,
     opts: &CvsOptions,
 ) -> Result<Vec<LegalRewriting>, CvsError> {
+    cvs_delete_relation_searched(view, target, index, opts, false, None).map(|r| r.rewritings)
+}
+
+/// Counters describing one view's rewriting search, threaded into
+/// [`crate::synchronizer::ViewOutcome`] so budget truncation is
+/// reported, never silent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchStats {
+    /// Candidates expanded through assembly (Steps 4–6). This is the
+    /// quantity bounded by `SearchBudget::max_candidates` and the one
+    /// the budgeted-vs-exhaustive benchmark compares.
+    pub generated: usize,
+    /// Branches discarded by the admissible lower bound before
+    /// expansion: whole cover combinations (counted once each, before
+    /// their trees were enumerated) plus individual dominated
+    /// candidates cut before assembly.
+    pub pruned: usize,
+    /// Rewritings retained in the final (top-k) result.
+    pub kept: usize,
+    /// Connection trees enumerated across all cover combinations.
+    pub trees_enumerated: usize,
+    /// Did any budget (`max_candidates`, `max_trees`, `deadline`) cut
+    /// the search short? When `false` the result is exhaustive up to
+    /// `top_k` — identical to the legacy materialize-then-rank
+    /// pipeline's prefix.
+    pub budget_exhausted: bool,
+}
+
+/// A ranked rewriting list plus the [`SearchStats`] describing how it
+/// was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchResult {
+    /// Best-first rewritings (at most `SearchBudget::top_k`).
+    pub rewritings: Vec<LegalRewriting>,
+    /// How the search went: candidates generated, pruned, kept, and
+    /// whether any budget truncated it.
+    pub stats: SearchStats,
+}
+
+impl SearchResult {
+    /// Wrap an exhaustively computed rewriting list (strategies that do
+    /// not stream, e.g. delete-attribute and rename): everything was
+    /// generated and kept, nothing pruned or truncated.
+    pub fn exhaustive(rewritings: Vec<LegalRewriting>) -> Self {
+        let n = rewritings.len();
+        SearchResult {
+            rewritings,
+            stats: SearchStats {
+                generated: n,
+                kept: n,
+                ..SearchStats::default()
+            },
+        }
+    }
+}
+
+/// Comparison key of one (real or lower-bound) candidate in the top-k
+/// selector. Mirrors the legacy two-pass ordering exactly: a stable
+/// structural sort `(¬P3, |relations|, |joins|, rendered view)` followed
+/// by the stable cost re-sort `(total, rendered view)` — composed, that
+/// is the lexicographic key `(total, rendered, ¬P3, |relations|,
+/// |joins|)` when a cost model drives the ranking and the structural key
+/// alone otherwise.
+#[derive(Debug, Clone)]
+struct CandKey {
+    /// `Some` iff a cost model drives the ranking.
+    cost: Option<f64>,
+    rendered: String,
+    not_p3: bool,
+    relations: usize,
+    joins: usize,
+}
+
+fn cmp_keys(a: &CandKey, b: &CandKey) -> Ordering {
+    if let (Some(ca), Some(cb)) = (&a.cost, &b.cost) {
+        // The legacy `CostModel::rank` comparator…
+        let ord = ca
+            .partial_cmp(cb)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.rendered.cmp(&b.rendered));
+        if ord != Ordering::Equal {
+            return ord;
+        }
+        // …falling back to the structural pre-sort it re-sorted.
+    }
+    (a.not_p3, a.relations, a.joins)
+        .cmp(&(b.not_p3, b.relations, b.joins))
+        .then_with(|| a.rendered.cmp(&b.rendered))
+}
+
+fn key_for(lr: &LegalRewriting, view: &ViewDefinition, cost_model: Option<&CostModel>) -> CandKey {
+    CandKey {
+        cost: cost_model.map(|m| m.assess(view, lr).total),
+        rendered: lr.view.to_string(),
+        not_p3: !lr.satisfies_p3,
+        relations: lr.replacement.relations.len(),
+        joins: lr.replacement.joins.len(),
+    }
+}
+
+/// Turn an admissible [`CandidateBound`] into a key that compares ≤
+/// every real candidate key from the bounded branch: the rendered text
+/// bottoms out at `""`, `¬P3` at `false`, and the cost at an
+/// admissible lower bound on the total.
+fn bound_key(b: &CandidateBound, cost_model: Option<&CostModel>) -> CandKey {
+    CandKey {
+        cost: cost_model.map(|m| cost_lower_bound(m, b)),
+        rendered: String::new(),
+        not_p3: false,
+        relations: b.min_relations,
+        joins: b.min_joins,
+    }
+}
+
+/// Admissible lower bound on `CostModel::assess(..).total` for any
+/// candidate satisfying `b`: every cost term is a non-negative weight
+/// times a count, and `b` lower-bounds the extra-relation and
+/// dropped-condition counts. With any negative weight admissibility is
+/// lost, so the bound collapses to `-∞` (cost pruning disabled).
+fn cost_lower_bound(m: &CostModel, b: &CandidateBound) -> f64 {
+    let weights = [
+        m.dropped_attr,
+        m.dropped_condition,
+        m.replaced_component,
+        m.extra_relation,
+        m.extra_join,
+        m.extent_superset,
+        m.extent_subset,
+        m.extent_unknown,
+    ];
+    if weights.iter().any(|w| *w < 0.0) {
+        return f64::NEG_INFINITY;
+    }
+    m.extra_relation * b.min_extra_relations as f64
+        + m.dropped_condition * b.min_dropped_conditions as f64
+}
+
+/// The streaming, budgeted form of [`cvs_delete_relation_indexed`]:
+/// candidates are pulled lazily from the (cover combination × connection
+/// tree) choice space, dominated branches are pruned through admissible
+/// lower bounds, and only the best `opts.budget.top_k` rewritings are
+/// retained in a bounded selector.
+///
+/// With an unlimited budget this is *exactly* the legacy
+/// materialize-then-rank pipeline: same rewritings, same order, same
+/// errors. `require_p3` filters unverified rewritings before they enter
+/// the selector (so a budgeted top-k is not wasted on rewritings the
+/// caller will discard), and `cost_model` ranks by assessed cost the way
+/// [`CostModel::rank`] did — both previously applied by the engine
+/// after full materialization.
+///
+/// Truncation by any budget is reported through
+/// [`SearchStats::budget_exhausted`]; the kept rewritings are then a
+/// prefix-consistent subset of the exhaustive ranking, never a silently
+/// wrong "best".
+pub fn cvs_delete_relation_searched(
+    view: &ViewDefinition,
+    target: &RelName,
+    index: &MkbIndex<'_>,
+    opts: &CvsOptions,
+    require_p3: bool,
+    cost_model: Option<&CostModel>,
+) -> Result<SearchResult, CvsError> {
     if !view.uses_relation(target) {
         return Err(CvsError::ViewNotAffected(target.clone()));
     }
@@ -220,41 +386,130 @@ pub fn cvs_delete_relation_indexed(
     // Step 2: R-mapping.
     let rm = compute_r_mapping(view, target, h_r, opts);
 
-    // Step 3: R-replacement over the cached capability-filtered H'(MKB').
-    let reps = compute_replacements_indexed(view, &rm, index, opts)?;
+    // Step 3 becomes a lazy stream over the cached capability-filtered
+    // H'(MKB'); Steps 4–6 run per candidate as it is pulled.
+    let budget = opts.budget.validated();
+    let start = Instant::now();
+    let mut stream = ReplacementStream::new(view, &rm, index, opts, budget.max_trees)?;
 
-    // Steps 4–6 per candidate.
-    let mut out: Vec<LegalRewriting> = Vec::new();
+    let from_rels: BTreeSet<RelName> = view
+        .from
+        .iter()
+        .map(|f| f.relation.clone())
+        .filter(|r| r != target)
+        .collect();
+
+    let k = budget.top_k;
+    // Kept candidates, sorted ascending by `cmp_keys`; ties inserted
+    // after their equals, reproducing the legacy stable sorts.
+    let mut selector: Vec<(CandKey, LegalRewriting)> = Vec::new();
     let mut last_err = CvsError::NoLegalRewriting;
-    for rep in reps {
+    let mut assembled_any = false;
+    let mut generated = 0usize;
+    let mut pruned_candidates = 0usize;
+    let mut deadline_hit = false;
+    let mut candidate_cap_hit = false;
+
+    loop {
+        if let Some(d) = budget.deadline {
+            if start.elapsed() >= d {
+                deadline_hit = true;
+                break;
+            }
+        }
+        let full = selector.len() >= k;
+        let worst = if full {
+            selector.last().map(|(key, _)| key.clone())
+        } else {
+            None
+        };
+        let mut prune = |b: &CandidateBound| match &worst {
+            // A bound no better than the current worst kept candidate
+            // cannot improve the top-k: cut the whole branch.
+            Some(w) => cmp_keys(&bound_key(b, cost_model), w) != Ordering::Less,
+            None => false,
+        };
+        let Some(rep) = stream.next_candidate(&mut prune) else {
+            break;
+        };
+        if generated >= budget.max_candidates {
+            // The stream had more to offer but the candidate budget is
+            // spent — truncation, reported below.
+            candidate_cap_hit = true;
+            break;
+        }
+        // Candidate-level admissible bound (exact counts are known
+        // now), cutting the assemble + extent inference + costing.
+        if let Some(w) = &worst {
+            let cb = CandidateBound {
+                min_relations: rep.relations.len(),
+                min_joins: rep.joins.len(),
+                min_extra_relations: rep
+                    .relations
+                    .iter()
+                    .filter(|r| !from_rels.contains(*r))
+                    .count(),
+                min_dropped_conditions: rep.dropped_conditions.len(),
+            };
+            if cmp_keys(&bound_key(&cb, cost_model), w) != Ordering::Less {
+                pruned_candidates += 1;
+                continue;
+            }
+        }
+        generated += 1;
         match assemble(view, &rm, &rep, opts) {
             Ok(asm) => {
+                assembled_any = true;
                 let verdict = infer_extent_indexed(&rm, &rep, asm.dropped_conditions.len(), index);
                 let satisfies_p3 = satisfies_extent_param(view.extent, verdict);
-                out.push(LegalRewriting {
+                if require_p3 && !satisfies_p3 {
+                    continue;
+                }
+                let lr = LegalRewriting {
                     view: asm.view,
                     replacement: rep,
                     verdict,
                     satisfies_p3,
                     kept_select: asm.kept_select,
                     dropped_conditions: asm.dropped_conditions,
-                });
+                };
+                let key = key_for(&lr, view, cost_model);
+                let pos =
+                    selector.partition_point(|(k2, _)| cmp_keys(k2, &key) != Ordering::Greater);
+                selector.insert(pos, (key, lr));
+                if selector.len() > k {
+                    selector.pop();
+                }
             }
             Err(e) => last_err = e,
         }
     }
-    if out.is_empty() {
-        return Err(last_err);
+
+    let stats = SearchStats {
+        generated,
+        pruned: pruned_candidates + stream.combos_pruned(),
+        kept: selector.len(),
+        trees_enumerated: stream.trees_enumerated(),
+        budget_exhausted: deadline_hit || candidate_cap_hit || stream.tree_budget_exhausted(),
+    };
+    if selector.is_empty() {
+        return Err(if assembled_any {
+            // Candidates assembled fine but all failed the P3
+            // requirement — the engine's legacy verdict for that.
+            CvsError::NoLegalRewriting
+        } else if generated > 0 {
+            // Every assembly failed: surface the last assembly error.
+            last_err
+        } else if stream.any_disconnected() {
+            CvsError::Disconnected
+        } else {
+            CvsError::NoLegalRewriting
+        });
     }
-    out.sort_by_key(|r| {
-        (
-            !r.satisfies_p3,
-            r.replacement.relations.len(),
-            r.replacement.joins.len(),
-            r.view.to_string(),
-        )
-    });
-    Ok(out)
+    Ok(SearchResult {
+        rewritings: selector.into_iter().map(|(_, lr)| lr).collect(),
+        stats,
+    })
 }
 
 #[cfg(test)]

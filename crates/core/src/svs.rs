@@ -14,11 +14,12 @@
 //! experiments (`sweep-chain`) an exact ablation: the two algorithms
 //! differ in nothing but the search radius.
 
+use crate::cost::CostModel;
 use crate::error::CvsError;
 use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
-use crate::options::CvsOptions;
-use crate::rewrite::cvs_delete_relation_indexed;
+use crate::options::{CvsOptions, SearchBudget};
+use crate::rewrite::{cvs_delete_relation_searched, SearchResult};
 use eve_esql::ViewDefinition;
 use eve_relational::RelName;
 
@@ -32,11 +33,33 @@ pub fn svs_delete_relation_indexed(
     index: &MkbIndex<'_>,
     opts: &CvsOptions,
 ) -> Result<Vec<LegalRewriting>, CvsError> {
+    svs_delete_relation_searched(view, target, index, opts, false, None).map(|r| r.rewritings)
+}
+
+/// The streaming form of [`svs_delete_relation_indexed`], for the
+/// engine. The search radius is clamped to one hop and — SVS being
+/// defined as an *exhaustive* one-step search — any `deadline` in the
+/// caller's budget is rejected (stripped), matching
+/// [`CvsOptions::svs_baseline`]. The structural budgets (`top_k`,
+/// `max_candidates`, `max_trees`) still apply: they bound *what is
+/// kept*, with truncation reported, not silently timed out.
+pub fn svs_delete_relation_searched(
+    view: &ViewDefinition,
+    target: &RelName,
+    index: &MkbIndex<'_>,
+    opts: &CvsOptions,
+    require_p3: bool,
+    cost_model: Option<&CostModel>,
+) -> Result<SearchResult, CvsError> {
     let svs_opts = CvsOptions {
         max_path_edges: 1,
+        budget: SearchBudget {
+            deadline: None,
+            ..opts.budget
+        },
         ..*opts
     };
-    cvs_delete_relation_indexed(view, target, index, &svs_opts)
+    cvs_delete_relation_searched(view, target, index, &svs_opts, require_p3, cost_model)
 }
 
 #[cfg(test)]

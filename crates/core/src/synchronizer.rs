@@ -36,6 +36,7 @@ use crate::error::CvsError;
 use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
+use crate::rewrite::SearchStats;
 use eve_esql::{validate_view, ViewDefinition};
 use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase, MisdError};
 use std::fmt;
@@ -58,6 +59,10 @@ pub enum ViewOutcome {
         chosen: Box<LegalRewriting>,
         /// The remaining legal rewritings, best-first.
         alternatives: Vec<LegalRewriting>,
+        /// How the rewriting search went (candidates generated, pruned,
+        /// kept, and whether a [`crate::options::SearchBudget`] cut it
+        /// short) — truncation is reported, never silent.
+        stats: SearchStats,
     },
     /// No legal rewriting exists; the view is removed from the active
     /// set.
@@ -125,11 +130,17 @@ impl fmt::Display for ChangeOutcome {
                 ViewOutcome::Rewritten {
                     chosen,
                     alternatives,
+                    stats,
                 } => writeln!(
                     f,
-                    "  {name}: rewritten (V' {} V, {} alternative(s))",
+                    "  {name}: rewritten (V' {} V, {} alternative(s)){}",
                     chosen.verdict,
-                    alternatives.len()
+                    alternatives.len(),
+                    if stats.budget_exhausted {
+                        " [search truncated by budget]"
+                    } else {
+                        ""
+                    }
                 )?,
                 ViewOutcome::Disabled { reason } => writeln!(f, "  {name}: DISABLED ({reason})")?,
                 ViewOutcome::Revived => writeln!(f, "  {name}: revived")?,

@@ -96,6 +96,12 @@ impl Hypergraph {
             .map(move |(_, i)| &self.joins[*i])
     }
 
+    /// Adjacency of `rel`: `(neighbour, index into [`Hypergraph::joins`])`
+    /// pairs in join-declaration order. Empty when `rel` is unknown.
+    pub(crate) fn adjacency(&self, rel: &RelName) -> &[(RelName, usize)] {
+        self.adj.get(rel).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
     /// All join constraints between the unordered pair `{r1, r2}`.
     pub fn joins_between<'a>(
         &'a self,

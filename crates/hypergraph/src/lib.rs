@@ -40,4 +40,4 @@ pub mod graph;
 pub mod paths;
 
 pub use graph::Hypergraph;
-pub use paths::ConnectionTree;
+pub use paths::{ConnectionTree, ConnectionTreeIter};

@@ -12,15 +12,31 @@
 //! connected superset is a *valid* candidate under Def. 3 and smaller
 //! candidates are simply better.
 //!
-//! [`ConnectionTree::enumerate`] additionally enumerates alternative
-//! trees obtained by swapping parallel join constraints (distinct `JC`s
-//! between the same relation pair give semantically different joins), so
-//! CVS can propose more than one rewriting per cover combination.
+//! Enumeration is *lazy*: [`ConnectionTreeIter`] streams alternative
+//! trees one at a time, in nondecreasing edge count, so callers that
+//! only need the first few candidates (top-k search, budgeted search)
+//! never pay for the combinatorial tail. For exactly two terminals it
+//! runs a best-first expansion over simple join-constraint paths (a
+//! diamond-shaped MKB yields one candidate per route, not just the
+//! shortest); for other terminal counts it yields the greedy Steiner
+//! tree followed by its single-swap parallel-constraint variants
+//! (distinct `JC`s between the same relation pair give semantically
+//! different joins), so CVS can propose more than one rewriting per
+//! cover combination. The collect-all [`ConnectionTree::enumerate`] /
+//! [`ConnectionTree::enumerate_with_limit`] entry points are thin
+//! wrappers over the iterator.
 
 use crate::graph::Hypergraph;
 use eve_misd::JoinConstraint;
 use eve_relational::RelName;
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// Length cap (in edges) for the exhaustive two-terminal path search.
+/// Paths longer than this are only reachable through the shortest-path
+/// fallback, which keeps the best-first frontier from exploding on
+/// dense graphs.
+const PATH_CAP: usize = 8;
 
 /// A tree of join constraints spanning a set of relations.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,10 +103,9 @@ impl ConnectionTree {
         Some(tree)
     }
 
-    /// Enumerate up to `limit` alternative connection trees for the same
-    /// terminal set, produced by substituting parallel join constraints
-    /// (other `JC`s connecting the same relation pair) into the base tree.
-    /// The base tree is always first.
+    /// Collect up to `limit` alternative connection trees for the same
+    /// terminal set. Thin wrapper over [`ConnectionTreeIter`]; the base
+    /// (fewest-edge) tree is always first.
     pub fn enumerate(
         graph: &Hypergraph,
         terminals: &BTreeSet<RelName>,
@@ -100,91 +115,17 @@ impl ConnectionTree {
     }
 
     /// [`ConnectionTree::enumerate`] with the hop bound of
-    /// [`ConnectionTree::connect_with_limit`].
-    ///
-    /// For exactly two terminals, *all* simple paths (up to a small
-    /// length cap) are enumerated — a diamond-shaped MKB yields one
-    /// candidate per route, not just the shortest. For three or more
-    /// terminals the greedy tree plus parallel-constraint swaps are
-    /// used (full Steiner-tree enumeration is exponential).
+    /// [`ConnectionTree::connect_with_limit`]. Thin wrapper:
+    /// `ConnectionTreeIter::new(..).take(limit).collect()`.
     pub fn enumerate_with_limit(
         graph: &Hypergraph,
         terminals: &BTreeSet<RelName>,
         limit: usize,
         max_path_edges: usize,
     ) -> Vec<ConnectionTree> {
-        if terminals.len() == 2 {
-            let mut it = terminals.iter();
-            let (a, b) = (it.next().expect("two"), it.next().expect("two"));
-            // Cap the exhaustive search in both path length and count;
-            // fall back to the greedy (unbounded-length) tree when
-            // nothing fits the caps.
-            const PATH_CAP: usize = 8;
-            let mut paths =
-                graph.simple_paths_bounded(a, b, max_path_edges.min(PATH_CAP), limit * 4);
-            // A truncated DFS may have missed the shortest path —
-            // guarantee it is present.
-            if let Some(shortest) = graph.join_path(a, b) {
-                if shortest.len() <= max_path_edges {
-                    let ids: Vec<&str> = shortest.iter().map(|j| j.id.as_str()).collect();
-                    if !paths
-                        .iter()
-                        .any(|p| p.iter().map(|j| j.id.as_str()).eq(ids.iter().copied()))
-                    {
-                        paths.push(shortest);
-                    }
-                }
-            }
-            paths.sort_by_key(|p| (p.len(), p.iter().map(|j| j.id.clone()).collect::<Vec<_>>()));
-            let trees: Vec<ConnectionTree> = paths
-                .into_iter()
-                .take(limit)
-                .map(|path| {
-                    let mut tree = ConnectionTree::singleton(a.clone());
-                    for jc in path {
-                        tree.relations.insert(jc.left.clone());
-                        tree.relations.insert(jc.right.clone());
-                        tree.joins.push(jc.clone());
-                    }
-                    tree
-                })
-                .collect();
-            if !trees.is_empty() {
-                return trees;
-            }
-            // fall through to the greedy construction
-        }
-        let base = match Self::connect_with_limit(graph, terminals, max_path_edges) {
-            Some(t) => t,
-            None => return Vec::new(),
-        };
-        let mut out = vec![base.clone()];
-        // For each edge slot, collect the parallel alternatives.
-        let alternatives: Vec<Vec<JoinConstraint>> = base
-            .joins
-            .iter()
-            .map(|jc| {
-                graph
-                    .joins_between(&jc.left, &jc.right)
-                    .filter(|other| other.id != jc.id)
-                    .cloned()
-                    .collect()
-            })
-            .collect();
-        // Single-swap variants (cartesian products explode; one swap at a
-        // time already surfaces every alternative constraint).
-        'outer: for (slot, alts) in alternatives.iter().enumerate() {
-            for alt in alts {
-                if out.len() >= limit {
-                    break 'outer;
-                }
-                let mut variant = base.clone();
-                variant.joins[slot] = alt.clone();
-                out.push(variant);
-            }
-        }
-        out.truncate(limit);
-        out
+        ConnectionTreeIter::new(graph, terminals, max_path_edges)
+            .take(limit)
+            .collect()
     }
 
     /// Is `rel` part of the tree?
@@ -193,15 +134,254 @@ impl ConnectionTree {
     }
 }
 
+/// A partial simple path in the two-terminal best-first search, keyed by
+/// the ordering of the legacy sort: `(length, join-id sequence)`.
+/// Derived `Ord` compares fields top to bottom, so a min-heap of these
+/// pops shortest-first, ties broken by the lexicographically smallest id
+/// sequence; the trailing fields only disambiguate key-equal partials
+/// and never change the yield order.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct PartialPath {
+    len: usize,
+    ids: Vec<String>,
+    edges: Vec<usize>,
+    cur: RelName,
+    visited: BTreeSet<RelName>,
+}
+
+enum IterState {
+    /// Best-first expansion over vertex-simple paths between exactly two
+    /// terminals. Every extension strictly grows the `(len, ids)` key,
+    /// so completed paths pop from the heap in nondecreasing key order —
+    /// exactly the order the legacy collect-then-sort produced.
+    Paths {
+        start: RelName,
+        goal: RelName,
+        max_path_edges: usize,
+        heap: BinaryHeap<Reverse<PartialPath>>,
+        yielded_any: bool,
+    },
+    /// Greedy Steiner tree plus single-swap parallel-constraint
+    /// variants, emitted in slot-then-alternative order.
+    Greedy {
+        base: ConnectionTree,
+        alternatives: Vec<Vec<JoinConstraint>>,
+        slot: usize,
+        alt: usize,
+        base_emitted: bool,
+    },
+    Done,
+}
+
+/// Lazy enumeration of connection trees spanning a terminal set, in
+/// nondecreasing edge count.
+///
+/// This is the single budgeted core behind
+/// [`ConnectionTree::enumerate`] / [`ConnectionTree::enumerate_with_limit`]:
+/// pulling `n` trees does only the work needed for `n` trees, so a
+/// top-k or budget-bounded caller can abandon the stream early. The
+/// yield sequence is a pure, deterministic function of
+/// `(graph, terminals, max_path_edges)` — the contract that lets
+/// `MkbIndex` memoize prefixes of it.
+pub struct ConnectionTreeIter<'g> {
+    graph: &'g Hypergraph,
+    state: IterState,
+}
+
+impl<'g> ConnectionTreeIter<'g> {
+    /// Start streaming trees for `terminals`, each connecting path
+    /// bounded by `max_path_edges` join constraints.
+    pub fn new(
+        graph: &'g Hypergraph,
+        terminals: &BTreeSet<RelName>,
+        max_path_edges: usize,
+    ) -> Self {
+        let state = if terminals.len() == 2 {
+            let mut it = terminals.iter();
+            let (a, b) = (it.next().expect("two"), it.next().expect("two"));
+            let mut heap = BinaryHeap::new();
+            if graph.contains(a) && graph.contains(b) {
+                heap.push(Reverse(PartialPath {
+                    len: 0,
+                    ids: Vec::new(),
+                    edges: Vec::new(),
+                    cur: a.clone(),
+                    visited: [a.clone()].into_iter().collect(),
+                }));
+            }
+            IterState::Paths {
+                start: a.clone(),
+                goal: b.clone(),
+                max_path_edges,
+                heap,
+                yielded_any: false,
+            }
+        } else {
+            greedy_state(graph, terminals, max_path_edges)
+        };
+        ConnectionTreeIter { graph, state }
+    }
+}
+
+fn greedy_state(
+    graph: &Hypergraph,
+    terminals: &BTreeSet<RelName>,
+    max_path_edges: usize,
+) -> IterState {
+    match ConnectionTree::connect_with_limit(graph, terminals, max_path_edges) {
+        Some(base) => {
+            // For each edge slot, the parallel alternatives (other JCs
+            // connecting the same relation pair).
+            let alternatives: Vec<Vec<JoinConstraint>> = base
+                .joins
+                .iter()
+                .map(|jc| {
+                    graph
+                        .joins_between(&jc.left, &jc.right)
+                        .filter(|other| other.id != jc.id)
+                        .cloned()
+                        .collect()
+                })
+                .collect();
+            IterState::Greedy {
+                base,
+                alternatives,
+                slot: 0,
+                alt: 0,
+                base_emitted: false,
+            }
+        }
+        None => IterState::Done,
+    }
+}
+
+/// Build the tree for a completed path of edge indices rooted at `start`.
+fn tree_from_edges(graph: &Hypergraph, start: &RelName, edges: &[usize]) -> ConnectionTree {
+    let mut tree = ConnectionTree::singleton(start.clone());
+    for &e in edges {
+        let jc = &graph.joins()[e];
+        tree.relations.insert(jc.left.clone());
+        tree.relations.insert(jc.right.clone());
+        tree.joins.push(jc.clone());
+    }
+    tree
+}
+
+impl Iterator for ConnectionTreeIter<'_> {
+    type Item = ConnectionTree;
+
+    fn next(&mut self) -> Option<ConnectionTree> {
+        loop {
+            match &mut self.state {
+                IterState::Paths {
+                    start,
+                    goal,
+                    max_path_edges,
+                    heap,
+                    yielded_any,
+                } => {
+                    let cap = (*max_path_edges).min(PATH_CAP);
+                    while let Some(Reverse(p)) = heap.pop() {
+                        if p.cur == *goal {
+                            // Simple paths stop at the goal; no extension.
+                            *yielded_any = true;
+                            return Some(tree_from_edges(self.graph, start, &p.edges));
+                        }
+                        if p.len >= cap {
+                            continue;
+                        }
+                        for (next, edge) in self.graph.adjacency(&p.cur) {
+                            if p.visited.contains(next) {
+                                continue;
+                            }
+                            let mut ext = p.clone();
+                            ext.len += 1;
+                            ext.ids.push(self.graph.joins()[*edge].id.clone());
+                            ext.edges.push(*edge);
+                            ext.visited.insert(next.clone());
+                            ext.cur = next.clone();
+                            heap.push(Reverse(ext));
+                        }
+                    }
+                    // Frontier exhausted. If nothing fit the exhaustive
+                    // cap, the shortest path may still be legal when it
+                    // is longer than PATH_CAP but within the hop bound.
+                    if !*yielded_any {
+                        if let Some(shortest) = self.graph.join_path(start, goal) {
+                            if shortest.len() <= *max_path_edges {
+                                let mut tree = ConnectionTree::singleton(start.clone());
+                                for jc in shortest {
+                                    tree.relations.insert(jc.left.clone());
+                                    tree.relations.insert(jc.right.clone());
+                                    tree.joins.push(jc.clone());
+                                }
+                                self.state = IterState::Done;
+                                return Some(tree);
+                            }
+                        }
+                        // Mirror the legacy fall-through to the greedy
+                        // construction (relevant only for degenerate
+                        // graphs; usually yields nothing new).
+                        let terminals: BTreeSet<RelName> =
+                            [start.clone(), goal.clone()].into_iter().collect();
+                        let hop = *max_path_edges;
+                        self.state = greedy_state(self.graph, &terminals, hop);
+                        continue;
+                    }
+                    self.state = IterState::Done;
+                }
+                IterState::Greedy {
+                    base,
+                    alternatives,
+                    slot,
+                    alt,
+                    base_emitted,
+                } => {
+                    if !*base_emitted {
+                        *base_emitted = true;
+                        return Some(base.clone());
+                    }
+                    // Single-swap variants (cartesian products explode;
+                    // one swap at a time already surfaces every
+                    // alternative constraint).
+                    while *slot < alternatives.len() {
+                        if let Some(a) = alternatives[*slot].get(*alt) {
+                            *alt += 1;
+                            let mut variant = base.clone();
+                            variant.joins[*slot] = a.clone();
+                            return Some(variant);
+                        }
+                        *slot += 1;
+                        *alt = 0;
+                    }
+                    self.state = IterState::Done;
+                }
+                IterState::Done => return None,
+            }
+        }
+    }
+}
+
 /// Cache-friendly enumeration entry points.
 ///
-/// Both methods are pure, deterministic functions of
+/// All three are pure, deterministic functions of
 /// `(self, terminals, limit, max_path_edges)` — same inputs, same output,
 /// every time — which is the contract that lets `MkbIndex` memoize their
-/// results per change under a `(terminal set, hop bound, tree limit)` key
-/// without risking any behavioural difference between a cache hit and a
-/// recomputation.
+/// results per change under a `(terminal set, hop bound)` key (serving
+/// any requested prefix length) without risking any behavioural
+/// difference between a cache hit and a recomputation.
 impl Hypergraph {
+    /// Stream connection trees spanning `terminals` in nondecreasing
+    /// edge count, each hop bounded by `max_path_edges`. Method form of
+    /// [`ConnectionTreeIter::new`].
+    pub fn tree_iter<'g>(
+        &'g self,
+        terminals: &BTreeSet<RelName>,
+        max_path_edges: usize,
+    ) -> ConnectionTreeIter<'g> {
+        ConnectionTreeIter::new(self, terminals, max_path_edges)
+    }
+
     /// Enumerate up to `limit` connection trees spanning `terminals`,
     /// each hop bounded by `max_path_edges`. Method form of
     /// [`ConnectionTree::enumerate_with_limit`].
@@ -374,9 +554,9 @@ mod tests {
     }
 
     #[test]
-    fn long_chain_beyond_path_cap_falls_back_to_greedy() {
-        // 10-hop chain: beyond the exhaustive PATH_CAP, but the greedy
-        // fallback must still connect the endpoints.
+    fn long_chain_beyond_path_cap_falls_back_to_shortest() {
+        // 10-hop chain: beyond the exhaustive PATH_CAP, but the
+        // shortest-path fallback must still connect the endpoints.
         let names: Vec<String> = (0..11).map(|i| format!("N{i}")).collect();
         let rels: BTreeSet<RelName> = names.iter().map(|n| RelName::new(n.clone())).collect();
         let joins = names
@@ -403,6 +583,10 @@ mod tests {
             g.connect_tree(&t, usize::MAX),
             ConnectionTree::connect(&g, &t)
         );
+        assert_eq!(
+            g.tree_iter(&t, usize::MAX).collect::<Vec<_>>(),
+            ConnectionTree::enumerate(&g, &t, usize::MAX)
+        );
     }
 
     #[test]
@@ -416,5 +600,57 @@ mod tests {
         let t = ConnectionTree::connect(&g, &[rel("A"), rel("D")].into_iter().collect()).unwrap();
         assert_eq!(t.joins.len(), 3);
         assert_eq!(t.relations.len(), 4);
+    }
+
+    /// The streaming contract: trees come out in nondecreasing edge
+    /// count, and every `take(k)` prefix equals the collect-all result
+    /// truncated to `k` — the property the prefix-serving memo cache
+    /// relies on.
+    #[test]
+    fn iter_yields_sorted_prefixes() {
+        // A—B directly (1 hop), A—X—B (2 hops), A—Y—Z—B (3 hops).
+        let rels: BTreeSet<RelName> = ["A", "B", "X", "Y", "Z"].iter().map(|s| rel(s)).collect();
+        let g = Hypergraph::from_parts(
+            rels,
+            vec![
+                jc("J5", "A", "B"),
+                jc("J1", "A", "X"),
+                jc("J2", "X", "B"),
+                jc("J3", "A", "Y"),
+                jc("J4", "Y", "Z"),
+                jc("J6", "Z", "B"),
+            ],
+        );
+        let t: BTreeSet<RelName> = [rel("A"), rel("B")].into_iter().collect();
+        let all: Vec<ConnectionTree> = g.tree_iter(&t, usize::MAX).collect();
+        assert_eq!(all.len(), 3);
+        let lens: Vec<usize> = all.iter().map(|tr| tr.joins.len()).collect();
+        assert_eq!(lens, vec![1, 2, 3]);
+        for k in 0..=all.len() {
+            let prefix: Vec<ConnectionTree> = g.tree_iter(&t, usize::MAX).take(k).collect();
+            assert_eq!(prefix, all[..k].to_vec(), "prefix k={k}");
+        }
+    }
+
+    /// Pulling one tree from a graph with many routes must not force
+    /// enumeration of longer routes: the first yield of the best-first
+    /// search is always a shortest route.
+    #[test]
+    fn iter_first_yield_is_shortest_route() {
+        let rels: BTreeSet<RelName> = ["A", "B", "X", "Y"].iter().map(|s| rel(s)).collect();
+        let g = Hypergraph::from_parts(
+            rels,
+            vec![
+                jc("J1", "A", "X"),
+                jc("J2", "X", "B"),
+                jc("J3", "A", "Y"),
+                jc("J4", "Y", "B"),
+                jc("J0", "A", "B"),
+            ],
+        );
+        let t: BTreeSet<RelName> = [rel("A"), rel("B")].into_iter().collect();
+        let first = g.tree_iter(&t, usize::MAX).next().unwrap();
+        assert_eq!(first.joins.len(), 1);
+        assert_eq!(first.joins[0].id, "J0");
     }
 }

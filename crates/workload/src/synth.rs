@@ -244,6 +244,107 @@ impl SynthWorkload {
         }
     }
 
+    /// The wide-MKB/high-fanout workload of the budgeted-search
+    /// benchmark (`bench-cvs` scenario `wide_mkb`).
+    ///
+    /// Relations: target `T(k, v)`, witness `W(k, w)` (in the view), one
+    /// *shallow* cover `S0(k, v)` a single join hop from `W`, and
+    /// `fanout` *deep* covers `C1..Cf(k, v)`, each at the end of its own
+    /// chain `W — Bi1 — … — Bi{depth} — Ci` with a **parallel** join
+    /// constraint on the last hop (so each deep cover contributes
+    /// several connection-tree variants). Both of `T`'s attributes are
+    /// covered by every cover relation, so the cover-combination space
+    /// is `(1 + fanout)²` wide — the shallow×shallow combination is
+    /// declared first and strictly dominates structurally.
+    ///
+    /// An exhaustive search expands every combination; a budgeted
+    /// `top_k = 1` search keeps the shallow candidate and prunes every
+    /// deep combination through the admissible relation-count bound
+    /// before its trees are even enumerated. Both return the same best
+    /// rewriting, which is what the `bench-smoke` assertion checks.
+    pub fn wide_mkb(fanout: usize, depth: usize) -> SynthWorkload {
+        assert!(fanout >= 1, "fanout must be at least 1");
+        assert!(depth >= 1, "depth must be at least 1");
+        let mut mkb = MetaKnowledgeBase::new();
+        let t = RelName::new("T");
+        let w = RelName::new("W");
+        let s0 = RelName::new("S0");
+
+        let kv = |name: &RelName, second: &str| {
+            RelationDescription::new(
+                format!("IS_{name}"),
+                name.clone(),
+                vec![
+                    AttributeDef::new("k", DataType::Int),
+                    AttributeDef::new(second, DataType::Int),
+                ],
+            )
+        };
+        mkb.add_relation(kv(&t, "v")).expect("fresh relation");
+        mkb.add_relation(kv(&w, "w")).expect("fresh relation");
+        mkb.add_relation(kv(&s0, "v")).expect("fresh relation");
+        mkb.add_join(key_join("JT", &t, &w)).expect("valid join");
+        mkb.add_join(key_join("JS0", &w, &s0)).expect("valid join");
+
+        // Declared first: the shallow cover, so the first cover
+        // combination the search tries is the dominant one.
+        let add_cover = |mkb: &mut MetaKnowledgeBase, idx: usize, src: &RelName| {
+            mkb.add_function_of(FunctionOf::new(
+                format!("Fk{idx}"),
+                AttrRef::new(t.clone(), "k"),
+                ScalarExpr::Attr(AttrRef::new(src.clone(), "k")),
+            ))
+            .expect("valid funcof");
+            mkb.add_function_of(FunctionOf::new(
+                format!("Fv{idx}"),
+                AttrRef::new(t.clone(), "v"),
+                ScalarExpr::Attr(AttrRef::new(src.clone(), "v")),
+            ))
+            .expect("valid funcof");
+        };
+        add_cover(&mut mkb, 0, &s0);
+
+        for i in 1..=fanout {
+            let mut prev = w.clone();
+            for j in 1..=depth {
+                let b = RelName::new(format!("B{i}_{j}"));
+                mkb.add_relation(RelationDescription::new(
+                    format!("IS_B{i}"),
+                    b.clone(),
+                    vec![AttributeDef::new("k", DataType::Int)],
+                ))
+                .expect("fresh relation");
+                mkb.add_join(key_join(&format!("J{i}_{j}"), &prev, &b))
+                    .expect("valid join");
+                prev = b;
+            }
+            let c = RelName::new(format!("C{i}"));
+            mkb.add_relation(kv(&c, "v")).expect("fresh relation");
+            // Parallel last-hop constraints: each deep cover combination
+            // enumerates several connection-tree variants.
+            mkb.add_join(key_join(&format!("J{i}_last_a"), &prev, &c))
+                .expect("valid join");
+            mkb.add_join(key_join(&format!("J{i}_last_b"), &prev, &c))
+                .expect("valid join");
+            add_cover(&mut mkb, i, &c);
+        }
+
+        let view = build_view(
+            "WideView",
+            ViewExtent::Any,
+            &[(t.clone(), vec!["k", "v"]), (w.clone(), vec!["k", "w"])],
+            &[Clause::eq_attrs(
+                AttrRef::new(t.clone(), "k"),
+                AttrRef::new(w.clone(), "k"),
+            )],
+        );
+        SynthWorkload {
+            mkb,
+            view,
+            target: t,
+        }
+    }
+
     /// A random workload per `cfg`, deterministic in `seed`.
     pub fn random(cfg: &SynthConfig, seed: u64) -> SynthWorkload {
         assert!(cfg.n_relations >= 2);
@@ -734,6 +835,32 @@ mod tests {
             "PC certificate not picked up: {:?}",
             rewritings.iter().map(|r| r.verdict).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn wide_mkb_structure_and_search() {
+        let w = SynthWorkload::wide_mkb(3, 2);
+        // T, W, S0 + 3 × (2 intermediates + 1 cover) = 12 relations.
+        assert_eq!(w.mkb.relation_count(), 12);
+        // JT + JS0 + 3 × (2 chain + 2 parallel last-hop) = 14 joins.
+        assert_eq!(w.mkb.joins().len(), 14);
+        // (1 + 3 deep covers) × 2 attributes.
+        assert_eq!(w.mkb.function_ofs().len(), 8);
+        let errs = eve_esql::validate_view(&w.view);
+        assert!(errs.is_empty(), "{errs:?}");
+
+        // The shallow S0 candidate must win: it is the structurally
+        // smallest rewriting (two relations, one join).
+        let mkb2 = evolve(&w.mkb, &w.delete_change()).unwrap();
+        let reps =
+            cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default()).unwrap();
+        assert!(reps.len() > 1, "deep covers must contribute alternatives");
+        assert!(
+            reps[0].replacement.relations.contains(&RelName::new("S0")),
+            "{:?}",
+            reps[0].replacement.relations
+        );
+        assert_eq!(reps[0].replacement.relations.len(), 2);
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! semicolon-separated). Changes use the paper's operator notation, e.g.
 //! `delete-attribute Customer.Addr` or `rename-relation Tour -> Trip`.
 
-use eve::cvs::{explain_rewriting, CostModel, CvsOptions, SynchronizerBuilder, ViewOutcome};
+use eve::cvs::{
+    explain_rewriting_with_stats, CostModel, CvsOptions, SynchronizerBuilder, ViewOutcome,
+};
 use eve::esql::{parse_views, validate_view};
 use eve::hypergraph::{dot, Hypergraph};
 use eve::misd::{check_mkb, check_view, parse_misd, CapabilityChange, MetaKnowledgeBase};
@@ -233,10 +235,13 @@ fn cmd_sync(args: &[String]) -> ExitCode {
                 println!("{outcome}");
                 if explain {
                     for (name, view_outcome) in &outcome.views {
-                        if let ViewOutcome::Rewritten { chosen, .. } = view_outcome {
+                        if let ViewOutcome::Rewritten { chosen, stats, .. } = view_outcome {
                             if let Some((_, orig)) = originals.iter().find(|(n, _)| n == name) {
                                 println!("explanation for {name}:");
-                                print!("{}", explain_rewriting(orig, chosen));
+                                print!(
+                                    "{}",
+                                    explain_rewriting_with_stats(orig, chosen, Some(stats))
+                                );
                             }
                         }
                     }

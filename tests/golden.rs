@@ -103,3 +103,44 @@ fn golden_sweep_covers() {
         &eve_bench::sweeps::render_covers(&eve_bench::sweeps::sweep_covers(4, 5)),
     );
 }
+
+/// The administrator-facing explanation of a chosen rewriting including
+/// the search summary ([`eve::cvs::SearchStats`]) from the engine — pins
+/// both the narrative and the candidates-generated/pruned/kept counters
+/// the streaming search reports.
+#[test]
+fn golden_explain_with_search_stats() {
+    use eve::cvs::{explain_rewriting_with_stats, CvsOptions, SynchronizerBuilder, ViewOutcome};
+    use eve::esql::parse_view;
+    use eve::misd::CapabilityChange;
+    use eve::relational::RelName;
+    use eve::workload::TravelFixture;
+
+    let fixture = TravelFixture::new();
+    let view = parse_view(
+        "CREATE VIEW Customer-Passengers-Asia AS
+         SELECT C.Name (false, true), C.Age (true, true), F.PName (true, true),
+                P.Participant (true, true), P.TourID (true, true)
+         FROM Customer C (true, true), FlightRes F (true, true), Participant P (true, true)
+         WHERE (C.Name = F.PName) (false, true) AND (F.Dest = 'Asia') (CD = true)
+           AND (P.StartDate = F.Date) (CD = true) AND (P.Loc = 'Asia') (CD = true)",
+    )
+    .expect("view parses");
+    let original = view.clone();
+    let mut sync = SynchronizerBuilder::new(fixture.mkb().clone())
+        .with_options(CvsOptions::default())
+        .with_view(view)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .build();
+    let outcome = sync
+        .apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+        .expect("MKB evolves");
+    let (_, view_outcome) = &outcome.views[0];
+    let ViewOutcome::Rewritten { chosen, stats, .. } = view_outcome else {
+        panic!("expected rewriting, got {view_outcome:?}");
+    };
+    check(
+        "explain_search_stats",
+        &explain_rewriting_with_stats(&original, chosen, Some(stats)),
+    );
+}
