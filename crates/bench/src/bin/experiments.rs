@@ -108,7 +108,10 @@ fn run(id: &str, quick: bool, out_dir: &Path) -> String {
         "cost-rank" => cost_rank::cost_rank(),
         "bench-cvs" => {
             let rows = perf::bench_cvs(quick);
-            let json = perf::to_json(&rows);
+            // One traced pass outside the timed rows: phase timings and
+            // cache/search counters land in the JSON alongside the medians.
+            let trace = perf::trace_summary();
+            let json = perf::to_json(&rows, trace.as_ref());
             write_out(out_dir, "BENCH_cvs.json", &json);
             format!(
                 "{}\n(JSON written to {}/BENCH_cvs.json)\n",

@@ -1,0 +1,59 @@
+//! Disabled-telemetry overhead probe for the CI guard.
+//!
+//! Mirrors the `cvs_index_reuse_8_views/cached/64` criterion scenario —
+//! one per-change [`MkbIndex`] build plus eight indexed view
+//! synchronizations per iteration — without criterion, so it runs in a
+//! couple of seconds and compiles with *and* without the `telemetry`
+//! feature. CI builds both configurations, runs each, and asserts the
+//! default build (telemetry compiled in but **not** installed, i.e. the
+//! one-relaxed-atomic-load fast path) stays within 5% of the
+//! `--no-default-features` build.
+//!
+//! Output: a single line `median_ns_per_iter=<n>` on stdout.
+
+use eve_core::{cvs_delete_relation_indexed, CvsOptions, MkbIndex};
+use eve_misd::evolve;
+use eve_workload::{SynthConfig, SynthWorkload, Topology};
+use std::time::Instant;
+
+const VIEWS: usize = 8;
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+
+    let cfg = SynthConfig {
+        n_relations: 64,
+        topology: Topology::Random { extra: 16 },
+        cover_count: 3,
+        view_relations: 3,
+        ..SynthConfig::default()
+    };
+    let w = SynthWorkload::random(&cfg, 7);
+    let mkb2 = evolve(&w.mkb, &w.delete_change()).expect("target described");
+    let opts = CvsOptions::default();
+
+    let one_iter = || {
+        let index = MkbIndex::new(&w.mkb, &mkb2, &opts);
+        for _ in 0..VIEWS {
+            cvs_delete_relation_indexed(&w.view, &w.target, &index, &opts)
+                .expect("workload is synchronizable");
+        }
+    };
+
+    // Warm-up: fault in code paths and allocator arenas before timing.
+    for _ in 0..5 {
+        one_iter();
+    }
+
+    let mut samples: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        one_iter();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    println!("median_ns_per_iter={}", samples[samples.len() / 2]);
+}

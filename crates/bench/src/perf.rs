@@ -32,6 +32,86 @@ pub struct PerfRow {
     pub search: Option<SearchStats>,
 }
 
+/// Aggregate phase timing for one span name (`span.<phase>` histogram),
+/// as embedded under `"telemetry"` in `BENCH_cvs.json`.
+#[derive(Debug, Clone)]
+pub struct PhaseTiming {
+    /// Span name: `apply`, `view-sync`, `index-build`, `tree-enumeration`,
+    /// `ranking`.
+    pub phase: String,
+    /// Spans recorded.
+    pub count: u64,
+    /// Total nanoseconds across all spans of this phase.
+    pub sum_ns: u64,
+    /// Median upper bound (log-scale bucket).
+    pub p50_ns: u64,
+    /// 95th-percentile upper bound (log-scale bucket).
+    pub p95_ns: u64,
+    /// Largest single span.
+    pub max_ns: u64,
+}
+
+/// Phase timings plus cache/search counters captured from one traced
+/// pass over the bench workload. `None` when the `telemetry` feature is
+/// off or another pipeline is already installed.
+#[derive(Debug, Clone)]
+pub struct TraceSummary {
+    /// All registry counters (`index.cache.*`, `search.*`, `sync.*`, …),
+    /// sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Per-phase span timings, sorted by phase name.
+    pub phases: Vec<PhaseTiming>,
+}
+
+/// Run one traced synchronization pass over the bench workload (8
+/// affected views, 4 workers) and read the phase timings and
+/// cache/search counters back out of the metrics registry. Installs and
+/// uninstalls the process-wide pipeline, so it serializes against other
+/// telemetry users and runs *outside* the timed scenarios — the timed
+/// rows in [`bench_cvs`] stay on the disabled fast path.
+#[cfg(feature = "telemetry")]
+pub fn trace_summary() -> Option<TraceSummary> {
+    let _serial = eve_telemetry::serial_guard();
+    eve_telemetry::install(vec![]).ok()?;
+    let w = workload();
+    let change = w.delete_change();
+    let mut builder = SynchronizerBuilder::new(w.mkb.clone()).with_options(CvsOptions {
+        parallelism: Some(4),
+        ..CvsOptions::default()
+    });
+    for v in views_touching(&w.mkb, &w.target, 8, 3, 11) {
+        builder = builder.with_view(v).expect("synthetic view is valid");
+    }
+    let sync = builder.build();
+    let result = sync.preview(&change);
+    let snapshot = eve_telemetry::uninstall()?;
+    result.expect("change applies");
+    let phases = snapshot
+        .histograms
+        .iter()
+        .filter_map(|(name, h)| {
+            name.strip_prefix("span.").map(|phase| PhaseTiming {
+                phase: phase.to_string(),
+                count: h.count,
+                sum_ns: h.sum_ns,
+                p50_ns: h.p50_ns,
+                p95_ns: h.p95_ns,
+                max_ns: h.max_ns,
+            })
+        })
+        .collect();
+    Some(TraceSummary {
+        counters: snapshot.counters,
+        phases,
+    })
+}
+
+/// Without the `telemetry` feature there is nothing to read out.
+#[cfg(not(feature = "telemetry"))]
+pub fn trace_summary() -> Option<TraceSummary> {
+    None
+}
+
 fn median_ns(iters: usize, mut f: impl FnMut()) -> u128 {
     let mut samples: Vec<u128> = (0..iters.max(1))
         .map(|_| {
@@ -190,9 +270,11 @@ pub fn render(rows: &[PerfRow]) -> String {
     )
 }
 
-/// Hand-rolled JSON (the environment has no serde): one object per row.
-/// Scenario labels contain no characters needing escapes.
-pub fn to_json(rows: &[PerfRow]) -> String {
+/// Hand-rolled JSON (the environment has no serde): one object per row,
+/// plus an optional `"telemetry"` section embedding the traced pass's
+/// phase timings and cache/search counters. Scenario labels and metric
+/// names contain no characters needing escapes.
+pub fn to_json(rows: &[PerfRow], trace: Option<&TraceSummary>) -> String {
     let mut out = String::from("{\n  \"bench\": \"cvs\",\n  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let search = match &r.search {
@@ -212,7 +294,30 @@ pub fn to_json(rows: &[PerfRow]) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    match trace {
+        None => out.push_str("  ]\n}\n"),
+        Some(t) => {
+            out.push_str("  ],\n  \"telemetry\": {\n    \"counters\": {");
+            for (i, (name, value)) in t.counters.iter().enumerate() {
+                let sep = if i + 1 < t.counters.len() { ", " } else { "" };
+                out.push_str(&format!("\"{name}\": {value}{sep}"));
+            }
+            out.push_str("},\n    \"phases\": {\n");
+            for (i, p) in t.phases.iter().enumerate() {
+                out.push_str(&format!(
+                    "      \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"max_ns\": {}}}{}\n",
+                    p.phase,
+                    p.count,
+                    p.sum_ns,
+                    p.p50_ns,
+                    p.p95_ns,
+                    p.max_ns,
+                    if i + 1 < t.phases.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("    }\n  }\n}\n");
+        }
+    }
     out
 }
 
@@ -238,12 +343,76 @@ mod tests {
                 search: None,
             },
         ];
-        let j = to_json(&rows);
+        let j = to_json(&rows, None);
         assert!(j.starts_with('{') && j.trim_end().ends_with('}'));
         assert_eq!(j.matches("\"scenario\"").count(), 2);
         assert_eq!(j.matches(',').count(), 8, "{j}");
         let rendered = render(&rows);
         assert!(rendered.contains("2.50x"), "{rendered}");
+    }
+
+    #[test]
+    fn json_embeds_trace_summary_when_present() {
+        let rows = vec![PerfRow {
+            scenario: "parallel_sync/t1".into(),
+            views: 64,
+            threads: 1,
+            median_ns: 1000,
+            search: None,
+        }];
+        let trace = TraceSummary {
+            counters: vec![
+                ("index.cache.hits".into(), 9),
+                ("search.trees_enumerated".into(), 4),
+            ],
+            phases: vec![PhaseTiming {
+                phase: "apply".into(),
+                count: 1,
+                sum_ns: 1_000_000,
+                p50_ns: 1_048_576,
+                p95_ns: 1_048_576,
+                max_ns: 1_000_000,
+            }],
+        };
+        let j = to_json(&rows, Some(&trace));
+        assert!(
+            j.contains("\"counters\": {\"index.cache.hits\": 9, \"search.trees_enumerated\": 4}"),
+            "{j}"
+        );
+        assert!(
+            j.contains(
+                "\"apply\": {\"count\": 1, \"sum_ns\": 1000000, \
+                 \"p50_ns\": 1048576, \"p95_ns\": 1048576, \"max_ns\": 1000000}"
+            ),
+            "{j}"
+        );
+        assert!(j.trim_end().ends_with('}'), "{j}");
+    }
+
+    /// With the feature on, the traced pass must surface every phase of
+    /// the pipeline and nonzero cache/search counters.
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn trace_summary_covers_all_phases() {
+        let t = trace_summary().expect("telemetry pipeline available");
+        let phases: Vec<&str> = t.phases.iter().map(|p| p.phase.as_str()).collect();
+        for phase in ["apply", "view-sync", "index-build", "ranking"] {
+            assert!(phases.contains(&phase), "missing {phase}: {phases:?}");
+        }
+        assert!(t.phases.iter().all(|p| p.count > 0 && p.sum_ns > 0));
+        let counter = |n: &str| {
+            t.counters
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|&(_, v)| v)
+        };
+        assert_eq!(counter("index.builds"), Some(1));
+        assert_eq!(counter("sync.changes"), Some(1));
+        assert!(counter("search.candidates_generated").unwrap_or(0) > 0);
+        assert!(
+            counter("index.cache.hits").unwrap_or(0) + counter("index.cache.misses").unwrap_or(0)
+                > 0
+        );
     }
 
     #[test]
@@ -261,7 +430,7 @@ mod tests {
                 budget_exhausted: false,
             }),
         }];
-        let j = to_json(&rows);
+        let j = to_json(&rows, None);
         assert!(
             j.contains(
                 "\"search\": {\"generated\": 3, \"pruned\": 4, \"kept\": 1, \

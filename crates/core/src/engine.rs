@@ -211,7 +211,12 @@ pub fn synchronize_view(
         require_p3,
         cost_model,
     };
-    match strategy.synchronize(view, change, index, opts, ctx) {
+    // Histogram (not span) so direct engine callers — benches, tests —
+    // feed the same per-view latency distribution as the fan-out path.
+    let timer = crate::telem::start_timer();
+    let result = strategy.synchronize(view, change, index, opts, ctx);
+    crate::telem::stop_timer("engine.view_sync_ns", timer);
+    match result {
         Ok(SearchResult {
             mut rewritings,
             mut stats,

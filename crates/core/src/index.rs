@@ -255,6 +255,10 @@ impl<'m> MkbIndex<'m> {
         mkb_prime: &'m MetaKnowledgeBase,
         opts: &CvsOptions,
     ) -> Self {
+        let mut span = crate::telem::span("index-build");
+        span.field("relations", mkb.relation_count() as u64);
+        span.field("joins", mkb.joins().len() as u64);
+        crate::telem::counter_add("index.builds", 1);
         let h = Hypergraph::build(mkb);
         let components = h.components();
         let mut component_ids = BTreeMap::new();
@@ -345,10 +349,13 @@ impl<'m> MkbIndex<'m> {
         max_path_edges: usize,
     ) -> Arc<Vec<ConnectionTree>> {
         if !self.cache_enabled {
-            return Arc::new(
-                self.h_prime
-                    .enumerate_trees(terminals, limit, max_path_edges),
-            );
+            let mut span = crate::telem::span("tree-enumeration");
+            span.field("terminals", terminals.len() as u64);
+            let trees = self
+                .h_prime
+                .enumerate_trees(terminals, limit, max_path_edges);
+            span.field("yielded", trees.len() as u64);
+            return Arc::new(trees);
         }
         let key = (
             terminals.iter().cloned().collect::<Vec<_>>(),
@@ -365,6 +372,8 @@ impl<'m> MkbIndex<'m> {
             }
         }
         self.trees.count_miss();
+        let mut span = crate::telem::span("tree-enumeration");
+        span.field("terminals", terminals.len() as u64);
         let mut prefix = cell.write().unwrap_or_else(|e| e.into_inner());
         if !prefix.serves(limit) {
             // Extend by re-running the pure stream from the start — the
@@ -385,6 +394,7 @@ impl<'m> MkbIndex<'m> {
             prefix.trees = Arc::new(trees);
             prefix.exhausted = exhausted;
         }
+        span.field("yielded", prefix.trees.len() as u64);
         prefix.serve(limit)
     }
 

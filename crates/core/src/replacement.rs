@@ -423,6 +423,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
             if combo.provably_disconnected {
                 // Enumeration over these terminals is provably empty.
                 self.any_disconnected = true;
+                crate::telem::counter_add("search.disconnected_combos", 1);
                 continue;
             }
             let Some((c_max_min, dropped_conditions)) = combo.cmm.clone() else {
@@ -456,6 +457,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 if remaining == 0 {
                     // Combinations remain but the tree budget is spent.
                     self.tree_budget_exhausted = true;
+                    crate::telem::counter_add("search.tree_budget_exhausted", 1);
                     return None;
                 }
                 let chunk = self.opts.max_trees_per_combination.min(remaining);
@@ -467,6 +469,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                         .enumerate_trees(&combo.terminals, chunk, self.opts.max_path_edges);
                 if trees.is_empty() {
                     self.any_disconnected = true;
+                    crate::telem::counter_add("search.disconnected_combos", 1);
                     continue;
                 }
                 self.trees_enumerated += trees.len();

@@ -400,6 +400,8 @@ pub fn cvs_delete_relation_searched(
         .collect();
 
     let k = budget.top_k;
+    let mut rank_span = crate::telem::span("ranking");
+    rank_span.label(|| view.name.clone());
     // Kept candidates, sorted ascending by `cmp_keys`; ties inserted
     // after their equals, reproducing the legacy stable sorts.
     let mut selector: Vec<(CandKey, LegalRewriting)> = Vec::new();
@@ -492,6 +494,23 @@ pub fn cvs_delete_relation_searched(
         trees_enumerated: stream.trees_enumerated(),
         budget_exhausted: deadline_hit || candidate_cap_hit || stream.tree_budget_exhausted(),
     };
+    // The registry totals are a read-out of the same counters that feed
+    // `SearchStats`, so the per-view public API and the process-wide
+    // metrics can never disagree.
+    if crate::telem::enabled() {
+        rank_span.field("generated", stats.generated as u64);
+        rank_span.field("pruned", stats.pruned as u64);
+        rank_span.field("kept", stats.kept as u64);
+        rank_span.field("trees", stats.trees_enumerated as u64);
+        crate::telem::counter_add("search.candidates_generated", stats.generated as u64);
+        crate::telem::counter_add("search.candidates_pruned", stats.pruned as u64);
+        crate::telem::counter_add("search.candidates_kept", stats.kept as u64);
+        crate::telem::counter_add("search.trees_enumerated", stats.trees_enumerated as u64);
+        if stats.budget_exhausted {
+            crate::telem::counter_add("search.budget_exhausted", 1);
+        }
+    }
+    drop(rank_span);
     if selector.is_empty() {
         return Err(if assembled_any {
             // Candidates assembled fine but all failed the P3

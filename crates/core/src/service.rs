@@ -18,6 +18,7 @@
 //! commits fully-built state.
 
 use crate::synchronizer::{ChangeOutcome, Synchronizer};
+use crate::telem;
 use eve_esql::ViewDefinition;
 use eve_misd::{CapabilityChange, MetaKnowledgeBase, MisdError};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -37,11 +38,23 @@ impl SharedSynchronizer {
     }
 
     fn read_lock(&self) -> RwLockReadGuard<'_, Synchronizer> {
-        self.inner.read().unwrap_or_else(|e| e.into_inner())
+        let wait = telem::start_timer();
+        let result = self.inner.read();
+        telem::stop_timer("service.read_wait_ns", wait);
+        result.unwrap_or_else(|e| {
+            telem::counter_add("service.poison_recoveries", 1);
+            e.into_inner()
+        })
     }
 
     fn write_lock(&self) -> RwLockWriteGuard<'_, Synchronizer> {
-        self.inner.write().unwrap_or_else(|e| e.into_inner())
+        let wait = telem::start_timer();
+        let result = self.inner.write();
+        telem::stop_timer("service.write_wait_ns", wait);
+        result.unwrap_or_else(|e| {
+            telem::counter_add("service.poison_recoveries", 1);
+            e.into_inner()
+        })
     }
 
     /// Snapshot one view definition (None when unknown or disabled).
@@ -158,6 +171,54 @@ mod tests {
             .view("CPA")
             .expect("alive")
             .uses_relation(&RelName::new("Customer")));
+    }
+
+    #[test]
+    fn panic_while_writing_leaves_readers_on_last_snapshot() {
+        #[cfg(feature = "telemetry")]
+        let _serial = eve_telemetry::serial_guard();
+        #[cfg(feature = "telemetry")]
+        eve_telemetry::install(vec![]).expect("no pipeline installed");
+
+        let s = shared();
+        // A writer takes the lock directly and dies holding it, so the
+        // lock is genuinely poisoned (apply() commits fully-built state
+        // and cannot poison mid-change on its own).
+        let poisoner = {
+            let s = s.clone();
+            thread::spawn(move || {
+                let _guard = s.inner.write().unwrap();
+                panic!("writer dies while holding the lock");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(s.inner.is_poisoned());
+
+        // Readers recover the guard and still see the last committed
+        // snapshot: original view, original MKB, consistently.
+        let view = s.view("CPA").expect("view resolvable after poison");
+        assert!(view.uses_relation(&RelName::new("Customer")));
+        assert!(s.mkb().contains_relation(&RelName::new("Customer")));
+
+        // The handle keeps working for writes too.
+        let outcome = s
+            .apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+            .expect("applies after poison");
+        assert_eq!(outcome.rewritten(), 1);
+        assert!(!s
+            .view("CPA")
+            .expect("alive")
+            .uses_relation(&RelName::new("Customer")));
+
+        #[cfg(feature = "telemetry")]
+        {
+            let snap = eve_telemetry::uninstall().expect("pipeline was installed");
+            let recoveries = snap.counter("service.poison_recoveries").unwrap_or(0);
+            assert!(
+                recoveries >= 3,
+                "read+read+write recoveries, got {recoveries}"
+            );
+        }
     }
 
     #[test]

@@ -33,10 +33,11 @@ use crate::affected::{is_affected, is_evaluable};
 use crate::cost::CostModel;
 use crate::engine;
 use crate::error::CvsError;
-use crate::index::MkbIndex;
+use crate::index::{CacheStats, MkbIndex};
 use crate::legal::LegalRewriting;
 use crate::options::CvsOptions;
 use crate::rewrite::SearchStats;
+use crate::telem;
 use eve_esql::{validate_view, ViewDefinition};
 use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase, MisdError};
 use std::fmt;
@@ -80,12 +81,23 @@ impl ViewOutcome {
 }
 
 /// The outcome of applying one capability change.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ChangeOutcome {
     /// The change that was applied.
     pub change: CapabilityChange,
     /// Per-view outcomes, in view registration order.
     pub views: Vec<(String, ViewOutcome)>,
+    /// Hit/miss totals of the per-change [`MkbIndex`] memo tables.
+    pub cache: CacheStats,
+}
+
+impl PartialEq for ChangeOutcome {
+    /// `cache` is deliberately excluded: hit/miss totals depend on how
+    /// concurrent workers interleave on the shared memo tables, while
+    /// the adopted rewritings are required to be schedule-independent.
+    fn eq(&self, other: &Self) -> bool {
+        self.change == other.change && self.views == other.views
+    }
 }
 
 impl ChangeOutcome {
@@ -336,10 +348,13 @@ impl Synchronizer {
     /// registration order, so the outcome is byte-identical to a
     /// sequential run.
     pub fn apply(&mut self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
+        let mut apply_span = telem::span("apply");
+        apply_span.label(|| change.to_string());
         let mkb_prime = evolve(&self.mkb, change)?;
         let mut outcomes = Vec::with_capacity(self.views.len());
         let mut next_views = Vec::with_capacity(self.views.len());
         let mut newly_disabled = Vec::new();
+        let cache;
 
         {
             let index = MkbIndex::new(&self.mkb, &mkb_prime, &self.opts);
@@ -353,12 +368,20 @@ impl Synchronizer {
                 .filter(|(_, v)| is_affected(v, change))
                 .map(|(_, v)| Arc::clone(v))
                 .collect();
+            apply_span.field("affected", affected.len() as u64);
+            let apply_ctx = apply_span.ctx();
             let index_ref = &index;
             let opts_ref = &self.opts;
             let require_p3 = self.require_p3;
             let cost_model = self.cost_model.as_ref();
             let mut results =
-                parpool::map_in_order(self.opts.effective_parallelism(), affected, |_, view| {
+                parpool::map_in_order(self.opts.effective_parallelism(), affected, |task, view| {
+                    // Pool workers have no span stack of their own:
+                    // parent explicitly under the apply span so the
+                    // fan-out shows up as one tree.
+                    let mut view_span = telem::span_under("view-sync", apply_ctx);
+                    view_span.label(|| view.name.clone());
+                    view_span.field("task", task as u64);
                     engine::synchronize_view(
                         &view, change, index_ref, opts_ref, require_p3, cost_model,
                     )
@@ -397,6 +420,14 @@ impl Synchronizer {
             }
             still_disabled.extend(newly_disabled);
             self.disabled = still_disabled;
+
+            // Fold the per-index memo counters into the registry before
+            // the index (and its atomics) goes away.
+            cache = index.cache_stats();
+            if telem::enabled() {
+                telem::counter_add("index.cache.hits", cache.hits);
+                telem::counter_add("index.cache.misses", cache.misses);
+            }
         }
 
         self.views = next_views;
@@ -407,10 +438,24 @@ impl Synchronizer {
             views: self.views.clone(),
             disabled: self.disabled.clone(),
         });
-        Ok(ChangeOutcome {
+        let outcome = ChangeOutcome {
             change: change.clone(),
             views: outcomes,
-        })
+            cache,
+        };
+        if telem::enabled() {
+            telem::counter_add("sync.changes", 1);
+            telem::counter_add("sync.views.rewritten", outcome.rewritten() as u64);
+            let disabled = outcome.views.iter().filter(|(_, o)| !o.survived()).count();
+            telem::counter_add("sync.views.disabled", disabled as u64);
+            let revived = outcome
+                .views
+                .iter()
+                .filter(|(_, o)| matches!(o, ViewOutcome::Revived))
+                .count();
+            telem::counter_add("sync.views.revived", revived as u64);
+        }
+        Ok(outcome)
     }
 
     /// The evolution history: snapshot 0 is the initial state; snapshot

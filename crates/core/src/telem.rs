@@ -1,0 +1,84 @@
+//! Crate-internal facade over `eve-telemetry`.
+//!
+//! With the default `telemetry` feature this re-exports the real API;
+//! without it every call site compiles down to a no-op (the overhead
+//! guard builds `--no-default-features` to measure against that
+//! baseline). Call sites use `crate::telem::…` and never mention the
+//! feature themselves.
+
+#[cfg(feature = "telemetry")]
+pub(crate) use eve_telemetry::{counter_add, enabled, span, span_under, start_timer, stop_timer};
+
+#[cfg(not(feature = "telemetry"))]
+pub(crate) use inert::*;
+
+#[cfg(not(feature = "telemetry"))]
+mod inert {
+    //! Signature-compatible no-op mirror of the `eve-telemetry` API.
+    #![allow(dead_code)]
+
+    use std::time::Instant;
+
+    #[inline(always)]
+    pub(crate) fn enabled() -> bool {
+        false
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub(crate) struct SpanCtx;
+
+    impl SpanCtx {
+        pub(crate) const fn root() -> SpanCtx {
+            SpanCtx
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn current() -> SpanCtx {
+        SpanCtx
+    }
+
+    pub(crate) struct Span;
+
+    impl Span {
+        #[inline(always)]
+        pub(crate) fn label(&mut self, _f: impl FnOnce() -> String) {}
+
+        #[inline(always)]
+        pub(crate) fn field(&mut self, _key: &'static str, _value: u64) {}
+
+        #[inline(always)]
+        pub(crate) fn is_recording(&self) -> bool {
+            false
+        }
+
+        #[inline(always)]
+        pub(crate) fn ctx(&self) -> SpanCtx {
+            SpanCtx
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn span(_name: &'static str) -> Span {
+        Span
+    }
+
+    #[inline(always)]
+    pub(crate) fn span_under(_name: &'static str, _parent: SpanCtx) -> Span {
+        Span
+    }
+
+    #[inline(always)]
+    pub(crate) fn counter_add(_name: &str, _n: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn record_duration_ns(_name: &str, _ns: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn start_timer() -> Option<Instant> {
+        None
+    }
+
+    #[inline(always)]
+    pub(crate) fn stop_timer(_name: &str, _timer: Option<Instant>) {}
+}

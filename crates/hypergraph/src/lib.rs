@@ -38,6 +38,7 @@
 pub mod dot;
 pub mod graph;
 pub mod paths;
+pub(crate) mod telem;
 
 pub use graph::Hypergraph;
 pub use paths::{ConnectionTree, ConnectionTreeIter};

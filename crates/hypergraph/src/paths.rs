@@ -186,6 +186,9 @@ enum IterState {
 pub struct ConnectionTreeIter<'g> {
     graph: &'g Hypergraph,
     state: IterState,
+    /// Trees yielded so far; flushed to the `hypergraph.trees_yielded`
+    /// telemetry counter when the iterator is dropped.
+    yielded: u64,
 }
 
 impl<'g> ConnectionTreeIter<'g> {
@@ -219,7 +222,20 @@ impl<'g> ConnectionTreeIter<'g> {
         } else {
             greedy_state(graph, terminals, max_path_edges)
         };
-        ConnectionTreeIter { graph, state }
+        ConnectionTreeIter {
+            graph,
+            state,
+            yielded: 0,
+        }
+    }
+}
+
+impl Drop for ConnectionTreeIter<'_> {
+    fn drop(&mut self) {
+        if crate::telem::enabled() {
+            crate::telem::counter_add("hypergraph.tree_iters", 1);
+            crate::telem::counter_add("hypergraph.trees_yielded", self.yielded);
+        }
     }
 }
 
@@ -271,6 +287,16 @@ impl Iterator for ConnectionTreeIter<'_> {
     type Item = ConnectionTree;
 
     fn next(&mut self) -> Option<ConnectionTree> {
+        let tree = self.advance();
+        if tree.is_some() {
+            self.yielded += 1;
+        }
+        tree
+    }
+}
+
+impl ConnectionTreeIter<'_> {
+    fn advance(&mut self) -> Option<ConnectionTree> {
         loop {
             match &mut self.state {
                 IterState::Paths {

@@ -1,0 +1,23 @@
+//! Crate-internal facade over `eve-telemetry` (counters only — the
+//! hypergraph layer records enumeration totals, the spans live in
+//! `eve-core`). Without the default `telemetry` feature every call
+//! compiles down to a no-op.
+
+#[cfg(feature = "telemetry")]
+pub(crate) use eve_telemetry::{counter_add, enabled};
+
+#[cfg(not(feature = "telemetry"))]
+pub(crate) use inert::*;
+
+#[cfg(not(feature = "telemetry"))]
+mod inert {
+    #![allow(dead_code)]
+
+    #[inline(always)]
+    pub(crate) fn enabled() -> bool {
+        false
+    }
+
+    #[inline(always)]
+    pub(crate) fn counter_add(_name: &str, _n: u64) {}
+}

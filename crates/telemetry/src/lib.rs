@@ -1,0 +1,975 @@
+//! # eve-telemetry
+//!
+//! Std-only observability substrate for the EVE workspace: hierarchical
+//! spans with monotonic timings, a process-wide metrics registry
+//! (counters and log-scale latency histograms), and pluggable sinks.
+//!
+//! The build environment has no route to crates.io, so this crate is
+//! vendored alongside the other workspace shims and depends on `std`
+//! only.
+//!
+//! ## Model
+//!
+//! * A **pipeline** is installed process-wide with [`install`]: a set of
+//!   [`Sink`]s plus a fresh metrics [`Registry`]. [`uninstall`] tears it
+//!   down, flushes a final [`MetricsSnapshot`] to every sink, and
+//!   returns the snapshot.
+//! * A **span** ([`span`]/[`span_under`]) measures one phase. Spans
+//!   nest: each thread keeps a stack of open spans and a new span is
+//!   parented under the innermost open one. Cross-thread parenting is
+//!   explicit — capture [`Span::ctx`] on the coordinating thread and
+//!   open children with [`span_under`] on workers. On drop a span emits
+//!   a [`SpanRecord`] to every sink and records its duration into the
+//!   `span.<name>` histogram.
+//! * **Metrics** are plain named counters ([`counter_add`]) and
+//!   power-of-two-bucket histograms ([`record_duration_ns`]).
+//!
+//! ## Disabled fast path
+//!
+//! When no pipeline is installed, every entry point short-circuits on a
+//! single relaxed atomic load: no locks, no allocation, no `Instant`
+//! reads. [`span`] returns an inert guard whose drop is a no-op. This
+//! keeps always-on instrumentation affordable in hot loops.
+//!
+//! ## Sinks
+//!
+//! [`Collector`] buffers records in memory (for tests and for the CLI's
+//! `--trace` tree, rendered with [`render_tree`]). [`JsonlSink`] writes
+//! one JSON object per line — spans while running, counters and
+//! histogram summaries on [`uninstall`] — using the hand-rolled encoder
+//! in [`json`] (no serde in the vendored workspace).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
+use std::time::Instant;
+
+pub mod json;
+
+// ---------------------------------------------------------------------------
+// Global pipeline state
+// ---------------------------------------------------------------------------
+
+/// The one-load fast path: `true` iff a pipeline is installed.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Inner {
+    epoch: Instant,
+    next_span: AtomicU64,
+    sinks: Vec<Arc<dyn Sink>>,
+    registry: Registry,
+}
+
+fn state() -> &'static RwLock<Option<Arc<Inner>>> {
+    static STATE: OnceLock<RwLock<Option<Arc<Inner>>>> = OnceLock::new();
+    STATE.get_or_init(|| RwLock::new(None))
+}
+
+fn current_inner() -> Option<Arc<Inner>> {
+    state().read().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Is a telemetry pipeline installed? One relaxed atomic load; this is
+/// the cost every disabled-path call site pays.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Error returned by [`install`] when a pipeline is already installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlreadyInstalled;
+
+impl std::fmt::Display for AlreadyInstalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a telemetry pipeline is already installed")
+    }
+}
+
+impl std::error::Error for AlreadyInstalled {}
+
+/// Install a process-wide telemetry pipeline with the given sinks and a
+/// fresh metrics registry, enabling all instrumentation.
+///
+/// Fails if a pipeline is already installed (telemetry state is global;
+/// tests that install one should serialize on [`serial_guard`]).
+pub fn install(sinks: Vec<Arc<dyn Sink>>) -> Result<(), AlreadyInstalled> {
+    let mut guard = state().write().unwrap_or_else(|e| e.into_inner());
+    if guard.is_some() {
+        return Err(AlreadyInstalled);
+    }
+    *guard = Some(Arc::new(Inner {
+        epoch: Instant::now(),
+        next_span: AtomicU64::new(1),
+        sinks,
+        registry: Registry::default(),
+    }));
+    ENABLED.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Tear down the installed pipeline, flush a final [`MetricsSnapshot`]
+/// to every sink ([`Sink::metrics`]), and return the snapshot.
+///
+/// Returns `None` if no pipeline was installed. Spans still open when
+/// the pipeline is uninstalled keep a handle to it and report to its
+/// sinks when they close; they no longer show up in later snapshots.
+pub fn uninstall() -> Option<MetricsSnapshot> {
+    ENABLED.store(false, Ordering::SeqCst);
+    let inner = state().write().unwrap_or_else(|e| e.into_inner()).take()?;
+    let snapshot = inner.registry.snapshot();
+    for sink in &inner.sinks {
+        sink.metrics(&snapshot);
+    }
+    Some(snapshot)
+}
+
+/// Snapshot the metrics registry of the installed pipeline without
+/// tearing it down. `None` if no pipeline is installed.
+pub fn metrics_snapshot() -> Option<MetricsSnapshot> {
+    current_inner().map(|inner| inner.registry.snapshot())
+}
+
+/// Serialize tests (or tools) that install the global pipeline: hold
+/// the returned guard around `install`..`uninstall`. Poisoning is
+/// ignored so one panicking test does not wedge the rest.
+pub fn serial_guard() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Stack of open span ids on this thread (innermost last).
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Small dense per-thread ordinal, assigned on first use; stabler to
+/// read in traces than `std::thread::ThreadId`.
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: Cell<u64> = const { Cell::new(u64::MAX) };
+    }
+    ORDINAL.with(|slot| {
+        if slot.get() == u64::MAX {
+            slot.set(NEXT.fetch_add(1, Ordering::SeqCst));
+        }
+        slot.get()
+    })
+}
+
+/// A handle to an open span, for explicit cross-thread parenting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCtx {
+    id: Option<u64>,
+}
+
+impl SpanCtx {
+    /// A context with no parent; children open as roots.
+    pub const fn root() -> SpanCtx {
+        SpanCtx { id: None }
+    }
+}
+
+/// The innermost span open on the current thread (inert when disabled).
+pub fn current() -> SpanCtx {
+    if !enabled() {
+        return SpanCtx::root();
+    }
+    SpanCtx {
+        id: SPAN_STACK.with(|s| s.borrow().last().copied()),
+    }
+}
+
+/// A finished span as reported to sinks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique id (monotone from 1 per installed pipeline).
+    pub id: u64,
+    /// Id of the enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Static phase name, e.g. `"apply"` or `"view-sync"`.
+    pub name: &'static str,
+    /// Optional dynamic label (view name, change description, ...).
+    pub label: Option<String>,
+    /// Start time in microseconds since the pipeline was installed.
+    pub start_us: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Dense ordinal of the thread the span closed on.
+    pub thread: u64,
+    /// Numeric attachments, e.g. `("worker", 3)`.
+    pub fields: Vec<(&'static str, u64)>,
+}
+
+struct ActiveSpan {
+    inner: Arc<Inner>,
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    label: Option<String>,
+    fields: Vec<(&'static str, u64)>,
+    start: Instant,
+    start_us: u64,
+}
+
+/// RAII span guard. Inert (all methods no-ops, drop free) when the
+/// pipeline is disabled. Close explicitly by dropping.
+#[must_use = "a span measures the scope it is alive for"]
+pub struct Span(Option<Box<ActiveSpan>>);
+
+/// Open a span named `name` under the innermost span open on this
+/// thread (or as a root).
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+    open_span(name, parent)
+}
+
+/// Open a span with an explicit parent context — the cross-thread form
+/// used by fan-out workers.
+pub fn span_under(name: &'static str, parent: SpanCtx) -> Span {
+    if !enabled() {
+        return Span(None);
+    }
+    open_span(name, parent.id)
+}
+
+fn open_span(name: &'static str, parent: Option<u64>) -> Span {
+    let Some(inner) = current_inner() else {
+        return Span(None);
+    };
+    let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+    let start = Instant::now();
+    let start_us = start.duration_since(inner.epoch).as_micros() as u64;
+    SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    Span(Some(Box::new(ActiveSpan {
+        inner,
+        id,
+        parent,
+        name,
+        label: None,
+        fields: Vec::new(),
+        start,
+        start_us,
+    })))
+}
+
+impl Span {
+    /// Attach a dynamic label; the closure runs only when recording.
+    pub fn label(&mut self, f: impl FnOnce() -> String) {
+        if let Some(a) = &mut self.0 {
+            a.label = Some(f());
+        }
+    }
+
+    /// Attach a numeric field.
+    pub fn field(&mut self, key: &'static str, value: u64) {
+        if let Some(a) = &mut self.0 {
+            a.fields.push((key, value));
+        }
+    }
+
+    /// Is this span actually recording (pipeline enabled at open time)?
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Context for parenting children of this span on other threads.
+    pub fn ctx(&self) -> SpanCtx {
+        SpanCtx {
+            id: self.0.as_ref().map(|a| a.id),
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(a) = self.0.take() else {
+            return;
+        };
+        let dur_ns = a.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&id| id == a.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            id: a.id,
+            parent: a.parent,
+            name: a.name,
+            label: a.label,
+            start_us: a.start_us,
+            dur_ns,
+            thread: thread_ordinal(),
+            fields: a.fields,
+        };
+        a.inner
+            .registry
+            .histogram(&format!("span.{}", a.name))
+            .record(dur_ns);
+        for sink in &a.inner.sinks {
+            sink.span(&record);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+/// Process-wide named counters and histograms. One registry lives for
+/// the duration of an installed pipeline.
+#[derive(Default)]
+pub struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(c) = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return c.clone();
+        }
+        self.counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return h.clone();
+        }
+        self.histograms
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(Histogram::new()))
+            .clone()
+    }
+
+    fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| (name.clone(), h.summary()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+/// Add `n` to the named counter of the installed pipeline (no-op when
+/// disabled).
+pub fn counter_add(name: &str, n: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(inner) = current_inner() {
+        inner.registry.counter(name).fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Record a nanosecond duration into the named histogram (no-op when
+/// disabled).
+pub fn record_duration_ns(name: &str, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(inner) = current_inner() {
+        inner.registry.histogram(name).record(ns);
+    }
+}
+
+/// Start a wall-clock timer iff the pipeline is enabled; pair with
+/// [`stop_timer`]. The disabled path never reads the clock.
+#[inline]
+pub fn start_timer() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Record the elapsed time of a [`start_timer`] into the named
+/// histogram (no-op if the timer was never started).
+pub fn stop_timer(name: &str, timer: Option<Instant>) {
+    if let Some(t) = timer {
+        record_duration_ns(name, t.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Fixed-shape latency histogram with power-of-two bucket bounds:
+/// bucket 0 holds exact zeros, bucket `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`. Recording is three relaxed atomic RMWs plus a
+/// `fetch_max`; quantiles are read back as bucket upper bounds.
+pub struct Histogram {
+    buckets: [AtomicU64; 65],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one nanosecond observation.
+    pub fn record(&self, ns: u64) {
+        let idx = if ns == 0 {
+            0
+        } else {
+            (u64::BITS - ns.leading_zeros()) as usize
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(ns, Ordering::Relaxed);
+        self.max.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Summarise current contents (racy reads are fine: each cell is
+    /// individually consistent).
+    pub fn summary(&self) -> HistogramSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        HistogramSummary {
+            count,
+            sum_ns: self.sum.load(Ordering::Relaxed),
+            p50_ns: quantile(&counts, count, 0.50),
+            p95_ns: quantile(&counts, count, 0.95),
+            max_ns: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Inclusive upper bound of histogram bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+fn quantile(counts: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let target = ((total as f64) * q).ceil().max(1.0) as u64;
+    let mut cumulative = 0u64;
+    for (i, c) in counts.iter().enumerate() {
+        cumulative += c;
+        if cumulative >= target {
+            return bucket_bound(i);
+        }
+    }
+    bucket_bound(counts.len() - 1)
+}
+
+/// Point-in-time read-out of a [`Histogram`]. Quantiles are bucket
+/// upper bounds (so `p50_ns` reads "p50 ≤ this many ns").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all observations, in nanoseconds.
+    pub sum_ns: u64,
+    /// Upper bound of the bucket containing the median.
+    pub p50_ns: u64,
+    /// Upper bound of the bucket containing the 95th percentile.
+    pub p95_ns: u64,
+    /// Largest observation seen.
+    pub max_ns: u64,
+}
+
+/// Sorted name/value pairs from a [`Registry`] at one point in time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// All histogram summaries, sorted by name.
+    pub histograms: Vec<(String, HistogramSummary)>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the named counter, if it was ever touched.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Summary of the named histogram, if it was ever touched.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// Destination for telemetry. Span records arrive as spans close (from
+/// any thread); the final metrics snapshot arrives on [`uninstall`].
+pub trait Sink: Send + Sync {
+    /// A span closed.
+    fn span(&self, record: &SpanRecord);
+
+    /// The pipeline is being uninstalled; `snapshot` is the final state
+    /// of the metrics registry.
+    fn metrics(&self, _snapshot: &MetricsSnapshot) {}
+}
+
+/// In-memory sink for tests and for rendering the `--trace` tree.
+#[derive(Default)]
+pub struct Collector {
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Collector {
+    /// New empty collector, ready to pass to [`install`].
+    pub fn new() -> Arc<Collector> {
+        Arc::new(Collector::default())
+    }
+
+    /// Copy of every span record collected so far.
+    pub fn spans(&self) -> Vec<SpanRecord> {
+        self.spans.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+}
+
+impl Sink for Collector {
+    fn span(&self, record: &SpanRecord) {
+        self.spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record.clone());
+    }
+}
+
+/// Sink that writes one JSON object per line: `{"type":"span",...}`
+/// while running, then `{"type":"counter",...}` and
+/// `{"type":"histogram",...}` lines when the pipeline is uninstalled.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn std::io::Write + Send>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and write JSON lines to it, buffered.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<JsonlSink> {
+        let file = std::fs::File::create(path)?;
+        Ok(JsonlSink::from_writer(Box::new(std::io::BufWriter::new(
+            file,
+        ))))
+    }
+
+    /// Wrap an arbitrary writer (used by tests to capture in memory).
+    pub fn from_writer(out: Box<dyn std::io::Write + Send>) -> JsonlSink {
+        JsonlSink {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn span(&self, r: &SpanRecord) {
+        let mut line = String::with_capacity(128);
+        line.push_str(&format!(
+            "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":",
+            json::escape(r.name),
+            r.id
+        ));
+        match r.parent {
+            Some(p) => line.push_str(&p.to_string()),
+            None => line.push_str("null"),
+        }
+        if let Some(label) = &r.label {
+            line.push_str(&format!(",\"label\":\"{}\"", json::escape(label)));
+        }
+        line.push_str(&format!(
+            ",\"thread\":{},\"start_us\":{},\"dur_ns\":{},\"fields\":{{",
+            r.thread, r.start_us, r.dur_ns
+        ));
+        for (i, (k, v)) in r.fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{}", json::escape(k), v));
+        }
+        line.push_str("}}");
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn metrics(&self, snapshot: &MetricsSnapshot) {
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                json::escape(name)
+            );
+        }
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\
+                 \"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+                json::escape(name),
+                h.count,
+                h.sum_ns,
+                h.p50_ns,
+                h.p95_ns,
+                h.max_ns
+            );
+        }
+        let _ = out.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Human format for a nanosecond duration (`842ns`, `3.1us`, `2.04ms`,
+/// `1.50s`).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Render collected spans as an indented tree, one line per span:
+/// name, optional label, `key=value` fields, then the duration in a
+/// right-aligned column. Siblings sort by start time (ties by id), so
+/// the layout is deterministic for a sequential run.
+pub fn render_tree(spans: &[SpanRecord]) -> String {
+    let known: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for s in spans {
+        match s.parent {
+            Some(p) if known.contains(&p) => children.entry(p).or_default().push(s),
+            _ => roots.push(s),
+        }
+    }
+    let by_start = |a: &&SpanRecord, b: &&SpanRecord| (a.start_us, a.id).cmp(&(b.start_us, b.id));
+    roots.sort_by(by_start);
+    for list in children.values_mut() {
+        list.sort_by(by_start);
+    }
+    let mut out = String::new();
+    fn emit(
+        out: &mut String,
+        s: &SpanRecord,
+        depth: usize,
+        children: &BTreeMap<u64, Vec<&SpanRecord>>,
+    ) {
+        let mut left = "  ".repeat(depth);
+        left.push_str(s.name);
+        if let Some(label) = &s.label {
+            left.push(' ');
+            left.push_str(label);
+        }
+        for (k, v) in &s.fields {
+            left.push_str(&format!(" {k}={v}"));
+        }
+        out.push_str(&format!("{left:<56} {:>9}\n", fmt_ns(s.dur_ns)));
+        for child in children.get(&s.id).into_iter().flatten() {
+            emit(out, child, depth + 1, children);
+        }
+    }
+    for root in roots {
+        emit(&mut out, root, 0, &children);
+    }
+    out
+}
+
+/// Render a metrics snapshot as aligned text: counters first, then
+/// histogram summaries.
+pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters:\n");
+        for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<40} {value}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {name:<40} count={} sum={} p50<={} p95<={} max={}\n",
+                h.count,
+                fmt_ns(h.sum_ns),
+                fmt_ns(h.p50_ns),
+                fmt_ns(h.p95_ns),
+                fmt_ns(h.max_ns)
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_path_is_inert() {
+        let _serial = serial_guard();
+        assert!(!enabled());
+        let mut s = span("nothing");
+        s.label(|| panic!("label closure must not run when disabled"));
+        s.field("k", 1);
+        assert!(!s.is_recording());
+        assert_eq!(s.ctx(), SpanCtx::root());
+        drop(s);
+        counter_add("nope", 7);
+        record_duration_ns("nope", 7);
+        assert!(metrics_snapshot().is_none());
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread_and_across_threads() {
+        let _serial = serial_guard();
+        let collector = Collector::new();
+        install(vec![collector.clone()]).unwrap();
+        {
+            let outer = span("outer");
+            let ctx = outer.ctx();
+            {
+                let mut inner = span("inner");
+                inner.field("n", 3);
+                drop(inner);
+            }
+            let handle = std::thread::spawn(move || {
+                let mut worker = span_under("worker", ctx);
+                worker.label(|| "w0".to_string());
+                drop(worker);
+            });
+            handle.join().unwrap();
+            drop(outer);
+        }
+        let snap = uninstall().unwrap();
+        let spans = collector.spans();
+        assert_eq!(spans.len(), 3);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let inner = spans.iter().find(|s| s.name == "inner").unwrap();
+        let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(worker.parent, Some(outer.id));
+        assert_eq!(inner.fields, vec![("n", 3)]);
+        assert_eq!(worker.label.as_deref(), Some("w0"));
+        // every span feeds its span.<name> histogram
+        for name in ["span.outer", "span.inner", "span.worker"] {
+            assert_eq!(snap.histogram(name).unwrap().count, 1, "{name}");
+        }
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let _serial = serial_guard();
+        install(vec![]).unwrap();
+        counter_add("c", 2);
+        counter_add("c", 3);
+        record_duration_ns("h", 0);
+        record_duration_ns("h", 1);
+        record_duration_ns("h", 1024);
+        let snap = uninstall().unwrap();
+        assert_eq!(snap.counter("c"), Some(5));
+        let h = snap.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum_ns, 1025);
+        assert_eq!(h.max_ns, 1024);
+        assert_eq!(h.p50_ns, 1); // bucket [1,1]
+        assert_eq!(h.p95_ns, 2047); // bucket [1024,2047]
+    }
+
+    #[test]
+    fn histogram_bucket_bounds() {
+        let h = Histogram::new();
+        for ns in [0u64, 1, 2, 3, 4, 1023, 1024, u64::MAX] {
+            h.record(ns);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max_ns, u64::MAX);
+        assert_eq!(quantile(&[1, 0, 0], 1, 0.5), 0);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn double_install_fails() {
+        let _serial = serial_guard();
+        install(vec![]).unwrap();
+        assert_eq!(install(vec![]), Err(AlreadyInstalled));
+        uninstall().unwrap();
+    }
+
+    #[test]
+    fn jsonl_sink_emits_valid_json_lines() {
+        let _serial = serial_guard();
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        install(vec![Arc::new(JsonlSink::from_writer(Box::new(
+            buf.clone(),
+        )))])
+        .unwrap();
+        {
+            let mut s = span("apply");
+            s.label(|| "delete-relation \"R\"\n".to_string());
+            s.field("affected", 2);
+        }
+        counter_add("index.cache.hits", 4);
+        record_duration_ns("service.read_wait_ns", 55);
+        uninstall().unwrap();
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines.len() >= 4, "span + counter + 2 histograms: {text}");
+        for line in &lines {
+            json::validate(line).unwrap_or_else(|e| panic!("bad JSON line {line:?}: {e}"));
+            assert!(line.contains("\"type\""), "{line}");
+            assert!(line.contains("\"name\""), "{line}");
+        }
+        assert!(text.contains("\"type\":\"span\""));
+        assert!(text.contains("\"type\":\"counter\""));
+        assert!(text.contains("\"type\":\"histogram\""));
+    }
+
+    #[test]
+    fn render_tree_is_indented_and_sorted() {
+        let spans = vec![
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "child-b",
+                label: None,
+                start_us: 20,
+                dur_ns: 1_500,
+                thread: 0,
+                fields: vec![],
+            },
+            SpanRecord {
+                id: 3,
+                parent: Some(1),
+                name: "child-a",
+                label: Some("first".into()),
+                start_us: 10,
+                dur_ns: 2_000_000,
+                thread: 0,
+                fields: vec![("k", 7)],
+            },
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "root",
+                label: None,
+                start_us: 0,
+                dur_ns: 5_000_000_000,
+                thread: 0,
+                fields: vec![],
+            },
+        ];
+        let tree = render_tree(&spans);
+        let lines: Vec<&str> = tree.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("root"));
+        assert!(lines[1].starts_with("  child-a first k=7"));
+        assert!(lines[2].starts_with("  child-b"));
+        assert!(lines[0].contains("5.00s"));
+        assert!(lines[1].contains("2.00ms"));
+        assert!(lines[2].contains("1.5us"));
+    }
+
+    #[test]
+    fn orphan_spans_render_as_roots() {
+        let spans = vec![SpanRecord {
+            id: 9,
+            parent: Some(1234),
+            name: "lost",
+            label: None,
+            start_us: 0,
+            dur_ns: 10,
+            thread: 0,
+            fields: vec![],
+        }];
+        assert!(render_tree(&spans).starts_with("lost"));
+    }
+}

@@ -27,5 +27,5 @@ pub mod synth;
 pub mod travel;
 
 pub use library::LibraryFixture;
-pub use synth::{random_views, views_touching, SynthConfig, SynthWorkload, Topology};
+pub use synth::{random_views, views_touching, SynthConfig, SynthError, SynthWorkload, Topology};
 pub use travel::TravelFixture;

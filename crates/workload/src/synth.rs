@@ -28,8 +28,8 @@
 
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition, ViewExtent};
 use eve_misd::{
-    CapabilityChange, ExtentOp, FunctionOf, JoinConstraint, MetaKnowledgeBase, PartialComplete,
-    ProjSel, RelationDescription,
+    CapabilityChange, ExtentOp, FunctionOf, JoinConstraint, MetaKnowledgeBase, MisdError,
+    PartialComplete, ProjSel, RelationDescription,
 };
 use eve_relational::{
     AttrName, AttrRef, AttributeDef, Clause, Conjunction, DataType, Database, RelName, Relation,
@@ -133,6 +133,87 @@ fn key_join(id: &str, a: &RelName, b: &RelName) -> JoinConstraint {
     )
 }
 
+/// A declaration the MKB rejected while building a synthetic workload:
+/// which kind, which id, and the underlying reason. Surfaced by the
+/// `try_*` generators so misuse (e.g. a naming scheme that collides for
+/// some fanout/depth combination) reports the exact colliding
+/// declaration instead of panicking mid-bench.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthError {
+    /// Declaration kind: `"relation"`, `"join"`, `"function-of"`, `"PC"`.
+    pub kind: &'static str,
+    /// Name of the relation or id of the constraint that was rejected.
+    pub id: String,
+    /// The underlying MKB rejection.
+    pub source: MisdError,
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "declaring {} {:?}: {}", self.kind, self.id, self.source)
+    }
+}
+
+impl std::error::Error for SynthError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// `?`-friendly wrapper over [`MetaKnowledgeBase`]'s fallible mutators
+/// that attributes every rejection to the declaration that caused it.
+struct MkbBuilder {
+    mkb: MetaKnowledgeBase,
+}
+
+impl MkbBuilder {
+    fn new() -> MkbBuilder {
+        MkbBuilder {
+            mkb: MetaKnowledgeBase::new(),
+        }
+    }
+
+    fn relation(&mut self, desc: RelationDescription) -> Result<(), SynthError> {
+        let id = desc.name.to_string();
+        self.mkb.add_relation(desc).map_err(|source| SynthError {
+            kind: "relation",
+            id,
+            source,
+        })
+    }
+
+    fn join(&mut self, jc: JoinConstraint) -> Result<(), SynthError> {
+        let id = jc.id.clone();
+        self.mkb.add_join(jc).map_err(|source| SynthError {
+            kind: "join",
+            id,
+            source,
+        })
+    }
+
+    fn function_of(&mut self, f: FunctionOf) -> Result<(), SynthError> {
+        let id = f.id.clone();
+        self.mkb.add_function_of(f).map_err(|source| SynthError {
+            kind: "function-of",
+            id,
+            source,
+        })
+    }
+
+    fn pc(&mut self, pc: PartialComplete) -> Result<(), SynthError> {
+        let id = pc.id.clone();
+        self.mkb.add_pc(pc).map_err(|source| SynthError {
+            kind: "PC",
+            id,
+            source,
+        })
+    }
+
+    fn finish(self) -> MetaKnowledgeBase {
+        self.mkb
+    }
+}
+
 impl SynthWorkload {
     /// The controlled-distance chain workload of `sweep-chain`.
     ///
@@ -143,88 +224,85 @@ impl SynthWorkload {
     /// With `with_pc`, a PC constraint `Cov(k, v) ⊇ T(k, v)` certifies
     /// the swap.
     pub fn chain(distance: usize, with_pc: bool) -> SynthWorkload {
+        Self::try_chain(distance, with_pc).unwrap_or_else(|e| panic!("chain workload: {e}"))
+    }
+
+    /// Fallible form of [`SynthWorkload::chain`]: reports which
+    /// declaration the MKB rejected instead of panicking.
+    pub fn try_chain(distance: usize, with_pc: bool) -> Result<SynthWorkload, SynthError> {
         assert!(distance >= 1, "distance must be at least 1");
-        let mut mkb = MetaKnowledgeBase::new();
+        let mut b = MkbBuilder::new();
         let t = RelName::new("T");
         let w = RelName::new("W");
         let cov = RelName::new("Cov");
 
-        mkb.add_relation(RelationDescription::new(
+        b.relation(RelationDescription::new(
             "IS_T",
             t.clone(),
             vec![
                 AttributeDef::new("k", DataType::Int),
                 AttributeDef::new("v", DataType::Int),
             ],
-        ))
-        .expect("fresh relation");
-        mkb.add_relation(RelationDescription::new(
+        ))?;
+        b.relation(RelationDescription::new(
             "IS_W",
             w.clone(),
             vec![
                 AttributeDef::new("k", DataType::Int),
                 AttributeDef::new("w", DataType::Int),
             ],
-        ))
-        .expect("fresh relation");
+        ))?;
         let mut chain: Vec<RelName> = vec![w.clone()];
         for i in 1..distance {
             let c = RelName::new(format!("C{i}"));
-            mkb.add_relation(RelationDescription::new(
+            b.relation(RelationDescription::new(
                 "IS_C",
                 c.clone(),
                 vec![AttributeDef::new("k", DataType::Int)],
-            ))
-            .expect("fresh relation");
+            ))?;
             chain.push(c);
         }
-        mkb.add_relation(RelationDescription::new(
+        b.relation(RelationDescription::new(
             "IS_Cov",
             cov.clone(),
             vec![
                 AttributeDef::new("k", DataType::Int),
                 AttributeDef::new("v", DataType::Int),
             ],
-        ))
-        .expect("fresh relation");
+        ))?;
         chain.push(cov.clone());
 
-        mkb.add_join(key_join("JT", &t, &w)).expect("valid join");
+        b.join(key_join("JT", &t, &w))?;
         for (i, pair) in chain.windows(2).enumerate() {
-            mkb.add_join(key_join(&format!("J{i}"), &pair[0], &pair[1]))
-                .expect("valid join");
+            b.join(key_join(&format!("J{i}"), &pair[0], &pair[1]))?;
         }
-        mkb.add_function_of(FunctionOf::new(
+        b.function_of(FunctionOf::new(
             "Fv",
             AttrRef::new(t.clone(), "v"),
             ScalarExpr::Attr(AttrRef::new(cov.clone(), "v")),
-        ))
-        .expect("valid funcof");
-        mkb.add_function_of(FunctionOf::new(
+        ))?;
+        b.function_of(FunctionOf::new(
             "Fk",
             AttrRef::new(t.clone(), "k"),
             ScalarExpr::Attr(AttrRef::new(cov.clone(), "k")),
-        ))
-        .expect("valid funcof");
+        ))?;
         if with_pc {
-            mkb.add_pc(PartialComplete::new(
+            b.pc(PartialComplete::new(
                 "PCcov",
                 ProjSel::new(cov.clone(), vec![AttrName::new("k"), AttrName::new("v")]),
                 ExtentOp::Superset,
                 ProjSel::new(t.clone(), vec![AttrName::new("k"), AttrName::new("v")]),
-            ))
-            .expect("valid pc");
+            ))?;
             // The intermediates must also be complete w.r.t. T's keys —
             // otherwise joining through them could lose tuples and no
             // superset certificate would be sound.
             for (i, c) in chain[1..chain.len() - 1].iter().enumerate() {
-                mkb.add_pc(PartialComplete::new(
+                b.pc(PartialComplete::new(
                     format!("PCc{i}"),
                     ProjSel::new(c.clone(), vec![AttrName::new("k")]),
                     ExtentOp::Superset,
                     ProjSel::new(t.clone(), vec![AttrName::new("k")]),
-                ))
-                .expect("valid pc");
+                ))?;
             }
         }
 
@@ -237,11 +315,11 @@ impl SynthWorkload {
                 AttrRef::new(w.clone(), "k"),
             )],
         );
-        SynthWorkload {
-            mkb,
+        Ok(SynthWorkload {
+            mkb: b.finish(),
             view,
             target: t,
-        }
+        })
     }
 
     /// The wide-MKB/high-fanout workload of the budgeted-search
@@ -263,9 +341,15 @@ impl SynthWorkload {
     /// before its trees are even enumerated. Both return the same best
     /// rewriting, which is what the `bench-smoke` assertion checks.
     pub fn wide_mkb(fanout: usize, depth: usize) -> SynthWorkload {
+        Self::try_wide_mkb(fanout, depth).unwrap_or_else(|e| panic!("wide_mkb workload: {e}"))
+    }
+
+    /// Fallible form of [`SynthWorkload::wide_mkb`]: reports which
+    /// declaration the MKB rejected instead of panicking.
+    pub fn try_wide_mkb(fanout: usize, depth: usize) -> Result<SynthWorkload, SynthError> {
         assert!(fanout >= 1, "fanout must be at least 1");
         assert!(depth >= 1, "depth must be at least 1");
-        let mut mkb = MetaKnowledgeBase::new();
+        let mut b = MkbBuilder::new();
         let t = RelName::new("T");
         let w = RelName::new("W");
         let s0 = RelName::new("S0");
@@ -280,53 +364,48 @@ impl SynthWorkload {
                 ],
             )
         };
-        mkb.add_relation(kv(&t, "v")).expect("fresh relation");
-        mkb.add_relation(kv(&w, "w")).expect("fresh relation");
-        mkb.add_relation(kv(&s0, "v")).expect("fresh relation");
-        mkb.add_join(key_join("JT", &t, &w)).expect("valid join");
-        mkb.add_join(key_join("JS0", &w, &s0)).expect("valid join");
+        b.relation(kv(&t, "v"))?;
+        b.relation(kv(&w, "w"))?;
+        b.relation(kv(&s0, "v"))?;
+        b.join(key_join("JT", &t, &w))?;
+        b.join(key_join("JS0", &w, &s0))?;
 
         // Declared first: the shallow cover, so the first cover
         // combination the search tries is the dominant one.
-        let add_cover = |mkb: &mut MetaKnowledgeBase, idx: usize, src: &RelName| {
-            mkb.add_function_of(FunctionOf::new(
+        let add_cover = |b: &mut MkbBuilder, idx: usize, src: &RelName| -> Result<(), SynthError> {
+            b.function_of(FunctionOf::new(
                 format!("Fk{idx}"),
                 AttrRef::new(t.clone(), "k"),
                 ScalarExpr::Attr(AttrRef::new(src.clone(), "k")),
-            ))
-            .expect("valid funcof");
-            mkb.add_function_of(FunctionOf::new(
+            ))?;
+            b.function_of(FunctionOf::new(
                 format!("Fv{idx}"),
                 AttrRef::new(t.clone(), "v"),
                 ScalarExpr::Attr(AttrRef::new(src.clone(), "v")),
-            ))
-            .expect("valid funcof");
+            ))?;
+            Ok(())
         };
-        add_cover(&mut mkb, 0, &s0);
+        add_cover(&mut b, 0, &s0)?;
 
         for i in 1..=fanout {
             let mut prev = w.clone();
             for j in 1..=depth {
-                let b = RelName::new(format!("B{i}_{j}"));
-                mkb.add_relation(RelationDescription::new(
+                let mid = RelName::new(format!("B{i}_{j}"));
+                b.relation(RelationDescription::new(
                     format!("IS_B{i}"),
-                    b.clone(),
+                    mid.clone(),
                     vec![AttributeDef::new("k", DataType::Int)],
-                ))
-                .expect("fresh relation");
-                mkb.add_join(key_join(&format!("J{i}_{j}"), &prev, &b))
-                    .expect("valid join");
-                prev = b;
+                ))?;
+                b.join(key_join(&format!("J{i}_{j}"), &prev, &mid))?;
+                prev = mid;
             }
             let c = RelName::new(format!("C{i}"));
-            mkb.add_relation(kv(&c, "v")).expect("fresh relation");
+            b.relation(kv(&c, "v"))?;
             // Parallel last-hop constraints: each deep cover combination
             // enumerates several connection-tree variants.
-            mkb.add_join(key_join(&format!("J{i}_last_a"), &prev, &c))
-                .expect("valid join");
-            mkb.add_join(key_join(&format!("J{i}_last_b"), &prev, &c))
-                .expect("valid join");
-            add_cover(&mut mkb, i, &c);
+            b.join(key_join(&format!("J{i}_last_a"), &prev, &c))?;
+            b.join(key_join(&format!("J{i}_last_b"), &prev, &c))?;
+            add_cover(&mut b, i, &c)?;
         }
 
         let view = build_view(
@@ -338,23 +417,28 @@ impl SynthWorkload {
                 AttrRef::new(w.clone(), "k"),
             )],
         );
-        SynthWorkload {
-            mkb,
+        Ok(SynthWorkload {
+            mkb: b.finish(),
             view,
             target: t,
-        }
+        })
     }
 
     /// A random workload per `cfg`, deterministic in `seed`.
     pub fn random(cfg: &SynthConfig, seed: u64) -> SynthWorkload {
+        Self::try_random(cfg, seed).unwrap_or_else(|e| panic!("random workload: {e}"))
+    }
+
+    /// Fallible form of [`SynthWorkload::random`]: reports which
+    /// declaration the MKB rejected instead of panicking.
+    pub fn try_random(cfg: &SynthConfig, seed: u64) -> Result<SynthWorkload, SynthError> {
         assert!(cfg.n_relations >= 2);
         assert!(cfg.payload_attrs >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut mkb = MetaKnowledgeBase::new();
+        let mut b = MkbBuilder::new();
         let names: Vec<RelName> = (0..cfg.n_relations).map(rel_name).collect();
         for n in &names {
-            mkb.add_relation(describe(n, cfg.payload_attrs))
-                .expect("fresh relation");
+            b.relation(describe(n, cfg.payload_attrs))?;
         }
 
         // Topology edges.
@@ -392,9 +476,8 @@ impl SynthWorkload {
                 }
             }
         }
-        for (idx, (a, b)) in edges.iter().enumerate() {
-            mkb.add_join(key_join(&format!("J{idx}"), &names[*a], &names[*b]))
-                .expect("valid join");
+        for (idx, (x, y)) in edges.iter().enumerate() {
+            b.join(key_join(&format!("J{idx}"), &names[*x], &names[*y]))?;
         }
 
         // Adjacency for the view construction.
@@ -416,20 +499,18 @@ impl SynthWorkload {
         }
         for (c, src) in cover_sources.iter().enumerate() {
             let s = &names[*src];
-            mkb.add_function_of(FunctionOf::new(
+            b.function_of(FunctionOf::new(
                 format!("Fk{c}"),
                 AttrRef::new(target.clone(), "k"),
                 ScalarExpr::Attr(AttrRef::new(s.clone(), "k")),
-            ))
-            .expect("valid funcof");
-            mkb.add_function_of(FunctionOf::new(
+            ))?;
+            b.function_of(FunctionOf::new(
                 format!("Fv{c}"),
                 AttrRef::new(target.clone(), "v0"),
                 ScalarExpr::Attr(AttrRef::new(s.clone(), "v0")),
-            ))
-            .expect("valid funcof");
+            ))?;
             if rng.gen_bool(cfg.pc_fraction) {
-                mkb.add_pc(PartialComplete::new(
+                b.pc(PartialComplete::new(
                     format!("PC{c}"),
                     ProjSel::new(s.clone(), vec![AttrName::new("k"), AttrName::new("v0")]),
                     ExtentOp::Superset,
@@ -437,8 +518,7 @@ impl SynthWorkload {
                         target.clone(),
                         vec![AttrName::new("k"), AttrName::new("v0")],
                     ),
-                ))
-                .expect("valid pc");
+                ))?;
             }
         }
 
@@ -454,18 +534,16 @@ impl SynthWorkload {
                     j = (j + 1) % cfg.n_relations;
                 }
                 let (t, s) = (&names[i], &names[j]);
-                mkb.add_function_of(FunctionOf::new(
+                b.function_of(FunctionOf::new(
                     format!("GFk{i}"),
                     AttrRef::new(t.clone(), "k"),
                     ScalarExpr::Attr(AttrRef::new(s.clone(), "k")),
-                ))
-                .expect("valid funcof");
-                mkb.add_function_of(FunctionOf::new(
+                ))?;
+                b.function_of(FunctionOf::new(
                     format!("GFv{i}"),
                     AttrRef::new(t.clone(), "v0"),
                     ScalarExpr::Attr(AttrRef::new(s.clone(), "v0")),
-                ))
-                .expect("valid funcof");
+                ))?;
             }
         }
 
@@ -500,7 +578,11 @@ impl SynthWorkload {
             .collect();
         let view = build_view("SynthView", cfg.extent, &rels, &clauses);
 
-        SynthWorkload { mkb, view, target }
+        Ok(SynthWorkload {
+            mkb: b.finish(),
+            view,
+            target,
+        })
     }
 
     /// The capability change this workload studies.
@@ -951,6 +1033,38 @@ mod tests {
         assert!(shapes.len() > 1, "fan-out views must not all be identical");
         // Deterministic per seed.
         assert_eq!(views, views_touching(&w.mkb, &w.target, 8, 3, 11));
+    }
+
+    #[test]
+    fn builder_reports_colliding_declaration() {
+        let mut b = MkbBuilder::new();
+        b.relation(describe(&RelName::new("R0"), 1)).unwrap();
+        let err = b.relation(describe(&RelName::new("R0"), 1)).unwrap_err();
+        assert_eq!(err.kind, "relation");
+        assert_eq!(err.id, "R0");
+        assert!(err.to_string().contains("R0"), "{err}");
+
+        b.relation(describe(&RelName::new("R1"), 1)).unwrap();
+        b.join(key_join("J0", &RelName::new("R0"), &RelName::new("R1")))
+            .unwrap();
+        let err = b
+            .join(key_join("J0", &RelName::new("R1"), &RelName::new("R0")))
+            .unwrap_err();
+        assert_eq!((err.kind, err.id.as_str()), ("join", "J0"));
+    }
+
+    #[test]
+    fn try_generators_match_panicking_forms() {
+        let a = SynthWorkload::try_chain(3, true).expect("chain builds");
+        let b = SynthWorkload::chain(3, true);
+        assert_eq!(a.view, b.view);
+        assert_eq!(a.target, b.target);
+        let a = SynthWorkload::try_wide_mkb(2, 2).expect("wide builds");
+        assert_eq!(a.target, RelName::new("T"));
+        let cfg = SynthConfig::default();
+        let a = SynthWorkload::try_random(&cfg, 7).expect("random builds");
+        let b = SynthWorkload::random(&cfg, 7);
+        assert_eq!(a.view, b.view);
     }
 
     #[test]

@@ -6,8 +6,14 @@
 //! eve-cli views <views.esql> [--mkb <mkb.misd>]   # parse/validate/typecheck E-SQL views
 //! eve-cli sync --mkb <mkb.misd> --views <views.esql> \
 //!          (--change "delete-relation Customer" [--change ...] | --snapshot <new.misd>)
-//!          [--cost] [--require-p3] [--explain]
+//!          [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>]
 //! ```
+//!
+//! `--trace` prints the per-phase timing tree (apply → per-view sync →
+//! index build → tree enumeration → ranking) and a metrics summary after
+//! the sync report; `--trace-out <file>` additionally streams every span
+//! and final metric as JSON lines to `<file>`. Either flag enables the
+//! telemetry pipeline for the run.
 //!
 //! File formats: the MISD textual format (`RELATION`/`JOIN`/`FUNCOF`/
 //! `PC`/`ORDER` statements) and E-SQL (`CREATE VIEW …` statements,
@@ -35,7 +41,7 @@ fn main() -> ExitCode {
                  eve-cli views <views.esql> [--mkb <mkb.misd>]\n  \
                  eve-cli sync --mkb <mkb.misd> --views <views.esql> \
                  (--change \"<op> ...\" [--change ...] | --snapshot <new.misd>) \
-                 [--cost] [--require-p3] [--explain]"
+                 [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>]"
             );
             ExitCode::from(2)
         }
@@ -183,6 +189,8 @@ fn cmd_sync(args: &[String]) -> ExitCode {
     let use_cost = args.iter().any(|a| a == "--cost");
     let require_p3 = args.iter().any(|a| a == "--require-p3");
     let explain = args.iter().any(|a| a == "--explain");
+    let trace = args.iter().any(|a| a == "--trace");
+    let trace_out = flag_value(args, "--trace-out");
 
     let mkb = match load_mkb(&mkb_path) {
         Ok(m) => m,
@@ -217,6 +225,26 @@ fn cmd_sync(args: &[String]) -> ExitCode {
             Err(e) => return fail(format!("view {}: {e}", v.name)),
         };
     }
+    // Telemetry is installed before the synchronizer runs so every span —
+    // apply, per-view sync, index build, tree enumeration, ranking — lands
+    // in the collector and (with --trace-out) the JSONL file.
+    let collector = if trace || trace_out.is_some() {
+        let collector = eve::telemetry::Collector::new();
+        let mut sinks: Vec<std::sync::Arc<dyn eve::telemetry::Sink>> = vec![collector.clone()];
+        if let Some(path) = &trace_out {
+            match eve::telemetry::JsonlSink::create(path) {
+                Ok(sink) => sinks.push(std::sync::Arc::new(sink)),
+                Err(e) => return fail(format!("cannot create {path}: {e}")),
+            }
+        }
+        if eve::telemetry::install(sinks).is_err() {
+            return fail("trace: telemetry pipeline already installed".into());
+        }
+        Some(collector)
+    } else {
+        None
+    };
+
     let mut sync = builder.build();
     // Snapshot originals so explanations can diff against them — cheap
     // Arc handles into the synchronizer's copy-on-write state.
@@ -229,10 +257,30 @@ fn cmd_sync(args: &[String]) -> ExitCode {
     } else {
         sync.apply_all(&changes)
     };
-    match applied {
+    let code = match applied {
         Ok(report) => {
             for outcome in &report.outcomes {
                 println!("{outcome}");
+                println!(
+                    "  index cache: {} hits, {} misses",
+                    outcome.cache.hits, outcome.cache.misses
+                );
+                for (name, view_outcome) in &outcome.views {
+                    if let ViewOutcome::Rewritten { stats, .. } = view_outcome {
+                        println!(
+                            "  search {name}: {} generated, {} pruned, {} kept, {} trees{}",
+                            stats.generated,
+                            stats.pruned,
+                            stats.kept,
+                            stats.trees_enumerated,
+                            if stats.budget_exhausted {
+                                " (budget exhausted)"
+                            } else {
+                                ""
+                            }
+                        );
+                    }
+                }
                 if explain {
                     for (name, view_outcome) in &outcome.views {
                         if let ViewOutcome::Rewritten { chosen, stats, .. } = view_outcome {
@@ -260,5 +308,19 @@ fn cmd_sync(args: &[String]) -> ExitCode {
             }
         }
         Err(e) => fail(format!("MKB evolution failed: {e}")),
+    };
+    if let Some(collector) = collector {
+        // Uninstall flushes the final metric lines into the JSONL sink
+        // and hands back the registry snapshot for the summary.
+        let snapshot = eve::telemetry::uninstall();
+        if trace {
+            println!("\ntrace:");
+            print!("{}", eve::telemetry::render_tree(&collector.spans()));
+            if let Some(snapshot) = &snapshot {
+                println!("metrics:");
+                print!("{}", eve::telemetry::render_metrics(snapshot));
+            }
+        }
     }
+    code
 }

@@ -15,7 +15,9 @@
 //! * [`cvs`] — the CVS view-synchronization algorithm, the SVS baseline,
 //!   and the end-to-end synchronizer;
 //! * [`workload`] — the paper's travel-agency fixture and synthetic
-//!   generators.
+//!   generators;
+//! * [`telemetry`] — hierarchical spans, the metrics registry, and the
+//!   trace sinks instrumenting the whole sync pipeline.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-versus-measured record.
@@ -59,6 +61,7 @@ pub use eve_esql as esql;
 pub use eve_hypergraph as hypergraph;
 pub use eve_misd as misd;
 pub use eve_relational as relational;
+pub use eve_telemetry as telemetry;
 pub use eve_workload as workload;
 
 /// Commonly used items, for `use eve::prelude::*`.

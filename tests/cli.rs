@@ -158,6 +158,126 @@ fn snapshot_sync_infers_changes() {
     );
 }
 
+/// Pin the `--trace` phase-tree format: structure, span names, labels,
+/// field values and sibling order are golden; only the timing column is
+/// normalized (durations vary run to run). Runs sequentially via
+/// `EVE_PARALLELISM=1` so span ordering is deterministic.
+#[test]
+fn trace_tree_format_is_pinned() {
+    let out = Command::new(env!("CARGO_BIN_EXE_eve-cli"))
+        .args([
+            "sync",
+            "--mkb",
+            "fixtures/travel.misd",
+            "--views",
+            "fixtures/travel_views.esql",
+            "--change",
+            "delete-relation Customer",
+            "--trace",
+        ])
+        .env("EVE_PARALLELISM", "1")
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let tree_start = stdout.find("trace:\n").expect("trace section present") + "trace:\n".len();
+    let tree_end = stdout.find("metrics:\n").expect("metrics section present");
+    // Replace each line's right-aligned duration column with a fixed
+    // token so the golden file pins everything except the timings.
+    let normalized: String = stdout[tree_start..tree_end]
+        .lines()
+        .map(|line| {
+            let structure = line
+                .trim_end()
+                .rsplit_once(char::is_whitespace)
+                .map(|(s, _)| s);
+            format!("{} <DUR>\n", structure.unwrap_or(line).trim_end())
+        })
+        .collect();
+
+    let golden =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/trace_tree.txt");
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::write(&golden, &normalized).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run UPDATE_GOLDEN=1 cargo test -p eve --test cli",
+            golden.display()
+        )
+    });
+    assert_eq!(
+        expected, normalized,
+        "trace tree drifted; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+/// `--trace-out` writes one JSON object per line, covering spans for
+/// every pipeline phase plus the final counter/histogram read-outs.
+#[test]
+fn trace_out_emits_jsonl_spans_and_metrics() {
+    let dir = std::env::temp_dir().join(format!("eve-cli-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("trace.jsonl");
+    let out = Command::new(env!("CARGO_BIN_EXE_eve-cli"))
+        .args([
+            "sync",
+            "--mkb",
+            "fixtures/travel.misd",
+            "--views",
+            "fixtures/travel_views.esql",
+            "--change",
+            "delete-relation Customer",
+            "--trace-out",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success(), "run reports the disabled view");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    std::fs::remove_dir_all(&dir).ok();
+    let mut span_names = Vec::new();
+    let mut counter_names = Vec::new();
+    for line in text.lines() {
+        // Every line is a JSON object with "type" and "name" keys.
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        let field = |key: &str| {
+            let tag = format!("\"{key}\":\"");
+            line.split_once(tag.as_str())
+                .and_then(|(_, rest)| rest.split_once('"'))
+                .map(|(v, _)| v.to_string())
+        };
+        let name = field("name").expect("line has a name");
+        match field("type").expect("line has a type").as_str() {
+            "span" => {
+                assert!(line.contains("\"dur_ns\":"), "{line}");
+                span_names.push(name);
+            }
+            "counter" => counter_names.push(name),
+            "histogram" => {}
+            other => panic!("unexpected record type {other}: {line}"),
+        }
+    }
+    for phase in [
+        "apply",
+        "view-sync",
+        "index-build",
+        "tree-enumeration",
+        "ranking",
+    ] {
+        assert!(
+            span_names.iter().any(|n| n == phase),
+            "no {phase} span in {span_names:?}"
+        );
+    }
+    assert!(counter_names.iter().any(|n| n == "index.cache.hits"));
+    assert!(counter_names
+        .iter()
+        .any(|n| n == "search.candidates_generated"));
+}
+
 #[test]
 fn bad_change_rejected() {
     let (ok, _, stderr) = cli(&[

@@ -1,0 +1,99 @@
+//! Telemetry neutrality: instrumenting the sync pipeline must never
+//! change its results. Whatever sinks are attached — none, an in-memory
+//! collector, or a JSONL writer — [`eve::cvs::Synchronizer::apply`]
+//! returns byte-identical [`eve::cvs::ChangeOutcome`]s (extending the
+//! `prop_parallel` determinism suite to the observability axis).
+//!
+//! The telemetry pipeline is process-global, so every test run holds
+//! [`eve::telemetry::serial_guard`] while installing/uninstalling.
+
+use eve::cvs::{ChangeOutcome, CvsOptions, Synchronizer, SynchronizerBuilder};
+use eve::telemetry::{Collector, JsonlSink, Sink};
+use eve::workload::{random_views, views_touching, SynthConfig, SynthWorkload, Topology};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn config() -> impl Strategy<Value = SynthConfig> {
+    (
+        6usize..20,
+        prop_oneof![
+            Just(Topology::Chain),
+            Just(Topology::Star),
+            (0usize..10).prop_map(|extra| Topology::Random { extra }),
+        ],
+        1usize..4,
+        2usize..4,
+    )
+        .prop_map(
+            |(n_relations, topology, cover_count, view_relations)| SynthConfig {
+                n_relations,
+                topology,
+                cover_count,
+                view_relations,
+                ..SynthConfig::default()
+            },
+        )
+}
+
+fn synchronizer(w: &SynthWorkload, seed: u64, threads: usize) -> Synchronizer {
+    let mut builder = SynchronizerBuilder::new(w.mkb.clone()).with_options(CvsOptions {
+        parallelism: Some(threads),
+        ..CvsOptions::default()
+    });
+    for v in views_touching(&w.mkb, &w.target, 4, 3, seed) {
+        builder = builder.with_view(v).expect("fan-out view is valid");
+    }
+    for v in random_views(&w.mkb, 3, 2, seed.wrapping_add(1)) {
+        builder = builder.with_view(v).expect("random view is valid");
+    }
+    builder.build()
+}
+
+/// Apply the workload's delete change with the given sinks installed
+/// (empty = enabled but unobserved), returning the outcome produced
+/// while telemetry was live.
+fn apply_with_sinks(
+    w: &SynthWorkload,
+    seed: u64,
+    threads: usize,
+    sinks: Vec<Arc<dyn Sink>>,
+) -> ChangeOutcome {
+    eve::telemetry::install(sinks).expect("no other pipeline installed");
+    let mut sync = synchronizer(w, seed, threads);
+    let result = sync.apply(&w.delete_change());
+    eve::telemetry::uninstall();
+    result.expect("target described")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The satellite invariant: outcomes are identical with telemetry
+    /// disabled, enabled with no sinks, enabled with a collector, and
+    /// enabled with a JSONL sink attached — sequentially and with a
+    /// worker pool.
+    #[test]
+    fn outcomes_unaffected_by_telemetry(cfg in config(), seed in 0u64..200) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let _serial = eve::telemetry::serial_guard();
+        for threads in [1usize, 4] {
+            let mut baseline_sync = synchronizer(&w, seed, threads);
+            let baseline = baseline_sync.apply(&w.delete_change()).expect("target described");
+
+            let unobserved = apply_with_sinks(&w, seed, threads, vec![]);
+            prop_assert_eq!(&unobserved, &baseline, "no-sink run diverged (threads={})", threads);
+
+            let collector = Collector::new();
+            let collected = apply_with_sinks(&w, seed, threads, vec![collector.clone()]);
+            prop_assert_eq!(&collected, &baseline, "collector run diverged (threads={})", threads);
+            // The collector must actually have observed the pipeline —
+            // otherwise this test is vacuous.
+            let spans = collector.spans();
+            prop_assert!(spans.iter().any(|s| s.name == "apply"), "no apply span recorded");
+
+            let jsonl = JsonlSink::from_writer(Box::new(std::io::sink()));
+            let traced = apply_with_sinks(&w, seed, threads, vec![Arc::new(jsonl)]);
+            prop_assert_eq!(&traced, &baseline, "JSONL run diverged (threads={})", threads);
+        }
+    }
+}
