@@ -1,13 +1,16 @@
-//! Disabled-telemetry overhead probe for the CI guard.
+//! Disabled-instrumentation overhead probe for the CI guard.
 //!
 //! Mirrors the `cvs_index_reuse_8_views/cached/64` criterion scenario —
 //! one per-change [`MkbIndex`] build plus eight indexed view
 //! synchronizations per iteration — without criterion, so it runs in a
-//! couple of seconds and compiles with *and* without the `telemetry`
-//! feature. CI builds both configurations, runs each, and asserts the
-//! default build (telemetry compiled in but **not** installed, i.e. the
-//! one-relaxed-atomic-load fast path) stays within 5% of the
-//! `--no-default-features` build.
+//! couple of seconds and compiles with *and* without the default
+//! features. CI builds both configurations, runs each, and asserts the
+//! default build (telemetry *and* eve-faults sites compiled in but
+//! **not** installed, i.e. one relaxed atomic load each) stays within
+//! 5% of the `--no-default-features` build, in which both facades
+//! compile to no-ops. The probe path crosses every fault site
+//! (`index.build`, `index.enumerate-trees`, `search.candidate`,
+//! `view.sync`, `hypergraph.tree-iter`), so the guard covers them all.
 //!
 //! Output: a single line `median_ns_per_iter=<n>` on stdout.
 

@@ -207,6 +207,10 @@ pub fn synchronize_view(
     let Some(strategy) = strategy_for(change) else {
         return ViewOutcome::Unchanged;
     };
+    // The per-view task entry site. Under the synchronizer fan-out each
+    // task runs scoped by view name, so a plan can target one view's
+    // attempt sequence without touching its siblings.
+    crate::faults::hit("view.sync");
     let ctx = SearchContext {
         require_p3,
         cost_model,

@@ -259,6 +259,7 @@ impl<'m> MkbIndex<'m> {
         span.field("relations", mkb.relation_count() as u64);
         span.field("joins", mkb.joins().len() as u64);
         crate::telem::counter_add("index.builds", 1);
+        crate::faults::hit("index.build");
         let h = Hypergraph::build(mkb);
         let components = h.components();
         let mut component_ids = BTreeMap::new();
@@ -348,6 +349,7 @@ impl<'m> MkbIndex<'m> {
         limit: usize,
         max_path_edges: usize,
     ) -> Arc<Vec<ConnectionTree>> {
+        crate::faults::hit("index.enumerate-trees");
         if !self.cache_enabled {
             let mut span = crate::telem::span("tree-enumeration");
             span.field("terminals", terminals.len() as u64);

@@ -76,6 +76,7 @@ pub mod error;
 pub mod eval;
 pub mod explain;
 pub mod extent;
+pub(crate) mod faults;
 pub mod index;
 pub mod legal;
 pub mod maintain;
@@ -110,11 +111,14 @@ pub use legal::LegalRewriting;
 pub use maintain::{CountedView, Delta};
 pub use mapping::{compute_r_mapping, r_mapping_with_index, RMapping};
 pub use materialize::{MaterializedView, RefreshDelta};
-pub use options::{CvsOptions, ImplicationMode, SearchBudget};
+pub use options::{CvsOptions, FailurePolicy, ImplicationMode, SearchBudget};
 pub use replacement::{compute_replacements_indexed, CoverChoice, Replacement};
 pub use rewrite::{
     cvs_delete_relation_indexed, cvs_delete_relation_searched, SearchResult, SearchStats,
 };
-pub use service::SharedSynchronizer;
+pub use service::{FailedChange, SharedSynchronizer};
 pub use svs::{svs_delete_relation_indexed, svs_delete_relation_searched};
-pub use synchronizer::{ChangeOutcome, SyncReport, Synchronizer, SynchronizerBuilder, ViewOutcome};
+pub use synchronizer::{
+    ChangeOutcome, SyncFailure, SyncPanic, SyncReport, Synchronizer, SynchronizerBuilder,
+    ViewOutcome,
+};

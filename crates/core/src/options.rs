@@ -64,9 +64,10 @@ impl SearchBudget {
     }
 
     /// Clamp out-of-domain values: `top_k = 0` (which would keep
-    /// nothing and make every search come back empty) becomes `1`, and
-    /// zero candidate/tree caps (same degenerate emptiness) become
-    /// unlimited.
+    /// nothing and make every search come back empty) becomes `1`, zero
+    /// candidate/tree caps (same degenerate emptiness) become
+    /// unlimited, and a zero deadline (which would truncate every
+    /// search on its first iteration) becomes no deadline.
     pub fn validated(self) -> Self {
         SearchBudget {
             max_candidates: if self.max_candidates == 0 {
@@ -79,8 +80,43 @@ impl SearchBudget {
             } else {
                 self.max_trees
             },
-            deadline: self.deadline,
+            deadline: self.deadline.filter(|d| !d.is_zero()),
             top_k: self.top_k.max(1),
+        }
+    }
+}
+
+/// What [`crate::Synchronizer::apply`] does when one view's
+/// synchronization task panics (organically, or injected via
+/// `eve-faults`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FailurePolicy {
+    /// Re-raise the panic on the applying thread, wrapped in a
+    /// [`crate::SyncPanic`] payload naming the change and the failing
+    /// view. The default — a programming error stays loud.
+    #[default]
+    FailFast,
+    /// Contain the failure to the view: retry *transient* failures up to
+    /// `max_retries` times (sleeping `backoff × attempt` between tries,
+    /// deterministically, on the applying thread), then land the view as
+    /// [`crate::ViewOutcome::Failed`] while every other view's outcome
+    /// stays byte-identical to the fault-free run.
+    Degrade {
+        /// Retries after the first attempt (transient failures only —
+        /// non-transient panics never retry).
+        max_retries: u32,
+        /// Base sleep between retries; attempt `n` waits `backoff × n`.
+        backoff: Duration,
+    },
+}
+
+impl FailurePolicy {
+    /// The degraded-service preset used by `eve-cli --faults`: two
+    /// retries with a 1 ms base backoff.
+    pub fn degrade() -> Self {
+        FailurePolicy::Degrade {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
         }
     }
 }
@@ -144,6 +180,10 @@ pub struct CvsOptions {
     /// ([`SearchBudget::unlimited`]) reproduces the exhaustive legacy
     /// pipeline exactly.
     pub budget: SearchBudget,
+    /// What to do when a view's synchronization task panics: fail fast
+    /// (the default) or degrade that view to
+    /// [`crate::ViewOutcome::Failed`] after deterministic retries.
+    pub failure: FailurePolicy,
 }
 
 impl Default for CvsOptions {
@@ -157,6 +197,7 @@ impl Default for CvsOptions {
             respect_capabilities: true,
             parallelism: None,
             budget: SearchBudget::default(),
+            failure: FailurePolicy::default(),
         }
     }
 }
@@ -273,6 +314,44 @@ mod tests {
             top_k: 2,
         };
         assert_eq!(tight.validated(), tight);
+    }
+
+    #[test]
+    fn validated_clamps_zero_deadline_to_none() {
+        let o = CvsOptions {
+            budget: SearchBudget {
+                deadline: Some(Duration::ZERO),
+                ..SearchBudget::default()
+            },
+            ..CvsOptions::default()
+        };
+        assert_eq!(o.validated().budget.deadline, None);
+        // A real deadline passes through untouched.
+        let o = CvsOptions {
+            budget: SearchBudget {
+                deadline: Some(Duration::from_millis(10)),
+                ..SearchBudget::default()
+            },
+            ..CvsOptions::default()
+        };
+        assert_eq!(
+            o.validated().budget.deadline,
+            Some(Duration::from_millis(10))
+        );
+    }
+
+    #[test]
+    fn failure_policy_defaults_and_preset() {
+        assert_eq!(CvsOptions::default().failure, FailurePolicy::FailFast);
+        let FailurePolicy::Degrade {
+            max_retries,
+            backoff,
+        } = FailurePolicy::degrade()
+        else {
+            panic!("preset must degrade");
+        };
+        assert_eq!(max_retries, 2);
+        assert_eq!(backoff, Duration::from_millis(1));
     }
 
     #[test]

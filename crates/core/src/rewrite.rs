@@ -413,6 +413,13 @@ pub fn cvs_delete_relation_searched(
     let mut candidate_cap_hit = false;
 
     loop {
+        // An injected budget-exhaustion fault truncates exactly like a
+        // real deadline (reported, never silent); injected panics and
+        // transients unwind from inside the call.
+        if crate::faults::hit("search.candidate") {
+            deadline_hit = true;
+            break;
+        }
         if let Some(d) = budget.deadline {
             if start.elapsed() >= d {
                 deadline_hit = true;

@@ -17,16 +17,50 @@
 //! the last consistent snapshot, since [`Synchronizer::apply`] only
 //! commits fully-built state.
 
-use crate::synchronizer::{ChangeOutcome, Synchronizer};
+use crate::synchronizer::{ChangeOutcome, SyncPanic, Synchronizer};
 use crate::telem;
 use eve_esql::ViewDefinition;
 use eve_misd::{CapabilityChange, MetaKnowledgeBase, MisdError};
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The identity of the change whose `apply` panicked and poisoned the
+/// writer lock — what a reader recovering the lock is actually
+/// recovering *from*. Recorded by [`SharedSynchronizer::apply`], surfaced
+/// by [`SharedSynchronizer::last_failure`] and attached to the
+/// `poison-recovery` telemetry span every recovery emits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedChange {
+    /// The capability change whose application died.
+    pub change: String,
+    /// The view whose task panicked, when the synchronizer could name it
+    /// (a [`SyncPanic`] payload); `None` for foreign panics.
+    pub view: Option<String>,
+    /// The panic message.
+    pub message: String,
+}
+
+impl fmt::Display for FailedChange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (view {}): {}",
+            self.change,
+            self.view.as_deref().unwrap_or("?"),
+            self.message
+        )
+    }
+}
 
 /// A cloneable, thread-safe handle to a synchronizer.
 #[derive(Clone)]
 pub struct SharedSynchronizer {
     inner: Arc<RwLock<Synchronizer>>,
+    /// Identity of the most recent panicking change (see
+    /// [`FailedChange`]); `lock()` recovery keeps it readable even while
+    /// the main lock is poisoned.
+    last_panic: Arc<Mutex<Option<FailedChange>>>,
 }
 
 impl SharedSynchronizer {
@@ -34,6 +68,22 @@ impl SharedSynchronizer {
     pub fn new(sync: Synchronizer) -> Self {
         SharedSynchronizer {
             inner: Arc::new(RwLock::new(sync)),
+            last_panic: Arc::new(Mutex::new(None)),
+        }
+    }
+
+    /// Count a poison recovery and emit a `poison-recovery` telemetry
+    /// span labelled with the recorded identity of the panicking change,
+    /// so the trace answers "recovered from *what*?".
+    fn note_poison_recovery(&self) {
+        telem::counter_add("service.poison_recoveries", 1);
+        if telem::enabled() {
+            let mut span = telem::span("poison-recovery");
+            span.label(|| {
+                self.last_failure()
+                    .map(|f| f.to_string())
+                    .unwrap_or_else(|| "unknown failure".to_string())
+            });
         }
     }
 
@@ -42,7 +92,7 @@ impl SharedSynchronizer {
         let result = self.inner.read();
         telem::stop_timer("service.read_wait_ns", wait);
         result.unwrap_or_else(|e| {
-            telem::counter_add("service.poison_recoveries", 1);
+            self.note_poison_recovery();
             e.into_inner()
         })
     }
@@ -52,9 +102,20 @@ impl SharedSynchronizer {
         let result = self.inner.write();
         telem::stop_timer("service.write_wait_ns", wait);
         result.unwrap_or_else(|e| {
-            telem::counter_add("service.poison_recoveries", 1);
+            self.note_poison_recovery();
             e.into_inner()
         })
+    }
+
+    /// The identity of the most recent change whose `apply` panicked
+    /// through this handle (`None` when none has). Readers recovering a
+    /// poisoned lock use this to learn what they are recovering from —
+    /// including from inside a [`SharedSynchronizer::read`] closure.
+    pub fn last_failure(&self) -> Option<FailedChange> {
+        self.last_panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// Snapshot one view definition (None when unknown or disabled).
@@ -88,8 +149,34 @@ impl SharedSynchronizer {
     /// threads ([`crate::CvsOptions::parallelism`]) — that inner
     /// parallelism never escapes the lock, so readers keep their
     /// all-or-nothing view of the state.
+    /// Under [`crate::FailurePolicy::FailFast`] a panicking view task
+    /// re-raises here; before the panic continues to the caller, its
+    /// identity (change, view, message — carried by the [`SyncPanic`]
+    /// payload) is recorded so subsequent poison recoveries can name it.
     pub fn apply(&self, change: &CapabilityChange) -> Result<ChangeOutcome, MisdError> {
-        self.write_lock().apply(change)
+        match catch_unwind(AssertUnwindSafe(|| self.write_lock().apply(change))) {
+            Ok(result) => result,
+            Err(payload) => {
+                let info = match payload.downcast_ref::<SyncPanic>() {
+                    Some(p) => FailedChange {
+                        change: p.change.clone(),
+                        view: Some(p.view.clone()),
+                        message: p.message.clone(),
+                    },
+                    None => FailedChange {
+                        change: change.to_string(),
+                        view: None,
+                        message: payload
+                            .downcast_ref::<&str>()
+                            .map(|s| (*s).to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "non-string panic payload".to_string()),
+                    },
+                };
+                *self.last_panic.lock().unwrap_or_else(|e| e.into_inner()) = Some(info);
+                std::panic::resume_unwind(payload);
+            }
+        }
     }
 
     /// Dry-run a change without mutating shared state (takes only a read
@@ -100,6 +187,10 @@ impl SharedSynchronizer {
 
     /// Run a closure against a read-locked synchronizer (for compound
     /// reads that must see one consistent state).
+    ///
+    /// When the lock was poisoned, the read transparently recovers the
+    /// last committed snapshot; [`SharedSynchronizer::last_failure`]
+    /// names the change (and view) whose panic caused the poisoning.
     pub fn read<T>(&self, f: impl FnOnce(&Synchronizer) -> T) -> T {
         f(&self.read_lock())
     }
@@ -219,6 +310,43 @@ mod tests {
                 "read+read+write recoveries, got {recoveries}"
             );
         }
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn failfast_panic_records_identity_and_keeps_handle_usable() {
+        let _serial = eve_faults::serial_guard();
+        let _ = eve_faults::uninstall();
+        eve_faults::install(eve_faults::FaultPlan::parse("CPA/view.sync#0=panic").unwrap())
+            .unwrap();
+
+        let s = shared();
+        let change = CapabilityChange::DeleteRelation(RelName::new("Customer"));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.apply(&change)));
+        let report = eve_faults::uninstall().expect("plan was installed");
+        assert_eq!(report.injected, 1);
+
+        // FailFast surfaced the panic with full identity.
+        let payload = result.expect_err("FailFast re-raises the view panic");
+        let sp = payload
+            .downcast_ref::<crate::SyncPanic>()
+            .expect("typed SyncPanic payload");
+        assert_eq!(sp.view, "CPA");
+        assert!(sp.change.contains("Customer"), "{}", sp.change);
+        let failure = s.last_failure().expect("identity recorded");
+        assert_eq!(failure.view.as_deref(), Some("CPA"));
+        assert!(failure.change.contains("Customer"), "{failure}");
+        assert!(failure.message.contains("view.sync"), "{failure}");
+
+        // The unwind poisoned the lock, but readers recover the last
+        // snapshot and the handle keeps working for writes.
+        assert!(s.inner.is_poisoned());
+        assert!(s
+            .view("CPA")
+            .expect("view resolvable after poison")
+            .uses_relation(&RelName::new("Customer")));
+        let outcome = s.apply(&change).expect("applies once the fault is gone");
+        assert_eq!(outcome.rewritten(), 1);
     }
 
     #[test]

@@ -33,15 +33,78 @@ use crate::affected::{is_affected, is_evaluable};
 use crate::cost::CostModel;
 use crate::engine;
 use crate::error::CvsError;
+use crate::faults;
 use crate::index::{CacheStats, MkbIndex};
 use crate::legal::LegalRewriting;
-use crate::options::CvsOptions;
+use crate::options::{CvsOptions, FailurePolicy};
 use crate::rewrite::SearchStats;
 use crate::telem;
 use eve_esql::{validate_view, ViewDefinition};
 use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase, MisdError};
 use std::fmt;
 use std::sync::Arc;
+
+/// Why one view's synchronization task failed (see
+/// [`ViewOutcome::Failed`]): the panic's deterministic description plus
+/// whether it was retryable. Injected faults (`eve-faults`) render their
+/// site address; organic panics render their message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncFailure {
+    /// A non-retryable panic unwound out of the view's task.
+    Panicked {
+        /// The panic message (or injected-fault description).
+        message: String,
+    },
+    /// A transient failure persisted through every allowed retry.
+    Transient {
+        /// The failure message of the last attempt.
+        message: String,
+    },
+}
+
+impl SyncFailure {
+    /// The failure message, whatever the kind.
+    pub fn message(&self) -> &str {
+        match self {
+            SyncFailure::Panicked { message } | SyncFailure::Transient { message } => message,
+        }
+    }
+}
+
+impl fmt::Display for SyncFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncFailure::Panicked { message } => write!(f, "panicked: {message}"),
+            SyncFailure::Transient { message } => write!(f, "transient: {message}"),
+        }
+    }
+}
+
+/// The panic payload [`Synchronizer::apply`] re-raises under
+/// [`FailurePolicy::FailFast`]: the original view-task panic wrapped
+/// with the identity of the change and view that died, so
+/// [`crate::SharedSynchronizer`] (and any other `catch_unwind` boundary)
+/// can report *what* poisoned the lock instead of just *that* it was
+/// poisoned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncPanic {
+    /// The capability change being applied when the task died.
+    pub change: String,
+    /// The view whose task panicked.
+    pub view: String,
+    /// The task's panic message (or injected-fault description).
+    pub message: String,
+}
+
+impl fmt::Display for SyncPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "view {} panicked while applying {}: {}",
+            self.view, self.change, self.message
+        )
+    }
+}
 
 /// What happened to one view under one capability change.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,12 +134,26 @@ pub enum ViewOutcome {
         /// Why synchronization failed.
         reason: CvsError,
     },
+    /// The view's synchronization task panicked and
+    /// [`FailurePolicy::Degrade`] contained it: after `attempts` tries
+    /// the view is parked (removed from the active set, kept with its
+    /// last known definition for revival) while every other view's
+    /// outcome stays byte-identical to the fault-free run.
+    Failed {
+        /// The last attempt's failure.
+        error: SyncFailure,
+        /// Total synchronization attempts made (1 + retries).
+        attempts: u32,
+    },
 }
 
 impl ViewOutcome {
     /// Did the view survive (unchanged or rewritten)?
     pub fn survived(&self) -> bool {
-        !matches!(self, ViewOutcome::Disabled { .. })
+        !matches!(
+            self,
+            ViewOutcome::Disabled { .. } | ViewOutcome::Failed { .. }
+        )
     }
 }
 
@@ -111,6 +188,15 @@ impl ChangeOutcome {
         self.views
             .iter()
             .filter(|(_, o)| matches!(o, ViewOutcome::Rewritten { .. }))
+            .count()
+    }
+
+    /// Number of views that failed (panic contained by
+    /// [`FailurePolicy::Degrade`]) under the change.
+    pub fn failed(&self) -> usize {
+        self.views
+            .iter()
+            .filter(|(_, o)| matches!(o, ViewOutcome::Failed { .. }))
             .count()
     }
 }
@@ -155,6 +241,9 @@ impl fmt::Display for ChangeOutcome {
                     }
                 )?,
                 ViewOutcome::Disabled { reason } => writeln!(f, "  {name}: DISABLED ({reason})")?,
+                ViewOutcome::Failed { error, attempts } => {
+                    writeln!(f, "  {name}: FAILED after {attempts} attempt(s) ({error})")?
+                }
                 ViewOutcome::Revived => writeln!(f, "  {name}: revived")?,
             }
         }
@@ -369,13 +458,24 @@ impl Synchronizer {
                 .map(|(_, v)| Arc::clone(v))
                 .collect();
             apply_span.field("affected", affected.len() as u64);
+            // Stamped only when a fault plan is installed, so chaos
+            // traces are distinguishable while fault-free traces keep
+            // their pinned golden shape.
+            if faults::active() {
+                apply_span.field("fault-injection", 1);
+            }
             let apply_ctx = apply_span.ctx();
             let index_ref = &index;
             let opts_ref = &self.opts;
             let require_p3 = self.require_p3;
             let cost_model = self.cost_model.as_ref();
-            let mut results =
-                parpool::map_in_order(self.opts.effective_parallelism(), affected, |task, view| {
+            // One task body, shared by the pool fan-out and the retry
+            // path, so a retried attempt is byte-for-byte the same
+            // computation: same span shape, same fault scope (view
+            // name — which also keeps injected-fault hit counts
+            // deterministic across worker counts).
+            let run_view = |task: usize, view: &ViewDefinition| {
+                faults::scoped(&view.name, || {
                     // Pool workers have no span stack of their own:
                     // parent explicitly under the apply span so the
                     // fan-out shows up as one tree.
@@ -383,24 +483,41 @@ impl Synchronizer {
                     view_span.label(|| view.name.clone());
                     view_span.field("task", task as u64);
                     engine::synchronize_view(
-                        &view, change, index_ref, opts_ref, require_p3, cost_model,
+                        view, change, index_ref, opts_ref, require_p3, cost_model,
                     )
+                })
+            };
+            let mut results =
+                parpool::map_in_order(self.opts.effective_parallelism(), affected, |task, view| {
+                    run_view(task, &view)
                 })
                 .into_iter();
 
+            let policy = self.opts.failure;
+            let mut task_index = 0usize;
             for (name, view) in &self.views {
                 if !is_affected(view, change) {
                     outcomes.push((name.clone(), ViewOutcome::Unchanged));
                     next_views.push((name.clone(), Arc::clone(view)));
                     continue;
                 }
-                let outcome = results.next().expect("one pool result per affected view");
+                let task = task_index;
+                task_index += 1;
+                let outcome = match results.next().expect("one pool result per affected view") {
+                    Ok(outcome) => outcome,
+                    Err(panic) => Self::resolve_failure(policy, change, name, panic, || {
+                        telem::counter_add("sync.view_retries", 1);
+                        parpool::call_caught(task, || run_view(task, view))
+                    }),
+                };
                 if let ViewOutcome::Rewritten { chosen, .. } = &outcome {
                     next_views.push((name.clone(), Arc::new(chosen.view.clone())));
                 } else if outcome.survived() {
                     next_views.push((name.clone(), Arc::clone(view)));
                 } else {
-                    // Keep the last known definition around for revival.
+                    // Keep the last known definition around for revival
+                    // (disabled *and* failed views may come back when
+                    // the fault clears or the source returns).
                     newly_disabled.push((name.clone(), Arc::clone(view)));
                 }
                 outcomes.push((name.clone(), outcome));
@@ -456,6 +573,71 @@ impl Synchronizer {
             telem::counter_add("sync.views.revived", revived as u64);
         }
         Ok(outcome)
+    }
+
+    /// Decide what a panicking view task becomes under the configured
+    /// [`FailurePolicy`].
+    ///
+    /// * `FailFast` re-raises immediately, wrapping the payload in a
+    ///   [`SyncPanic`] that names the change and view (the original
+    ///   message is preserved inside).
+    /// * `Degrade` retries *transient* failures (injected
+    ///   `eve_faults` transient payloads) with a
+    ///   deterministic linear backoff — retries run serially on the
+    ///   applying thread, in registration order, inside the same fault
+    ///   scope, so replay is schedule-independent — then lands the view
+    ///   as [`ViewOutcome::Failed`]. Non-transient panics never retry.
+    fn resolve_failure(
+        policy: FailurePolicy,
+        change: &CapabilityChange,
+        name: &str,
+        first: parpool::TaskPanic,
+        mut retry: impl FnMut() -> Result<ViewOutcome, parpool::TaskPanic>,
+    ) -> ViewOutcome {
+        let mut attempts: u32 = 1;
+        let mut panic = first;
+        loop {
+            let (message, transient) = match faults::injected_info(panic.payload.as_ref()) {
+                Some((message, transient)) => (message, transient),
+                None => (panic.message.clone(), false),
+            };
+            match policy {
+                FailurePolicy::FailFast => {
+                    std::panic::resume_unwind(Box::new(SyncPanic {
+                        change: change.to_string(),
+                        view: name.to_string(),
+                        message,
+                    }));
+                }
+                FailurePolicy::Degrade {
+                    max_retries,
+                    backoff,
+                } => {
+                    if transient && attempts <= max_retries {
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff.saturating_mul(attempts));
+                        }
+                        attempts += 1;
+                        match retry() {
+                            Ok(outcome) => return outcome,
+                            Err(next) => {
+                                panic = next;
+                                continue;
+                            }
+                        }
+                    }
+                    telem::counter_add("service.view_failures", 1);
+                    return ViewOutcome::Failed {
+                        error: if transient {
+                            SyncFailure::Transient { message }
+                        } else {
+                            SyncFailure::Panicked { message }
+                        },
+                        attempts,
+                    };
+                }
+            }
+        }
     }
 
     /// The evolution history: snapshot 0 is the initial state; snapshot
@@ -834,6 +1016,95 @@ mod tests {
             "{}",
             chosen.view
         );
+    }
+
+    #[cfg(feature = "faults")]
+    fn sync_with_policy(policy: crate::FailurePolicy) -> Synchronizer {
+        let mut s = sync();
+        s.opts = CvsOptions {
+            failure: policy,
+            ..s.opts
+        };
+        s
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn degrade_contains_injected_panic_to_one_view() {
+        let _serial = eve_faults::serial_guard();
+        let change = CapabilityChange::DeleteRelation(RelName::new("Customer"));
+        let mut baseline = sync_with_policy(crate::FailurePolicy::degrade());
+        let expected = baseline.apply(&change).unwrap();
+
+        let _ = eve_faults::uninstall();
+        eve_faults::install(
+            eve_faults::FaultPlan::parse("Customer-Passengers-Asia/view.sync=panic").unwrap(),
+        )
+        .unwrap();
+        let mut s = sync_with_policy(crate::FailurePolicy::degrade());
+        let outcome = s.apply(&change).expect("degrade contains the panic");
+        eve_faults::uninstall().unwrap();
+
+        // The faulted view failed in one attempt (panics never retry)…
+        let ViewOutcome::Failed { error, attempts } = &outcome.views[0].1 else {
+            panic!("expected Failed, got {:?}", outcome.views[0].1);
+        };
+        assert_eq!(*attempts, 1);
+        assert!(matches!(error, SyncFailure::Panicked { .. }));
+        assert!(error.message().contains("view.sync"), "{error}");
+        assert_eq!(outcome.failed(), 1);
+        assert!(outcome
+            .to_string()
+            .contains("FAILED after 1 attempt(s) (panicked: injected"));
+        // …every other view's outcome is byte-identical to the
+        // fault-free run…
+        assert_eq!(outcome.views[1], expected.views[1]);
+        // …and the failed view is parked with its last definition for
+        // revival, not dropped.
+        assert!(s.view("Customer-Passengers-Asia").is_none());
+        assert_eq!(s.disabled_views().count(), 1);
+    }
+
+    #[cfg(feature = "faults")]
+    #[test]
+    fn degrade_retries_transient_faults_to_convergence() {
+        let _serial = eve_faults::serial_guard();
+        let change = CapabilityChange::DeleteRelation(RelName::new("Customer"));
+        let mut baseline = sync_with_policy(crate::FailurePolicy::degrade());
+        let expected = baseline.apply(&change).unwrap();
+
+        // Hit 0 only: the first attempt dies, the retry sails through.
+        let _ = eve_faults::uninstall();
+        eve_faults::install(
+            eve_faults::FaultPlan::parse("Customer-Passengers-Asia/view.sync#0=transient").unwrap(),
+        )
+        .unwrap();
+        let mut s = sync_with_policy(crate::FailurePolicy::Degrade {
+            max_retries: 2,
+            backoff: std::time::Duration::ZERO,
+        });
+        let outcome = s.apply(&change).expect("retry converges");
+        let report = eve_faults::uninstall().unwrap();
+        assert_eq!(report.injected, 1);
+        assert_eq!(outcome, expected, "retried run must match fault-free run");
+
+        // A persistent transient exhausts the retries and reports every
+        // attempt.
+        eve_faults::install(
+            eve_faults::FaultPlan::parse("Customer-Passengers-Asia/view.sync=transient").unwrap(),
+        )
+        .unwrap();
+        let mut s = sync_with_policy(crate::FailurePolicy::Degrade {
+            max_retries: 2,
+            backoff: std::time::Duration::ZERO,
+        });
+        let outcome = s.apply(&change).expect("degrade contains the failure");
+        eve_faults::uninstall().unwrap();
+        let ViewOutcome::Failed { error, attempts } = &outcome.views[0].1 else {
+            panic!("expected Failed, got {:?}", outcome.views[0].1);
+        };
+        assert_eq!(*attempts, 3, "1 attempt + 2 retries");
+        assert!(matches!(error, SyncFailure::Transient { .. }));
     }
 
     #[test]

@@ -1,0 +1,650 @@
+//! Deterministic, seeded **fault injection** for the EVE sync pipeline,
+//! vendored std-only like the workspace's other shim crates.
+//!
+//! The paper's setting is a large-scale space of *autonomous* — and
+//! therefore unreliable — information sources; this crate makes that
+//! unreliability reproducible on demand. A [`FaultPlan`] names *sites*
+//! (instrumentation points like `view.sync` or `search.candidate`),
+//! optionally narrows them to a *scope* (the view being synchronized),
+//! and picks which *hit* of the site should fail and how:
+//!
+//! * [`FaultKind::Panic`] — `panic_any` an [`InjectedFault`] payload;
+//! * [`FaultKind::Transient`] — same, but flagged retryable, so a
+//!   `Degrade` failure policy will re-attempt the view;
+//! * [`FaultKind::Delay`] — sleep, perturbing schedules without failing;
+//! * [`FaultKind::Budget`] — report "budget exhausted" to the caller,
+//!   which truncates the streaming search exactly like a real deadline.
+//!
+//! The registry mirrors the `eve-telemetry` facade pattern: a process
+//! global behind [`install`]/[`uninstall`], an [`active`] check that is
+//! one relaxed atomic load when nothing is installed, and a
+//! [`serial_guard`] for tests that must not share the global. Downstream
+//! crates call it through a `crate::faults` facade that compiles to
+//! no-ops without their default-on `faults` feature.
+//!
+//! Hit counters are keyed per **(scope, site)**, not globally: whichever
+//! worker thread synchronizes view `X`, the `n`-th hit of `X/view.sync`
+//! is the same event, so a plan replays identically across 1/2/8-worker
+//! schedules. The `EVE_FAULTS` environment variable holds a plan in the
+//! textual [`FaultPlan::parse`] format and is loaded lazily on first use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock, RwLock};
+use std::time::Duration;
+
+/// What an injected fault does at its site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Unwind with a non-retryable [`InjectedFault`] payload.
+    Panic,
+    /// Unwind with a *retryable* [`InjectedFault`] payload (a `Degrade`
+    /// failure policy re-attempts the view).
+    Transient,
+    /// Sleep for the given duration, then continue normally.
+    Delay(Duration),
+    /// Tell the site its budget is exhausted ([`trip`] returns `true`);
+    /// the streaming search truncates as if a deadline fired.
+    Budget,
+}
+
+impl FaultKind {
+    fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Transient => "transient",
+            FaultKind::Delay(_) => "delay",
+            FaultKind::Budget => "budget",
+        }
+    }
+}
+
+/// One addressed fault: *where* (site + optional scope), *when* (which
+/// hit, optionally probabilistic), and *what* ([`FaultKind`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Site name, e.g. `view.sync` (see the DESIGN.md site table).
+    pub site: String,
+    /// Exact scope the site must be running under (the synchronizer
+    /// scopes each view task by view name); `None` matches any scope.
+    pub scope: Option<String>,
+    /// Fire only on this 0-based hit of `(scope, site)`; `None` fires
+    /// on every hit (subject to `permille`).
+    pub hit: Option<u64>,
+    /// Fire with probability `permille/1000`, decided by a deterministic
+    /// hash of `(seed, scope, site, hit)`; `None` always fires.
+    pub permille: Option<u16>,
+    /// What happens when the spec fires.
+    pub kind: FaultKind,
+}
+
+/// A parse error from [`FaultPlan::parse`], carrying the offending entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError(String);
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// A deterministic fault schedule: a seed plus a list of [`FaultSpec`]s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed feeding the deterministic per-hit hash for probabilistic
+    /// (`permille`) specs.
+    pub seed: u64,
+    /// The addressed faults, checked in order (first match fires).
+    pub specs: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan with the given seed (add specs via [`FaultPlan::with`]).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            specs: Vec::new(),
+        }
+    }
+
+    /// Append a spec (builder style).
+    pub fn with(mut self, spec: FaultSpec) -> Self {
+        self.specs.push(spec);
+        self
+    }
+
+    /// Parse the textual plan format used by `EVE_FAULTS` and
+    /// `eve-cli --faults`. Entries are `;`- or `,`-separated:
+    ///
+    /// ```text
+    /// seed=42; CPA/view.sync#0=panic; search.candidate#2=budget; V2/view.sync=transient
+    /// ```
+    ///
+    /// Entry grammar: `[scope '/'] site ['#' hit] ['%' permille] '=' kind`
+    /// where `kind` is `panic`, `transient`, `budget`, or `delay[:millis]`
+    /// (default 1 ms, capped at 10 s). Omitting `#hit` fires on every
+    /// hit; `%permille` makes firing a deterministic coin flip.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::default();
+        for raw in text.split([';', ',']) {
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let (addr, kind_text) = entry
+                .split_once('=')
+                .ok_or_else(|| PlanParseError(format!("{entry:?}: missing '='")))?;
+            let (addr, kind_text) = (addr.trim(), kind_text.trim());
+            if addr == "seed" {
+                plan.seed = kind_text
+                    .parse()
+                    .map_err(|_| PlanParseError(format!("{entry:?}: seed is not a u64")))?;
+                continue;
+            }
+            let kind = match kind_text.split_once(':') {
+                Some(("delay", ms)) => {
+                    let ms: u64 = ms
+                        .parse()
+                        .map_err(|_| PlanParseError(format!("{entry:?}: bad delay millis")))?;
+                    FaultKind::Delay(Duration::from_millis(ms.min(10_000)))
+                }
+                None => match kind_text {
+                    "panic" => FaultKind::Panic,
+                    "transient" => FaultKind::Transient,
+                    "budget" => FaultKind::Budget,
+                    "delay" => FaultKind::Delay(Duration::from_millis(1)),
+                    other => {
+                        return Err(PlanParseError(format!("{entry:?}: unknown kind {other:?}")))
+                    }
+                },
+                Some(_) => {
+                    return Err(PlanParseError(format!("{entry:?}: unknown kind")));
+                }
+            };
+            let (addr, permille) = match addr.split_once('%') {
+                Some((a, p)) => {
+                    let p: u16 = p
+                        .parse()
+                        .map_err(|_| PlanParseError(format!("{entry:?}: bad permille")))?;
+                    (a.trim(), Some(p.min(1000)))
+                }
+                None => (addr, None),
+            };
+            let (addr, hit) = match addr.split_once('#') {
+                Some((a, h)) => {
+                    let h: u64 = h
+                        .parse()
+                        .map_err(|_| PlanParseError(format!("{entry:?}: bad hit index")))?;
+                    (a.trim(), Some(h))
+                }
+                None => (addr, None),
+            };
+            let (scope, site) = match addr.split_once('/') {
+                Some((sc, si)) => (Some(sc.trim().to_string()), si.trim()),
+                None => (None, addr),
+            };
+            if site.is_empty() {
+                return Err(PlanParseError(format!("{entry:?}: empty site name")));
+            }
+            plan.specs.push(FaultSpec {
+                site: site.to_string(),
+                scope,
+                hit,
+                permille,
+                kind,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+/// The panic payload of an injected [`FaultKind::Panic`] /
+/// [`FaultKind::Transient`] fault. Callers that contain unwinds (the
+/// parpool task boundary) downcast the payload to this type to decide
+/// retryability and to render a deterministic error message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Site that fired.
+    pub site: String,
+    /// Scope the site was running under (empty outside any scope).
+    pub scope: String,
+    /// Hit index that fired.
+    pub hit: u64,
+    /// Whether the failure is retryable ([`FaultKind::Transient`]).
+    pub transient: bool,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} fault at {}{} (hit {})",
+            if self.transient { "transient" } else { "panic" },
+            if self.scope.is_empty() {
+                String::new()
+            } else {
+                format!("{}/", self.scope)
+            },
+            self.site,
+            self.hit
+        )
+    }
+}
+
+/// One fault that actually fired, for post-run introspection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Scope the site was running under (empty outside any scope).
+    pub scope: String,
+    /// Site that fired.
+    pub site: String,
+    /// Hit index that fired.
+    pub hit: u64,
+    /// The fault kind tag (`panic` / `transient` / `delay` / `budget`).
+    pub kind: &'static str,
+}
+
+/// Summary handed back by [`uninstall`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultReport {
+    /// Total faults injected over the plan's lifetime.
+    pub injected: u64,
+    /// Every fired fault, in firing order.
+    pub fired: Vec<FiredFault>,
+}
+
+struct Registry {
+    plan: FaultPlan,
+    /// Per-(scope, site) hit counters — the addressing that keeps plans
+    /// deterministic across worker counts (see the module docs).
+    hits: Mutex<HashMap<(String, String), u64>>,
+    injected: AtomicU64,
+    fired: Mutex<Vec<FiredFault>>,
+}
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> &'static RwLock<Option<Arc<Registry>>> {
+    static REGISTRY: OnceLock<RwLock<Option<Arc<Registry>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(None))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // Injected panics unwind through sites while these locks are held;
+    // recovering the guard keeps the registry usable afterwards.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn install_unchecked(plan: FaultPlan) {
+    let mut slot = registry().write().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(Arc::new(Registry {
+        plan,
+        hits: Mutex::new(HashMap::new()),
+        injected: AtomicU64::new(0),
+        fired: Mutex::new(Vec::new()),
+    }));
+    ACTIVE.store(true, Ordering::Release);
+}
+
+fn ensure_env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(text) = std::env::var("EVE_FAULTS") {
+            match FaultPlan::parse(&text) {
+                Ok(plan) => install_unchecked(plan),
+                Err(e) => eprintln!("EVE_FAULTS ignored: {e}"),
+            }
+        }
+    });
+}
+
+/// Is a fault plan installed? After the one-time `EVE_FAULTS` check this
+/// is a single relaxed atomic load — the only cost instrumented sites
+/// pay when no plan is active.
+#[inline]
+pub fn active() -> bool {
+    ensure_env_init();
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Error returned by [`install`] when a plan is already installed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlreadyInstalled;
+
+impl fmt::Display for AlreadyInstalled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a fault plan is already installed")
+    }
+}
+
+impl std::error::Error for AlreadyInstalled {}
+
+/// Install a fault plan process-wide. Fails when one is already active
+/// (uninstall it first); tests serialize installs with [`serial_guard`].
+pub fn install(plan: FaultPlan) -> Result<(), AlreadyInstalled> {
+    ensure_env_init();
+    let slot = registry().read().unwrap_or_else(|e| e.into_inner());
+    if slot.is_some() {
+        return Err(AlreadyInstalled);
+    }
+    drop(slot);
+    install_unchecked(plan);
+    Ok(())
+}
+
+/// Remove the installed plan, returning what fired (None when nothing
+/// was installed).
+pub fn uninstall() -> Option<FaultReport> {
+    ensure_env_init();
+    let mut slot = registry().write().unwrap_or_else(|e| e.into_inner());
+    let reg = slot.take()?;
+    ACTIVE.store(false, Ordering::Release);
+    let report = FaultReport {
+        injected: reg.injected.load(Ordering::Relaxed),
+        fired: lock(&reg.fired).clone(),
+    };
+    Some(report)
+}
+
+/// Snapshot of the faults fired so far by the installed plan (empty when
+/// none is installed) — lets a chaos test see which scopes were hit
+/// without uninstalling mid-run.
+pub fn fired() -> Vec<FiredFault> {
+    let slot = registry().read().unwrap_or_else(|e| e.into_inner());
+    slot.as_ref()
+        .map(|r| lock(&r.fired).clone())
+        .unwrap_or_default()
+}
+
+/// A process-wide guard serializing tests that install fault plans —
+/// same contract as `eve_telemetry::serial_guard`.
+pub fn serial_guard() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static SCOPE: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with the named fault scope pushed on this thread (the
+/// synchronizer scopes each view task by view name). The scope is popped
+/// even when `f` unwinds, so an injected panic cannot leak it into the
+/// next task this worker picks up.
+pub fn scoped<R>(scope: &str, f: impl FnOnce() -> R) -> R {
+    struct PopOnDrop;
+    impl Drop for PopOnDrop {
+        fn drop(&mut self) {
+            SCOPE.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    SCOPE.with(|s| s.borrow_mut().push(scope.to_string()));
+    let _pop = PopOnDrop;
+    f()
+}
+
+fn current_scope() -> String {
+    SCOPE
+        .with(|s| s.borrow().last().cloned())
+        .unwrap_or_default()
+}
+
+/// splitmix64 over (seed, scope, site, hit): the deterministic coin for
+/// `permille` specs.
+fn mix(seed: u64, scope: &str, site: &str, hit: u64) -> u64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(hit.wrapping_add(1));
+    for b in scope.bytes().chain([b'/']).chain(site.bytes()) {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut z = h.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Count a hit of `site` under the current scope and return the fault
+/// that fires, if any. Counting happens even when no spec matches — hit
+/// indices address the site's full deterministic hit sequence.
+pub fn check(site: &str) -> Option<FaultKind> {
+    if !active() {
+        return None;
+    }
+    let slot = registry().read().unwrap_or_else(|e| e.into_inner());
+    let reg = Arc::clone(slot.as_ref()?);
+    drop(slot);
+    let scope = current_scope();
+    let hit = {
+        let mut hits = lock(&reg.hits);
+        let counter = hits.entry((scope.clone(), site.to_string())).or_insert(0);
+        let n = *counter;
+        *counter += 1;
+        n
+    };
+    for spec in &reg.plan.specs {
+        if spec.site != site {
+            continue;
+        }
+        if let Some(sc) = &spec.scope {
+            if *sc != scope {
+                continue;
+            }
+        }
+        if let Some(h) = spec.hit {
+            if h != hit {
+                continue;
+            }
+        }
+        if let Some(p) = spec.permille {
+            if mix(reg.plan.seed, &scope, site, hit) % 1000 >= p as u64 {
+                continue;
+            }
+        }
+        reg.injected.fetch_add(1, Ordering::Relaxed);
+        lock(&reg.fired).push(FiredFault {
+            scope: scope.clone(),
+            site: site.to_string(),
+            hit,
+            kind: spec.kind.tag(),
+        });
+        return Some(spec.kind);
+    }
+    None
+}
+
+/// Execute a fault [`check`] returned: delay sleeps and returns `false`,
+/// budget returns `true` (the site truncates its search), panic and
+/// transient unwind with an [`InjectedFault`] payload.
+pub fn execute(site: &str, kind: FaultKind) -> bool {
+    match kind {
+        FaultKind::Delay(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        FaultKind::Budget => true,
+        FaultKind::Panic | FaultKind::Transient => {
+            let scope = current_scope();
+            let hit = {
+                // check() already advanced the counter past this hit.
+                let slot = registry().read().unwrap_or_else(|e| e.into_inner());
+                slot.as_ref()
+                    .map(|r| {
+                        lock(&r.hits)
+                            .get(&(scope.clone(), site.to_string()))
+                            .copied()
+                            .unwrap_or(1)
+                            .saturating_sub(1)
+                    })
+                    .unwrap_or(0)
+            };
+            std::panic::panic_any(InjectedFault {
+                site: site.to_string(),
+                scope,
+                hit,
+                transient: kind == FaultKind::Transient,
+            })
+        }
+    }
+}
+
+/// [`check`] + [`execute`] in one call: the shape instrumented sites
+/// use. Returns `true` exactly when a budget-exhaustion fault fired.
+pub fn trip(site: &str) -> bool {
+    match check(site) {
+        None => false,
+        Some(kind) => execute(site, kind),
+    }
+}
+
+/// Downcast a caught panic payload to the injected-fault description
+/// (None for organic panics).
+pub fn injected(payload: &(dyn std::any::Any + Send)) -> Option<&InjectedFault> {
+    payload.downcast_ref::<InjectedFault>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let plan =
+            FaultPlan::parse("seed=42; CPA/view.sync#0=panic, search.candidate#2=budget;V2/view.sync=transient ; index.build%250=delay:5")
+                .expect("parses");
+        assert_eq!(plan.seed, 42);
+        assert_eq!(plan.specs.len(), 4);
+        assert_eq!(plan.specs[0].scope.as_deref(), Some("CPA"));
+        assert_eq!(plan.specs[0].site, "view.sync");
+        assert_eq!(plan.specs[0].hit, Some(0));
+        assert_eq!(plan.specs[0].kind, FaultKind::Panic);
+        assert_eq!(plan.specs[1].scope, None);
+        assert_eq!(plan.specs[1].kind, FaultKind::Budget);
+        assert_eq!(plan.specs[2].hit, None);
+        assert_eq!(plan.specs[2].kind, FaultKind::Transient);
+        assert_eq!(plan.specs[3].permille, Some(250));
+        assert_eq!(
+            plan.specs[3].kind,
+            FaultKind::Delay(Duration::from_millis(5))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_entries() {
+        assert!(FaultPlan::parse("view.sync").is_err());
+        assert!(FaultPlan::parse("=panic").is_err());
+        assert!(FaultPlan::parse("view.sync=explode").is_err());
+        assert!(FaultPlan::parse("view.sync#x=panic").is_err());
+        assert!(FaultPlan::parse("seed=notanumber").is_err());
+        assert!(FaultPlan::parse("").expect("empty ok").specs.is_empty());
+    }
+
+    #[test]
+    fn hits_are_counted_per_scope() {
+        let _serial = serial_guard();
+        let _ = uninstall();
+        install(FaultPlan::parse("A/site.x#1=budget").unwrap()).unwrap();
+        // Global (unscoped) hits do not advance A's counter.
+        assert!(!trip("site.x"));
+        assert!(!trip("site.x"));
+        scoped("A", || {
+            assert!(!trip("site.x"), "A hit 0 must not fire");
+            assert!(trip("site.x"), "A hit 1 fires");
+            assert!(!trip("site.x"), "A hit 2 must not fire");
+        });
+        scoped("B", || {
+            assert!(!trip("site.x"), "B's counter is independent");
+        });
+        let report = uninstall().unwrap();
+        assert_eq!(report.injected, 1);
+        assert_eq!(
+            report.fired,
+            vec![FiredFault {
+                scope: "A".into(),
+                site: "site.x".into(),
+                hit: 1,
+                kind: "budget"
+            }]
+        );
+    }
+
+    #[test]
+    fn injected_panic_carries_payload_and_pops_scope() {
+        let _serial = serial_guard();
+        let _ = uninstall();
+        install(FaultPlan::parse("V/site.y#0=transient").unwrap()).unwrap();
+        let caught = std::panic::catch_unwind(|| scoped("V", || trip("site.y")));
+        let payload = caught.expect_err("must unwind");
+        let fault = injected(payload.as_ref()).expect("typed payload");
+        assert_eq!(
+            fault,
+            &InjectedFault {
+                site: "site.y".into(),
+                scope: "V".into(),
+                hit: 0,
+                transient: true
+            }
+        );
+        assert_eq!(
+            fault.to_string(),
+            "injected transient fault at V/site.y (hit 0)"
+        );
+        // The unwind popped the scope.
+        assert_eq!(current_scope(), "");
+        uninstall().unwrap();
+    }
+
+    #[test]
+    fn permille_is_deterministic_for_a_seed() {
+        let _serial = serial_guard();
+        let run = |seed: u64| -> Vec<u64> {
+            let _ = uninstall();
+            install(FaultPlan {
+                seed,
+                specs: vec![FaultSpec {
+                    site: "site.z".into(),
+                    scope: None,
+                    hit: None,
+                    permille: Some(300),
+                    kind: FaultKind::Budget,
+                }],
+            })
+            .unwrap();
+            let mut fired_at = Vec::new();
+            for i in 0..200u64 {
+                if trip("site.z") {
+                    fired_at.push(i);
+                }
+            }
+            uninstall().unwrap();
+            fired_at
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed, same firings");
+        assert!(
+            !a.is_empty() && a.len() < 200,
+            "~30% firing rate, got {}",
+            a.len()
+        );
+        assert_ne!(a, run(8), "different seed, different firings");
+    }
+
+    #[test]
+    fn install_is_exclusive_and_uninstall_reports() {
+        let _serial = serial_guard();
+        let _ = uninstall();
+        assert_eq!(uninstall(), None);
+        install(FaultPlan::new(1)).unwrap();
+        assert!(active());
+        assert_eq!(install(FaultPlan::new(2)), Err(AlreadyInstalled));
+        assert_eq!(uninstall(), Some(FaultReport::default()));
+        assert!(!active());
+    }
+}

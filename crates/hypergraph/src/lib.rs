@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod dot;
+pub(crate) mod faults;
 pub mod graph;
 pub mod paths;
 pub(crate) mod telem;

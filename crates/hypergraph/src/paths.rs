@@ -405,6 +405,7 @@ impl Hypergraph {
         terminals: &BTreeSet<RelName>,
         max_path_edges: usize,
     ) -> ConnectionTreeIter<'g> {
+        crate::faults::hit("hypergraph.tree-iter");
         ConnectionTreeIter::new(self, terminals, max_path_edges)
     }
 

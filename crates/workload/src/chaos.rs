@@ -1,0 +1,69 @@
+//! Random **fault-plan generators** for the chaos property suite
+//! (`tests/prop_faults.rs`): given the view names of a workload, emit a
+//! seeded `eve-faults` plan string targeting those views.
+//!
+//! The generators speak the textual plan format only (no `eve-faults`
+//! dependency) so the workload crate stays a pure generator layer; the
+//! chaos tests parse and install the plans themselves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fault-injection sites wired through the sync pipeline, from the
+/// deterministic view-task entry down to the schedule-dependent
+/// hypergraph stream (see DESIGN.md, "Fault isolation & injection").
+pub const FAULT_SITES: &[&str] = &[
+    "view.sync",
+    "search.candidate",
+    "index.enumerate-trees",
+    "hypergraph.tree-iter",
+];
+
+/// Generate a random view-scoped fault plan over `scopes` (view names):
+/// 1–3 specs, each targeting one view at one site with a panic,
+/// transient, delay, or budget fault on an early hit. Every spec is
+/// scoped, so any fault that fires is attributable to exactly one view —
+/// the property the chaos suite's "unaffected views are byte-identical"
+/// check relies on.
+///
+/// Returns the textual plan format of `eve_faults::FaultPlan::parse`;
+/// deterministic in `seed`.
+pub fn random_view_fault_plan(seed: u64, scopes: &[String]) -> String {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xFA01_75EE_D000_0000);
+    let kinds = ["panic", "transient", "delay:1", "budget"];
+    let mut entries = vec![format!("seed={seed}")];
+    if scopes.is_empty() {
+        return entries.pop().unwrap();
+    }
+    let n_specs = rng.gen_range(1..4);
+    for _ in 0..n_specs {
+        let scope = &scopes[rng.gen_range(0..scopes.len())];
+        let site = FAULT_SITES[rng.gen_range(0..FAULT_SITES.len())];
+        let kind = kinds[rng.gen_range(0..kinds.len())];
+        let hit = rng.gen_range(0..3);
+        entries.push(format!("{scope}/{site}#{hit}={kind}"));
+    }
+    entries.join(";")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_and_scoped() {
+        let scopes = vec!["V0".to_string(), "V1".to_string()];
+        let a = random_view_fault_plan(7, &scopes);
+        assert_eq!(a, random_view_fault_plan(7, &scopes));
+        assert_ne!(a, random_view_fault_plan(8, &scopes));
+        assert!(a.starts_with("seed=7"));
+        for entry in a.split(';').skip(1) {
+            let (scope, rest) = entry.split_once('/').expect("every spec is scoped");
+            assert!(scopes.iter().any(|s| s == scope), "{entry}");
+            let site = rest.split(['#', '=']).next().unwrap();
+            assert!(FAULT_SITES.contains(&site), "{entry}");
+        }
+        // No scopes → just the seed entry.
+        assert_eq!(random_view_fault_plan(7, &[]), "seed=7");
+    }
+}

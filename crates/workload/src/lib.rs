@@ -15,17 +15,21 @@
 //!   evaluation does not measure;
 //! * [`scenario`] — end-to-end change sequences replayed against a
 //!   [`eve_core::Synchronizer`];
+//! * [`chaos`] — seeded fault-plan generators driving the chaos
+//!   property suite against the `eve-faults` injection sites;
 //! * [`library`] — a second domain fixture: the digital-library
 //!   information space (shared with the CLI fixtures).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod library;
 pub mod scenario;
 pub mod synth;
 pub mod travel;
 
+pub use chaos::{random_view_fault_plan, FAULT_SITES};
 pub use library::LibraryFixture;
 pub use synth::{random_views, views_touching, SynthConfig, SynthError, SynthWorkload, Topology};
 pub use travel::TravelFixture;

@@ -7,6 +7,7 @@
 //! eve-cli sync --mkb <mkb.misd> --views <views.esql> \
 //!          (--change "delete-relation Customer" [--change ...] | --snapshot <new.misd>)
 //!          [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>]
+//!          [--faults "<plan>"] [--fail-fast]
 //! ```
 //!
 //! `--trace` prints the per-phase timing tree (apply → per-view sync →
@@ -15,13 +16,23 @@
 //! and final metric as JSON lines to `<file>`. Either flag enables the
 //! telemetry pipeline for the run.
 //!
+//! `--faults "<plan>"` installs a deterministic fault plan for the run
+//! (grammar: `[scope/]site[#hit][%permille]=panic|transient|budget|`
+//! `delay[:millis]`, entries separated by `;`, plus an optional
+//! `seed=N` entry) and switches the synchronizer to the
+//! `Degrade` failure policy, so injected view failures are contained,
+//! retried, and reported instead of aborting the process. `--fail-fast`
+//! keeps the default fail-fast policy even under a fault plan. A fault
+//! report (sites fired, faults injected) is printed after the run.
+//!
 //! File formats: the MISD textual format (`RELATION`/`JOIN`/`FUNCOF`/
 //! `PC`/`ORDER` statements) and E-SQL (`CREATE VIEW …` statements,
 //! semicolon-separated). Changes use the paper's operator notation, e.g.
 //! `delete-attribute Customer.Addr` or `rename-relation Tour -> Trip`.
 
 use eve::cvs::{
-    explain_rewriting_with_stats, CostModel, CvsOptions, SynchronizerBuilder, ViewOutcome,
+    explain_rewriting_with_stats, CostModel, CvsOptions, FailurePolicy, SynchronizerBuilder,
+    ViewOutcome,
 };
 use eve::esql::{parse_views, validate_view};
 use eve::hypergraph::{dot, Hypergraph};
@@ -41,7 +52,8 @@ fn main() -> ExitCode {
                  eve-cli views <views.esql> [--mkb <mkb.misd>]\n  \
                  eve-cli sync --mkb <mkb.misd> --views <views.esql> \
                  (--change \"<op> ...\" [--change ...] | --snapshot <new.misd>) \
-                 [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>]"
+                 [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>] \
+                 [--faults \"<plan>\"] [--fail-fast]"
             );
             ExitCode::from(2)
         }
@@ -191,6 +203,8 @@ fn cmd_sync(args: &[String]) -> ExitCode {
     let explain = args.iter().any(|a| a == "--explain");
     let trace = args.iter().any(|a| a == "--trace");
     let trace_out = flag_value(args, "--trace-out");
+    let faults_plan = flag_value(args, "--faults");
+    let fail_fast = args.iter().any(|a| a == "--fail-fast");
 
     let mkb = match load_mkb(&mkb_path) {
         Ok(m) => m,
@@ -213,8 +227,40 @@ fn cmd_sync(args: &[String]) -> ExitCode {
         Err(e) => return fail(e),
     };
 
+    // A fault plan without --fail-fast switches to the Degrade policy so
+    // injected failures are contained per view instead of aborting.
+    let mut options = CvsOptions::default();
+    if faults_plan.is_some() && !fail_fast {
+        options.failure = FailurePolicy::degrade();
+    }
+    let faults_active = if let Some(plan_text) = &faults_plan {
+        let plan = match eve::faults::FaultPlan::parse(plan_text) {
+            Ok(p) => p,
+            Err(e) => return fail(format!("--faults: {e}")),
+        };
+        if eve::faults::install(plan).is_err() {
+            return fail("--faults: a fault plan is already installed".into());
+        }
+        // Under Degrade, injected faults are caught at the parpool task
+        // boundary, but the default panic hook would still print a
+        // backtrace for each one — silence those while letting organic
+        // panics report as usual. Under --fail-fast the injected panic
+        // is the diagnostic for the abort, so the hook stays.
+        if !fail_fast {
+            let default_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if eve::faults::injected(info.payload()).is_none() {
+                    default_hook(info);
+                }
+            }));
+        }
+        true
+    } else {
+        false
+    };
+
     let mut builder = SynchronizerBuilder::new(mkb)
-        .with_options(CvsOptions::default())
+        .with_options(options)
         .require_p3(require_p3);
     if use_cost {
         builder = builder.with_cost_model(CostModel::default());
@@ -300,8 +346,13 @@ fn cmd_sync(args: &[String]) -> ExitCode {
             for v in sync.views() {
                 println!("\n{v}");
             }
+            let failed: usize = report.outcomes.iter().map(|o| o.failed()).sum();
             if report.disabled() > 0 {
-                eprintln!("\n{} view(s) disabled", report.disabled());
+                eprintln!(
+                    "\n{} view(s) disabled ({} of them failed)",
+                    report.disabled(),
+                    failed
+                );
                 ExitCode::FAILURE
             } else {
                 ExitCode::SUCCESS
@@ -309,6 +360,21 @@ fn cmd_sync(args: &[String]) -> ExitCode {
         }
         Err(e) => fail(format!("MKB evolution failed: {e}")),
     };
+    if faults_active {
+        if let Some(fault_report) = eve::faults::uninstall() {
+            println!(
+                "\nfault report: {} fault(s) injected",
+                fault_report.injected
+            );
+            for f in &fault_report.fired {
+                if f.scope.is_empty() {
+                    println!("  {} at {} (hit {})", f.kind, f.site, f.hit);
+                } else {
+                    println!("  {} at {}/{} (hit {})", f.kind, f.scope, f.site, f.hit);
+                }
+            }
+        }
+    }
     if let Some(collector) = collector {
         // Uninstall flushes the final metric lines into the JSONL sink
         // and hands back the registry snapshot for the summary.

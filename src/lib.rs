@@ -17,7 +17,10 @@
 //! * [`workload`] — the paper's travel-agency fixture and synthetic
 //!   generators;
 //! * [`telemetry`] — hierarchical spans, the metrics registry, and the
-//!   trace sinks instrumenting the whole sync pipeline.
+//!   trace sinks instrumenting the whole sync pipeline;
+//! * [`faults`] — deterministic, seeded fault injection (panic /
+//!   transient / delay / budget) addressed by site name + hit count,
+//!   driving the retry/degrade failure policies.
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-versus-measured record.
@@ -58,6 +61,7 @@
 
 pub use eve_core as cvs;
 pub use eve_esql as esql;
+pub use eve_faults as faults;
 pub use eve_hypergraph as hypergraph;
 pub use eve_misd as misd;
 pub use eve_relational as relational;
@@ -67,8 +71,8 @@ pub use eve_workload as workload;
 /// Commonly used items, for `use eve::prelude::*`.
 pub mod prelude {
     pub use eve_core::{
-        ChangeOutcome, CostModel, CvsOptions, LegalRewriting, SyncReport, Synchronizer,
-        SynchronizerBuilder,
+        ChangeOutcome, CostModel, CvsOptions, FailurePolicy, LegalRewriting, SyncReport,
+        Synchronizer, SynchronizerBuilder,
     };
     pub use eve_esql::{parse_view, ViewDefinition};
     pub use eve_misd::{CapabilityChange, MetaKnowledgeBase};

@@ -1,0 +1,279 @@
+//! Chaos property suite for the fault-isolation layer: random seeded
+//! fault plans (panic / transient / delay / budget, addressed by view
+//! scope + site + hit count) are injected into the synchronizer's
+//! per-view fan-out and the containment contract is checked:
+//!
+//! * under [`FailurePolicy::Degrade`] no injected fault ever panics
+//!   outward — the affected view lands as `ViewOutcome::Failed` (or
+//!   recovers by retry) and `apply` returns normally;
+//! * every view whose scope fired **no** fault produces an outcome
+//!   byte-identical to the fault-free run — failures are isolated to
+//!   the view whose task they hit, even though the tasks share a
+//!   connection-tree cache;
+//! * an installed-but-empty plan is indistinguishable from no plan at
+//!   all, under the default fail-fast policy;
+//! * transient faults retried under `Degrade` converge to the exact
+//!   fault-free outcome;
+//! * the same seed + plan replays to the identical [`ChangeOutcome`]
+//!   (including retry `attempts`) across 1, 2 and 8 workers, because
+//!   fault hits are counted per (view scope, site), not globally.
+
+use eve::cvs::{ChangeOutcome, CvsOptions, FailurePolicy, Synchronizer, SynchronizerBuilder};
+use eve::faults::FaultPlan;
+use eve::workload::{
+    random_view_fault_plan, random_views, views_touching, SynthConfig, SynthWorkload, Topology,
+};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+fn config() -> impl Strategy<Value = SynthConfig> {
+    (
+        6usize..20,
+        prop_oneof![
+            Just(Topology::Chain),
+            Just(Topology::Star),
+            (0usize..10).prop_map(|extra| Topology::Random { extra }),
+        ],
+        1usize..4,
+        2usize..4,
+    )
+        .prop_map(
+            |(n_relations, topology, cover_count, view_relations)| SynthConfig {
+                n_relations,
+                topology,
+                cover_count,
+                view_relations,
+                ..SynthConfig::default()
+            },
+        )
+}
+
+/// Zero-backoff degrade policy so retry convergence is fast and
+/// deterministic in tests.
+fn degrade() -> FailurePolicy {
+    FailurePolicy::Degrade {
+        max_retries: 2,
+        backoff: Duration::ZERO,
+    }
+}
+
+/// Same mixed view population as `prop_parallel`, with an explicit
+/// worker count and failure policy.
+fn synchronizer(
+    w: &SynthWorkload,
+    seed: u64,
+    threads: usize,
+    policy: FailurePolicy,
+) -> Synchronizer {
+    let mut builder = SynchronizerBuilder::new(w.mkb.clone()).with_options(CvsOptions {
+        parallelism: Some(threads),
+        failure: policy,
+        ..CvsOptions::default()
+    });
+    for v in views_touching(&w.mkb, &w.target, 6, 3, seed) {
+        builder = builder.with_view(v).expect("fan-out view is valid");
+    }
+    for v in random_views(&w.mkb, 4, 2, seed.wrapping_add(1)) {
+        builder = builder.with_view(v).expect("random view is valid");
+    }
+    builder.build()
+}
+
+/// The registered view names, in registration order — the scopes a
+/// generated fault plan addresses.
+fn view_names(w: &SynthWorkload, seed: u64) -> Vec<String> {
+    views_touching(&w.mkb, &w.target, 6, 3, seed)
+        .into_iter()
+        .chain(random_views(&w.mkb, 4, 2, seed.wrapping_add(1)))
+        .map(|v| v.name)
+        .collect()
+}
+
+/// Install `plan`, run `f` with unwinds caught, uninstall, and return
+/// the caught result together with the fault report. Callers hold
+/// `eve::faults::serial_guard()` for the whole test body.
+fn with_plan<R>(
+    plan: FaultPlan,
+    f: impl FnOnce() -> R,
+) -> (std::thread::Result<R>, eve::faults::FaultReport) {
+    let _ = eve::faults::uninstall();
+    eve::faults::install(plan).expect("no competing plan while serialized");
+    let result = catch_unwind(AssertUnwindSafe(f));
+    let report = eve::faults::uninstall().expect("plan still installed");
+    (result, report)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Properties (a) + (b): under `Degrade`, a random fault plan never
+    /// panics outward, and every view in whose scope no fault fired is
+    /// byte-identical to the fault-free run.
+    #[test]
+    fn degrade_contains_random_fault_plans(
+        cfg in config(),
+        seed in 0u64..300,
+        plan_seed in 0u64..1000,
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+    ) {
+        let _serial = eve::faults::serial_guard();
+        let w = SynthWorkload::random(&cfg, seed);
+        let change = w.delete_change();
+        let baseline = synchronizer(&w, seed, threads, degrade())
+            .apply(&change)
+            .expect("target described");
+
+        let names = view_names(&w, seed);
+        let plan_text = random_view_fault_plan(plan_seed, &names);
+        let plan = FaultPlan::parse(&plan_text).expect("generated plan parses");
+        let (result, report) = with_plan(plan, || {
+            synchronizer(&w, seed, threads, degrade())
+                .apply(&change)
+                .expect("target described")
+        });
+
+        // (a) Degrade never lets an injected fault escape `apply`.
+        let outcome = match result {
+            Ok(o) => o,
+            Err(_) => return Err(TestCaseError::fail(format!(
+                "plan {plan_text:?} panicked outward under Degrade"
+            ))),
+        };
+
+        // (b) Views outside every fired scope match the fault-free run.
+        let fired_scopes: BTreeSet<&str> =
+            report.fired.iter().map(|f| f.scope.as_str()).collect();
+        let expected: BTreeMap<&str, _> = baseline
+            .views
+            .iter()
+            .map(|(n, o)| (n.as_str(), o))
+            .collect();
+        for (name, view_outcome) in &outcome.views {
+            if fired_scopes.contains(name.as_str()) {
+                continue;
+            }
+            prop_assert_eq!(
+                Some(&view_outcome),
+                expected.get(name.as_str()),
+                "unaffected view {} diverged under plan {:?}",
+                name,
+                plan_text
+            );
+        }
+    }
+
+    /// Property (c): an installed plan with no fault specs is
+    /// indistinguishable from running without any plan, under the
+    /// default fail-fast policy.
+    #[test]
+    fn empty_plan_matches_fault_free_failfast(cfg in config(), seed in 0u64..300) {
+        let _serial = eve::faults::serial_guard();
+        let w = SynthWorkload::random(&cfg, seed);
+        let change = w.delete_change();
+        let baseline = synchronizer(&w, seed, 2, FailurePolicy::FailFast)
+            .apply(&change)
+            .expect("target described");
+
+        let plan = FaultPlan::parse("seed=1").expect("empty plan parses");
+        let (result, report) = with_plan(plan, || {
+            synchronizer(&w, seed, 2, FailurePolicy::FailFast)
+                .apply(&change)
+                .expect("target described")
+        });
+        let outcome = result.expect("no faults to fire");
+        prop_assert_eq!(report.injected, 0);
+        prop_assert_eq!(&outcome, &baseline);
+    }
+
+    /// Property (d): a transient fault on a view's sync site, retried
+    /// under `Degrade`, converges to the exact fault-free outcome.
+    #[test]
+    fn transient_retries_converge_to_fault_free(
+        cfg in config(),
+        seed in 0u64..300,
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(8usize)],
+    ) {
+        let _serial = eve::faults::serial_guard();
+        let w = SynthWorkload::random(&cfg, seed);
+        let change = w.delete_change();
+        let baseline = synchronizer(&w, seed, threads, degrade())
+            .apply(&change)
+            .expect("target described");
+
+        // The victim must actually reference the delete target — an
+        // unaffected view early-returns before its sync site is reached.
+        let touching: Vec<String> = views_touching(&w.mkb, &w.target, 6, 3, seed)
+            .into_iter()
+            .map(|v| v.name)
+            .collect();
+        if touching.is_empty() {
+            return Err(TestCaseError::Reject("no affected views generated".into()));
+        }
+        let victim = &touching[seed as usize % touching.len()];
+        let plan = FaultPlan::parse(&format!("seed=2;{victim}/view.sync#0=transient"))
+            .expect("plan parses");
+        let (result, report) = with_plan(plan, || {
+            synchronizer(&w, seed, threads, degrade())
+                .apply(&change)
+                .expect("target described")
+        });
+        let outcome = result.expect("transient faults are contained");
+        prop_assert_eq!(report.injected, 1, "fault fired exactly once");
+        prop_assert_eq!(&outcome, &baseline, "retry converged to the fault-free outcome");
+    }
+}
+
+/// Deterministic replay: the same seed + plan produces the identical
+/// [`ChangeOutcome`] — including the per-view retry `attempts` — no
+/// matter how many workers run the fan-out, because fault hits are
+/// counted per (view scope, site) and retries run in registration
+/// order on the applying thread.
+#[test]
+fn replay_is_deterministic_across_worker_counts() {
+    let _serial = eve::faults::serial_guard();
+    let cfg = SynthConfig {
+        n_relations: 14,
+        topology: Topology::Random { extra: 6 },
+        cover_count: 2,
+        view_relations: 3,
+        ..SynthConfig::default()
+    };
+    let w = SynthWorkload::random(&cfg, 11);
+    let change = w.delete_change();
+    let names = view_names(&w, 11);
+    let victim = names.first().expect("fan-out views exist").clone();
+    // A persistent transient on the victim's sync site: the initial run
+    // and both retries all fault, so the view lands as Failed after 3
+    // deterministic attempts.
+    let plan_text = format!("seed=5;{victim}/view.sync=transient");
+
+    let mut runs: Vec<ChangeOutcome> = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let plan = FaultPlan::parse(&plan_text).expect("plan parses");
+        let (result, report) = with_plan(plan, || {
+            synchronizer(&w, 11, threads, degrade())
+                .apply(&change)
+                .expect("target described")
+        });
+        let outcome = result.expect("transient faults are contained");
+        assert_eq!(
+            report.injected, 3,
+            "initial attempt + 2 retries, threads={threads}"
+        );
+        runs.push(outcome);
+    }
+
+    let (_, victim_outcome) = runs[0]
+        .views
+        .iter()
+        .find(|(n, _)| *n == victim)
+        .expect("victim view is reported");
+    match victim_outcome {
+        eve::cvs::ViewOutcome::Failed { attempts, .. } => assert_eq!(*attempts, 3),
+        other => panic!("victim should have failed, got {other:?}"),
+    }
+    assert_eq!(runs[0], runs[1], "1 worker vs 2 workers");
+    assert_eq!(runs[0], runs[2], "1 worker vs 8 workers");
+}
