@@ -12,11 +12,21 @@
 //! (`index.build`, `index.enumerate-trees`, `search.candidate`,
 //! `view.sync`, `hypergraph.tree-iter`), so the guard covers them all.
 //!
-//! Output: a single line `median_ns_per_iter=<n>` on stdout.
+//! A second probe pins the data-oriented enumeration core on its own:
+//! [`Hypergraph::tree_cursor`] driven to exhaustion over the wide-MKB
+//! workload's view relations. The cursor's steady state is
+//! allocation-free index arithmetic, so any instrumentation residue
+//! (the per-call fault-site load, the yield-counter flush on drop)
+//! shows up here with nothing to hide behind.
+//!
+//! Output: two lines on stdout —
+//! `median_ns_per_iter=<n>` and `cursor_median_ns_per_iter=<n>`.
 
 use eve_core::{cvs_delete_relation_indexed, CvsOptions, MkbIndex};
+use eve_hypergraph::Hypergraph;
 use eve_misd::evolve;
 use eve_workload::{SynthConfig, SynthWorkload, Topology};
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 const VIEWS: usize = 8;
@@ -59,4 +69,37 @@ fn main() {
     }
     samples.sort_unstable();
     println!("median_ns_per_iter={}", samples[samples.len() / 2]);
+
+    // Probe 2: the id-level enumeration core in isolation. Stream every
+    // connection tree over the wide workload's view relations; the
+    // relation count stays within the inline bitset budget, so the loop
+    // body is exactly the code the fault/telemetry facades decorate.
+    let wide = SynthWorkload::wide_mkb(4, 3);
+    let h = Hypergraph::build(&wide.mkb);
+    let terminals: BTreeSet<_> = wide.view.relations().into_iter().collect();
+    let cursor_iter = || {
+        let mut cursor = h.tree_cursor(&terminals, 8);
+        let mut yielded = 0u64;
+        while cursor.advance() {
+            yielded += 1;
+        }
+        yielded
+    };
+    assert!(
+        cursor_iter() > 0,
+        "wide workload enumerates at least one tree"
+    );
+
+    let mut samples: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        // 64 full streams per sample: one stream is sub-microsecond,
+        // too close to timer resolution to compare builds on.
+        for _ in 0..64 {
+            std::hint::black_box(cursor_iter());
+        }
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    println!("cursor_median_ns_per_iter={}", samples[samples.len() / 2]);
 }

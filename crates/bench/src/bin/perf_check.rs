@@ -1,0 +1,95 @@
+//! CI perf-smoke guard for the data-oriented hypergraph core.
+//!
+//! Re-runs the `wide_mkb/exhaustive` scenario of `experiments bench-cvs`
+//! in-process — a fresh [`MkbIndex`] build plus one exhaustive
+//! `cvs_delete_relation_searched` per iteration, median over the same
+//! iteration count — and asserts it is at least `min_ratio`× faster
+//! than the committed pre-refactor baseline. The local target is ≥ 5×
+//! (see EXPERIMENTS.md); CI asserts a conservative 3× to absorb shared
+//! -runner noise. Three measurement series are taken and the best
+//! median wins: noise on a loaded host only ever inflates a wall-clock
+//! sample, so best-of-N converges on the machine's true figure.
+//!
+//! Usage: `perf_check [baseline.json] [min_ratio]`
+//! (defaults: `BENCH_cvs.json`, `3.0`). Exits non-zero when the ratio
+//! falls short or the baseline row cannot be found.
+
+use eve_core::{cvs_delete_relation_searched, CvsOptions, MkbIndex, SearchBudget};
+use eve_misd::evolve;
+use eve_workload::SynthWorkload;
+use std::time::Instant;
+
+const SCENARIO: &str = "wide_mkb/exhaustive";
+const ITERS: usize = 15;
+const SERIES: usize = 3;
+
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Pull `"median_ns": <n>` out of the row whose `"scenario"` is
+/// `scenario`. The JSON is the hand-rolled output of
+/// `eve_bench::perf::to_json` (no serde in this environment), so a
+/// substring scan is exact: scenario labels are unique and unescaped.
+fn extract_median(json: &str, scenario: &str) -> Option<u64> {
+    let row = json.find(&format!("\"scenario\": \"{scenario}\""))?;
+    let rest = &json[row..];
+    let key = "\"median_ns\": ";
+    let at = rest.find(key)? + key.len();
+    let digits: String = rest[at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_cvs.json".to_string());
+    let min_ratio: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3.0);
+
+    let baseline_json = std::fs::read_to_string(&baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = extract_median(&baseline_json, SCENARIO)
+        .unwrap_or_else(|| panic!("no {SCENARIO} row in {baseline_path}"));
+
+    let wide = SynthWorkload::wide_mkb(4, 3);
+    let change = wide.delete_change();
+    let mkb2 = evolve(&wide.mkb, &change).expect("target described");
+    let opts = CvsOptions {
+        budget: SearchBudget::unlimited(),
+        ..CvsOptions::default()
+    };
+    let run = || {
+        let index = MkbIndex::new(&wide.mkb, &mkb2, &opts);
+        cvs_delete_relation_searched(&wide.view, &wide.target, &index, &opts, false, None)
+            .expect("wide workload is synchronizable")
+    };
+    run(); // warm-up: fault in code paths and allocator arenas
+
+    let best = (0..SERIES)
+        .map(|_| {
+            median_ns(ITERS, || {
+                run();
+            })
+        })
+        .min()
+        .expect("SERIES > 0");
+
+    let ratio = baseline as f64 / best as f64;
+    println!(
+        "scenario={SCENARIO} baseline_ns={baseline} current_ns={best} \
+         ratio={ratio:.2} min_ratio={min_ratio}"
+    );
+    if ratio < min_ratio {
+        eprintln!("perf-smoke FAILED: {ratio:.2}x < required {min_ratio}x vs {baseline_path}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Allocation probe for the id-level enumeration core.
+//!
+//! Lives in its own test binary because `#[global_allocator]` is
+//! process-global: a counting allocator here would skew every other
+//! test's timing, and another binary's allocator would skew this one.
+//!
+//! The tentpole claim under test: `TreeCursor::advance` allocates
+//! nothing in the steady state. Concretely —
+//!
+//! * the greedy/swap arm (≥ 3 terminals) is *strictly* zero-allocation
+//!   per advance once the cursor is built: emitting a swap variant is
+//!   pure index arithmetic into scratch buffers sized at construction;
+//! * the two-terminal best-first arm reuses fixed-width `IdPartial`s
+//!   (inline arrays + inline bitset for ≤ 256 relations) and only
+//!   touches the heap when the frontier `BinaryHeap` outgrows its
+//!   capacity — so once the frontier passes its high-water mark, every
+//!   later advance is allocation-free.
+//!
+//! `ConnectionTreeIter::next` = `advance` + `materialize`; the
+//! materialization boundary allocates the owned string-keyed tree by
+//! design, which is why the probe pins the id-level core.
+
+use eve_hypergraph::Hypergraph;
+use eve_misd::{JoinConstraint, MetaKnowledgeBase};
+use eve_relational::{AttrRef, AttributeDef, Clause, Conjunction, DataType, RelName};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+/// Allocations performed while running `f`.
+fn allocations_in<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let out = f();
+    (ALLOCATIONS.load(Ordering::SeqCst) - before, out)
+}
+
+fn rel(n: &str) -> RelName {
+    RelName::new(n)
+}
+
+fn describe(name: &str) -> eve_misd::RelationDescription {
+    eve_misd::RelationDescription::new(
+        format!("IS_{name}"),
+        rel(name),
+        vec![AttributeDef::new("k", DataType::Int)],
+    )
+}
+
+fn jc(id: &str, l: &str, r: &str) -> JoinConstraint {
+    JoinConstraint::new(
+        id,
+        l,
+        r,
+        Conjunction::new(vec![Clause::eq_attrs(
+            AttrRef::new(l, "k"),
+            AttrRef::new(r, "k"),
+        )]),
+    )
+}
+
+/// Star with parallel edges: HUB joined to A, B, C, with two alternative
+/// join constraints on each spoke. Three terminals {A, B, C} put the
+/// cursor on the greedy/swap arm; 2×2×2 = 8 trees stream out (base +
+/// single-swap variants + the remaining alternative combinations).
+fn star_with_alternatives() -> MetaKnowledgeBase {
+    let mut mkb = MetaKnowledgeBase::new();
+    for name in ["HUB", "A", "B", "C"] {
+        mkb.add_relation(describe(name)).expect("fresh relation");
+    }
+    for (i, spoke) in ["A", "B", "C"].iter().enumerate() {
+        mkb.add_join(jc(&format!("j{i}a"), "HUB", spoke))
+            .expect("fresh join");
+        mkb.add_join(jc(&format!("j{i}b"), "HUB", spoke))
+            .expect("fresh join");
+    }
+    mkb
+}
+
+/// The greedy/swap arm: after construction, every `advance` (including
+/// the first) performs zero heap allocations — the only allocating step
+/// is the one-time growth of the scratch edge list, which construction
+/// pre-sizes.
+#[test]
+fn greedy_arm_advance_is_allocation_free() {
+    let mkb = star_with_alternatives();
+    let h = Hypergraph::build(&mkb);
+    let terminals: BTreeSet<RelName> = ["A", "B", "C"].into_iter().map(rel).collect();
+
+    let mut cursor = h.tree_cursor(&terminals, 8);
+    // Warm-up advance: first scratch write may grow the edge Vec from
+    // its initial empty capacity.
+    assert!(cursor.advance(), "base greedy tree exists");
+
+    let mut yields = 0u32;
+    loop {
+        let (allocs, more) = allocations_in(|| cursor.advance());
+        if !more {
+            break;
+        }
+        yields += 1;
+        assert_eq!(
+            allocs, 0,
+            "greedy/swap advance #{yields} after warm-up allocated"
+        );
+    }
+    assert!(
+        yields >= 2,
+        "probe needs multiple steady-state yields, got {yields}"
+    );
+}
+
+/// The two-terminal best-first arm: frontier pushes may grow the heap
+/// early, but once the high-water mark is passed the stream drains
+/// allocation-free. A complete graph on six relations has dozens of
+/// vertex-simple paths between any two of them; past the last
+/// path-length transition every buffer is at high-water, so the final
+/// length class must drain without a single allocation.
+#[test]
+fn two_terminal_arm_drains_allocation_free() {
+    let mut mkb = MetaKnowledgeBase::new();
+    let names = ["N0", "N1", "N2", "N3", "N4", "N5"];
+    for name in names {
+        mkb.add_relation(describe(name)).expect("fresh relation");
+    }
+    for (i, a) in names.iter().enumerate() {
+        for b in names.iter().skip(i + 1) {
+            mkb.add_join(jc(&format!("j_{a}_{b}"), a, b))
+                .expect("fresh join");
+        }
+    }
+    let h = Hypergraph::build(&mkb);
+    let terminals: BTreeSet<RelName> = [rel("N0"), rel("N5")].into_iter().collect();
+
+    // First pass: learn the stream's length profile. Allocation can
+    // legitimately happen only while buffers reach new high-water marks
+    // — the frontier heap growing to its peak, the scratch edge list
+    // growing to the longest path — and the stream yields in
+    // nondecreasing length, so the final length class runs entirely at
+    // high-water.
+    let lengths: Vec<usize> = {
+        let mut c = h.tree_cursor(&terminals, 8);
+        let mut lens = Vec::new();
+        while c.advance() {
+            lens.push(c.edges().len());
+        }
+        lens
+    };
+    let total = lengths.len();
+    let longest = *lengths.last().expect("K6 terminals connect");
+    let steady_from = lengths
+        .iter()
+        .position(|&l| l == longest)
+        .expect("last length exists");
+    assert!(
+        total - steady_from >= 4,
+        "probe needs a non-trivial steady state, got {} of {total}",
+        total - steady_from
+    );
+
+    // Second pass: warm up through the last length transition, then the
+    // drain must be allocation-free.
+    let mut cursor = h.tree_cursor(&terminals, 8);
+    for _ in 0..steady_from + 1 {
+        assert!(cursor.advance());
+    }
+    let mut step = steady_from + 1;
+    loop {
+        let (allocs, more) = allocations_in(|| cursor.advance());
+        if !more {
+            break;
+        }
+        step += 1;
+        assert_eq!(allocs, 0, "two-terminal advance #{step} allocated");
+    }
+    assert_eq!(step, total, "second pass yielded a different stream length");
+}

@@ -28,7 +28,8 @@ use crate::replacement::{CoverChoice, Replacement};
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
 use eve_misd::{ExtentOp, PartialComplete};
 use eve_relational::{AttrRef, Clause, RelName};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Synchronize `view` under `delete-attribute attr` against a prebuilt
 /// [`MkbIndex`], returning the legal rewritings ordered best-first.
@@ -271,11 +272,11 @@ fn assemble_with_cover(
     let satisfies_p3 = satisfies_extent_param(view.extent, verdict);
 
     let replacement = Replacement {
-        covers: [(attr.clone(), cover.clone())].into_iter().collect(),
+        covers: Arc::new([(attr.clone(), cover.clone())].into_iter().collect()),
         relations: new_view.from.iter().map(|f| f.relation.clone()).collect(),
         joins: added_joins,
-        c_max_min: Vec::new(),
-        dropped_conditions: Vec::new(),
+        c_max_min: Arc::default(),
+        dropped_conditions: Arc::default(),
     };
     Ok(LegalRewriting {
         view: new_view,
@@ -311,11 +312,11 @@ fn assemble_drop_only(
     Ok(LegalRewriting {
         view: new_view,
         replacement: Replacement {
-            covers: BTreeMap::new(),
+            covers: Arc::default(),
             relations,
             joins: Vec::new(),
-            c_max_min: Vec::new(),
-            dropped_conditions: Vec::new(),
+            c_max_min: Arc::default(),
+            dropped_conditions: Arc::default(),
         },
         verdict,
         satisfies_p3,

@@ -28,7 +28,6 @@ use crate::svs::svs_delete_relation_searched;
 use crate::synchronizer::ViewOutcome;
 use eve_esql::ViewDefinition;
 use eve_misd::CapabilityChange;
-use std::collections::BTreeMap;
 
 /// Per-call search policy handed from the synchronizer to a strategy:
 /// what to filter (`require_p3`) and how to rank (`cost_model`).
@@ -302,11 +301,11 @@ fn rename_rewriting(view: ViewDefinition) -> LegalRewriting {
     LegalRewriting {
         view,
         replacement: crate::replacement::Replacement {
-            covers: BTreeMap::new(),
+            covers: Default::default(),
             relations,
             joins: Vec::new(),
-            c_max_min: Vec::new(),
-            dropped_conditions: Vec::new(),
+            c_max_min: Default::default(),
+            dropped_conditions: Default::default(),
         },
         verdict: ExtentVerdict::Equivalent,
         satisfies_p3: true,

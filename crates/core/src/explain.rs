@@ -44,7 +44,7 @@ pub fn explain_rewriting(original: &ViewDefinition, rewriting: &LegalRewriting) 
     let mut out = String::new();
 
     // Replacements.
-    for (attr, cover) in &rewriting.replacement.covers {
+    for (attr, cover) in rewriting.replacement.covers.iter() {
         let _ = writeln!(
             out,
             "- replaced {attr} by {} (function-of constraint {}, cover relation {})",

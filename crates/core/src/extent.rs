@@ -113,52 +113,70 @@ fn verdict_of_op(op: ExtentOp) -> ExtentVerdict {
 /// clauses of the join constraints involved in the swap. Two attributes
 /// equated (transitively) by the join chain correspond: `T.k = W.k` and
 /// `W.k = C1.k` make `C1.k` a faithful stand-in for `T.k`.
-struct EqClasses {
-    classes: Vec<BTreeSet<AttrRef>>,
+#[derive(Clone)]
+struct EqClasses<'a> {
+    /// Small unordered member lists: the classes involved in one swap
+    /// are a handful of attributes each, so linear scans beat ordered
+    /// sets and their per-node allocations. The `Min(H_R)` part is
+    /// built once per search ([`ExtentCtx`]) and cloned per candidate;
+    /// only the candidate's own joins are folded in per call.
+    classes: Vec<Vec<&'a AttrRef>>,
 }
 
-impl EqClasses {
-    fn build(joins: &[eve_misd::JoinConstraint]) -> Self {
-        let mut classes: Vec<BTreeSet<AttrRef>> = Vec::new();
+impl<'a> EqClasses<'a> {
+    fn build(joins: impl Iterator<Item = &'a eve_misd::JoinConstraint>) -> Self {
+        let mut eq = EqClasses {
+            classes: Vec::new(),
+        };
+        eq.extend(joins);
+        eq
+    }
+
+    /// Fold more join constraints into the classes. Extending a built
+    /// set with further joins produces exactly the classes `build`
+    /// would on the concatenated sequence.
+    fn extend(&mut self, joins: impl Iterator<Item = &'a eve_misd::JoinConstraint>) {
+        let classes = &mut self.classes;
         for jc in joins {
             for clause in jc.predicate.clauses() {
                 if clause.op != eve_relational::CompareOp::Eq {
                     continue;
                 }
                 if let (ScalarExpr::Attr(a), ScalarExpr::Attr(b)) = (&clause.lhs, &clause.rhs) {
-                    let ia = classes.iter().position(|c| c.contains(a));
-                    let ib = classes.iter().position(|c| c.contains(b));
+                    let ia = classes.iter().position(|c| c.contains(&a));
+                    let ib = classes.iter().position(|c| c.contains(&b));
                     match (ia, ib) {
                         (Some(i), Some(j)) if i != j => {
                             let moved = classes.swap_remove(j.max(i));
                             classes[j.min(i)].extend(moved);
                         }
                         (Some(i), None) => {
-                            classes[i].insert(b.clone());
+                            classes[i].push(b);
                         }
                         (None, Some(j)) => {
-                            classes[j].insert(a.clone());
+                            classes[j].push(a);
                         }
                         (None, None) => {
-                            classes.push([a.clone(), b.clone()].into_iter().collect());
+                            classes.push(vec![a, b]);
                         }
                         _ => {}
                     }
                 }
             }
         }
-        EqClasses { classes }
     }
 
     fn equated(&self, a: &AttrRef, b: &AttrRef) -> bool {
-        self.classes.iter().any(|c| c.contains(a) && c.contains(b))
+        self.classes
+            .iter()
+            .any(|c| c.contains(&a) && c.contains(&b))
     }
 }
 
 /// Do attributes `s` (of the cover relation) and `r` (of the dropped
 /// relation) correspond — through a function-of constraint, or through
 /// the equality-congruence of the join chains involved in the swap?
-fn corresponds(mkb: &MetaKnowledgeBase, eq: &EqClasses, s: &AttrRef, r: &AttrRef) -> bool {
+fn corresponds(mkb: &MetaKnowledgeBase, eq: &EqClasses<'_>, s: &AttrRef, r: &AttrRef) -> bool {
     if eq.equated(s, r) {
         return true;
     }
@@ -174,11 +192,11 @@ fn corresponds(mkb: &MetaKnowledgeBase, eq: &EqClasses, s: &AttrRef, r: &AttrRef
 /// attributes its chain transports.
 fn certify_added_relation(
     mkb: &MetaKnowledgeBase,
-    eq: &EqClasses,
+    eq: &EqClasses<'_>,
     candidate_pcs: &[&PartialComplete],
     added: &eve_relational::RelName,
     target: &eve_relational::RelName,
-    used_r_attrs: &BTreeSet<AttrName>,
+    used_r_attrs: &BTreeSet<&AttrName>,
 ) -> ExtentVerdict {
     let mut best = ExtentVerdict::Unknown;
     for pc in candidate_pcs.iter().copied() {
@@ -201,10 +219,10 @@ fn certify_added_relation(
 fn pc_certifies(
     pc: &PartialComplete,
     mkb: &MetaKnowledgeBase,
-    eq: &EqClasses,
+    eq: &EqClasses<'_>,
     s_side: &eve_misd::ProjSel,
     r_side: &eve_misd::ProjSel,
-    used_r_attrs: &BTreeSet<AttrName>,
+    used_r_attrs: &BTreeSet<&AttrName>,
 ) -> bool {
     // Selections on either side would change the compared sets in ways we
     // do not model — require plain projections.
@@ -217,8 +235,7 @@ fn pc_certifies(
         return false;
     }
     // The R side must mention every attribute this relation accounts for.
-    let r_names: BTreeSet<AttrName> = r_side.attrs.iter().cloned().collect();
-    if !used_r_attrs.iter().all(|a| r_names.contains(a)) {
+    if !used_r_attrs.iter().all(|a| r_side.attrs.contains(a)) {
         return false;
     }
     // Position-wise correspondence through function-of constraints or
@@ -256,30 +273,64 @@ pub fn infer_extent_indexed(
     dropped_conditions: usize,
     index: &crate::index::MkbIndex<'_>,
 ) -> ExtentVerdict {
+    infer_extent_with(&ExtentCtx::new(rm), rep, dropped_conditions, index)
+}
+
+/// Per-search invariants of the extent inference: everything derived
+/// from the R-mapping alone, computed once and reused across every
+/// candidate of one rewriting search.
+pub(crate) struct ExtentCtx<'a> {
+    rm: &'a RMapping,
+    /// `Min(H_R)` relations minus `R`.
+    survivors: BTreeSet<eve_relational::RelName>,
+    /// Join attributes of `R` in `Min(H_R)`: every relation of the
+    /// replacement chain must transport them faithfully.
+    join_attrs: BTreeSet<AttrName>,
+    /// Equality classes of the `Min(H_R)` joins alone — the shared
+    /// prefix of every candidate's congruence.
+    base_eq: EqClasses<'a>,
+}
+
+impl<'a> ExtentCtx<'a> {
+    pub(crate) fn new(rm: &'a RMapping) -> Self {
+        let mut join_attrs: BTreeSet<AttrName> = BTreeSet::new();
+        for jc in &rm.min_joins {
+            for a in jc.attrs() {
+                if a.relation == rm.target {
+                    join_attrs.insert(a.attr);
+                }
+            }
+        }
+        ExtentCtx {
+            rm,
+            survivors: rm.surviving_relations(),
+            join_attrs,
+            base_eq: EqClasses::build(rm.min_joins.iter()),
+        }
+    }
+}
+
+/// [`infer_extent_indexed`] with the per-search invariants hoisted into
+/// an [`ExtentCtx`] — same verdict, none of the per-candidate set
+/// rebuilding.
+pub(crate) fn infer_extent_with(
+    ctx: &ExtentCtx<'_>,
+    rep: &Replacement,
+    dropped_conditions: usize,
+    index: &crate::index::MkbIndex<'_>,
+) -> ExtentVerdict {
     let mkb = index.mkb();
-    let survivors = rm.surviving_relations();
+    let rm = ctx.rm;
     let added: Vec<_> = rep
         .relations
         .iter()
-        .filter(|r| !survivors.contains(*r))
+        .filter(|r| !ctx.survivors.contains(*r))
         .collect();
 
-    // Join attributes of R in Min(H_R): every relation of the replacement
-    // chain must transport them faithfully.
-    let mut join_attrs: BTreeSet<AttrName> = BTreeSet::new();
-    for jc in &rm.min_joins {
-        for a in jc.attrs() {
-            if a.relation == rm.target {
-                join_attrs.insert(a.attr);
-            }
-        }
-    }
-
-    // Equality congruence over the join chains involved in the swap
-    // (both the original Min(H_R) joins and the candidate's).
-    let mut all_joins = rm.min_joins.clone();
-    all_joins.extend(rep.joins.iter().cloned());
-    let eq = EqClasses::build(&all_joins);
+    // Equality congruence over the join chains involved in the swap:
+    // the prebuilt Min(H_R) classes plus the candidate's own joins.
+    let mut eq = ctx.base_eq.clone();
+    eq.extend(rep.joins.iter());
 
     let mut verdict = if added.is_empty() {
         // Pure drop: R leaves the join, nothing is added — widening.
@@ -290,17 +341,16 @@ pub fn infer_extent_indexed(
             // What must S account for: the attributes it covers, plus the
             // join attributes (its presence in the chain must not lose
             // key combinations of R).
-            let mut used: BTreeSet<AttrName> = join_attrs.clone();
-            for (covered, cover) in &rep.covers {
+            let mut used: BTreeSet<&AttrName> = ctx.join_attrs.iter().collect();
+            for (covered, cover) in rep.covers.iter() {
                 if &cover.source == s {
-                    used.insert(covered.attr.clone());
+                    used.insert(&covered.attr);
                 }
             }
-            let candidates: Vec<&PartialComplete> = index.pcs_between(s, &rm.target).to_vec();
             v = v.meet(certify_added_relation(
                 mkb,
                 &eq,
-                &candidates,
+                index.pcs_between(s, &rm.target),
                 s,
                 &rm.target,
                 &used,
@@ -452,11 +502,11 @@ mod infer_tests {
             joins.push(mkb.join_by_id("JC").expect("JC").clone());
         }
         Replacement {
-            covers,
+            covers: std::sync::Arc::new(covers),
             relations,
             joins,
-            c_max_min: Vec::new(),
-            dropped_conditions: Vec::new(),
+            c_max_min: Default::default(),
+            dropped_conditions: Default::default(),
         }
     }
 

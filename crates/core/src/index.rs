@@ -42,7 +42,7 @@
 
 use crate::options::CvsOptions;
 use crate::replacement::CoverChoice;
-use eve_hypergraph::{ConnectionTree, Hypergraph};
+use eve_hypergraph::{ConnectionTree, Hypergraph, RelId, RelSet};
 use eve_misd::{MetaKnowledgeBase, PartialComplete};
 use eve_relational::{AttrRef, RelName};
 use std::collections::hash_map::RandomState;
@@ -149,12 +149,19 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
-/// Memo key for tree searches: terminals in sorted order (the `BTreeSet`
-/// iteration order), plus the hop bound that shapes the search. The
-/// *tree limit* is deliberately not part of the key: tree enumeration
-/// is a deterministic stream, so one cached prefix serves every
-/// requested limit (see [`TreePrefix`]).
-type TreeKey = (Vec<RelName>, usize);
+/// Memo key for tree searches: the terminal set as an interned-id
+/// bitset over `H'(MKB')` (a 32-byte inline value for graphs of ≤ 256
+/// relations — probing the memo hashes four words instead of a
+/// `Vec<RelName>` of cloned strings), plus the hop bound that shapes
+/// the search. The *tree limit* is deliberately not part of the key:
+/// tree enumeration is a deterministic stream, so one cached prefix
+/// serves every requested limit (see [`TreePrefix`]).
+///
+/// Terminal sets containing a relation that is not a vertex of
+/// `H'(MKB')` have no interned key; every graph search over such a set
+/// deterministically yields nothing, so those calls bypass the memo and
+/// return the empty answer directly.
+type TreeKey = (RelSet, usize);
 
 /// A growable cached prefix of the deterministic connection-tree stream
 /// for one `(terminal set, hop bound)` key.
@@ -200,9 +207,11 @@ pub struct MkbIndex<'m> {
     mkb_prime: &'m MetaKnowledgeBase,
     /// The full join-constraint hypergraph `H(MKB)` over the pre-change MKB.
     h: Hypergraph,
-    /// Connected components of `h`, and which component each relation is in.
+    /// Connected components of `h`, indexed by `h`'s precomputed
+    /// per-vertex component number (no name→component map needed: the
+    /// interner resolves a relation to its component in two array
+    /// lookups).
     components: Vec<Hypergraph>,
-    component_ids: BTreeMap<RelName, usize>,
     /// `H'(MKB')`: the post-change hypergraph, restricted to join-capable
     /// relations when the options say capabilities must be respected.
     h_prime: Hypergraph,
@@ -213,25 +222,30 @@ pub struct MkbIndex<'m> {
     /// Partial/complete constraints keyed by the (unordered) relation pair
     /// they relate; each bucket preserves MKB declaration order.
     pcs_by_pair: BTreeMap<(RelName, RelName), Vec<&'m PartialComplete>>,
+    /// Dense ids for the cover-target attributes (sorted `covers` key
+    /// order), so viable-cover memo keys are a pair of `u32`s instead of
+    /// a cloned `AttrRef` + `RelName`.
+    cover_attr_ids: HashMap<AttrRef, u32>,
     /// Memoized prefixes of the connection-tree stream over `h_prime`,
     /// keyed by `(terminal set, hop bound)`; any requested tree limit
     /// is served from (or extends) the cached prefix.
     trees: Memo<TreeKey, Arc<RwLock<TreePrefix>>>,
     /// Memoized pairwise shortest-path distances (in join-constraint
-    /// hops) over `h_prime`, keyed by the unordered relation pair.
+    /// hops) over `h_prime`, keyed by the unordered interned-id pair.
     /// `None` (disconnected) is cached too. Feeds the admissible lower
     /// bounds of the budgeted replacement search.
-    distances: Memo<(RelName, RelName), Option<usize>>,
+    distances: Memo<(RelId, RelId), Option<usize>>,
     /// Memoized [`Hypergraph::connect_tree`] over `h_prime`, keyed by
-    /// `(terminal set, hop bound)`. Negative results (`None`:
+    /// `(terminal id set, hop bound)`. Negative results (`None`:
     /// disconnected terminals) are cached too.
-    connects: Memo<(Vec<RelName>, usize), Option<Arc<ConnectionTree>>>,
-    /// Memoized viable-cover lists, keyed by `(attribute, deleted
-    /// relation)` — the Def. 3 (IV) filter of `covers` against `h_prime`.
-    viable: Memo<(AttrRef, RelName), Arc<Vec<CoverChoice>>>,
-    /// Memoized `Min(H_R)` survival sets, keyed by `(Min(H_R) relations,
-    /// deleted relation)`.
-    survivors: Memo<(Vec<RelName>, RelName), Arc<BTreeSet<RelName>>>,
+    connects: Memo<(RelSet, usize), Option<Arc<ConnectionTree>>>,
+    /// Memoized viable-cover lists, keyed by `(cover-attribute id,
+    /// deleted relation id)` — the Def. 3 (IV) filter of `covers`
+    /// against `h_prime`.
+    viable: Memo<(u32, RelId), Arc<Vec<CoverChoice>>>,
+    /// Memoized `Min(H_R)` survival sets, keyed by `(Min(H_R) relation
+    /// id set, deleted relation id)` over `H(MKB)`'s interner.
+    survivors: Memo<(RelSet, RelId), Arc<BTreeSet<RelName>>>,
     /// When false, every memoized accessor computes directly (used by the
     /// benches to A/B the cache against PR 1's plain indexed path).
     cache_enabled: bool,
@@ -262,12 +276,6 @@ impl<'m> MkbIndex<'m> {
         crate::faults::hit("index.build");
         let h = Hypergraph::build(mkb);
         let components = h.components();
-        let mut component_ids = BTreeMap::new();
-        for (id, comp) in components.iter().enumerate() {
-            for rel in comp.relations() {
-                component_ids.insert(rel.clone(), id);
-            }
-        }
         let h_prime = Hypergraph::build_filtered(mkb_prime, |desc| {
             !opts.respect_capabilities || desc.capabilities.join
         });
@@ -293,15 +301,22 @@ impl<'m> MkbIndex<'m> {
                 .or_default()
                 .push(pc);
         }
+        // Covers is a BTreeMap, so enumeration assigns attribute ids in
+        // ascending AttrRef order — deterministic across builds.
+        let cover_attr_ids: HashMap<AttrRef, u32> = covers
+            .keys()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i as u32))
+            .collect();
         MkbIndex {
             mkb,
             mkb_prime,
             h,
             components,
-            component_ids,
             h_prime,
             covers,
             pcs_by_pair,
+            cover_attr_ids,
             trees: Memo::new(),
             distances: Memo::new(),
             connects: Memo::new(),
@@ -349,20 +364,44 @@ impl<'m> MkbIndex<'m> {
         limit: usize,
         max_path_edges: usize,
     ) -> Arc<Vec<ConnectionTree>> {
-        crate::faults::hit("index.enumerate-trees");
-        if !self.cache_enabled {
-            let mut span = crate::telem::span("tree-enumeration");
-            span.field("terminals", terminals.len() as u64);
-            let trees = self
-                .h_prime
-                .enumerate_trees(terminals, limit, max_path_edges);
-            span.field("yielded", trees.len() as u64);
-            return Arc::new(trees);
-        }
-        let key = (
-            terminals.iter().cloned().collect::<Vec<_>>(),
+        self.enumerate_trees_interned(
+            self.intern_terminals(terminals).as_ref(),
+            terminals,
+            limit,
             max_path_edges,
-        );
+        )
+    }
+
+    /// [`MkbIndex::enumerate_trees`] with the terminal set already
+    /// interned over `H'(MKB')` (`None` when some terminal is not a
+    /// vertex). Lets the replacement stream intern each combination's
+    /// terminals once instead of on every chunked re-request. `interned`
+    /// must be the interning of `terminals`.
+    pub(crate) fn enumerate_trees_interned(
+        &self,
+        interned: Option<&RelSet>,
+        terminals: &BTreeSet<RelName>,
+        limit: usize,
+        max_path_edges: usize,
+    ) -> Arc<Vec<ConnectionTree>> {
+        crate::faults::hit("index.enumerate-trees");
+        debug_assert_eq!(interned, self.intern_terminals(terminals).as_ref());
+        let key_set = match (self.cache_enabled, interned) {
+            (true, Some(k)) => k,
+            // Cache off, or an absent terminal (the stream is
+            // deterministically empty — nothing worth memoizing):
+            // compute directly.
+            _ => {
+                let mut span = crate::telem::span("tree-enumeration");
+                span.field("terminals", terminals.len() as u64);
+                let trees = self
+                    .h_prime
+                    .enumerate_trees(terminals, limit, max_path_edges);
+                span.field("yielded", trees.len() as u64);
+                return Arc::new(trees);
+            }
+        };
+        let key = (key_set.clone(), max_path_edges);
         let cell = self
             .trees
             .entry_uncounted(key, || Arc::new(RwLock::new(TreePrefix::default())));
@@ -407,11 +446,24 @@ impl<'m> MkbIndex<'m> {
     /// any connection tree containing both relations has at least this
     /// many joins.
     pub fn pair_distance(&self, a: &RelName, b: &RelName) -> Option<usize> {
-        let compute = || self.h_prime.join_path(a, b).map(|p| p.len());
+        match (self.h_prime.rel_id(a), self.h_prime.rel_id(b)) {
+            (Some(a), Some(b)) => self.pair_distance_ids(a, b),
+            // A non-vertex is disconnected from everything; nothing to
+            // memoize.
+            _ => None,
+        }
+    }
+
+    /// [`MkbIndex::pair_distance`] over interned `H'(MKB')` ids — the
+    /// form the replacement stream's pairwise lower-bound loop uses, so
+    /// a memo probe hashes two `u32`s instead of cloning two names.
+    pub(crate) fn pair_distance_ids(&self, a: RelId, b: RelId) -> Option<usize> {
+        let compute = || self.h_prime.pair_distance_ids(a, b);
         if !self.cache_enabled {
             return compute();
         }
-        self.distances.get_or_insert_with(pair_key(a, b), compute)
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.distances.get_or_insert_with(key, compute)
     }
 
     /// The greedy connection tree spanning `terminals` in `H'(MKB')`
@@ -422,21 +474,24 @@ impl<'m> MkbIndex<'m> {
         terminals: &BTreeSet<RelName>,
         max_path_edges: usize,
     ) -> Option<Arc<ConnectionTree>> {
-        if !self.cache_enabled {
-            return self
-                .h_prime
-                .connect_tree(terminals, max_path_edges)
-                .map(Arc::new);
-        }
-        let key = (
-            terminals.iter().cloned().collect::<Vec<_>>(),
-            max_path_edges,
-        );
-        self.connects.get_or_insert_with(key, || {
-            self.h_prime
-                .connect_tree(terminals, max_path_edges)
-                .map(Arc::new)
-        })
+        let key_set = match (self.cache_enabled, self.intern_terminals(terminals)) {
+            (true, Some(k)) => k,
+            // Cache off, or an absent terminal (never connectable —
+            // `None` without running the search).
+            (false, _) => {
+                return self
+                    .h_prime
+                    .connect_tree(terminals, max_path_edges)
+                    .map(Arc::new);
+            }
+            (true, None) => return None,
+        };
+        self.connects
+            .get_or_insert_with((key_set, max_path_edges), || {
+                self.h_prime
+                    .connect_tree(terminals, max_path_edges)
+                    .map(Arc::new)
+            })
     }
 
     /// The viable covers for `attr` under `delete-relation target`:
@@ -455,8 +510,13 @@ impl<'m> MkbIndex<'m> {
         if !self.cache_enabled {
             return filter();
         }
-        self.viable
-            .get_or_insert_with((attr.clone(), target.clone()), filter)
+        match (self.cover_attr_ids.get(attr), self.h.rel_id(target)) {
+            (Some(&aid), Some(tid)) => self.viable.get_or_insert_with((aid, tid), filter),
+            // An attribute with no covers, or an undescribed target:
+            // the filter is trivially cheap (empty or unfilterable) —
+            // compute directly.
+            _ => filter(),
+        }
     }
 
     /// The relations of `Min(H_R)` that survive `delete-relation target`
@@ -479,10 +539,19 @@ impl<'m> MkbIndex<'m> {
         if !self.cache_enabled {
             return filter();
         }
-        self.survivors.get_or_insert_with(
-            (min_relations.iter().cloned().collect(), target.clone()),
-            filter,
-        )
+        let interned: Option<(RelSet, RelId)> = self.h.rel_id(target).and_then(|tid| {
+            min_relations
+                .iter()
+                .map(|r| self.h.rel_id(r))
+                .collect::<Option<Vec<RelId>>>()
+                .map(|ids| (RelSet::from_ids(self.h.rel_count(), ids), tid))
+        });
+        match interned {
+            Some(key) => self.survivors.get_or_insert_with(key, filter),
+            // Relations outside `H(MKB)` have no ids; the filter is a
+            // single pass — compute directly.
+            None => filter(),
+        }
     }
 
     /// The pre-change MKB the index was built from.
@@ -508,9 +577,27 @@ impl<'m> MkbIndex<'m> {
     }
 
     /// The connected component of `H(MKB)` containing `rel`, or `None`
-    /// when the relation is not described in the MKB.
+    /// when the relation is not described in the MKB. Two array lookups
+    /// via the interner and the precomputed component index.
     pub fn component_of(&self, rel: &RelName) -> Option<&Hypergraph> {
-        self.component_ids.get(rel).map(|id| &self.components[*id])
+        let id = self.h.rel_id(rel)?;
+        Some(&self.components[self.h.component_index(id) as usize])
+    }
+
+    /// Intern a terminal set over `H'(MKB')`, or `None` when some
+    /// terminal is not a vertex there (in which case every graph search
+    /// over the set deterministically yields nothing).
+    pub(crate) fn intern_terminals(&self, terminals: &BTreeSet<RelName>) -> Option<RelSet> {
+        let mut set = self.h_prime.relset();
+        for t in terminals {
+            set.insert(self.h_prime.rel_id(t)?);
+        }
+        Some(set)
+    }
+
+    /// The interned `H'(MKB')` id of `rel`, when it is a vertex there.
+    pub(crate) fn rel_id_prime(&self, rel: &RelName) -> Option<RelId> {
+        self.h_prime.rel_id(rel)
     }
 
     /// Raw function-of covers for `attr` (declaration order), restricted

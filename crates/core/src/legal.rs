@@ -94,18 +94,17 @@ mod tests {
     use eve_esql::parse_view;
     use eve_misd::parse_misd;
     use eve_relational::RelName;
-    use std::collections::BTreeMap;
 
     fn wrap(view: eve_esql::ViewDefinition, kept: Vec<usize>) -> LegalRewriting {
         let relations = view.from.iter().map(|f| f.relation.clone()).collect();
         LegalRewriting {
             view,
             replacement: Replacement {
-                covers: BTreeMap::new(),
+                covers: Default::default(),
                 relations,
                 joins: Vec::new(),
-                c_max_min: Vec::new(),
-                dropped_conditions: Vec::new(),
+                c_max_min: Default::default(),
+                dropped_conditions: Default::default(),
             },
             verdict: ExtentVerdict::Unknown,
             satisfies_p3: false,

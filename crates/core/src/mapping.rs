@@ -64,15 +64,16 @@ pub struct RMapping {
 /// normalised-equality matching, the weakest sufficient test of Def. 2.
 fn clause_implied(
     facts: &eve_relational::Conjunction,
+    congruence: &eve_relational::Congruence<'_>,
     target: &Clause,
     mode: ImplicationMode,
 ) -> bool {
     match mode {
         ImplicationMode::Syntactic => {
-            let t = target.normalized();
-            facts.clauses().iter().any(|c| c.normalized() == t)
+            let t = target.normalized_parts();
+            facts.clauses().iter().any(|c| c.normalized_parts() == t)
         }
-        ImplicationMode::Interval => facts.implies_clause(target),
+        ImplicationMode::Interval => facts.implies_clause_cached(congruence, target),
     }
 }
 
@@ -98,6 +99,9 @@ pub fn compute_r_mapping(
     //    it recognises transitive joins like A.x = B.y AND B.y = C.z
     //    implying JC_{A,C}: A.x = C.z.)
     let facts = view.where_conjunction();
+    // Equality closure of the WHERE conjunction, built once for every
+    // pair × constraint-clause implication probe below.
+    let congruence = facts.congruence();
     let mut edges: BTreeMap<(RelName, RelName), JoinConstraint> = BTreeMap::new();
     for (i, s1) in from_rels.iter().enumerate() {
         for s2 in from_rels.iter().skip(i + 1) {
@@ -112,7 +116,7 @@ pub fn compute_r_mapping(
                     .predicate
                     .clauses()
                     .iter()
-                    .all(|c| clause_implied(&facts, c, opts.implication));
+                    .all(|c| clause_implied(&facts, &congruence, c, opts.implication));
                 if all_implied {
                     edges.insert((s1.clone(), s2.clone()), jc.clone());
                     break; // first implied constraint wins (deterministic)

@@ -29,10 +29,10 @@ use crate::index::MkbIndex;
 use crate::mapping::RMapping;
 use crate::options::CvsOptions;
 use eve_esql::{CondItem, ViewDefinition};
-use eve_hypergraph::ConnectionTree;
+use eve_hypergraph::{ConnectionTree, RelId, RelSet};
 use eve_misd::JoinConstraint;
 use eve_relational::{AttrRef, RelName, ScalarExpr};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::sync::Arc;
 
 /// A chosen cover for one attribute of the dropped relation.
@@ -53,17 +53,22 @@ pub struct Replacement {
     /// Chosen covers: dropped attribute → cover. Attributes absent from
     /// the map had no cover; components using them were dropped (they
     /// were dispensable, or the candidate would have been rejected).
-    pub covers: BTreeMap<AttrRef, CoverChoice>,
+    /// Shared (`Arc`) across every candidate of one cover combination —
+    /// combination-level data is combination-owned, so per-tree
+    /// candidates clone a pointer, not a map.
+    pub covers: Arc<BTreeMap<AttrRef, CoverChoice>>,
     /// The relations `R_1, …, R_k` of `Max(V_{j,R})`.
     pub relations: BTreeSet<RelName>,
     /// The join constraints of `Max(V_{j,R})` (surviving `Min` joins plus
     /// the connection tree).
     pub joins: Vec<JoinConstraint>,
-    /// `C'_Max/Min` (Def. 3 V), with substitutions applied.
-    pub c_max_min: Vec<CondItem>,
+    /// `C'_Max/Min` (Def. 3 V), with substitutions applied. Shared like
+    /// [`Replacement::covers`].
+    pub c_max_min: Arc<Vec<CondItem>>,
     /// Conditions of `C_Max/Min` dropped because they referenced an
-    /// uncovered (dispensable) attribute of `R`.
-    pub dropped_conditions: Vec<CondItem>,
+    /// uncovered (dispensable) attribute of `R`. Shared like
+    /// [`Replacement::covers`].
+    pub dropped_conditions: Arc<Vec<CondItem>>,
 }
 
 /// How an attribute of `R` is used across the view, aggregated over all
@@ -172,8 +177,13 @@ pub struct CandidateBound {
 /// A cover combination, prepared for lazy expansion.
 #[derive(Debug)]
 struct PreparedCombo {
-    covers: BTreeMap<AttrRef, CoverChoice>,
+    covers: Arc<BTreeMap<AttrRef, CoverChoice>>,
     terminals: BTreeSet<RelName>,
+    /// `terminals` interned over `H'(MKB')`, computed once at stream
+    /// construction (`None` when some terminal is not a vertex there) —
+    /// every chunked tree re-request probes the memo with this key
+    /// instead of re-hashing relation names.
+    terminal_key: Option<RelSet>,
     /// Some terminal pair is provably unreachable in `H'` (memoized
     /// pairwise shortest paths): tree enumeration would come back empty,
     /// so skip it and record the disconnection directly.
@@ -189,11 +199,17 @@ struct PreparedCombo {
 /// The combination currently being expanded tree-by-tree.
 #[derive(Debug)]
 struct ActiveCombo {
-    covers: BTreeMap<AttrRef, CoverChoice>,
+    /// Ordinal of the combination, part of the duplicate key: distinct
+    /// combinations have pairwise-distinct `covers` maps (each is a
+    /// distinct choice vector over per-attribute options with unique
+    /// function-of ids), so two equal candidates always share a
+    /// combination.
+    ord: u32,
+    covers: Arc<BTreeMap<AttrRef, CoverChoice>>,
     trees: Arc<Vec<ConnectionTree>>,
     tree_pos: usize,
-    c_max_min: Vec<CondItem>,
-    dropped_conditions: Vec<CondItem>,
+    c_max_min: Arc<Vec<CondItem>>,
+    dropped_conditions: Arc<Vec<CondItem>>,
 }
 
 /// Lazy generator over the (cover combination × connection tree) choice
@@ -214,12 +230,31 @@ pub(crate) struct ReplacementStream<'a, 'm> {
     index: &'a MkbIndex<'m>,
     opts: &'a CvsOptions,
     survivors: Arc<BTreeSet<RelName>>,
+    /// `survivors` interned over `H'(MKB')`, computed once — every
+    /// candidate's relation set is `tree ∪ survivors`, so its interned
+    /// key is built by adding the tree's few relations to this base
+    /// instead of re-hashing the merged set.
+    survivor_key: Option<RelSet>,
     surviving_joins: Vec<JoinConstraint>,
     combos: Vec<PreparedCombo>,
     combo_idx: usize,
     current: Option<ActiveCombo>,
-    /// Everything yielded so far, for the legacy duplicate filter.
-    emitted: Vec<Replacement>,
+    /// Duplicate filter over interned candidate identities:
+    /// `(combination ordinal, relation bitset over H', join-id rank
+    /// sequence)`. Candidate equality reduces to this key — covers and
+    /// `C'_Max/Min` are combination-level, relations and joins are fully
+    /// captured by the bitset and the rank sequence — so the legacy
+    /// deep-equality scan over every emitted `Replacement` collapses to
+    /// one hash probe, with no retained clones.
+    seen: HashSet<(u32, RelSet, Vec<u32>)>,
+    /// Join-constraint id → dense rank, grown on first sight.
+    join_rank: HashMap<String, u32>,
+    /// Deep-equality fallback for candidates whose relations do not all
+    /// intern over `H'` (unreachable in practice: every emitted
+    /// candidate's relations are `H'` vertices). Internability is a
+    /// function of candidate content, so the two filters never need to
+    /// compare across each other.
+    emitted_fallback: Vec<Replacement>,
     max_trees: usize,
     trees_enumerated: usize,
     combos_pruned: usize,
@@ -315,15 +350,26 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
             .map(|covers| {
                 let mut terminals: BTreeSet<RelName> = (*survivors).clone();
                 terminals.extend(covers.values().map(|c| c.source.clone()));
+                // Intern once; the pairwise loop and every chunked tree
+                // request below run on ids.
+                let terminal_ids: Vec<Option<RelId>> =
+                    terminals.iter().map(|t| index.rel_id_prime(t)).collect();
+                let terminal_key: Option<RelSet> = index.intern_terminals(&terminals);
 
                 // Pairwise reachability and diameter over the terminals,
-                // through the index's memoized shortest paths.
+                // through the index's memoized shortest paths. A terminal
+                // that is not a vertex of `H'` is unreachable from
+                // everything, exactly as the legacy name-keyed lookup
+                // reported.
                 let mut provably_disconnected = false;
                 let mut max_dist = 0usize;
-                let ts: Vec<&RelName> = terminals.iter().collect();
-                'pairs: for i in 0..ts.len() {
-                    for b in ts.iter().skip(i + 1) {
-                        match index.pair_distance(ts[i], b) {
+                'pairs: for i in 0..terminal_ids.len() {
+                    for j in i + 1..terminal_ids.len() {
+                        let d = match (terminal_ids[i], terminal_ids[j]) {
+                            (Some(a), Some(b)) => index.pair_distance_ids(a, b),
+                            _ => None,
+                        };
+                        match d {
                             None => {
                                 provably_disconnected = true;
                                 break 'pairs;
@@ -334,6 +380,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 }
 
                 let cmm = rewrite_c_max_min(rm, &covers, target);
+                let covers = Arc::new(covers);
                 let t = terminals.len();
                 let bound = CandidateBound {
                     min_relations: if t == 0 { 0 } else { t.max(max_dist + 1) },
@@ -347,6 +394,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 PreparedCombo {
                     covers,
                     terminals,
+                    terminal_key,
                     provably_disconnected,
                     cmm,
                     bound,
@@ -354,15 +402,19 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
             })
             .collect();
 
+        let survivor_key = index.intern_terminals(&survivors);
         Ok(ReplacementStream {
             index,
             opts,
             survivors,
+            survivor_key,
             surviving_joins,
             combos,
             combo_idx: 0,
             current: None,
-            emitted: Vec::new(),
+            seen: HashSet::new(),
+            join_rank: HashMap::new(),
+            emitted_fallback: Vec::new(),
             max_trees,
             trees_enumerated: 0,
             combos_pruned: 0,
@@ -397,6 +449,45 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                     }
                     let mut relations = tree.relations.clone();
                     relations.extend(self.survivors.iter().cloned());
+                    // Duplicate filter on the interned identity; order of
+                    // `joins` is significant (candidate equality is
+                    // positional), hence a rank *sequence*, not a set.
+                    let rel_key = self.survivor_key.clone().and_then(|mut set| {
+                        for t in &tree.relations {
+                            set.insert(self.index.rel_id_prime(t)?);
+                        }
+                        Some(set)
+                    });
+                    match rel_key {
+                        Some(rel_key) => {
+                            let ranks: Vec<u32> = joins
+                                .iter()
+                                .map(|j| match self.join_rank.get(&j.id) {
+                                    Some(&r) => r,
+                                    None => {
+                                        let next = self.join_rank.len() as u32;
+                                        self.join_rank.insert(j.id.clone(), next);
+                                        next
+                                    }
+                                })
+                                .collect();
+                            if !self.seen.insert((cur.ord, rel_key, ranks)) {
+                                continue;
+                            }
+                        }
+                        None => {
+                            let dup = self.emitted_fallback.iter().any(|e| {
+                                e.covers == cur.covers
+                                    && e.relations == relations
+                                    && e.joins == joins
+                                    && e.c_max_min == cur.c_max_min
+                                    && e.dropped_conditions == cur.dropped_conditions
+                            });
+                            if dup {
+                                continue;
+                            }
+                        }
+                    }
                     let candidate = Replacement {
                         covers: cur.covers.clone(),
                         relations,
@@ -404,10 +495,13 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                         c_max_min: cur.c_max_min.clone(),
                         dropped_conditions: cur.dropped_conditions.clone(),
                     };
-                    if self.emitted.contains(&candidate) {
-                        continue;
+                    if candidate
+                        .relations
+                        .iter()
+                        .any(|r| self.index.rel_id_prime(r).is_none())
+                    {
+                        self.emitted_fallback.push(candidate.clone());
                     }
-                    self.emitted.push(candidate.clone());
                     return Some(candidate);
                 }
                 self.current = None;
@@ -418,6 +512,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 return None;
             }
             let combo = &self.combos[self.combo_idx];
+            let combo_ord = self.combo_idx as u32;
             self.combo_idx += 1;
 
             if combo.provably_disconnected {
@@ -433,7 +528,12 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 if !combo.terminals.is_empty()
                     && self
                         .index
-                        .enumerate_trees(&combo.terminals, 1, self.opts.max_path_edges)
+                        .enumerate_trees_interned(
+                            combo.terminal_key.as_ref(),
+                            &combo.terminals,
+                            1,
+                            self.opts.max_path_edges,
+                        )
                         .is_empty()
                 {
                     self.any_disconnected = true;
@@ -464,9 +564,12 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 // Memoized per (terminal set, hop bound): a second view
                 // sharing this combination's terminals reuses the walk,
                 // and smaller limits are served from the cached prefix.
-                let trees =
-                    self.index
-                        .enumerate_trees(&combo.terminals, chunk, self.opts.max_path_edges);
+                let trees = self.index.enumerate_trees_interned(
+                    combo.terminal_key.as_ref(),
+                    &combo.terminals,
+                    chunk,
+                    self.opts.max_path_edges,
+                );
                 if trees.is_empty() {
                     self.any_disconnected = true;
                     crate::telem::counter_add("search.disconnected_combos", 1);
@@ -482,11 +585,12 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
             };
 
             self.current = Some(ActiveCombo {
+                ord: combo_ord,
                 covers: combo.covers.clone(),
                 trees,
                 tree_pos: 0,
-                c_max_min,
-                dropped_conditions,
+                c_max_min: Arc::new(c_max_min),
+                dropped_conditions: Arc::new(dropped_conditions),
             });
         }
     }
@@ -627,7 +731,7 @@ mod tests {
                 "Def. 3 (III) violated"
             );
             // C'_Max/Min must be Customer-free.
-            for c in &r.c_max_min {
+            for c in r.c_max_min.iter() {
                 assert!(!c.clause.relations().contains(&customer));
             }
         }

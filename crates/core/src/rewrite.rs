@@ -18,14 +18,15 @@
 
 use crate::cost::CostModel;
 use crate::error::CvsError;
-use crate::extent::{infer_extent_indexed, satisfies_extent_param};
+use crate::extent::{infer_extent_with, satisfies_extent_param, ExtentCtx};
 use crate::index::MkbIndex;
 use crate::legal::LegalRewriting;
 use crate::mapping::{compute_r_mapping, RMapping};
 use crate::options::CvsOptions;
 use crate::replacement::{CandidateBound, Replacement, ReplacementStream};
+
 use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
-use eve_relational::{AttrName, Clause, RelName};
+use eve_relational::{AttrName, Clause, RelName, ScalarExpr};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -39,26 +40,70 @@ pub(crate) struct Assembled {
     pub dropped_conditions: Vec<CondItem>,
 }
 
-/// Assemble `V'` for one replacement candidate (Steps 4–5).
-pub(crate) fn assemble(
+/// The cover-combination-level two thirds of assembly: everything below
+/// depends only on `(view, rm, rep.covers, rep.c_max_min)` — shared by
+/// every connection tree of one cover combination — so the search
+/// computes it once per combination and reuses it across the
+/// combination's candidates. Kept fields are cloned into each
+/// candidate's view; the clones are refcount bumps, the substitution
+/// walks and classification checks are not repeated.
+#[derive(Debug)]
+pub(crate) struct ComboAssembly {
+    select: Vec<SelectItem>,
+    kept_select: Vec<usize>,
+    interface: Option<Vec<AttrName>>,
+    /// FROM minus the dropped relation (candidate relations are appended
+    /// per tree).
+    base_from: Vec<FromItem>,
+    existing_from: BTreeSet<RelName>,
+    /// `C'_Max/Min` followed by the substituted `C_Rest` — the
+    /// tree-independent WHERE prefix, in final order.
+    conditions: Vec<CondItem>,
+    /// Normalized forms of `conditions`, for the join-clause dedup.
+    seen: BTreeSet<Clause>,
+    /// `rep.dropped_conditions` followed by the `C_Rest` drops.
+    dropped_conditions: Vec<CondItem>,
+}
+
+/// The search loop's one-slot combo-assembly cache: the cover map Arc of
+/// the combination it was prepared for (pointer identity is the cache
+/// key) plus the prepared assembly or the error it failed with.
+type ComboAsmCache = (
+    std::sync::Arc<
+        std::collections::BTreeMap<eve_relational::AttrRef, crate::replacement::CoverChoice>,
+    >,
+    Result<ComboAssembly, CvsError>,
+);
+
+/// Run the combination-level part of Steps 4–5 (SELECT substitution,
+/// interface projection, FROM base, `C_Rest` substitution), with the
+/// same outcomes — including error order — as the legacy single-pass
+/// assembly.
+pub(crate) fn prepare_combo_assembly(
     view: &ViewDefinition,
     rm: &RMapping,
     rep: &Replacement,
-    opts: &CvsOptions,
-) -> Result<Assembled, CvsError> {
+) -> Result<ComboAssembly, CvsError> {
     let target = &rm.target;
 
     // ---- SELECT ---------------------------------------------------------
     let mut select = Vec::new();
     let mut kept_select = Vec::new();
     for (i, item) in view.select.iter().enumerate() {
-        let mut expr = item.expr.clone();
+        // Substitute lazily: most items mention none of the covered
+        // attributes, and substituting an absent attribute returns an
+        // identical clone — skip both the walk and the clone.
+        let mut substituted: Option<ScalarExpr> = None;
         if item.params.replaceable {
-            for (attr, cover) in &rep.covers {
-                expr = expr.substitute(attr, &cover.replacement);
+            for (attr, cover) in rep.covers.iter() {
+                let cur = substituted.as_ref().unwrap_or(&item.expr);
+                if cur.contains_attr(attr) {
+                    substituted = Some(cur.substitute(attr, &cover.replacement));
+                }
             }
         }
-        if expr.relations().contains(target) {
+        let expr_ref = substituted.as_ref().unwrap_or(&item.expr);
+        if expr_ref.references_relation(target) {
             if item.params.dispensable {
                 continue; // dropped
             }
@@ -66,7 +111,11 @@ pub(crate) fn assemble(
                 component: item.expr.to_string(),
             });
         }
-        let changed = expr != item.expr;
+        let changed = match &substituted {
+            Some(e) => *e != item.expr,
+            None => false,
+        };
+        let expr = substituted.unwrap_or_else(|| item.expr.clone());
         // Preserve the interface name of a replaced bare attribute so
         // that P3's common-interface comparison keeps the column.
         let alias = item
@@ -97,16 +146,83 @@ pub(crate) fn assemble(
             .collect::<Vec<AttrName>>()
     });
 
-    // ---- FROM -----------------------------------------------------------
-    let mut from: Vec<FromItem> = view
+    // ---- FROM (base) ----------------------------------------------------
+    let base_from: Vec<FromItem> = view
         .from
         .iter()
         .filter(|f| &f.relation != target)
         .cloned()
         .collect();
-    let existing: BTreeSet<RelName> = from.iter().map(|f| f.relation.clone()).collect();
+    let existing_from: BTreeSet<RelName> = base_from.iter().map(|f| f.relation.clone()).collect();
+
+    // ---- WHERE (tree-independent prefix) --------------------------------
+    let mut conditions: Vec<CondItem> = Vec::new();
+    let mut dropped_conditions: Vec<CondItem> = (*rep.dropped_conditions).clone();
+
+    // C'_Max/Min (already substituted by the replacement computation).
+    conditions.extend(rep.c_max_min.iter().cloned());
+
+    // C_Rest, substituted under the same replaceability rules.
+    for cond in &rm.c_rest {
+        let mut substituted: Option<Clause> = None;
+        if cond.params.replaceable {
+            for (attr, cover) in rep.covers.iter() {
+                let cur = substituted.as_ref().unwrap_or(&cond.clause);
+                if cur.lhs.contains_attr(attr) || cur.rhs.contains_attr(attr) {
+                    substituted = Some(cur.substitute(attr, &cover.replacement));
+                }
+            }
+        }
+        let clause_ref = substituted.as_ref().unwrap_or(&cond.clause);
+        if clause_ref.references_relation(target) {
+            if cond.params.dispensable {
+                dropped_conditions.push(cond.clone());
+                continue;
+            }
+            return Err(CvsError::IndispensableNotReplaceable {
+                component: cond.clause.to_string(),
+            });
+        }
+        let changed = match &substituted {
+            Some(c) => *c != cond.clause,
+            None => false,
+        };
+        let clause = substituted.unwrap_or_else(|| cond.clause.clone());
+        let params = if changed {
+            EvolutionParams::new(cond.params.dispensable, true)
+        } else {
+            cond.params
+        };
+        conditions.push(CondItem { clause, params });
+    }
+
+    let seen: BTreeSet<Clause> = conditions.iter().map(|c| c.clause.normalized()).collect();
+
+    Ok(ComboAssembly {
+        select,
+        kept_select,
+        interface,
+        base_from,
+        existing_from,
+        conditions,
+        seen,
+        dropped_conditions,
+    })
+}
+
+/// The per-tree third of assembly: append the candidate's relations to
+/// FROM, its join conditions to WHERE (deduplicated against the
+/// combination prefix), and check WHERE consistency.
+pub(crate) fn assemble_prepared(
+    view: &ViewDefinition,
+    pre: &ComboAssembly,
+    rep: &Replacement,
+    opts: &CvsOptions,
+) -> Result<Assembled, CvsError> {
+    // ---- FROM -----------------------------------------------------------
+    let mut from = pre.base_from.clone();
     for rel in &rep.relations {
-        if !existing.contains(rel) {
+        if !pre.existing_from.contains(rel) {
             from.push(FromItem {
                 relation: rel.clone(),
                 alias: None,
@@ -116,44 +232,18 @@ pub(crate) fn assemble(
     }
 
     // ---- WHERE ----------------------------------------------------------
-    let mut conditions: Vec<CondItem> = Vec::new();
-    let mut dropped_conditions: Vec<CondItem> = rep.dropped_conditions.clone();
-
-    // C'_Max/Min (already substituted by the replacement computation).
-    conditions.extend(rep.c_max_min.iter().cloned());
-
-    // C_Rest, substituted under the same replaceability rules.
-    for cond in &rm.c_rest {
-        let mut clause = cond.clause.clone();
-        if cond.params.replaceable {
-            for (attr, cover) in &rep.covers {
-                clause = clause.substitute(attr, &cover.replacement);
-            }
-        }
-        if clause.relations().contains(target) {
-            if cond.params.dispensable {
-                dropped_conditions.push(cond.clone());
-                continue;
-            }
-            return Err(CvsError::IndispensableNotReplaceable {
-                component: cond.clause.to_string(),
-            });
-        }
-        let changed = clause != cond.clause;
-        let params = if changed {
-            EvolutionParams::new(cond.params.dispensable, true)
-        } else {
-            cond.params
-        };
-        conditions.push(CondItem { clause, params });
-    }
+    let mut conditions = pre.conditions.clone();
 
     // Join conditions of Max(V_{j,R}) (Step 5 parameters: required,
-    // replaceable), deduplicated against what is already present.
-    let mut seen: BTreeSet<Clause> = conditions.iter().map(|c| c.clause.normalized()).collect();
+    // replaceable), deduplicated against what is already present. The
+    // handful of freshly added clauses is scanned linearly instead of
+    // growing a per-candidate set.
+    let mut added: Vec<Clause> = Vec::new();
     for jc in &rep.joins {
         for clause in jc.predicate.clauses() {
-            if seen.insert(clause.normalized()) {
+            let n = clause.normalized();
+            if !pre.seen.contains(&n) && !added.contains(&n) {
+                added.push(n);
                 conditions.push(CondItem {
                     clause: clause.clone(),
                     params: EvolutionParams::new(false, true),
@@ -164,22 +254,26 @@ pub(crate) fn assemble(
 
     let assembled = ViewDefinition {
         name: view.name.clone(),
-        interface,
+        interface: pre.interface.clone(),
         extent: view.extent,
-        select,
+        select: pre.select.clone(),
         from,
         conditions,
     };
 
-    // Step 4 consistency check.
-    if opts.check_consistency && !assembled.where_conjunction().is_consistent() {
+    // Step 4 consistency check, over the assembled clauses in place
+    // (identical verdict to `where_conjunction().is_consistent()`,
+    // without cloning the WHERE list).
+    if opts.check_consistency
+        && !eve_relational::clauses_consistent(assembled.conditions.iter().map(|c| &c.clause))
+    {
         return Err(CvsError::Inconsistent);
     }
 
     Ok(Assembled {
         view: assembled,
-        kept_select,
-        dropped_conditions,
+        kept_select: pre.kept_select.clone(),
+        dropped_conditions: pre.dropped_conditions.clone(),
     })
 }
 
@@ -275,19 +369,30 @@ impl SearchResult {
 struct CandKey {
     /// `Some` iff a cost model drives the ranking.
     cost: Option<f64>,
-    rendered: String,
+    /// The canonical rendering, filled lazily: most comparisons are
+    /// decided by the cost or the structural triple, so a candidate's
+    /// view is rendered only the first time a comparison actually
+    /// reaches the textual tie-break (and then cached).
+    rendered: std::cell::OnceCell<String>,
     not_p3: bool,
     relations: usize,
     joins: usize,
 }
 
-fn cmp_keys(a: &CandKey, b: &CandKey) -> Ordering {
+fn rendered_of<'k>(key: &'k CandKey, lr: &LegalRewriting) -> &'k str {
+    key.rendered.get_or_init(|| lr.view.rendered())
+}
+
+/// The legacy two-pass comparator between two *kept* candidates, each a
+/// `(key, rewriting)` pair so the textual tie-break can render on
+/// demand.
+fn cmp_keys(a: &CandKey, la: &LegalRewriting, b: &CandKey, lb: &LegalRewriting) -> Ordering {
     if let (Some(ca), Some(cb)) = (&a.cost, &b.cost) {
         // The legacy `CostModel::rank` comparator…
         let ord = ca
             .partial_cmp(cb)
             .unwrap_or(Ordering::Equal)
-            .then_with(|| a.rendered.cmp(&b.rendered));
+            .then_with(|| rendered_of(a, la).cmp(rendered_of(b, lb)));
         if ord != Ordering::Equal {
             return ord;
         }
@@ -295,31 +400,38 @@ fn cmp_keys(a: &CandKey, b: &CandKey) -> Ordering {
     }
     (a.not_p3, a.relations, a.joins)
         .cmp(&(b.not_p3, b.relations, b.joins))
-        .then_with(|| a.rendered.cmp(&b.rendered))
+        .then_with(|| rendered_of(a, la).cmp(rendered_of(b, lb)))
 }
 
 fn key_for(lr: &LegalRewriting, view: &ViewDefinition, cost_model: Option<&CostModel>) -> CandKey {
     CandKey {
         cost: cost_model.map(|m| m.assess(view, lr).total),
-        rendered: lr.view.to_string(),
+        rendered: std::cell::OnceCell::new(),
         not_p3: !lr.satisfies_p3,
         relations: lr.replacement.relations.len(),
         joins: lr.replacement.joins.len(),
     }
 }
 
-/// Turn an admissible [`CandidateBound`] into a key that compares ≤
-/// every real candidate key from the bounded branch: the rendered text
-/// bottoms out at `""`, `¬P3` at `false`, and the cost at an
-/// admissible lower bound on the total.
-fn bound_key(b: &CandidateBound, cost_model: Option<&CostModel>) -> CandKey {
-    CandKey {
-        cost: cost_model.map(|m| cost_lower_bound(m, b)),
-        rendered: String::new(),
-        not_p3: false,
-        relations: b.min_relations,
-        joins: b.min_joins,
+/// Compare an admissible [`CandidateBound`]'s implied key against a kept
+/// candidate's key, as the legacy `cmp_keys(bound_key(b), w)` did with
+/// the bound's rendered text bottomed out at `""` and `¬P3` at `false`.
+/// A real candidate always renders non-empty (`CREATE VIEW …`), so every
+/// textual tie-break resolves to [`Ordering::Less`] without rendering
+/// `w` at all.
+fn cmp_bound(b: &CandidateBound, cost_model: Option<&CostModel>, w: &CandKey) -> Ordering {
+    if let (Some(ca), Some(cb)) = (cost_model.map(|m| cost_lower_bound(m, b)), &w.cost) {
+        let ord = ca
+            .partial_cmp(cb)
+            .unwrap_or(Ordering::Equal)
+            .then(Ordering::Less);
+        if ord != Ordering::Equal {
+            return ord;
+        }
     }
+    (false, b.min_relations, b.min_joins)
+        .cmp(&(w.not_p3, w.relations, w.joins))
+        .then(Ordering::Less)
 }
 
 /// Admissible lower bound on `CostModel::assess(..).total` for any
@@ -391,6 +503,7 @@ pub fn cvs_delete_relation_searched(
     let budget = opts.budget.validated();
     let start = Instant::now();
     let mut stream = ReplacementStream::new(view, &rm, index, opts, budget.max_trees)?;
+    let ext_ctx = ExtentCtx::new(&rm);
 
     let from_rels: BTreeSet<RelName> = view
         .from
@@ -407,6 +520,10 @@ pub fn cvs_delete_relation_searched(
     let mut selector: Vec<(CandKey, LegalRewriting)> = Vec::new();
     let mut last_err = CvsError::NoLegalRewriting;
     let mut assembled_any = false;
+    // Combination-level assembly, recomputed only when the stream moves
+    // to a new cover combination (each combination owns a distinct
+    // `covers` Arc, so pointer identity detects the switch exactly).
+    let mut combo_asm: Option<ComboAsmCache> = None;
     let mut generated = 0usize;
     let mut pruned_candidates = 0usize;
     let mut deadline_hit = false;
@@ -427,16 +544,11 @@ pub fn cvs_delete_relation_searched(
             }
         }
         let full = selector.len() >= k;
-        let worst = if full {
-            selector.last().map(|(key, _)| key.clone())
-        } else {
-            None
-        };
-        let mut prune = |b: &CandidateBound| match &worst {
+        let mut prune = |b: &CandidateBound| match selector.last() {
             // A bound no better than the current worst kept candidate
             // cannot improve the top-k: cut the whole branch.
-            Some(w) => cmp_keys(&bound_key(b, cost_model), w) != Ordering::Less,
-            None => false,
+            Some((w, _)) if full => cmp_bound(b, cost_model, w) != Ordering::Less,
+            _ => false,
         };
         let Some(rep) = stream.next_candidate(&mut prune) else {
             break;
@@ -449,27 +561,41 @@ pub fn cvs_delete_relation_searched(
         }
         // Candidate-level admissible bound (exact counts are known
         // now), cutting the assemble + extent inference + costing.
-        if let Some(w) = &worst {
-            let cb = CandidateBound {
-                min_relations: rep.relations.len(),
-                min_joins: rep.joins.len(),
-                min_extra_relations: rep
-                    .relations
-                    .iter()
-                    .filter(|r| !from_rels.contains(*r))
-                    .count(),
-                min_dropped_conditions: rep.dropped_conditions.len(),
-            };
-            if cmp_keys(&bound_key(&cb, cost_model), w) != Ordering::Less {
-                pruned_candidates += 1;
-                continue;
+        if full {
+            if let Some((w, _)) = selector.last() {
+                let cb = CandidateBound {
+                    min_relations: rep.relations.len(),
+                    min_joins: rep.joins.len(),
+                    min_extra_relations: rep
+                        .relations
+                        .iter()
+                        .filter(|r| !from_rels.contains(*r))
+                        .count(),
+                    min_dropped_conditions: rep.dropped_conditions.len(),
+                };
+                if cmp_bound(&cb, cost_model, w) != Ordering::Less {
+                    pruned_candidates += 1;
+                    continue;
+                }
             }
         }
         generated += 1;
-        match assemble(view, &rm, &rep, opts) {
+        let pre = match &combo_asm {
+            Some((covers, pre)) if std::sync::Arc::ptr_eq(covers, &rep.covers) => pre,
+            _ => {
+                let pre = prepare_combo_assembly(view, &rm, &rep);
+                &combo_asm.insert((rep.covers.clone(), pre)).1
+            }
+        };
+        let asm_res = match pre {
+            Ok(pre) => assemble_prepared(view, pre, &rep, opts),
+            Err(e) => Err(e.clone()),
+        };
+        match asm_res {
             Ok(asm) => {
                 assembled_any = true;
-                let verdict = infer_extent_indexed(&rm, &rep, asm.dropped_conditions.len(), index);
+                let verdict =
+                    infer_extent_with(&ext_ctx, &rep, asm.dropped_conditions.len(), index);
                 let satisfies_p3 = satisfies_extent_param(view.extent, verdict);
                 if require_p3 && !satisfies_p3 {
                     continue;
@@ -483,8 +609,8 @@ pub fn cvs_delete_relation_searched(
                     dropped_conditions: asm.dropped_conditions,
                 };
                 let key = key_for(&lr, view, cost_model);
-                let pos =
-                    selector.partition_point(|(k2, _)| cmp_keys(k2, &key) != Ordering::Greater);
+                let pos = selector
+                    .partition_point(|(k2, lr2)| cmp_keys(k2, lr2, &key, &lr) != Ordering::Greater);
                 selector.insert(pos, (key, lr));
                 if selector.len() > k {
                     selector.pop();

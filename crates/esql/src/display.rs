@@ -10,17 +10,102 @@
 use crate::ast::{EvolutionParams, ViewDefinition, ViewExtent};
 use std::fmt;
 
-fn params_str(prefix: char, p: EvolutionParams) -> Option<String> {
+/// Write `" (xD = .., xR = ..)"` for non-default parameters — straight
+/// into the formatter, no intermediate allocation (this printer is on
+/// the candidate-ranking hot path, where every kept rewriting is
+/// rendered once).
+fn write_params(f: &mut fmt::Formatter<'_>, prefix: char, p: EvolutionParams) -> fmt::Result {
     if p == EvolutionParams::DEFAULT {
-        return None;
+        return Ok(());
     }
-    Some(format!(
-        "({pD} = {d}, {pR} = {r})",
-        pD = format_args!("{prefix}D"),
-        pR = format_args!("{prefix}R"),
-        d = p.dispensable,
-        r = p.replaceable
-    ))
+    write!(
+        f,
+        " ({prefix}D = {}, {prefix}R = {})",
+        p.dispensable, p.replaceable
+    )
+}
+
+impl ViewDefinition {
+    /// Render the canonical textual form into an owned, pre-sized
+    /// buffer. Byte-identical to `self.to_string()`, but pushes straight
+    /// into the buffer instead of going through the `fmt` machinery —
+    /// the rewriting search renders every kept candidate for its ranking
+    /// tie-break, making this the hottest printer in the engine.
+    pub fn rendered(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("CREATE VIEW ");
+        out.push_str(self.name.as_str());
+        if let Some(iface) = &self.interface {
+            out.push_str(" (");
+            for (i, n) in iface.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(n.as_str());
+            }
+            out.push(')');
+        }
+        if self.extent != ViewExtent::Equivalent {
+            out.push_str(" (VE = ");
+            out.push_str(self.extent.keyword());
+            out.push(')');
+        }
+        out.push_str(" AS\n");
+
+        out.push_str("SELECT ");
+        for (i, s) in self.select.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            s.expr.render_into(&mut out);
+            if let Some(a) = &s.alias {
+                out.push_str(" AS ");
+                out.push_str(a.as_str());
+            }
+            push_params(&mut out, 'A', s.params);
+        }
+        out.push('\n');
+
+        out.push_str("FROM ");
+        for (i, r) in self.from.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(r.relation.as_str());
+            push_params(&mut out, 'R', r.params);
+        }
+
+        if !self.conditions.is_empty() {
+            out.push('\n');
+            out.push_str("WHERE ");
+            for (i, c) in self.conditions.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" AND ");
+                }
+                out.push('(');
+                c.clause.render_into(&mut out);
+                out.push(')');
+                push_params(&mut out, 'C', c.params);
+            }
+        }
+        out
+    }
+}
+
+/// Buffer-writing twin of [`write_params`].
+fn push_params(out: &mut String, prefix: char, p: EvolutionParams) {
+    if p == EvolutionParams::DEFAULT {
+        return;
+    }
+    out.push_str(" (");
+    out.push(prefix);
+    out.push_str("D = ");
+    out.push_str(if p.dispensable { "true" } else { "false" });
+    out.push_str(", ");
+    out.push(prefix);
+    out.push_str("R = ");
+    out.push_str(if p.replaceable { "true" } else { "false" });
+    out.push(')');
 }
 
 impl fmt::Display for ViewDefinition {
@@ -50,9 +135,7 @@ impl fmt::Display for ViewDefinition {
             if let Some(a) = &s.alias {
                 write!(f, " AS {a}")?;
             }
-            if let Some(p) = params_str('A', s.params) {
-                write!(f, " {p}")?;
-            }
+            write_params(f, 'A', s.params)?;
         }
         writeln!(f)?;
 
@@ -62,9 +145,7 @@ impl fmt::Display for ViewDefinition {
                 write!(f, ", ")?;
             }
             write!(f, "{}", r.relation)?;
-            if let Some(p) = params_str('R', r.params) {
-                write!(f, " {p}")?;
-            }
+            write_params(f, 'R', r.params)?;
         }
 
         if !self.conditions.is_empty() {
@@ -75,9 +156,7 @@ impl fmt::Display for ViewDefinition {
                     write!(f, " AND ")?;
                 }
                 write!(f, "({})", c.clause)?;
-                if let Some(p) = params_str('C', c.params) {
-                    write!(f, " {p}")?;
-                }
+                write_params(f, 'C', c.params)?;
             }
         }
         Ok(())
@@ -138,6 +217,28 @@ mod tests {
     #[test]
     fn roundtrip_no_where() {
         roundtrip("CREATE VIEW V AS SELECT R.a FROM R");
+    }
+
+    /// `rendered()` is the hot-path twin of `Display` — the two must
+    /// agree byte-for-byte on every shape the printer can emit.
+    #[test]
+    fn rendered_matches_display() {
+        for src in [
+            "CREATE VIEW Asia-Customer (VE = superset) AS
+             SELECT C.Name (AR = true), C.Addr, C.Phone (AD = true, AR = false)
+             FROM Customer C (RR = true), FlightRes F
+             WHERE (C.Name = F.PName) AND (F.Dest = 'Asia') (CD = true)",
+            "CREATE VIEW V (N, A) (VE = subset) AS
+             SELECT A.Holder, (today() - A.Birthday) / 365 AS Age (AD = true)
+             FROM Accident-Ins A
+             WHERE (A.Amount >= 1000) AND (A.Type <> 'life')",
+            "CREATE VIEW V AS SELECT R.a FROM R",
+            "CREATE VIEW O (VE = any) AS SELECT R.a FROM R
+             WHERE (R.s = 'it''s') AND (R.f < 1.5) AND (R.n = -42)",
+        ] {
+            let v = crate::parser::parse_view(src).unwrap();
+            assert_eq!(v.rendered(), v.to_string(), "source: {src}");
+        }
     }
 
     #[test]

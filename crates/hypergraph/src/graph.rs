@@ -1,8 +1,20 @@
 //! The hypergraph structure and its connectivity operations.
+//!
+//! Internally the graph is data-oriented: relation names are interned
+//! to dense `u32` ids ([`crate::intern::Interner`], ids in ascending
+//! name order), adjacency is a flat CSR triple
+//! (`adj_offsets`/`adj_targets`/`adj_edges`) preserving
+//! join-declaration order, join endpoints live in SoA arrays, and the
+//! connected component of every vertex is precomputed once at
+//! construction. The string-keyed public API is a thin boundary that
+//! interns on entry and resolves names on exit, so every legacy result
+//! — including iteration and tie-break orders — is reproduced exactly.
 
+use crate::intern::{Interner, RelId};
+use crate::relset::RelSet;
 use eve_misd::{JoinConstraint, MetaKnowledgeBase};
 use eve_relational::RelName;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 /// The hypergraph `H(MKB)` (or a sub-hypergraph of it), materialised as a
 /// relation-level multigraph: vertices are relations, edges are join
@@ -11,14 +23,42 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// The structure owns its data (names and constraints are cloned from the
 /// MKB), so sub-hypergraphs and evolved variants can be derived freely
 /// without borrowing the MKB.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Hypergraph {
     /// All relation vertices (including isolated ones).
     relations: BTreeSet<RelName>,
     /// Join-constraint edges.
     joins: Vec<JoinConstraint>,
-    /// Adjacency: relation → (neighbour, edge index into `joins`).
-    adj: BTreeMap<RelName, Vec<(RelName, usize)>>,
+    /// Name ↔ id bijection; id order == name order.
+    interner: Interner,
+    /// CSR adjacency offsets: vertex `v`'s neighbours live at
+    /// `adj_targets[adj_offsets[v]..adj_offsets[v + 1]]`.
+    adj_offsets: Vec<u32>,
+    /// Neighbour vertex per adjacency slot, in join-declaration order
+    /// (for each join: the left endpoint's entry precedes the right's).
+    adj_targets: Vec<RelId>,
+    /// Edge index (into `joins`) per adjacency slot.
+    adj_edges: Vec<u32>,
+    /// SoA join endpoints: `joins[e]` connects `join_left[e]` and
+    /// `join_right[e]`.
+    join_left: Vec<RelId>,
+    join_right: Vec<RelId>,
+    /// Dedup rank of each join's id string: `join_rank[a] < join_rank[b]`
+    /// ⇔ `joins[a].id < joins[b].id`, with equal strings sharing a rank.
+    /// Lets the path search order candidates by join-id sequence without
+    /// comparing strings.
+    join_rank: Vec<u32>,
+    /// Connected-component index per vertex. Components are numbered in
+    /// ascending order of their smallest vertex id (= smallest name).
+    comp_of: Vec<u32>,
+    comp_count: u32,
+}
+
+impl PartialEq for Hypergraph {
+    fn eq(&self, other: &Self) -> bool {
+        // The derived structures are pure functions of (relations, joins).
+        self.relations == other.relations && self.joins == other.joins
+    }
 }
 
 impl Hypergraph {
@@ -49,26 +89,94 @@ impl Hypergraph {
     /// Build from explicit parts (used for sub-hypergraphs and tests).
     /// Join constraints whose endpoints are not both present are dropped.
     pub fn from_parts(relations: BTreeSet<RelName>, joins: Vec<JoinConstraint>) -> Self {
+        let interner = Interner::from_sorted(relations.iter().cloned());
         let joins: Vec<JoinConstraint> = joins
             .into_iter()
             .filter(|j| relations.contains(&j.left) && relations.contains(&j.right))
             .collect();
-        let mut adj: BTreeMap<RelName, Vec<(RelName, usize)>> = BTreeMap::new();
-        for r in &relations {
-            adj.entry(r.clone()).or_default();
+        let n = interner.len();
+        let m = joins.len();
+
+        let mut join_left = Vec::with_capacity(m);
+        let mut join_right = Vec::with_capacity(m);
+        for j in &joins {
+            join_left.push(interner.get(&j.left).expect("endpoint present"));
+            join_right.push(interner.get(&j.right).expect("endpoint present"));
         }
-        for (i, j) in joins.iter().enumerate() {
-            adj.entry(j.left.clone())
-                .or_default()
-                .push((j.right.clone(), i));
-            adj.entry(j.right.clone())
-                .or_default()
-                .push((j.left.clone(), i));
+
+        // Dedup lexicographic ranks of the join id strings.
+        let mut ids: Vec<&str> = joins.iter().map(|j| j.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let join_rank: Vec<u32> = joins
+            .iter()
+            .map(|j| ids.binary_search(&j.id.as_str()).expect("id ranked") as u32)
+            .collect();
+
+        // CSR adjacency, filled in join-declaration order (left endpoint
+        // first, then right — matching the legacy push order).
+        let mut degree = vec![0u32; n];
+        for e in 0..m {
+            degree[join_left[e] as usize] += 1;
+            degree[join_right[e] as usize] += 1;
         }
+        let mut adj_offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            adj_offsets[v + 1] = adj_offsets[v] + degree[v];
+        }
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        let mut adj_targets = vec![0 as RelId; adj_offsets[n] as usize];
+        let mut adj_edges = vec![0u32; adj_offsets[n] as usize];
+        for e in 0..m {
+            let (l, r) = (join_left[e], join_right[e]);
+            let slot = cursor[l as usize] as usize;
+            adj_targets[slot] = r;
+            adj_edges[slot] = e as u32;
+            cursor[l as usize] += 1;
+            let slot = cursor[r as usize] as usize;
+            adj_targets[slot] = l;
+            adj_edges[slot] = e as u32;
+            cursor[r as usize] += 1;
+        }
+
+        // Connected components, seeded in ascending id (= name) order so
+        // component indices sort by smallest member name.
+        let mut comp_of = vec![u32::MAX; n];
+        let mut comp_count = 0u32;
+        let mut queue: VecDeque<RelId> = VecDeque::new();
+        for v in 0..n {
+            if comp_of[v] != u32::MAX {
+                continue;
+            }
+            comp_of[v] = comp_count;
+            queue.push_back(v as RelId);
+            while let Some(r) = queue.pop_front() {
+                let (lo, hi) = (
+                    adj_offsets[r as usize] as usize,
+                    adj_offsets[r as usize + 1] as usize,
+                );
+                for &next in &adj_targets[lo..hi] {
+                    if comp_of[next as usize] == u32::MAX {
+                        comp_of[next as usize] = comp_count;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            comp_count += 1;
+        }
+
         Hypergraph {
             relations,
             joins,
-            adj,
+            interner,
+            adj_offsets,
+            adj_targets,
+            adj_edges,
+            join_left,
+            join_right,
+            join_rank,
+            comp_of,
+            comp_count,
         }
     }
 
@@ -87,19 +195,144 @@ impl Hypergraph {
         self.relations.contains(rel)
     }
 
-    /// Join constraints incident to `rel`.
-    pub fn joins_of<'a>(&'a self, rel: &'a RelName) -> impl Iterator<Item = &'a JoinConstraint> {
-        self.adj
-            .get(rel)
-            .into_iter()
-            .flatten()
-            .map(move |(_, i)| &self.joins[*i])
+    // ---- id-level core -------------------------------------------------
+
+    /// The name ↔ id interner. Ids are dense (`0..rel_count()`) and
+    /// ascend in name order, so id comparisons reproduce name
+    /// comparisons.
+    pub fn interner(&self) -> &Interner {
+        &self.interner
     }
 
-    /// Adjacency of `rel`: `(neighbour, index into [`Hypergraph::joins`])`
-    /// pairs in join-declaration order. Empty when `rel` is unknown.
-    pub(crate) fn adjacency(&self, rel: &RelName) -> &[(RelName, usize)] {
-        self.adj.get(rel).map(|v| v.as_slice()).unwrap_or(&[])
+    /// The interned id of `rel`, or `None` when it is not a vertex.
+    pub fn rel_id(&self, rel: &RelName) -> Option<RelId> {
+        self.interner.get(rel)
+    }
+
+    /// The name behind an interned id.
+    pub fn rel_name(&self, id: RelId) -> &RelName {
+        self.interner.name(id)
+    }
+
+    /// Number of relation vertices (the id universe is `0..rel_count()`).
+    pub fn rel_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// An empty [`RelSet`] sized for this graph's id universe.
+    pub fn relset(&self) -> RelSet {
+        RelSet::with_universe(self.rel_count())
+    }
+
+    /// CSR neighbours of `id`: `(neighbour, edge index)` pairs in
+    /// join-declaration order.
+    pub fn neighbors(&self, id: RelId) -> impl Iterator<Item = (RelId, u32)> + '_ {
+        let (lo, hi) = (
+            self.adj_offsets[id as usize] as usize,
+            self.adj_offsets[id as usize + 1] as usize,
+        );
+        self.adj_targets[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.adj_edges[lo..hi].iter().copied())
+    }
+
+    /// Endpoints of join edge `e` as `(left, right)` ids.
+    pub fn join_endpoints(&self, e: u32) -> (RelId, RelId) {
+        (self.join_left[e as usize], self.join_right[e as usize])
+    }
+
+    /// Dedup lexicographic rank of `joins[e].id`: ranks compare exactly
+    /// as the id strings do (equal strings share a rank).
+    pub fn join_rank(&self, e: u32) -> u32 {
+        self.join_rank[e as usize]
+    }
+
+    /// The connected-component index of vertex `id`. Components are
+    /// numbered ascending by smallest member name.
+    pub fn component_index(&self, id: RelId) -> u32 {
+        self.comp_of[id as usize]
+    }
+
+    /// Number of connected components.
+    pub fn component_count(&self) -> usize {
+        self.comp_count as usize
+    }
+
+    /// Shortest join-path length (in edges) between two vertices by id,
+    /// `None` when they are in different components. Allocation-light
+    /// variant of [`Hypergraph::join_path`] for distance queries.
+    pub fn pair_distance_ids(&self, a: RelId, b: RelId) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        if self.comp_of[a as usize] != self.comp_of[b as usize] {
+            return None;
+        }
+        let mut dist = vec![u32::MAX; self.rel_count()];
+        dist[a as usize] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(a);
+        while let Some(r) = queue.pop_front() {
+            let d = dist[r as usize];
+            for (next, _) in self.neighbors(r) {
+                if dist[next as usize] == u32::MAX {
+                    if next == b {
+                        return Some(d as usize + 1);
+                    }
+                    dist[next as usize] = d + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    /// Breadth-first shortest path between two vertices by id, as edge
+    /// indices in walk order. `None` when unreachable; empty when
+    /// `a == b`. Visits neighbours in join-declaration order, matching
+    /// the legacy string-keyed BFS tie-breaks.
+    pub fn join_path_ids(&self, a: RelId, b: RelId) -> Option<Vec<u32>> {
+        if a == b {
+            return Some(Vec::new());
+        }
+        if self.comp_of[a as usize] != self.comp_of[b as usize] {
+            return None;
+        }
+        let mut prev: Vec<(RelId, u32)> = vec![(u32::MAX, u32::MAX); self.rel_count()];
+        let mut seen = self.relset();
+        seen.insert(a);
+        let mut queue = VecDeque::new();
+        queue.push_back(a);
+        while let Some(r) = queue.pop_front() {
+            for (next, edge) in self.neighbors(r) {
+                if seen.insert(next) {
+                    prev[next as usize] = (r, edge);
+                    if next == b {
+                        let mut path = Vec::new();
+                        let mut cur = b;
+                        while prev[cur as usize].0 != u32::MAX {
+                            let (p, e) = prev[cur as usize];
+                            path.push(e);
+                            cur = p;
+                        }
+                        path.reverse();
+                        return Some(path);
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        None
+    }
+
+    // ---- string-keyed boundary ----------------------------------------
+
+    /// Join constraints incident to `rel`.
+    pub fn joins_of<'a>(&'a self, rel: &RelName) -> impl Iterator<Item = &'a JoinConstraint> {
+        self.rel_id(rel)
+            .into_iter()
+            .flat_map(move |id| self.neighbors(id).map(|(_, e)| &self.joins[e as usize]))
     }
 
     /// All join constraints between the unordered pair `{r1, r2}`.
@@ -113,68 +346,68 @@ impl Hypergraph {
 
     /// The set of relations reachable from `start` (its connected
     /// component's vertex set `S_R(MKB)`), or `None` when `start` is not a
-    /// vertex.
+    /// vertex. Served from the precomputed component index — no
+    /// traversal, no whole-set clone.
     pub fn component_relations(&self, start: &RelName) -> Option<BTreeSet<RelName>> {
-        if !self.relations.contains(start) {
-            return None;
-        }
-        let mut seen = BTreeSet::new();
-        let mut queue = VecDeque::new();
-        seen.insert(start.clone());
-        queue.push_back(start.clone());
-        while let Some(r) = queue.pop_front() {
-            for (next, _) in self.adj.get(&r).into_iter().flatten() {
-                if seen.insert(next.clone()) {
-                    queue.push_back(next.clone());
-                }
-            }
-        }
-        Some(seen)
+        let comp = self.comp_of[self.rel_id(start)? as usize];
+        Some(
+            (0..self.rel_count())
+                .filter(|&v| self.comp_of[v] == comp)
+                .map(|v| self.interner.name(v as RelId).clone())
+                .collect(),
+        )
     }
 
     /// The connected sub-hypergraph `H_R(MKB)` containing `start`
     /// (Step 1 of the CVS algorithm), or `None` when `start` is absent.
     pub fn component_of(&self, start: &RelName) -> Option<Hypergraph> {
-        let rels = self.component_relations(start)?;
+        let comp = self.comp_of[self.rel_id(start)? as usize];
+        Some(self.component_subgraph(comp))
+    }
+
+    fn component_subgraph(&self, comp: u32) -> Hypergraph {
+        let rels: BTreeSet<RelName> = (0..self.rel_count())
+            .filter(|&v| self.comp_of[v] == comp)
+            .map(|v| self.interner.name(v as RelId).clone())
+            .collect();
         let joins = self
             .joins
             .iter()
-            .filter(|j| rels.contains(&j.left))
-            .cloned()
+            .enumerate()
+            .filter(|(e, _)| self.comp_of[self.join_left[*e] as usize] == comp)
+            .map(|(_, j)| j.clone())
             .collect();
-        Some(Hypergraph::from_parts(rels, joins))
+        Hypergraph::from_parts(rels, joins)
     }
 
     /// All maximal connected components, each as a sub-hypergraph, ordered
-    /// by their smallest relation name.
+    /// by their smallest relation name. One pass over the precomputed
+    /// component index — the legacy per-component re-traversal and
+    /// whole-relation-set clone are gone.
     pub fn components(&self) -> Vec<Hypergraph> {
-        let mut remaining: BTreeSet<RelName> = self.relations.clone();
-        let mut out = Vec::new();
-        while let Some(seed) = remaining.iter().next().cloned() {
-            let comp = self
-                .component_of(&seed)
-                .expect("seed taken from vertex set");
-            for r in comp.relations() {
-                remaining.remove(r);
-            }
-            out.push(comp);
-        }
-        out
+        (0..self.comp_count)
+            .map(|c| self.component_subgraph(c))
+            .collect()
     }
 
     /// Is the given set of relations mutually connected *within this
     /// hypergraph* (all in one component)? The empty set and singletons
-    /// are trivially connected.
+    /// are trivially connected. With the precomputed component index
+    /// this is one comparison per relation.
     pub fn is_connected_set(&self, rels: &BTreeSet<RelName>) -> bool {
         let mut iter = rels.iter();
         let first = match iter.next() {
             Some(f) => f,
             None => return true,
         };
-        match self.component_relations(first) {
-            Some(comp) => rels.iter().all(|r| comp.contains(r)),
-            None => false,
-        }
+        let comp = match self.rel_id(first) {
+            Some(id) => self.comp_of[id as usize],
+            None => return false,
+        };
+        iter.all(|r| {
+            self.rel_id(r)
+                .is_some_and(|id| self.comp_of[id as usize] == comp)
+        })
     }
 
     /// The hypergraph `H'` obtained by erasing the relation hyperedge
@@ -197,37 +430,9 @@ impl Hypergraph {
     /// `from ⋈_{JC_1} R_1 ⋈ … ⋈_{JC_n} to`. Returns `None` when
     /// unreachable; the empty path when `from == to`.
     pub fn join_path(&self, from: &RelName, to: &RelName) -> Option<Vec<&JoinConstraint>> {
-        if !self.relations.contains(from) || !self.relations.contains(to) {
-            return None;
-        }
-        if from == to {
-            return Some(Vec::new());
-        }
-        let mut prev: BTreeMap<RelName, (RelName, usize)> = BTreeMap::new();
-        let mut queue = VecDeque::new();
-        let mut seen = BTreeSet::new();
-        seen.insert(from.clone());
-        queue.push_back(from.clone());
-        while let Some(r) = queue.pop_front() {
-            for (next, edge) in self.adj.get(&r).into_iter().flatten() {
-                if seen.insert(next.clone()) {
-                    prev.insert(next.clone(), (r.clone(), *edge));
-                    if next == to {
-                        // reconstruct
-                        let mut path = Vec::new();
-                        let mut cur = to.clone();
-                        while let Some((p, e)) = prev.get(&cur) {
-                            path.push(&self.joins[*e]);
-                            cur = p.clone();
-                        }
-                        path.reverse();
-                        return Some(path);
-                    }
-                    queue.push_back(next.clone());
-                }
-            }
-        }
-        None
+        let (a, b) = (self.rel_id(from)?, self.rel_id(to)?);
+        let path = self.join_path_ids(a, b)?;
+        Some(path.into_iter().map(|e| &self.joins[e as usize]).collect())
     }
 
     /// Enumerate all simple paths (as join-constraint sequences) from
@@ -259,15 +464,16 @@ impl Hypergraph {
         max_paths: usize,
     ) -> Vec<Vec<&JoinConstraint>> {
         let mut out = Vec::new();
-        if !self.relations.contains(from) || !self.relations.contains(to) || max_paths == 0 {
-            return out;
-        }
-        let mut visited: BTreeSet<RelName> = BTreeSet::new();
-        visited.insert(from.clone());
-        let mut path: Vec<usize> = Vec::new();
+        let (a, b) = match (self.rel_id(from), self.rel_id(to)) {
+            (Some(a), Some(b)) if max_paths > 0 => (a, b),
+            _ => return out,
+        };
+        let mut visited = self.relset();
+        visited.insert(a);
+        let mut path: Vec<u32> = Vec::new();
         self.dfs_paths(
-            from,
-            to,
+            a,
+            b,
             max_edges,
             max_paths,
             &mut visited,
@@ -280,33 +486,33 @@ impl Hypergraph {
     #[allow(clippy::too_many_arguments)]
     fn dfs_paths<'a>(
         &'a self,
-        cur: &RelName,
-        to: &RelName,
+        cur: RelId,
+        to: RelId,
         budget: usize,
         max_paths: usize,
-        visited: &mut BTreeSet<RelName>,
-        path: &mut Vec<usize>,
+        visited: &mut RelSet,
+        path: &mut Vec<u32>,
         out: &mut Vec<Vec<&'a JoinConstraint>>,
     ) {
         if out.len() >= max_paths {
             return;
         }
         if cur == to {
-            out.push(path.iter().map(|i| &self.joins[*i]).collect());
+            out.push(path.iter().map(|&e| &self.joins[e as usize]).collect());
             return;
         }
         if budget == 0 {
             return;
         }
-        for (next, edge) in self.adj.get(cur).into_iter().flatten() {
+        for (next, edge) in self.neighbors(cur) {
             if out.len() >= max_paths {
                 return;
             }
             if visited.contains(next) {
                 continue;
             }
-            visited.insert(next.clone());
-            path.push(*edge);
+            visited.insert(next);
+            path.push(edge);
             self.dfs_paths(next, to, budget - 1, max_paths, visited, path, out);
             path.pop();
             visited.remove(next);
@@ -315,7 +521,12 @@ impl Hypergraph {
 
     /// Degree of a relation (number of incident join constraints).
     pub fn degree(&self, rel: &RelName) -> usize {
-        self.adj.get(rel).map(|v| v.len()).unwrap_or(0)
+        match self.rel_id(rel) {
+            Some(id) => {
+                (self.adj_offsets[id as usize + 1] - self.adj_offsets[id as usize]) as usize
+            }
+            None => 0,
+        }
     }
 }
 
@@ -423,5 +634,52 @@ mod tests {
         let rels: BTreeSet<RelName> = [rel("A")].into_iter().collect();
         let h = Hypergraph::from_parts(rels, vec![jc("J1", "A", "B")]);
         assert!(h.joins().is_empty());
+    }
+
+    #[test]
+    fn interner_ids_ascend_with_names() {
+        let h = sample();
+        let ids: Vec<RelId> = h.relations().iter().map(|r| h.rel_id(r).unwrap()).collect();
+        assert_eq!(ids, (0..6).collect::<Vec<RelId>>());
+        assert_eq!(h.rel_name(2), &rel("C"));
+        assert_eq!(h.rel_id(&rel("Z")), None);
+        assert_eq!(h.rel_count(), 6);
+    }
+
+    #[test]
+    fn csr_adjacency_matches_join_declaration_order() {
+        let h = sample();
+        let b = h.rel_id(&rel("B")).unwrap();
+        // B's joins in declaration order: J1, J1b (as right endpoint), J2
+        // (as left endpoint).
+        let edges: Vec<u32> = h.neighbors(b).map(|(_, e)| e).collect();
+        assert_eq!(edges, vec![0, 1, 2]);
+        let (l, r) = h.join_endpoints(2);
+        assert_eq!((h.rel_name(l), h.rel_name(r)), (&rel("B"), &rel("C")));
+    }
+
+    #[test]
+    fn join_ranks_mirror_id_string_order() {
+        let h = sample();
+        // Declaration order J1, J1b, J2, J3 is already lexicographic.
+        let ranks: Vec<u32> = (0..4).map(|e| h.join_rank(e)).collect();
+        assert_eq!(ranks, vec![0, 1, 2, 3]);
+        // Equal id strings share a rank.
+        let rels: BTreeSet<RelName> = ["A", "B"].iter().map(|s| rel(s)).collect();
+        let h2 = Hypergraph::from_parts(rels, vec![jc("dup", "A", "B"), jc("dup", "A", "B")]);
+        assert_eq!(h2.join_rank(0), h2.join_rank(1));
+    }
+
+    #[test]
+    fn component_index_and_pair_distance() {
+        let h = sample();
+        let id = |n: &str| h.rel_id(&rel(n)).unwrap();
+        assert_eq!(h.component_count(), 3);
+        assert_eq!(h.component_index(id("A")), h.component_index(id("C")));
+        assert_ne!(h.component_index(id("A")), h.component_index(id("D")));
+        assert_eq!(h.pair_distance_ids(id("A"), id("C")), Some(2));
+        assert_eq!(h.pair_distance_ids(id("A"), id("A")), Some(0));
+        assert_eq!(h.pair_distance_ids(id("A"), id("D")), None);
+        assert_eq!(h.join_path_ids(id("A"), id("C")).map(|p| p.len()), Some(2));
     }
 }

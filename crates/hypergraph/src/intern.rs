@@ -1,0 +1,92 @@
+//! Relation-name interning: dense `u32` ids for the data-oriented core.
+//!
+//! Every [`crate::Hypergraph`] builds one [`Interner`] at construction
+//! time, mapping its relation names to ids `0..n` **in ascending name
+//! order**. That ordering is load-bearing: comparing two [`RelId`]s is
+//! then exactly comparing the underlying [`RelName`]s, so the id-keyed
+//! enumeration core can reproduce the legacy string-keyed yield order
+//! (heap tie-breaks, component ordering, terminal iteration) without
+//! ever touching a string on the hot path. The string-keyed public API
+//! is a thin boundary: intern on entry, [`Interner::name`] on exit.
+
+use eve_relational::RelName;
+use std::collections::HashMap;
+
+/// Dense relation id. Ids are assigned in ascending [`RelName`] order,
+/// so `id_a < id_b ⇔ name_a < name_b` within one interner.
+pub type RelId = u32;
+
+/// A bijection between the relation names of one hypergraph and the
+/// dense id range `0..len`.
+///
+/// Ids from different interners (different hypergraphs) are not
+/// comparable; the boundary layer always resolves back to [`RelName`]
+/// before crossing graphs.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    /// Names in id order (ascending name order by construction).
+    names: Vec<RelName>,
+    /// Reverse lookup.
+    lookup: HashMap<RelName, RelId>,
+}
+
+impl Interner {
+    /// Build from names already in ascending order without duplicates
+    /// (e.g. iterating a `BTreeSet<RelName>`).
+    pub fn from_sorted(names: impl IntoIterator<Item = RelName>) -> Self {
+        let names: Vec<RelName> = names.into_iter().collect();
+        debug_assert!(names.windows(2).all(|w| w[0] < w[1]), "names sorted+unique");
+        let lookup = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as RelId))
+            .collect();
+        Interner { names, lookup }
+    }
+
+    /// The id of `name`, or `None` when it is not interned here.
+    pub fn get(&self, name: &RelName) -> Option<RelId> {
+        self.lookup.get(name).copied()
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    /// When `id` was not produced by this interner.
+    pub fn name(&self, id: RelId) -> &RelName {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names (the id universe is `0..len()`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Is the interner empty?
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All names in id order (ascending name order).
+    pub fn names(&self) -> &[RelName] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn ids_follow_name_order() {
+        let set: BTreeSet<RelName> = ["B", "A", "C"].iter().map(|s| RelName::new(*s)).collect();
+        let it = Interner::from_sorted(set);
+        assert_eq!(it.len(), 3);
+        assert_eq!(it.get(&RelName::new("A")), Some(0));
+        assert_eq!(it.get(&RelName::new("B")), Some(1));
+        assert_eq!(it.get(&RelName::new("C")), Some(2));
+        assert_eq!(it.get(&RelName::new("Z")), None);
+        assert_eq!(it.name(1).as_str(), "B");
+    }
+}

@@ -38,8 +38,12 @@
 pub mod dot;
 pub(crate) mod faults;
 pub mod graph;
+pub mod intern;
 pub mod paths;
+pub mod relset;
 pub(crate) mod telem;
 
 pub use graph::Hypergraph;
-pub use paths::{ConnectionTree, ConnectionTreeIter};
+pub use intern::{Interner, RelId};
+pub use paths::{ConnectionTree, ConnectionTreeIter, TreeCursor};
+pub use relset::{RelSet, RelSetCapacityError, INLINE_BITS};

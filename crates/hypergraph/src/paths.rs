@@ -12,30 +12,43 @@
 //! connected superset is a *valid* candidate under Def. 3 and smaller
 //! candidates are simply better.
 //!
-//! Enumeration is *lazy*: [`ConnectionTreeIter`] streams alternative
-//! trees one at a time, in nondecreasing edge count, so callers that
-//! only need the first few candidates (top-k search, budgeted search)
-//! never pay for the combinatorial tail. For exactly two terminals it
-//! runs a best-first expansion over simple join-constraint paths (a
-//! diamond-shaped MKB yields one candidate per route, not just the
-//! shortest); for other terminal counts it yields the greedy Steiner
-//! tree followed by its single-swap parallel-constraint variants
-//! (distinct `JC`s between the same relation pair give semantically
-//! different joins), so CVS can propose more than one rewriting per
-//! cover combination. The collect-all [`ConnectionTree::enumerate`] /
-//! [`ConnectionTree::enumerate_with_limit`] entry points are thin
-//! wrappers over the iterator.
+//! Enumeration is *lazy* and runs entirely on the interned-id core:
+//! [`TreeCursor`] streams alternative trees one at a time, in
+//! nondecreasing edge count, writing each tree into scratch buffers it
+//! owns — [`TreeCursor::advance`] performs **zero heap allocations in
+//! the steady state** (partial paths are fixed-width id arrays plus an
+//! inline bitset; extending one is a stack copy, not a `BTreeSet`
+//! clone). For exactly two terminals it runs a best-first expansion
+//! over simple join-constraint paths (a diamond-shaped MKB yields one
+//! candidate per route, not just the shortest); for other terminal
+//! counts it yields the greedy Steiner tree followed by its single-swap
+//! parallel-constraint variants (distinct `JC`s between the same
+//! relation pair give semantically different joins), so CVS can propose
+//! more than one rewriting per cover combination.
+//!
+//! [`ConnectionTreeIter`] is the string-keyed boundary: a thin wrapper
+//! that advances the cursor and materialises each scratch tree into a
+//! [`ConnectionTree`] (names + cloned constraints). The yield sequence
+//! is byte-identical to the legacy string-keyed implementation — the
+//! heap orders partials by `(len, join-id ranks, edge indices, current
+//! vertex, visited set)`, each component an order-preserving image of
+//! the legacy `(len, ids, edges, cur, visited)` key. The collect-all
+//! [`ConnectionTree::enumerate`] / [`ConnectionTree::enumerate_with_limit`]
+//! entry points are thin wrappers over the iterator.
 
 use crate::graph::Hypergraph;
+use crate::intern::RelId;
+use crate::relset::RelSet;
 use eve_misd::JoinConstraint;
 use eve_relational::RelName;
-use std::cmp::Reverse;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::cmp::{Ordering, Reverse};
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 
 /// Length cap (in edges) for the exhaustive two-terminal path search.
 /// Paths longer than this are only reachable through the shortest-path
 /// fallback, which keeps the best-first frontier from exploding on
-/// dense graphs.
+/// dense graphs. Also bounds the inline arrays of [`IdPartial`]: a
+/// partial path never exceeds `PATH_CAP` edges, so no spill is needed.
 const PATH_CAP: usize = 8;
 
 /// A tree of join constraints spanning a set of relations.
@@ -76,31 +89,9 @@ impl ConnectionTree {
         terminals: &BTreeSet<RelName>,
         max_path_edges: usize,
     ) -> Option<ConnectionTree> {
-        let mut iter = terminals.iter();
-        let first = iter.next()?;
-        if !graph.contains(first) {
-            return None;
-        }
-        let mut tree = ConnectionTree::singleton(first.clone());
-        // Attach each remaining terminal by the shortest path from the
-        // current tree. (Iterating in name order keeps this deterministic;
-        // the greedy nearest-terminal refinement would need all-pairs
-        // distances for marginal benefit.)
-        for t in iter {
-            if tree.relations.contains(t) {
-                continue;
-            }
-            let path = shortest_path_from_set(graph, &tree.relations, t)?;
-            if path.len() > max_path_edges {
-                return None;
-            }
-            for jc in path {
-                tree.relations.insert(jc.left.clone());
-                tree.relations.insert(jc.right.clone());
-                tree.joins.push(jc.clone());
-            }
-        }
-        Some(tree)
+        let ids = intern_terminals(graph, terminals)?;
+        let (rels, edges) = connect_ids(graph, &ids, max_path_edges)?;
+        Some(materialize(graph, &rels, &edges))
     }
 
     /// Collect up to `limit` alternative connection trees for the same
@@ -134,38 +125,102 @@ impl ConnectionTree {
     }
 }
 
-/// A partial simple path in the two-terminal best-first search, keyed by
-/// the ordering of the legacy sort: `(length, join-id sequence)`.
-/// Derived `Ord` compares fields top to bottom, so a min-heap of these
-/// pops shortest-first, ties broken by the lexicographically smallest id
-/// sequence; the trailing fields only disambiguate key-equal partials
-/// and never change the yield order.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-struct PartialPath {
-    len: usize,
-    ids: Vec<String>,
-    edges: Vec<usize>,
-    cur: RelName,
-    visited: BTreeSet<RelName>,
+/// Intern a terminal set. `None` when any terminal is not a vertex of
+/// `graph` — in every such case the legacy search yields nothing (an
+/// absent terminal can never be connected), so callers map `None` to
+/// the empty enumeration.
+fn intern_terminals(graph: &Hypergraph, terminals: &BTreeSet<RelName>) -> Option<Vec<RelId>> {
+    terminals.iter().map(|t| graph.rel_id(t)).collect()
 }
 
-enum IterState {
+/// Resolve a scratch `(relation set, edge list)` pair into an owned
+/// string-keyed [`ConnectionTree`]. Bitset iteration ascends by id =
+/// ascending name order, reproducing the legacy `BTreeSet` contents.
+fn materialize(graph: &Hypergraph, rels: &RelSet, edges: &[u32]) -> ConnectionTree {
+    ConnectionTree {
+        relations: rels.iter().map(|id| graph.rel_name(id).clone()).collect(),
+        joins: edges
+            .iter()
+            .map(|&e| graph.joins()[e as usize].clone())
+            .collect(),
+    }
+}
+
+/// A partial simple path in the two-terminal best-first search, keyed by
+/// the ordering of the legacy sort: `(length, join-id sequence)`. All
+/// components are order-preserving images of the legacy string-keyed
+/// fields — `ranks` are dedup-lexicographic ranks of the join id
+/// strings, ids ascend with relation names, and [`RelSet`] compares as
+/// its ascending element sequence — so a min-heap of these pops in
+/// exactly the legacy order. Fixed-width: extending a partial copies
+/// `4 + PATH_CAP` words and an inline bitset, no heap traffic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IdPartial {
+    len: u8,
+    ranks: [u32; PATH_CAP],
+    edges: [u32; PATH_CAP],
+    cur: RelId,
+    visited: RelSet,
+}
+
+impl IdPartial {
+    fn start(graph: &Hypergraph, at: RelId) -> Self {
+        let mut visited = graph.relset();
+        visited.insert(at);
+        IdPartial {
+            len: 0,
+            ranks: [0; PATH_CAP],
+            edges: [0; PATH_CAP],
+            cur: at,
+            visited,
+        }
+    }
+}
+
+impl Ord for IdPartial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let (n, m) = (self.len as usize, other.len as usize);
+        n.cmp(&m)
+            .then_with(|| self.ranks[..n].cmp(&other.ranks[..m]))
+            .then_with(|| self.edges[..n].cmp(&other.edges[..m]))
+            .then_with(|| self.cur.cmp(&other.cur))
+            .then_with(|| self.visited.cmp(&other.visited))
+    }
+}
+
+impl PartialOrd for IdPartial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+enum CursorState {
     /// Best-first expansion over vertex-simple paths between exactly two
-    /// terminals. Every extension strictly grows the `(len, ids)` key,
+    /// terminals. Every extension strictly grows the `(len, ranks)` key,
     /// so completed paths pop from the heap in nondecreasing key order —
     /// exactly the order the legacy collect-then-sort produced.
     Paths {
-        start: RelName,
-        goal: RelName,
+        start: RelId,
+        goal: RelId,
         max_path_edges: usize,
-        heap: BinaryHeap<Reverse<PartialPath>>,
+        heap: BinaryHeap<Reverse<IdPartial>>,
         yielded_any: bool,
+        /// BFS distance (in edges) from every vertex to `goal`,
+        /// `u32::MAX` when unreachable. A partial at `cur` with
+        /// `len + dist[cur] > cap` can never complete into a yieldable
+        /// path (the unconstrained shortest distance lower-bounds the
+        /// remaining simple-path length), so it is pruned from the
+        /// frontier without affecting the yield sequence.
+        dist_to_goal: Vec<u32>,
     },
     /// Greedy Steiner tree plus single-swap parallel-constraint
     /// variants, emitted in slot-then-alternative order.
     Greedy {
-        base: ConnectionTree,
-        alternatives: Vec<Vec<JoinConstraint>>,
+        base_rels: RelSet,
+        base_edges: Vec<u32>,
+        /// Per edge slot: alternative edge indices (other JCs between
+        /// the same relation pair, ascending declaration order).
+        alternatives: Vec<Vec<u32>>,
         slot: usize,
         alt: usize,
         base_emitted: bool,
@@ -173,8 +228,363 @@ enum IterState {
     Done,
 }
 
+/// The id-level enumeration core: streams connection trees spanning a
+/// terminal set in nondecreasing edge count, writing each tree into
+/// reusable scratch buffers owned by the cursor.
+///
+/// [`TreeCursor::advance`] allocates nothing in the steady state: the
+/// best-first frontier holds fixed-width [`IdPartial`]s (inline arrays
+/// plus an inline bitset for graphs of ≤ 256 relations), the scratch
+/// relation set and edge list are reused across yields, and the heap's
+/// capacity is retained. Callers that need owned string-keyed trees
+/// materialise at the boundary via [`TreeCursor::materialize`] (that
+/// step allocates, by nature); callers that only inspect the current
+/// tree use [`TreeCursor::relations`] / [`TreeCursor::edges`] for free.
+pub struct TreeCursor<'g> {
+    graph: &'g Hypergraph,
+    state: CursorState,
+    /// Scratch: relations of the current tree.
+    rels: RelSet,
+    /// Scratch: edge indices of the current tree, in attachment order.
+    edges: Vec<u32>,
+    /// Trees yielded so far; flushed to the `hypergraph.trees_yielded`
+    /// telemetry counter when the cursor is dropped.
+    yielded: u64,
+}
+
+impl<'g> TreeCursor<'g> {
+    /// Start streaming trees for `terminals`, each connecting path
+    /// bounded by `max_path_edges` join constraints.
+    pub fn new(
+        graph: &'g Hypergraph,
+        terminals: &BTreeSet<RelName>,
+        max_path_edges: usize,
+    ) -> Self {
+        let state = match intern_terminals(graph, terminals) {
+            // An absent terminal can never be connected: the legacy
+            // search (empty frontier → no shortest path → greedy with an
+            // unknown terminal) yields nothing in every such case.
+            None => CursorState::Done,
+            Some(ids) if ids.len() == 2 => {
+                let mut heap = BinaryHeap::new();
+                heap.push(Reverse(IdPartial::start(graph, ids[0])));
+                CursorState::Paths {
+                    start: ids[0],
+                    goal: ids[1],
+                    max_path_edges,
+                    heap,
+                    yielded_any: false,
+                    dist_to_goal: bfs_distances(graph, ids[1]),
+                }
+            }
+            Some(ids) => greedy_state(graph, &ids, max_path_edges),
+        };
+        TreeCursor {
+            graph,
+            state,
+            rels: graph.relset(),
+            edges: Vec::new(),
+            yielded: 0,
+        }
+    }
+
+    /// Advance to the next tree. Returns `false` when the stream is
+    /// exhausted; on `true` the tree is readable through
+    /// [`TreeCursor::relations`] / [`TreeCursor::edges`].
+    pub fn advance(&mut self) -> bool {
+        let stepped = self.step();
+        if stepped {
+            self.yielded += 1;
+        }
+        stepped
+    }
+
+    /// Relations of the current tree (valid after an `advance` that
+    /// returned `true`).
+    pub fn relations(&self) -> &RelSet {
+        &self.rels
+    }
+
+    /// Edge indices (into [`Hypergraph::joins`]) of the current tree,
+    /// in attachment order.
+    pub fn edges(&self) -> &[u32] {
+        &self.edges
+    }
+
+    /// Resolve the current scratch tree into an owned string-keyed
+    /// [`ConnectionTree`].
+    pub fn materialize(&self) -> ConnectionTree {
+        materialize(self.graph, &self.rels, &self.edges)
+    }
+
+    fn step(&mut self) -> bool {
+        loop {
+            match &mut self.state {
+                CursorState::Paths {
+                    start,
+                    goal,
+                    max_path_edges,
+                    heap,
+                    yielded_any,
+                    dist_to_goal,
+                } => {
+                    let cap = (*max_path_edges).min(PATH_CAP);
+                    while let Some(Reverse(p)) = heap.pop() {
+                        if p.cur == *goal {
+                            // Simple paths stop at the goal; no extension.
+                            *yielded_any = true;
+                            write_path_scratch(
+                                self.graph,
+                                &mut self.rels,
+                                &mut self.edges,
+                                *start,
+                                &p.edges[..p.len as usize],
+                            );
+                            return true;
+                        }
+                        if (p.len as usize) >= cap {
+                            continue;
+                        }
+                        for (next, edge) in self.graph.neighbors(p.cur) {
+                            if p.visited.contains(next) {
+                                continue;
+                            }
+                            // Reachability prune: discard extensions that
+                            // provably cannot reach the goal within the
+                            // cap. Such partials never yield, so skipping
+                            // them leaves the yield sequence intact.
+                            let d = dist_to_goal[next as usize] as usize;
+                            if (p.len as usize) + 1 + d > cap {
+                                continue;
+                            }
+                            let mut ext = p.clone();
+                            let at = ext.len as usize;
+                            ext.len += 1;
+                            ext.ranks[at] = self.graph.join_rank(edge);
+                            ext.edges[at] = edge;
+                            ext.visited.insert(next);
+                            ext.cur = next;
+                            heap.push(Reverse(ext));
+                        }
+                    }
+                    // Frontier exhausted. If nothing fit the exhaustive
+                    // cap, the shortest path may still be legal when it
+                    // is longer than PATH_CAP but within the hop bound.
+                    if !*yielded_any {
+                        let (s, g, hop) = (*start, *goal, *max_path_edges);
+                        if let Some(shortest) = self.graph.join_path_ids(s, g) {
+                            if shortest.len() <= hop {
+                                self.state = CursorState::Done;
+                                write_path_scratch(
+                                    self.graph,
+                                    &mut self.rels,
+                                    &mut self.edges,
+                                    s,
+                                    &shortest,
+                                );
+                                return true;
+                            }
+                        }
+                        // Mirror the legacy fall-through to the greedy
+                        // construction (relevant only for degenerate
+                        // graphs; usually yields nothing new).
+                        let terminals = if s < g { [s, g] } else { [g, s] };
+                        self.state = greedy_state(self.graph, &terminals, hop);
+                        continue;
+                    }
+                    self.state = CursorState::Done;
+                }
+                CursorState::Greedy {
+                    base_rels,
+                    base_edges,
+                    alternatives,
+                    slot,
+                    alt,
+                    base_emitted,
+                } => {
+                    if !*base_emitted {
+                        *base_emitted = true;
+                        self.rels.copy_from(base_rels);
+                        self.edges.clear();
+                        self.edges.extend_from_slice(base_edges);
+                        return true;
+                    }
+                    // Single-swap variants (cartesian products explode;
+                    // one swap at a time already surfaces every
+                    // alternative constraint).
+                    while *slot < alternatives.len() {
+                        if let Some(&a) = alternatives[*slot].get(*alt) {
+                            *alt += 1;
+                            self.rels.copy_from(base_rels);
+                            self.edges.clear();
+                            self.edges.extend_from_slice(base_edges);
+                            self.edges[*slot] = a;
+                            return true;
+                        }
+                        *slot += 1;
+                        *alt = 0;
+                    }
+                    self.state = CursorState::Done;
+                }
+                CursorState::Done => return false,
+            }
+        }
+    }
+}
+
+/// Unweighted BFS distances (in edges) from every vertex to `to`;
+/// `u32::MAX` marks unreachable vertices. One pass at cursor
+/// construction funds the frontier prune in the two-terminal search.
+fn bfs_distances(graph: &Hypergraph, to: RelId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; graph.rel_count()];
+    dist[to as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(to);
+    while let Some(r) = queue.pop_front() {
+        let d = dist[r as usize] + 1;
+        for (next, _) in graph.neighbors(r) {
+            if dist[next as usize] == u32::MAX {
+                dist[next as usize] = d;
+                queue.push_back(next);
+            }
+        }
+    }
+    dist
+}
+
+/// Write `(start ∪ edge endpoints, edges)` into the cursor's scratch
+/// buffers. Free function over the disjoint scratch fields so it can
+/// run while the cursor state is mutably borrowed.
+fn write_path_scratch(
+    graph: &Hypergraph,
+    rels: &mut RelSet,
+    edges_out: &mut Vec<u32>,
+    start: RelId,
+    path: &[u32],
+) {
+    rels.clear();
+    rels.insert(start);
+    edges_out.clear();
+    for &e in path {
+        let (l, r) = graph.join_endpoints(e);
+        rels.insert(l);
+        rels.insert(r);
+        edges_out.push(e);
+    }
+}
+
+impl Drop for TreeCursor<'_> {
+    fn drop(&mut self) {
+        if crate::telem::enabled() {
+            crate::telem::counter_add("hypergraph.tree_iters", 1);
+            crate::telem::counter_add("hypergraph.trees_yielded", self.yielded);
+        }
+    }
+}
+
+/// Build the greedy cursor state for a (sorted) terminal id list.
+fn greedy_state(graph: &Hypergraph, terminals: &[RelId], max_path_edges: usize) -> CursorState {
+    match connect_ids(graph, terminals, max_path_edges) {
+        Some((base_rels, base_edges)) => {
+            // For each edge slot, the parallel alternatives (other JCs
+            // connecting the same relation pair). Matching the legacy
+            // filter, "other" means a *different id string* — i.e. a
+            // different dedup rank — not merely a different edge index.
+            let alternatives: Vec<Vec<u32>> = base_edges
+                .iter()
+                .map(|&slot_edge| {
+                    let (l, r) = graph.join_endpoints(slot_edge);
+                    let rank = graph.join_rank(slot_edge);
+                    (0..graph.joins().len() as u32)
+                        .filter(|&e| {
+                            let (el, er) = graph.join_endpoints(e);
+                            ((el, er) == (l, r) || (el, er) == (r, l)) && graph.join_rank(e) != rank
+                        })
+                        .collect()
+                })
+                .collect();
+            CursorState::Greedy {
+                base_rels,
+                base_edges,
+                alternatives,
+                slot: 0,
+                alt: 0,
+                base_emitted: false,
+            }
+        }
+        None => CursorState::Done,
+    }
+}
+
+/// Greedy Steiner connection over ids: attach each terminal (ascending
+/// id = ascending name order) to the growing tree by a shortest path.
+/// Returns the tree's relation set and edge list, or `None` when some
+/// terminal cannot be attached within `max_path_edges`.
+fn connect_ids(
+    graph: &Hypergraph,
+    terminals: &[RelId],
+    max_path_edges: usize,
+) -> Option<(RelSet, Vec<u32>)> {
+    let (&first, rest) = terminals.split_first()?;
+    let mut rels = graph.relset();
+    rels.insert(first);
+    let mut edges = Vec::new();
+    // Attach each remaining terminal by the shortest path from the
+    // current tree. (Iterating in name order keeps this deterministic;
+    // the greedy nearest-terminal refinement would need all-pairs
+    // distances for marginal benefit.)
+    for &t in rest {
+        if rels.contains(t) {
+            continue;
+        }
+        let path = shortest_path_from_set(graph, &rels, t)?;
+        if path.len() > max_path_edges {
+            return None;
+        }
+        for e in path {
+            let (l, r) = graph.join_endpoints(e);
+            rels.insert(l);
+            rels.insert(r);
+            edges.push(e);
+        }
+    }
+    Some((rels, edges))
+}
+
+/// Shortest path (in edges) from any relation in `sources` to `target`,
+/// BFS from the whole source set at once. Sources are dequeued in
+/// ascending id order and neighbours visited in join-declaration order
+/// — the same candidate sequence as the legacy all-joins scan, so the
+/// chosen path is identical.
+fn shortest_path_from_set(graph: &Hypergraph, sources: &RelSet, target: RelId) -> Option<Vec<u32>> {
+    let mut prev: Vec<(RelId, u32)> = vec![(u32::MAX, u32::MAX); graph.rel_count()];
+    let mut seen = sources.clone();
+    let mut queue: VecDeque<RelId> = sources.iter().collect();
+    while let Some(r) = queue.pop_front() {
+        for (next, edge) in graph.neighbors(r) {
+            if seen.insert(next) {
+                prev[next as usize] = (r, edge);
+                if next == target {
+                    let mut path = Vec::new();
+                    let mut cur = target;
+                    while prev[cur as usize].0 != u32::MAX {
+                        let (p, e) = prev[cur as usize];
+                        path.push(e);
+                        cur = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
 /// Lazy enumeration of connection trees spanning a terminal set, in
-/// nondecreasing edge count.
+/// nondecreasing edge count — the string-keyed boundary over
+/// [`TreeCursor`].
 ///
 /// This is the single budgeted core behind
 /// [`ConnectionTree::enumerate`] / [`ConnectionTree::enumerate_with_limit`]:
@@ -184,11 +594,7 @@ enum IterState {
 /// `(graph, terminals, max_path_edges)` — the contract that lets
 /// `MkbIndex` memoize prefixes of it.
 pub struct ConnectionTreeIter<'g> {
-    graph: &'g Hypergraph,
-    state: IterState,
-    /// Trees yielded so far; flushed to the `hypergraph.trees_yielded`
-    /// telemetry counter when the iterator is dropped.
-    yielded: u64,
+    cursor: TreeCursor<'g>,
 }
 
 impl<'g> ConnectionTreeIter<'g> {
@@ -199,191 +605,20 @@ impl<'g> ConnectionTreeIter<'g> {
         terminals: &BTreeSet<RelName>,
         max_path_edges: usize,
     ) -> Self {
-        let state = if terminals.len() == 2 {
-            let mut it = terminals.iter();
-            let (a, b) = (it.next().expect("two"), it.next().expect("two"));
-            let mut heap = BinaryHeap::new();
-            if graph.contains(a) && graph.contains(b) {
-                heap.push(Reverse(PartialPath {
-                    len: 0,
-                    ids: Vec::new(),
-                    edges: Vec::new(),
-                    cur: a.clone(),
-                    visited: [a.clone()].into_iter().collect(),
-                }));
-            }
-            IterState::Paths {
-                start: a.clone(),
-                goal: b.clone(),
-                max_path_edges,
-                heap,
-                yielded_any: false,
-            }
-        } else {
-            greedy_state(graph, terminals, max_path_edges)
-        };
         ConnectionTreeIter {
-            graph,
-            state,
-            yielded: 0,
+            cursor: TreeCursor::new(graph, terminals, max_path_edges),
         }
     }
-}
-
-impl Drop for ConnectionTreeIter<'_> {
-    fn drop(&mut self) {
-        if crate::telem::enabled() {
-            crate::telem::counter_add("hypergraph.tree_iters", 1);
-            crate::telem::counter_add("hypergraph.trees_yielded", self.yielded);
-        }
-    }
-}
-
-fn greedy_state(
-    graph: &Hypergraph,
-    terminals: &BTreeSet<RelName>,
-    max_path_edges: usize,
-) -> IterState {
-    match ConnectionTree::connect_with_limit(graph, terminals, max_path_edges) {
-        Some(base) => {
-            // For each edge slot, the parallel alternatives (other JCs
-            // connecting the same relation pair).
-            let alternatives: Vec<Vec<JoinConstraint>> = base
-                .joins
-                .iter()
-                .map(|jc| {
-                    graph
-                        .joins_between(&jc.left, &jc.right)
-                        .filter(|other| other.id != jc.id)
-                        .cloned()
-                        .collect()
-                })
-                .collect();
-            IterState::Greedy {
-                base,
-                alternatives,
-                slot: 0,
-                alt: 0,
-                base_emitted: false,
-            }
-        }
-        None => IterState::Done,
-    }
-}
-
-/// Build the tree for a completed path of edge indices rooted at `start`.
-fn tree_from_edges(graph: &Hypergraph, start: &RelName, edges: &[usize]) -> ConnectionTree {
-    let mut tree = ConnectionTree::singleton(start.clone());
-    for &e in edges {
-        let jc = &graph.joins()[e];
-        tree.relations.insert(jc.left.clone());
-        tree.relations.insert(jc.right.clone());
-        tree.joins.push(jc.clone());
-    }
-    tree
 }
 
 impl Iterator for ConnectionTreeIter<'_> {
     type Item = ConnectionTree;
 
     fn next(&mut self) -> Option<ConnectionTree> {
-        let tree = self.advance();
-        if tree.is_some() {
-            self.yielded += 1;
-        }
-        tree
-    }
-}
-
-impl ConnectionTreeIter<'_> {
-    fn advance(&mut self) -> Option<ConnectionTree> {
-        loop {
-            match &mut self.state {
-                IterState::Paths {
-                    start,
-                    goal,
-                    max_path_edges,
-                    heap,
-                    yielded_any,
-                } => {
-                    let cap = (*max_path_edges).min(PATH_CAP);
-                    while let Some(Reverse(p)) = heap.pop() {
-                        if p.cur == *goal {
-                            // Simple paths stop at the goal; no extension.
-                            *yielded_any = true;
-                            return Some(tree_from_edges(self.graph, start, &p.edges));
-                        }
-                        if p.len >= cap {
-                            continue;
-                        }
-                        for (next, edge) in self.graph.adjacency(&p.cur) {
-                            if p.visited.contains(next) {
-                                continue;
-                            }
-                            let mut ext = p.clone();
-                            ext.len += 1;
-                            ext.ids.push(self.graph.joins()[*edge].id.clone());
-                            ext.edges.push(*edge);
-                            ext.visited.insert(next.clone());
-                            ext.cur = next.clone();
-                            heap.push(Reverse(ext));
-                        }
-                    }
-                    // Frontier exhausted. If nothing fit the exhaustive
-                    // cap, the shortest path may still be legal when it
-                    // is longer than PATH_CAP but within the hop bound.
-                    if !*yielded_any {
-                        if let Some(shortest) = self.graph.join_path(start, goal) {
-                            if shortest.len() <= *max_path_edges {
-                                let mut tree = ConnectionTree::singleton(start.clone());
-                                for jc in shortest {
-                                    tree.relations.insert(jc.left.clone());
-                                    tree.relations.insert(jc.right.clone());
-                                    tree.joins.push(jc.clone());
-                                }
-                                self.state = IterState::Done;
-                                return Some(tree);
-                            }
-                        }
-                        // Mirror the legacy fall-through to the greedy
-                        // construction (relevant only for degenerate
-                        // graphs; usually yields nothing new).
-                        let terminals: BTreeSet<RelName> =
-                            [start.clone(), goal.clone()].into_iter().collect();
-                        let hop = *max_path_edges;
-                        self.state = greedy_state(self.graph, &terminals, hop);
-                        continue;
-                    }
-                    self.state = IterState::Done;
-                }
-                IterState::Greedy {
-                    base,
-                    alternatives,
-                    slot,
-                    alt,
-                    base_emitted,
-                } => {
-                    if !*base_emitted {
-                        *base_emitted = true;
-                        return Some(base.clone());
-                    }
-                    // Single-swap variants (cartesian products explode;
-                    // one swap at a time already surfaces every
-                    // alternative constraint).
-                    while *slot < alternatives.len() {
-                        if let Some(a) = alternatives[*slot].get(*alt) {
-                            *alt += 1;
-                            let mut variant = base.clone();
-                            variant.joins[*slot] = a.clone();
-                            return Some(variant);
-                        }
-                        *slot += 1;
-                        *alt = 0;
-                    }
-                    self.state = IterState::Done;
-                }
-                IterState::Done => return None,
-            }
+        if self.cursor.advance() {
+            Some(self.cursor.materialize())
+        } else {
+            None
         }
     }
 }
@@ -409,6 +644,17 @@ impl Hypergraph {
         ConnectionTreeIter::new(self, terminals, max_path_edges)
     }
 
+    /// Id-level form of [`Hypergraph::tree_iter`]: stream scratch trees
+    /// without materialising names. Same fault site, same telemetry.
+    pub fn tree_cursor<'g>(
+        &'g self,
+        terminals: &BTreeSet<RelName>,
+        max_path_edges: usize,
+    ) -> TreeCursor<'g> {
+        crate::faults::hit("hypergraph.tree-iter");
+        TreeCursor::new(self, terminals, max_path_edges)
+    }
+
     /// Enumerate up to `limit` connection trees spanning `terminals`,
     /// each hop bounded by `max_path_edges`. Method form of
     /// [`ConnectionTree::enumerate_with_limit`].
@@ -431,45 +677,6 @@ impl Hypergraph {
     ) -> Option<ConnectionTree> {
         ConnectionTree::connect_with_limit(self, terminals, max_path_edges)
     }
-}
-
-/// Shortest path (in edges) from any relation in `sources` to `target`.
-fn shortest_path_from_set<'a>(
-    graph: &'a Hypergraph,
-    sources: &BTreeSet<RelName>,
-    target: &RelName,
-) -> Option<Vec<&'a JoinConstraint>> {
-    // BFS from the whole source set at once.
-    use std::collections::{BTreeMap, VecDeque};
-    if !graph.contains(target) {
-        return None;
-    }
-    let mut prev: BTreeMap<RelName, (RelName, usize)> = BTreeMap::new();
-    let mut seen: BTreeSet<RelName> = sources.clone();
-    let mut queue: VecDeque<RelName> = sources.iter().cloned().collect();
-    while let Some(r) = queue.pop_front() {
-        for (i, jc) in graph.joins().iter().enumerate() {
-            let next = match jc.other(&r) {
-                Some(n) => n,
-                None => continue,
-            };
-            if seen.insert(next.clone()) {
-                prev.insert(next.clone(), (r.clone(), i));
-                if next == target {
-                    let mut path = Vec::new();
-                    let mut cur = target.clone();
-                    while let Some((p, e)) = prev.get(&cur) {
-                        path.push(&graph.joins()[*e]);
-                        cur = p.clone();
-                    }
-                    path.reverse();
-                    return Some(path);
-                }
-                queue.push_back(next.clone());
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]
@@ -679,5 +886,34 @@ mod tests {
         let first = g.tree_iter(&t, usize::MAX).next().unwrap();
         assert_eq!(first.joins.len(), 1);
         assert_eq!(first.joins[0].id, "J0");
+    }
+
+    /// The cursor and the boundary iterator must agree tree for tree.
+    #[test]
+    fn cursor_matches_iterator() {
+        let g = star();
+        let t: BTreeSet<RelName> = [rel("A"), rel("B"), rel("C")].into_iter().collect();
+        let via_iter: Vec<ConnectionTree> = g.tree_iter(&t, usize::MAX).collect();
+        let mut via_cursor = Vec::new();
+        let mut cur = g.tree_cursor(&t, usize::MAX);
+        while cur.advance() {
+            via_cursor.push(cur.materialize());
+        }
+        assert_eq!(via_iter, via_cursor);
+    }
+
+    /// Unknown terminals yield the empty stream (the legacy behaviour:
+    /// an absent terminal can never be connected).
+    #[test]
+    fn unknown_terminals_yield_nothing() {
+        let g = star();
+        for terms in [
+            vec![rel("A"), rel("NOPE")],
+            vec![rel("NOPE")],
+            vec![rel("A"), rel("B"), rel("NOPE")],
+        ] {
+            let t: BTreeSet<RelName> = terms.into_iter().collect();
+            assert_eq!(g.tree_iter(&t, usize::MAX).count(), 0);
+        }
     }
 }

@@ -197,6 +197,33 @@ impl ScalarExpr {
         self.attrs().into_iter().map(|a| a.relation).collect()
     }
 
+    /// Does the expression reference attribute `target`? Equivalent to
+    /// `self.attrs().contains(target)` without materialising the set.
+    pub fn contains_attr(&self, target: &AttrRef) -> bool {
+        match self {
+            ScalarExpr::Attr(a) => a == target,
+            ScalarExpr::Const(_) => false,
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.contains_attr(target) || rhs.contains_attr(target)
+            }
+            ScalarExpr::Call { args, .. } => args.iter().any(|a| a.contains_attr(target)),
+        }
+    }
+
+    /// Does the expression reference any attribute of relation `rel`?
+    /// Equivalent to `self.relations().contains(rel)` without
+    /// materialising the set.
+    pub fn references_relation(&self, rel: &RelName) -> bool {
+        match self {
+            ScalarExpr::Attr(a) => &a.relation == rel,
+            ScalarExpr::Const(_) => false,
+            ScalarExpr::Binary { lhs, rhs, .. } => {
+                lhs.references_relation(rel) || rhs.references_relation(rel)
+            }
+            ScalarExpr::Call { args, .. } => args.iter().any(|a| a.references_relation(rel)),
+        }
+    }
+
     /// True iff the expression references no attributes (it is a constant
     /// expression, possibly via nullary functions such as `today()`).
     pub fn is_constant(&self) -> bool {
@@ -245,6 +272,41 @@ impl ScalarExpr {
                 func: func.clone(),
                 args: args.iter().map(|a| a.rename_relation(from, to)).collect(),
             },
+        }
+    }
+}
+
+impl ScalarExpr {
+    /// Append the canonical textual form to `out` — byte-identical to
+    /// the [`fmt::Display`] output, without the formatter machinery.
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            ScalarExpr::Attr(a) => {
+                out.push_str(a.relation.as_str());
+                out.push('.');
+                out.push_str(a.attr.as_str());
+            }
+            ScalarExpr::Const(v) => v.render_into(out),
+            ScalarExpr::Binary { op, lhs, rhs } => {
+                out.push('(');
+                lhs.render_into(out);
+                out.push(' ');
+                out.push_str(op.symbol());
+                out.push(' ');
+                rhs.render_into(out);
+                out.push(')');
+            }
+            ScalarExpr::Call { func, args } => {
+                out.push_str(func);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    a.render_into(out);
+                }
+                out.push(')');
+            }
         }
     }
 }

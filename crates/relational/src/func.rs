@@ -81,11 +81,11 @@ impl Default for FuncRegistry {
             _ => Value::Null,
         }));
         r.register(NamedFunc::new("lower", 1, |a| match &a[0] {
-            Value::Str(s) => Value::Str(s.to_lowercase()),
+            Value::Str(s) => Value::Str(s.to_lowercase().into()),
             _ => Value::Null,
         }));
         r.register(NamedFunc::new("upper", 1, |a| match &a[0] {
-            Value::Str(s) => Value::Str(s.to_uppercase()),
+            Value::Str(s) => Value::Str(s.to_uppercase().into()),
             _ => Value::Null,
         }));
         r.register(NamedFunc::new("floor", 1, |a| match a[0].as_f64() {

@@ -162,14 +162,24 @@ impl Clause {
     /// equal clauses written in either direction compare equal
     /// (`A = B` vs `B = A`, `x < 5` vs `5 > x`).
     pub fn normalized(&self) -> Clause {
+        let (lhs, op, rhs) = self.normalized_parts();
+        Clause {
+            lhs: lhs.clone(),
+            op,
+            rhs: rhs.clone(),
+        }
+    }
+
+    /// The canonical orientation as borrowed parts — what [`normalized`]
+    /// clones, without the clone. Two clauses have equal normalisations
+    /// iff their parts compare equal.
+    ///
+    /// [`normalized`]: Clause::normalized
+    pub fn normalized_parts(&self) -> (&ScalarExpr, CompareOp, &ScalarExpr) {
         if self.rhs < self.lhs {
-            Clause {
-                lhs: self.rhs.clone(),
-                op: self.op.flipped(),
-                rhs: self.lhs.clone(),
-            }
+            (&self.rhs, self.op.flipped(), &self.lhs)
         } else {
-            self.clone()
+            (&self.lhs, self.op, &self.rhs)
         }
     }
 
@@ -182,14 +192,16 @@ impl Clause {
     ///   interval admitted by `self` is contained in the interval admitted
     ///   by `other` (e.g. `Age > 21 ⇒ Age > 1`, `x = 5 ⇒ x >= 2`).
     pub fn implies(&self, other: &Clause) -> bool {
-        let a = self.normalized();
-        let b = other.normalized();
+        let a = self.normalized_parts();
+        let b = other.normalized_parts();
         if a == b {
             return true;
         }
-        match (a.const_comparison(), b.const_comparison()) {
+        // As in the original eager form, constants are extracted from the
+        // *normalised* orientation.
+        match (const_parts_of(a), const_parts_of(b)) {
             (Some((ea, opa, ca)), Some((eb, opb, cb))) if ea == eb => {
-                implies_const(opa, &ca, opb, &cb)
+                implies_const(opa, ca, opb, cb)
             }
             _ => false,
         }
@@ -198,13 +210,21 @@ impl Clause {
     /// If this clause compares an expression against a constant, return
     /// `(expr, op, const)` oriented with the expression on the left.
     pub fn const_comparison(&self) -> Option<(ScalarExpr, CompareOp, Value)> {
-        match (&self.lhs, &self.rhs) {
-            (e, ScalarExpr::Const(c)) if !matches!(e, ScalarExpr::Const(_)) => {
-                Some((e.clone(), self.op, c.clone()))
-            }
-            (ScalarExpr::Const(c), e) => Some((e.clone(), self.op.flipped(), c.clone())),
-            _ => None,
-        }
+        self.const_comparison_parts()
+            .map(|(e, op, c)| (e.clone(), op, c.clone()))
+    }
+
+    /// Borrowed form of [`const_comparison`] for hot paths.
+    ///
+    /// [`const_comparison`]: Clause::const_comparison
+    pub fn const_comparison_parts(&self) -> Option<(&ScalarExpr, CompareOp, &Value)> {
+        const_parts_of((&self.lhs, self.op, &self.rhs))
+    }
+
+    /// Does this clause mention `rel` on either side? Equivalent to
+    /// `self.relations().contains(rel)` without materialising the set.
+    pub fn references_relation(&self, rel: &RelName) -> bool {
+        self.lhs.references_relation(rel) || self.rhs.references_relation(rel)
     }
 
     /// Substitute an attribute by a replacement expression on both sides.
@@ -223,6 +243,37 @@ impl Clause {
             op: self.op,
             rhs: self.rhs.rename_relation(from, to),
         }
+    }
+}
+
+/// Equality-congruence classes of a [`Conjunction`], built once by
+/// [`Conjunction::congruence`] and queried many times.
+#[derive(Debug)]
+pub struct Congruence<'a> {
+    classes: Vec<BTreeSet<&'a ScalarExpr>>,
+}
+
+impl Congruence<'_> {
+    /// Are the two expressions syntactically equal or in the same
+    /// equality class?
+    pub fn equated(&self, a: &ScalarExpr, b: &ScalarExpr) -> bool {
+        if a == b {
+            return true;
+        }
+        self.classes.iter().any(|s| s.contains(a) && s.contains(b))
+    }
+}
+
+/// Constant-comparison extraction over borrowed clause parts: the same
+/// orientation rule as [`Clause::const_comparison`], applied to an
+/// already-(de)normalised `(lhs, op, rhs)` triple.
+fn const_parts_of<'a>(
+    (lhs, op, rhs): (&'a ScalarExpr, CompareOp, &'a ScalarExpr),
+) -> Option<(&'a ScalarExpr, CompareOp, &'a Value)> {
+    match (lhs, rhs) {
+        (e, ScalarExpr::Const(c)) if !matches!(e, ScalarExpr::Const(_)) => Some((e, op, c)),
+        (ScalarExpr::Const(c), e) => Some((e, op.flipped(), c)),
+        _ => None,
     }
 }
 
@@ -252,6 +303,18 @@ fn implies_const(opa: CompareOp, ca: &Value, opb: CompareOp, cb: &Value) -> bool
         (Lt, Ne) => ord != Ordering::Greater,
         (Le, Ne) => ord == Ordering::Less,
         _ => false,
+    }
+}
+
+impl Clause {
+    /// Append the canonical textual form to `out` — byte-identical to
+    /// the [`fmt::Display`] output, without the formatter machinery.
+    pub fn render_into(&self, out: &mut String) {
+        self.lhs.render_into(out);
+        out.push(' ');
+        out.push_str(self.op.symbol());
+        out.push(' ');
+        self.rhs.render_into(out);
     }
 }
 
@@ -343,21 +406,28 @@ impl Conjunction {
     /// between two expressions connected transitively by the
     /// conjunction's own equalities (`A = B AND B = C ⊢ A = C`).
     pub fn implies_clause(&self, clause: &Clause) -> bool {
+        self.implies_clause_cached(&self.congruence(), clause)
+    }
+
+    /// [`implies_clause`] against a congruence prebuilt with
+    /// [`congruence`] — callers testing many clauses against the same
+    /// conjunction build the equality closure once.
+    ///
+    /// [`implies_clause`]: Conjunction::implies_clause
+    /// [`congruence`]: Conjunction::congruence
+    pub fn implies_clause_cached(&self, congruence: &Congruence<'_>, clause: &Clause) -> bool {
         if self.clauses.iter().any(|c| c.implies(clause)) {
             return true;
         }
         if clause.op == CompareOp::Eq {
-            return self.equated(&clause.lhs, &clause.rhs);
+            return congruence.equated(&clause.lhs, &clause.rhs);
         }
         false
     }
 
-    /// Are two expressions in the same equality-congruence class of this
-    /// conjunction's equality clauses?
-    pub fn equated(&self, a: &ScalarExpr, b: &ScalarExpr) -> bool {
-        if a == b {
-            return true;
-        }
+    /// The equality-congruence classes of this conjunction's equality
+    /// clauses, reusable across many [`Congruence::equated`] queries.
+    pub fn congruence(&self) -> Congruence<'_> {
         // Union-find over the expressions appearing in equality clauses.
         let mut classes: Vec<BTreeSet<&ScalarExpr>> = Vec::new();
         for c in &self.clauses {
@@ -384,7 +454,16 @@ impl Conjunction {
                 _ => {}
             }
         }
-        classes.iter().any(|s| s.contains(a) && s.contains(b))
+        Congruence { classes }
+    }
+
+    /// Are two expressions in the same equality-congruence class of this
+    /// conjunction's equality clauses?
+    pub fn equated(&self, a: &ScalarExpr, b: &ScalarExpr) -> bool {
+        if a == b {
+            return true;
+        }
+        self.congruence().equated(a, b)
     }
 
     /// Does this conjunction imply every clause of `other`?
@@ -432,65 +511,79 @@ impl Conjunction {
     ///   equality-congruence classes of attribute expressions
     ///   (`x = y AND x = 5 AND y = 6` is inconsistent).
     pub fn is_consistent(&self) -> bool {
-        // 1. Pairwise direct contradictions on identical operand pairs.
-        let normalized: Vec<Clause> = self.clauses.iter().map(Clause::normalized).collect();
-        for (i, a) in normalized.iter().enumerate() {
-            for b in &normalized[i + 1..] {
-                if a.lhs == b.lhs && a.rhs == b.rhs && contradictory(a.op, b.op) {
-                    return false;
-                }
-            }
-        }
+        clauses_consistent(&self.clauses)
+    }
+}
 
-        // 2. Union-find over attribute expressions connected by equality.
-        let mut exprs: Vec<ScalarExpr> = Vec::new();
-        let mut index = BTreeMap::new();
-        let id = |e: &ScalarExpr,
-                  exprs: &mut Vec<ScalarExpr>,
-                  index: &mut BTreeMap<ScalarExpr, usize>| {
-            *index.entry(e.clone()).or_insert_with(|| {
-                exprs.push(e.clone());
-                exprs.len() - 1
-            })
-        };
-        let mut pairs = Vec::new();
-        let mut consts: Vec<(usize, CompareOp, Value)> = Vec::new();
-        for c in &normalized {
-            if let Some((e, op, v)) = c.const_comparison() {
-                let i = id(&e, &mut exprs, &mut index);
-                consts.push((i, op, v));
-            } else if c.op == CompareOp::Eq {
-                let i = id(&c.lhs, &mut exprs, &mut index);
-                let j = id(&c.rhs, &mut exprs, &mut index);
-                pairs.push((i, j));
-            }
-        }
-        let mut uf: Vec<usize> = (0..exprs.len()).collect();
-        fn find(uf: &mut Vec<usize>, i: usize) -> usize {
-            if uf[i] != i {
-                let r = find(uf, uf[i]);
-                uf[i] = r;
-            }
-            uf[i]
-        }
-        for (i, j) in pairs {
-            let (ri, rj) = (find(&mut uf, i), find(&mut uf, j));
-            uf[ri] = rj;
-        }
-
-        // 3. Per equivalence class, intersect the constant constraints.
-        let mut by_class: BTreeMap<usize, Vec<(CompareOp, Value)>> = BTreeMap::new();
-        for (i, op, v) in consts {
-            let r = find(&mut uf, i);
-            by_class.entry(r).or_default().push((op, v));
-        }
-        for constraints in by_class.values() {
-            if !interval_satisfiable(constraints) {
+/// [`Conjunction::is_consistent`] over a borrowed clause sequence — same
+/// verdict, no intermediate `Conjunction` (hot paths check a freshly
+/// assembled WHERE list without cloning it).
+pub fn clauses_consistent<'a, I: IntoIterator<Item = &'a Clause>>(clauses: I) -> bool {
+    // 1. Pairwise direct contradictions on identical operand pairs.
+    let normalized: Vec<(&ScalarExpr, CompareOp, &ScalarExpr)> =
+        clauses.into_iter().map(Clause::normalized_parts).collect();
+    for (i, a) in normalized.iter().enumerate() {
+        for b in &normalized[i + 1..] {
+            // Operator compatibility first: it is a cheap enum check and
+            // rejects the vast majority of pairs (e.g. two equalities
+            // can never contradict), skipping the operand comparisons.
+            if contradictory(a.1, b.1) && a.0 == b.0 && a.2 == b.2 {
                 return false;
             }
         }
-        true
     }
+
+    // 2. Union-find over attribute expressions connected by equality.
+    // The distinct-expression population of one WHERE clause is tiny, so
+    // a linear scan replaces hashing (hashing an expression walks and
+    // hashes its strings; equality usually fails on the first field).
+    let mut exprs: Vec<&ScalarExpr> = Vec::new();
+    fn id<'a>(e: &'a ScalarExpr, exprs: &mut Vec<&'a ScalarExpr>) -> usize {
+        match exprs.iter().position(|x| *x == e) {
+            Some(i) => i,
+            None => {
+                exprs.push(e);
+                exprs.len() - 1
+            }
+        }
+    }
+    let mut pairs = Vec::new();
+    let mut consts: Vec<(usize, CompareOp, &Value)> = Vec::new();
+    for c in &normalized {
+        if let Some((e, op, v)) = const_parts_of(*c) {
+            let i = id(e, &mut exprs);
+            consts.push((i, op, v));
+        } else if c.1 == CompareOp::Eq {
+            let i = id(c.0, &mut exprs);
+            let j = id(c.2, &mut exprs);
+            pairs.push((i, j));
+        }
+    }
+    let mut uf: Vec<usize> = (0..exprs.len()).collect();
+    fn find(uf: &mut Vec<usize>, i: usize) -> usize {
+        if uf[i] != i {
+            let r = find(uf, uf[i]);
+            uf[i] = r;
+        }
+        uf[i]
+    }
+    for (i, j) in pairs {
+        let (ri, rj) = (find(&mut uf, i), find(&mut uf, j));
+        uf[ri] = rj;
+    }
+
+    // 3. Per equivalence class, intersect the constant constraints.
+    let mut by_class: BTreeMap<usize, Vec<(CompareOp, &Value)>> = BTreeMap::new();
+    for (i, op, v) in consts {
+        let r = find(&mut uf, i);
+        by_class.entry(r).or_default().push((op, v));
+    }
+    for constraints in by_class.values() {
+        if !interval_satisfiable(constraints) {
+            return false;
+        }
+    }
+    true
 }
 
 /// Are `e1 opa e2` and `e1 opb e2` jointly unsatisfiable for all values?
@@ -516,7 +609,7 @@ fn contradictory(a: CompareOp, b: CompareOp) -> bool {
 /// Can the conjunction of constant comparisons on a single expression be
 /// satisfied? Intersects lower/upper bounds and checks `=` / `<>`
 /// membership.
-fn interval_satisfiable(constraints: &[(CompareOp, Value)]) -> bool {
+fn interval_satisfiable(constraints: &[(CompareOp, &Value)]) -> bool {
     use CompareOp::*;
     // Track: equalities must all be equal; bounds must leave room.
     let mut eq: Option<&Value> = None;

@@ -15,15 +15,22 @@
 
 use crate::types::DataType;
 use std::fmt;
+use std::sync::Arc;
 
 /// A relation name (unique within the information space).
+///
+/// Internally a shared immutable string: names are created once (parsing,
+/// MKB construction) and then copied pervasively through hypergraphs,
+/// R-mappings and candidate replacements — a clone is a refcount bump,
+/// not an allocation. Comparison, ordering and hashing are by value,
+/// exactly as for the owned-string representation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct RelName(String);
+pub struct RelName(Arc<str>);
 
 impl RelName {
     /// Create a relation name.
     pub fn new(name: impl Into<String>) -> Self {
-        RelName(name.into())
+        RelName(name.into().into())
     }
 
     /// The name as a string slice.
@@ -50,13 +57,16 @@ impl From<String> for RelName {
 }
 
 /// An attribute name (unique within its relation).
+///
+/// Shared immutable string, like [`RelName`]: cloning is a refcount
+/// bump, value semantics are unchanged.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct AttrName(String);
+pub struct AttrName(Arc<str>);
 
 impl AttrName {
     /// Create an attribute name.
     pub fn new(name: impl Into<String>) -> Self {
-        AttrName(name.into())
+        AttrName(name.into().into())
     }
 
     /// The name as a string slice.

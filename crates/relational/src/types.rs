@@ -151,8 +151,9 @@ pub enum Value {
     Int(i64),
     /// Totally ordered float.
     Float(OrderedF64),
-    /// String.
-    Str(String),
+    /// String (shared immutable storage — values are copied pervasively
+    /// through predicates and tuples, so a clone is a refcount bump).
+    Str(std::sync::Arc<str>),
     /// Date as days since the Unix epoch.
     Date(i64),
 }
@@ -165,7 +166,7 @@ impl Value {
 
     /// Construct a string value.
     pub fn str(s: impl Into<String>) -> Value {
-        Value::Str(s.into())
+        Value::Str(s.into().into())
     }
 
     /// The dynamic type of this value, or `None` for `Null`.
@@ -214,6 +215,57 @@ impl Value {
     }
 }
 
+impl Value {
+    /// Append the canonical textual form to `out` — byte-identical to
+    /// the [`fmt::Display`] output, without the formatter machinery (the
+    /// candidate-ranking hot path renders whole views through this).
+    pub fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("NULL"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => push_i64(out, *i),
+            Value::Float(x) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{}", x.get());
+            }
+            Value::Str(s) => {
+                out.push('\'');
+                if s.contains('\'') {
+                    out.push_str(&s.replace('\'', "''"));
+                } else {
+                    out.push_str(s);
+                }
+                out.push('\'');
+            }
+            Value::Date(d) => {
+                out.push_str("date(");
+                push_i64(out, *d);
+                out.push(')');
+            }
+        }
+    }
+}
+
+/// Decimal-format an `i64` straight into a string buffer.
+fn push_i64(out: &mut String, v: i64) {
+    let mut buf = [0u8; 20];
+    let mut n = v.unsigned_abs();
+    let mut i = buf.len();
+    loop {
+        i -= 1;
+        buf[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    if v < 0 {
+        i -= 1;
+        buf[i] = b'-';
+    }
+    out.push_str(std::str::from_utf8(&buf[i..]).expect("ASCII digits"));
+}
+
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -239,12 +291,12 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(v.into())
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 impl From<f64> for Value {
