@@ -10,10 +10,19 @@
 //! median wins: noise on a loaded host only ever inflates a wall-clock
 //! sample, so best-of-N converges on the machine's true figure.
 //!
+//! A second mode guards the incremental index maintenance of the
+//! versioned-MKB path: `perf_check --stream [min_ratio]` (default
+//! `5.0`) re-measures [`eve_bench::perf::maintain_ab`] — delta apply
+//! vs from-scratch [`MkbIndex::new`] over the same 64-change
+//! capability stream — and asserts the delta path is at least
+//! `min_ratio`× faster. Both sides run in-process back to back, so the
+//! ratio needs no committed baseline and is robust to host speed.
+//!
 //! Usage: `perf_check [baseline.json] [min_ratio]`
 //! (defaults: `BENCH_cvs.json`, `3.0`). Exits non-zero when the ratio
 //! falls short or the baseline row cannot be found.
 
+use eve_bench::perf::{maintain_ab, STREAM_CHANGES};
 use eve_core::{cvs_delete_relation_searched, CvsOptions, MkbIndex, SearchBudget};
 use eve_misd::evolve;
 use eve_workload::SynthWorkload;
@@ -50,9 +59,35 @@ fn extract_median(json: &str, scenario: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// The `--stream` mode: best-of-[`SERIES`] in-process A/B of delta
+/// apply vs per-change index rebuild on the 64-change stream.
+fn stream_guard(min_ratio: f64) {
+    let (mut rebuild, mut delta) = maintain_ab(ITERS);
+    for _ in 1..SERIES {
+        let (r, d) = maintain_ab(ITERS);
+        rebuild = rebuild.min(r);
+        delta = delta.min(d);
+    }
+    let ratio = rebuild as f64 / delta as f64;
+    println!(
+        "scenario=change_stream/maintain changes={STREAM_CHANGES} rebuild_ns={rebuild} \
+         delta_ns={delta} ratio={ratio:.2} min_ratio={min_ratio}"
+    );
+    if ratio < min_ratio {
+        eprintln!("perf-smoke FAILED: delta apply only {ratio:.2}x < required {min_ratio}x");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    let baseline_path = args.next().unwrap_or_else(|| "BENCH_cvs.json".to_string());
+    let first = args.next();
+    if first.as_deref() == Some("--stream") {
+        let min_ratio: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5.0);
+        stream_guard(min_ratio);
+        return;
+    }
+    let baseline_path = first.unwrap_or_else(|| "BENCH_cvs.json".to_string());
     let min_ratio: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(3.0);
 
     let baseline_json = std::fs::read_to_string(&baseline_path)

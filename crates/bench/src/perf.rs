@@ -9,11 +9,13 @@
 
 use crate::table::Table;
 use eve_core::{
-    cvs_delete_relation_indexed, cvs_delete_relation_searched, CvsOptions, MkbIndex, SearchBudget,
-    SearchStats, SynchronizerBuilder,
+    cvs_delete_relation_indexed, cvs_delete_relation_searched, CvsOptions, IndexCore,
+    IndexMaintenance, MkbDelta, MkbIndex, SearchBudget, SearchStats, SynchronizerBuilder,
 };
 use eve_misd::evolve;
-use eve_workload::{views_touching, SynthConfig, SynthWorkload, Topology};
+use eve_workload::{
+    change_stream, random_views, views_touching, SynthConfig, SynthWorkload, Topology,
+};
 use std::time::Instant;
 
 /// One measured scenario.
@@ -36,8 +38,8 @@ pub struct PerfRow {
 /// as embedded under `"telemetry"` in `BENCH_cvs.json`.
 #[derive(Debug, Clone)]
 pub struct PhaseTiming {
-    /// Span name: `apply`, `view-sync`, `index-build`, `tree-enumeration`,
-    /// `ranking`.
+    /// Span name: `apply`, `view-sync`, `index-from-cores`,
+    /// `tree-enumeration`, `ranking`.
     pub phase: String,
     /// Spans recorded.
     pub count: u64,
@@ -135,6 +137,115 @@ fn workload() -> SynthWorkload {
     SynthWorkload::random(&cfg, 7)
 }
 
+/// Number of capability changes in the incremental-maintenance stream
+/// scenario (`change_stream/*` rows, and the `perf_check --stream` CI
+/// guard).
+pub const STREAM_CHANGES: usize = 64;
+
+/// The federated stream workload shared by [`stream_ab`] and
+/// [`maintain_ab`]: 256 relations in 32 autonomous clusters of 8 (no
+/// cross-cluster joins — the paper's large-scale multi-IS setting),
+/// a tenth of the relations carrying redundant function-of covers.
+fn stream_workload() -> SynthWorkload {
+    SynthWorkload::random(
+        &SynthConfig {
+            n_relations: 256,
+            topology: Topology::Clusters { size: 8, extra: 2 },
+            cover_count: 3,
+            view_relations: 3,
+            global_cover_prob: 0.1,
+            ..SynthConfig::default()
+        },
+        13,
+    )
+}
+
+/// Measure the [`STREAM_CHANGES`]-change capability stream end to end
+/// under per-change index rebuilds vs incremental delta maintenance:
+/// one synchronizer per mode over the same 128-relation MKB, the same
+/// two registered views and the same change sequence. Returns the
+/// `(rebuild_ns, incremental_ns)` medians over `iters` runs — the ratio
+/// is the speedup of `IndexMaintenance::Incremental`, and because both
+/// sides run in-process back to back it is robust to host speed.
+///
+/// This is the *throughput* number (changes/sec = 64e9 / median). The
+/// speedup it shows is deliberately Amdahl-limited: both modes pay the
+/// identical `evolve` cost per change (MKB validation + evolution is
+/// index-independent), so the end-to-end ratio understates the index
+/// win. [`maintain_ab`] isolates the maintenance work itself.
+pub fn stream_ab(iters: usize) -> (u128, u128) {
+    let sw = stream_workload();
+    let stream = change_stream(&sw.mkb, STREAM_CHANGES, 13);
+    let views = random_views(&sw.mkb, 2, 3, 13);
+    let mut medians = [0u128; 2];
+    for (slot, mode) in [
+        (0, IndexMaintenance::Rebuild),
+        (1, IndexMaintenance::Incremental),
+    ] {
+        let mut builder = SynchronizerBuilder::new(sw.mkb.clone()).with_options(CvsOptions {
+            index_maintenance: mode,
+            ..CvsOptions::default()
+        });
+        for v in &views {
+            builder = builder
+                .with_view(v.clone())
+                .expect("synthetic view is valid");
+        }
+        let proto = builder.build();
+        medians[slot] = median_ns(iters, || {
+            // Cloning the prototype is O(views) Arc bumps — the measured
+            // work is the 64 applies, not the setup.
+            let mut s = proto.clone();
+            for c in &stream {
+                s.apply(c).expect("stream change applies");
+            }
+        });
+    }
+    (medians[0], medians[1])
+}
+
+/// Measure index maintenance alone over the same [`STREAM_CHANGES`]
+/// stream: per change, a from-scratch [`MkbIndex::new`] vs the delta
+/// path ([`MkbDelta::compute`] → [`IndexCore::apply_delta`] →
+/// [`MkbIndex::from_cores`]). The evolved MKB chain is precomputed
+/// outside the timed region, so the returned `(rebuild_ns, delta_ns)`
+/// medians compare exactly the work `IndexMaintenance` switches — this
+/// is the ratio the `perf_check --stream` CI guard holds at ≥ 5x.
+pub fn maintain_ab(iters: usize) -> (u128, u128) {
+    let sw = stream_workload();
+    let stream = change_stream(&sw.mkb, STREAM_CHANGES, 13);
+    let opts = CvsOptions::default();
+    let mut states = Vec::with_capacity(stream.len() + 1);
+    states.push(sw.mkb.clone());
+    for c in &stream {
+        let next = evolve(states.last().expect("nonempty"), c).expect("stream change applies");
+        states.push(next);
+    }
+    let rebuild = median_ns(iters, || {
+        for (i, _c) in stream.iter().enumerate() {
+            std::hint::black_box(MkbIndex::new(&states[i], &states[i + 1], &opts));
+        }
+    });
+    let core0 = IndexCore::build(&states[0]);
+    let delta = median_ns(iters, || {
+        let mut core = core0.clone();
+        for (i, c) in stream.iter().enumerate() {
+            let d = MkbDelta::compute(&states[i], &states[i + 1], c);
+            let next = core.apply_delta(&d);
+            std::hint::black_box(MkbIndex::from_cores(
+                &states[i],
+                &states[i + 1],
+                &core,
+                &next,
+                &opts,
+                None,
+            ));
+            core = next;
+        }
+    });
+    (rebuild, delta)
+}
+
 /// Run the scenarios: the parallel fan-out at 64 affected views across
 /// 1/2/4/8 worker threads, and the sequential cache ablation (8 views
 /// against one shared index, memo tables on vs off).
@@ -226,6 +337,20 @@ pub fn bench_cvs(quick: bool) -> Vec<PerfRow> {
             search: Some(stats),
         });
     }
+
+    // Incremental index maintenance vs per-change rebuild on the same
+    // 64-change capability stream (the tentpole A/B; `median_ns` is for
+    // the whole stream, so changes/sec = 64e9 / median_ns).
+    let (rebuild_ns, incremental_ns) = stream_ab(iters);
+    for (label, ns) in [("rebuild", rebuild_ns), ("incremental", incremental_ns)] {
+        rows.push(PerfRow {
+            scenario: format!("change_stream/{label}"),
+            views: 2,
+            threads: 1,
+            median_ns: ns,
+            search: None,
+        });
+    }
     rows
 }
 
@@ -244,11 +369,17 @@ pub fn render(rows: &[PerfRow]) -> String {
         .iter()
         .find(|r| r.scenario == "wide_mkb/exhaustive")
         .map(|r| r.median_ns);
+    let base_stream = rows
+        .iter()
+        .find(|r| r.scenario == "change_stream/rebuild")
+        .map(|r| r.median_ns);
     for r in rows {
         let base = if r.scenario.starts_with("parallel_sync") {
             base_parallel
         } else if r.scenario.starts_with("wide_mkb") {
             base_wide
+        } else if r.scenario.starts_with("change_stream") {
+            base_stream
         } else {
             base_cache
         };
@@ -396,7 +527,7 @@ mod tests {
     fn trace_summary_covers_all_phases() {
         let t = trace_summary().expect("telemetry pipeline available");
         let phases: Vec<&str> = t.phases.iter().map(|p| p.phase.as_str()).collect();
-        for phase in ["apply", "view-sync", "index-build", "ranking"] {
+        for phase in ["apply", "view-sync", "index-from-cores", "ranking"] {
             assert!(phases.contains(&phase), "missing {phase}: {phases:?}");
         }
         assert!(t.phases.iter().all(|p| p.count > 0 && p.sum_ns > 0));
@@ -406,7 +537,8 @@ mod tests {
                 .find(|(name, _)| name == n)
                 .map(|&(_, v)| v)
         };
-        assert_eq!(counter("index.builds"), Some(1));
+        assert_eq!(counter("index.delta_builds"), Some(1));
+        assert_eq!(counter("index.delta_applies"), Some(1));
         assert_eq!(counter("sync.changes"), Some(1));
         assert!(counter("search.candidates_generated").unwrap_or(0) > 0);
         assert!(
@@ -443,7 +575,7 @@ mod tests {
     #[test]
     fn quick_bench_produces_all_scenarios() {
         let rows = bench_cvs(true);
-        assert_eq!(rows.len(), 8);
+        assert_eq!(rows.len(), 10);
         assert!(rows.iter().all(|r| r.median_ns > 0));
         let wide: Vec<_> = rows
             .iter()
@@ -451,6 +583,38 @@ mod tests {
             .collect();
         assert_eq!(wide.len(), 2);
         assert!(wide.iter().all(|r| r.search.is_some()));
+        let stream: Vec<_> = rows
+            .iter()
+            .filter(|r| r.scenario.starts_with("change_stream/"))
+            .collect();
+        assert_eq!(stream.len(), 2);
+    }
+
+    /// The tentpole acceptance criterion: on a 64-change stream, delta
+    /// apply (compute → `apply_delta` → `from_cores`) beats per-change
+    /// from-scratch index rebuilds by at least 5x. Ratio of two
+    /// in-process medians, so host speed cancels.
+    #[test]
+    fn incremental_maintenance_beats_rebuild_at_least_5x() {
+        let (rebuild, delta) = maintain_ab(3);
+        let ratio = rebuild as f64 / delta as f64;
+        assert!(
+            ratio >= 5.0,
+            "delta apply {delta}ns vs rebuild {rebuild}ns: only {ratio:.2}x"
+        );
+    }
+
+    /// End to end — `evolve` and view sync included, identical in both
+    /// modes — the incremental synchronizer must still win clearly
+    /// (Amdahl caps this well below the index-only ratio).
+    #[test]
+    fn incremental_stream_is_faster_end_to_end() {
+        let (rebuild, incremental) = stream_ab(3);
+        let ratio = rebuild as f64 / incremental as f64;
+        assert!(
+            ratio >= 2.0,
+            "incremental {incremental}ns vs rebuild {rebuild}ns: only {ratio:.2}x end to end"
+        );
     }
 
     /// The acceptance criterion for the budgeted search on the wide-MKB

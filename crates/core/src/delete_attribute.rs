@@ -332,7 +332,7 @@ fn assemble_drop_only(
 /// constraints relating `S` and `R` in either orientation (a superset is
 /// fine — orientation is re-checked here).
 fn certify_attr_swap(
-    candidate_pcs: &[&PartialComplete],
+    candidate_pcs: &[PartialComplete],
     attr: &AttrRef,
     cover: &CoverChoice,
     added_joins: &[eve_misd::JoinConstraint],
@@ -356,7 +356,7 @@ fn certify_attr_swap(
         ExtentVerdict::Equivalent
     } else {
         let mut best = ExtentVerdict::Unknown;
-        for pc in candidate_pcs.iter().copied() {
+        for pc in candidate_pcs {
             let (s_side, op, r_side) =
                 if pc.left.relation == cover.source && pc.right.relation == attr.relation {
                     (&pc.left, pc.op, &pc.right)

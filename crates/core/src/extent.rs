@@ -193,13 +193,13 @@ fn corresponds(mkb: &MetaKnowledgeBase, eq: &EqClasses<'_>, s: &AttrRef, r: &Att
 fn certify_added_relation(
     mkb: &MetaKnowledgeBase,
     eq: &EqClasses<'_>,
-    candidate_pcs: &[&PartialComplete],
+    candidate_pcs: &[PartialComplete],
     added: &eve_relational::RelName,
     target: &eve_relational::RelName,
     used_r_attrs: &BTreeSet<&AttrName>,
 ) -> ExtentVerdict {
     let mut best = ExtentVerdict::Unknown;
-    for pc in candidate_pcs.iter().copied() {
+    for pc in candidate_pcs {
         let (s_side, op, r_side) = if &pc.left.relation == added && &pc.right.relation == target {
             (&pc.left, pc.op, &pc.right)
         } else if &pc.right.relation == added && &pc.left.relation == target {

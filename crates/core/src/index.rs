@@ -9,11 +9,20 @@
 //! only changes once per capability change.
 //!
 //! [`MkbIndex`] hoists those derived structures out of the per-view
-//! loop: it is built **once per capability change** (from the pre-change
-//! MKB and the evolved MKB') and then threaded by reference through
-//! mapping, replacement, rewriting, extent inference, and attribute
-//! deletion. Synchronizing `n` affected views touches the MKB-derived
-//! state `O(1)` times instead of `O(n)`.
+//! loop: one index serves every affected view of one capability change,
+//! threaded by reference through mapping, replacement, rewriting, extent
+//! inference, and attribute deletion. Synchronizing `n` affected views
+//! touches the MKB-derived state `O(1)` times instead of `O(n)`.
+//!
+//! The derived structures themselves are **delta-maintained, not rebuilt
+//! from scratch on every change**: the index holds them behind `Arc`s
+//! and is normally assembled by [`MkbIndex::from_cores`] from two
+//! [`IndexCore`]s (the pre- and post-change derived state), where the
+//! post core was produced by [`IndexCore::apply_delta`] — an `O(delta)`
+//! patch that rebuilds only the touched component and constraint
+//! buckets and `Arc`-shares everything else. [`MkbIndex::new`] remains
+//! the from-scratch constructor (one-shot/what-if uses, and the rebuild
+//! oracle the equivalence property suite compares against).
 //!
 //! The index *borrows* both MKBs (`MkbIndex<'m>`), so constructing a
 //! throwaway index never clones a knowledge base.
@@ -40,9 +49,10 @@
 //! not, callers observe byte-identical results, which is what lets the
 //! parallel synchronizer share one index across workers.
 
+use crate::delta::{build_covers, build_pcs, pair_key, IndexCore};
 use crate::options::CvsOptions;
 use crate::replacement::CoverChoice;
-use eve_hypergraph::{ConnectionTree, Hypergraph, RelId, RelSet};
+use eve_hypergraph::{ConnectionTree, GraphDelta, Hypergraph, RelId, RelSet};
 use eve_misd::{MetaKnowledgeBase, PartialComplete};
 use eve_relational::{AttrRef, RelName};
 use std::collections::hash_map::RandomState;
@@ -129,6 +139,25 @@ impl<K: Eq + Hash, V: Clone> Memo<K, V> {
     fn count_miss(&self) {
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
+
+    /// Drop every entry whose key fails `keep`. Used when a memo table
+    /// is carried across a capability change: entries touching the
+    /// changed region are invalidated, the rest stay warm.
+    fn retain(&self, mut keep: impl FnMut(&K) -> bool) {
+        for shard in &self.shards {
+            shard
+                .write()
+                .unwrap_or_else(|e| e.into_inner())
+                .retain(|k, _| keep(k));
+        }
+    }
+
+    /// Zero the hit/miss counters, so a carried table reports only the
+    /// activity of the change it now serves.
+    fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
 }
 
 impl<K, V> std::fmt::Debug for Memo<K, V> {
@@ -205,23 +234,28 @@ impl TreePrefix {
 pub struct MkbIndex<'m> {
     mkb: &'m MetaKnowledgeBase,
     mkb_prime: &'m MetaKnowledgeBase,
-    /// The full join-constraint hypergraph `H(MKB)` over the pre-change MKB.
-    h: Hypergraph,
+    /// The full join-constraint hypergraph `H(MKB)` over the pre-change
+    /// MKB. `Arc`-shared with the [`IndexCore`] chain under delta
+    /// maintenance.
+    h: Arc<Hypergraph>,
     /// Connected components of `h`, indexed by `h`'s precomputed
     /// per-vertex component number (no name→component map needed: the
     /// interner resolves a relation to its component in two array
-    /// lookups).
-    components: Vec<Hypergraph>,
+    /// lookups). Each component is individually `Arc`ed so delta
+    /// maintenance can reuse untouched ones across changes.
+    components: Arc<Vec<Arc<Hypergraph>>>,
     /// `H'(MKB')`: the post-change hypergraph, restricted to join-capable
     /// relations when the options say capabilities must be respected.
-    h_prime: Hypergraph,
+    h_prime: Arc<Hypergraph>,
     /// Function-of covers grouped by the attribute they re-derive. Raw
     /// (unfiltered) covers in MKB declaration order; consumers filter by
     /// target relation / `h_prime` membership as their definitions require.
-    covers: BTreeMap<AttrRef, Vec<CoverChoice>>,
+    covers: Arc<BTreeMap<AttrRef, Vec<CoverChoice>>>,
     /// Partial/complete constraints keyed by the (unordered) relation pair
-    /// they relate; each bucket preserves MKB declaration order.
-    pcs_by_pair: BTreeMap<(RelName, RelName), Vec<&'m PartialComplete>>,
+    /// they relate; each bucket preserves MKB declaration order. Owned
+    /// (not borrowed from the MKB) so the buckets can be `Arc`-shared
+    /// across versions.
+    pcs_by_pair: Arc<BTreeMap<(RelName, RelName), Vec<PartialComplete>>>,
     /// Dense ids for the cover-target attributes (sorted `covers` key
     /// order), so viable-cover memo keys are a pair of `u32`s instead of
     /// a cloned `AttrRef` + `RelName`.
@@ -251,11 +285,77 @@ pub struct MkbIndex<'m> {
     cache_enabled: bool,
 }
 
-fn pair_key(a: &RelName, b: &RelName) -> (RelName, RelName) {
-    if a <= b {
-        (a.clone(), b.clone())
-    } else {
-        (b.clone(), a.clone())
+/// Warm memo tables extracted from a spent [`MkbIndex`] so the next
+/// change's index can start from them instead of cold
+/// ([`MkbIndex::into_carry`] / [`MkbIndex::from_cores`]).
+///
+/// Only the `H'(MKB')`-keyed tables (trees, distances, connects) are
+/// carried — and only when the change left `H'` intact
+/// (`add-attribute`) or touched it attribute-locally
+/// (`delete-attribute`/`rename-attribute`, where
+/// [`MemoCarry::retained`] evicts every entry whose component the
+/// change touched). Vertex-level changes re-intern the graph, so
+/// nothing survives them.
+#[derive(Debug)]
+pub struct MemoCarry {
+    /// The `H'` the carried tables were computed over (interner owner of
+    /// every `RelSet`/`RelId` key).
+    h_prime: Arc<Hypergraph>,
+    trees: Memo<TreeKey, Arc<RwLock<TreePrefix>>>,
+    distances: Memo<(RelId, RelId), Option<usize>>,
+    connects: Memo<(RelSet, usize), Option<Arc<ConnectionTree>>>,
+}
+
+impl MemoCarry {
+    /// Filter this carry for the change that produced `new_h_prime` from
+    /// the carried `H'` (described by `delta`, the change's projection
+    /// onto that graph). Returns `None` when nothing can be carried —
+    /// any vertex-level change, or a vertex-set mismatch (defensive:
+    /// memo keys are interned ids, which only survive an identical
+    /// vertex set).
+    pub(crate) fn retained(
+        self,
+        delta: &GraphDelta,
+        new_h_prime: &Hypergraph,
+    ) -> Option<MemoCarry> {
+        if self.h_prime.relations() != new_h_prime.relations() {
+            return None;
+        }
+        let attr = match delta {
+            // `H'` unchanged: every entry is still exact.
+            GraphDelta::None => return Some(self),
+            GraphDelta::RemoveAttrEdges(a) => a,
+            GraphDelta::RenameAttr { from, .. } => from,
+            // Vertex-level change: the interner (and thus every key)
+            // is invalidated wholesale.
+            _ => return None,
+        };
+        // Cached answers embed join-constraint values, so every entry
+        // whose component contains an edge mentioning `attr` is stale;
+        // entries confined to other components saw no edge change (a
+        // capability change never adds edges) and stay warm.
+        let old = &self.h_prime;
+        let mut touched_comps: BTreeSet<u32> = BTreeSet::new();
+        for (e, j) in old.joins().iter().enumerate() {
+            if j.attrs().contains(attr) {
+                let (l, _) = old.join_endpoints(e as u32);
+                touched_comps.insert(old.component_index(l));
+            }
+        }
+        if touched_comps.is_empty() {
+            return Some(self);
+        }
+        let mut affected = old.relset();
+        for v in 0..old.rel_count() {
+            if touched_comps.contains(&old.component_index(v as RelId)) {
+                affected.insert(v as RelId);
+            }
+        }
+        self.distances
+            .retain(|&(a, b)| !affected.contains(a) && !affected.contains(b));
+        self.connects.retain(|(s, _)| !s.intersects(&affected));
+        self.trees.retain(|(s, _)| !s.intersects(&affected));
+        Some(self)
     }
 }
 
@@ -274,33 +374,13 @@ impl<'m> MkbIndex<'m> {
         span.field("joins", mkb.joins().len() as u64);
         crate::telem::counter_add("index.builds", 1);
         crate::faults::hit("index.build");
-        let h = Hypergraph::build(mkb);
-        let components = h.components();
-        let h_prime = Hypergraph::build_filtered(mkb_prime, |desc| {
+        let h = Arc::new(Hypergraph::build(mkb));
+        let components = Arc::new(h.components().into_iter().map(Arc::new).collect::<Vec<_>>());
+        let h_prime = Arc::new(Hypergraph::build_filtered(mkb_prime, |desc| {
             !opts.respect_capabilities || desc.capabilities.join
-        });
-        let mut covers: BTreeMap<AttrRef, Vec<CoverChoice>> = BTreeMap::new();
-        for f in mkb.function_ofs() {
-            let Some(source) = f.source_relation() else {
-                continue;
-            };
-            covers
-                .entry(f.target.clone())
-                .or_default()
-                .push(CoverChoice {
-                    funcof_id: f.id.clone(),
-                    source,
-                    replacement: f.expr.clone(),
-                });
-        }
-        let mut pcs_by_pair: BTreeMap<(RelName, RelName), Vec<&'m PartialComplete>> =
-            BTreeMap::new();
-        for pc in mkb.pcs() {
-            pcs_by_pair
-                .entry(pair_key(&pc.left.relation, &pc.right.relation))
-                .or_default()
-                .push(pc);
-        }
+        }));
+        let covers = Arc::new(build_covers(mkb));
+        let pcs_by_pair = Arc::new(build_pcs(mkb));
         // Covers is a BTreeMap, so enumeration assigns attribute ids in
         // ascending AttrRef order — deterministic across builds.
         let cover_attr_ids: HashMap<AttrRef, u32> = covers
@@ -323,6 +403,87 @@ impl<'m> MkbIndex<'m> {
             viable: Memo::new(),
             survivors: Memo::new(),
             cache_enabled: true,
+        }
+    }
+
+    /// Assemble the index for one capability change from delta-maintained
+    /// derived state: `pre` is the [`IndexCore`] of the MKB the views were
+    /// defined against, `post` the core produced by
+    /// [`IndexCore::apply_delta`] for the evolved MKB'. Everything is
+    /// `Arc`-shared — no hypergraph build, no constraint scan.
+    ///
+    /// Equivalence contract: the result behaves byte-identically to
+    /// `MkbIndex::new(mkb, mkb_prime, opts)` (enforced by the property
+    /// suite in `tests/delta_equivalence.rs`). `carry`, when present,
+    /// seeds the `H'`-keyed memo tables from the previous change's index
+    /// (already filtered by [`MemoCarry::retained`]) — memoized functions
+    /// are pure, so a warm start changes latency, never answers.
+    pub fn from_cores(
+        mkb: &'m MetaKnowledgeBase,
+        mkb_prime: &'m MetaKnowledgeBase,
+        pre: &IndexCore,
+        post: &IndexCore,
+        opts: &CvsOptions,
+        carry: Option<MemoCarry>,
+    ) -> Self {
+        let mut span = crate::telem::span("index-from-cores");
+        span.field("relations", mkb.relation_count() as u64);
+        span.field("carried", carry.is_some() as u64);
+        crate::telem::counter_add("index.delta_builds", 1);
+        crate::faults::hit("index.build");
+        let h_prime = if opts.respect_capabilities {
+            Arc::clone(&post.h_join)
+        } else {
+            Arc::clone(&post.h)
+        };
+        let covers = Arc::clone(&pre.covers);
+        let cover_attr_ids: HashMap<AttrRef, u32> = covers
+            .keys()
+            .enumerate()
+            .map(|(i, a)| (a.clone(), i as u32))
+            .collect();
+        let (trees, distances, connects) = match carry {
+            Some(c) => {
+                debug_assert_eq!(
+                    c.h_prime.relations(),
+                    h_prime.relations(),
+                    "carry must be pre-filtered against the new H'"
+                );
+                c.trees.reset_stats();
+                c.distances.reset_stats();
+                c.connects.reset_stats();
+                (c.trees, c.distances, c.connects)
+            }
+            None => (Memo::new(), Memo::new(), Memo::new()),
+        };
+        MkbIndex {
+            mkb,
+            mkb_prime,
+            h: Arc::clone(&pre.h),
+            components: Arc::clone(&pre.components),
+            h_prime,
+            covers,
+            pcs_by_pair: Arc::clone(&pre.pcs),
+            cover_attr_ids,
+            trees,
+            distances,
+            connects,
+            viable: Memo::new(),
+            survivors: Memo::new(),
+            cache_enabled: true,
+        }
+    }
+
+    /// Consume the index, extracting the memo tables a successor index
+    /// may start warm from. The caller filters the result with
+    /// [`MemoCarry::retained`] against the next change before handing it
+    /// to [`MkbIndex::from_cores`].
+    pub fn into_carry(self) -> MemoCarry {
+        MemoCarry {
+            h_prime: self.h_prime,
+            trees: self.trees,
+            distances: self.distances,
+            connects: self.connects,
         }
     }
 
@@ -581,7 +742,7 @@ impl<'m> MkbIndex<'m> {
     /// via the interner and the precomputed component index.
     pub fn component_of(&self, rel: &RelName) -> Option<&Hypergraph> {
         let id = self.h.rel_id(rel)?;
-        Some(&self.components[self.h.component_index(id) as usize])
+        Some(self.components[self.h.component_index(id) as usize].as_ref())
     }
 
     /// Intern a terminal set over `H'(MKB')`, or `None` when some
@@ -608,7 +769,7 @@ impl<'m> MkbIndex<'m> {
 
     /// Partial/complete constraints relating relations `a` and `b`, in
     /// either orientation, in MKB declaration order.
-    pub fn pcs_between(&self, a: &RelName, b: &RelName) -> &[&'m PartialComplete] {
+    pub fn pcs_between(&self, a: &RelName, b: &RelName) -> &[PartialComplete] {
         self.pcs_by_pair
             .get(&pair_key(a, b))
             .map(Vec::as_slice)

@@ -71,6 +71,7 @@ pub mod affected;
 pub mod answering;
 pub mod cost;
 pub mod delete_attribute;
+pub mod delta;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -98,6 +99,7 @@ pub use affected::{affected_views, is_affected, is_evaluable, revivable};
 pub use answering::{answer_using_view, answer_using_views};
 pub use cost::{rank_rewritings as rank_by_cost, CostBreakdown, CostModel};
 pub use delete_attribute::synchronize_delete_attribute_indexed;
+pub use delta::{DeltaSummary, IndexCore, MkbDelta};
 pub use engine::{
     strategy_for, synchronize_view, CvsDeleteRelation, DeleteAttribute, RenameForward,
     SearchContext, SvsBaseline, SynchronizationStrategy,
@@ -106,12 +108,12 @@ pub use error::CvsError;
 pub use eval::evaluate_view;
 pub use explain::{explain_rewriting, explain_rewriting_with_stats};
 pub use extent::{empirical_extent, infer_extent_indexed, satisfies_extent_param, ExtentVerdict};
-pub use index::{CacheStats, MkbIndex};
+pub use index::{CacheStats, MemoCarry, MkbIndex};
 pub use legal::LegalRewriting;
-pub use maintain::{CountedView, Delta};
+pub use maintain::{CountedView, Delta, DeltaError};
 pub use mapping::{compute_r_mapping, r_mapping_with_index, RMapping};
 pub use materialize::{MaterializedView, RefreshDelta};
-pub use options::{CvsOptions, FailurePolicy, ImplicationMode, SearchBudget};
+pub use options::{CvsOptions, FailurePolicy, ImplicationMode, IndexMaintenance, SearchBudget};
 pub use replacement::{compute_replacements_indexed, CoverChoice, Replacement};
 pub use rewrite::{
     cvs_delete_relation_indexed, cvs_delete_relation_searched, SearchResult, SearchStats,
@@ -119,6 +121,6 @@ pub use rewrite::{
 pub use service::{FailedChange, SharedSynchronizer};
 pub use svs::{svs_delete_relation_indexed, svs_delete_relation_searched};
 pub use synchronizer::{
-    ChangeOutcome, SyncFailure, SyncPanic, SyncReport, Synchronizer, SynchronizerBuilder,
-    ViewOutcome,
+    ChangeOutcome, Snapshot, SyncFailure, SyncPanic, SyncReport, Synchronizer, SynchronizerBuilder,
+    VersionEntry, ViewOutcome,
 };

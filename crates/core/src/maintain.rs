@@ -22,7 +22,97 @@ use eve_relational::{
     theta_join, AttrRef, Conjunction, Database, FuncRegistry, RelName, Relation, RelationalError,
     ScalarExpr, Schema, Tuple,
 };
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A violated [`Delta`] contract, detected in [`CountedView::apply_delta`]
+/// *before* the counts are touched — on error the view is left exactly
+/// as it was, never with corrupted multiplicities.
+///
+/// The checks only need `db_after` (the post-delta base state): inserted
+/// tuples must be present in it, deleted tuples must be gone from it,
+/// and no tuple may be both inserted and deleted. A deletion of a tuple
+/// the base never held is invisible to these checks (it is absent from
+/// `db_after` either way); the counting algorithm itself catches that
+/// case as an [`DeltaError::Underflow`] when the deletion claims more
+/// derivations than the view holds.
+#[derive(Debug, Clone)]
+pub enum DeltaError {
+    /// An `inserted` tuple is missing from `db_after`: the delta was not
+    /// actually applied to the base relation.
+    InsertedMissing {
+        /// The updated base relation.
+        relation: RelName,
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+    /// A `deleted` tuple is still present in `db_after`.
+    DeletedPresent {
+        /// The updated base relation.
+        relation: RelName,
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+    /// A tuple appears in both `inserted` and `deleted` — the delta is
+    /// ambiguous and under set semantics cannot describe a real update.
+    Overlap {
+        /// The updated base relation.
+        relation: RelName,
+        /// The offending tuple.
+        tuple: Tuple,
+    },
+    /// A deletion claims more derivations of an output tuple than the
+    /// view holds (count underflow): the delta deletes base tuples the
+    /// view never derived from.
+    Underflow {
+        /// The output tuple whose count would go negative.
+        tuple: Tuple,
+    },
+    /// The relational engine failed while evaluating the view delta.
+    Eval(RelationalError),
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::InsertedMissing { relation, tuple } => write!(
+                f,
+                "delta contract violated: inserted tuple {tuple} is missing from \
+                 {relation} after the update"
+            ),
+            DeltaError::DeletedPresent { relation, tuple } => write!(
+                f,
+                "delta contract violated: deleted tuple {tuple} is still present in \
+                 {relation} after the update"
+            ),
+            DeltaError::Overlap { relation, tuple } => write!(
+                f,
+                "delta contract violated: tuple {tuple} is both inserted and deleted \
+                 in the {relation} delta"
+            ),
+            DeltaError::Underflow { tuple } => write!(
+                f,
+                "maintenance underflow for {tuple}: delta deletes more derivations \
+                 than the view holds (delta contract violated)"
+            ),
+            DeltaError::Eval(e) => write!(f, "delta evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeltaError::Eval(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationalError> for DeltaError {
+    fn from(e: RelationalError) -> Self {
+        DeltaError::Eval(e)
+    }
+}
 
 /// A content update of one base relation.
 #[derive(Debug, Clone, Default)]
@@ -99,55 +189,83 @@ impl CountedView {
     /// Maintain the view under a content update of `rel`.
     ///
     /// `db_after` must be the database state *after* the delta was
-    /// applied to `rel` (other relations unchanged). Errors from the
-    /// evaluation are propagated; a count underflow (a deletion of a
-    /// tuple the view never derived) is reported as
-    /// [`RelationalError::TypeMismatch`] with a descriptive message —
-    /// it means the caller's delta contract was violated.
+    /// applied to `rel` (other relations unchanged). The delta contract
+    /// is validated against `db_after` before anything is computed (see
+    /// [`DeltaError`]) and the count updates are staged and checked for
+    /// underflow before being committed — on any error the view's counts
+    /// are exactly as they were.
     pub fn apply_delta(
         &mut self,
         db_after: &Database,
         rel: &RelName,
         delta: &Delta,
         funcs: &FuncRegistry,
-    ) -> Result<(), RelationalError> {
+    ) -> Result<(), DeltaError> {
         if !self.definition.uses_relation(rel) {
             return Ok(()); // the view doesn't read this relation
         }
+        validate_delta(db_after, rel, delta)?;
         // ΔV+ : view over (R ← inserted), others at their after-state —
         // valid because the inserted tuples join with partner states that
-        // did not change in this delta.
-        if !delta.inserted.is_empty() {
+        // did not change in this delta. ΔV− : view over (R ← deleted).
+        // Both are staged so underflow is detected before any mutation.
+        let plus = if delta.inserted.is_empty() {
+            BTreeMap::new()
+        } else {
             let d = substitute_relation(db_after, rel, &delta.inserted)?;
-            let (plus, _) = eval_counted(&self.definition, &d, funcs, Some(rel))?;
-            for (t, c) in plus {
-                *self.counts.entry(t).or_insert(0) += c;
+            eval_counted(&self.definition, &d, funcs, Some(rel))?.0
+        };
+        let minus = if delta.deleted.is_empty() {
+            BTreeMap::new()
+        } else {
+            let d = substitute_relation(db_after, rel, &delta.deleted)?;
+            eval_counted(&self.definition, &d, funcs, Some(rel))?.0
+        };
+        for (t, c) in &minus {
+            let available =
+                self.counts.get(t).copied().unwrap_or(0) + plus.get(t).copied().unwrap_or(0);
+            if available < *c {
+                return Err(DeltaError::Underflow { tuple: t.clone() });
             }
         }
-        // ΔV− : view over (R ← deleted).
-        if !delta.deleted.is_empty() {
-            let d = substitute_relation(db_after, rel, &delta.deleted)?;
-            let (minus, _) = eval_counted(&self.definition, &d, funcs, Some(rel))?;
-            for (t, c) in minus {
-                let existing = self.counts.get(&t).copied().unwrap_or(0);
-                match existing.cmp(&c) {
-                    std::cmp::Ordering::Greater => {
-                        self.counts.insert(t, existing - c);
-                    }
-                    std::cmp::Ordering::Equal => {
-                        self.counts.remove(&t);
-                    }
-                    std::cmp::Ordering::Less => {
-                        return Err(RelationalError::TypeMismatch(format!(
-                            "maintenance underflow for {t}: delta deletes more derivations \
-                             than the view holds (delta contract violated)"
-                        )));
-                    }
-                }
+        for (t, c) in plus {
+            *self.counts.entry(t).or_insert(0) += c;
+        }
+        for (t, c) in minus {
+            let existing = self.counts.get(&t).copied().unwrap_or(0);
+            if existing == c {
+                self.counts.remove(&t);
+            } else {
+                self.counts.insert(t, existing - c);
             }
         }
         Ok(())
     }
+}
+
+/// Check the [`Delta`] contract against the post-update base state.
+fn validate_delta(db_after: &Database, rel: &RelName, delta: &Delta) -> Result<(), DeltaError> {
+    let deleted: BTreeSet<&Tuple> = delta.deleted.iter().collect();
+    if let Some(t) = delta.inserted.iter().find(|t| deleted.contains(t)) {
+        return Err(DeltaError::Overlap {
+            relation: rel.clone(),
+            tuple: t.clone(),
+        });
+    }
+    let after = db_after.require(rel)?;
+    if let Some(t) = delta.inserted.iter().find(|t| !after.contains(t)) {
+        return Err(DeltaError::InsertedMissing {
+            relation: rel.clone(),
+            tuple: t.clone(),
+        });
+    }
+    if let Some(t) = delta.deleted.iter().find(|t| after.contains(t)) {
+        return Err(DeltaError::DeletedPresent {
+            relation: rel.clone(),
+            tuple: t.clone(),
+        });
+    }
+    Ok(())
 }
 
 /// Clone `db` with `rel` replaced by the given tuples.
@@ -409,7 +527,80 @@ mod tests {
         // Detroit, which has only one real derivation): counts underflow.
         let phantom = Delta::deletes([orders_tuple(98, "ann", 998), orders_tuple(99, "ann", 999)]);
         apply_to_db(&mut db, &orders, &phantom); // no-op removals
+        let before = cv.clone();
         let err = cv.apply_delta(&db, &orders, &phantom, &funcs).unwrap_err();
+        assert!(matches!(err, DeltaError::Underflow { .. }), "{err:?}");
         assert!(err.to_string().contains("underflow"), "{err}");
+        // The failed delta left the counts exactly as they were.
+        assert_eq!(cv.counts, before.counts);
+    }
+
+    #[test]
+    fn unapplied_insert_rejected_without_corrupting_counts() {
+        let funcs = FuncRegistry::new();
+        let db = base_db();
+        let orders = RelName::new("Orders");
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+        let before = cv.clone();
+        // The delta claims an insert, but the caller never applied it to
+        // the base: db_after does not contain the tuple.
+        let ins = Delta::inserts([orders_tuple(7, "bob", 400)]);
+        let err = cv.apply_delta(&db, &orders, &ins, &funcs).unwrap_err();
+        assert!(matches!(err, DeltaError::InsertedMissing { .. }), "{err:?}");
+        assert!(err.to_string().contains("missing from Orders"), "{err}");
+        assert_eq!(cv.counts, before.counts);
+    }
+
+    #[test]
+    fn unapplied_delete_rejected() {
+        let funcs = FuncRegistry::new();
+        let db = base_db();
+        let orders = RelName::new("Orders");
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+        // The delta claims tuple 2 was deleted, but db_after still has it.
+        let del = Delta::deletes([orders_tuple(2, "ann", 200)]);
+        let err = cv.apply_delta(&db, &orders, &del, &funcs).unwrap_err();
+        assert!(matches!(err, DeltaError::DeletedPresent { .. }), "{err:?}");
+        assert!(err.to_string().contains("still present"), "{err}");
+    }
+
+    #[test]
+    fn overlapping_insert_and_delete_rejected() {
+        let funcs = FuncRegistry::new();
+        let db = base_db();
+        let orders = RelName::new("Orders");
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+        let t = orders_tuple(7, "bob", 400);
+        let delta = Delta {
+            inserted: vec![t.clone()],
+            deleted: vec![t],
+        };
+        let err = cv.apply_delta(&db, &orders, &delta, &funcs).unwrap_err();
+        assert!(matches!(err, DeltaError::Overlap { .. }), "{err:?}");
+        assert!(
+            err.to_string().contains("both inserted and deleted"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn delta_error_wraps_relational_errors() {
+        let funcs = FuncRegistry::new();
+        let db = base_db();
+        let mut cv = CountedView::new(big_spenders(), &db, &funcs).unwrap();
+        // The view reads Orders, but the database handed to apply_delta
+        // is missing it entirely → the relational error surfaces as Eval.
+        let empty = Database::new();
+        let err = cv
+            .apply_delta(
+                &empty,
+                &RelName::new("Orders"),
+                &Delta::deletes([orders_tuple(1, "ann", 50)]),
+                &funcs,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DeltaError::Eval(_)), "{err:?}");
+        use std::error::Error;
+        assert!(err.source().is_some());
     }
 }

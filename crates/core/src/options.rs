@@ -121,6 +121,32 @@ impl FailurePolicy {
     }
 }
 
+/// How the per-change [`crate::MkbIndex`] derived state is produced when
+/// [`crate::Synchronizer::apply`] moves from one MKB version to the next.
+///
+/// Rebuild equivalence is the contract: all three modes produce
+/// byte-identical [`crate::ChangeOutcome`]s (the property suite in
+/// `tests/delta_equivalence.rs` enforces it); the modes differ only in
+/// how much work each change costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexMaintenance {
+    /// Rebuild every derived structure from scratch per change (the
+    /// pre-delta behaviour): `O(MKB)` per change, no carried state.
+    Rebuild,
+    /// Maintain the derived state with typed [`crate::MkbDelta`]s —
+    /// incremental interner growth, CSR patching, component
+    /// split-recheck, constraint-bucket edits — and carry the
+    /// enumeration memo tables across changes, invalidating only the
+    /// entries whose key `RelSet` intersects the affected component.
+    /// `O(delta)` per change. The default.
+    #[default]
+    Incremental,
+    /// Delta-maintain the derived state but start every change with
+    /// fresh (empty) memo tables. Isolates the delta-apply contribution
+    /// from the memo-carry contribution in benchmarks.
+    IncrementalFresh,
+}
+
 /// How clause implication is tested when computing the R-mapping
 /// (Def. 2 III: each MKB join constraint must be implied by the view's
 /// join condition).
@@ -184,6 +210,10 @@ pub struct CvsOptions {
     /// (the default) or degrade that view to
     /// [`crate::ViewOutcome::Failed`] after deterministic retries.
     pub failure: FailurePolicy,
+    /// How the per-change [`crate::MkbIndex`] is produced: delta-
+    /// maintained (the default) or rebuilt from scratch. All modes
+    /// produce identical outcomes; this is purely a throughput knob.
+    pub index_maintenance: IndexMaintenance,
 }
 
 impl Default for CvsOptions {
@@ -198,6 +228,7 @@ impl Default for CvsOptions {
             parallelism: None,
             budget: SearchBudget::default(),
             failure: FailurePolicy::default(),
+            index_maintenance: IndexMaintenance::default(),
         }
     }
 }

@@ -185,6 +185,36 @@ impl SharedSynchronizer {
         self.read_lock().preview(change)
     }
 
+    /// The current version number (0 = initial state; incremented by
+    /// every applied change).
+    pub fn version(&self) -> usize {
+        self.read_lock().version()
+    }
+
+    /// Time travel: a detached [`Synchronizer`] positioned at historical
+    /// `version` (see [`Synchronizer::at_version`]). Takes only a read
+    /// lock; the fork shares all state via `Arc` and never writes back.
+    pub fn at_version(&self, version: usize) -> Option<Synchronizer> {
+        self.read_lock().at_version(version)
+    }
+
+    /// Re-apply the recorded changes of versions `start+1 ..= end` on a
+    /// fork (see [`Synchronizer::replay`]). Takes only a read lock.
+    pub fn replay(&self, start: usize, end: usize) -> Option<crate::SyncReport> {
+        self.read_lock().replay(start, end)
+    }
+
+    /// What-if against history: dry-run `change` as if applied at
+    /// historical `version` (see [`Synchronizer::preview_at`]). Takes
+    /// only a read lock.
+    pub fn preview_at(
+        &self,
+        version: usize,
+        change: &CapabilityChange,
+    ) -> Option<Result<ChangeOutcome, MisdError>> {
+        self.read_lock().preview_at(version, change)
+    }
+
     /// Run a closure against a read-locked synchronizer (for compound
     /// reads that must see one consistent state).
     ///

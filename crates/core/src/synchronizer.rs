@@ -31,12 +31,13 @@
 
 use crate::affected::{is_affected, is_evaluable};
 use crate::cost::CostModel;
+use crate::delta::{DeltaSummary, IndexCore, MkbDelta};
 use crate::engine;
 use crate::error::CvsError;
 use crate::faults;
-use crate::index::{CacheStats, MkbIndex};
+use crate::index::{CacheStats, MemoCarry, MkbIndex};
 use crate::legal::LegalRewriting;
-use crate::options::{CvsOptions, FailurePolicy};
+use crate::options::{CvsOptions, FailurePolicy, IndexMaintenance};
 use crate::rewrite::SearchStats;
 use crate::telem;
 use eve_esql::{validate_view, ViewDefinition};
@@ -321,6 +322,7 @@ impl SynchronizerBuilder {
             .into_iter()
             .map(|(n, v)| (n, Arc::new(v)))
             .collect();
+        let core = IndexCore::build(&mkb);
         let initial = Snapshot {
             change: None,
             mkb: Arc::clone(&mkb),
@@ -334,7 +336,14 @@ impl SynchronizerBuilder {
             opts,
             require_p3: self.require_p3,
             cost_model: self.cost_model,
-            history: vec![initial],
+            chain: vec![Arc::new(VersionEntry {
+                version: 0,
+                delta: None,
+                snapshot: initial,
+                core: core.clone(),
+            })],
+            core,
+            carry: None,
         }
     }
 }
@@ -355,6 +364,35 @@ pub struct Snapshot {
     pub disabled: Vec<(String, Arc<ViewDefinition>)>,
 }
 
+/// One link of the [`Synchronizer`]'s append-only version chain: the
+/// state after the `version`-th applied change, plus what the change did
+/// to the derived index state.
+///
+/// Entries structurally share everything (`Arc` snapshots and an
+/// `Arc`-shared [`IndexCore`]) — the chain costs `O(delta)` per version,
+/// not `O(MKB)`. Version 0 is the initial state.
+#[derive(Debug, Clone)]
+pub struct VersionEntry {
+    /// Position in the chain (0 = initial state).
+    pub version: usize,
+    /// What the change's [`MkbDelta`] did to the derived state (`None`
+    /// for the initial entry, and for changes applied under
+    /// [`IndexMaintenance::Rebuild`], which bypass delta computation).
+    pub delta: Option<DeltaSummary>,
+    /// The full state snapshot at this version (MKB, active and
+    /// disabled views, the producing change).
+    pub snapshot: Snapshot,
+    /// The delta-maintained derived index state of `snapshot.mkb`.
+    pub(crate) core: IndexCore,
+}
+
+impl VersionEntry {
+    /// The change that produced this version (`None` for version 0).
+    pub fn change(&self) -> Option<&CapabilityChange> {
+        self.snapshot.change.as_ref()
+    }
+}
+
 /// The EVE view synchronizer: an MKB plus the registered (active) views.
 ///
 /// State is held in copy-on-write [`Arc`] snapshots: `apply` builds the
@@ -363,7 +401,7 @@ pub struct Snapshot {
 /// [`Synchronizer::view_snapshots`], or through
 /// [`crate::service::SharedSynchronizer`]) keep a consistent view
 /// without copying.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Synchronizer {
     mkb: Arc<MetaKnowledgeBase>,
     views: Vec<(String, Arc<ViewDefinition>)>,
@@ -373,9 +411,35 @@ pub struct Synchronizer {
     opts: CvsOptions,
     require_p3: bool,
     cost_model: Option<CostModel>,
-    /// Evolution history: the initial state plus one snapshot per applied
-    /// change (enables time travel / rollback across the change log).
-    history: Vec<Snapshot>,
+    /// The append-only version chain: entry 0 is the initial state,
+    /// entry `i > 0` the state after the `i`-th applied change, each
+    /// with its delta and `Arc`-shared derived core (enables time
+    /// travel / rollback / replay across the change log).
+    chain: Vec<Arc<VersionEntry>>,
+    /// The delta-maintained derived index state of the *current* MKB
+    /// (invariant: `core` is always derived from `mkb`).
+    core: IndexCore,
+    /// Warm memo tables from the previous change's index, carried into
+    /// the next change when [`IndexMaintenance::Incremental`] allows it.
+    carry: Option<MemoCarry>,
+}
+
+impl Clone for Synchronizer {
+    fn clone(&self) -> Self {
+        Synchronizer {
+            mkb: Arc::clone(&self.mkb),
+            views: self.views.clone(),
+            disabled: self.disabled.clone(),
+            opts: self.opts,
+            require_p3: self.require_p3,
+            cost_model: self.cost_model,
+            chain: self.chain.clone(),
+            core: self.core.clone(),
+            // The memo carry is a latency optimization, never semantics
+            // (memoized functions are pure): a clone starts cold.
+            carry: None,
+        }
+    }
 }
 
 impl Synchronizer {
@@ -440,13 +504,50 @@ impl Synchronizer {
         let mut apply_span = telem::span("apply");
         apply_span.label(|| change.to_string());
         let mkb_prime = evolve(&self.mkb, change)?;
+        let mode = self.opts.index_maintenance;
+        // Delta-maintain the derived core: project the change onto the
+        // hypergraphs and constraint maps, then patch — `O(delta)`, not
+        // `O(MKB)`. Rebuild mode bypasses this and reconstructs the core
+        // from scratch at commit time (the equivalence oracle).
+        let (delta, next_core) = match mode {
+            IndexMaintenance::Rebuild => (None, None),
+            IndexMaintenance::Incremental | IndexMaintenance::IncrementalFresh => {
+                let d = MkbDelta::compute(&self.mkb, &mkb_prime, change);
+                let next = self.core.apply_delta(&d);
+                (Some(d), Some(next))
+            }
+        };
+        // Memo tables survive a change only under full Incremental mode,
+        // and only when the change left the relevant H' regions intact.
+        let carry_in = match (mode, delta.as_ref(), next_core.as_ref()) {
+            (IndexMaintenance::Incremental, Some(d), Some(next)) => {
+                self.carry.take().and_then(|c| {
+                    let (graph_delta, new_h_prime) = if self.opts.respect_capabilities {
+                        (&d.graph_join, next.join_graph())
+                    } else {
+                        (&d.graph, next.hypergraph())
+                    };
+                    c.retained(graph_delta, new_h_prime)
+                })
+            }
+            _ => {
+                self.carry = None;
+                None
+            }
+        };
         let mut outcomes = Vec::with_capacity(self.views.len());
         let mut next_views = Vec::with_capacity(self.views.len());
         let mut newly_disabled = Vec::new();
         let cache;
+        let carry_out;
 
         {
-            let index = MkbIndex::new(&self.mkb, &mkb_prime, &self.opts);
+            let index = match next_core.as_ref() {
+                Some(next) => MkbIndex::from_cores(
+                    &self.mkb, &mkb_prime, &self.core, next, &self.opts, carry_in,
+                ),
+                None => MkbIndex::new(&self.mkb, &mkb_prime, &self.opts),
+            };
 
             // Fan the affected views out across the pool; unaffected
             // views never enter the queue. `map_in_order` hands results
@@ -545,16 +646,34 @@ impl Synchronizer {
                 telem::counter_add("index.cache.hits", cache.hits);
                 telem::counter_add("index.cache.misses", cache.misses);
             }
+            // Full Incremental mode keeps this change's warm memo tables
+            // for the next change's index to start from.
+            carry_out = match mode {
+                IndexMaintenance::Incremental => Some(index.into_carry()),
+                _ => None,
+            };
         }
 
         self.views = next_views;
         self.mkb = Arc::new(mkb_prime);
-        self.history.push(Snapshot {
-            change: Some(change.clone()),
-            mkb: Arc::clone(&self.mkb),
-            views: self.views.clone(),
-            disabled: self.disabled.clone(),
-        });
+        self.core = match next_core {
+            Some(next) => next,
+            // Rebuild mode: reconstruct the derived core from scratch so
+            // the chain invariant (`core` derived from `mkb`) holds.
+            None => IndexCore::build(&self.mkb),
+        };
+        self.carry = carry_out;
+        self.chain.push(Arc::new(VersionEntry {
+            version: self.chain.len(),
+            delta: delta.map(|d| d.summary),
+            snapshot: Snapshot {
+                change: Some(change.clone()),
+                mkb: Arc::clone(&self.mkb),
+                views: self.views.clone(),
+                disabled: self.disabled.clone(),
+            },
+            core: self.core.clone(),
+        }));
         let outcome = ChangeOutcome {
             change: change.clone(),
             views: outcomes,
@@ -641,23 +760,90 @@ impl Synchronizer {
     }
 
     /// The evolution history: snapshot 0 is the initial state; snapshot
-    /// `i > 0` is the state after the `i`-th applied change.
-    pub fn history(&self) -> &[Snapshot] {
-        &self.history
+    /// `i > 0` is the state after the `i`-th applied change. Derived
+    /// from the version chain ([`Synchronizer::chain`]); the snapshots
+    /// `Arc`-share all state, so this is cheap.
+    pub fn history(&self) -> Vec<Snapshot> {
+        self.chain.iter().map(|e| e.snapshot.clone()).collect()
     }
 
-    /// Roll the synchronizer back to history snapshot `index` (0 = the
-    /// initial state), discarding the later snapshots. Returns `false`
-    /// (and does nothing) when the index is out of range.
+    /// The current version number: 0 after construction, incremented by
+    /// every applied change (equals `chain().len() - 1`).
+    pub fn version(&self) -> usize {
+        self.chain.len() - 1
+    }
+
+    /// The full version chain: entry 0 is the initial state, entry
+    /// `i > 0` the state after the `i`-th change together with its
+    /// delta summary.
+    pub fn chain(&self) -> &[Arc<VersionEntry>] {
+        &self.chain
+    }
+
+    /// Roll the synchronizer back to version `index` (0 = the initial
+    /// state), discarding the later chain entries. Returns `false` (and
+    /// does nothing) when the version is out of range.
     pub fn rollback_to(&mut self, index: usize) -> bool {
-        let Some(snap) = self.history.get(index).cloned() else {
+        let Some(entry) = self.chain.get(index).cloned() else {
             return false;
         };
-        self.mkb = snap.mkb;
-        self.views = snap.views;
-        self.disabled = snap.disabled;
-        self.history.truncate(index + 1);
+        self.mkb = Arc::clone(&entry.snapshot.mkb);
+        self.views = entry.snapshot.views.clone();
+        self.disabled = entry.snapshot.disabled.clone();
+        self.core = entry.core.clone();
+        self.carry = None;
+        self.chain.truncate(index + 1);
         true
+    }
+
+    /// Time travel: a forked synchronizer positioned at historical
+    /// version `version`, exactly as the state was then (same MKB, same
+    /// views, same `Arc`-shared derived core — nothing is recomputed).
+    /// The fork's chain is truncated to that version; applying changes
+    /// to it never affects `self`. Returns `None` when the version is
+    /// out of range.
+    pub fn at_version(&self, version: usize) -> Option<Synchronizer> {
+        let mut fork = self.clone();
+        let ok = fork.rollback_to(version);
+        ok.then_some(fork)
+    }
+
+    /// Re-apply the recorded changes of versions `start+1 ..= end` on a
+    /// fork rooted at version `start`, returning the accumulated report.
+    /// The recorded changes evolved successfully the first time, so
+    /// replaying them from the same states cannot fail. Returns `None`
+    /// when the range is invalid (`start > end` or `end` out of range).
+    pub fn replay(&self, start: usize, end: usize) -> Option<SyncReport> {
+        if start > end || end >= self.chain.len() {
+            return None;
+        }
+        let mut fork = self.at_version(start)?;
+        let mut report = SyncReport::default();
+        for entry in &self.chain[start + 1..=end] {
+            let change = entry
+                .snapshot
+                .change
+                .clone()
+                .expect("non-initial chain entries record their change");
+            report.outcomes.push(
+                fork.apply(&change)
+                    .expect("recorded change replays from its recorded state"),
+            );
+        }
+        Some(report)
+    }
+
+    /// What-if against history: dry-run `change` as if it were applied
+    /// at version `version` instead of now — "what would this change
+    /// have done two versions ago?". Returns `None` when the version is
+    /// out of range; the synchronizer itself is never mutated.
+    pub fn preview_at(
+        &self,
+        version: usize,
+        change: &CapabilityChange,
+    ) -> Option<Result<ChangeOutcome, MisdError>> {
+        let mut fork = self.at_version(version)?;
+        Some(fork.apply(change))
     }
 
     /// Dry-run a change: compute the outcome (including all rewritings
@@ -676,10 +862,17 @@ impl Synchronizer {
         let diff = eve_misd::infer_changes(&self.mkb, snapshot);
         let report = self.apply_all(&diff.changes)?;
         // Adopt the snapshot wholesale: schemas already converged, and
-        // the snapshot's constraint set is authoritative.
+        // the snapshot's constraint set is authoritative. The wholesale
+        // merge can add constraints no change delta described, so the
+        // derived core is rebuilt from scratch and the memo carry
+        // dropped.
         self.mkb = Arc::new(snapshot.clone());
-        if let Some(last) = self.history.last_mut() {
-            last.mkb = Arc::clone(&self.mkb);
+        self.core = IndexCore::build(&self.mkb);
+        self.carry = None;
+        if let Some(last) = self.chain.last_mut() {
+            let entry = Arc::make_mut(last);
+            entry.snapshot.mkb = Arc::clone(&self.mkb);
+            entry.core = self.core.clone();
         }
         Ok(report)
     }
@@ -956,6 +1149,213 @@ mod tests {
             .has_attr(&"NoDays".into()));
         // Out-of-range rollback is a no-op.
         assert!(!s.rollback_to(5));
+    }
+
+    #[test]
+    fn version_chain_records_changes_and_deltas() {
+        let mut s = sync();
+        assert_eq!(s.version(), 0);
+        assert_eq!(s.chain().len(), 1);
+        assert!(s.chain()[0].change().is_none());
+        assert!(s.chain()[0].delta.is_none());
+
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
+        s.apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+            .unwrap();
+        assert_eq!(s.version(), 2);
+        let chain = s.chain();
+        assert_eq!(chain.len(), 3);
+        for (i, entry) in chain.iter().enumerate() {
+            assert_eq!(entry.version, i);
+        }
+        // Non-initial entries carry the producing change plus, under the
+        // default incremental maintenance, a delta summary.
+        assert!(matches!(
+            chain[1].change(),
+            Some(CapabilityChange::DeleteAttribute(_))
+        ));
+        assert_eq!(chain[1].delta.as_ref().unwrap().op, "delete-attribute");
+        assert_eq!(chain[2].delta.as_ref().unwrap().op, "delete-relation");
+        assert!(chain[2].delta.as_ref().unwrap().joins_dropped > 0);
+    }
+
+    #[test]
+    fn rebuild_mode_records_no_deltas() {
+        let mut s = SynchronizerBuilder::new(travel_mkb())
+            .with_options(CvsOptions {
+                index_maintenance: crate::options::IndexMaintenance::Rebuild,
+                ..CvsOptions::default()
+            })
+            .with_view(
+                parse_view("CREATE VIEW Tours AS SELECT T.TourName, T.NoDays FROM Tour T").unwrap(),
+            )
+            .unwrap()
+            .build();
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
+        assert_eq!(s.version(), 1);
+        assert!(s.chain()[1].delta.is_none());
+    }
+
+    #[test]
+    fn at_version_reconstructs_history_without_mutating() {
+        let mut s = sync();
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
+        s.apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+            .unwrap();
+
+        let v1 = s.at_version(1).unwrap();
+        assert_eq!(v1.version(), 1);
+        assert!(v1.mkb().contains_relation(&RelName::new("Customer")));
+        assert!(!v1
+            .mkb()
+            .relation(&RelName::new("Tour"))
+            .unwrap()
+            .has_attr(&"NoDays".into()));
+        // The fork's views match the recorded snapshot exactly.
+        let recorded: Vec<String> = s.chain()[1]
+            .snapshot
+            .views
+            .iter()
+            .map(|(_, v)| v.to_string())
+            .collect();
+        let forked: Vec<String> = v1.views().map(|v| v.to_string()).collect();
+        assert_eq!(recorded, forked);
+
+        let v0 = s.at_version(0).unwrap();
+        assert_eq!(v0.version(), 0);
+        assert!(v0
+            .mkb()
+            .relation(&RelName::new("Tour"))
+            .unwrap()
+            .has_attr(&"NoDays".into()));
+
+        // The original is untouched and out-of-range forks are refused.
+        assert_eq!(s.version(), 2);
+        assert!(s.at_version(3).is_none());
+        assert!(!s.mkb().contains_relation(&RelName::new("Customer")));
+    }
+
+    #[test]
+    fn at_version_fork_can_diverge() {
+        let mut s = sync();
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
+        s.apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+            .unwrap();
+
+        // Fork at v1 and take a different second step.
+        let mut fork = s.at_version(1).unwrap();
+        fork.apply(&CapabilityChange::RenameRelation {
+            from: RelName::new("Tour"),
+            to: RelName::new("Excursion"),
+        })
+        .unwrap();
+        assert_eq!(fork.version(), 2);
+        assert!(fork.mkb().contains_relation(&RelName::new("Excursion")));
+        assert!(fork.mkb().contains_relation(&RelName::new("Customer")));
+        // The trunk still has its own v2.
+        assert!(!s.mkb().contains_relation(&RelName::new("Customer")));
+        assert!(s.mkb().contains_relation(&RelName::new("Tour")));
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_outcomes() {
+        let mut s = sync();
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
+        s.apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+            .unwrap();
+
+        let report = s.replay(0, 2).unwrap();
+        assert_eq!(report.outcomes.len(), 2);
+        assert!(matches!(
+            report.outcomes[0].change,
+            CapabilityChange::DeleteAttribute(_)
+        ));
+        assert!(matches!(
+            report.outcomes[1].change,
+            CapabilityChange::DeleteRelation(_)
+        ));
+        // Replaying the suffix only.
+        let tail = s.replay(1, 2).unwrap();
+        assert_eq!(tail.outcomes.len(), 1);
+        // Degenerate and out-of-range windows.
+        assert_eq!(s.replay(2, 2).unwrap().outcomes.len(), 0);
+        assert!(s.replay(2, 1).is_none());
+        assert!(s.replay(0, 3).is_none());
+    }
+
+    #[test]
+    fn preview_at_answers_what_if_against_history() {
+        let mut s = sync();
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
+        s.apply(&CapabilityChange::DeleteRelation(RelName::new("Customer")))
+            .unwrap();
+
+        // Against v1, Customer still exists, so deleting it is a real
+        // what-if; against the head it would be an evolution error.
+        let outcome = s
+            .preview_at(
+                1,
+                &CapabilityChange::DeleteRelation(RelName::new("Customer")),
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(outcome.rewritten(), 1);
+        assert!(s
+            .preview_at(
+                2,
+                &CapabilityChange::DeleteRelation(RelName::new("Customer"))
+            )
+            .unwrap()
+            .is_err());
+        assert!(s
+            .preview_at(
+                9,
+                &CapabilityChange::DeleteRelation(RelName::new("Customer"))
+            )
+            .is_none());
+        // preview_at never mutates the trunk.
+        assert_eq!(s.version(), 2);
+    }
+
+    #[test]
+    fn chain_entries_share_state_structurally() {
+        let mut s = sync();
+        s.apply(&CapabilityChange::DeleteAttribute(AttrRef::new(
+            "Tour", "NoDays",
+        )))
+        .unwrap();
+        let chain = s.chain();
+        // Entries share view definitions by Arc with the live state:
+        // untouched views are the same allocation across versions.
+        let find = |entry: &Snapshot, name: &str| {
+            entry
+                .views
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| Arc::clone(v))
+                .unwrap()
+        };
+        let before = find(&chain[0].snapshot, "Customer-Passengers-Asia");
+        let after = find(&chain[1].snapshot, "Customer-Passengers-Asia");
+        assert!(Arc::ptr_eq(&before, &after));
     }
 
     #[test]

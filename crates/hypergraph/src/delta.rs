@@ -1,0 +1,563 @@
+//! Incremental hypergraph maintenance: apply one capability change as a
+//! typed [`GraphDelta`] instead of rebuilding the graph from scratch.
+//!
+//! Every derived structure of [`Hypergraph`] — interner, CSR adjacency,
+//! SoA endpoints, join-id ranks, connected components — is patched with
+//! integer work proportional to the touched region; no relation name is
+//! re-hashed and no join-id string is re-sorted. The correctness
+//! contract is *rebuild equivalence*: `h.apply_delta(d)` must be
+//! indistinguishable from `Hypergraph::from_parts` over the mutated
+//! `(relations, joins)` — the property tests below compare every
+//! internal array.
+//!
+//! Two structural facts keep the patch logic small:
+//!
+//! * **No capability change ever adds a join edge.** Evolution only
+//!   inserts descriptions (`add-*`), drops constraints (`delete-*`) or
+//!   rewrites them in place (`rename-*`), so components can only split,
+//!   never merge — a removed vertex/edge triggers a split-recheck BFS
+//!   *inside the affected component only*, every other component carries
+//!   its label.
+//! * **Join-id ranks only need to be order-preserving, not dense.** A
+//!   subset of the old ranks compares exactly like the corresponding
+//!   subset of id strings, so deletions carry ranks verbatim.
+
+use crate::graph::{build_csr, renumber_components, Hypergraph};
+use crate::intern::RelId;
+use eve_misd::JoinConstraint;
+use eve_relational::{AttrName, AttrRef, RelName, ScalarExpr};
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+/// One capability change projected onto a single hypergraph, in terms of
+/// the graph's own vocabulary (vertices and join edges).
+///
+/// The six MKB capability changes map onto these as: `add-relation` →
+/// [`GraphDelta::AddVertex`], `delete-relation` →
+/// [`GraphDelta::RemoveVertex`], `rename-relation` →
+/// [`GraphDelta::RenameVertex`], `delete-attribute` →
+/// [`GraphDelta::RemoveAttrEdges`], `rename-attribute` →
+/// [`GraphDelta::RenameAttr`], and `add-attribute` →
+/// [`GraphDelta::None`] (a new attribute can appear in no existing join
+/// constraint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphDelta {
+    /// The change does not touch this graph.
+    None,
+    /// A new (isolated) relation vertex.
+    AddVertex(RelName),
+    /// Erase a relation vertex and every incident join edge. A no-op
+    /// when the vertex is absent (e.g. a non-join-capable relation in
+    /// the capability-filtered graph).
+    RemoveVertex(RelName),
+    /// Rename a relation vertex; join predicates are rewritten to match
+    /// (mirroring `eve_misd::evolve`). When `from` is not a vertex the
+    /// topology is untouched and only predicates are rewritten.
+    RenameVertex {
+        /// Old vertex name.
+        from: RelName,
+        /// New vertex name.
+        to: RelName,
+    },
+    /// Drop every join edge whose predicate mentions the attribute
+    /// (`delete-attribute` semantics).
+    RemoveAttrEdges(AttrRef),
+    /// Rewrite every join predicate substituting the attribute's new
+    /// name (`rename-attribute` semantics). Topology is unchanged.
+    RenameAttr {
+        /// Old attribute reference.
+        from: AttrRef,
+        /// New attribute name (same relation).
+        to: AttrName,
+    },
+}
+
+/// Recompute component labels after a vertex/edge removal: vertices with
+/// `carry[v] = Some(label)` keep their old component, `None` vertices
+/// (the split-recheck region) are re-labelled by a BFS seeded in
+/// ascending id order with fresh labels `>= old_count`. The raw labels
+/// are then renumbered canonically (ascending by smallest member id),
+/// reproducing exactly what a from-scratch BFS would assign.
+fn scoped_components(
+    n: usize,
+    adj_offsets: &[u32],
+    adj_targets: &[RelId],
+    carry: &[Option<u32>],
+    old_count: u32,
+) -> (Vec<u32>, u32) {
+    let mut raw = vec![u32::MAX; n];
+    for (v, c) in carry.iter().enumerate() {
+        if let Some(label) = c {
+            raw[v] = *label;
+        }
+    }
+    let mut next = old_count;
+    let mut queue: VecDeque<RelId> = VecDeque::new();
+    for v in 0..n {
+        if raw[v] != u32::MAX {
+            continue;
+        }
+        raw[v] = next;
+        queue.push_back(v as RelId);
+        while let Some(r) = queue.pop_front() {
+            let (lo, hi) = (
+                adj_offsets[r as usize] as usize,
+                adj_offsets[r as usize + 1] as usize,
+            );
+            for &t in &adj_targets[lo..hi] {
+                if raw[t as usize] == u32::MAX {
+                    raw[t as usize] = next;
+                    queue.push_back(t);
+                }
+            }
+        }
+        next += 1;
+    }
+    renumber_components(&raw, next as usize)
+}
+
+impl Hypergraph {
+    /// Apply one [`GraphDelta`], producing the post-change graph. The
+    /// result is equivalent (every derived array included) to rebuilding
+    /// via [`Hypergraph::from_parts`] over the mutated parts, but the
+    /// work is scoped: only the touched component is re-examined and no
+    /// string is hashed or rank-sorted.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Hypergraph {
+        match delta {
+            GraphDelta::None => self.clone(),
+            GraphDelta::AddVertex(name) => self.with_vertex_added(name),
+            GraphDelta::RemoveVertex(name) => self.with_vertex_removed(name),
+            GraphDelta::RenameVertex { from, to } => self.with_vertex_renamed(from, to),
+            GraphDelta::RemoveAttrEdges(attr) => self.with_attr_edges_removed(attr),
+            GraphDelta::RenameAttr { from, to } => self.with_attr_renamed(from, to),
+        }
+    }
+
+    /// Add an isolated vertex: splice an empty CSR row, shift ids `>=`
+    /// the insertion point, and renumber component labels around the new
+    /// singleton.
+    fn with_vertex_added(&self, name: &RelName) -> Hypergraph {
+        let Some((interner, new_id)) = self.interner.with_inserted(name) else {
+            // Already a vertex (evolve would have rejected the change).
+            return self.clone();
+        };
+        let n = interner.len();
+        let bump = |v: RelId| if v >= new_id { v + 1 } else { v };
+        let join_left: Vec<RelId> = self.join_left.iter().map(|&v| bump(v)).collect();
+        let join_right: Vec<RelId> = self.join_right.iter().map(|&v| bump(v)).collect();
+
+        let at = new_id as usize;
+        let mut adj_offsets = Vec::with_capacity(n + 1);
+        adj_offsets.extend_from_slice(&self.adj_offsets[..=at]);
+        adj_offsets.push(self.adj_offsets[at]); // the new row is empty
+        adj_offsets.extend_from_slice(&self.adj_offsets[at + 1..]);
+        let adj_targets: Vec<RelId> = self.adj_targets.iter().map(|&v| bump(v)).collect();
+
+        let mut raw = Vec::with_capacity(n);
+        raw.extend_from_slice(&self.comp_of[..at]);
+        raw.push(self.comp_count); // fresh singleton component
+        raw.extend_from_slice(&self.comp_of[at..]);
+        let (comp_of, comp_count) = renumber_components(&raw, self.comp_count as usize + 1);
+
+        let mut relations = (*self.relations).clone();
+        relations.insert(name.clone());
+        Hypergraph {
+            relations: Arc::new(relations),
+            joins: Arc::clone(&self.joins),
+            interner,
+            adj_offsets,
+            adj_targets,
+            adj_edges: self.adj_edges.clone(),
+            join_left,
+            join_right,
+            join_rank: self.join_rank.clone(),
+            comp_of,
+            comp_count,
+        }
+    }
+
+    /// Erase a vertex and its incident edges; split-recheck only the
+    /// component it belonged to.
+    fn with_vertex_removed(&self, name: &RelName) -> Hypergraph {
+        let Some((interner, rid)) = self.interner.with_removed(name) else {
+            // Not a vertex here (filtered graph): nothing to erase.
+            return self.clone();
+        };
+        let n = interner.len();
+        let drop = |v: RelId| if v > rid { v - 1 } else { v };
+        let mut joins = Vec::with_capacity(self.joins.len());
+        let mut join_left = Vec::with_capacity(self.join_left.len());
+        let mut join_right = Vec::with_capacity(self.join_right.len());
+        let mut join_rank = Vec::with_capacity(self.join_rank.len());
+        for e in 0..self.joins.len() {
+            if self.join_left[e] == rid || self.join_right[e] == rid {
+                continue;
+            }
+            joins.push(self.joins[e].clone());
+            join_left.push(drop(self.join_left[e]));
+            join_right.push(drop(self.join_right[e]));
+            // Carried ranks are a subset of the old ranks: not dense, but
+            // order-preserving, which is all comparisons need.
+            join_rank.push(self.join_rank[e]);
+        }
+        let (adj_offsets, adj_targets, adj_edges) = build_csr(n, &join_left, &join_right);
+
+        let affected = self.comp_of[rid as usize];
+        let mut carry = Vec::with_capacity(n);
+        for old_v in 0..self.interner.len() {
+            if old_v == rid as usize {
+                continue;
+            }
+            let label = self.comp_of[old_v];
+            carry.push((label != affected).then_some(label));
+        }
+        let (comp_of, comp_count) =
+            scoped_components(n, &adj_offsets, &adj_targets, &carry, self.comp_count);
+
+        let mut relations = (*self.relations).clone();
+        relations.remove(name);
+        Hypergraph {
+            relations: Arc::new(relations),
+            joins: Arc::new(joins),
+            interner,
+            adj_offsets,
+            adj_targets,
+            adj_edges,
+            join_left,
+            join_right,
+            join_rank,
+            comp_of,
+            comp_count,
+        }
+    }
+
+    /// Rename a vertex: permute ids, carry component membership through
+    /// the permutation, and rewrite join endpoints/predicates the way
+    /// `eve_misd::evolve` does.
+    fn with_vertex_renamed(&self, from: &RelName, to: &RelName) -> Hypergraph {
+        // Predicates are rewritten on every edge regardless of vertex
+        // membership, mirroring evolve (which rewrites all joins).
+        let joins: Vec<JoinConstraint> = self
+            .joins
+            .iter()
+            .map(|j| {
+                let mut j2 = j.clone();
+                if &j2.left == from {
+                    j2.left = to.clone();
+                }
+                if &j2.right == from {
+                    j2.right = to.clone();
+                }
+                j2.predicate = j2.predicate.rename_relation(from, to);
+                j2
+            })
+            .collect();
+        let Some((interner, old_id, new_id)) = self.interner.with_renamed(from, to) else {
+            // `from` is not a vertex here (capability-filtered graph):
+            // topology untouched, only predicates rewritten.
+            let mut out = self.clone();
+            out.joins = Arc::new(joins);
+            return out;
+        };
+        let n = interner.len();
+        // remove-at-old then insert-at-new: ids permute in two shifts.
+        let perm = |v: RelId| -> RelId {
+            if v == old_id {
+                return new_id;
+            }
+            let mid = if v > old_id { v - 1 } else { v };
+            if mid >= new_id {
+                mid + 1
+            } else {
+                mid
+            }
+        };
+        let join_left: Vec<RelId> = self.join_left.iter().map(|&v| perm(v)).collect();
+        let join_right: Vec<RelId> = self.join_right.iter().map(|&v| perm(v)).collect();
+        let (adj_offsets, adj_targets, adj_edges) = build_csr(n, &join_left, &join_right);
+
+        // Membership is invariant under renaming; only the numbering
+        // moves with the ids.
+        let mut raw = vec![0u32; n];
+        for (v, &label) in self.comp_of.iter().enumerate() {
+            raw[perm(v as RelId) as usize] = label;
+        }
+        let (comp_of, comp_count) = renumber_components(&raw, self.comp_count as usize);
+
+        let mut relations = (*self.relations).clone();
+        relations.remove(from);
+        relations.insert(to.clone());
+        Hypergraph {
+            relations: Arc::new(relations),
+            joins: Arc::new(joins),
+            interner,
+            adj_offsets,
+            adj_targets,
+            adj_edges,
+            join_left,
+            join_right,
+            join_rank: self.join_rank.clone(),
+            comp_of,
+            comp_count,
+        }
+    }
+
+    /// Drop every edge mentioning `attr`; split-recheck only the
+    /// components those edges lived in.
+    fn with_attr_edges_removed(&self, attr: &AttrRef) -> Hypergraph {
+        let keep: Vec<bool> = self.joins.iter().map(|j| !j.contains_attr(attr)).collect();
+        if keep.iter().all(|&k| k) {
+            return self.clone();
+        }
+        let n = self.interner.len();
+        let mut joins = Vec::with_capacity(self.joins.len());
+        let mut join_left = Vec::with_capacity(self.join_left.len());
+        let mut join_right = Vec::with_capacity(self.join_right.len());
+        let mut join_rank = Vec::with_capacity(self.join_rank.len());
+        let mut affected: BTreeSet<u32> = BTreeSet::new();
+        for (e, &kept) in keep.iter().enumerate() {
+            if kept {
+                joins.push(self.joins[e].clone());
+                join_left.push(self.join_left[e]);
+                join_right.push(self.join_right[e]);
+                join_rank.push(self.join_rank[e]);
+            } else {
+                affected.insert(self.comp_of[self.join_left[e] as usize]);
+            }
+        }
+        let (adj_offsets, adj_targets, adj_edges) = build_csr(n, &join_left, &join_right);
+        let carry: Vec<Option<u32>> = self
+            .comp_of
+            .iter()
+            .map(|label| (!affected.contains(label)).then_some(*label))
+            .collect();
+        let (comp_of, comp_count) =
+            scoped_components(n, &adj_offsets, &adj_targets, &carry, self.comp_count);
+        Hypergraph {
+            relations: Arc::clone(&self.relations),
+            joins: Arc::new(joins),
+            interner: self.interner.clone(),
+            adj_offsets,
+            adj_targets,
+            adj_edges,
+            join_left,
+            join_right,
+            join_rank,
+            comp_of,
+            comp_count,
+        }
+    }
+
+    /// Rewrite predicates for a renamed attribute. Topology, ids, ranks
+    /// and components are all invariant — only the join constraint
+    /// values change.
+    fn with_attr_renamed(&self, from: &AttrRef, to: &AttrName) -> Hypergraph {
+        let new_ref = ScalarExpr::Attr(AttrRef::new(from.relation.clone(), to.clone()));
+        let joins = self
+            .joins
+            .iter()
+            .map(|j| {
+                let mut j2 = j.clone();
+                j2.predicate = j2.predicate.substitute(from, &new_ref);
+                j2
+            })
+            .collect();
+        let mut out = self.clone();
+        out.joins = Arc::new(joins);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_relational::{Clause, Conjunction};
+
+    fn rel(n: &str) -> RelName {
+        RelName::new(n)
+    }
+
+    fn jc(id: &str, l: &str, r: &str, la: &str, ra: &str) -> JoinConstraint {
+        JoinConstraint::new(
+            id,
+            l,
+            r,
+            Conjunction::new(vec![Clause::eq_attrs(
+                AttrRef::new(l, la),
+                AttrRef::new(r, ra),
+            )]),
+        )
+    }
+
+    /// xorshift64* — deterministic, no external crates.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+        fn below(&mut self, n: usize) -> usize {
+            (self.next() % n as u64) as usize
+        }
+    }
+
+    /// The rebuild-equivalence oracle: every derived array of the
+    /// delta-maintained graph must match the from-scratch build, except
+    /// ranks, which only have to be order-isomorphic to the id strings.
+    fn assert_equivalent(patched: &Hypergraph, rebuilt: &Hypergraph) {
+        assert_eq!(patched.relations, rebuilt.relations);
+        assert_eq!(patched.joins, rebuilt.joins);
+        assert_eq!(patched.interner.names(), rebuilt.interner.names());
+        assert_eq!(patched.join_left, rebuilt.join_left);
+        assert_eq!(patched.join_right, rebuilt.join_right);
+        assert_eq!(patched.adj_offsets, rebuilt.adj_offsets);
+        assert_eq!(patched.adj_targets, rebuilt.adj_targets);
+        assert_eq!(patched.adj_edges, rebuilt.adj_edges);
+        assert_eq!(patched.comp_of, rebuilt.comp_of);
+        assert_eq!(patched.comp_count, rebuilt.comp_count);
+        for a in 0..patched.joins.len() {
+            for b in 0..patched.joins.len() {
+                assert_eq!(
+                    patched.join_rank[a].cmp(&patched.join_rank[b]),
+                    patched.joins[a].id.cmp(&patched.joins[b].id),
+                    "rank order diverged from id order at ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    fn random_graph(rng: &mut Rng, rels: usize, joins: usize) -> Hypergraph {
+        let names: Vec<RelName> = (0..rels).map(|i| rel(&format!("R{i:02}"))).collect();
+        let mut edges = Vec::new();
+        for e in 0..joins {
+            let a = rng.below(rels);
+            let b = rng.below(rels);
+            if a == b {
+                continue;
+            }
+            edges.push(jc(
+                &format!("J{:02}", rng.below(joins)), // duplicate ids on purpose
+                names[a].as_str(),
+                names[b].as_str(),
+                &format!("k{}", e % 3),
+                &format!("k{}", e % 3),
+            ));
+        }
+        Hypergraph::from_parts(names.into_iter().collect(), edges)
+    }
+
+    fn rebuild(h: &Hypergraph, delta: &GraphDelta) -> Hypergraph {
+        // The oracle: mutate (relations, joins) by hand, then from_parts.
+        let mut relations = (*h.relations).clone();
+        let mut joins = (*h.joins).clone();
+        match delta {
+            GraphDelta::None => {}
+            GraphDelta::AddVertex(n) => {
+                relations.insert(n.clone());
+            }
+            GraphDelta::RemoveVertex(n) => {
+                relations.remove(n);
+                joins.retain(|j| !j.touches(n));
+            }
+            GraphDelta::RenameVertex { from, to } => {
+                if relations.remove(from) {
+                    relations.insert(to.clone());
+                }
+                for j in &mut joins {
+                    if &j.left == from {
+                        j.left = to.clone();
+                    }
+                    if &j.right == from {
+                        j.right = to.clone();
+                    }
+                    j.predicate = j.predicate.rename_relation(from, to);
+                }
+            }
+            GraphDelta::RemoveAttrEdges(attr) => {
+                joins.retain(|j| !j.attrs().contains(attr));
+            }
+            GraphDelta::RenameAttr { from, to } => {
+                let new_ref = ScalarExpr::Attr(AttrRef::new(from.relation.clone(), to.clone()));
+                for j in &mut joins {
+                    j.predicate = j.predicate.substitute(from, &new_ref);
+                }
+            }
+        }
+        Hypergraph::from_parts(relations, joins)
+    }
+
+    #[test]
+    fn random_deltas_match_rebuild() {
+        let mut rng = Rng(0x5EED_CAFE_F00D_0001);
+        for round in 0..40 {
+            let (rels, joins) = (3 + rng.below(10), rng.below(16));
+            let mut h = random_graph(&mut rng, rels, joins);
+            // Chain several deltas so later ones exercise carried state
+            // (non-dense ranks, renumbered components).
+            for step in 0..6 {
+                let names: Vec<RelName> = h.relations.iter().cloned().collect();
+                let delta = if names.is_empty() {
+                    GraphDelta::AddVertex(rel(&format!("N{round}_{step}")))
+                } else {
+                    let pick = names[rng.below(names.len())].clone();
+                    match rng.below(6) {
+                        0 => GraphDelta::AddVertex(rel(&format!("N{round}_{step}"))),
+                        1 => GraphDelta::RemoveVertex(pick),
+                        2 => GraphDelta::RenameVertex {
+                            from: pick,
+                            to: rel(&format!("M{round}_{step}")),
+                        },
+                        3 => GraphDelta::RemoveAttrEdges(AttrRef::new(
+                            pick.as_str(),
+                            format!("k{}", rng.below(3)),
+                        )),
+                        4 => GraphDelta::RenameAttr {
+                            from: AttrRef::new(pick.as_str(), format!("k{}", rng.below(3))),
+                            to: AttrName::new(format!("x{round}_{step}")),
+                        },
+                        _ => GraphDelta::None,
+                    }
+                };
+                let patched = h.apply_delta(&delta);
+                let rebuilt = rebuild(&h, &delta);
+                assert_equivalent(&patched, &rebuilt);
+                h = patched;
+            }
+        }
+    }
+
+    #[test]
+    fn remove_vertex_splits_component() {
+        let rels: BTreeSet<RelName> = ["A", "B", "C", "D"].iter().map(|s| rel(s)).collect();
+        let joins = vec![
+            jc("J1", "A", "B", "k", "k"),
+            jc("J2", "B", "C", "k", "k"),
+            jc("J3", "C", "D", "k", "k"),
+        ];
+        let h = Hypergraph::from_parts(rels, joins);
+        assert_eq!(h.component_count(), 1);
+        let split = h.apply_delta(&GraphDelta::RemoveVertex(rel("B")));
+        assert_equivalent(&split, &rebuild(&h, &GraphDelta::RemoveVertex(rel("B"))));
+        // A is isolated; C—D survive as one component.
+        assert_eq!(split.component_count(), 2);
+        assert!(!split.is_connected_set(&[rel("A"), rel("C")].into_iter().collect()));
+        assert!(split.is_connected_set(&[rel("C"), rel("D")].into_iter().collect()));
+    }
+
+    #[test]
+    fn absent_vertex_ops_are_noops() {
+        let rels: BTreeSet<RelName> = ["A", "B"].iter().map(|s| rel(s)).collect();
+        let h = Hypergraph::from_parts(rels, vec![jc("J1", "A", "B", "k", "k")]);
+        let removed = h.apply_delta(&GraphDelta::RemoveVertex(rel("Z")));
+        assert_equivalent(&removed, &h);
+        let renamed = h.apply_delta(&GraphDelta::RenameVertex {
+            from: rel("Z"),
+            to: rel("Y"),
+        });
+        assert_equivalent(&renamed, &h);
+    }
+}

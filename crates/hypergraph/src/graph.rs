@@ -15,6 +15,7 @@ use crate::relset::RelSet;
 use eve_misd::{JoinConstraint, MetaKnowledgeBase};
 use eve_relational::RelName;
 use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
 
 /// The hypergraph `H(MKB)` (or a sub-hypergraph of it), materialised as a
 /// relation-level multigraph: vertices are relations, edges are join
@@ -25,33 +26,127 @@ use std::collections::{BTreeSet, VecDeque};
 /// without borrowing the MKB.
 #[derive(Debug, Clone)]
 pub struct Hypergraph {
-    /// All relation vertices (including isolated ones).
-    relations: BTreeSet<RelName>,
-    /// Join-constraint edges.
-    joins: Vec<JoinConstraint>,
+    /// All relation vertices (including isolated ones). `Arc`-shared so
+    /// delta maintenance can carry the set through changes that don't
+    /// touch the vertex population.
+    pub(crate) relations: Arc<BTreeSet<RelName>>,
+    /// Join-constraint edges. `Arc`-shared for the same reason: most
+    /// capability changes leave every join constraint intact, and a
+    /// deep clone of the edge list (id strings, predicates) would
+    /// dominate the delta-apply cost.
+    pub(crate) joins: Arc<Vec<JoinConstraint>>,
     /// Name ↔ id bijection; id order == name order.
-    interner: Interner,
+    pub(crate) interner: Interner,
     /// CSR adjacency offsets: vertex `v`'s neighbours live at
     /// `adj_targets[adj_offsets[v]..adj_offsets[v + 1]]`.
-    adj_offsets: Vec<u32>,
+    pub(crate) adj_offsets: Vec<u32>,
     /// Neighbour vertex per adjacency slot, in join-declaration order
     /// (for each join: the left endpoint's entry precedes the right's).
-    adj_targets: Vec<RelId>,
+    pub(crate) adj_targets: Vec<RelId>,
     /// Edge index (into `joins`) per adjacency slot.
-    adj_edges: Vec<u32>,
+    pub(crate) adj_edges: Vec<u32>,
     /// SoA join endpoints: `joins[e]` connects `join_left[e]` and
     /// `join_right[e]`.
-    join_left: Vec<RelId>,
-    join_right: Vec<RelId>,
+    pub(crate) join_left: Vec<RelId>,
+    pub(crate) join_right: Vec<RelId>,
     /// Dedup rank of each join's id string: `join_rank[a] < join_rank[b]`
     /// ⇔ `joins[a].id < joins[b].id`, with equal strings sharing a rank.
     /// Lets the path search order candidates by join-id sequence without
-    /// comparing strings.
-    join_rank: Vec<u32>,
+    /// comparing strings. Delta maintenance carries ranks over edge
+    /// subsets, so ranks need not be dense — only order-preserving.
+    pub(crate) join_rank: Vec<u32>,
     /// Connected-component index per vertex. Components are numbered in
     /// ascending order of their smallest vertex id (= smallest name).
-    comp_of: Vec<u32>,
-    comp_count: u32,
+    pub(crate) comp_of: Vec<u32>,
+    pub(crate) comp_count: u32,
+}
+
+/// Build the CSR adjacency triple for `n` vertices from SoA join
+/// endpoints, filled in join-declaration order (left endpoint first,
+/// then right — the legacy push order). Pure integer work: the delta
+/// path re-runs this after patching endpoint arrays without touching a
+/// single string.
+pub(crate) fn build_csr(
+    n: usize,
+    join_left: &[RelId],
+    join_right: &[RelId],
+) -> (Vec<u32>, Vec<RelId>, Vec<u32>) {
+    let m = join_left.len();
+    let mut degree = vec![0u32; n];
+    for e in 0..m {
+        degree[join_left[e] as usize] += 1;
+        degree[join_right[e] as usize] += 1;
+    }
+    let mut adj_offsets = vec![0u32; n + 1];
+    for v in 0..n {
+        adj_offsets[v + 1] = adj_offsets[v] + degree[v];
+    }
+    let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+    let mut adj_targets = vec![0 as RelId; adj_offsets[n] as usize];
+    let mut adj_edges = vec![0u32; adj_offsets[n] as usize];
+    for e in 0..m {
+        let (l, r) = (join_left[e], join_right[e]);
+        let slot = cursor[l as usize] as usize;
+        adj_targets[slot] = r;
+        adj_edges[slot] = e as u32;
+        cursor[l as usize] += 1;
+        let slot = cursor[r as usize] as usize;
+        adj_targets[slot] = l;
+        adj_edges[slot] = e as u32;
+        cursor[r as usize] += 1;
+    }
+    (adj_offsets, adj_targets, adj_edges)
+}
+
+/// Connected components over a CSR adjacency, seeded in ascending id
+/// (= name) order so component indices sort by smallest member name.
+pub(crate) fn components_from(
+    n: usize,
+    adj_offsets: &[u32],
+    adj_targets: &[RelId],
+) -> (Vec<u32>, u32) {
+    let mut comp_of = vec![u32::MAX; n];
+    let mut comp_count = 0u32;
+    let mut queue: VecDeque<RelId> = VecDeque::new();
+    for v in 0..n {
+        if comp_of[v] != u32::MAX {
+            continue;
+        }
+        comp_of[v] = comp_count;
+        queue.push_back(v as RelId);
+        while let Some(r) = queue.pop_front() {
+            let (lo, hi) = (
+                adj_offsets[r as usize] as usize,
+                adj_offsets[r as usize + 1] as usize,
+            );
+            for &next in &adj_targets[lo..hi] {
+                if comp_of[next as usize] == u32::MAX {
+                    comp_of[next as usize] = comp_count;
+                    queue.push_back(next);
+                }
+            }
+        }
+        comp_count += 1;
+    }
+    (comp_of, comp_count)
+}
+
+/// Renumber arbitrary distinct component labels into the canonical
+/// numbering (ascending by smallest member id): first occurrence over
+/// ascending vertex id reproduces exactly what a BFS seeded in id order
+/// would assign. Labels must be `< bound`.
+pub(crate) fn renumber_components(raw: &[u32], bound: usize) -> (Vec<u32>, u32) {
+    let mut map = vec![u32::MAX; bound];
+    let mut next = 0u32;
+    let mut out = Vec::with_capacity(raw.len());
+    for &label in raw {
+        if map[label as usize] == u32::MAX {
+            map[label as usize] = next;
+            next += 1;
+        }
+        out.push(map[label as usize]);
+    }
+    (out, next)
 }
 
 impl PartialEq for Hypergraph {
@@ -114,60 +209,14 @@ impl Hypergraph {
             .collect();
 
         // CSR adjacency, filled in join-declaration order (left endpoint
-        // first, then right — matching the legacy push order).
-        let mut degree = vec![0u32; n];
-        for e in 0..m {
-            degree[join_left[e] as usize] += 1;
-            degree[join_right[e] as usize] += 1;
-        }
-        let mut adj_offsets = vec![0u32; n + 1];
-        for v in 0..n {
-            adj_offsets[v + 1] = adj_offsets[v] + degree[v];
-        }
-        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
-        let mut adj_targets = vec![0 as RelId; adj_offsets[n] as usize];
-        let mut adj_edges = vec![0u32; adj_offsets[n] as usize];
-        for e in 0..m {
-            let (l, r) = (join_left[e], join_right[e]);
-            let slot = cursor[l as usize] as usize;
-            adj_targets[slot] = r;
-            adj_edges[slot] = e as u32;
-            cursor[l as usize] += 1;
-            let slot = cursor[r as usize] as usize;
-            adj_targets[slot] = l;
-            adj_edges[slot] = e as u32;
-            cursor[r as usize] += 1;
-        }
-
-        // Connected components, seeded in ascending id (= name) order so
-        // component indices sort by smallest member name.
-        let mut comp_of = vec![u32::MAX; n];
-        let mut comp_count = 0u32;
-        let mut queue: VecDeque<RelId> = VecDeque::new();
-        for v in 0..n {
-            if comp_of[v] != u32::MAX {
-                continue;
-            }
-            comp_of[v] = comp_count;
-            queue.push_back(v as RelId);
-            while let Some(r) = queue.pop_front() {
-                let (lo, hi) = (
-                    adj_offsets[r as usize] as usize,
-                    adj_offsets[r as usize + 1] as usize,
-                );
-                for &next in &adj_targets[lo..hi] {
-                    if comp_of[next as usize] == u32::MAX {
-                        comp_of[next as usize] = comp_count;
-                        queue.push_back(next);
-                    }
-                }
-            }
-            comp_count += 1;
-        }
+        // first, then right — matching the legacy push order), then the
+        // connected components seeded in ascending id (= name) order.
+        let (adj_offsets, adj_targets, adj_edges) = build_csr(n, &join_left, &join_right);
+        let (comp_of, comp_count) = components_from(n, &adj_offsets, &adj_targets);
 
         Hypergraph {
-            relations,
-            joins,
+            relations: Arc::new(relations),
+            joins: Arc::new(joins),
             interner,
             adj_offsets,
             adj_targets,
@@ -390,6 +439,17 @@ impl Hypergraph {
             .collect()
     }
 
+    /// The sub-hypergraph of one component by index (`0..component_count()`).
+    /// Lets delta maintenance rebuild only the components a change
+    /// touched, Arc-sharing the rest.
+    ///
+    /// # Panics
+    /// When `comp >= component_count()`.
+    pub fn component(&self, comp: u32) -> Hypergraph {
+        assert!(comp < self.comp_count, "component index out of range");
+        self.component_subgraph(comp)
+    }
+
     /// Is the given set of relations mutually connected *within this
     /// hypergraph* (all in one component)? The empty set and singletons
     /// are trivially connected. With the precomputed component index
@@ -414,7 +474,7 @@ impl Hypergraph {
     /// `rel` (and with it every incident join constraint) — Def. 3's
     /// `H'_R(MKB')`. Erasing a vertex may disconnect the graph.
     pub fn without_relation(&self, rel: &RelName) -> Hypergraph {
-        let mut relations = self.relations.clone();
+        let mut relations = (*self.relations).clone();
         relations.remove(rel);
         let joins = self
             .joins

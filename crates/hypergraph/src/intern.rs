@@ -71,6 +71,68 @@ impl Interner {
     pub fn names(&self) -> &[RelName] {
         &self.names
     }
+
+    // ---- incremental growth (delta maintenance) -----------------------
+    //
+    // The three operations below derive a new interner from this one
+    // without re-hashing every name: `RelName` is `Arc<str>`-backed, so
+    // cloning the table is pointer bumps, and only the inserted name is
+    // hashed. Ids shift to keep the id-order == name-order invariant; the
+    // returned positions tell the caller exactly how to remap its own
+    // id-keyed arrays (`old >= pos` shifts by one).
+
+    /// A new interner with `name` added, plus the id it received.
+    /// Every pre-existing id `>= returned id` shifts up by one.
+    /// `None` when `name` is already interned.
+    pub fn with_inserted(&self, name: &RelName) -> Option<(Interner, RelId)> {
+        let pos = match self.names.binary_search(name) {
+            Ok(_) => return None,
+            Err(pos) => pos,
+        };
+        let mut names = Vec::with_capacity(self.names.len() + 1);
+        names.extend_from_slice(&self.names[..pos]);
+        names.push(name.clone());
+        names.extend_from_slice(&self.names[pos..]);
+        let mut lookup = self.lookup.clone();
+        for id in lookup.values_mut() {
+            if *id >= pos as RelId {
+                *id += 1;
+            }
+        }
+        lookup.insert(name.clone(), pos as RelId);
+        Some((Interner { names, lookup }, pos as RelId))
+    }
+
+    /// A new interner with `name` removed, plus the id it held.
+    /// Every pre-existing id `> returned id` shifts down by one.
+    /// `None` when `name` is not interned.
+    pub fn with_removed(&self, name: &RelName) -> Option<(Interner, RelId)> {
+        let pos = self.get(name)?;
+        let mut names = Vec::with_capacity(self.names.len() - 1);
+        names.extend_from_slice(&self.names[..pos as usize]);
+        names.extend_from_slice(&self.names[pos as usize + 1..]);
+        let mut lookup = self.lookup.clone();
+        lookup.remove(name);
+        for id in lookup.values_mut() {
+            if *id > pos {
+                *id -= 1;
+            }
+        }
+        Some((Interner { names, lookup }, pos))
+    }
+
+    /// A new interner with `from` renamed to `to`, plus `from`'s old id
+    /// and `to`'s new id. Equivalent to remove-then-insert; the caller
+    /// remaps its arrays through the implied id permutation. `None` when
+    /// `from` is absent or `to` already interned.
+    pub fn with_renamed(&self, from: &RelName, to: &RelName) -> Option<(Interner, RelId, RelId)> {
+        if self.lookup.contains_key(to) {
+            return None;
+        }
+        let (mid, old_id) = self.with_removed(from)?;
+        let (out, new_id) = mid.with_inserted(to)?;
+        Some((out, old_id, new_id))
+    }
 }
 
 #[cfg(test)]
@@ -88,5 +150,65 @@ mod tests {
         assert_eq!(it.get(&RelName::new("C")), Some(2));
         assert_eq!(it.get(&RelName::new("Z")), None);
         assert_eq!(it.name(1).as_str(), "B");
+    }
+
+    fn interner(names: &[&str]) -> Interner {
+        let set: BTreeSet<RelName> = names.iter().map(|s| RelName::new(*s)).collect();
+        Interner::from_sorted(set)
+    }
+
+    /// The incremental ops must agree with a from-scratch build of the
+    /// mutated name set, id for id.
+    fn assert_same(a: &Interner, b: &Interner) {
+        assert_eq!(a.names(), b.names());
+        for (i, n) in a.names().iter().enumerate() {
+            assert_eq!(a.get(n), Some(i as RelId));
+            assert_eq!(b.get(n), Some(i as RelId));
+        }
+    }
+
+    #[test]
+    fn with_inserted_matches_rebuild() {
+        let it = interner(&["B", "D", "F"]);
+        for name in ["A", "C", "E", "G"] {
+            let (grown, id) = it.with_inserted(&RelName::new(name)).unwrap();
+            let rebuilt = interner(&["B", "D", "F", name]);
+            assert_same(&grown, &rebuilt);
+            assert_eq!(grown.get(&RelName::new(name)), Some(id));
+        }
+        assert!(it.with_inserted(&RelName::new("B")).is_none());
+    }
+
+    #[test]
+    fn with_removed_matches_rebuild() {
+        let it = interner(&["A", "B", "C"]);
+        let (shrunk, id) = it.with_removed(&RelName::new("B")).unwrap();
+        assert_eq!(id, 1);
+        assert_same(&shrunk, &interner(&["A", "C"]));
+        assert!(it.with_removed(&RelName::new("Z")).is_none());
+    }
+
+    #[test]
+    fn with_renamed_matches_rebuild() {
+        let it = interner(&["A", "B", "C"]);
+        // Rename that moves forwards, backwards, and in place.
+        for (from, to, expect) in [
+            ("A", "Z", ["B", "C", "Z"]),
+            ("C", "0", ["0", "A", "B"]),
+            ("B", "Bb", ["A", "Bb", "C"]),
+        ] {
+            let (renamed, old_id, new_id) = it
+                .with_renamed(&RelName::new(from), &RelName::new(to))
+                .unwrap();
+            assert_same(&renamed, &interner(&expect));
+            assert_eq!(it.get(&RelName::new(from)), Some(old_id));
+            assert_eq!(renamed.get(&RelName::new(to)), Some(new_id));
+        }
+        assert!(it
+            .with_renamed(&RelName::new("A"), &RelName::new("B"))
+            .is_none());
+        assert!(it
+            .with_renamed(&RelName::new("Z"), &RelName::new("Y"))
+            .is_none());
     }
 }

@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod delta;
 pub mod dot;
 pub(crate) mod faults;
 pub mod graph;
@@ -43,6 +44,7 @@ pub mod paths;
 pub mod relset;
 pub(crate) mod telem;
 
+pub use delta::GraphDelta;
 pub use graph::Hypergraph;
 pub use intern::{Interner, RelId};
 pub use paths::{ConnectionTree, ConnectionTreeIter, TreeCursor};

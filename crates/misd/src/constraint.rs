@@ -97,6 +97,12 @@ impl JoinConstraint {
     pub fn attrs(&self) -> BTreeSet<AttrRef> {
         self.predicate.attrs()
     }
+
+    /// Does the join predicate reference `target`? Equivalent to
+    /// `self.attrs().contains(target)` without materialising the set.
+    pub fn contains_attr(&self, target: &AttrRef) -> bool {
+        self.predicate.contains_attr(target)
+    }
 }
 
 impl fmt::Display for JoinConstraint {

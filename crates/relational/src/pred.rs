@@ -153,6 +153,12 @@ impl Clause {
         s
     }
 
+    /// Does either operand reference `target`? Equivalent to
+    /// `self.attrs().contains(target)` without materialising the set.
+    pub fn contains_attr(&self, target: &AttrRef) -> bool {
+        self.lhs.contains_attr(target) || self.rhs.contains_attr(target)
+    }
+
     /// All relations referenced.
     pub fn relations(&self) -> BTreeSet<RelName> {
         self.attrs().into_iter().map(|a| a.relation).collect()
@@ -392,6 +398,12 @@ impl Conjunction {
             s.extend(c.attrs());
         }
         s
+    }
+
+    /// Does any clause reference `target`? Equivalent to
+    /// `self.attrs().contains(target)` without materialising the set.
+    pub fn contains_attr(&self, target: &AttrRef) -> bool {
+        self.clauses.iter().any(|c| c.contains_attr(target))
     }
 
     /// All relations referenced.

@@ -26,10 +26,12 @@
 pub mod chaos;
 pub mod library;
 pub mod scenario;
+pub mod stream;
 pub mod synth;
 pub mod travel;
 
 pub use chaos::{random_view_fault_plan, FAULT_SITES};
 pub use library::LibraryFixture;
+pub use stream::change_stream;
 pub use synth::{random_views, views_touching, SynthConfig, SynthError, SynthWorkload, Topology};
 pub use travel::TravelFixture;

@@ -1,0 +1,189 @@
+//! Randomized capability-change streams.
+//!
+//! The incremental-maintenance benchmarks and the delta≡rebuild
+//! equivalence suite both need long, *valid* sequences of capability
+//! changes: every change must be applicable to the MKB state produced by
+//! the changes before it. [`change_stream`] generates such a sequence by
+//! keeping a scratch MKB, drawing weighted random candidate changes and
+//! admitting only those `eve_misd::evolve` accepts — the same gate the
+//! synchronizer itself applies — so a generated stream replays cleanly
+//! through `Synchronizer::apply_all` in any maintenance mode.
+//!
+//! The operator mix is weighted toward the cheap structural edits real
+//! schema evolution is dominated by (attribute adds/renames), with the
+//! destructive operators kept rare enough that long streams don't
+//! consume the schema: add-attribute 25%, rename-attribute 20%,
+//! rename-relation 15%, add-relation 15%, delete-attribute 15%,
+//! delete-relation 10%.
+
+use eve_misd::{evolve, CapabilityChange, MetaKnowledgeBase, RelationDescription};
+use eve_relational::{AttrName, AttrRef, AttributeDef, DataType, RelName};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate `count` capability changes, each valid against the MKB state
+/// left behind by its predecessors, deterministic in `seed`.
+///
+/// Destructive picks are bounded so the stream cannot starve itself: a
+/// relation is only deleted while more than two remain, and an attribute
+/// only while its relation keeps at least two. Candidates `evolve`
+/// rejects (e.g. deleting an attribute some constraint still needs) are
+/// simply redrawn.
+///
+/// # Panics
+///
+/// Panics if no admissible change can be found after many redraws —
+/// which only happens for degenerate inputs (an MKB so small and
+/// constrained that every operator is inapplicable).
+pub fn change_stream(mkb: &MetaKnowledgeBase, count: usize, seed: u64) -> Vec<CapabilityChange> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x57ea_u64);
+    let mut scratch = mkb.clone();
+    let mut out = Vec::with_capacity(count);
+    let mut fresh = 0usize; // monotone counter for generated names
+    let mut attempts = 0usize;
+    let budget = count * 200 + 200;
+    while out.len() < count {
+        attempts += 1;
+        assert!(
+            attempts < budget,
+            "change stream stalled after {} of {} changes: no admissible candidate",
+            out.len(),
+            count
+        );
+        let Some(change) = candidate(&scratch, &mut rng, &mut fresh) else {
+            continue;
+        };
+        match evolve(&scratch, &change) {
+            Ok(next) => {
+                scratch = next;
+                out.push(change);
+            }
+            Err(_) => continue, // inadmissible under current constraints — redraw
+        }
+    }
+    out
+}
+
+/// Draw one weighted candidate change against the current scratch state.
+/// `None` when the drawn operator has no applicable target right now.
+fn candidate(
+    mkb: &MetaKnowledgeBase,
+    rng: &mut StdRng,
+    fresh: &mut usize,
+) -> Option<CapabilityChange> {
+    let rels: Vec<_> = mkb.relations().collect();
+    let pick = |rng: &mut StdRng| rels[rng.gen_range(0..rels.len())];
+    let next_id = |fresh: &mut usize| {
+        *fresh += 1;
+        *fresh
+    };
+    Some(match rng.gen_range(0..100u32) {
+        // add-attribute (25%)
+        0..=24 => {
+            let r = pick(rng);
+            CapabilityChange::AddAttribute {
+                relation: r.name.clone(),
+                attr: AttributeDef::new(format!("x{}", next_id(fresh)), DataType::Int),
+            }
+        }
+        // rename-attribute (20%)
+        25..=44 => {
+            let r = pick(rng);
+            let a = &r.attrs[rng.gen_range(0..r.attrs.len())];
+            CapabilityChange::RenameAttribute {
+                from: AttrRef::new(r.name.clone(), a.name.clone()),
+                to: AttrName::new(format!("{}r{}", a.name, next_id(fresh))),
+            }
+        }
+        // rename-relation (15%)
+        45..=59 => {
+            let r = pick(rng);
+            CapabilityChange::RenameRelation {
+                from: r.name.clone(),
+                to: RelName::new(format!("N{}", next_id(fresh))),
+            }
+        }
+        // add-relation (15%)
+        60..=74 => {
+            let name = RelName::new(format!("A{}", next_id(fresh)));
+            CapabilityChange::AddRelation(RelationDescription::new(
+                format!("IS_{name}"),
+                name.clone(),
+                vec![
+                    AttributeDef::new("k", DataType::Int),
+                    AttributeDef::new("v0", DataType::Int),
+                ],
+            ))
+        }
+        // delete-attribute (15%) — keep at least two attributes so the
+        // relation stays joinable and the stream stays productive.
+        75..=89 => {
+            let r = pick(rng);
+            if r.attrs.len() < 2 {
+                return None;
+            }
+            let a = &r.attrs[rng.gen_range(0..r.attrs.len())];
+            CapabilityChange::DeleteAttribute(AttrRef::new(r.name.clone(), a.name.clone()))
+        }
+        // delete-relation (10%) — never shrink below two relations.
+        _ => {
+            if rels.len() <= 2 {
+                return None;
+            }
+            CapabilityChange::DeleteRelation(pick(rng).name.clone())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthWorkload, Topology};
+
+    fn base() -> MetaKnowledgeBase {
+        SynthWorkload::random(
+            &SynthConfig {
+                n_relations: 12,
+                topology: Topology::Random { extra: 4 },
+                ..SynthConfig::default()
+            },
+            5,
+        )
+        .mkb
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_replayable() {
+        let mkb = base();
+        let a = change_stream(&mkb, 64, 17);
+        let b = change_stream(&mkb, 64, 17);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        // Every change applies cleanly in order — the defining property.
+        let mut state = mkb;
+        for (i, c) in a.iter().enumerate() {
+            state = evolve(&state, c).unwrap_or_else(|e| panic!("change {i} ({c}) rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn stream_mixes_all_six_operators() {
+        let mkb = base();
+        let stream = change_stream(&mkb, 128, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &stream {
+            seen.insert(c.operator_name());
+        }
+        assert_eq!(
+            seen.len(),
+            6,
+            "expected all six operators in a 128-change stream, saw {seen:?}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mkb = base();
+        assert_ne!(change_stream(&mkb, 32, 1), change_stream(&mkb, 32, 2));
+    }
+}

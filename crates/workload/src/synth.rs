@@ -53,6 +53,21 @@ pub enum Topology {
         /// Number of extra chord edges.
         extra: usize,
     },
+    /// `⌈n / size⌉` independent clusters with **no cross-cluster
+    /// joins** — each cluster is a chain of up to `size` consecutive
+    /// relations plus `extra` random chords drawn inside the cluster.
+    /// This models the paper's federated setting: a large evolvable
+    /// information space made of autonomous IS groups, where one
+    /// capability change perturbs a single group. Touched-component
+    /// work (and so incremental index maintenance) stays `O(size)`
+    /// however large the whole space grows.
+    Clusters {
+        /// Relations per cluster (clamped to ≥ 2; the last cluster may
+        /// be smaller).
+        size: usize,
+        /// Random chord edges added inside each cluster.
+        extra: usize,
+    },
 }
 
 /// Configuration for [`SynthWorkload::random`].
@@ -472,6 +487,28 @@ impl SynthWorkload {
                     let b = rng.gen_range(0..cfg.n_relations);
                     if a != b && edges.insert((a.min(b), a.max(b))) {
                         added += 1;
+                    }
+                }
+            }
+            Topology::Clusters { size, extra } => {
+                let size = size.max(2);
+                for start in (0..cfg.n_relations).step_by(size) {
+                    let end = (start + size).min(cfg.n_relations);
+                    for i in start..end.saturating_sub(1) {
+                        edges.insert((i, i + 1));
+                    }
+                    if end - start < 2 {
+                        continue; // singleton tail cluster: no chords possible
+                    }
+                    let mut added = 0;
+                    let mut attempts = 0;
+                    while added < extra && attempts < extra * 20 {
+                        attempts += 1;
+                        let a = rng.gen_range(start..end);
+                        let b = rng.gen_range(start..end);
+                        if a != b && edges.insert((a.min(b), a.max(b))) {
+                            added += 1;
+                        }
                     }
                 }
             }
@@ -1033,6 +1070,51 @@ mod tests {
         assert!(shapes.len() > 1, "fan-out views must not all be identical");
         // Deterministic per seed.
         assert_eq!(views, views_touching(&w.mkb, &w.target, 8, 3, 11));
+    }
+
+    /// End-to-end coverage of the `RelSet` heap fallback: a relation
+    /// universe beyond the inline bitset capacity (256 ids) must flow
+    /// through index build, the CVS search and the synchronizer exactly
+    /// like a small one — same outcomes, no panics, no silent clamping.
+    #[test]
+    fn relset_heap_fallback_synchronizes_large_universe() {
+        use eve_core::{SynchronizerBuilder, ViewOutcome};
+        use eve_hypergraph::{RelSet, INLINE_BITS};
+
+        let cfg = SynthConfig {
+            n_relations: 300,
+            topology: Topology::Random { extra: 24 },
+            cover_count: 3,
+            view_relations: 3,
+            ..SynthConfig::default()
+        };
+        let w = SynthWorkload::random(&cfg, 11);
+        assert!(w.mkb.relation_count() > INLINE_BITS);
+        assert!(
+            !RelSet::with_universe(w.mkb.relation_count()).is_inline(),
+            "a {}-relation universe must use the heap representation",
+            w.mkb.relation_count()
+        );
+
+        // The low-level search path.
+        let mkb2 = evolve(&w.mkb, &w.delete_change()).unwrap();
+        let reps = cvs_delete_relation(&w.view, &w.target, &w.mkb, &mkb2, &CvsOptions::default());
+        assert!(reps.is_ok(), "{reps:?}");
+        assert!(!reps.unwrap().is_empty());
+
+        // The full synchronizer pipeline (default incremental index
+        // maintenance) on the same workload.
+        let mut s = SynchronizerBuilder::new(w.mkb.clone())
+            .with_view(w.view.clone())
+            .expect("synthetic view is valid")
+            .build();
+        let outcome = s.apply(&w.delete_change()).expect("change applies");
+        assert!(
+            matches!(outcome.views[0].1, ViewOutcome::Rewritten { .. }),
+            "{:?}",
+            outcome.views[0].1
+        );
+        assert!(!s.views().next().unwrap().uses_relation(&w.target));
     }
 
     #[test]

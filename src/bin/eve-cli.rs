@@ -6,9 +6,20 @@
 //! eve-cli views <views.esql> [--mkb <mkb.misd>]   # parse/validate/typecheck E-SQL views
 //! eve-cli sync --mkb <mkb.misd> --views <views.esql> \
 //!          (--change "delete-relation Customer" [--change ...] | --snapshot <new.misd>)
-//!          [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>]
-//!          [--faults "<plan>"] [--fail-fast]
+//!          [--at-version <n>] [--cost] [--require-p3] [--explain]
+//!          [--trace] [--trace-out <trace.jsonl>] [--faults "<plan>"] [--fail-fast]
+//! eve-cli history --mkb <mkb.misd> --views <views.esql> \
+//!          --change "<op> ..." [--change ...]     # version chain + delta summaries
 //! ```
+//!
+//! `sync --at-version <n>` time-travels after the changes apply: instead
+//! of the final surviving views it prints the views as recorded at chain
+//! version `n` (0 = the initial state, `i` = after the `i`-th change),
+//! reconstructed from the synchronizer's structurally-shared version
+//! chain. `history` applies the changes and renders the whole chain —
+//! one line per version with the change that produced it and the delta
+//! summary of what the incremental index maintenance did (constraints
+//! dropped, maps shared vs rebuilt).
 //!
 //! `--trace` prints the per-phase timing tree (apply → per-view sync →
 //! index build → tree enumeration → ranking) and a metrics summary after
@@ -46,14 +57,18 @@ fn main() -> ExitCode {
         Some("dot") => cmd_dot(&args[1..]),
         Some("views") => cmd_views(&args[1..]),
         Some("sync") => cmd_sync(&args[1..]),
+        Some("history") => cmd_history(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  eve-cli mkb <mkb.misd>\n  eve-cli dot <mkb.misd>\n  \
                  eve-cli views <views.esql> [--mkb <mkb.misd>]\n  \
                  eve-cli sync --mkb <mkb.misd> --views <views.esql> \
                  (--change \"<op> ...\" [--change ...] | --snapshot <new.misd>) \
+                 [--at-version <n>] \
                  [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>] \
-                 [--faults \"<plan>\"] [--fail-fast]"
+                 [--faults \"<plan>\"] [--fail-fast]\n  \
+                 eve-cli history --mkb <mkb.misd> --views <views.esql> \
+                 --change \"<op> ...\" [--change ...]"
             );
             ExitCode::from(2)
         }
@@ -184,6 +199,71 @@ fn flag_values(args: &[String], flag: &str) -> Vec<String> {
     out
 }
 
+/// `history`: apply a change sequence and render the resulting version
+/// chain — one line per version with the producing change and, when the
+/// index was maintained incrementally, the delta summary.
+fn cmd_history(args: &[String]) -> ExitCode {
+    let Some(mkb_path) = flag_value(args, "--mkb") else {
+        return fail("history: missing --mkb <file>".into());
+    };
+    let Some(views_path) = flag_value(args, "--views") else {
+        return fail("history: missing --views <file>".into());
+    };
+    let change_texts = flag_values(args, "--change");
+    if change_texts.is_empty() {
+        return fail("history: at least one --change \"<op> ...\" required".into());
+    }
+    let mkb = match load_mkb(&mkb_path) {
+        Ok(m) => m,
+        Err(e) => return fail(e),
+    };
+    let views_text = match read(&views_path) {
+        Ok(t) => t,
+        Err(e) => return fail(e),
+    };
+    let views = match parse_views(&views_text) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("{views_path}: {e}")),
+    };
+    let changes: Vec<CapabilityChange> = match change_texts
+        .iter()
+        .map(|t| CapabilityChange::parse(t).map_err(|e| format!("--change {t:?}: {e}")))
+        .collect()
+    {
+        Ok(c) => c,
+        Err(e) => return fail(e),
+    };
+    let mut builder = SynchronizerBuilder::new(mkb);
+    for v in views {
+        builder = match builder.with_view(v.clone()) {
+            Ok(b) => b,
+            Err(e) => return fail(format!("view {}: {e}", v.name)),
+        };
+    }
+    let mut sync = builder.build();
+    if let Err(e) = sync.apply_all(&changes) {
+        return fail(format!("MKB evolution failed: {e}"));
+    }
+    println!("version chain (head v{}):", sync.version());
+    for entry in sync.chain() {
+        let label = match entry.change() {
+            Some(c) => c.to_string(),
+            None => "initial".to_string(),
+        };
+        println!(
+            "v{}: {label} ({} relations, {} views, {} disabled)",
+            entry.version,
+            entry.snapshot.mkb.relation_count(),
+            entry.snapshot.views.len(),
+            entry.snapshot.disabled.len()
+        );
+        if let Some(d) = &entry.delta {
+            println!("    delta {d}");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_sync(args: &[String]) -> ExitCode {
     let Some(mkb_path) = flag_value(args, "--mkb") else {
         return fail("sync: missing --mkb <file>".into());
@@ -198,6 +278,17 @@ fn cmd_sync(args: &[String]) -> ExitCode {
             "sync: at least one --change \"<op> ...\" or a --snapshot <mkb.misd> required".into(),
         );
     }
+    let at_version = match flag_value(args, "--at-version") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                return fail(format!(
+                    "sync: --at-version {v:?}: expected a version number"
+                ))
+            }
+        },
+        None => None,
+    };
     let use_cost = args.iter().any(|a| a == "--cost");
     let require_p3 = args.iter().any(|a| a == "--require-p3");
     let explain = args.iter().any(|a| a == "--explain");
@@ -342,9 +433,30 @@ fn cmd_sync(args: &[String]) -> ExitCode {
                     println!();
                 }
             }
-            println!("surviving views:");
-            for v in sync.views() {
-                println!("\n{v}");
+            match at_version {
+                Some(n) => {
+                    // Time-travel: reconstruct the requested chain version
+                    // and print its views instead of the final state.
+                    let Some(past) = sync.at_version(n) else {
+                        return fail(format!(
+                            "sync: --at-version {n} out of range (head is v{})",
+                            sync.version()
+                        ));
+                    };
+                    match past.chain().last().and_then(|e| e.change()) {
+                        Some(c) => println!("views at version {n} (after {c}):"),
+                        None => println!("views at version {n} (initial state):"),
+                    }
+                    for v in past.views() {
+                        println!("\n{v}");
+                    }
+                }
+                None => {
+                    println!("surviving views:");
+                    for v in sync.views() {
+                        println!("\n{v}");
+                    }
+                }
             }
             let failed: usize = report.outcomes.iter().map(|o| o.failed()).sum();
             if report.disabled() > 0 {

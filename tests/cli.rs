@@ -263,7 +263,7 @@ fn trace_out_emits_jsonl_spans_and_metrics() {
     for phase in [
         "apply",
         "view-sync",
-        "index-build",
+        "index-from-cores",
         "tree-enumeration",
         "ranking",
     ] {
@@ -276,6 +276,112 @@ fn trace_out_emits_jsonl_spans_and_metrics() {
     assert!(counter_names
         .iter()
         .any(|n| n == "search.candidates_generated"));
+}
+
+#[test]
+fn history_renders_version_chain_with_deltas() {
+    let (ok, stdout, stderr) = cli(&[
+        "history",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "delete-attribute Customer.Addr",
+        "--change",
+        "delete-relation Customer",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("version chain (head v2):"), "{stdout}");
+    assert!(stdout.contains("v0: initial (8 relations"), "{stdout}");
+    assert!(
+        stdout.contains("v1: delete-attribute Customer.Addr"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("v2: delete-relation Customer"), "{stdout}");
+    // Every non-initial version carries an incremental-maintenance delta
+    // summary (the index is delta-maintained by default).
+    assert!(stdout.contains("delta delete-attribute:"), "{stdout}");
+    assert!(stdout.contains("delta delete-relation:"), "{stdout}");
+    assert!(stdout.contains("join(s)"), "{stdout}");
+}
+
+#[test]
+fn history_requires_a_change() {
+    let (ok, _, stderr) = cli(&[
+        "history",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--change"), "{stderr}");
+}
+
+#[test]
+fn sync_at_version_time_travels() {
+    // After deleting Addr then Customer, version 1 still has the
+    // Addr-less rewriting of Asia-Customer routed through Person.
+    let (_, stdout, _) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "delete-attribute Customer.Addr",
+        "--change",
+        "delete-relation Customer",
+        "--at-version",
+        "1",
+    ]);
+    assert!(
+        stdout.contains("views at version 1 (after delete-attribute Customer.Addr):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Person.PAddr"), "{stdout}");
+    // The final state (Customer deleted) is not what gets printed.
+    assert!(!stdout.contains("surviving views:"), "{stdout}");
+}
+
+#[test]
+fn sync_at_version_zero_is_initial_state() {
+    let (ok, stdout, _) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "rename-relation Tour -> Excursion",
+        "--at-version",
+        "0",
+    ]);
+    assert!(ok);
+    assert!(
+        stdout.contains("views at version 0 (initial state):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("Tour.TourName"), "{stdout}");
+    assert!(!stdout.contains("Excursion.TourName"), "{stdout}");
+}
+
+#[test]
+fn sync_at_version_out_of_range_rejected() {
+    let (ok, _, stderr) = cli(&[
+        "sync",
+        "--mkb",
+        "fixtures/travel.misd",
+        "--views",
+        "fixtures/travel_views.esql",
+        "--change",
+        "rename-relation Tour -> Excursion",
+        "--at-version",
+        "9",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("out of range"), "{stderr}");
 }
 
 #[test]

@@ -1,0 +1,154 @@
+//! Property-based equivalence of incremental index maintenance and
+//! from-scratch rebuilds.
+//!
+//! The contract of `IndexCore::apply_delta` + `MkbIndex::from_cores` is
+//! *rebuild equivalence*: a synchronizer that maintains its index by
+//! typed deltas (the default `IndexMaintenance::Incremental`, and the
+//! carry-free `IncrementalFresh`) must produce **byte-identical
+//! outcomes** — rewritings, search statistics, disabled sets, evolved
+//! MKBs — to one that rebuilds the index from scratch on every change
+//! (`IndexMaintenance::Rebuild`, whose index path is the original
+//! `MkbIndex::new`). The streams come from
+//! [`eve::workload::change_stream`], which mixes all six capability
+//! change operators, and equivalence is asserted after **every prefix**
+//! of the stream, not just at the end.
+//!
+//! The version chain rides the same harness: `at_version(v)` on the
+//! delta-maintained synchronizer must reproduce exactly the state the
+//! rebuild-mode synchronizer passed through at prefix `v`.
+
+use eve::cvs::{CvsOptions, IndexMaintenance, Synchronizer, SynchronizerBuilder};
+use eve::misd::MetaKnowledgeBase;
+use eve::workload::{change_stream, random_views, SynthConfig, SynthWorkload, Topology};
+use proptest::prelude::*;
+
+fn build(mkb: &MetaKnowledgeBase, mode: IndexMaintenance, seed: u64) -> Synchronizer {
+    let mut b = SynchronizerBuilder::new(mkb.clone()).with_options(CvsOptions {
+        index_maintenance: mode,
+        ..CvsOptions::default()
+    });
+    for v in random_views(mkb, 3, 3, seed) {
+        b = b.with_view(v).expect("synthetic view is valid");
+    }
+    b.build()
+}
+
+/// Observable synchronizer state, for prefix-by-prefix comparison.
+fn observe(s: &Synchronizer) -> (MetaKnowledgeBase, Vec<String>, Vec<String>) {
+    (
+        s.mkb().clone(),
+        s.views().map(|v| v.to_string()).collect(),
+        s.disabled_views().map(|(n, _)| n.to_string()).collect(),
+    )
+}
+
+fn config() -> impl Strategy<Value = SynthConfig> {
+    (
+        6usize..14,
+        prop_oneof![
+            Just(Topology::Chain),
+            Just(Topology::Ring),
+            (0usize..8).prop_map(|extra| Topology::Random { extra }),
+        ],
+        1usize..4,
+    )
+        .prop_map(|(n_relations, topology, cover_count)| SynthConfig {
+            n_relations,
+            topology,
+            cover_count,
+            view_relations: 3,
+            ..SynthConfig::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// After every prefix of a random change stream, all three index
+    /// maintenance modes agree on the full `ChangeOutcome` (rewritings,
+    /// per-view search stats, disabled sets) and on the evolved state.
+    #[test]
+    fn all_maintenance_modes_agree_on_every_prefix(
+        cfg in config(),
+        seed in 0u64..500,
+        len in 4usize..14,
+    ) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let stream = change_stream(&w.mkb, len, seed);
+        let mut rebuild = build(&w.mkb, IndexMaintenance::Rebuild, seed);
+        let mut inc = build(&w.mkb, IndexMaintenance::Incremental, seed);
+        let mut fresh = build(&w.mkb, IndexMaintenance::IncrementalFresh, seed);
+        for (i, c) in stream.iter().enumerate() {
+            let a = rebuild.apply(c);
+            let b = inc.apply(c);
+            let f = fresh.apply(c);
+            prop_assert!(a.is_ok(), "prefix {i} ({c}): rebuild rejected: {a:?}");
+            let (a, b, f) = (a.unwrap(), b.unwrap(), f.unwrap());
+            // ChangeOutcome equality covers every view's outcome,
+            // including byte-identical SearchStats (cache counters are
+            // deliberately excluded from its PartialEq).
+            prop_assert_eq!(&a, &b, "prefix {} ({}): incremental diverged", i, c);
+            prop_assert_eq!(&a, &f, "prefix {} ({}): incremental-fresh diverged", i, c);
+            prop_assert_eq!(
+                observe(&rebuild),
+                observe(&inc),
+                "prefix {} ({}): state diverged",
+                i,
+                c
+            );
+            prop_assert_eq!(observe(&rebuild), observe(&fresh));
+        }
+    }
+
+    /// `at_version(v)` on the delta-maintained synchronizer reproduces,
+    /// for every `v`, exactly the state an independent rebuild-mode
+    /// synchronizer passed through after the same `v`-change prefix.
+    #[test]
+    fn at_version_reproduces_rebuild_history(
+        cfg in config(),
+        seed in 0u64..500,
+        len in 3usize..10,
+    ) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let stream = change_stream(&w.mkb, len, seed);
+        let mut rebuild = build(&w.mkb, IndexMaintenance::Rebuild, seed);
+        let mut inc = build(&w.mkb, IndexMaintenance::Incremental, seed);
+        let mut trail = vec![observe(&rebuild)];
+        for c in &stream {
+            rebuild.apply(c).expect("stream change applies");
+            inc.apply(c).expect("stream change applies");
+            trail.push(observe(&rebuild));
+        }
+        prop_assert_eq!(inc.version(), stream.len());
+        for (v, expected) in trail.iter().enumerate() {
+            let fork = inc.at_version(v).expect("recorded version");
+            prop_assert_eq!(&observe(&fork), expected, "version {} drifted", v);
+            // The fork is a live synchronizer at that version.
+            prop_assert_eq!(fork.version(), v);
+        }
+    }
+}
+
+/// One long seeded stream (the shape the nightly randomized CI job
+/// runs): 64 changes over a redundant information space, all three
+/// modes, prefix-by-prefix.
+#[test]
+fn long_stream_smoke() {
+    let cfg = SynthConfig {
+        n_relations: 16,
+        topology: Topology::Random { extra: 8 },
+        cover_count: 3,
+        global_cover_prob: 0.5,
+        ..SynthConfig::default()
+    };
+    let w = SynthWorkload::random(&cfg, 7);
+    let stream = change_stream(&w.mkb, 64, 7);
+    let mut rebuild = build(&w.mkb, IndexMaintenance::Rebuild, 7);
+    let mut inc = build(&w.mkb, IndexMaintenance::Incremental, 7);
+    for (i, c) in stream.iter().enumerate() {
+        let a = rebuild.apply(c).expect("stream change applies");
+        let b = inc.apply(c).expect("stream change applies");
+        assert_eq!(a, b, "prefix {i} ({c}) diverged");
+    }
+    assert_eq!(observe(&rebuild), observe(&inc));
+}
