@@ -21,6 +21,14 @@
 //!
 //! Output: two lines on stdout —
 //! `median_ns_per_iter=<n>` and `cursor_median_ns_per_iter=<n>`.
+//!
+//! With `--enabled` (default build only), the probe instead compares a
+//! *live* pipeline against a live pipeline with the flight recorder
+//! armed: `enabled_median_ns_per_iter=<n>` (telemetry installed, no
+//! sinks) and `recorder_median_ns_per_iter=<n>` (plus
+//! `flight_install`). CI asserts the recorder stays within 5% of the
+//! enabled pipeline — the per-event cost is one uncontended mutex push
+//! into a bounded ring.
 
 use eve_core::{cvs_delete_relation_indexed, CvsOptions, MkbIndex};
 use eve_hypergraph::Hypergraph;
@@ -31,11 +39,50 @@ use std::time::Instant;
 
 const VIEWS: usize = 8;
 
+fn median_ns(iters: usize, mut f: impl FnMut()) -> u64 {
+    let mut samples: Vec<u64> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// The `--enabled` A/B: live pipeline vs live pipeline + recorder.
+#[cfg(feature = "telemetry")]
+fn enabled_probe(iters: usize, one_iter: impl Fn()) {
+    let _serial = eve_telemetry::serial_guard();
+    for _ in 0..5 {
+        one_iter(); // warm-up outside the pipeline
+    }
+
+    eve_telemetry::install(vec![]).expect("no other pipeline installed");
+    let enabled = median_ns(iters, &one_iter);
+    println!("enabled_median_ns_per_iter={enabled}");
+
+    eve_telemetry::flight_install(4096, None).expect("no other recorder installed");
+    let recorder = median_ns(iters, &one_iter);
+    println!("recorder_median_ns_per_iter={recorder}");
+    let stats = eve_telemetry::flight_uninstall().expect("recorder was installed");
+    assert!(
+        stats.buffered > 0,
+        "recorder observed nothing — probe is vacuous"
+    );
+    eve_telemetry::uninstall();
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn enabled_probe(_iters: usize, _one_iter: impl Fn()) {
+    eprintln!("overhead --enabled requires the default `telemetry` feature");
+    std::process::exit(2);
+}
+
 fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(60);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let enabled_mode = args.iter().any(|a| a == "--enabled");
+    let iters: usize = args.iter().find_map(|a| a.parse().ok()).unwrap_or(60);
 
     let cfg = SynthConfig {
         n_relations: 64,
@@ -56,19 +103,17 @@ fn main() {
         }
     };
 
+    if enabled_mode {
+        enabled_probe(iters, one_iter);
+        return;
+    }
+
     // Warm-up: fault in code paths and allocator arenas before timing.
     for _ in 0..5 {
         one_iter();
     }
 
-    let mut samples: Vec<u64> = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t = Instant::now();
-        one_iter();
-        samples.push(t.elapsed().as_nanos() as u64);
-    }
-    samples.sort_unstable();
-    println!("median_ns_per_iter={}", samples[samples.len() / 2]);
+    println!("median_ns_per_iter={}", median_ns(iters, one_iter));
 
     // Probe 2: the id-level enumeration core in isolation. Stream every
     // connection tree over the wide workload's view relations; the
@@ -90,16 +135,12 @@ fn main() {
         "wide workload enumerates at least one tree"
     );
 
-    let mut samples: Vec<u64> = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let t = Instant::now();
+    let cursor_median = median_ns(iters, || {
         // 64 full streams per sample: one stream is sub-microsecond,
         // too close to timer resolution to compare builds on.
         for _ in 0..64 {
             std::hint::black_box(cursor_iter());
         }
-        samples.push(t.elapsed().as_nanos() as u64);
-    }
-    samples.sort_unstable();
-    println!("cursor_median_ns_per_iter={}", samples[samples.len() / 2]);
+    });
+    println!("cursor_median_ns_per_iter={cursor_median}");
 }

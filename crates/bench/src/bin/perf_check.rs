@@ -18,10 +18,21 @@
 //! `min_ratio`× faster. Both sides run in-process back to back, so the
 //! ratio needs no committed baseline and is robust to host speed.
 //!
+//! A third mode is the perf-regression sentinel: `perf_check --history
+//! [FILE]` (default `results/BENCH_history.jsonl`) re-measures the
+//! tracked scenario, judges it against the rolling median of the prior
+//! rows for the same scenario (> 20% slower = regression, exit 1), and
+//! appends the new row to the ledger. Rows carry a timestamp and git
+//! revision passed in via `--ts` / `--rev` (or `EVE_BENCH_TS` /
+//! `EVE_BENCH_REV`) — never computed in-process. For deterministic CI
+//! self-tests, `--scenario S --current-ns N` skips measurement and
+//! judges the given figure instead.
+//!
 //! Usage: `perf_check [baseline.json] [min_ratio]`
 //! (defaults: `BENCH_cvs.json`, `3.0`). Exits non-zero when the ratio
 //! falls short or the baseline row cannot be found.
 
+use eve_bench::history::{self, HistoryRow, DEFAULT_THRESHOLD};
 use eve_bench::perf::{maintain_ab, STREAM_CHANGES};
 use eve_core::{cvs_delete_relation_searched, CvsOptions, MkbIndex, SearchBudget};
 use eve_misd::evolve;
@@ -79,8 +90,108 @@ fn stream_guard(min_ratio: f64) {
     }
 }
 
+/// `--ts` / `--rev` flag, falling back to the environment, falling
+/// back to `"unknown"` — never a clock or `git` subprocess.
+fn stamp(flags: &std::collections::HashMap<String, String>, flag: &str, env: &str) -> String {
+    flags
+        .get(flag)
+        .cloned()
+        .or_else(|| std::env::var(env).ok())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `--history` sentinel: judge the current median against the
+/// ledger's rolling baseline, then append it as a new row.
+fn history_sentinel(rest: &[String]) {
+    let mut path = std::path::PathBuf::from("results/BENCH_history.jsonl");
+    let mut flags = std::collections::HashMap::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let value = it.next().unwrap_or_else(|| {
+                eprintln!("perf_check: --{name} needs a value");
+                std::process::exit(2);
+            });
+            flags.insert(name.to_string(), value.clone());
+        } else {
+            path = std::path::PathBuf::from(arg);
+        }
+    }
+
+    let (scenario, current_ns) = match (flags.get("scenario"), flags.get("current-ns")) {
+        // Deterministic probe: judge a given figure, no measurement.
+        (Some(s), Some(ns)) => {
+            let ns: u128 = ns.parse().unwrap_or_else(|e| {
+                eprintln!("perf_check: bad --current-ns: {e}");
+                std::process::exit(2);
+            });
+            (s.clone(), ns)
+        }
+        (None, None) => {
+            // Measure the tracked scenario (same body as the ratio
+            // guard below, best-of-SERIES median).
+            let wide = SynthWorkload::wide_mkb(4, 3);
+            let change = wide.delete_change();
+            let mkb2 = evolve(&wide.mkb, &change).expect("target described");
+            let opts = CvsOptions {
+                budget: SearchBudget::unlimited(),
+                ..CvsOptions::default()
+            };
+            let run = || {
+                let index = MkbIndex::new(&wide.mkb, &mkb2, &opts);
+                cvs_delete_relation_searched(&wide.view, &wide.target, &index, &opts, false, None)
+                    .expect("wide workload is synchronizable")
+            };
+            run(); // warm-up
+            let best = (0..SERIES)
+                .map(|_| {
+                    median_ns(ITERS, || {
+                        run();
+                    })
+                })
+                .min()
+                .expect("SERIES > 0");
+            (SCENARIO.to_string(), best as u128)
+        }
+        _ => {
+            eprintln!("perf_check: --scenario and --current-ns must be given together");
+            std::process::exit(2);
+        }
+    };
+
+    let prior = match std::fs::read_to_string(&path) {
+        Ok(text) => history::parse_rows(&text),
+        Err(_) => Vec::new(), // first run seeds the ledger
+    };
+    let verdict = history::check(&prior, &scenario, current_ns, DEFAULT_THRESHOLD);
+    println!("{}", history::render_verdict(&verdict));
+
+    let row = HistoryRow {
+        ts: stamp(&flags, "ts", "EVE_BENCH_TS"),
+        rev: stamp(&flags, "rev", "EVE_BENCH_REV"),
+        scenario,
+        median_ns: current_ns,
+    };
+    history::append_rows(&path, &[row])
+        .unwrap_or_else(|e| panic!("cannot append to {}: {e}", path.display()));
+
+    if verdict.regressed {
+        eprintln!(
+            "perf-sentinel FAILED: {} regressed past the {:.0}% threshold",
+            verdict.scenario,
+            (DEFAULT_THRESHOLD - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("--history") {
+        history_sentinel(&argv[1..]);
+        return;
+    }
+    let mut args = argv.into_iter();
     let first = args.next();
     if first.as_deref() == Some("--stream") {
         let min_ratio: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5.0);

@@ -20,6 +20,7 @@
 pub mod cost_rank;
 pub mod examples;
 pub mod figures;
+pub mod history;
 pub mod perf;
 pub mod support;
 pub mod sweeps;

@@ -559,6 +559,7 @@ mod tests {
                 pruned: 4,
                 kept: 1,
                 trees_enumerated: 2,
+                disconnected_combos: 0,
                 budget_exhausted: false,
             }),
         }];

@@ -178,6 +178,7 @@ mod tests {
             pruned: 2,
             kept: 1,
             trees_enumerated: 3,
+            disconnected_combos: 0,
             budget_exhausted: false,
         };
         let text = explain_rewriting_with_stats(&view, &rewritings[0], Some(&stats));

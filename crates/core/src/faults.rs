@@ -30,16 +30,18 @@ mod real {
     /// Returns `true` exactly when a budget-exhaustion fault fired (the
     /// site truncates its search); panic/transient faults unwind from
     /// inside, delays sleep and return `false`. Every injected fault is
-    /// also counted on the `faults.injected` telemetry counter.
+    /// also counted on the `faults.injected` telemetry counter and
+    /// captured by the flight recorder (scope/site/hit/kind).
     #[inline]
     pub(crate) fn hit(site: &str) -> bool {
         if !eve_faults::active() {
             return false;
         }
-        match eve_faults::check(site) {
+        match eve_faults::check_fired(site) {
             None => false,
-            Some(kind) => {
+            Some((kind, fired)) => {
                 crate::telem::counter_add("faults.injected", 1);
+                crate::telem::flight_fault(&fired.scope, &fired.site, fired.hit, fired.kind);
                 eve_faults::execute(site, kind)
             }
         }

@@ -137,6 +137,14 @@ pub fn compute_replacements_indexed(
     while let Some(rep) = stream.next_candidate(&mut |_| false) {
         out.push(rep);
     }
+    // Same single accumulation path as the budgeted search: counters
+    // are read out of the stream, never counted in parallel.
+    if crate::telem::enabled() && stream.disconnected_combos() > 0 {
+        crate::telem::counter_add(
+            "search.disconnected_combos",
+            stream.disconnected_combos() as u64,
+        );
+    }
     if out.is_empty() {
         return Err(if stream.any_disconnected() {
             CvsError::Disconnected
@@ -258,6 +266,7 @@ pub(crate) struct ReplacementStream<'a, 'm> {
     max_trees: usize,
     trees_enumerated: usize,
     combos_pruned: usize,
+    disconnected_combos: usize,
     any_disconnected: bool,
     tree_budget_exhausted: bool,
 }
@@ -418,6 +427,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
             max_trees,
             trees_enumerated: 0,
             combos_pruned: 0,
+            disconnected_combos: 0,
             any_disconnected: false,
             tree_budget_exhausted: false,
         })
@@ -518,7 +528,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
             if combo.provably_disconnected {
                 // Enumeration over these terminals is provably empty.
                 self.any_disconnected = true;
-                crate::telem::counter_add("search.disconnected_combos", 1);
+                self.disconnected_combos += 1;
                 continue;
             }
             let Some((c_max_min, dropped_conditions)) = combo.cmm.clone() else {
@@ -557,7 +567,6 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 if remaining == 0 {
                     // Combinations remain but the tree budget is spent.
                     self.tree_budget_exhausted = true;
-                    crate::telem::counter_add("search.tree_budget_exhausted", 1);
                     return None;
                 }
                 let chunk = self.opts.max_trees_per_combination.min(remaining);
@@ -572,7 +581,7 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
                 );
                 if trees.is_empty() {
                     self.any_disconnected = true;
-                    crate::telem::counter_add("search.disconnected_combos", 1);
+                    self.disconnected_combos += 1;
                     continue;
                 }
                 self.trees_enumerated += trees.len();
@@ -610,6 +619,14 @@ impl<'a, 'm> ReplacementStream<'a, 'm> {
     /// Combinations skipped by the caller's prune callback.
     pub(crate) fn combos_pruned(&self) -> usize {
         self.combos_pruned
+    }
+
+    /// Combinations whose tree enumeration was (provably or actually)
+    /// empty. Counted here and only read out by the caller, so the
+    /// `search.disconnected_combos` counter and `SearchStats` can
+    /// never drift apart.
+    pub(crate) fn disconnected_combos(&self) -> usize {
+        self.disconnected_combos
     }
 
     /// Did the global tree budget cut the enumeration short?

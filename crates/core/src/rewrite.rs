@@ -323,6 +323,9 @@ pub struct SearchStats {
     pub kept: usize,
     /// Connection trees enumerated across all cover combinations.
     pub trees_enumerated: usize,
+    /// Cover combinations whose tree enumeration was (provably or
+    /// actually) empty.
+    pub disconnected_combos: usize,
     /// Did any budget (`max_candidates`, `max_trees`, `deadline`) cut
     /// the search short? When `false` the result is exhaustive up to
     /// `top_k` — identical to the legacy materialize-then-rank
@@ -625,11 +628,13 @@ pub fn cvs_delete_relation_searched(
         pruned: pruned_candidates + stream.combos_pruned(),
         kept: selector.len(),
         trees_enumerated: stream.trees_enumerated(),
+        disconnected_combos: stream.disconnected_combos(),
         budget_exhausted: deadline_hit || candidate_cap_hit || stream.tree_budget_exhausted(),
     };
-    // The registry totals are a read-out of the same counters that feed
-    // `SearchStats`, so the per-view public API and the process-wide
-    // metrics can never disagree.
+    // The registry totals are a read-out of `stats` (which itself reads
+    // the stream's accumulators) — one accumulation path, so the
+    // per-view public API and the process-wide metrics can never
+    // disagree.
     if crate::telem::enabled() {
         rank_span.field("generated", stats.generated as u64);
         rank_span.field("pruned", stats.pruned as u64);
@@ -639,6 +644,17 @@ pub fn cvs_delete_relation_searched(
         crate::telem::counter_add("search.candidates_pruned", stats.pruned as u64);
         crate::telem::counter_add("search.candidates_kept", stats.kept as u64);
         crate::telem::counter_add("search.trees_enumerated", stats.trees_enumerated as u64);
+        if stats.disconnected_combos > 0 {
+            crate::telem::counter_add(
+                "search.disconnected_combos",
+                stats.disconnected_combos as u64,
+            );
+        }
+        if stream.tree_budget_exhausted() {
+            // Covers both exhaustion sites (budget spent mid-stream and
+            // the clipped-fill case the old inline counter missed).
+            crate::telem::counter_add("search.tree_budget_exhausted", 1);
+        }
         if stats.budget_exhausted {
             crate::telem::counter_add("search.budget_exhausted", 1);
         }

@@ -690,6 +690,10 @@ impl Synchronizer {
                 .filter(|(_, o)| matches!(o, ViewOutcome::Revived))
                 .count();
             telem::counter_add("sync.views.revived", revived as u64);
+            // Point-in-time levels for the scrape endpoint: how many
+            // views are live vs parked after this change.
+            telem::gauge_set("sync.views_active", self.views.len() as u64);
+            telem::gauge_set("sync.views_disabled", self.disabled.len() as u64);
         }
         Ok(outcome)
     }
@@ -722,6 +726,9 @@ impl Synchronizer {
             };
             match policy {
                 FailurePolicy::FailFast => {
+                    // Last chance for evidence: dump the flight-recorder
+                    // window before the panic unwinds out of the engine.
+                    telem::flight_trigger("sync-panic", &change.to_string(), name);
                     std::panic::resume_unwind(Box::new(SyncPanic {
                         change: change.to_string(),
                         view: name.to_string(),
@@ -746,6 +753,7 @@ impl Synchronizer {
                         }
                     }
                     telem::counter_add("service.view_failures", 1);
+                    telem::flight_trigger("view-failed", &change.to_string(), name);
                     return ViewOutcome::Failed {
                         error: if transient {
                             SyncFailure::Transient { message }

@@ -7,7 +7,10 @@
 //! feature themselves.
 
 #[cfg(feature = "telemetry")]
-pub(crate) use eve_telemetry::{counter_add, enabled, span, span_under, start_timer, stop_timer};
+pub(crate) use eve_telemetry::{
+    counter_add, enabled, flight_fault, flight_trigger, gauge_set, span, span_under, start_timer,
+    stop_timer,
+};
 
 #[cfg(not(feature = "telemetry"))]
 pub(crate) use inert::*;
@@ -70,6 +73,15 @@ mod inert {
 
     #[inline(always)]
     pub(crate) fn counter_add(_name: &str, _n: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn gauge_set(_name: &str, _value: u64) {}
+
+    #[inline(always)]
+    pub(crate) fn flight_fault(_scope: &str, _site: &str, _hit: u64, _kind: &str) {}
+
+    #[inline(always)]
+    pub(crate) fn flight_trigger(_reason: &str, _change: &str, _view: &str) {}
 
     #[inline(always)]
     pub(crate) fn record_duration_ns(_name: &str, _ns: u64) {}

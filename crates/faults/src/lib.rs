@@ -415,6 +415,13 @@ fn mix(seed: u64, scope: &str, site: &str, hit: u64) -> u64 {
 /// that fires, if any. Counting happens even when no spec matches — hit
 /// indices address the site's full deterministic hit sequence.
 pub fn check(site: &str) -> Option<FaultKind> {
+    check_fired(site).map(|(kind, _)| kind)
+}
+
+/// Like [`check`], but also returns the [`FiredFault`] record for the
+/// firing, so callers (e.g. the engine's flight-recorder hook) can
+/// observe scope/site/hit without re-deriving them.
+pub fn check_fired(site: &str) -> Option<(FaultKind, FiredFault)> {
     if !active() {
         return None;
     }
@@ -449,13 +456,14 @@ pub fn check(site: &str) -> Option<FaultKind> {
             }
         }
         reg.injected.fetch_add(1, Ordering::Relaxed);
-        lock(&reg.fired).push(FiredFault {
+        let fired = FiredFault {
             scope: scope.clone(),
             site: site.to_string(),
             hit,
             kind: spec.kind.tag(),
-        });
-        return Some(spec.kind);
+        };
+        lock(&reg.fired).push(fired.clone());
+        return Some((spec.kind, fired));
     }
     None
 }

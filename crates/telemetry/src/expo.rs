@@ -1,0 +1,198 @@
+//! Metrics exposition: render the live registry as Prometheus text
+//! (version 0.0.4) and a [`MetricsSnapshot`] as one JSON document.
+//!
+//! Hand-rolled like everything else in this crate — the workspace has
+//! no route to crates.io, so there is no prometheus client library to
+//! lean on. The text format is small enough to emit directly:
+//!
+//! * counters become `eve_<name>_total` with `# TYPE ... counter`;
+//! * gauges become `eve_<name>` with `# TYPE ... gauge`;
+//! * histograms become cumulative `_bucket{le="..."}` series over the
+//!   power-of-two bucket bounds (clipped to the highest occupied
+//!   bucket, then `+Inf`), plus `_sum` and `_count`; the registry's
+//!   bucket-bound quantile estimates ride along as `_p50` / `_p95`
+//!   gauges since one metric name cannot be both histogram and
+//!   summary.
+//!
+//! Metric names are sanitised to `[a-zA-Z0-9_]` (dots and dashes map
+//! to `_`) and prefixed `eve_`; histogram names get a `_ns` unit
+//! suffix unless they already carry one.
+
+use crate::{bucket_bound, json, HistogramSummary, MetricsSnapshot};
+
+/// `sync.views_active` → `eve_sync_views_active`.
+fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("eve_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn histogram_base(name: &str) -> String {
+    let base = sanitize(name);
+    if base.ends_with("_ns") {
+        base
+    } else {
+        format!("{base}_ns")
+    }
+}
+
+/// Render the installed pipeline's registry as Prometheus text
+/// exposition format. `None` when no pipeline is installed.
+pub fn prometheus_text() -> Option<String> {
+    let inner = super::current_inner()?;
+    let mut out = String::new();
+    for (name, value) in inner.registry.counter_values() {
+        let p = sanitize(&name);
+        out.push_str(&format!("# TYPE {p}_total counter\n{p}_total {value}\n"));
+    }
+    for (name, value) in inner.registry.gauge_values() {
+        let p = sanitize(&name);
+        out.push_str(&format!("# TYPE {p} gauge\n{p} {value}\n"));
+    }
+    for (name, hist) in inner.registry.histogram_handles() {
+        let p = histogram_base(&name);
+        let counts = hist.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        let top = counts.iter().rposition(|&c| c > 0).unwrap_or(0);
+        out.push_str(&format!("# TYPE {p} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &c) in counts.iter().enumerate().take(top + 1) {
+            cumulative += c;
+            out.push_str(&format!(
+                "{p}_bucket{{le=\"{}\"}} {cumulative}\n",
+                bucket_bound(i)
+            ));
+        }
+        out.push_str(&format!("{p}_bucket{{le=\"+Inf\"}} {total}\n"));
+        out.push_str(&format!("{p}_sum {}\n", hist.sum_ns()));
+        out.push_str(&format!("{p}_count {total}\n"));
+        let summary = hist.summary();
+        out.push_str(&format!(
+            "# TYPE {p}_p50 gauge\n{p}_p50 {}\n# TYPE {p}_p95 gauge\n{p}_p95 {}\n",
+            summary.p50_ns, summary.p95_ns
+        ));
+    }
+    Some(out)
+}
+
+fn histogram_json(h: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
+        h.count, h.sum_ns, h.p50_ns, h.p95_ns, h.max_ns
+    )
+}
+
+/// Render a [`MetricsSnapshot`] as one JSON document with `counters`,
+/// `gauges`, and `histograms` objects (names unsanitised — this is the
+/// machine-readable registry dump, not the Prometheus surface).
+pub fn snapshot_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, value)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{value}", json::escape(name)));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{value}", json::escape(name)));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", json::escape(name), histogram_json(h)));
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_prefixes_and_maps_punctuation() {
+        assert_eq!(sanitize("sync.views_active"), "eve_sync_views_active");
+        assert_eq!(sanitize("span.view-sync"), "eve_span_view_sync");
+        assert_eq!(histogram_base("span.apply"), "eve_span_apply_ns");
+        assert_eq!(
+            histogram_base("service.read_wait_ns"),
+            "eve_service_read_wait_ns"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_requires_a_pipeline() {
+        let _serial = crate::serial_guard();
+        assert!(prometheus_text().is_none());
+    }
+
+    #[test]
+    fn prometheus_text_renders_all_families() {
+        let _serial = crate::serial_guard();
+        crate::install(vec![]).unwrap();
+        crate::counter_add("sync.changes", 3);
+        crate::gauge_set("sync.views_active", 7);
+        crate::record_duration_ns("engine.view_sync_ns", 0);
+        crate::record_duration_ns("engine.view_sync_ns", 5);
+        crate::record_duration_ns("engine.view_sync_ns", 1024);
+        let text = prometheus_text().unwrap();
+        crate::uninstall().unwrap();
+
+        assert!(text.contains("# TYPE eve_sync_changes_total counter\n"));
+        assert!(text.contains("eve_sync_changes_total 3\n"));
+        assert!(text.contains("# TYPE eve_sync_views_active gauge\n"));
+        assert!(text.contains("eve_sync_views_active 7\n"));
+        assert!(text.contains("# TYPE eve_engine_view_sync_ns histogram\n"));
+        // cumulative buckets: zeros bucket, then [4,7] covers 5, then 1024
+        assert!(text.contains("eve_engine_view_sync_ns_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("eve_engine_view_sync_ns_bucket{le=\"7\"} 2\n"));
+        assert!(text.contains("eve_engine_view_sync_ns_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("eve_engine_view_sync_ns_sum 1029\n"));
+        assert!(text.contains("eve_engine_view_sync_ns_count 3\n"));
+        assert!(text.contains("# TYPE eve_engine_view_sync_ns_p50 gauge\n"));
+
+        // every non-comment line is `name{labels}? value`
+        for line in text.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (name, value) = line.split_once(' ').unwrap_or_else(|| panic!("{line}"));
+            assert!(!name.is_empty() && value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn snapshot_json_is_valid_and_complete() {
+        let _serial = crate::serial_guard();
+        crate::install(vec![]).unwrap();
+        crate::counter_add("sync.changes", 1);
+        crate::gauge_set("sync.views_active", 2);
+        crate::record_duration_ns("h", 9);
+        let snap = crate::uninstall().unwrap();
+        let doc = snapshot_json(&snap);
+        json::validate(&doc).unwrap_or_else(|e| panic!("bad snapshot json: {e}\n{doc}"));
+        assert!(doc.contains("\"counters\":{\"sync.changes\":1}"));
+        assert!(doc.contains("\"gauges\":{\"sync.views_active\":2}"));
+        assert!(doc.contains("\"histograms\":{\"h\":{\"count\":1"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty_objects() {
+        let doc = snapshot_json(&MetricsSnapshot::default());
+        assert_eq!(doc, "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+        json::validate(&doc).unwrap();
+    }
+}

@@ -1,0 +1,479 @@
+//! Flight recorder: bounded per-thread rings of recent telemetry
+//! events, merged into a deterministic postmortem dump.
+//!
+//! The recorder is a black box for the sync pipeline: while enabled it
+//! captures span opens/closes, counter deltas, and fault firings into a
+//! small ring per thread (each ring is written by exactly one thread,
+//! so its mutex is uncontended — the closest std-only,
+//! `forbid(unsafe_code)` equivalent of a lock-free SPSC ring). When a
+//! failure surfaces — `FailFast` about to re-raise a `SyncPanic`, or
+//! `Degrade` about to land a `ViewOutcome::Failed` — the engine calls
+//! [`flight_trigger`], which merges every ring into one canonical JSONL
+//! dump and writes it to the configured path.
+//!
+//! ## Determinism
+//!
+//! The dump is byte-identical across reruns and worker counts for the
+//! same pinned fault seed, because:
+//!
+//! * fault hits are counted per `(scope, site)` in `eve-faults`, so
+//!   which attempt fires is independent of thread interleaving;
+//! * the fan-out barrier (`parpool::map_in_order`) completes every
+//!   per-view task before failures are resolved serially in view
+//!   registration order, so the recorded event *multiset* is fixed;
+//! * the canonical form excludes everything scheduling-dependent —
+//!   durations, span ids, thread ordinals, timestamps — and sorts the
+//!   rendered lines lexicographically.
+//!
+//! The guarantee holds while no ring overflows (`dropped == 0` in the
+//! header); an overflowing window keeps the *newest* events per thread,
+//! which is the right postmortem bias but is capacity-dependent.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+use crate::json;
+use crate::AlreadyInstalled;
+
+/// One captured telemetry event. Kept small: dynamic strings are only
+/// allocated while the recorder is enabled.
+#[derive(Debug, Clone)]
+enum FlightEvent {
+    /// A span was opened.
+    SpanOpen { name: &'static str },
+    /// A span closed (duration is kept in memory but excluded from the
+    /// canonical dump — timing belongs to `--trace-out`).
+    SpanClose {
+        name: &'static str,
+        label: Option<String>,
+        fields: Vec<(&'static str, u64)>,
+        #[allow(dead_code)]
+        dur_ns: u64,
+    },
+    /// A counter was bumped by `delta`.
+    Counter { name: String, delta: u64 },
+    /// A seeded fault fired at `scope`/`site` on the given hit.
+    Fault {
+        scope: String,
+        site: String,
+        hit: u64,
+        kind: String,
+    },
+}
+
+/// One thread's bounded event window. Single-writer: only the owning
+/// thread pushes, so the lock is uncontended except during a dump.
+struct Ring {
+    events: Mutex<VecDeque<FlightEvent>>,
+    dropped: AtomicU64,
+}
+
+impl Ring {
+    fn push(&self, capacity: usize, event: FlightEvent) {
+        let mut events = self.events.lock().unwrap_or_else(|e| e.into_inner());
+        if events.len() == capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(event);
+    }
+}
+
+struct FlightInner {
+    /// Monotone install generation, so thread-local ring caches from a
+    /// previous recorder are never written into a new one.
+    generation: u64,
+    capacity: usize,
+    auto_dump_path: Option<PathBuf>,
+    rings: Mutex<Vec<Arc<Ring>>>,
+    last_dump: Mutex<Option<String>>,
+}
+
+/// One-load fast path: `true` iff a recorder is installed.
+static FLIGHT_ON: AtomicBool = AtomicBool::new(false);
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+
+fn flight_state() -> &'static RwLock<Option<Arc<FlightInner>>> {
+    static STATE: OnceLock<RwLock<Option<Arc<FlightInner>>>> = OnceLock::new();
+    STATE.get_or_init(|| RwLock::new(None))
+}
+
+fn current_flight() -> Option<Arc<FlightInner>> {
+    flight_state()
+        .read()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone()
+}
+
+thread_local! {
+    /// This thread's ring in the current recorder generation.
+    static MY_RING: RefCell<Option<(u64, Arc<Ring>)>> = const { RefCell::new(None) };
+}
+
+/// Is a flight recorder installed? One relaxed atomic load.
+#[inline]
+pub fn flight_enabled() -> bool {
+    FLIGHT_ON.load(Ordering::Relaxed)
+}
+
+/// Occupancy read-out of an installed recorder, for bounded-memory
+/// assertions and dump headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Number of per-thread rings allocated so far.
+    pub threads: usize,
+    /// Events currently buffered across all rings.
+    pub buffered: usize,
+    /// Events evicted (oldest-first) across all rings.
+    pub dropped: u64,
+    /// Per-ring capacity the recorder was installed with.
+    pub capacity: usize,
+}
+
+/// Install a process-wide flight recorder holding up to `capacity`
+/// recent events *per thread*. When `auto_dump_path` is set, failure
+/// triggers ([`flight_trigger`]) also write the dump there.
+///
+/// Independent of the telemetry pipeline: events are captured at the
+/// same call sites, but the recorder can run with or without sinks.
+pub fn flight_install(
+    capacity: usize,
+    auto_dump_path: Option<PathBuf>,
+) -> Result<(), AlreadyInstalled> {
+    let mut guard = flight_state().write().unwrap_or_else(|e| e.into_inner());
+    if guard.is_some() {
+        return Err(AlreadyInstalled);
+    }
+    *guard = Some(Arc::new(FlightInner {
+        generation: GENERATION.fetch_add(1, Ordering::SeqCst) + 1,
+        capacity: capacity.max(1),
+        auto_dump_path,
+        rings: Mutex::new(Vec::new()),
+        last_dump: Mutex::new(None),
+    }));
+    FLIGHT_ON.store(true, Ordering::SeqCst);
+    Ok(())
+}
+
+/// Tear down the recorder, returning its final occupancy. `None` if no
+/// recorder was installed.
+pub fn flight_uninstall() -> Option<FlightStats> {
+    FLIGHT_ON.store(false, Ordering::SeqCst);
+    let inner = flight_state()
+        .write()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()?;
+    Some(stats_of(&inner))
+}
+
+/// Occupancy of the installed recorder, or `None`.
+pub fn flight_stats() -> Option<FlightStats> {
+    current_flight().map(|inner| stats_of(&inner))
+}
+
+fn stats_of(inner: &FlightInner) -> FlightStats {
+    let rings = inner.rings.lock().unwrap_or_else(|e| e.into_inner());
+    FlightStats {
+        threads: rings.len(),
+        buffered: rings
+            .iter()
+            .map(|r| r.events.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum(),
+        dropped: rings
+            .iter()
+            .map(|r| r.dropped.load(Ordering::Relaxed))
+            .sum(),
+        capacity: inner.capacity,
+    }
+}
+
+/// The dump produced by the most recent [`flight_trigger`], if any.
+pub fn flight_last_dump() -> Option<String> {
+    let inner = current_flight()?;
+    let last = inner.last_dump.lock().unwrap_or_else(|e| e.into_inner());
+    last.clone()
+}
+
+fn record(event: FlightEvent) {
+    let Some(inner) = current_flight() else {
+        return;
+    };
+    MY_RING.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let stale = match &*slot {
+            Some((generation, _)) => *generation != inner.generation,
+            None => true,
+        };
+        if stale {
+            let ring = Arc::new(Ring {
+                events: Mutex::new(VecDeque::with_capacity(inner.capacity.min(1024))),
+                dropped: AtomicU64::new(0),
+            });
+            inner
+                .rings
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(ring.clone());
+            *slot = Some((inner.generation, ring));
+        }
+        let (_, ring) = slot.as_ref().expect("ring just ensured");
+        ring.push(inner.capacity, event);
+    });
+}
+
+/// Hook: a span opened (called from `open_span`).
+pub(crate) fn note_span_open(name: &'static str) {
+    if flight_enabled() {
+        record(FlightEvent::SpanOpen { name });
+    }
+}
+
+/// Hook: a span closed (called from `Span::drop`).
+pub(crate) fn note_span_close(
+    name: &'static str,
+    label: &Option<String>,
+    fields: &[(&'static str, u64)],
+    dur_ns: u64,
+) {
+    if flight_enabled() {
+        record(FlightEvent::SpanClose {
+            name,
+            label: label.clone(),
+            fields: fields.to_vec(),
+            dur_ns,
+        });
+    }
+}
+
+/// Hook: a counter was bumped (called from `counter_add`).
+pub(crate) fn note_counter(name: &str, delta: u64) {
+    if flight_enabled() {
+        record(FlightEvent::Counter {
+            name: name.to_string(),
+            delta,
+        });
+    }
+}
+
+/// Record a seeded fault firing. Called by the engine's fault facade
+/// with plain values so `eve-telemetry` stays decoupled from
+/// `eve-faults` types.
+pub fn flight_fault(scope: &str, site: &str, hit: u64, kind: &str) {
+    if flight_enabled() {
+        record(FlightEvent::Fault {
+            scope: scope.to_string(),
+            site: site.to_string(),
+            hit,
+            kind: kind.to_string(),
+        });
+    }
+}
+
+/// Render the canonical (sorted, scheduling-independent) body of the
+/// current window, one JSON object per line. `None` if no recorder is
+/// installed.
+pub fn flight_dump() -> Option<String> {
+    let inner = current_flight()?;
+    Some(render_body(&inner))
+}
+
+fn render_event(event: &FlightEvent, out: &mut Vec<String>) {
+    match event {
+        FlightEvent::SpanOpen { name } => out.push(format!(
+            "{{\"type\":\"span-open\",\"name\":\"{}\"}}",
+            json::escape(name)
+        )),
+        FlightEvent::SpanClose {
+            name,
+            label,
+            fields,
+            ..
+        } => {
+            let mut line = format!("{{\"type\":\"span\",\"name\":\"{}\"", json::escape(name));
+            if let Some(label) = label {
+                line.push_str(&format!(",\"label\":\"{}\"", json::escape(label)));
+            }
+            line.push_str(",\"fields\":{");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&format!("\"{}\":{}", json::escape(k), v));
+            }
+            line.push_str("}}");
+            out.push(line);
+        }
+        FlightEvent::Counter { name, delta } => out.push(format!(
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"delta\":{delta}}}",
+            json::escape(name)
+        )),
+        FlightEvent::Fault {
+            scope,
+            site,
+            hit,
+            kind,
+        } => out.push(format!(
+            "{{\"type\":\"fault\",\"scope\":\"{}\",\"site\":\"{}\",\"hit\":{hit},\"kind\":\"{}\"}}",
+            json::escape(scope),
+            json::escape(site),
+            json::escape(kind)
+        )),
+    }
+}
+
+fn render_body(inner: &FlightInner) -> String {
+    let rings: Vec<Arc<Ring>> = inner
+        .rings
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .clone();
+    let mut lines = Vec::new();
+    for ring in rings {
+        let events = ring.events.lock().unwrap_or_else(|e| e.into_inner());
+        for event in events.iter() {
+            render_event(event, &mut lines);
+        }
+    }
+    lines.sort_unstable();
+    let mut body = lines.join("\n");
+    if !body.is_empty() {
+        body.push('\n');
+    }
+    body
+}
+
+/// Failure trigger: merge the window into a canonical dump prefixed by
+/// a header line carrying the trigger context, remember it (see
+/// [`flight_last_dump`]), and write it to the recorder's auto-dump
+/// path, if one was configured. No-op without an installed recorder.
+///
+/// The engine calls this just before `FailFast` re-raises a
+/// `SyncPanic` and just before `Degrade` returns a failed view.
+pub fn flight_trigger(reason: &str, change: &str, view: &str) {
+    if !flight_enabled() {
+        return;
+    }
+    let Some(inner) = current_flight() else {
+        return;
+    };
+    let stats = stats_of(&inner);
+    let body = render_body(&inner);
+    let events = if body.is_empty() {
+        0
+    } else {
+        body.lines().count()
+    };
+    let dump = format!(
+        "{{\"type\":\"flight-dump\",\"reason\":\"{}\",\"change\":\"{}\",\"view\":\"{}\",\
+         \"events\":{events},\"dropped\":{}}}\n{body}",
+        json::escape(reason),
+        json::escape(change),
+        json::escape(view),
+        stats.dropped
+    );
+    *inner.last_dump.lock().unwrap_or_else(|e| e.into_inner()) = Some(dump.clone());
+    if let Some(path) = &inner.auto_dump_path {
+        if let Err(e) = std::fs::write(path, &dump) {
+            eprintln!(
+                "eve-telemetry: failed to write flight dump to {}: {e}",
+                path.display()
+            );
+        }
+    }
+    crate::counter_add("flight.dumps", 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recorder_is_bounded_and_counts_drops() {
+        let _serial = crate::serial_guard();
+        flight_install(8, None).unwrap();
+        for i in 0..100u64 {
+            record(FlightEvent::Counter {
+                name: "c".into(),
+                delta: i,
+            });
+        }
+        let stats = flight_stats().unwrap();
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.buffered, 8);
+        assert_eq!(stats.dropped, 92);
+        // newest events survive
+        let dump = flight_dump().unwrap();
+        assert!(dump.contains("\"delta\":99"));
+        assert!(!dump.contains("\"delta\":42"));
+        flight_uninstall().unwrap();
+    }
+
+    #[test]
+    fn dump_is_sorted_and_valid_jsonl() {
+        let _serial = crate::serial_guard();
+        flight_install(64, None).unwrap();
+        flight_fault("CPA", "view.sync", 2, "panic");
+        note_span_open("apply");
+        note_counter("sync.changes", 1);
+        note_span_close("view-sync", &Some("CPA".into()), &[("task", 0)], 1234);
+        let dump = flight_dump().unwrap();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "canonical dump is sorted");
+        for line in &lines {
+            json::validate(line).unwrap_or_else(|e| panic!("bad line {line:?}: {e}"));
+        }
+        assert!(dump.contains("\"type\":\"fault\""));
+        assert!(dump.contains("\"hit\":2"));
+        assert!(!dump.contains("dur"), "canonical dump carries no timing");
+        flight_uninstall().unwrap();
+    }
+
+    #[test]
+    fn trigger_prepends_header_and_remembers_dump() {
+        let _serial = crate::serial_guard();
+        flight_install(64, None).unwrap();
+        note_counter("service.view_failures", 1);
+        flight_trigger("view-failed", "delete-relation \"R\"", "Tour-Catalog");
+        let dump = flight_last_dump().unwrap();
+        let header = dump.lines().next().unwrap();
+        json::validate(header).unwrap();
+        assert!(header.starts_with("{\"type\":\"flight-dump\",\"reason\":\"view-failed\""));
+        assert!(header.contains("\"events\":1"));
+        assert!(header.contains("\"dropped\":0"));
+        assert!(dump.contains("\"name\":\"service.view_failures\""));
+        flight_uninstall().unwrap();
+    }
+
+    #[test]
+    fn disabled_recorder_is_inert() {
+        let _serial = crate::serial_guard();
+        assert!(!flight_enabled());
+        note_counter("c", 1);
+        flight_fault("s", "x", 0, "panic");
+        flight_trigger("r", "c", "v");
+        assert!(flight_dump().is_none());
+        assert!(flight_last_dump().is_none());
+        assert!(flight_stats().is_none());
+        assert!(flight_uninstall().is_none());
+    }
+
+    #[test]
+    fn fresh_install_discards_previous_generation() {
+        let _serial = crate::serial_guard();
+        flight_install(8, None).unwrap();
+        note_counter("old", 1);
+        flight_uninstall().unwrap();
+        flight_install(8, None).unwrap();
+        note_counter("new", 1);
+        let dump = flight_dump().unwrap();
+        assert!(dump.contains("\"name\":\"new\""));
+        assert!(!dump.contains("\"name\":\"old\""));
+        flight_uninstall().unwrap();
+    }
+}

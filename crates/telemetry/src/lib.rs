@@ -21,8 +21,16 @@
 //!   open children with [`span_under`] on workers. On drop a span emits
 //!   a [`SpanRecord`] to every sink and records its duration into the
 //!   `span.<name>` histogram.
-//! * **Metrics** are plain named counters ([`counter_add`]) and
-//!   power-of-two-bucket histograms ([`record_duration_ns`]).
+//! * **Metrics** are plain named counters ([`counter_add`]), last-set
+//!   gauges ([`gauge_set`]), and power-of-two-bucket histograms
+//!   ([`record_duration_ns`]).
+//! * A **flight recorder** ([`flight_install`]) keeps a bounded ring
+//!   of recent events per thread and merges them into a deterministic
+//!   JSONL dump on demand or when the engine reports a failure (see
+//!   [`flight_trigger`] and the module docs in `flight.rs`).
+//! * **Exposition**: [`expo`] renders the registry as Prometheus text
+//!   or a JSON snapshot, and [`serve`] puts both behind a hand-rolled
+//!   HTTP/1.1 endpoint (`/metrics`, `/snapshot`, `/health`).
 //!
 //! ## Disabled fast path
 //!
@@ -49,7 +57,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock};
 use std::time::Instant;
 
+pub mod expo;
+mod flight;
 pub mod json;
+pub mod serve;
+
+pub use flight::{
+    flight_dump, flight_enabled, flight_fault, flight_install, flight_last_dump, flight_stats,
+    flight_trigger, flight_uninstall, FlightStats,
+};
 
 // ---------------------------------------------------------------------------
 // Global pipeline state
@@ -256,6 +272,7 @@ fn open_span(name: &'static str, parent: Option<u64>) -> Span {
     let start = Instant::now();
     let start_us = start.duration_since(inner.epoch).as_micros() as u64;
     SPAN_STACK.with(|s| s.borrow_mut().push(id));
+    flight::note_span_open(name);
     Span(Some(Box::new(ActiveSpan {
         inner,
         id,
@@ -322,6 +339,7 @@ impl Drop for Span {
             .registry
             .histogram(&format!("span.{}", a.name))
             .record(dur_ns);
+        flight::note_span_close(record.name, &record.label, &record.fields, dur_ns);
         for sink in &a.inner.sinks {
             sink.span(&record);
         }
@@ -332,11 +350,12 @@ impl Drop for Span {
 // Metrics registry
 // ---------------------------------------------------------------------------
 
-/// Process-wide named counters and histograms. One registry lives for
-/// the duration of an installed pipeline.
+/// Process-wide named counters, gauges, and histograms. One registry
+/// lives for the duration of an installed pipeline.
 #[derive(Default)]
 pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
 }
 
@@ -351,6 +370,23 @@ impl Registry {
             return c.clone();
         }
         self.counters
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        if let Some(g) = self
+            .gauges
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+        {
+            return g.clone();
+        }
+        self.gauges
             .write()
             .unwrap_or_else(|e| e.into_inner())
             .entry(name.to_string())
@@ -376,24 +412,44 @@ impl Registry {
     }
 
     fn snapshot(&self) -> MetricsSnapshot {
-        let counters = self
-            .counters
+        MetricsSnapshot {
+            counters: self.counter_values(),
+            gauges: self.gauge_values(),
+            histograms: self
+                .histograms
+                .read()
+                .unwrap_or_else(|e| e.into_inner())
+                .iter()
+                .map(|(name, h)| (name.clone(), h.summary()))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
             .map(|(name, c)| (name.clone(), c.load(Ordering::Relaxed)))
-            .collect();
-        let histograms = self
-            .histograms
+            .collect()
+    }
+
+    pub(crate) fn gauge_values(&self) -> Vec<(String, u64)> {
+        self.gauges
             .read()
             .unwrap_or_else(|e| e.into_inner())
             .iter()
-            .map(|(name, h)| (name.clone(), h.summary()))
-            .collect();
-        MetricsSnapshot {
-            counters,
-            histograms,
-        }
+            .map(|(name, g)| (name.clone(), g.load(Ordering::Relaxed)))
+            .collect()
+    }
+
+    pub(crate) fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .map(|(name, h)| (name.clone(), h.clone()))
+            .collect()
     }
 }
 
@@ -405,6 +461,19 @@ pub fn counter_add(name: &str, n: u64) {
     }
     if let Some(inner) = current_inner() {
         inner.registry.counter(name).fetch_add(n, Ordering::Relaxed);
+        flight::note_counter(name, n);
+    }
+}
+
+/// Set the named gauge to `value` (no-op when disabled). Gauges are
+/// last-write-wins point-in-time levels (e.g. `sync.views_active`),
+/// unlike counters which only accumulate.
+pub fn gauge_set(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    if let Some(inner) = current_inner() {
+        inner.registry.gauge(name).store(value, Ordering::Relaxed);
     }
 }
 
@@ -472,6 +541,16 @@ impl Histogram {
         self.max.fetch_max(ns, Ordering::Relaxed);
     }
 
+    /// Raw per-bucket counts, for cumulative exposition.
+    pub(crate) fn bucket_counts(&self) -> [u64; 65] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Running sum of all observations, in nanoseconds.
+    pub(crate) fn sum_ns(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
     /// Summarise current contents (racy reads are fine: each cell is
     /// individually consistent).
     pub fn summary(&self) -> HistogramSummary {
@@ -536,6 +615,8 @@ pub struct HistogramSummary {
 pub struct MetricsSnapshot {
     /// All counters, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// All gauges (last-set values), sorted by name.
+    pub gauges: Vec<(String, u64)>,
     /// All histogram summaries, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
 }
@@ -547,6 +628,11 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
+    }
+
+    /// Value of the named gauge, if it was ever set.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
     /// Summary of the named histogram, if it was ever touched.
@@ -601,10 +687,43 @@ impl Sink for Collector {
 }
 
 /// Sink that writes one JSON object per line: `{"type":"span",...}`
-/// while running, then `{"type":"counter",...}` and
-/// `{"type":"histogram",...}` lines when the pipeline is uninstalled.
+/// while running, then `{"type":"counter",...}`, `{"type":"gauge",...}`
+/// and `{"type":"histogram",...}` lines when the pipeline is
+/// uninstalled.
+///
+/// Output is buffered ([`JsonlSink::create`] wraps the file in a
+/// `BufWriter`) and flushed when the sink drops. Write failures are
+/// *surfaced*, not swallowed: the first I/O error is retained (check
+/// it with [`JsonlSink::take_error`]), later events are skipped rather
+/// than written into a broken stream, and an error nobody collected is
+/// reported on stderr from `drop`.
 pub struct JsonlSink {
-    out: Mutex<Box<dyn std::io::Write + Send>>,
+    out: Mutex<JsonlState>,
+}
+
+struct JsonlState {
+    out: Box<dyn std::io::Write + Send>,
+    error: Option<std::io::Error>,
+}
+
+impl JsonlState {
+    fn write_line(&mut self, line: &str) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = writeln!(self.out, "{line}") {
+            self.error = Some(e);
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.out.flush() {
+            self.error = Some(e);
+        }
+    }
 }
 
 impl JsonlSink {
@@ -619,7 +738,31 @@ impl JsonlSink {
     /// Wrap an arbitrary writer (used by tests to capture in memory).
     pub fn from_writer(out: Box<dyn std::io::Write + Send>) -> JsonlSink {
         JsonlSink {
-            out: Mutex::new(out),
+            out: Mutex::new(JsonlState { out, error: None }),
+        }
+    }
+
+    /// The first write or flush error this sink hit, if any. Taking it
+    /// marks the error as handled, so `drop` stays quiet.
+    pub fn take_error(&self) -> Option<std::io::Error> {
+        self.out
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .error
+            .take()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let state = self.out.get_mut().unwrap_or_else(|e| e.into_inner());
+        if state.error.is_none() {
+            if let Err(e) = state.out.flush() {
+                state.error = Some(e);
+            }
+        }
+        if let Some(e) = &state.error {
+            eprintln!("eve-telemetry: JSONL sink lost events: {e}");
         }
     }
 }
@@ -650,22 +793,26 @@ impl Sink for JsonlSink {
             line.push_str(&format!("\"{}\":{}", json::escape(k), v));
         }
         line.push_str("}}");
-        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
-        let _ = writeln!(out, "{line}");
+        let mut state = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        state.write_line(&line);
     }
 
     fn metrics(&self, snapshot: &MetricsSnapshot) {
-        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        let mut state = self.out.lock().unwrap_or_else(|e| e.into_inner());
         for (name, value) in &snapshot.counters {
-            let _ = writeln!(
-                out,
+            state.write_line(&format!(
                 "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
                 json::escape(name)
-            );
+            ));
+        }
+        for (name, value) in &snapshot.gauges {
+            state.write_line(&format!(
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value}}}",
+                json::escape(name)
+            ));
         }
         for (name, h) in &snapshot.histograms {
-            let _ = writeln!(
-                out,
+            state.write_line(&format!(
                 "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\
                  \"p50_ns\":{},\"p95_ns\":{},\"max_ns\":{}}}",
                 json::escape(name),
@@ -674,9 +821,9 @@ impl Sink for JsonlSink {
                 h.p50_ns,
                 h.p95_ns,
                 h.max_ns
-            );
+            ));
         }
-        let _ = out.flush();
+        state.flush();
     }
 }
 
@@ -751,6 +898,12 @@ pub fn render_metrics(snapshot: &MetricsSnapshot) -> String {
     if !snapshot.counters.is_empty() {
         out.push_str("counters:\n");
         for (name, value) in &snapshot.counters {
+            out.push_str(&format!("  {name:<40} {value}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges:\n");
+        for (name, value) in &snapshot.gauges {
             out.push_str(&format!("  {name:<40} {value}\n"));
         }
     }
@@ -911,6 +1064,84 @@ mod tests {
         assert!(text.contains("\"type\":\"span\""));
         assert!(text.contains("\"type\":\"counter\""));
         assert!(text.contains("\"type\":\"histogram\""));
+    }
+
+    #[test]
+    fn gauges_are_last_write_wins() {
+        let _serial = serial_guard();
+        install(vec![]).unwrap();
+        gauge_set("g", 5);
+        gauge_set("g", 2);
+        assert_eq!(metrics_snapshot().unwrap().gauge("g"), Some(2));
+        let snap = uninstall().unwrap();
+        assert_eq!(snap.gauge("g"), Some(2));
+        assert_eq!(snap.gauge("missing"), None);
+        let text = render_metrics(&snap);
+        assert!(text.contains("gauges:\n"), "{text}");
+        assert!(text.contains("  g"), "{text}");
+    }
+
+    #[test]
+    fn jsonl_sink_emits_gauge_lines() {
+        let _serial = serial_guard();
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl std::io::Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        install(vec![Arc::new(JsonlSink::from_writer(Box::new(
+            buf.clone(),
+        )))])
+        .unwrap();
+        gauge_set("sync.views_active", 3);
+        uninstall().unwrap();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        assert!(
+            text.contains("{\"type\":\"gauge\",\"name\":\"sync.views_active\",\"value\":3}"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_errors() {
+        #[derive(Clone, Default)]
+        struct Failing(Arc<std::sync::atomic::AtomicUsize>);
+        impl std::io::Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let attempts = Failing::default();
+        let sink = JsonlSink::from_writer(Box::new(attempts.clone()));
+        let record = SpanRecord {
+            id: 1,
+            parent: None,
+            name: "s",
+            label: None,
+            start_us: 0,
+            dur_ns: 1,
+            thread: 0,
+            fields: vec![],
+        };
+        sink.span(&record); // first write fails and is captured
+        let after_first = attempts.0.load(Ordering::SeqCst);
+        assert!(after_first >= 1);
+        sink.span(&record); // later events are skipped, not retried
+        assert_eq!(attempts.0.load(Ordering::SeqCst), after_first);
+        let err = sink.take_error().expect("error surfaced");
+        assert_eq!(err.to_string(), "disk full");
+        assert!(sink.take_error().is_none(), "error is handed over once");
     }
 
     #[test]

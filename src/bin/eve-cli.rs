@@ -10,6 +10,8 @@
 //!          [--trace] [--trace-out <trace.jsonl>] [--faults "<plan>"] [--fail-fast]
 //! eve-cli history --mkb <mkb.misd> --views <views.esql> \
 //!          --change "<op> ..." [--change ...]     # version chain + delta summaries
+//! eve-cli metrics-serve [--addr 127.0.0.1:9187] [--requests <n>] \
+//!          [--mkb <mkb.misd> --views <views.esql> --change "<op> ..." [--change ...]]
 //! ```
 //!
 //! `sync --at-version <n>` time-travels after the changes apply: instead
@@ -36,6 +38,20 @@
 //! keeps the default fail-fast policy even under a fault plan. A fault
 //! report (sites fired, faults injected) is printed after the run.
 //!
+//! `--flight-recorder <dump.jsonl>` arms the telemetry flight recorder
+//! for the sync: recent spans, counter deltas, and fault firings are
+//! kept in bounded per-thread rings, and when a view fails — `FailFast`
+//! surfacing a `SyncPanic` or `Degrade` landing a failed view — the
+//! merged window is written to `<dump.jsonl>` as a canonical (sorted,
+//! timing-free) JSONL crash dump that is byte-identical across reruns
+//! and worker counts for the same pinned fault seed.
+//!
+//! `metrics-serve` exposes the telemetry registry over HTTP
+//! (`/metrics` in Prometheus text format, `/snapshot` as JSON,
+//! `/health`); with a workload (`--mkb`/`--views`/`--change`) it runs
+//! one sync first so there is something to scrape, and `--requests <n>`
+//! exits after `n` requests (for smoke tests).
+//!
 //! File formats: the MISD textual format (`RELATION`/`JOIN`/`FUNCOF`/
 //! `PC`/`ORDER` statements) and E-SQL (`CREATE VIEW …` statements,
 //! semicolon-separated). Changes use the paper's operator notation, e.g.
@@ -58,6 +74,7 @@ fn main() -> ExitCode {
         Some("views") => cmd_views(&args[1..]),
         Some("sync") => cmd_sync(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
+        Some("metrics-serve") => cmd_metrics_serve(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  eve-cli mkb <mkb.misd>\n  eve-cli dot <mkb.misd>\n  \
@@ -66,9 +83,11 @@ fn main() -> ExitCode {
                  (--change \"<op> ...\" [--change ...] | --snapshot <new.misd>) \
                  [--at-version <n>] \
                  [--cost] [--require-p3] [--explain] [--trace] [--trace-out <trace.jsonl>] \
-                 [--faults \"<plan>\"] [--fail-fast]\n  \
+                 [--faults \"<plan>\"] [--fail-fast] [--flight-recorder <dump.jsonl>]\n  \
                  eve-cli history --mkb <mkb.misd> --views <views.esql> \
-                 --change \"<op> ...\" [--change ...]"
+                 --change \"<op> ...\" [--change ...]\n  \
+                 eve-cli metrics-serve [--addr <host:port>] [--requests <n>] \
+                 [--mkb <mkb.misd> --views <views.esql> --change \"<op> ...\" [--change ...]]"
             );
             ExitCode::from(2)
         }
@@ -296,6 +315,7 @@ fn cmd_sync(args: &[String]) -> ExitCode {
     let trace_out = flag_value(args, "--trace-out");
     let faults_plan = flag_value(args, "--faults");
     let fail_fast = args.iter().any(|a| a == "--fail-fast");
+    let flight_path = flag_value(args, "--flight-recorder");
 
     let mkb = match load_mkb(&mkb_path) {
         Ok(m) => m,
@@ -381,6 +401,20 @@ fn cmd_sync(args: &[String]) -> ExitCode {
     } else {
         None
     };
+    // The flight recorder rides on the telemetry hooks, so it needs a
+    // pipeline even when no trace sink was requested: install a
+    // sink-less one just for the recorder's benefit.
+    let flight_pipeline = flight_path.is_some() && collector.is_none() && {
+        if eve::telemetry::install(vec![]).is_err() {
+            return fail("--flight-recorder: telemetry pipeline already installed".into());
+        }
+        true
+    };
+    if let Some(path) = &flight_path {
+        if eve::telemetry::flight_install(4096, Some(path.into())).is_err() {
+            return fail("--flight-recorder: a flight recorder is already installed".into());
+        }
+    }
 
     let mut sync = builder.build();
     // Snapshot originals so explanations can diff against them — cheap
@@ -487,6 +521,12 @@ fn cmd_sync(args: &[String]) -> ExitCode {
             }
         }
     }
+    if let Some(path) = &flight_path {
+        if eve::telemetry::flight_last_dump().is_some() {
+            eprintln!("flight dump written to {path}");
+        }
+        eve::telemetry::flight_uninstall();
+    }
     if let Some(collector) = collector {
         // Uninstall flushes the final metric lines into the JSONL sink
         // and hands back the registry snapshot for the summary.
@@ -499,6 +539,97 @@ fn cmd_sync(args: &[String]) -> ExitCode {
                 print!("{}", eve::telemetry::render_metrics(snapshot));
             }
         }
+    } else if flight_pipeline {
+        eve::telemetry::uninstall();
     }
     code
+}
+
+/// `metrics-serve`: expose the telemetry registry over HTTP. With a
+/// workload (`--mkb`/`--views`/`--change`) one sync runs first so the
+/// registry has counters, gauges, and histograms to scrape; without
+/// one, the endpoint serves an empty (but valid) registry.
+fn cmd_metrics_serve(args: &[String]) -> ExitCode {
+    let addr = flag_value(args, "--addr").unwrap_or_else(|| "127.0.0.1:9187".to_string());
+    let requests = match flag_value(args, "--requests") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return fail(format!("metrics-serve: --requests {v:?}: expected a count")),
+        },
+        None => None,
+    };
+    if eve::telemetry::install(vec![]).is_err() {
+        return fail("metrics-serve: telemetry pipeline already installed".into());
+    }
+
+    // Optional workload: populate the registry with one real sync.
+    if let Some(mkb_path) = flag_value(args, "--mkb") {
+        let Some(views_path) = flag_value(args, "--views") else {
+            return fail("metrics-serve: --mkb requires --views <file>".into());
+        };
+        let change_texts = flag_values(args, "--change");
+        if change_texts.is_empty() {
+            return fail("metrics-serve: --mkb requires at least one --change \"<op> ...\"".into());
+        }
+        let mkb = match load_mkb(&mkb_path) {
+            Ok(m) => m,
+            Err(e) => return fail(e),
+        };
+        let views_text = match read(&views_path) {
+            Ok(t) => t,
+            Err(e) => return fail(e),
+        };
+        let views = match parse_views(&views_text) {
+            Ok(v) => v,
+            Err(e) => return fail(format!("{views_path}: {e}")),
+        };
+        let changes: Vec<CapabilityChange> = match change_texts
+            .iter()
+            .map(|t| CapabilityChange::parse(t).map_err(|e| format!("--change {t:?}: {e}")))
+            .collect()
+        {
+            Ok(c) => c,
+            Err(e) => return fail(e),
+        };
+        let mut builder = SynchronizerBuilder::new(mkb);
+        for v in views {
+            builder = match builder.with_view(v.clone()) {
+                Ok(b) => b,
+                Err(e) => return fail(format!("view {}: {e}", v.name)),
+            };
+        }
+        let mut sync = builder.build();
+        if let Err(e) = sync.apply_all(&changes) {
+            return fail(format!("MKB evolution failed: {e}"));
+        }
+    }
+
+    let server = match eve::telemetry::serve::MetricsServer::bind(addr.as_str()) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("metrics-serve: cannot bind {addr}: {e}")),
+    };
+    match server.local_addr() {
+        Ok(local) => println!("eve-cli metrics-serve: listening on http://{local}"),
+        Err(_) => println!("eve-cli metrics-serve: listening on http://{addr}"),
+    }
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    match requests {
+        Some(n) => {
+            for _ in 0..n {
+                if let Err(e) = server.handle_one() {
+                    eprintln!("metrics-serve: connection error: {e}");
+                }
+            }
+        }
+        None => {
+            // serve() only returns on a fatal accept error.
+            if let Err(e) = server.serve() {
+                eve::telemetry::uninstall();
+                return fail(format!("metrics-serve: {e}"));
+            }
+        }
+    }
+    eve::telemetry::uninstall();
+    ExitCode::SUCCESS
 }

@@ -240,6 +240,7 @@ fn trace_out_emits_jsonl_spans_and_metrics() {
     std::fs::remove_dir_all(&dir).ok();
     let mut span_names = Vec::new();
     let mut counter_names = Vec::new();
+    let mut gauge_names = Vec::new();
     for line in text.lines() {
         // Every line is a JSON object with "type" and "name" keys.
         assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
@@ -256,6 +257,7 @@ fn trace_out_emits_jsonl_spans_and_metrics() {
                 span_names.push(name);
             }
             "counter" => counter_names.push(name),
+            "gauge" => gauge_names.push(name),
             "histogram" => {}
             other => panic!("unexpected record type {other}: {line}"),
         }
@@ -276,6 +278,7 @@ fn trace_out_emits_jsonl_spans_and_metrics() {
     assert!(counter_names
         .iter()
         .any(|n| n == "search.candidates_generated"));
+    assert!(gauge_names.iter().any(|n| n == "sync.views_active"));
 }
 
 #[test]
@@ -411,4 +414,115 @@ fn usage_on_no_args() {
     let (ok, _, stderr) = cli(&[]);
     assert!(!ok);
     assert!(stderr.contains("usage"), "{stderr}");
+}
+
+/// A pinned-seed injected `SyncPanic` leaves a flight-recorder dump
+/// that is byte-identical across reruns and worker counts.
+#[test]
+fn flight_recorder_dump_is_deterministic_across_workers() {
+    let dir = std::env::temp_dir().join(format!("eve-cli-flight-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let run = |parallelism: &str, dump: &std::path::Path| {
+        let out = Command::new(env!("CARGO_BIN_EXE_eve-cli"))
+            .args([
+                "sync",
+                "--mkb",
+                "fixtures/travel.misd",
+                "--views",
+                "fixtures/travel_views.esql",
+                "--change",
+                "delete-relation Customer",
+                "--faults",
+                "seed=7;view.sync#0=panic",
+                "--fail-fast",
+                "--flight-recorder",
+                dump.to_str().expect("utf-8 temp path"),
+            ])
+            .env("EVE_PARALLELISM", parallelism)
+            .current_dir(env!("CARGO_MANIFEST_DIR"))
+            .output()
+            .expect("binary runs");
+        assert!(
+            !out.status.success(),
+            "fail-fast run aborts on the SyncPanic"
+        );
+        std::fs::read_to_string(dump).expect("flight dump written")
+    };
+    let d1 = run("1", &dir.join("d1.jsonl"));
+    let d2 = run("4", &dir.join("d2.jsonl"));
+    let d3 = run("1", &dir.join("d3.jsonl"));
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(d1, d2, "dump differs across worker counts");
+    assert_eq!(d1, d3, "dump differs across reruns");
+    let header = d1.lines().next().expect("dump has a header");
+    assert!(header.contains("\"type\":\"flight-dump\""), "{header}");
+    assert!(header.contains("\"reason\":\"sync-panic\""), "{header}");
+    assert!(header.contains("\"dropped\":0"), "{header}");
+    assert!(d1.contains("\"type\":\"fault\""), "{d1}");
+    assert!(d1.contains("\"kind\":\"panic\""), "{d1}");
+    // canonical dump carries no scheduling-dependent timing
+    assert!(!d1.contains("dur_ns"), "{d1}");
+}
+
+/// `metrics-serve` exposes `/metrics`, `/snapshot`, and `/health` over
+/// plain HTTP after running the fixture workload.
+#[test]
+fn metrics_serve_answers_scrapes() {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+    let mut child = Command::new(env!("CARGO_BIN_EXE_eve-cli"))
+        .args([
+            "metrics-serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--requests",
+            "3",
+            "--mkb",
+            "fixtures/travel.misd",
+            "--views",
+            "fixtures/travel_views.esql",
+            "--change",
+            "delete-attribute Customer.Addr",
+        ])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("listening line");
+    let addr = line
+        .trim()
+        .rsplit_once("http://")
+        .map(|(_, a)| a.to_string())
+        .unwrap_or_else(|| panic!("no address in {line:?}"));
+    let get = |path: &str| {
+        let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    };
+    let health = get("/health");
+    let metrics = get("/metrics");
+    let snapshot = get("/snapshot");
+    assert!(child.wait().expect("child exits").success());
+    assert!(health.starts_with("HTTP/1.1 200 OK\r\n"), "{health}");
+    assert!(
+        metrics.contains("# TYPE eve_sync_changes_total counter"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("eve_sync_changes_total 1"), "{metrics}");
+    assert!(
+        metrics.contains("# TYPE eve_sync_views_active gauge"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("eve_span_apply_ns_bucket{le=\"+Inf\"} 1"),
+        "{metrics}"
+    );
+    let body = snapshot.split("\r\n\r\n").nth(1).expect("snapshot body");
+    assert!(body.starts_with("{\"counters\":{"), "{body}");
+    assert!(body.contains("\"gauges\":{"), "{body}");
+    assert!(body.contains("\"sync.changes\":1"), "{body}");
 }

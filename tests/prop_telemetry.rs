@@ -7,11 +7,12 @@
 //! The telemetry pipeline is process-global, so every test run holds
 //! [`eve::telemetry::serial_guard`] while installing/uninstalling.
 
-use eve::cvs::{ChangeOutcome, CvsOptions, Synchronizer, SynchronizerBuilder};
+use eve::cvs::{ChangeOutcome, CvsOptions, FailurePolicy, Synchronizer, SynchronizerBuilder};
 use eve::telemetry::{Collector, JsonlSink, Sink};
 use eve::workload::{random_views, views_touching, SynthConfig, SynthWorkload, Topology};
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn config() -> impl Strategy<Value = SynthConfig> {
     (
@@ -96,4 +97,129 @@ proptest! {
             prop_assert_eq!(&traced, &baseline, "JSONL run diverged (threads={})", threads);
         }
     }
+
+    /// Flight-recorder neutrality: arming the recorder (with a small
+    /// capacity, so eviction happens) never changes sync outcomes.
+    #[test]
+    fn outcomes_unaffected_by_flight_recorder(cfg in config(), seed in 0u64..200) {
+        let w = SynthWorkload::random(&cfg, seed);
+        let _serial = eve::telemetry::serial_guard();
+        for threads in [1usize, 4] {
+            let baseline = apply_with_sinks(&w, seed, threads, vec![]);
+
+            eve::telemetry::flight_install(32, None).expect("no other recorder installed");
+            let recorded = apply_with_sinks(&w, seed, threads, vec![]);
+            let stats = eve::telemetry::flight_stats().expect("recorder installed");
+            eve::telemetry::flight_uninstall();
+
+            prop_assert_eq!(&recorded, &baseline, "recorder run diverged (threads={})", threads);
+            // The recorder must actually have observed the pipeline —
+            // otherwise this test is vacuous.
+            prop_assert!(stats.buffered > 0, "recorder captured nothing");
+        }
+    }
+}
+
+/// The per-thread rings never hold more than their capacity, no matter
+/// how long the event stream runs; overflow is counted, not grown.
+#[test]
+fn flight_recorder_memory_is_bounded() {
+    let _serial = eve::telemetry::serial_guard();
+    eve::telemetry::install(vec![]).expect("no other pipeline installed");
+    eve::telemetry::flight_install(64, None).expect("no other recorder installed");
+
+    // A long seeded stream: real sync traffic plus a counter flood.
+    let cfg = SynthConfig {
+        n_relations: 12,
+        topology: Topology::Chain,
+        ..SynthConfig::default()
+    };
+    let w = SynthWorkload::random(&cfg, 42);
+    let mut sync = synchronizer(&w, 42, 4);
+    sync.apply(&w.delete_change()).expect("target described");
+    for i in 0..10_000u64 {
+        eve::telemetry::counter_add("flood", 1 + (i % 3));
+        if i % 16 == 0 {
+            let _s = eve::telemetry::span("flood-span");
+        }
+    }
+
+    let stats = eve::telemetry::flight_stats().expect("recorder installed");
+    assert!(stats.threads >= 1);
+    assert!(
+        stats.buffered <= stats.threads * stats.capacity,
+        "{} events buffered across {} rings of capacity {}",
+        stats.buffered,
+        stats.threads,
+        stats.capacity
+    );
+    assert!(stats.dropped > 0, "flood must overflow the rings");
+    let dump = eve::telemetry::flight_dump().expect("recorder installed");
+    assert_eq!(dump.lines().count(), stats.buffered);
+
+    eve::telemetry::flight_uninstall().expect("recorder was installed");
+    eve::telemetry::uninstall().expect("pipeline was installed");
+}
+
+/// Same pinned fault seed, same dump bytes — across 1, 2, and 8
+/// workers. `Degrade` lands every affected view as failed (the plan
+/// fires on every `view.sync` attempt), each failure triggers the
+/// recorder, and the canonical dump excludes all scheduling-dependent
+/// fields, so the merged windows must be byte-identical.
+#[test]
+fn flight_dump_is_byte_identical_across_worker_counts() {
+    let _serial = eve::telemetry::serial_guard();
+    let _faults = eve::faults::serial_guard();
+    let cfg = SynthConfig {
+        n_relations: 10,
+        topology: Topology::Chain,
+        ..SynthConfig::default()
+    };
+    let w = SynthWorkload::random(&cfg, 7);
+    let change = w.delete_change();
+
+    let run = |threads: usize| {
+        eve::telemetry::install(vec![]).expect("no other pipeline installed");
+        eve::telemetry::flight_install(8192, None).expect("no other recorder installed");
+        let _ = eve::faults::uninstall();
+        let plan = eve::faults::FaultPlan::parse("seed=7;view.sync=transient")
+            .expect("pinned plan parses");
+        eve::faults::install(plan).expect("no competing plan while serialized");
+
+        let mut builder = SynchronizerBuilder::new(w.mkb.clone()).with_options(CvsOptions {
+            parallelism: Some(threads),
+            failure: FailurePolicy::Degrade {
+                max_retries: 2,
+                backoff: Duration::ZERO,
+            },
+            ..CvsOptions::default()
+        });
+        for v in views_touching(&w.mkb, &w.target, 4, 3, 7) {
+            builder = builder.with_view(v).expect("fan-out view is valid");
+        }
+        let outcome = builder.build().apply(&change).expect("target described");
+        assert!(
+            outcome.views.iter().any(|(_, o)| !o.survived()),
+            "the every-hit transient plan must fail affected views"
+        );
+
+        let dump = eve::telemetry::flight_last_dump().expect("a failure triggered a dump");
+        eve::faults::uninstall().expect("plan still installed");
+        let stats = eve::telemetry::flight_uninstall().expect("recorder was installed");
+        eve::telemetry::uninstall().expect("pipeline was installed");
+        assert_eq!(
+            stats.dropped, 0,
+            "windows must not overflow for byte-identity"
+        );
+        dump
+    };
+
+    let d1 = run(1);
+    let d2 = run(2);
+    let d8 = run(8);
+    assert_eq!(d1, d2, "dump differs between 1 and 2 workers");
+    assert_eq!(d1, d8, "dump differs between 1 and 8 workers");
+    assert!(d1.starts_with("{\"type\":\"flight-dump\",\"reason\":\"view-failed\""));
+    assert!(d1.contains("\"type\":\"fault\""));
+    assert!(d1.contains("\"kind\":\"transient\""));
 }
