@@ -120,6 +120,10 @@ impl IndexCore {
     /// version this core was derived for.
     pub fn apply_delta(&self, delta: &MkbDelta) -> IndexCore {
         crate::telem::counter_add("index.delta_applies", 1);
+        // Coordinator thread, unscoped; unwinding kinds would escape the
+        // parpool panic boundary, so plans should stick to delay/budget
+        // here (budget is discarded — the patch has no budget to trip).
+        crate::faults::hit("index.delta-apply");
         let h2 = match &delta.graph {
             GraphDelta::None => Arc::clone(&self.h),
             d => Arc::new(self.h.apply_delta(d)),

@@ -430,7 +430,9 @@ impl<'m> MkbIndex<'m> {
         span.field("relations", mkb.relation_count() as u64);
         span.field("carried", carry.is_some() as u64);
         crate::telem::counter_add("index.delta_builds", 1);
-        crate::faults::hit("index.build");
+        // Distinct from `index.build` (the full-rebuild path) so fault
+        // plans can address delta maintenance specifically.
+        crate::faults::hit("index.delta-build");
         let h_prime = if opts.respect_capabilities {
             Arc::clone(&post.h_join)
         } else {

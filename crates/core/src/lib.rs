@@ -69,6 +69,7 @@
 pub mod adapt;
 pub mod affected;
 pub mod answering;
+pub mod clock;
 pub mod cost;
 pub mod delete_attribute;
 pub mod delta;
@@ -97,6 +98,7 @@ pub(crate) mod testutil;
 pub use adapt::{adapt_materialization, AdaptationReport, AdaptationStrategy};
 pub use affected::{affected_views, is_affected, is_evaluable, revivable};
 pub use answering::{answer_using_view, answer_using_views};
+pub use clock::VirtualClock;
 pub use cost::{rank_rewritings as rank_by_cost, CostBreakdown, CostModel};
 pub use delete_attribute::synchronize_delete_attribute_indexed;
 pub use delta::{DeltaSummary, IndexCore, MkbDelta};

@@ -29,7 +29,6 @@ use eve_esql::{CondItem, EvolutionParams, FromItem, SelectItem, ViewDefinition};
 use eve_relational::{AttrName, Clause, RelName, ScalarExpr};
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
-use std::time::Instant;
 
 /// The result of assembling one candidate: the new view plus the
 /// bookkeeping needed for P4 verification and extent inference.
@@ -504,7 +503,10 @@ pub fn cvs_delete_relation_searched(
     // Step 3 becomes a lazy stream over the cached capability-filtered
     // H'(MKB'); Steps 4–6 run per candidate as it is pulled.
     let budget = opts.budget.validated();
-    let start = Instant::now();
+    // `clock::anchor` instead of `Instant::now`: under the simulator a
+    // virtual clock governs the deadline, so search truncation is
+    // deterministic; outside it this IS wall time.
+    let start = crate::clock::anchor();
     let mut stream = ReplacementStream::new(view, &rm, index, opts, budget.max_trees)?;
     let ext_ctx = ExtentCtx::new(&rm);
 

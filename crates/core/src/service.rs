@@ -191,6 +191,27 @@ impl SharedSynchronizer {
         self.read_lock().version()
     }
 
+    /// Swap the failure policy in place (see
+    /// [`Synchronizer::set_failure_policy`]).
+    pub fn set_failure_policy(&self, policy: crate::FailurePolicy) {
+        self.write_lock().set_failure_policy(policy);
+    }
+
+    /// Register a new view at runtime against the current MKB (see
+    /// [`Synchronizer::register_view`]). Takes the write lock; the view
+    /// becomes visible to subsequent readers atomically.
+    pub fn register_view(&self, view: ViewDefinition) -> Result<(), String> {
+        self.write_lock().register_view(view)
+    }
+
+    /// Roll the shared synchronizer back to version `index`, discarding
+    /// later chain entries (see [`Synchronizer::rollback_to`]). Takes
+    /// the write lock: like `apply`, the swap is atomic — readers see
+    /// either the pre- or the post-rollback state, never a mix.
+    pub fn rollback_to(&self, index: usize) -> bool {
+        self.write_lock().rollback_to(index)
+    }
+
     /// Time travel: a detached [`Synchronizer`] positioned at historical
     /// `version` (see [`Synchronizer::at_version`]). Takes only a read
     /// lock; the fork shares all state via `Arc` and never writes back.

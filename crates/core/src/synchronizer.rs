@@ -448,6 +448,76 @@ impl Synchronizer {
         &self.mkb
     }
 
+    /// The options the synchronizer was built with.
+    pub fn options(&self) -> &CvsOptions {
+        &self.opts
+    }
+
+    /// Swap the failure policy in place. The deterministic simulator
+    /// uses this to alternate `FailFast` and `Degrade` fault episodes
+    /// on one synchronizer without rebuilding it (which would discard
+    /// the version chain under test).
+    pub fn set_failure_policy(&mut self, policy: FailurePolicy) {
+        self.opts.failure = policy;
+    }
+
+    /// Register a new view at runtime, against the *current* MKB state.
+    ///
+    /// Unlike [`SynchronizerBuilder::with_view`] — which collects views
+    /// before the version chain exists — runtime registration validates
+    /// the view structurally ([`validate_view`]), rejects names already
+    /// taken by an active or disabled view, and rejects views that
+    /// reference relations absent from the current MKB.
+    ///
+    /// Registration is not a capability change: the version number does
+    /// not advance and no chain entry is appended. The head entry's
+    /// snapshot is updated in place, so [`Synchronizer::at_version`] at
+    /// the current version (and [`Synchronizer::rollback_to`] the
+    /// current version) observe the new view; rolling back *past* the
+    /// registration point drops it, exactly as the view did not exist
+    /// at that version.
+    pub fn register_view(&mut self, view: ViewDefinition) -> Result<(), String> {
+        let errs = validate_view(&view);
+        if !errs.is_empty() {
+            return Err(errs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join("; "));
+        }
+        if self.views.iter().any(|(n, _)| *n == view.name)
+            || self.disabled.iter().any(|(n, _)| *n == view.name)
+        {
+            return Err(format!("view name already registered: {}", view.name));
+        }
+        if let Some(missing) = view
+            .relations()
+            .into_iter()
+            .find(|r| !self.mkb.contains_relation(r))
+        {
+            return Err(format!(
+                "view {} references unknown relation {missing}",
+                view.name
+            ));
+        }
+        if let Some(missing) = view.referenced_attrs().into_iter().find(|a| {
+            self.mkb
+                .relation(&a.relation)
+                .is_none_or(|d| d.attrs.iter().all(|attr| attr.name != a.attr))
+        }) {
+            return Err(format!(
+                "view {} references unknown attribute {missing}",
+                view.name
+            ));
+        }
+        let name = view.name.clone();
+        self.views.push((name, Arc::new(view)));
+        if let Some(last) = self.chain.last_mut() {
+            Arc::make_mut(last).snapshot.views = self.views.clone();
+        }
+        Ok(())
+    }
+
     /// A shared handle to the current MKB state (cheap Arc clone; stays
     /// consistent even as the synchronizer applies further changes).
     pub fn mkb_snapshot(&self) -> Arc<MetaKnowledgeBase> {
@@ -741,7 +811,9 @@ impl Synchronizer {
                 } => {
                     if transient && attempts <= max_retries {
                         if !backoff.is_zero() {
-                            std::thread::sleep(backoff.saturating_mul(attempts));
+                            // Virtual-clock aware: under the simulator
+                            // this advances virtual time instantly.
+                            crate::clock::sleep(backoff.saturating_mul(attempts));
                         }
                         attempts += 1;
                         match retry() {

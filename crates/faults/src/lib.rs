@@ -83,6 +83,28 @@ pub struct FaultSpec {
     pub kind: FaultKind,
 }
 
+impl fmt::Display for FaultSpec {
+    /// Renders back to the [`FaultPlan::parse`] entry grammar, so an
+    /// unfired spec reported by [`uninstall`] can be pasted straight
+    /// into `EVE_FAULTS` for a focused replay.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(scope) = &self.scope {
+            write!(f, "{scope}/")?;
+        }
+        f.write_str(&self.site)?;
+        if let Some(hit) = self.hit {
+            write!(f, "#{hit}")?;
+        }
+        if let Some(p) = self.permille {
+            write!(f, "%{p}")?;
+        }
+        match self.kind {
+            FaultKind::Delay(d) => write!(f, "=delay:{}", d.as_millis()),
+            kind => write!(f, "={}", kind.tag()),
+        }
+    }
+}
+
 /// A parse error from [`FaultPlan::parse`], carrying the offending entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PlanParseError(String);
@@ -258,6 +280,11 @@ pub struct FaultReport {
     pub injected: u64,
     /// Every fired fault, in firing order.
     pub fired: Vec<FiredFault>,
+    /// Plan entries that never fired — dead fault sites (a scope that
+    /// never synchronized, a hit index past the site's hit count, a
+    /// site name the run never reached). Render with `Display` to get
+    /// the plan-grammar entry back.
+    pub unfired: Vec<FaultSpec>,
 }
 
 struct Registry {
@@ -267,6 +294,9 @@ struct Registry {
     hits: Mutex<HashMap<(String, String), u64>>,
     injected: AtomicU64,
     fired: Mutex<Vec<FiredFault>>,
+    /// Firing count per plan spec (index-aligned with `plan.specs`),
+    /// feeding [`FaultReport::unfired`].
+    spec_fired: Vec<AtomicU64>,
 }
 
 static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -285,11 +315,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 
 fn install_unchecked(plan: FaultPlan) {
     let mut slot = registry().write().unwrap_or_else(|e| e.into_inner());
+    let spec_fired = plan.specs.iter().map(|_| AtomicU64::new(0)).collect();
     *slot = Some(Arc::new(Registry {
         plan,
         hits: Mutex::new(HashMap::new()),
         injected: AtomicU64::new(0),
         fired: Mutex::new(Vec::new()),
+        spec_fired,
     }));
     ACTIVE.store(true, Ordering::Release);
 }
@@ -349,6 +381,14 @@ pub fn uninstall() -> Option<FaultReport> {
     let report = FaultReport {
         injected: reg.injected.load(Ordering::Relaxed),
         fired: lock(&reg.fired).clone(),
+        unfired: reg
+            .plan
+            .specs
+            .iter()
+            .zip(&reg.spec_fired)
+            .filter(|(_, n)| n.load(Ordering::Relaxed) == 0)
+            .map(|(spec, _)| spec.clone())
+            .collect(),
     };
     Some(report)
 }
@@ -436,7 +476,7 @@ pub fn check_fired(site: &str) -> Option<(FaultKind, FiredFault)> {
         *counter += 1;
         n
     };
-    for spec in &reg.plan.specs {
+    for (idx, spec) in reg.plan.specs.iter().enumerate() {
         if spec.site != site {
             continue;
         }
@@ -456,6 +496,7 @@ pub fn check_fired(site: &str) -> Option<(FaultKind, FiredFault)> {
             }
         }
         reg.injected.fetch_add(1, Ordering::Relaxed);
+        reg.spec_fired[idx].fetch_add(1, Ordering::Relaxed);
         let fired = FiredFault {
             scope: scope.clone(),
             site: site.to_string(),
@@ -642,6 +683,33 @@ mod tests {
             a.len()
         );
         assert_ne!(a, run(8), "different seed, different firings");
+    }
+
+    #[test]
+    fn unfired_specs_are_reported_and_render_to_the_grammar() {
+        let _serial = serial_guard();
+        let _ = uninstall();
+        let plan = FaultPlan::parse(
+            "seed=9; A/site.x#0=budget; ghost.site=panic; B/site.x#7%500=delay:25",
+        )
+        .unwrap();
+        install(plan).unwrap();
+        scoped("A", || {
+            assert!(trip("site.x"));
+        });
+        let report = uninstall().unwrap();
+        assert_eq!(report.injected, 1);
+        // The fired spec is absent; the dead ones come back verbatim.
+        let rendered: Vec<String> = report.unfired.iter().map(|s| s.to_string()).collect();
+        assert_eq!(
+            rendered,
+            vec!["ghost.site=panic", "B/site.x#7%500=delay:25"]
+        );
+        // Display round-trips through the parser.
+        for (spec, text) in report.unfired.iter().zip(&rendered) {
+            let reparsed = FaultPlan::parse(text).unwrap();
+            assert_eq!(&reparsed.specs[0], spec);
+        }
     }
 
     #[test]

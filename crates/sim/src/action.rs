@@ -1,0 +1,273 @@
+//! The simulator's action vocabulary, with a textual round-trip.
+//!
+//! A schedule is a sequence of **concrete** actions — the change that
+//! was applied, the rollback depth, the installed fault plan — not RNG
+//! decisions. That concreteness is what makes schedules *shrinkable*:
+//! deleting an action from a recorded trace leaves every other action
+//! meaningful (an RNG-driven schedule would reinterpret all later
+//! draws), so delta debugging can search subsequences directly.
+//!
+//! Each action renders to one line and parses back ([`Action::render`]
+//! / [`Action::parse`]), which is how repro artifacts carry schedules.
+
+use eve_misd::CapabilityChange;
+
+/// One step of a simulation schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Apply a capability change through the shared synchronizer (and
+    /// the rebuild-mode shadow).
+    Change(CapabilityChange),
+    /// Register a new view at runtime on both synchronizers. The E-SQL
+    /// text is carried whitespace-collapsed onto one line; registration
+    /// that fails validation (name clash after a replayed prefix was
+    /// shrunk, reference to a since-deleted relation) is skipped, not a
+    /// violation.
+    Register {
+        /// Single-line E-SQL `CREATE VIEW` text.
+        view: String,
+    },
+    /// Evaluate one active view (by index, modulo the active count)
+    /// against a database generated for the current MKB.
+    Query {
+        /// Index into the active-view list at execution time.
+        view: usize,
+    },
+    /// What-if against history: dry-run `change` as if applied `back`
+    /// versions ago (`preview_at`).
+    Preview {
+        /// How many versions before the head to fork at.
+        back: usize,
+        /// The change to dry-run there.
+        change: CapabilityChange,
+    },
+    /// Roll the synchronizer (and shadow) back `back` versions.
+    Rollback {
+        /// How many versions to rewind (saturating at version 0).
+        back: usize,
+    },
+    /// A fault episode: install `plan`, apply `change` under the given
+    /// failure policy, uninstall, and cross-check against the shadow
+    /// under an identical fresh plan install.
+    Fault {
+        /// `true` → `FailurePolicy::FailFast`, `false` → `Degrade`.
+        fail_fast: bool,
+        /// Textual `eve_faults::FaultPlan` to install for this change.
+        plan: String,
+        /// The change to apply under the plan.
+        change: CapabilityChange,
+    },
+    /// Advance the virtual clock.
+    Tick {
+        /// Milliseconds of virtual time to add.
+        millis: u64,
+    },
+    /// Invariant: re-applying the recorded changes of the last `back`
+    /// versions on a fork reconstructs the head state.
+    CheckReplay {
+        /// How many versions of history to replay (bounded by the
+        /// fault fence — see the harness docs).
+        back: usize,
+    },
+    /// Full invariant sweep: MKB render/parse/type-check, every active
+    /// view prints/parses/evaluates, delta-maintained state is
+    /// byte-identical to the rebuild shadow.
+    CheckFull,
+}
+
+/// Error from [`Action::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionParseError(pub String);
+
+impl std::fmt::Display for ActionParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid action line: {}", self.0)
+    }
+}
+
+impl std::error::Error for ActionParseError {}
+
+/// Render a change in the grammar `CapabilityChange::parse` accepts.
+/// `CapabilityChange`'s own `Display` is not a full round-trip —
+/// `add-relation` prints only the relation name — so the schedule
+/// format spells the whole description out.
+pub fn render_change(change: &CapabilityChange) -> String {
+    match change {
+        CapabilityChange::AddRelation(d) => {
+            let attrs: Vec<String> = d
+                .attrs
+                .iter()
+                .map(|a| format!("{}: {}", a.name, a.ty))
+                .collect();
+            format!(
+                "add-relation {} {} ({})",
+                d.source,
+                d.name,
+                attrs.join(", ")
+            )
+        }
+        other => other.to_string(),
+    }
+}
+
+// The `::` separator keeps fault-plan text (which contains `;`, `/`,
+// `#`, `%`, `=`) unambiguous next to a change; neither plans nor the
+// change grammar ever produce a bare `::` token.
+const SEP: &str = " :: ";
+
+impl Action {
+    /// One-line textual form; parses back via [`Action::parse`].
+    pub fn render(&self) -> String {
+        match self {
+            Action::Change(c) => format!("change {}", render_change(c)),
+            Action::Register { view } => format!(
+                "register {}",
+                view.split_whitespace().collect::<Vec<_>>().join(" ")
+            ),
+            Action::Query { view } => format!("query {view}"),
+            Action::Preview { back, change } => {
+                format!("preview {back}{SEP}{}", render_change(change))
+            }
+            Action::Rollback { back } => format!("rollback {back}"),
+            Action::Fault {
+                fail_fast,
+                plan,
+                change,
+            } => format!(
+                "fault {} {plan}{SEP}{}",
+                if *fail_fast { "failfast" } else { "degrade" },
+                render_change(change)
+            ),
+            Action::Tick { millis } => format!("tick {millis}"),
+            Action::CheckReplay { back } => format!("check-replay {back}"),
+            Action::CheckFull => "check-full".to_string(),
+        }
+    }
+
+    /// Parse one rendered line.
+    pub fn parse(line: &str) -> Result<Action, ActionParseError> {
+        let line = line.trim();
+        let err = |msg: &str| ActionParseError(format!("{line:?}: {msg}"));
+        let (head, rest) = match line.split_once(' ') {
+            Some((h, r)) => (h, r.trim()),
+            None => (line, ""),
+        };
+        let parse_change = |text: &str| {
+            CapabilityChange::parse(text)
+                .map_err(|e| ActionParseError(format!("{line:?}: bad change: {e}")))
+        };
+        let parse_usize = |text: &str, what: &str| {
+            text.parse::<usize>()
+                .map_err(|_| err(&format!("bad {what}")))
+        };
+        match head {
+            "change" => Ok(Action::Change(parse_change(rest)?)),
+            "register" => {
+                if rest.is_empty() {
+                    return Err(err("missing view text"));
+                }
+                Ok(Action::Register {
+                    view: rest.to_string(),
+                })
+            }
+            "query" => Ok(Action::Query {
+                view: parse_usize(rest, "view index")?,
+            }),
+            "preview" => {
+                let (back, change) = rest.split_once(SEP).ok_or_else(|| err("missing '::'"))?;
+                Ok(Action::Preview {
+                    back: parse_usize(back.trim(), "back count")?,
+                    change: parse_change(change.trim())?,
+                })
+            }
+            "rollback" => Ok(Action::Rollback {
+                back: parse_usize(rest, "back count")?,
+            }),
+            "fault" => {
+                let (policy, rest) = rest.split_once(' ').ok_or_else(|| err("missing policy"))?;
+                let fail_fast = match policy {
+                    "failfast" => true,
+                    "degrade" => false,
+                    _ => return Err(err("policy must be failfast|degrade")),
+                };
+                let (plan, change) = rest.split_once(SEP).ok_or_else(|| err("missing '::'"))?;
+                Ok(Action::Fault {
+                    fail_fast,
+                    plan: plan.trim().to_string(),
+                    change: parse_change(change.trim())?,
+                })
+            }
+            "tick" => Ok(Action::Tick {
+                millis: rest.parse().map_err(|_| err("bad millis"))?,
+            }),
+            "check-replay" => Ok(Action::CheckReplay {
+                back: parse_usize(rest, "back count")?,
+            }),
+            "check-full" => Ok(Action::CheckFull),
+            _ => Err(err("unknown action")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eve_misd::RelationDescription;
+    use eve_relational::{AttrName, AttrRef, AttributeDef, DataType, RelName};
+
+    fn samples() -> Vec<Action> {
+        vec![
+            Action::Change(CapabilityChange::AddRelation(RelationDescription::new(
+                "IS_A7",
+                "A7",
+                vec![
+                    AttributeDef::new("k", DataType::Int),
+                    AttributeDef::new("v0", DataType::Str),
+                ],
+            ))),
+            Action::Change(CapabilityChange::RenameAttribute {
+                from: AttrRef::new("R", "a"),
+                to: AttrName::new("ar1"),
+            }),
+            Action::Register {
+                view: "CREATE VIEW V9 (VE = superset) AS SELECT O.id (true, true) \
+                       FROM orders O (true, true) WHERE (O.id = O.id) (false, true)"
+                    .split_whitespace()
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            },
+            Action::Query { view: 3 },
+            Action::Preview {
+                back: 2,
+                change: CapabilityChange::DeleteRelation(RelName::new("Customer")),
+            },
+            Action::Rollback { back: 1 },
+            Action::Fault {
+                fail_fast: true,
+                plan: "seed=9;V0/view.sync#0=panic".to_string(),
+                change: CapabilityChange::DeleteAttribute(AttrRef::new("R", "b")),
+            },
+            Action::Tick { millis: 250 },
+            Action::CheckReplay { back: 4 },
+            Action::CheckFull,
+        ]
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        for action in samples() {
+            let line = action.render();
+            let back = Action::parse(&line).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(back, action, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Action::parse("explode now").is_err());
+        assert!(Action::parse("query x").is_err());
+        assert!(Action::parse("register").is_err());
+        assert!(Action::parse("fault maybe p :: delete-relation R").is_err());
+        assert!(Action::parse("preview 1 delete-relation R").is_err());
+    }
+}

@@ -1,0 +1,213 @@
+//! Self-contained repro artifacts.
+//!
+//! When a run violates an invariant, everything needed to reproduce it
+//! is rendered to one plain-text document: the config (seed, profile,
+//! flags), the violated invariant, the concrete schedule (one
+//! [`Action`] per line), and optionally a flight-recorder dump for
+//! post-mortem context. [`parse_artifact`] reverses the rendering, so
+//! `eve-cli simulate --replay <file>` re-executes the exact schedule.
+//!
+//! The format is line-oriented: `key = value` headers, then a `trace:`
+//! section, then an optional `flight:` section holding opaque dump
+//! lines (ignored on replay).
+
+use crate::action::{Action, ActionParseError};
+use crate::harness::{Profile, SimConfig, Violation};
+
+/// A parsed repro artifact: the replay config, the schedule, and the
+/// violation it reproduces.
+#[derive(Debug, Clone)]
+pub struct Artifact {
+    /// Config to construct the workload with (record stays on).
+    pub config: SimConfig,
+    /// The schedule to replay.
+    pub trace: Vec<Action>,
+    /// The violation the original run reported.
+    pub violation: Violation,
+}
+
+/// Render a repro artifact.
+///
+/// `flight` carries flight-recorder dump lines (context only — not
+/// replayed); pass an empty slice when the recorder was off.
+pub fn render_artifact(
+    config: &SimConfig,
+    trace: &[Action],
+    violation: &Violation,
+    flight: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str("# eve-sim repro artifact\n");
+    out.push_str(&format!("seed = {}\n", config.seed));
+    out.push_str(&format!("steps = {}\n", config.steps));
+    out.push_str(&format!("profile = {}\n", config.profile.name()));
+    out.push_str(&format!("destructive = {}\n", config.destructive));
+    if let Some(canary) = config.canary {
+        out.push_str(&format!("canary = {canary}\n"));
+    }
+    out.push_str(&format!("invariant = {}\n", violation.invariant));
+    out.push_str(&format!("step = {}\n", violation.step));
+    for line in violation.detail.lines() {
+        out.push_str(&format!("detail = {line}\n"));
+    }
+    out.push_str("trace:\n");
+    for action in trace {
+        out.push_str("  ");
+        out.push_str(&action.render());
+        out.push('\n');
+    }
+    if !flight.is_empty() {
+        out.push_str("flight:\n");
+        for line in flight {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Error from [`parse_artifact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactParseError(pub String);
+
+impl std::fmt::Display for ArtifactParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid artifact: {}", self.0)
+    }
+}
+
+impl std::error::Error for ArtifactParseError {}
+
+impl From<ActionParseError> for ArtifactParseError {
+    fn from(e: ActionParseError) -> Self {
+        ArtifactParseError(e.to_string())
+    }
+}
+
+/// Parse a rendered artifact back into a replayable form.
+pub fn parse_artifact(text: &str) -> Result<Artifact, ArtifactParseError> {
+    let err = |msg: String| ArtifactParseError(msg);
+    let mut config = SimConfig::new(0, 0);
+    let mut invariant = None;
+    let mut step = 0usize;
+    let mut detail = Vec::new();
+    let mut trace = Vec::new();
+    let mut section = "header";
+    let mut seen_seed = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line {
+            "trace:" => {
+                section = "trace";
+                continue;
+            }
+            "flight:" => {
+                section = "flight";
+                continue;
+            }
+            _ => {}
+        }
+        match section {
+            "header" => {
+                let (key, value) = line
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("header line without '=': {line:?}")))?;
+                let (key, value) = (key.trim(), value.trim());
+                match key {
+                    "seed" => {
+                        config.seed = value
+                            .parse()
+                            .map_err(|_| err(format!("bad seed: {value:?}")))?;
+                        seen_seed = true;
+                    }
+                    "steps" => {
+                        config.steps = value
+                            .parse()
+                            .map_err(|_| err(format!("bad steps: {value:?}")))?;
+                    }
+                    "profile" => {
+                        config.profile = Profile::parse(value)
+                            .ok_or_else(|| err(format!("unknown profile: {value:?}")))?;
+                    }
+                    "destructive" => {
+                        config.destructive = value
+                            .parse()
+                            .map_err(|_| err(format!("bad destructive flag: {value:?}")))?;
+                    }
+                    "canary" => {
+                        config.canary = Some(
+                            value
+                                .parse()
+                                .map_err(|_| err(format!("bad canary: {value:?}")))?,
+                        );
+                    }
+                    "invariant" => invariant = Some(value.to_string()),
+                    "step" => {
+                        step = value
+                            .parse()
+                            .map_err(|_| err(format!("bad step: {value:?}")))?;
+                    }
+                    "detail" => detail.push(value.to_string()),
+                    _ => return Err(err(format!("unknown header key: {key:?}"))),
+                }
+            }
+            "trace" => trace.push(Action::parse(line)?),
+            _ => {} // flight dump lines are context, not input
+        }
+    }
+    if !seen_seed {
+        return Err(err("missing seed".to_string()));
+    }
+    let invariant = invariant.ok_or_else(|| err("missing invariant".to_string()))?;
+    Ok(Artifact {
+        config,
+        trace,
+        violation: Violation {
+            step,
+            invariant,
+            detail: detail.join("\n"),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifact_round_trips() {
+        let mut config = SimConfig::new(42, 500);
+        config.profile = Profile::Smoke;
+        config.canary = Some(7);
+        let trace = vec![
+            Action::parse("change delete-relation R4").unwrap(),
+            Action::parse("rollback 1").unwrap(),
+            Action::parse("check-full").unwrap(),
+        ];
+        let violation = Violation {
+            step: 2,
+            invariant: "canary".to_string(),
+            detail: "line one\nline two".to_string(),
+        };
+        let text = render_artifact(&config, &trace, &violation, &["dump A".to_string()]);
+        let back = parse_artifact(&text).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(back.config.seed, 42);
+        assert_eq!(back.config.steps, 500);
+        assert_eq!(back.config.profile, Profile::Smoke);
+        assert_eq!(back.config.canary, Some(7));
+        assert!(!back.config.destructive);
+        assert_eq!(back.trace, trace);
+        assert_eq!(back.violation, violation);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_headers() {
+        assert!(parse_artifact("nonsense\ntrace:\n").is_err());
+        assert!(parse_artifact("steps = 5\ntrace:\n").is_err()); // no seed
+        assert!(parse_artifact("seed = 1\ntrace:\n").is_err()); // no invariant
+    }
+}

@@ -1,0 +1,137 @@
+//! Schedule shrinking: reduce a failing trace to a (locally) minimal
+//! subsequence that still violates the *same* invariant.
+//!
+//! Classic delta debugging (ddmin) over the action sequence, preceded
+//! by truncation to the failing prefix — the violation carries the step
+//! index, so everything after it is noise by construction. The oracle
+//! re-runs the candidate schedule via [`crate::harness::run_trace`]
+//! (actions whose preconditions were shrunk away are skipped, so every
+//! subsequence is executable) and accepts it only when the reported
+//! violation names the same invariant — shrinking must not wander onto
+//! a *different* bug.
+//!
+//! Oracle runs are bounded: shrinking is a debugging aid, not a proof,
+//! and a stubborn schedule is returned as-is once the budget runs out.
+
+use crate::action::Action;
+use crate::harness::{run_trace, SimConfig, Violation};
+
+/// Outcome of [`shrink`].
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The minimized schedule (still failing, possibly the input).
+    pub trace: Vec<Action>,
+    /// The violation the minimized schedule raises.
+    pub violation: Violation,
+    /// Oracle runs spent.
+    pub runs: usize,
+}
+
+fn oracle(config: &SimConfig, trace: &[Action], invariant: &str) -> Option<Violation> {
+    run_trace(config, trace)
+        .violation
+        .filter(|v| v.invariant == invariant)
+}
+
+/// Shrink `trace` (which raises `violation` under `config`) to a
+/// 1-minimal failing subsequence, spending at most `max_runs` oracle
+/// executions.
+///
+/// Precondition: replaying `trace` under `config` reproduces a
+/// violation of the same invariant. If it does not (a nondeterministic
+/// failure — itself a finding), the input is returned unshrunk with
+/// `runs == 1`.
+pub fn shrink(
+    config: &SimConfig,
+    trace: &[Action],
+    violation: &Violation,
+    max_runs: usize,
+) -> ShrinkResult {
+    let mut runs = 0usize;
+    let mut budget = |trace: &[Action]| -> Option<Option<Violation>> {
+        if runs >= max_runs {
+            return None; // budget exhausted
+        }
+        runs += 1;
+        Some(oracle(config, trace, &violation.invariant))
+    };
+
+    // Truncate to the failing prefix: the violation fired at
+    // `violation.step`, so later actions never executed.
+    let mut current: Vec<Action> = trace
+        .iter()
+        .take(violation.step.saturating_add(1).min(trace.len()))
+        .cloned()
+        .collect();
+    let mut current_violation = match budget(&current) {
+        Some(Some(v)) => v,
+        _ => {
+            // Prefix does not reproduce (or no budget): fall back to
+            // the full input, verifying it once if we still can.
+            return match budget(trace) {
+                Some(Some(v)) => ShrinkResult {
+                    trace: trace.to_vec(),
+                    violation: v,
+                    runs,
+                },
+                _ => ShrinkResult {
+                    trace: trace.to_vec(),
+                    violation: violation.clone(),
+                    runs,
+                },
+            };
+        }
+    };
+
+    // ddmin: try removing chunks at ever finer granularity until
+    // removing any single action breaks reproduction (1-minimal).
+    let mut n = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(n);
+        let mut reduced = false;
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (end - start));
+            candidate.extend_from_slice(&current[..start]);
+            candidate.extend_from_slice(&current[end..]);
+            if candidate.is_empty() {
+                start = end;
+                continue;
+            }
+            match budget(&candidate) {
+                None => {
+                    return ShrinkResult {
+                        trace: current,
+                        violation: current_violation,
+                        runs,
+                    }
+                }
+                Some(Some(v)) => {
+                    current = candidate;
+                    current_violation = v;
+                    reduced = true;
+                    // Keep granularity; retry from the same offset
+                    // (the chunk that used to start here is gone).
+                }
+                Some(None) => {
+                    start = end;
+                }
+            }
+        }
+        if !reduced {
+            if chunk == 1 {
+                break; // 1-minimal
+            }
+            n = (n * 2).min(current.len());
+        } else {
+            n = n.max(2).min(current.len().max(2));
+        }
+    }
+
+    ShrinkResult {
+        trace: current,
+        violation: current_violation,
+        runs,
+    }
+}

@@ -19,12 +19,24 @@ pub const FAULT_SITES: &[&str] = &[
     "hypergraph.tree-iter",
 ];
 
-/// Generate a random view-scoped fault plan over `scopes` (view names):
-/// 1–3 specs, each targeting one view at one site with a panic,
-/// transient, delay, or budget fault on an early hit. Every spec is
-/// scoped, so any fault that fires is attributable to exactly one view —
-/// the property the chaos suite's "unaffected views are byte-identical"
-/// check relies on.
+/// Coordinator-thread index-maintenance sites: the full rebuild
+/// (`MkbIndex::new`), the delta rebase (`MkbIndex::from_cores`, the
+/// `index.delta_builds` telemetry path), and the per-change core patch
+/// (`IndexCore::apply_delta`). These run *outside* the per-view panic
+/// boundary, so generated plans only ever aim non-unwinding kinds
+/// (`delay`, `budget`) at them — an injected panic here would escape
+/// even a `Degrade` policy.
+pub const INDEX_FAULT_SITES: &[&str] = &["index.build", "index.delta-build", "index.delta-apply"];
+
+/// Generate a random fault plan over `scopes` (view names): 1–3
+/// view-scoped specs, each targeting one view at one site with a panic,
+/// transient, delay, or budget fault on an early hit, plus (half the
+/// time) one **unscoped** spec aimed at an index-maintenance site with a
+/// non-unwinding kind. Every unwinding spec is view-scoped, so any
+/// outcome-changing fault that fires is attributable to exactly one
+/// view — the property the chaos suite's "unaffected views are
+/// byte-identical" check relies on; the unscoped index specs perturb
+/// timing (or are discarded budget checks) without touching answers.
 ///
 /// Returns the textual plan format of `eve_faults::FaultPlan::parse`;
 /// deterministic in `seed`.
@@ -43,6 +55,16 @@ pub fn random_view_fault_plan(seed: u64, scopes: &[String]) -> String {
         let hit = rng.gen_range(0..3);
         entries.push(format!("{scope}/{site}#{hit}={kind}"));
     }
+    if rng.gen_bool(0.5) {
+        let site = INDEX_FAULT_SITES[rng.gen_range(0..INDEX_FAULT_SITES.len())];
+        let kind = if rng.gen_bool(0.5) {
+            "delay:1"
+        } else {
+            "budget"
+        };
+        let hit = rng.gen_range(0..2);
+        entries.push(format!("{site}#{hit}={kind}"));
+    }
     entries.join(";")
 }
 
@@ -58,12 +80,36 @@ mod tests {
         assert_ne!(a, random_view_fault_plan(8, &scopes));
         assert!(a.starts_with("seed=7"));
         for entry in a.split(';').skip(1) {
-            let (scope, rest) = entry.split_once('/').expect("every spec is scoped");
-            assert!(scopes.iter().any(|s| s == scope), "{entry}");
-            let site = rest.split(['#', '=']).next().unwrap();
-            assert!(FAULT_SITES.contains(&site), "{entry}");
+            match entry.split_once('/') {
+                Some((scope, rest)) => {
+                    assert!(scopes.iter().any(|s| s == scope), "{entry}");
+                    let site = rest.split(['#', '=']).next().unwrap();
+                    assert!(FAULT_SITES.contains(&site), "{entry}");
+                }
+                // Unscoped specs target index-maintenance sites and
+                // must stay non-unwinding (they fire outside the
+                // per-view panic boundary).
+                None => {
+                    let site = entry.split(['#', '=']).next().unwrap();
+                    assert!(INDEX_FAULT_SITES.contains(&site), "{entry}");
+                    let kind = entry.split_once('=').unwrap().1;
+                    assert!(kind == "budget" || kind.starts_with("delay"), "{entry}");
+                }
+            }
         }
         // No scopes → just the seed entry.
         assert_eq!(random_view_fault_plan(7, &[]), "seed=7");
+    }
+
+    #[test]
+    fn index_sites_appear_in_some_plans() {
+        let scopes = vec!["V0".to_string()];
+        let hit = (0..64).any(|seed| {
+            random_view_fault_plan(seed, &scopes)
+                .split(';')
+                .skip(1)
+                .any(|e| !e.contains('/'))
+        });
+        assert!(hit, "no unscoped index spec in 64 seeds");
     }
 }

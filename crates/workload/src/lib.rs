@@ -30,8 +30,8 @@ pub mod stream;
 pub mod synth;
 pub mod travel;
 
-pub use chaos::{random_view_fault_plan, FAULT_SITES};
+pub use chaos::{random_view_fault_plan, FAULT_SITES, INDEX_FAULT_SITES};
 pub use library::LibraryFixture;
-pub use stream::change_stream;
+pub use stream::{change_stream, ChangeSource};
 pub use synth::{random_views, views_touching, SynthConfig, SynthError, SynthWorkload, Topology};
 pub use travel::TravelFixture;

@@ -21,6 +21,72 @@ use eve_relational::{AttrName, AttrRef, AttributeDef, DataType, RelName};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// A seeded source of single capability changes, each drawn against
+/// whatever MKB state the caller currently holds.
+///
+/// This is the one change generator in the workspace: [`change_stream`]
+/// pre-generates sequences from it against a scratch MKB, the soak
+/// tests and the deterministic simulator (`eve-sim`) draw from it
+/// step-by-step against the *live* synchronizer state — which matters
+/// once rollbacks enter the picture, because a pre-generated stream
+/// stops being valid the moment history is rewound.
+///
+/// Every draw is gated through [`eve_misd::evolve`] (the same check the
+/// synchronizer applies), so a returned change is guaranteed admissible
+/// against the MKB it was drawn for. Inadmissible candidates are
+/// redrawn, bounded; `None` means no admissible change was found (a
+/// schema too small or constrained for the configured operator mix).
+#[derive(Debug, Clone)]
+pub struct ChangeSource {
+    rng: StdRng,
+    fresh: usize, // monotone counter for generated names
+    destructive: bool,
+}
+
+impl ChangeSource {
+    /// A source with the standard operator mix (see the module docs),
+    /// deterministic in `seed`. Seed mixing matches [`change_stream`],
+    /// so `ChangeSource::new(s)` drawn against an evolving scratch MKB
+    /// reproduces `change_stream(mkb, n, s)` exactly.
+    pub fn new(seed: u64) -> Self {
+        ChangeSource {
+            rng: StdRng::seed_from_u64(seed ^ 0x57ea_u64),
+            fresh: 0,
+            destructive: false,
+        }
+    }
+
+    /// A source drawing only destructive operators (delete-relation,
+    /// delete-attribute) — the schema-consuming regime the destructive
+    /// soak exercises. Runs dry (`None`) once the schema is down to two
+    /// relations with minimal attributes.
+    pub fn destructive(seed: u64) -> Self {
+        ChangeSource {
+            rng: StdRng::seed_from_u64(seed ^ 0x57ea_u64),
+            fresh: 0,
+            destructive: true,
+        }
+    }
+
+    /// Draw the next change, valid against `mkb`. Redraws candidates
+    /// `evolve` rejects, up to an internal budget; `None` when no
+    /// admissible change turns up.
+    pub fn next(&mut self, mkb: &MetaKnowledgeBase) -> Option<CapabilityChange> {
+        for _ in 0..400 {
+            let drawn = if self.destructive {
+                destructive_candidate(mkb, &mut self.rng)
+            } else {
+                candidate(mkb, &mut self.rng, &mut self.fresh)
+            };
+            let Some(change) = drawn else { continue };
+            if evolve(mkb, &change).is_ok() {
+                return Some(change);
+            }
+        }
+        None
+    }
+}
+
 /// Generate `count` capability changes, each valid against the MKB state
 /// left behind by its predecessors, deterministic in `seed`.
 ///
@@ -36,32 +102,45 @@ use rand::{Rng, SeedableRng};
 /// which only happens for degenerate inputs (an MKB so small and
 /// constrained that every operator is inapplicable).
 pub fn change_stream(mkb: &MetaKnowledgeBase, count: usize, seed: u64) -> Vec<CapabilityChange> {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x57ea_u64);
+    let mut source = ChangeSource::new(seed);
     let mut scratch = mkb.clone();
     let mut out = Vec::with_capacity(count);
-    let mut fresh = 0usize; // monotone counter for generated names
-    let mut attempts = 0usize;
-    let budget = count * 200 + 200;
     while out.len() < count {
-        attempts += 1;
-        assert!(
-            attempts < budget,
-            "change stream stalled after {} of {} changes: no admissible candidate",
-            out.len(),
-            count
-        );
-        let Some(change) = candidate(&scratch, &mut rng, &mut fresh) else {
-            continue;
-        };
-        match evolve(&scratch, &change) {
-            Ok(next) => {
-                scratch = next;
-                out.push(change);
-            }
-            Err(_) => continue, // inadmissible under current constraints — redraw
-        }
+        let change = source.next(&scratch).unwrap_or_else(|| {
+            panic!(
+                "change stream stalled after {} of {} changes: no admissible candidate",
+                out.len(),
+                count
+            )
+        });
+        scratch = evolve(&scratch, &change).expect("ChangeSource::next gates through evolve");
+        out.push(change);
     }
     out
+}
+
+/// Draw one destructive candidate (delete-relation 60%, delete-attribute
+/// 40%) with the same starvation guards as the standard mix.
+fn destructive_candidate(mkb: &MetaKnowledgeBase, rng: &mut StdRng) -> Option<CapabilityChange> {
+    let rels: Vec<_> = mkb.relations().collect();
+    if rng.gen_range(0..100u32) < 60 {
+        if rels.len() <= 2 {
+            return None;
+        }
+        Some(CapabilityChange::DeleteRelation(
+            rels[rng.gen_range(0..rels.len())].name.clone(),
+        ))
+    } else {
+        let r = rels[rng.gen_range(0..rels.len())];
+        if r.attrs.len() < 2 {
+            return None;
+        }
+        let a = &r.attrs[rng.gen_range(0..r.attrs.len())];
+        Some(CapabilityChange::DeleteAttribute(AttrRef::new(
+            r.name.clone(),
+            a.name.clone(),
+        )))
+    }
 }
 
 /// Draw one weighted candidate change against the current scratch state.
@@ -185,5 +264,35 @@ mod tests {
     fn different_seeds_diverge() {
         let mkb = base();
         assert_ne!(change_stream(&mkb, 32, 1), change_stream(&mkb, 32, 2));
+    }
+
+    #[test]
+    fn source_reproduces_the_stream() {
+        let mkb = base();
+        let stream = change_stream(&mkb, 48, 21);
+        let mut source = ChangeSource::new(21);
+        let mut state = mkb;
+        for (i, expected) in stream.iter().enumerate() {
+            let got = source.next(&state).expect("stream proved admissible");
+            assert_eq!(&got, expected, "draw {i} diverged from change_stream");
+            state = evolve(&state, &got).unwrap();
+        }
+    }
+
+    #[test]
+    fn destructive_source_runs_dry() {
+        let mkb = base();
+        let mut source = ChangeSource::destructive(5);
+        let mut state = mkb;
+        let mut applied = 0usize;
+        while let Some(change) = source.next(&state) {
+            assert!(change.is_destructive(), "{change}");
+            state = evolve(&state, &change).unwrap();
+            applied += 1;
+            assert!(applied < 10_000, "destructive source never exhausts");
+        }
+        // Dry means the guards bottomed out: two relations left.
+        assert_eq!(state.relation_count(), 2);
+        assert!(applied > 5, "should consume most of the schema");
     }
 }

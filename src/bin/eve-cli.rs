@@ -12,6 +12,9 @@
 //!          --change "<op> ..." [--change ...]     # version chain + delta summaries
 //! eve-cli metrics-serve [--addr 127.0.0.1:9187] [--requests <n>] \
 //!          [--mkb <mkb.misd> --views <views.esql> --change "<op> ..." [--change ...]]
+//! eve-cli simulate [--seed <n>] [--steps <n>] [--profile smoke|standard|soak] \
+//!          [--destructive] [--canary <n>] [--artifact <file>] [--no-shrink] \
+//!          [--replay <artifact>]
 //! ```
 //!
 //! `sync --at-version <n>` time-travels after the changes apply: instead
@@ -46,6 +49,20 @@
 //! timing-free) JSONL crash dump that is byte-identical across reruns
 //! and worker counts for the same pinned fault seed.
 //!
+//! `simulate` runs the deterministic whole-system simulator: a seeded
+//! schedule of capability changes, queries, previews, rollbacks,
+//! virtual-clock ticks, and fault episodes, with invariants checked
+//! continuously. The seed is echoed first (a fresh one is drawn from
+//! the system clock when `--seed` is omitted) and the outcome digest
+//! printed last — the same seed, steps, and profile reproduce the
+//! digest byte-for-byte, whatever `EVE_PARALLELISM` is. On an invariant
+//! violation the exit code is 1 and a self-contained repro artifact
+//! (config + schedule + flight-recorder dump) is written; unless
+//! `--no-shrink` is given the schedule is then delta-debugged to a
+//! minimal failing core, saved next to the artifact as `<file>.min`.
+//! `--replay <artifact>` re-executes a saved artifact's schedule
+//! instead of generating one.
+//!
 //! `metrics-serve` exposes the telemetry registry over HTTP
 //! (`/metrics` in Prometheus text format, `/snapshot` as JSON,
 //! `/health`); with a workload (`--mkb`/`--views`/`--change`) it runs
@@ -75,6 +92,7 @@ fn main() -> ExitCode {
         Some("sync") => cmd_sync(&args[1..]),
         Some("history") => cmd_history(&args[1..]),
         Some("metrics-serve") => cmd_metrics_serve(&args[1..]),
+        Some("simulate") => cmd_simulate(&args[1..]),
         _ => {
             eprintln!(
                 "usage:\n  eve-cli mkb <mkb.misd>\n  eve-cli dot <mkb.misd>\n  \
@@ -87,7 +105,10 @@ fn main() -> ExitCode {
                  eve-cli history --mkb <mkb.misd> --views <views.esql> \
                  --change \"<op> ...\" [--change ...]\n  \
                  eve-cli metrics-serve [--addr <host:port>] [--requests <n>] \
-                 [--mkb <mkb.misd> --views <views.esql> --change \"<op> ...\" [--change ...]]"
+                 [--mkb <mkb.misd> --views <views.esql> --change \"<op> ...\" [--change ...]]\n  \
+                 eve-cli simulate [--seed <n>] [--steps <n>] \
+                 [--profile smoke|standard|soak] [--destructive] [--canary <n>] \
+                 [--artifact <file>] [--no-shrink] [--replay <artifact>]"
             );
             ExitCode::from(2)
         }
@@ -632,4 +653,168 @@ fn cmd_metrics_serve(args: &[String]) -> ExitCode {
     }
     eve::telemetry::uninstall();
     ExitCode::SUCCESS
+}
+
+/// `simulate`: deterministic whole-system simulation with repro
+/// artifacts and schedule shrinking on invariant violations.
+fn cmd_simulate(args: &[String]) -> ExitCode {
+    use eve::sim::{parse_artifact, render_artifact, run, run_trace, shrink, Profile, SimConfig};
+
+    // Replay mode: the artifact carries the whole config.
+    if let Some(path) = flag_value(args, "--replay") {
+        let text = match read(&path) {
+            Ok(t) => t,
+            Err(e) => return fail(e),
+        };
+        let artifact = match parse_artifact(&text) {
+            Ok(a) => a,
+            Err(e) => return fail(format!("{path}: {e}")),
+        };
+        println!(
+            "sim replay: seed={} profile={} trace={} actions (expecting [{}] at step {})",
+            artifact.config.seed,
+            artifact.config.profile.name(),
+            artifact.trace.len(),
+            artifact.violation.invariant,
+            artifact.violation.step,
+        );
+        let report = run_trace(&artifact.config, &artifact.trace);
+        println!("sim digest={}", report.digest_hex());
+        return match report.violation {
+            Some(v) if v.invariant == artifact.violation.invariant => {
+                println!("sim replay: reproduced: {v}");
+                ExitCode::FAILURE
+            }
+            Some(v) => {
+                println!("sim replay: DIFFERENT violation: {v}");
+                ExitCode::FAILURE
+            }
+            None => {
+                println!("sim replay: did NOT reproduce (clean run)");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    let seed = match flag_value(args, "--seed") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => return fail(format!("simulate: --seed {v:?}: expected an integer")),
+        },
+        // Fresh seed from the wall clock — echoed below so any run can
+        // be reproduced exactly.
+        None => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED),
+    };
+    let steps = match flag_value(args, "--steps") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => return fail(format!("simulate: --steps {v:?}: expected a count")),
+        },
+        None => 1000,
+    };
+    let profile = match flag_value(args, "--profile") {
+        Some(v) => match Profile::parse(&v) {
+            Some(p) => p,
+            None => {
+                return fail(format!(
+                    "simulate: --profile {v:?}: expected smoke|standard|soak"
+                ))
+            }
+        },
+        None => Profile::Standard,
+    };
+    let mut config = SimConfig::new(seed, steps);
+    config.profile = profile;
+    config.destructive = args.iter().any(|a| a == "--destructive");
+    config.canary = match flag_value(args, "--canary") {
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Some(n),
+            Err(_) => return fail(format!("simulate: --canary {v:?}: expected a count")),
+        },
+        None => None,
+    };
+    println!(
+        "sim seed={seed} steps={steps} profile={}{}{}",
+        profile.name(),
+        if config.destructive {
+            " destructive"
+        } else {
+            ""
+        },
+        match config.canary {
+            Some(n) => format!(" canary={n}"),
+            None => String::new(),
+        },
+    );
+
+    // Arm the flight recorder so a violation comes with recent spans,
+    // counters, and fault firings for post-mortem context.
+    let flight_armed = eve::telemetry::flight_install(4096, None).is_ok();
+    let report = run(&config);
+    let flight_lines: Vec<String> = if report.violation.is_some() {
+        eve::telemetry::flight_dump()
+            .map(|d| d.lines().map(str::to_string).collect())
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    if flight_armed {
+        let _ = eve::telemetry::flight_uninstall();
+    }
+
+    let s = &report.stats;
+    println!(
+        "sim executed {} steps: {} changes, {} view registrations, {} queries, {} previews, \
+         {} rollbacks, {} fault episodes ({} faults fired), {} replay checks, {} full sweeps, \
+         {} skipped",
+        report.steps_executed,
+        s.changes,
+        s.registrations,
+        s.queries,
+        s.previews,
+        s.rollbacks,
+        s.fault_episodes,
+        s.faults_fired,
+        s.replays,
+        s.full_checks,
+        s.skipped,
+    );
+    println!("sim digest={}", report.digest_hex());
+
+    let Some(violation) = report.violation else {
+        return ExitCode::SUCCESS;
+    };
+    eprintln!("sim INVARIANT VIOLATION: {violation}");
+
+    let artifact_path =
+        flag_value(args, "--artifact").unwrap_or_else(|| format!("sim-repro-{seed}.txt"));
+    let text = render_artifact(&config, &report.trace, &violation, &flight_lines);
+    if let Err(e) = std::fs::write(&artifact_path, &text) {
+        return fail(format!("simulate: cannot write {artifact_path}: {e}"));
+    }
+    println!(
+        "sim repro artifact: {artifact_path} ({} actions)",
+        report.trace.len()
+    );
+
+    if !args.iter().any(|a| a == "--no-shrink") {
+        let shrunk = shrink(&config, &report.trace, &violation, 500);
+        println!(
+            "sim shrunk schedule: {} -> {} actions ({} oracle runs): {}",
+            report.trace.len(),
+            shrunk.trace.len(),
+            shrunk.runs,
+            shrunk.violation,
+        );
+        let min_path = format!("{artifact_path}.min");
+        let min_text = render_artifact(&config, &shrunk.trace, &shrunk.violation, &[]);
+        if let Err(e) = std::fs::write(&min_path, &min_text) {
+            return fail(format!("simulate: cannot write {min_path}: {e}"));
+        }
+        println!("sim shrunk artifact: {min_path}");
+    }
+    ExitCode::FAILURE
 }

@@ -20,7 +20,10 @@
 //!   trace sinks instrumenting the whole sync pipeline;
 //! * [`faults`] — deterministic, seeded fault injection (panic /
 //!   transient / delay / budget) addressed by site name + hit count,
-//!   driving the retry/degrade failure policies.
+//!   driving the retry/degrade failure policies;
+//! * [`sim`] — the deterministic whole-system simulator (seeded
+//!   schedules over changes, rollbacks, queries and fault episodes,
+//!   with continuous invariant checking and schedule shrinking).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for the paper-versus-measured record.
@@ -65,6 +68,7 @@ pub use eve_faults as faults;
 pub use eve_hypergraph as hypergraph;
 pub use eve_misd as misd;
 pub use eve_relational as relational;
+pub use eve_sim as sim;
 pub use eve_telemetry as telemetry;
 pub use eve_workload as workload;
 

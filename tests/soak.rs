@@ -1,199 +1,55 @@
-//! Soak test: long random sequences of *mixed* capability changes
-//! replayed through the synchronizer, asserting global invariants after
-//! every step:
+//! Soak tests, driven through the deterministic simulator.
 //!
-//! * the MKB stays internally consistent (renders/parses, type-checks);
-//! * every active view is evaluable against the current MKB and prints
-//!   to parseable E-SQL;
-//! * every active view actually evaluates on a generated database for
-//!   the current MKB.
+//! Historically this file carried its own random-change generator and
+//! step-by-step invariant assertions; both now live in `eve-sim`
+//! (`eve_workload::ChangeSource` and the harness's continuous checks),
+//! so the soak is a thin driver: run seeded schedules under the mixed
+//! and destructive profiles and require that no invariant — MKB
+//! round-trip/type-check, view round-trip/evaluation, delta ≡ rebuild,
+//! version-chain replay, revival eligibility — is violated.
 
-use eve::cvs::{evaluate_view, SynchronizerBuilder};
-use eve::esql::parse_view;
-use eve::misd::{check_mkb, parse_misd, render_misd, CapabilityChange, MetaKnowledgeBase};
-use eve::relational::{
-    AttrName, AttrRef, AttributeDef, DataType, Database, FuncRegistry, RelName, Relation, Schema,
-    Tuple, Value,
-};
-use eve::workload::{random_views, SynthConfig, SynthWorkload, Topology};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// Produce a random valid change against the current MKB state.
-fn random_change(mkb: &MetaKnowledgeBase, rng: &mut StdRng, fresh: &mut usize) -> CapabilityChange {
-    let relations: Vec<_> = mkb.relation_names().cloned().collect();
-    let pick_rel = |rng: &mut StdRng| relations[rng.gen_range(0..relations.len())].clone();
-    loop {
-        match rng.gen_range(0..6) {
-            0 if relations.len() > 2 => {
-                return CapabilityChange::DeleteRelation(pick_rel(rng));
-            }
-            1 => {
-                let rel = pick_rel(rng);
-                let desc = mkb.relation(&rel).expect("picked from names");
-                if desc.attrs.len() > 1 {
-                    let a = &desc.attrs[rng.gen_range(0..desc.attrs.len())];
-                    return CapabilityChange::DeleteAttribute(AttrRef::new(rel, a.name.clone()));
-                }
-            }
-            2 => {
-                *fresh += 1;
-                return CapabilityChange::RenameRelation {
-                    from: pick_rel(rng),
-                    to: RelName::new(format!("Renamed{fresh}")),
-                };
-            }
-            3 => {
-                let rel = pick_rel(rng);
-                let desc = mkb.relation(&rel).expect("picked from names");
-                if !desc.attrs.is_empty() {
-                    *fresh += 1;
-                    let a = &desc.attrs[rng.gen_range(0..desc.attrs.len())];
-                    return CapabilityChange::RenameAttribute {
-                        from: AttrRef::new(rel, a.name.clone()),
-                        to: AttrName::new(format!("renamed{fresh}")),
-                    };
-                }
-            }
-            4 => {
-                *fresh += 1;
-                return CapabilityChange::AddAttribute {
-                    relation: pick_rel(rng),
-                    attr: AttributeDef::new(format!("added{fresh}"), DataType::Int),
-                };
-            }
-            _ => {
-                *fresh += 1;
-                return CapabilityChange::AddRelation(eve::misd::RelationDescription::new(
-                    "SoakIS",
-                    format!("Added{fresh}"),
-                    vec![
-                        AttributeDef::new("k", DataType::Int),
-                        AttributeDef::new("v0", DataType::Int),
-                    ],
-                ));
-            }
-        }
-    }
-}
-
-/// A tiny database matching whatever the MKB currently describes.
-fn db_for(mkb: &MetaKnowledgeBase) -> Database {
-    let mut db = Database::new();
-    for desc in mkb.relations() {
-        let schema = Schema::of_relation(&desc.name, &desc.attrs);
-        let mut rel = Relation::new(schema);
-        for k in 0..5i64 {
-            let vals: Vec<Value> = desc
-                .attrs
-                .iter()
-                .enumerate()
-                .map(|(j, a)| match a.ty {
-                    DataType::Int => Value::Int(k * 10 + j as i64),
-                    DataType::Float => Value::float(k as f64),
-                    DataType::Str => Value::str(format!("s{k}")),
-                    DataType::Bool => Value::Bool(k % 2 == 0),
-                    DataType::Date => Value::Date(1000 + k),
-                })
-                .collect();
-            rel.insert(Tuple::new(vals)).expect("arity");
-        }
-        db.put(desc.name.clone(), rel);
-    }
-    db
-}
+use eve::cvs::clock::serial_guard;
+use eve::sim::{run, Profile, SimConfig};
 
 #[test]
 fn soak_mixed_change_sequences() {
-    let funcs = FuncRegistry::new();
-    for seed in 0..8u64 {
-        let cfg = SynthConfig {
-            n_relations: 10,
-            cover_count: 3,
-            topology: Topology::Random { extra: 6 },
-            global_cover_prob: 0.5,
-            ..SynthConfig::default()
-        };
-        let w = SynthWorkload::random(&cfg, seed);
-        let views = random_views(&w.mkb, 4, 3, seed);
-        let mut builder = SynchronizerBuilder::new(w.mkb.clone());
-        for v in views {
-            builder = builder.with_view(v).expect("generated views valid");
-        }
-        let mut sync = builder.build();
-
-        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(31) + 7);
-        let mut fresh = 0usize;
-        for step in 0..20 {
-            let change = random_change(sync.mkb(), &mut rng, &mut fresh);
-            let outcome = sync
-                .apply(&change)
-                .unwrap_or_else(|e| panic!("seed {seed} step {step} ({change}): {e}"));
-            let _ = outcome;
-
-            // Invariant 1: MKB renders, re-parses, and type-checks.
-            let rendered = render_misd(sync.mkb());
-            let back = parse_misd(&rendered).unwrap_or_else(|e| {
-                panic!("seed {seed} step {step}: MKB render broken: {e}\n{rendered}")
-            });
-            assert_eq!(&back, sync.mkb(), "seed {seed} step {step}");
-            let type_errors = check_mkb(sync.mkb());
-            assert!(
-                type_errors.is_empty(),
-                "seed {seed} step {step}: {type_errors:?}"
-            );
-
-            // Invariant 2+3: every active view prints, parses, and
-            // evaluates on a database generated for the current MKB.
-            let db = db_for(sync.mkb());
-            for v in sync.views() {
-                let printed = v.to_string();
-                parse_view(&printed).unwrap_or_else(|e| {
-                    panic!("seed {seed} step {step}: view unparseable: {e}\n{printed}")
-                });
-                evaluate_view(v, &db, &funcs).unwrap_or_else(|e| {
-                    panic!("seed {seed} step {step}: view fails to evaluate: {e}\n{v}")
-                });
-            }
-        }
+    let _serial = serial_guard();
+    for seed in 0..4u64 {
+        let mut config = SimConfig::new(seed, 60);
+        config.profile = Profile::Standard;
+        let report = run(&config);
+        assert!(
+            report.violation.is_none(),
+            "seed {seed}: {}",
+            report.violation.unwrap()
+        );
+        assert!(report.stats.changes > 0, "seed {seed}: no changes applied");
+        assert!(
+            report.stats.full_checks > 0,
+            "seed {seed}: no full invariant sweeps ran"
+        );
     }
 }
 
 #[test]
 fn soak_destructive_only() {
-    // Delete relations until almost nothing is left; the synchronizer
-    // must never panic and never keep a stale view.
-    for seed in 0..8u64 {
-        let cfg = SynthConfig {
-            n_relations: 12,
-            cover_count: 4,
-            global_cover_prob: 0.8,
-            topology: Topology::Random { extra: 8 },
-            ..SynthConfig::default()
-        };
-        let w = SynthWorkload::random(&cfg, seed);
-        let views = random_views(&w.mkb, 5, 3, seed);
-        let mut builder = SynchronizerBuilder::new(w.mkb.clone());
-        for v in views {
-            builder = builder.with_view(v).expect("generated views valid");
-        }
-        let mut sync = builder.build();
-
-        let mut rng = StdRng::seed_from_u64(seed + 99);
-        for _ in 0..9 {
-            let names: Vec<_> = sync.mkb().relation_names().cloned().collect();
-            if names.len() <= 2 {
-                break;
-            }
-            let victim = names[rng.gen_range(0..names.len())].clone();
-            sync.apply(&CapabilityChange::DeleteRelation(victim.clone()))
-                .expect("evolution succeeds");
-            for v in sync.views() {
-                assert!(
-                    !v.uses_relation(&victim),
-                    "stale reference to {victim} in {v}"
-                );
-            }
-        }
+    // Delete relations and attributes until the schema runs dry; the
+    // synchronizer must never panic, never keep a stale view, and the
+    // rebuild shadow must agree at every step.
+    let _serial = serial_guard();
+    for seed in 0..4u64 {
+        let mut config = SimConfig::new(seed, 200);
+        config.profile = Profile::Standard;
+        config.destructive = true;
+        let report = run(&config);
+        assert!(
+            report.violation.is_none(),
+            "seed {seed}: {}",
+            report.violation.unwrap()
+        );
+        assert!(
+            report.steps_executed < 200,
+            "seed {seed}: destructive schedule never exhausted the schema"
+        );
     }
 }
